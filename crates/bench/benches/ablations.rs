@@ -1,0 +1,101 @@
+//! Design-choice ablations called out in DESIGN.md §5:
+//!
+//! 1. **Smooth Gamma budget split** — Algorithm 2 fixes the dilation
+//!    share at ε₂ = 5·ln(1+α), the minimum for finite smooth sensitivity.
+//!    The ablation sweeps larger ε₂ and measures the resulting expected
+//!    L1 error: the paper's choice must dominate.
+//! 2. **Log-Laplace bias correction** — the optional post-processing
+//!    divides out the 1/(1−λ²) multiplicative bias; the ablation compares
+//!    empirical L1 error with and without.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eree_core::mechanisms::LogLaplaceMechanism;
+use eree_core::{CellQuery, CountMechanism};
+use noise::{ContinuousDistribution, GammaPoly};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+/// Expected L1 error of a Smooth-Gamma-style mechanism with an arbitrary
+/// (possibly suboptimal) dilation share `eps2 >= 5 ln(1+alpha)`.
+fn gamma_l1_with_split(x_v: u32, alpha: f64, eps: f64, eps2: f64) -> Option<f64> {
+    let eps1 = eps - eps2;
+    if eps1 <= 0.0 || eps2 < 5.0 * (1.0 + alpha).ln() {
+        return None;
+    }
+    let s_star = (x_v as f64 * alpha).max(1.0);
+    let scale = s_star / (eps1 / 5.0);
+    GammaPoly::new(scale).ok()?.mean_abs()
+}
+
+fn bench_budget_split_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_budget_split");
+    let (x_v, alpha, eps) = (400u32, 0.1f64, 2.0f64);
+    let optimal_eps2 = 5.0 * (1.0 + alpha).ln();
+
+    group.bench_function("sweep_and_check_optimality", |b| {
+        b.iter(|| {
+            let baseline = gamma_l1_with_split(x_v, alpha, eps, optimal_eps2).unwrap();
+            let mut worse = 0usize;
+            for i in 1..=20 {
+                let eps2 = optimal_eps2 + i as f64 * 0.05;
+                if let Some(err) = gamma_l1_with_split(x_v, alpha, eps, eps2) {
+                    assert!(
+                        err >= baseline,
+                        "larger dilation share must not reduce error"
+                    );
+                    worse += 1;
+                }
+            }
+            black_box((baseline, worse))
+        })
+    });
+    group.finish();
+}
+
+fn bench_bias_correction_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_bias_correction");
+    group.sample_size(10);
+    let q = CellQuery {
+        count: 1000,
+        max_establishment: 1000,
+    };
+    // At eps = 0.67, lambda ≈ 0.28: noticeable bias.
+    let plain = LogLaplaceMechanism::new(0.1, 0.67);
+    let corrected = LogLaplaceMechanism::new(0.1, 0.67).with_bias_correction();
+
+    group.bench_function("empirical_l1_plain_vs_corrected", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(9);
+            let n = 20_000;
+            let (mut e_plain, mut e_corr) = (0.0, 0.0);
+            for _ in 0..n {
+                e_plain += (plain.release(&q, &mut rng) - 1000.0).abs();
+                e_corr += (corrected.release(&q, &mut rng) - 1000.0).abs();
+            }
+            black_box((e_plain / n as f64, e_corr / n as f64))
+        })
+    });
+    group.finish();
+}
+
+fn bench_sampler_ablation(c: &mut Criterion) {
+    // Rejection sampling vs numeric inverse-CDF for the gamma-poly noise:
+    // both exact; rejection wins on speed (no bisection loop).
+    let mut group = c.benchmark_group("ablation_gamma_sampler");
+    let d = GammaPoly::standard();
+    let mut rng = StdRng::seed_from_u64(4);
+    group.bench_function("rejection", |b| b.iter(|| black_box(d.sample(&mut rng))));
+    group.bench_function("inverse_cdf", |b| {
+        b.iter(|| black_box(d.sample_inverse_cdf(&mut rng)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_budget_split_ablation,
+    bench_bias_correction_ablation,
+    bench_sampler_ablation
+);
+criterion_main!(benches);

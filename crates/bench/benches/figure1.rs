@@ -1,0 +1,54 @@
+//! Benchmark for Figure 1 (Workload 1 L1 error ratio): the per-mechanism
+//! release-and-score inner loop, plus the full small-scale experiment.
+
+use bench::{bench_context, bench_trials};
+use criterion::{criterion_group, criterion_main, Criterion};
+use eree_core::{MechanismKind, PrivacyParams};
+use eval::experiments::{figure1, release_cells};
+use eval::metrics::l1_error;
+use std::hint::black_box;
+
+fn bench_figure1(c: &mut Criterion) {
+    let ctx = bench_context();
+    let truth = &ctx.sdl_w1.truth;
+
+    let mut group = c.benchmark_group("figure1");
+    // One release + score per mechanism at the paper's baseline point.
+    for (name, kind, params) in [
+        (
+            "log_laplace_release_score",
+            MechanismKind::LogLaplace,
+            PrivacyParams::pure(0.1, 2.0),
+        ),
+        (
+            "smooth_gamma_release_score",
+            MechanismKind::SmoothGamma,
+            PrivacyParams::pure(0.1, 2.0),
+        ),
+        (
+            "smooth_laplace_release_score",
+            MechanismKind::SmoothLaplace,
+            PrivacyParams::approximate(0.1, 2.0, 0.05),
+        ),
+    ] {
+        group.bench_function(name, |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let published = release_cells(truth, kind, &params, seed).unwrap();
+                black_box(l1_error(truth, &published))
+            })
+        });
+    }
+
+    // The full experiment at reduced trial count.
+    group.sample_size(10);
+    group.bench_function("full_experiment_small", |b| {
+        let trials = bench_trials();
+        b.iter(|| black_box(figure1::run(&ctx, &trials)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figure1);
+criterion_main!(benches);

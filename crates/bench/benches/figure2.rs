@@ -1,0 +1,55 @@
+//! Benchmark for Figure 2 (Ranking 1 Spearman correlation): the
+//! release-and-rank inner loop and the Spearman computation itself.
+
+use bench::{bench_context, bench_trials};
+use criterion::{criterion_group, criterion_main, Criterion};
+use eree_core::{MechanismKind, PrivacyParams};
+use eval::experiments::{figure2, release_cells};
+use eval::metrics::spearman;
+use std::hint::black_box;
+
+fn bench_figure2(c: &mut Criterion) {
+    let ctx = bench_context();
+    let truth = &ctx.sdl_w1.truth;
+    let keys: Vec<_> = truth.iter().map(|(k, _)| k).collect();
+    let sdl_counts: Vec<f64> = keys
+        .iter()
+        .map(|k| ctx.sdl_w1.published.get(k).copied().unwrap_or(0.0))
+        .collect();
+
+    let mut group = c.benchmark_group("figure2");
+    group.bench_function("release_and_rank", |b| {
+        let params = PrivacyParams::pure(0.1, 2.0);
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let published =
+                release_cells(truth, MechanismKind::SmoothGamma, &params, seed).unwrap();
+            let ours: Vec<f64> = keys
+                .iter()
+                .map(|k| published.get(k).copied().unwrap_or(0.0))
+                .collect();
+            black_box(spearman(&sdl_counts, &ours))
+        })
+    });
+
+    group.bench_function("spearman_only", |b| {
+        let params = PrivacyParams::pure(0.1, 2.0);
+        let published = release_cells(truth, MechanismKind::SmoothGamma, &params, 1).unwrap();
+        let ours: Vec<f64> = keys
+            .iter()
+            .map(|k| published.get(k).copied().unwrap_or(0.0))
+            .collect();
+        b.iter(|| black_box(spearman(&sdl_counts, &ours)))
+    });
+
+    group.sample_size(10);
+    group.bench_function("full_experiment_small", |b| {
+        let trials = bench_trials();
+        b.iter(|| black_box(figure2::run(&ctx, &trials)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figure2);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Benchmark for Figure 3 (single sex × education query L1 ratio): the
+//! Workload 3 single-cell release path.
+
+use bench::{bench_context, bench_trials};
+use criterion::{criterion_group, criterion_main, Criterion};
+use eree_core::{MechanismKind, PrivacyParams};
+use eval::experiments::{figure3, release_cells};
+use eval::metrics::l1_error;
+use std::hint::black_box;
+
+fn bench_figure3(c: &mut Criterion) {
+    let ctx = bench_context();
+    let truth = &ctx.sdl_w3.truth;
+
+    let mut group = c.benchmark_group("figure3");
+    group.bench_function("w3_single_query_release_score", |b| {
+        let params = PrivacyParams::approximate(0.1, 2.0, 0.05);
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let published =
+                release_cells(truth, MechanismKind::SmoothLaplace, &params, seed).unwrap();
+            black_box(l1_error(truth, &published))
+        })
+    });
+
+    group.sample_size(10);
+    group.bench_function("full_experiment_small", |b| {
+        let trials = bench_trials();
+        b.iter(|| black_box(figure3::run(&ctx, &trials)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figure3);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Benchmark for Figure 4 (full sex × education marginal L1 ratio): the
+//! weak-composition budget split plus the release inner loop.
+
+use bench::{bench_context, bench_trials};
+use criterion::{criterion_group, criterion_main, Criterion};
+use eree_core::accountant::ReleaseCost;
+use eree_core::neighbors::NeighborKind;
+use eree_core::{MechanismKind, PrivacyParams};
+use eval::experiments::{figure4, release_cells};
+use eval::metrics::l1_error;
+use std::hint::black_box;
+use tabulate::workload3;
+
+fn bench_figure4(c: &mut Criterion) {
+    let ctx = bench_context();
+    let truth = &ctx.sdl_w3.truth;
+    let spec = workload3();
+
+    let mut group = c.benchmark_group("figure4");
+    group.bench_function("budget_split_and_release", |b| {
+        let total = PrivacyParams::approximate(0.1, 16.0, 0.05);
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let per_cell = ReleaseCost::per_cell_for_total(&spec, &total, NeighborKind::Weak);
+            let published =
+                release_cells(truth, MechanismKind::SmoothLaplace, &per_cell, seed).unwrap();
+            black_box(l1_error(truth, &published))
+        })
+    });
+
+    group.sample_size(10);
+    group.bench_function("full_experiment_small", |b| {
+        let trials = bench_trials();
+        b.iter(|| black_box(figure4::run(&ctx, &trials)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figure4);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Mechanism microbenchmarks: per-release cost of each mechanism, the
+//! noise samplers, and the SDL/graph-DP baselines.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eree_core::mechanisms::{
+    LogLaplaceMechanism, SmoothGammaMechanism, SmoothLaplaceMechanism,
+};
+use eree_core::{CellQuery, CountMechanism};
+use noise::{ContinuousDistribution, GammaPoly, Laplace, LogLaplace};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_samplers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("samplers");
+    let mut rng = StdRng::seed_from_u64(1);
+
+    let laplace = Laplace::new(1.0).unwrap();
+    group.bench_function("laplace", |b| b.iter(|| black_box(laplace.sample(&mut rng))));
+
+    let gamma_poly = GammaPoly::standard();
+    group.bench_function("gamma_poly_rejection", |b| {
+        b.iter(|| black_box(gamma_poly.sample(&mut rng)))
+    });
+
+    let log_laplace = LogLaplace::new(100.0, 0.3).unwrap();
+    group.bench_function("log_laplace", |b| {
+        b.iter(|| black_box(log_laplace.sample(&mut rng)))
+    });
+    group.finish();
+}
+
+fn bench_mechanism_release(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mechanism_release");
+    let q = CellQuery {
+        count: 1234,
+        max_establishment: 400,
+    };
+    let mut rng = StdRng::seed_from_u64(2);
+
+    let ll = LogLaplaceMechanism::new(0.1, 2.0);
+    group.bench_function("log_laplace", |b| b.iter(|| black_box(ll.release(&q, &mut rng))));
+
+    let llc = LogLaplaceMechanism::new(0.1, 2.0).with_bias_correction();
+    group.bench_function("log_laplace_bias_corrected", |b| {
+        b.iter(|| black_box(llc.release(&q, &mut rng)))
+    });
+
+    let sg = SmoothGammaMechanism::new(0.1, 2.0).unwrap();
+    group.bench_function("smooth_gamma", |b| b.iter(|| black_box(sg.release(&q, &mut rng))));
+
+    let sl = SmoothLaplaceMechanism::new(0.1, 2.0, 0.05).unwrap();
+    group.bench_function("smooth_laplace", |b| {
+        b.iter(|| black_box(sl.release(&q, &mut rng)))
+    });
+    group.finish();
+}
+
+fn bench_density_evaluation(c: &mut Criterion) {
+    // The privacy-verification test suite scans densities; keep those fast.
+    let mut group = c.benchmark_group("density_eval");
+    let q = CellQuery {
+        count: 1234,
+        max_establishment: 400,
+    };
+    let sg = SmoothGammaMechanism::new(0.1, 2.0).unwrap();
+    group.bench_function("smooth_gamma_pdf_scan_1k", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..1000 {
+                acc += sg.output_pdf(&q, 1000.0 + i as f64);
+            }
+            black_box(acc)
+        })
+    });
+    let ll = LogLaplaceMechanism::new(0.1, 2.0);
+    group.bench_function("log_laplace_pdf_scan_1k", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..1000 {
+                acc += ll.output_pdf(&q, 1000.0 + i as f64);
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_samplers,
+    bench_mechanism_release,
+    bench_density_evaluation
+);
+criterion_main!(benches);

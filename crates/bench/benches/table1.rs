@@ -1,0 +1,23 @@
+//! Benchmark for Table 1: the requirement-satisfaction matrix rendering
+//! and its numeric verification (Bayes-factor density scans).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eval::experiments::table1;
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    group.bench_function("matrix_render", |b| b.iter(|| black_box(table1::run())));
+    group.sample_size(10);
+    group.bench_function("numeric_verification", |b| {
+        b.iter(|| {
+            let results = table1::verify();
+            assert!(results.iter().all(|(_, ok)| *ok));
+            black_box(results)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

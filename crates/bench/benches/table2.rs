@@ -1,0 +1,41 @@
+//! Benchmark for Table 2: the minimum-ε computation and the validity
+//! frontier scan across the (α, δ) grid.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eree_core::definitions::{min_epsilon_smooth_gamma, min_epsilon_smooth_laplace};
+use eree_core::mechanisms::SmoothLaplaceMechanism;
+use eval::experiments::table2;
+use std::hint::black_box;
+
+fn bench_table2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2");
+    group.bench_function("regenerate", |b| b.iter(|| black_box(table2::run())));
+    group.bench_function("min_epsilon_grid", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for alpha in [0.01, 0.05, 0.1, 0.15, 0.2] {
+                for delta in [0.05, 1e-3, 5e-4, 1e-6] {
+                    acc += min_epsilon_smooth_laplace(alpha, delta);
+                }
+                acc += min_epsilon_smooth_gamma(alpha);
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("validity_frontier_scan", |b| {
+        b.iter(|| {
+            let mut valid = 0usize;
+            for i in 1..100 {
+                let eps = i as f64 * 0.05;
+                if SmoothLaplaceMechanism::new(0.1, eps, 5e-4).is_some() {
+                    valid += 1;
+                }
+            }
+            black_box(valid)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Workspace member hosting the Criterion benchmark suite; see `benches/`.
+//!
+//! One bench target per paper exhibit (`figure1`..`figure5`, `table1`,
+//! `table2`) plus mechanism microbenches and design-choice ablations.
+//! Shared fixtures live here.
+
+use eval::runner::{EvalScale, ExperimentContext, TrialSpec};
+
+/// Small-scale context shared by the figure benches (benchmarks measure
+/// per-iteration cost of the experiment inner loops, not paper-scale wall
+/// time).
+pub fn bench_context() -> ExperimentContext {
+    ExperimentContext::with_seed(EvalScale::Small, 42)
+}
+
+/// Two-trial spec keeping bench iterations fast.
+pub fn bench_trials() -> TrialSpec {
+    TrialSpec {
+        trials: 2,
+        base_seed: 7,
+    }
+}

@@ -1,0 +1,316 @@
+//! Composition and budget accounting (Sec 7.3 of the paper).
+//!
+//! * **Sequential composition** (Thm 7.3): releasing (α,ε₁)- and
+//!   (α,ε₂)-private outputs on the same data yields (α, ε₁+ε₂); δ values
+//!   also add.
+//! * **Parallel composition over establishments** (Thm 7.4): releases over
+//!   record sets belonging to *distinct establishments* compose in
+//!   parallel — total loss is the max, not the sum. Both strong and weak
+//!   variants enjoy this. A workplace-only marginal partitions
+//!   establishments across its cells, so the whole marginal costs ε.
+//! * **Parallel composition over workers** (Thm 7.5): record sets that
+//!   split workers *of the same establishments* (e.g. males vs females)
+//!   compose in parallel under **strong** ER-EE privacy only. Under weak
+//!   privacy, releasing a marginal with worker attributes costs
+//!   `d·ε` where `d` is the worker-attribute domain size (Sec 8).
+//!
+//! [`Ledger`] enforces a total budget across a sequence of releases,
+//! mirroring how a statistical agency would track cumulative privacy loss
+//! across publications.
+
+use crate::definitions::PrivacyParams;
+use crate::neighbors::NeighborKind;
+use serde::{Deserialize, Serialize};
+use tabulate::MarginalSpec;
+
+/// The privacy-loss cost of releasing one marginal.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReleaseCost {
+    /// Total ε charged.
+    pub epsilon: f64,
+    /// Total δ charged.
+    pub delta: f64,
+    /// The per-cell ε the mechanism must be instantiated with.
+    pub per_cell_epsilon: f64,
+    /// The sequential-composition multiplier that was applied
+    /// (1 when parallel composition covers the whole marginal).
+    pub multiplier: usize,
+}
+
+impl ReleaseCost {
+    /// Cost of releasing every cell of `spec` with a per-cell
+    /// `(α, ε, δ)`-mechanism under the given neighbor regime.
+    ///
+    /// * Workplace-only marginals: parallel composition over
+    ///   establishments (Thm 7.4) → multiplier 1 under either regime.
+    /// * Marginals with worker attributes:
+    ///   * strong regime: cells with different worker values partition the
+    ///     workers of each establishment → Thm 7.5 applies → multiplier 1;
+    ///   * weak regime: Thm 7.5 fails; sequential composition over the
+    ///     worker-attribute domain → multiplier `d`.
+    pub fn for_marginal(
+        spec: &MarginalSpec,
+        per_cell: &PrivacyParams,
+        regime: NeighborKind,
+    ) -> Self {
+        let multiplier = match (spec.has_worker_attrs(), regime) {
+            (false, _) => 1,
+            (true, NeighborKind::Strong) => 1,
+            (true, NeighborKind::Weak) => spec.worker_domain_size(),
+        };
+        Self {
+            epsilon: per_cell.epsilon * multiplier as f64,
+            delta: per_cell.delta * multiplier as f64,
+            per_cell_epsilon: per_cell.epsilon,
+            multiplier,
+        }
+    }
+
+    /// Invert the accounting: per-cell parameters such that the *total*
+    /// marginal release costs `total`, under the given regime.
+    pub fn per_cell_for_total(
+        spec: &MarginalSpec,
+        total: &PrivacyParams,
+        regime: NeighborKind,
+    ) -> PrivacyParams {
+        let multiplier = match (spec.has_worker_attrs(), regime) {
+            (false, _) | (true, NeighborKind::Strong) => 1,
+            (true, NeighborKind::Weak) => spec.worker_domain_size(),
+        };
+        let mut p = *total;
+        p.epsilon = total.epsilon / multiplier as f64;
+        p.delta = total.delta / multiplier as f64;
+        p
+    }
+}
+
+/// Errors from the budget ledger.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LedgerError {
+    /// The charge would exceed the remaining ε budget.
+    EpsilonExhausted {
+        /// Requested ε.
+        requested: f64,
+        /// Remaining ε.
+        remaining: f64,
+    },
+    /// The charge would exceed the remaining δ budget.
+    DeltaExhausted {
+        /// Requested δ.
+        requested: f64,
+        /// Remaining δ.
+        remaining: f64,
+    },
+    /// Charges must use the ledger's α (the guarantee is per-α).
+    AlphaMismatch {
+        /// The ledger's α.
+        ledger: f64,
+        /// The charge's α.
+        charge: f64,
+    },
+}
+
+impl std::fmt::Display for LedgerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LedgerError::EpsilonExhausted {
+                requested,
+                remaining,
+            } => write!(
+                f,
+                "epsilon budget exhausted: requested {requested}, remaining {remaining}"
+            ),
+            LedgerError::DeltaExhausted {
+                requested,
+                remaining,
+            } => write!(
+                f,
+                "delta budget exhausted: requested {requested}, remaining {remaining}"
+            ),
+            LedgerError::AlphaMismatch { ledger, charge } => {
+                write!(f, "alpha mismatch: ledger {ledger}, charge {charge}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LedgerError {}
+
+/// One recorded charge.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LedgerEntry {
+    /// Free-form description of the release.
+    pub description: String,
+    /// ε charged.
+    pub epsilon: f64,
+    /// δ charged.
+    pub delta: f64,
+}
+
+/// A cumulative privacy-loss ledger with a hard total budget.
+///
+/// ```
+/// use eree_core::{Ledger, PrivacyParams, ReleaseCost};
+/// use eree_core::neighbors::NeighborKind;
+/// use tabulate::workload1;
+///
+/// let mut ledger = Ledger::new(PrivacyParams::pure(0.1, 4.0));
+/// let per_cell = PrivacyParams::pure(0.1, 2.0);
+/// let cost = ReleaseCost::for_marginal(&workload1(), &per_cell, NeighborKind::Strong);
+/// // A workplace-only marginal parallel-composes: one epsilon total.
+/// assert_eq!(cost.multiplier, 1);
+/// ledger.charge("Q1 tabulation", &per_cell, &cost).unwrap();
+/// ledger.charge("Q2 tabulation", &per_cell, &cost).unwrap();
+/// // The budget is now exhausted; further releases are refused.
+/// assert!(ledger.charge("Q3 tabulation", &per_cell, &cost).is_err());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Ledger {
+    budget: PrivacyParams,
+    entries: Vec<LedgerEntry>,
+    spent_epsilon: f64,
+    spent_delta: f64,
+}
+
+impl Ledger {
+    /// Open a ledger with a total `(α, ε, δ)` budget.
+    pub fn new(budget: PrivacyParams) -> Self {
+        Self {
+            budget,
+            entries: Vec::new(),
+            spent_epsilon: 0.0,
+            spent_delta: 0.0,
+        }
+    }
+
+    /// The total budget.
+    pub fn budget(&self) -> &PrivacyParams {
+        &self.budget
+    }
+
+    /// Remaining ε.
+    pub fn remaining_epsilon(&self) -> f64 {
+        (self.budget.epsilon - self.spent_epsilon).max(0.0)
+    }
+
+    /// Remaining δ.
+    pub fn remaining_delta(&self) -> f64 {
+        (self.budget.delta - self.spent_delta).max(0.0)
+    }
+
+    /// Record a charge with α-consistency and budget checks (sequential
+    /// composition: charges add).
+    pub fn charge(
+        &mut self,
+        description: impl Into<String>,
+        params: &PrivacyParams,
+        cost: &ReleaseCost,
+    ) -> Result<(), LedgerError> {
+        if (params.alpha - self.budget.alpha).abs() > 1e-12 {
+            return Err(LedgerError::AlphaMismatch {
+                ledger: self.budget.alpha,
+                charge: params.alpha,
+            });
+        }
+        let tol = 1e-9;
+        if cost.epsilon > self.remaining_epsilon() + tol {
+            return Err(LedgerError::EpsilonExhausted {
+                requested: cost.epsilon,
+                remaining: self.remaining_epsilon(),
+            });
+        }
+        if cost.delta > self.remaining_delta() + tol {
+            return Err(LedgerError::DeltaExhausted {
+                requested: cost.delta,
+                remaining: self.remaining_delta(),
+            });
+        }
+        self.spent_epsilon += cost.epsilon;
+        self.spent_delta += cost.delta;
+        self.entries.push(LedgerEntry {
+            description: description.into(),
+            epsilon: cost.epsilon,
+            delta: cost.delta,
+        });
+        Ok(())
+    }
+
+    /// All recorded charges.
+    pub fn entries(&self) -> &[LedgerEntry] {
+        &self.entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tabulate::{workload1, workload3};
+
+    #[test]
+    fn workplace_only_marginal_costs_one_epsilon() {
+        let per_cell = PrivacyParams::pure(0.1, 2.0);
+        for regime in [NeighborKind::Strong, NeighborKind::Weak] {
+            let cost = ReleaseCost::for_marginal(&workload1(), &per_cell, regime);
+            assert_eq!(cost.multiplier, 1);
+            assert!((cost.epsilon - 2.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn weak_worker_marginal_multiplies_by_domain() {
+        let per_cell = PrivacyParams::approximate(0.1, 0.5, 0.001);
+        let cost = ReleaseCost::for_marginal(&workload3(), &per_cell, NeighborKind::Weak);
+        assert_eq!(cost.multiplier, 8, "sex x education domain");
+        assert!((cost.epsilon - 4.0).abs() < 1e-12);
+        assert!((cost.delta - 0.008).abs() < 1e-12);
+        // Strong regime gets Thm 7.5 parallel composition.
+        let strong = ReleaseCost::for_marginal(&workload3(), &per_cell, NeighborKind::Strong);
+        assert_eq!(strong.multiplier, 1);
+    }
+
+    #[test]
+    fn per_cell_for_total_inverts_cost() {
+        let total = PrivacyParams::approximate(0.1, 4.0, 0.04);
+        let per_cell = ReleaseCost::per_cell_for_total(&workload3(), &total, NeighborKind::Weak);
+        assert!((per_cell.epsilon - 0.5).abs() < 1e-12);
+        assert!((per_cell.delta - 0.005).abs() < 1e-12);
+        let roundtrip = ReleaseCost::for_marginal(&workload3(), &per_cell, NeighborKind::Weak);
+        assert!((roundtrip.epsilon - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ledger_sequential_composition() {
+        let mut ledger = Ledger::new(PrivacyParams::pure(0.1, 4.0));
+        let params = PrivacyParams::pure(0.1, 1.5);
+        let cost = ReleaseCost::for_marginal(&workload1(), &params, NeighborKind::Strong);
+        ledger.charge("q1 release", &params, &cost).unwrap();
+        ledger.charge("q2 release", &params, &cost).unwrap();
+        assert!((ledger.remaining_epsilon() - 1.0).abs() < 1e-12);
+        // Third charge exceeds the budget.
+        let err = ledger.charge("q3 release", &params, &cost).unwrap_err();
+        assert!(matches!(err, LedgerError::EpsilonExhausted { .. }));
+        assert_eq!(ledger.entries().len(), 2);
+    }
+
+    #[test]
+    fn ledger_rejects_alpha_mismatch() {
+        let mut ledger = Ledger::new(PrivacyParams::pure(0.1, 4.0));
+        let params = PrivacyParams::pure(0.2, 1.0);
+        let cost = ReleaseCost::for_marginal(&workload1(), &params, NeighborKind::Strong);
+        assert!(matches!(
+            ledger.charge("bad alpha", &params, &cost),
+            Err(LedgerError::AlphaMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn ledger_tracks_delta() {
+        let mut ledger = Ledger::new(PrivacyParams::approximate(0.1, 100.0, 0.01));
+        let params = PrivacyParams::approximate(0.1, 0.5, 0.004);
+        let cost = ReleaseCost::for_marginal(&workload1(), &params, NeighborKind::Weak);
+        ledger.charge("a", &params, &cost).unwrap();
+        ledger.charge("b", &params, &cost).unwrap();
+        let err = ledger.charge("c", &params, &cost).unwrap_err();
+        assert!(matches!(err, LedgerError::DeltaExhausted { .. }));
+    }
+}

@@ -1,0 +1,344 @@
+//! Privacy parameter types, validity constraints, and the paper's Tables
+//! 1 and 2.
+
+use crate::smooth::AdmissibilityBudget;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of an (α, ε[, δ])-ER-EE privacy guarantee.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PrivacyParams {
+    /// Multiplicative establishment-size protection factor `α > 0`.
+    /// Keeping ε fixed, larger α means *less* privacy loss (sizes within a
+    /// wider band are indistinguishable).
+    pub alpha: f64,
+    /// Privacy-loss budget `ε > 0`.
+    pub epsilon: f64,
+    /// Failure probability; `0` for pure (α,ε)-ER-EE privacy.
+    pub delta: f64,
+}
+
+impl PrivacyParams {
+    /// Pure (α, ε) parameters (δ = 0).
+    ///
+    /// # Panics
+    /// Panics unless `α > 0` and `ε > 0` and both are finite.
+    pub fn pure(alpha: f64, epsilon: f64) -> Self {
+        assert!(
+            alpha.is_finite() && alpha > 0.0,
+            "alpha must be positive, got {alpha}"
+        );
+        assert!(
+            epsilon.is_finite() && epsilon > 0.0,
+            "epsilon must be positive, got {epsilon}"
+        );
+        Self {
+            alpha,
+            epsilon,
+            delta: 0.0,
+        }
+    }
+
+    /// Approximate (α, ε, δ) parameters.
+    ///
+    /// # Panics
+    /// Panics unless `α, ε > 0` and `δ ∈ (0, 1)`.
+    pub fn approximate(alpha: f64, epsilon: f64, delta: f64) -> Self {
+        let mut p = Self::pure(alpha, epsilon);
+        assert!(
+            delta > 0.0 && delta < 1.0,
+            "delta must be in (0,1), got {delta}"
+        );
+        p.delta = delta;
+        p
+    }
+
+    /// δ values of order `1/n` or larger are dangerous: a mechanism that
+    /// releases a δ-fraction of records exactly satisfies the definition
+    /// (Sec 9). Returns `true` when `δ < 1/n`.
+    pub fn delta_safe_for(&self, n_records: usize) -> bool {
+        self.delta < 1.0 / n_records.max(1) as f64
+    }
+}
+
+/// The privacy methods compared in Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PrivacyMethod {
+    /// Input noise infusion — the deployed SDL (Sec 5).
+    InputNoiseInfusion,
+    /// Differential privacy over individuals (edge-DP on the bipartite
+    /// graph; Sec 6).
+    DpIndividuals,
+    /// Differential privacy over establishments (node-DP; Sec 6).
+    DpEstablishments,
+    /// (α, ε)-ER-EE privacy (Def 7.2).
+    EreePrivacy,
+    /// Weak (α, ε)-ER-EE privacy (Def 7.4).
+    WeakEreePrivacy,
+}
+
+impl PrivacyMethod {
+    /// All rows of Table 1, in the paper's order.
+    pub const ALL: [PrivacyMethod; 5] = [
+        PrivacyMethod::InputNoiseInfusion,
+        PrivacyMethod::DpIndividuals,
+        PrivacyMethod::DpEstablishments,
+        PrivacyMethod::EreePrivacy,
+        PrivacyMethod::WeakEreePrivacy,
+    ];
+
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PrivacyMethod::InputNoiseInfusion => "Input Noise Infusion (Sec 5)",
+            PrivacyMethod::DpIndividuals => "Differential Privacy (individuals, Sec 6)",
+            PrivacyMethod::DpEstablishments => "Differential Privacy (establishments, Sec 6)",
+            PrivacyMethod::EreePrivacy => "ER-EE-privacy (Sec 7)",
+            PrivacyMethod::WeakEreePrivacy => "Weak ER-EE privacy (Sec 7)",
+        }
+    }
+}
+
+/// The three statutory requirements of Section 4 (columns of Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Requirement {
+    /// Def 4.1: no re-identification of individuals.
+    Individuals,
+    /// Def 4.2: no precise inference of establishment size.
+    EmployerSize,
+    /// Def 4.3: no precise inference of establishment shape.
+    EmployerShape,
+}
+
+impl Requirement {
+    /// All columns of Table 1.
+    pub const ALL: [Requirement; 3] = [
+        Requirement::Individuals,
+        Requirement::EmployerSize,
+        Requirement::EmployerShape,
+    ];
+
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Requirement::Individuals => "Individuals",
+            Requirement::EmployerSize => "Emp. Size",
+            Requirement::EmployerShape => "Emp. Shape",
+        }
+    }
+}
+
+/// Whether a method satisfies a requirement (the entries of Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Satisfaction {
+    /// Requirement provably satisfied.
+    Yes,
+    /// Requirement not satisfied.
+    No,
+    /// Satisfied only against weak adversaries (the starred entry).
+    WeakAdversariesOnly,
+}
+
+impl Satisfaction {
+    /// Short cell text matching the paper.
+    pub fn cell(&self) -> &'static str {
+        match self {
+            Satisfaction::Yes => "Yes",
+            Satisfaction::No => "No",
+            Satisfaction::WeakAdversariesOnly => "Yes*",
+        }
+    }
+}
+
+/// Table 1 of the paper: which privacy definitions satisfy which statutory
+/// requirements.
+///
+/// The entries are the paper's analytical results; the test-suite
+/// *validates* the load-bearing ones numerically (edge-DP failing employer
+/// size via [`graphdp`-style band analysis]; ER-EE mechanisms passing all
+/// three via density-ratio checks in [`crate::pufferfish`]).
+pub fn requirement_matrix() -> Vec<(PrivacyMethod, [(Requirement, Satisfaction); 3])> {
+    use PrivacyMethod::*;
+    use Requirement::*;
+    use Satisfaction::*;
+    vec![
+        (
+            InputNoiseInfusion,
+            [(Individuals, No), (EmployerSize, No), (EmployerShape, No)],
+        ),
+        (
+            DpIndividuals,
+            [(Individuals, Yes), (EmployerSize, No), (EmployerShape, No)],
+        ),
+        (
+            DpEstablishments,
+            [(Individuals, Yes), (EmployerSize, Yes), (EmployerShape, Yes)],
+        ),
+        (
+            EreePrivacy,
+            [(Individuals, Yes), (EmployerSize, Yes), (EmployerShape, Yes)],
+        ),
+        (
+            WeakEreePrivacy,
+            [
+                (Individuals, Yes),
+                (EmployerSize, WeakAdversariesOnly),
+                (EmployerShape, Yes),
+            ],
+        ),
+    ]
+}
+
+/// Table 2: the minimum ε for which the Smooth Laplace mechanism
+/// (Algorithm 3) is valid at a given (α, δ) — the solution of
+/// `α + 1 = e^{ε/(2·ln(1/δ))}`, i.e. `ε = 2·ln(1/δ)·ln(1+α)`.
+///
+/// See DESIGN.md §6: this constraint-derived formula matches the paper's
+/// δ = 5×10⁻⁴ column; the published δ = .05 column appears to use a
+/// different convention and is recorded side-by-side in EXPERIMENTS.md.
+pub fn min_epsilon_smooth_laplace(alpha: f64, delta: f64) -> f64 {
+    assert!(alpha > 0.0, "alpha must be positive");
+    assert!(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+    2.0 * (1.0 / delta).ln() * (1.0 + alpha).ln()
+}
+
+/// The minimum ε for which the Smooth Gamma mechanism (Algorithm 2) is
+/// valid at a given α: `ε > 5·ln(1+α)`.
+pub fn min_epsilon_smooth_gamma(alpha: f64) -> f64 {
+    assert!(alpha > 0.0, "alpha must be positive");
+    5.0 * (1.0 + alpha).ln()
+}
+
+/// Validity of each mechanism at given parameters (used by experiment
+/// runners to skip disallowed (α,ε) combinations, mirroring the gaps in
+/// the paper's figures).
+pub fn smooth_gamma_valid(alpha: f64, epsilon: f64) -> bool {
+    AdmissibilityBudget::gamma_poly(alpha, epsilon).is_some()
+}
+
+/// Whether Smooth Laplace is valid at `(α, ε, δ)`.
+pub fn smooth_laplace_valid(alpha: f64, epsilon: f64, delta: f64) -> bool {
+    AdmissibilityBudget::laplace(alpha, epsilon, delta).is_some()
+}
+
+/// Whether the Log-Laplace expectation is finite (λ = 2·ln(1+α)/ε < 1,
+/// Lemma 8.2); the paper omits Log-Laplace results when unbounded.
+pub fn log_laplace_bounded(alpha: f64, epsilon: f64) -> bool {
+    2.0 * (1.0 + alpha).ln() / epsilon < 1.0
+}
+
+/// Section 9, Equation 13: under (α, ε, δ)-ER-EE privacy the failure mass
+/// grows with database distance —
+/// `Pr[M(D) ∈ S] ≤ e^{εd}·Pr[M(D′) ∈ S] + δ·(e^{εd} − 1)/(e^ε − 1)`
+/// for `d = d(D, D′)` (the group-privacy form of the δ term; the paper
+/// states the order `Ω(δ·e^{ε(d−1)})`).
+///
+/// Once the effective δ reaches 1 the bound is vacuous: an adversary may
+/// rule out sufficiently distant databases **with certainty** — the
+/// qualitative drawback of approximate privacy the paper highlights
+/// ("an adversary must always have some amount of uncertainty … no matter
+/// how far apart" only holds when δ = 0).
+pub fn approx_delta_at_distance(epsilon: f64, delta: f64, distance: u32) -> f64 {
+    assert!(epsilon > 0.0, "epsilon must be positive");
+    assert!((0.0..1.0).contains(&delta), "delta must be in [0,1)");
+    if distance == 0 {
+        return 0.0;
+    }
+    // Sum_{i=0}^{d-1} e^{eps*i} * delta = delta*(e^{eps*d}-1)/(e^eps - 1).
+    let d = distance as f64;
+    (delta * ((epsilon * d).exp() - 1.0) / (epsilon.exp() - 1.0)).min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn params_validation() {
+        let p = PrivacyParams::pure(0.1, 2.0);
+        assert_eq!(p.delta, 0.0);
+        let p = PrivacyParams::approximate(0.1, 2.0, 0.05);
+        assert_eq!(p.delta, 0.05);
+        assert!(p.delta_safe_for(10));
+        assert!(!p.delta_safe_for(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be positive")]
+    fn rejects_zero_alpha() {
+        PrivacyParams::pure(0.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "delta must be in (0,1)")]
+    fn rejects_bad_delta() {
+        PrivacyParams::approximate(0.1, 1.0, 1.5);
+    }
+
+    #[test]
+    fn table1_matches_paper() {
+        let matrix = requirement_matrix();
+        assert_eq!(matrix.len(), 5);
+        // Input noise infusion fails everything.
+        assert!(matrix[0].1.iter().all(|(_, s)| *s == Satisfaction::No));
+        // Edge-DP protects individuals only.
+        assert_eq!(matrix[1].1[0].1, Satisfaction::Yes);
+        assert_eq!(matrix[1].1[1].1, Satisfaction::No);
+        // ER-EE privacy satisfies all three.
+        assert!(matrix[3].1.iter().all(|(_, s)| *s == Satisfaction::Yes));
+        // Weak ER-EE: size only under weak adversaries.
+        assert_eq!(matrix[4].1[1].1, Satisfaction::WeakAdversariesOnly);
+        assert_eq!(matrix[4].1[1].1.cell(), "Yes*");
+    }
+
+    #[test]
+    fn table2_epsilon_values() {
+        // delta = 5e-4 column of Table 2.
+        assert!((min_epsilon_smooth_laplace(0.01, 5e-4) - 0.151).abs() < 5e-3);
+        assert!((min_epsilon_smooth_laplace(0.10, 5e-4) - 1.449).abs() < 5e-3);
+        // Monotone in alpha and in 1/delta.
+        assert!(
+            min_epsilon_smooth_laplace(0.2, 5e-4) > min_epsilon_smooth_laplace(0.1, 5e-4)
+        );
+        assert!(min_epsilon_smooth_laplace(0.1, 1e-6) > min_epsilon_smooth_laplace(0.1, 5e-4));
+    }
+
+    #[test]
+    fn approx_delta_grows_with_distance_and_saturates() {
+        let (eps, delta) = (1.0f64, 1e-3);
+        assert_eq!(approx_delta_at_distance(eps, delta, 0), 0.0);
+        assert!((approx_delta_at_distance(eps, delta, 1) - delta).abs() < 1e-15);
+        // Strictly increasing in distance until the clamp at 1 engages.
+        let mut prev = 0.0;
+        for d in 1..10 {
+            let cur = approx_delta_at_distance(eps, delta, d);
+            assert!(
+                cur > prev || (cur == 1.0 && prev == 1.0),
+                "d={d}: {cur} <= {prev}"
+            );
+            prev = cur;
+        }
+        // Matches the paper's Omega(delta * e^{eps(d-1)}) order (checked
+        // below the saturation point).
+        let d5 = approx_delta_at_distance(eps, delta, 5);
+        assert!(d5 >= delta * (eps * 4.0).exp());
+        // Far enough: saturates at 1 (the adversary can rule D' out).
+        assert_eq!(approx_delta_at_distance(eps, delta, 100), 1.0);
+        // Pure (delta = 0) never saturates.
+        assert_eq!(approx_delta_at_distance(eps, 0.0, 100), 0.0);
+    }
+
+    #[test]
+    fn validity_predicates_agree_with_budgets() {
+        assert!(smooth_gamma_valid(0.1, 2.0));
+        assert!(!smooth_gamma_valid(0.3, 1.0));
+        assert!(smooth_laplace_valid(0.1, 2.0, 0.05));
+        assert!(!smooth_laplace_valid(0.2, 0.5, 5e-4));
+        assert!(log_laplace_bounded(0.1, 1.0));
+        assert!(!log_laplace_bounded(0.2, 0.25));
+        // Gamma validity threshold matches min_epsilon.
+        let alpha = 0.15;
+        let e = min_epsilon_smooth_gamma(alpha);
+        assert!(!smooth_gamma_valid(alpha, e * 0.999));
+        assert!(smooth_gamma_valid(alpha, e * 1.001));
+    }
+}

@@ -1,0 +1,232 @@
+//! The paper's release mechanisms (Algorithms 1–3) behind a common trait.
+//!
+//! Every mechanism answers a single counting query `q_v` — one cell of a
+//! marginal — given the cell's true count and its largest single-
+//! establishment contribution `x_v`. Marginals are released cell-by-cell
+//! with the composition rules of Section 7.3 (see [`crate::accountant`]).
+//!
+//! Each implementation exposes the *analytic density and CDF of its output
+//! distribution*, enabling the test-suite to verify the privacy guarantee
+//! numerically: for strong α-neighbor inputs the output densities must stay
+//! within a factor `e^ε` pointwise (plus δ in interval form for Smooth
+//! Laplace).
+
+mod log_laplace;
+mod smooth_gamma;
+mod smooth_laplace;
+
+pub use log_laplace::LogLaplaceMechanism;
+pub use smooth_gamma::SmoothGammaMechanism;
+pub use smooth_laplace::SmoothLaplaceMechanism;
+
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+/// One counting query: a marginal cell's true statistics.
+///
+/// Constructed from [`tabulate::CellStats`] via [`CellQuery::from_stats`],
+/// or directly in tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellQuery {
+    /// The true count `q_v(D)`.
+    pub count: u64,
+    /// `x_v`: the largest contribution of a single establishment to this
+    /// cell (drives smooth sensitivity; Lemma 8.5).
+    pub max_establishment: u32,
+}
+
+impl CellQuery {
+    /// Build from tabulation output.
+    pub fn from_stats(stats: &tabulate::CellStats) -> Self {
+        Self {
+            count: stats.count,
+            max_establishment: stats.max_establishment,
+        }
+    }
+}
+
+/// A single-count release mechanism.
+pub trait CountMechanism {
+    /// Human-readable name (used in experiment reports).
+    fn name(&self) -> &'static str;
+
+    /// Release a noisy answer for the cell.
+    fn release(&self, query: &CellQuery, rng: &mut dyn RngCore) -> f64;
+
+    /// Analytic pdf of the output distribution at `output`, given the cell.
+    fn output_pdf(&self, query: &CellQuery, output: f64) -> f64;
+
+    /// Analytic CDF of the output distribution at `output`.
+    fn output_cdf(&self, query: &CellQuery, output: f64) -> f64;
+
+    /// Expected absolute error `E|ñ − n|`, when finite.
+    fn expected_l1(&self, query: &CellQuery) -> Option<f64>;
+
+    /// Whether the mechanism is unbiased (`E[ñ] = n`).
+    fn unbiased(&self) -> bool;
+}
+
+/// Which mechanism to use — the experiment grid iterates over these.
+///
+/// ```
+/// use eree_core::{CellQuery, MechanismKind, PrivacyParams};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let params = PrivacyParams::pure(0.1, 2.0);
+/// let mechanism = MechanismKind::SmoothGamma.build(&params).expect("valid");
+/// let cell = CellQuery { count: 1200, max_establishment: 300 };
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let noisy = mechanism.release(&cell, &mut rng);
+/// // Unbiased, with expected |error| = (sqrt(2)/2) * scale:
+/// assert!((noisy - 1200.0).abs() < 2_000.0);
+/// assert!(mechanism.unbiased());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MechanismKind {
+    /// Algorithm 1 (δ = 0, biased).
+    LogLaplace,
+    /// Algorithm 2 (δ = 0, unbiased).
+    SmoothGamma,
+    /// Algorithm 3 (δ > 0, unbiased).
+    SmoothLaplace,
+}
+
+impl MechanismKind {
+    /// The three mechanisms in the paper's presentation order.
+    pub const ALL: [MechanismKind; 3] = [
+        MechanismKind::LogLaplace,
+        MechanismKind::SmoothGamma,
+        MechanismKind::SmoothLaplace,
+    ];
+
+    /// Display label matching the figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            MechanismKind::LogLaplace => "Log-Laplace",
+            MechanismKind::SmoothGamma => "Smooth Gamma",
+            MechanismKind::SmoothLaplace => "Smooth Laplace",
+        }
+    }
+
+    /// Instantiate at `(α, ε[, δ])`. Returns `None` when the parameters
+    /// violate the mechanism's validity constraint (the gaps in the
+    /// paper's figures):
+    ///
+    /// * Smooth Gamma needs `α + 1 < e^{ε/5}`;
+    /// * Smooth Laplace needs `α + 1 ≤ e^{ε/(2 ln(1/δ))}` (δ from
+    ///   `params.delta`, which must be positive);
+    /// * Log-Laplace is always defined, but its *expectation* diverges when
+    ///   `λ = 2 ln(1+α)/ε ≥ 1`; instantiation succeeds and the divergence
+    ///   is reported through [`CountMechanism::expected_l1`].
+    pub fn build(
+        &self,
+        params: &crate::definitions::PrivacyParams,
+    ) -> Option<Box<dyn CountMechanism>> {
+        match self {
+            MechanismKind::LogLaplace => Some(Box::new(LogLaplaceMechanism::new(
+                params.alpha,
+                params.epsilon,
+            ))),
+            MechanismKind::SmoothGamma => SmoothGammaMechanism::new(params.alpha, params.epsilon)
+                .map(|m| Box::new(m) as Box<dyn CountMechanism>),
+            MechanismKind::SmoothLaplace => {
+                if params.delta <= 0.0 {
+                    return None;
+                }
+                SmoothLaplaceMechanism::new(params.alpha, params.epsilon, params.delta)
+                    .map(|m| Box::new(m) as Box<dyn CountMechanism>)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use super::*;
+
+    /// Pointwise ε-indistinguishability check over a grid of outputs:
+    /// `pdf₁(ω) ≤ e^ε · pdf₂(ω)` and vice versa. Valid for δ = 0
+    /// mechanisms (Log-Laplace, Smooth Gamma).
+    pub fn assert_pointwise_indistinguishable(
+        mech: &dyn CountMechanism,
+        q1: &CellQuery,
+        q2: &CellQuery,
+        epsilon: f64,
+    ) {
+        let e_eps = epsilon.exp() * (1.0 + 1e-9);
+        let lo = -3.0 * (q1.count.max(q2.count) as f64 + 10.0);
+        let hi = 4.0 * (q1.count.max(q2.count) as f64 + 10.0);
+        let n = 4000;
+        for i in 0..=n {
+            let omega = lo + (hi - lo) * i as f64 / n as f64;
+            let p1 = mech.output_pdf(q1, omega);
+            let p2 = mech.output_pdf(q2, omega);
+            if p1 > 1e-300 || p2 > 1e-300 {
+                assert!(
+                    p1 <= e_eps * p2 + 1e-300,
+                    "ratio violated at omega={omega}: p1={p1}, p2={p2}, e^eps={e_eps}"
+                );
+                assert!(
+                    p2 <= e_eps * p1 + 1e-300,
+                    "reverse ratio violated at omega={omega}: p1={p1}, p2={p2}"
+                );
+            }
+        }
+    }
+
+    /// Interval-form (ε, δ) check: for a family of intervals `S`,
+    /// `P₁(S) ≤ e^ε·P₂(S) + δ` and vice versa. Used for Smooth Laplace.
+    pub fn assert_interval_indistinguishable(
+        mech: &dyn CountMechanism,
+        q1: &CellQuery,
+        q2: &CellQuery,
+        epsilon: f64,
+        delta: f64,
+    ) {
+        let e_eps = epsilon.exp();
+        let span = 4.0 * (q1.count.max(q2.count) as f64 + 10.0);
+        let lo = -span;
+        let hi = 2.0 * span;
+        let n = 600usize;
+        let step = (hi - lo) / n as f64;
+        // All intervals [a, b) on the grid.
+        for i in 0..n {
+            for j in (i + 1)..=n {
+                let (a, b) = (lo + i as f64 * step, lo + j as f64 * step);
+                let p1 = mech.output_cdf(q1, b) - mech.output_cdf(q1, a);
+                let p2 = mech.output_cdf(q2, b) - mech.output_cdf(q2, a);
+                assert!(
+                    p1 <= e_eps * p2 + delta + 1e-9,
+                    "interval [{a},{b}): p1={p1}, p2={p2}"
+                );
+                assert!(
+                    p2 <= e_eps * p1 + delta + 1e-9,
+                    "reverse interval [{a},{b}): p1={p1}, p2={p2}"
+                );
+            }
+        }
+    }
+
+    /// Enumerate strong α-neighbor count pairs for a single-establishment
+    /// cell of size `x`: the neighbor may grow to any `y ∈ [x, max((1+α)x, x+1)]`.
+    pub fn strong_neighbor_pairs(x: u64, alpha: f64) -> Vec<(CellQuery, CellQuery)> {
+        let max_y = (((1.0 + alpha) * x as f64).floor() as u64).max(x + 1);
+        let mut pairs = Vec::new();
+        for y in [x + 1, (x + max_y) / 2, max_y] {
+            if y <= max_y && y > x {
+                pairs.push((
+                    CellQuery {
+                        count: x,
+                        max_establishment: x as u32,
+                    },
+                    CellQuery {
+                        count: y,
+                        max_establishment: y as u32,
+                    },
+                ));
+            }
+        }
+        pairs.dedup_by(|a, b| a.1 == b.1);
+        pairs
+    }
+}

@@ -1,0 +1,197 @@
+//! Algorithm 3: the Smooth Laplace mechanism — the (α, ε, δ) relaxation.
+//!
+//! Laplace noise is not admissible with δ = 0 (its dilation property
+//! fails), but Lemma 9.1 shows the unit Laplace is
+//! `(ε/2, ε/(2·ln(1/δ)))`-admissible, giving:
+//!
+//! ```text
+//! require α + 1 ≤ e^{ε/(2·ln(1/δ))}
+//! S* ← max(x_v·α, 1)            // Lemma 8.5 with b = ε/(2·ln(1/δ))
+//! ñ ← n + (S*/(ε/2))·η,  η ~ Laplace(1)
+//! ```
+//!
+//! Unbiased; expected L1 error `2·S*/ε = O(x_v·α/ε + 1/ε)` (Lemma 9.3).
+//! The error does not depend on δ — δ only constrains which (α, ε) pairs
+//! are allowed (Table 2) — which is why this mechanism dominates the other
+//! two whenever its relaxed guarantee is acceptable (Finding 5).
+
+use super::{CellQuery, CountMechanism};
+use crate::smooth::{smooth_sensitivity_count, AdmissibilityBudget};
+use noise::{ContinuousDistribution, Laplace};
+use rand::RngCore;
+
+/// Algorithm 3.
+#[derive(Debug, Clone, Copy)]
+pub struct SmoothLaplaceMechanism {
+    alpha: f64,
+    epsilon: f64,
+    delta: f64,
+    budget: AdmissibilityBudget,
+}
+
+impl SmoothLaplaceMechanism {
+    /// Create the mechanism at `(α, ε, δ)`; `None` when
+    /// `α + 1 > e^{ε/(2·ln(1/δ))}`.
+    pub fn new(alpha: f64, epsilon: f64, delta: f64) -> Option<Self> {
+        assert!(alpha.is_finite() && alpha > 0.0, "alpha must be positive");
+        assert!(
+            epsilon.is_finite() && epsilon > 0.0,
+            "epsilon must be positive"
+        );
+        assert!(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+        let budget = AdmissibilityBudget::laplace(alpha, epsilon, delta)?;
+        Some(Self {
+            alpha,
+            epsilon,
+            delta,
+            budget,
+        })
+    }
+
+    /// The failure probability δ.
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+
+    /// The total privacy-loss parameter ε.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Noise scale for a cell: `S*/(ε/2) = 2·S*/ε`.
+    pub fn noise_scale(&self, query: &CellQuery) -> f64 {
+        let s_star = smooth_sensitivity_count(query.max_establishment, self.alpha, self.budget.b)
+            .expect("budget construction guarantees e^b >= 1+alpha");
+        self.budget.noise_scale(s_star)
+    }
+
+    fn distribution(&self, query: &CellQuery) -> Laplace {
+        Laplace::new(self.noise_scale(query)).expect("positive scale by construction")
+    }
+}
+
+impl CountMechanism for SmoothLaplaceMechanism {
+    fn name(&self) -> &'static str {
+        "Smooth Laplace"
+    }
+
+    fn release(&self, query: &CellQuery, rng: &mut dyn RngCore) -> f64 {
+        query.count as f64 + self.distribution(query).sample(rng)
+    }
+
+    fn output_pdf(&self, query: &CellQuery, output: f64) -> f64 {
+        self.distribution(query).pdf(output - query.count as f64)
+    }
+
+    fn output_cdf(&self, query: &CellQuery, output: f64) -> f64 {
+        self.distribution(query).cdf(output - query.count as f64)
+    }
+
+    fn expected_l1(&self, query: &CellQuery) -> Option<f64> {
+        Some(self.noise_scale(query))
+    }
+
+    fn unbiased(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::*;
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn validity_constraint_is_table_2() {
+        use crate::definitions::min_epsilon_smooth_laplace;
+        for &(alpha, delta) in &[(0.01, 0.05), (0.1, 0.05), (0.1, 5e-4), (0.2, 5e-4)] {
+            let e_min = min_epsilon_smooth_laplace(alpha, delta);
+            assert!(SmoothLaplaceMechanism::new(alpha, e_min * 1.001, delta).is_some());
+            assert!(SmoothLaplaceMechanism::new(alpha, e_min * 0.98, delta).is_none());
+        }
+    }
+
+    #[test]
+    fn interval_indistinguishability_with_delta() {
+        // Lemma 9.2 via Theorem 8.4 (delta > 0 form), verified numerically
+        // in interval form: P1(S) <= e^eps P2(S) + delta.
+        let (alpha, delta) = (0.1, 0.05);
+        let eps = crate::definitions::min_epsilon_smooth_laplace(alpha, delta) * 1.5;
+        let mech = SmoothLaplaceMechanism::new(alpha, eps, delta).unwrap();
+        for x in [10u64, 200] {
+            for (q1, q2) in strong_neighbor_pairs(x, alpha) {
+                assert_interval_indistinguishable(&mech, &q1, &q2, eps, delta);
+            }
+        }
+    }
+
+    #[test]
+    fn pointwise_ratio_can_exceed_e_eps_in_tails() {
+        // This is exactly why delta > 0 is needed: pure Laplace noise with
+        // scale varying between neighbors violates the pointwise bound far
+        // in the tails. Documents the necessity of the relaxation.
+        let (alpha, delta) = (0.1, 0.05);
+        let eps = crate::definitions::min_epsilon_smooth_laplace(alpha, delta);
+        let mech = SmoothLaplaceMechanism::new(alpha, eps * 1.01, delta).unwrap();
+        let q1 = CellQuery {
+            count: 1000,
+            max_establishment: 1000,
+        };
+        let q2 = CellQuery {
+            count: 1100,
+            max_establishment: 1100,
+        };
+        // Far tail: scales differ by (1+alpha), so the log-ratio grows
+        // linearly in |omega| and eventually exceeds eps.
+        let omega = -1.0e5;
+        let ratio = mech.output_pdf(&q1, omega) / mech.output_pdf(&q2, omega);
+        assert!(
+            ratio.max(1.0 / ratio) > (eps * 1.01f64).exp(),
+            "tail ratio {ratio} should exceed e^eps"
+        );
+    }
+
+    #[test]
+    fn unbiased_with_scale_2s_over_eps() {
+        let mech = SmoothLaplaceMechanism::new(0.1, 2.0, 0.05).unwrap();
+        let q = CellQuery {
+            count: 700,
+            max_establishment: 300,
+        };
+        let expected_scale = (300.0 * 0.1) / (2.0 / 2.0);
+        assert!((mech.noise_scale(&q) - expected_scale).abs() < 1e-12);
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 200_000;
+        let mean: f64 = (0..n).map(|_| mech.release(&q, &mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 700.0).abs() < 0.5, "mean {mean}");
+        assert!(mech.unbiased());
+    }
+
+    #[test]
+    fn error_is_independent_of_delta() {
+        // Lemma 9.3 discussion: delta constrains validity, not accuracy.
+        let q = CellQuery {
+            count: 500,
+            max_establishment: 200,
+        };
+        let a = SmoothLaplaceMechanism::new(0.1, 2.0, 0.05).unwrap();
+        let b = SmoothLaplaceMechanism::new(0.1, 2.0, 0.01).unwrap();
+        assert_eq!(a.expected_l1(&q), b.expected_l1(&q));
+    }
+
+    #[test]
+    fn dominates_smooth_gamma_at_matched_parameters() {
+        // Finding 5: Smooth Laplace error < Smooth Gamma error, same (α,ε).
+        use crate::mechanisms::SmoothGammaMechanism;
+        let (alpha, eps) = (0.1, 2.0);
+        let sl = SmoothLaplaceMechanism::new(alpha, eps, 0.05).unwrap();
+        let sg = SmoothGammaMechanism::new(alpha, eps).unwrap();
+        let q = CellQuery {
+            count: 1000,
+            max_establishment: 400,
+        };
+        assert!(sl.expected_l1(&q).unwrap() < sg.expected_l1(&q).unwrap());
+    }
+}

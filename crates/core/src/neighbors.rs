@@ -1,0 +1,303 @@
+//! Strong and weak α-neighbors (Definitions 7.1 and 7.3) and the induced
+//! database distance metric (Section 7.2).
+//!
+//! Two ER-EE tables are neighbors when they differ in the employment of
+//! exactly one establishment `e`, with the workforce change bounded:
+//!
+//! * **Strong** (Def 7.1): with `E ⊆ E'` the two workforces,
+//!   `|E| ≤ |E'| ≤ max((1+α)|E|, |E|+1)` — the *total* may grow by an α
+//!   fraction (or by one worker, whichever is larger).
+//! * **Weak** (Def 7.3): for *every* workforce property `φ`,
+//!   `φ(E) ≤ φ(E') ≤ max((1+α)φ(E), φ(E)+1)` — every sub-population grows
+//!   at most proportionally. Weak neighbors are closer together than
+//!   strong ones, so weak privacy is a weaker guarantee (Sec 7.1's
+//!   19-year-olds example).
+//!
+//! Workforces are represented as histograms over the full worker-attribute
+//! domain, which is faithful because workers are exchangeable within a
+//! cell for every marginal query.
+
+use std::collections::BTreeMap;
+
+/// Which neighbor definition is in force.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NeighborKind {
+    /// Definition 7.1 — bounds only the total size change.
+    Strong,
+    /// Definition 7.3 — bounds every sub-population's change.
+    Weak,
+}
+
+/// Why two workforce histograms fail to be α-neighbors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NeighborError {
+    /// A cell count decreased (the definitions require `E ⊆ E'`; call with
+    /// arguments swapped for shrinking changes).
+    NotSuperset {
+        /// The offending worker-cell index.
+        cell: u64,
+    },
+    /// The total grew beyond `max((1+α)|E|, |E|+1)`.
+    TotalGrowthExceeded {
+        /// Old total.
+        from: u64,
+        /// New total.
+        to: u64,
+        /// Allowed maximum.
+        allowed: u64,
+    },
+    /// Some property `φ` grew beyond `max((1+α)φ(E), φ(E)+1)` (weak only).
+    PropertyGrowthExceeded {
+        /// Cells making up the violating property (worker-cell indices).
+        cells: Vec<u64>,
+        /// `φ(E)`.
+        from: u64,
+        /// `φ(E')`.
+        to: u64,
+        /// Allowed maximum.
+        allowed: u64,
+    },
+    /// The weak checker's exact subset enumeration is capped; the changed
+    /// support was too large.
+    SupportTooLarge(usize),
+}
+
+/// Allowed growth target `max(⌈(1+α)x⌉, x+1)` for a count `x`.
+///
+/// The ceiling is taken with a small tolerance so that exactly-representable
+/// products like `1.1 × 100` do not round up through floating-point noise.
+fn allowed_growth(x: u64, alpha: f64) -> u64 {
+    let scaled = ((1.0 + alpha) * x as f64 - 1e-9).ceil() as u64;
+    scaled.max(x + 1)
+}
+
+/// Check that histograms `from → to` form a **strong** α-neighbor step
+/// (one establishment's workforce grew from `from` to `to`).
+pub fn check_strong_neighbors(
+    from: &BTreeMap<u64, u64>,
+    to: &BTreeMap<u64, u64>,
+    alpha: f64,
+) -> Result<(), NeighborError> {
+    check_superset(from, to)?;
+    let from_total: u64 = from.values().sum();
+    let to_total: u64 = to.values().sum();
+    let allowed = allowed_growth(from_total, alpha);
+    if to_total > allowed {
+        return Err(NeighborError::TotalGrowthExceeded {
+            from: from_total,
+            to: to_total,
+            allowed,
+        });
+    }
+    Ok(())
+}
+
+/// Check that histograms `from → to` form a **weak** α-neighbor step:
+/// every property (subset of worker cells) grows at most proportionally.
+///
+/// Exact verification enumerates subsets of the cells whose counts changed;
+/// the changed support must have at most 20 cells (ample for tests — real
+/// neighbor steps touch few cells).
+pub fn check_weak_neighbors(
+    from: &BTreeMap<u64, u64>,
+    to: &BTreeMap<u64, u64>,
+    alpha: f64,
+) -> Result<(), NeighborError> {
+    check_superset(from, to)?;
+    // Cells with increased counts.
+    let changed: Vec<u64> = to
+        .iter()
+        .filter(|(c, &n)| n > from.get(c).copied().unwrap_or(0))
+        .map(|(&c, _)| c)
+        .collect();
+    if changed.len() > 20 {
+        return Err(NeighborError::SupportTooLarge(changed.len()));
+    }
+    // For every subset X of changed cells, combined with all unchanged
+    // cells contributing no growth, the binding constraint is on subsets of
+    // changed cells alone (adding unchanged cells to X only raises φ(E)
+    // without raising the growth, loosening the constraint).
+    for mask in 1u32..(1 << changed.len()) {
+        let cells: Vec<u64> = changed
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, &c)| c)
+            .collect();
+        let phi_from: u64 = cells.iter().map(|c| from.get(c).copied().unwrap_or(0)).sum();
+        let phi_to: u64 = cells.iter().map(|c| to.get(c).copied().unwrap_or(0)).sum();
+        let allowed = allowed_growth(phi_from, alpha);
+        if phi_to > allowed {
+            return Err(NeighborError::PropertyGrowthExceeded {
+                cells,
+                from: phi_from,
+                to: phi_to,
+                allowed,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Check a neighbor step under either definition.
+pub fn check_neighbors(
+    kind: NeighborKind,
+    from: &BTreeMap<u64, u64>,
+    to: &BTreeMap<u64, u64>,
+    alpha: f64,
+) -> Result<(), NeighborError> {
+    match kind {
+        NeighborKind::Strong => check_strong_neighbors(from, to, alpha),
+        NeighborKind::Weak => check_weak_neighbors(from, to, alpha),
+    }
+}
+
+fn check_superset(
+    from: &BTreeMap<u64, u64>,
+    to: &BTreeMap<u64, u64>,
+) -> Result<(), NeighborError> {
+    for (&cell, &n) in from {
+        if to.get(&cell).copied().unwrap_or(0) < n {
+            return Err(NeighborError::NotSuperset { cell });
+        }
+    }
+    Ok(())
+}
+
+/// The induced distance between two establishment sizes (Sec 7.2): the
+/// minimum number of α-neighbor steps taking a workforce of size `x` to one
+/// of size `y`. Each step multiplies the size by at most `(1+α)` or adds
+/// one worker, whichever is larger.
+///
+/// An adversary's Bayes factor for distinguishing sizes `x` vs `y` from an
+/// (α,ε)-ER-EE-private release is bounded by `ε · size_distance(x, y, α)`.
+pub fn size_distance(x: u64, y: u64, alpha: f64) -> u32 {
+    assert!(alpha > 0.0, "alpha must be positive");
+    let (lo, hi) = if x <= y { (x, y) } else { (y, x) };
+    let mut reach = lo;
+    let mut steps = 0u32;
+    while reach < hi {
+        reach = allowed_growth(reach, alpha);
+        steps += 1;
+        assert!(steps < 10_000, "distance computation runaway");
+    }
+    steps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hist(pairs: &[(u64, u64)]) -> BTreeMap<u64, u64> {
+        pairs.iter().copied().collect()
+    }
+
+    #[test]
+    fn strong_allows_alpha_growth() {
+        let from = hist(&[(0, 100)]);
+        let to = hist(&[(0, 100), (1, 10)]); // total 100 -> 110 = (1+0.1)*100
+        assert!(check_strong_neighbors(&from, &to, 0.1).is_ok());
+        let too_big = hist(&[(0, 100), (1, 11)]);
+        assert!(matches!(
+            check_strong_neighbors(&from, &too_big, 0.1),
+            Err(NeighborError::TotalGrowthExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn strong_allows_plus_one_even_from_zero_or_small() {
+        let from = hist(&[]);
+        let to = hist(&[(3, 1)]);
+        assert!(check_strong_neighbors(&from, &to, 0.01).is_ok());
+        let from = hist(&[(3, 5)]);
+        let to = hist(&[(3, 6)]);
+        // (1+0.01)*5 = 5.05 -> ceil 6; also 5+1=6.
+        assert!(check_strong_neighbors(&from, &to, 0.01).is_ok());
+    }
+
+    #[test]
+    fn shrinking_is_not_superset() {
+        let from = hist(&[(0, 5)]);
+        let to = hist(&[(0, 4)]);
+        assert!(matches!(
+            check_strong_neighbors(&from, &to, 0.5),
+            Err(NeighborError::NotSuperset { cell: 0 })
+        ));
+    }
+
+    #[test]
+    fn weak_is_stricter_than_strong() {
+        // The paper's 19-year-olds example: all growth concentrated in one
+        // tiny sub-population is a strong neighbor but not a weak one.
+        let from = hist(&[(0, 100), (1, 2)]); // cell 1 = 19-year-olds
+        let to = hist(&[(0, 100), (1, 12)]); // 102 -> 112 < 1.1*102 ok
+        assert!(check_strong_neighbors(&from, &to, 0.1).is_ok());
+        let err = check_weak_neighbors(&from, &to, 0.1);
+        assert!(
+            matches!(
+                err,
+                Err(NeighborError::PropertyGrowthExceeded { ref cells, .. }) if cells == &vec![1]
+            ),
+            "concentrated growth must violate the weak definition: {err:?}"
+        );
+    }
+
+    #[test]
+    fn weak_allows_proportional_growth() {
+        let from = hist(&[(0, 50), (1, 50)]);
+        let to = hist(&[(0, 55), (1, 55)]);
+        assert!(check_weak_neighbors(&from, &to, 0.1).is_ok());
+        assert!(check_strong_neighbors(&from, &to, 0.1).is_ok());
+    }
+
+    #[test]
+    fn weak_plus_one_per_property_is_allowed() {
+        // A new worker in a previously-empty cell: phi for that cell goes
+        // 0 -> 1, allowed by the +1 branch.
+        let from = hist(&[(0, 10)]);
+        let to = hist(&[(0, 10), (7, 1)]);
+        assert!(check_weak_neighbors(&from, &to, 0.01).is_ok());
+        // But two new workers in an empty cell exceed max(0, 0+1).
+        let to2 = hist(&[(0, 10), (7, 2)]);
+        assert!(check_weak_neighbors(&from, &to2, 0.01).is_err());
+    }
+
+    #[test]
+    fn weak_checks_subset_sums_not_just_cells() {
+        // Each cell individually passes (+1 rule) but their union gains 2
+        // from a base of 1, exceeding max(ceil(1.01*1), 2) = 2? union from
+        // = 1 (cell 0 has 1, cell 7 has 0): to = 3 > 2 -> violation found
+        // only by subset enumeration.
+        let from = hist(&[(0, 1)]);
+        let to = hist(&[(0, 2), (7, 1)]);
+        assert!(check_weak_neighbors(&from, &to, 0.01).is_err());
+        // Individually: cell 0: 1->2 allowed (+1); cell 7: 0->1 allowed.
+        let to_a = hist(&[(0, 2)]);
+        let to_b = hist(&[(0, 1), (7, 1)]);
+        assert!(check_weak_neighbors(&from, &to_a, 0.01).is_ok());
+        assert!(check_weak_neighbors(&from, &to_b, 0.01).is_ok());
+    }
+
+    #[test]
+    fn kind_dispatch() {
+        let from = hist(&[(0, 100), (1, 2)]);
+        let to = hist(&[(0, 100), (1, 12)]);
+        assert!(check_neighbors(NeighborKind::Strong, &from, &to, 0.1).is_ok());
+        assert!(check_neighbors(NeighborKind::Weak, &from, &to, 0.1).is_err());
+    }
+
+    #[test]
+    fn distance_metric_matches_geometric_growth() {
+        // From 100 with alpha=0.1: one step reaches 110, two reach 121.
+        assert_eq!(size_distance(100, 100, 0.1), 0);
+        assert_eq!(size_distance(100, 110, 0.1), 1);
+        assert_eq!(size_distance(100, 121, 0.1), 2);
+        assert_eq!(size_distance(121, 100, 0.1), 2, "symmetric");
+        // Small sizes move by +1 while (1+alpha)x < x+1.
+        assert_eq!(size_distance(1, 4, 0.01), 3);
+        // k ~ log_{1+alpha}(y/x) for large x.
+        let k = size_distance(1000, 2000, 0.1);
+        let analytic = (2.0f64.ln() / 1.1f64.ln()).ceil() as u32;
+        assert_eq!(k, analytic);
+    }
+}

@@ -1,0 +1,309 @@
+//! High-level private marginal release.
+//!
+//! Ties together the tabulation engine, the mechanisms, and the
+//! composition accounting: given a dataset, a marginal spec, and a total
+//! `(α, ε[, δ])` budget, release every nonzero cell with the correct
+//! per-cell parameters:
+//!
+//! * workplace-only marginals release each cell at the full ε (parallel
+//!   composition over establishments, Thm 7.4);
+//! * marginals with worker attributes are released under **weak**
+//!   (α,ε)-ER-EE privacy with the per-cell budget `ε/d` so the total
+//!   sequential cost over the worker domain equals ε (Sec 8).
+//!
+//! Like the SDL baseline, only nonzero-true-count cells are published —
+//! matching LODES practice and the evaluation protocol (see
+//! EXPERIMENTS.md).
+
+use crate::accountant::ReleaseCost;
+use crate::definitions::PrivacyParams;
+use crate::mechanisms::{CellQuery, MechanismKind};
+use crate::neighbors::NeighborKind;
+use lodes::{Dataset, Worker};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+use tabulate::{compute_marginal_filtered, CellKey, Marginal, MarginalSpec};
+
+/// Configuration of a private marginal release.
+#[derive(Debug, Clone, Copy)]
+pub struct ReleaseConfig {
+    /// Which mechanism to use.
+    pub mechanism: MechanismKind,
+    /// The *total* privacy budget for the marginal.
+    pub budget: PrivacyParams,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// A completed private release.
+#[derive(Debug)]
+pub struct PrivateRelease {
+    /// Noisy published value per nonzero-true-count cell.
+    pub published: BTreeMap<CellKey, f64>,
+    /// The underlying true marginal (never released in production; kept for
+    /// evaluation).
+    pub truth: Marginal,
+    /// Neighbor regime the guarantee holds under (strong for workplace-only
+    /// marginals, weak otherwise).
+    pub regime: NeighborKind,
+    /// The accounting of the release.
+    pub cost: ReleaseCost,
+    /// Mechanism display name.
+    pub mechanism_name: &'static str,
+}
+
+impl PrivateRelease {
+    /// Total L1 error over published cells.
+    pub fn l1_error(&self) -> f64 {
+        self.truth
+            .iter()
+            .map(|(key, stats)| (stats.count as f64 - self.published[&key]).abs())
+            .sum()
+    }
+
+    /// Mean per-cell L1 error.
+    pub fn mean_l1_error(&self) -> f64 {
+        if self.truth.num_cells() == 0 {
+            return 0.0;
+        }
+        self.l1_error() / self.truth.num_cells() as f64
+    }
+}
+
+/// Errors from [`release_marginal`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReleaseError {
+    /// The mechanism's validity constraint rejects the per-cell
+    /// parameters (e.g. Smooth Gamma needs `α+1 < e^{ε/5}`).
+    InvalidParameters {
+        /// The mechanism that rejected them.
+        mechanism: MechanismKind,
+        /// Per-cell ε after composition accounting.
+        per_cell_epsilon: f64,
+        /// α.
+        alpha: f64,
+        /// δ.
+        delta: f64,
+    },
+}
+
+impl std::fmt::Display for ReleaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReleaseError::InvalidParameters {
+                mechanism,
+                per_cell_epsilon,
+                alpha,
+                delta,
+            } => write!(
+                f,
+                "{} rejects per-cell parameters (alpha={alpha}, epsilon={per_cell_epsilon}, delta={delta})",
+                mechanism.label()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ReleaseError {}
+
+/// Release the marginal `spec` over `dataset` under `config`.
+pub fn release_marginal(
+    dataset: &Dataset,
+    spec: &MarginalSpec,
+    config: &ReleaseConfig,
+) -> Result<PrivateRelease, ReleaseError> {
+    let regime = if spec.has_worker_attrs() {
+        NeighborKind::Weak
+    } else {
+        NeighborKind::Strong
+    };
+    release_inner(dataset, spec, config, regime, |_| true)
+}
+
+/// Release a filtered marginal (single-query workloads like Ranking 2).
+///
+/// A filtered marginal answers counts over both establishment and worker
+/// attributes — even when `spec` itself has no worker attributes — so the
+/// guarantee is always **weak** (α,ε)-ER-EE privacy. Cells of a
+/// workplace-only spec still parallel-compose over establishments
+/// (Thm 7.4 holds for the weak variant), so the cost multiplier stays 1.
+pub fn release_marginal_filtered<F>(
+    dataset: &Dataset,
+    spec: &MarginalSpec,
+    config: &ReleaseConfig,
+    filter: F,
+) -> Result<PrivateRelease, ReleaseError>
+where
+    F: Fn(&Worker) -> bool,
+{
+    release_inner(dataset, spec, config, NeighborKind::Weak, filter)
+}
+
+fn release_inner<F>(
+    dataset: &Dataset,
+    spec: &MarginalSpec,
+    config: &ReleaseConfig,
+    regime: NeighborKind,
+    filter: F,
+) -> Result<PrivateRelease, ReleaseError>
+where
+    F: Fn(&Worker) -> bool,
+{
+    let per_cell = ReleaseCost::per_cell_for_total(spec, &config.budget, regime);
+    let cost = ReleaseCost::for_marginal(spec, &per_cell, regime);
+
+    let mechanism =
+        config
+            .mechanism
+            .build(&per_cell)
+            .ok_or(ReleaseError::InvalidParameters {
+                mechanism: config.mechanism,
+                per_cell_epsilon: per_cell.epsilon,
+                alpha: per_cell.alpha,
+                delta: per_cell.delta,
+            })?;
+
+    let truth = compute_marginal_filtered(dataset, spec, filter);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let published = truth
+        .iter()
+        .map(|(key, stats)| {
+            let q = CellQuery::from_stats(stats);
+            (key, mechanism.release(&q, &mut rng))
+        })
+        .collect();
+
+    Ok(PrivateRelease {
+        published,
+        truth,
+        regime,
+        cost,
+        mechanism_name: mechanism.name(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lodes::{Generator, GeneratorConfig};
+    use tabulate::{workload1, workload3};
+
+    fn dataset() -> Dataset {
+        Generator::new(GeneratorConfig::test_small(51)).generate()
+    }
+
+    #[test]
+    fn workplace_marginal_uses_full_budget_per_cell() {
+        let d = dataset();
+        let cfg = ReleaseConfig {
+            mechanism: MechanismKind::SmoothGamma,
+            budget: PrivacyParams::pure(0.1, 2.0),
+            seed: 1,
+        };
+        let rel = release_marginal(&d, &workload1(), &cfg).unwrap();
+        assert_eq!(rel.regime, NeighborKind::Strong);
+        assert_eq!(rel.cost.multiplier, 1);
+        assert!((rel.cost.per_cell_epsilon - 2.0).abs() < 1e-12);
+        assert_eq!(rel.published.len(), rel.truth.num_cells());
+    }
+
+    #[test]
+    fn worker_marginal_splits_budget() {
+        let d = dataset();
+        let cfg = ReleaseConfig {
+            mechanism: MechanismKind::LogLaplace,
+            budget: PrivacyParams::pure(0.1, 8.0),
+            seed: 2,
+        };
+        let rel = release_marginal(&d, &workload3(), &cfg).unwrap();
+        assert_eq!(rel.regime, NeighborKind::Weak);
+        assert_eq!(rel.cost.multiplier, 8);
+        assert!((rel.cost.per_cell_epsilon - 1.0).abs() < 1e-12);
+        assert!((rel.cost.epsilon - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected_not_fudged() {
+        let d = dataset();
+        // Smooth Gamma at alpha=0.2 needs eps > 5 ln(1.2) ≈ 0.91 per cell;
+        // with the /8 split an 8.0 total gives 1.0 per cell (valid), while
+        // 4.0 total gives 0.5 per cell (invalid).
+        let ok = ReleaseConfig {
+            mechanism: MechanismKind::SmoothGamma,
+            budget: PrivacyParams::pure(0.2, 8.0),
+            seed: 3,
+        };
+        assert!(release_marginal(&d, &workload3(), &ok).is_ok());
+        let bad = ReleaseConfig {
+            mechanism: MechanismKind::SmoothGamma,
+            budget: PrivacyParams::pure(0.2, 4.0),
+            seed: 3,
+        };
+        let err = release_marginal(&d, &workload3(), &bad).unwrap_err();
+        assert!(matches!(err, ReleaseError::InvalidParameters { .. }));
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn smooth_laplace_requires_positive_delta() {
+        let d = dataset();
+        let cfg = ReleaseConfig {
+            mechanism: MechanismKind::SmoothLaplace,
+            budget: PrivacyParams::pure(0.1, 2.0), // delta = 0
+            seed: 4,
+        };
+        assert!(release_marginal(&d, &workload1(), &cfg).is_err());
+        let cfg = ReleaseConfig {
+            mechanism: MechanismKind::SmoothLaplace,
+            budget: PrivacyParams::approximate(0.1, 2.0, 0.05),
+            seed: 4,
+        };
+        assert!(release_marginal(&d, &workload1(), &cfg).is_ok());
+    }
+
+    #[test]
+    fn release_is_deterministic_in_seed() {
+        let d = dataset();
+        let cfg = ReleaseConfig {
+            mechanism: MechanismKind::SmoothGamma,
+            budget: PrivacyParams::pure(0.1, 2.0),
+            seed: 42,
+        };
+        let a = release_marginal(&d, &workload1(), &cfg).unwrap();
+        let b = release_marginal(&d, &workload1(), &cfg).unwrap();
+        assert_eq!(a.published, b.published);
+        let c = release_marginal(
+            &d,
+            &workload1(),
+            &ReleaseConfig {
+                seed: 43,
+                ..cfg
+            },
+        )
+        .unwrap();
+        assert_ne!(a.published, c.published);
+    }
+
+    #[test]
+    fn error_grows_as_epsilon_shrinks() {
+        let d = dataset();
+        let errors: Vec<f64> = [8.0, 2.0, 1.0]
+            .iter()
+            .map(|&eps| {
+                let cfg = ReleaseConfig {
+                    mechanism: MechanismKind::SmoothLaplace,
+                    budget: PrivacyParams::approximate(0.1, eps, 0.05),
+                    seed: 7,
+                };
+                release_marginal(&d, &workload1(), &cfg).unwrap().l1_error()
+            })
+            .collect();
+        assert!(
+            errors[0] < errors[2],
+            "eps=8 error {} should be below eps=1 error {}",
+            errors[0],
+            errors[2]
+        );
+    }
+}

@@ -1,0 +1,190 @@
+//! The extended smooth-sensitivity framework (Sec 8.2 of the paper).
+//!
+//! Global sensitivity of a count under (α,ε)-ER-EE privacy is unbounded —
+//! a count of `x` can change by `αx`. The framework of Nissim,
+//! Raskhodnikova and Smith instead adds noise proportional to a *smooth
+//! upper bound* on local sensitivity. The paper extends their notion of
+//! admissible noise distributions to allow an uneven split of the privacy
+//! budget between the *sliding* (shift) and *dilation* (scale) properties
+//! (Def 8.3), which buys a better constant for the Gamma-poly noise.
+//!
+//! Key results implemented/encoded here:
+//!
+//! * Lemma 8.5 — for a count query with largest per-establishment
+//!   contribution `x_v`, the `b`-smooth sensitivity is `max(x_v·α, 1)` when
+//!   `e^b ≥ 1+α` and unbounded otherwise ([`smooth_sensitivity_count`]).
+//! * Lemma 8.6 — `h(z) ∝ 1/(1+|z|^γ)` is `(ε₁/(1+γ), ε₂/(1+γ))`-admissible
+//!   with δ = 0 ([`AdmissibilityBudget::gamma_poly`]).
+//! * Lemma 9.1 — the Laplace density is `(ε/2, ε/(2·ln(1/δ)))`-admissible
+//!   ([`AdmissibilityBudget::laplace`]).
+//! * Theorem 8.4 — adding admissible noise scaled by `S(x)/a` yields an
+//!   (α,ε)-ER-EE-private mechanism; the concrete mechanisms live in
+//!   [`crate::mechanisms`].
+
+/// Lemma 8.5: the `b`-smooth sensitivity of a count query at a database
+/// where the largest single-establishment contribution to the cell is
+/// `x_v`, under strong or weak α-neighbors.
+///
+/// Returns `None` (unbounded) when `e^b < 1 + α`: local sensitivity at
+/// distance `j` grows like `x_v·α·(1+α)^j`, which the `e^{-jb}` smoothing
+/// discount can only tame when `b ≥ ln(1+α)`.
+pub fn smooth_sensitivity_count(x_v: u32, alpha: f64, b: f64) -> Option<f64> {
+    assert!(alpha > 0.0, "alpha must be positive");
+    assert!(b >= 0.0, "smoothing parameter must be non-negative");
+    if b.exp() < (1.0 + alpha) * (1.0 - 1e-12) {
+        return None;
+    }
+    Some((x_v as f64 * alpha).max(1.0))
+}
+
+/// Local sensitivity of a count query at distance `j` from the database
+/// (the `A^{(j)}` of Def 8.2): `x_v·α·(1+α)^j`, floored at 1 to account for
+/// the ±1-worker neighbor branch.
+pub fn local_sensitivity_at_distance(x_v: u32, alpha: f64, j: u32) -> f64 {
+    (x_v as f64 * alpha * (1.0 + alpha).powi(j as i32)).max(1.0)
+}
+
+/// An (a, b)-admissibility certificate: noise `Z ~ h` supports releasing
+/// `q(x) + S(x)/a · Z` privately when `S` is a `b`-smooth upper bound on
+/// local sensitivity (Theorem 8.4).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdmissibilityBudget {
+    /// Sliding allowance: shifts up to `a` (in noise units) cost `ε₁`.
+    pub a: f64,
+    /// Dilation allowance: log-scalings up to `b` cost `ε₂`.
+    pub b: f64,
+    /// Failure probability (0 for Gamma-poly, >0 for Laplace).
+    pub delta: f64,
+    /// Budget spent on sliding.
+    pub epsilon_1: f64,
+    /// Budget spent on dilation.
+    pub epsilon_2: f64,
+}
+
+impl AdmissibilityBudget {
+    /// Lemma 8.6 with γ = 4: the Gamma-poly density is
+    /// `(ε₁/5, ε₂/5)`-admissible with δ = 0. Algorithm 2 fixes
+    /// `ε₂ = 5·ln(1+α)` — the smallest dilation budget for which the smooth
+    /// sensitivity is finite — leaving `ε₁ = ε − ε₂` for sliding.
+    ///
+    /// Returns `None` when `α + 1 ≥ e^{ε/5}` (no budget left for sliding).
+    pub fn gamma_poly(alpha: f64, epsilon: f64) -> Option<Self> {
+        assert!(alpha > 0.0 && epsilon > 0.0, "parameters must be positive");
+        let epsilon_2 = 5.0 * (1.0 + alpha).ln();
+        let epsilon_1 = epsilon - epsilon_2;
+        if epsilon_1 <= 0.0 {
+            return None;
+        }
+        Some(Self {
+            a: epsilon_1 / 5.0,
+            b: epsilon_2 / 5.0,
+            delta: 0.0,
+            epsilon_1,
+            epsilon_2,
+        })
+    }
+
+    /// Lemma 9.1: the Laplace density is `(ε/2, ε/(2·ln(1/δ)))`-admissible.
+    /// Algorithm 3 requires `α + 1 ≤ e^{ε/(2·ln(1/δ))}` so the smooth
+    /// sensitivity stays finite; returns `None` otherwise.
+    pub fn laplace(alpha: f64, epsilon: f64, delta: f64) -> Option<Self> {
+        assert!(alpha > 0.0 && epsilon > 0.0, "parameters must be positive");
+        assert!(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+        let b = epsilon / (2.0 * (1.0 / delta).ln());
+        if (1.0 + alpha) > b.exp() * (1.0 + 1e-12) {
+            return None;
+        }
+        Some(Self {
+            a: epsilon / 2.0,
+            b,
+            delta,
+            epsilon_1: epsilon / 2.0,
+            epsilon_2: epsilon / 2.0,
+        })
+    }
+
+    /// Noise scale for a cell with smooth sensitivity `s_star`:
+    /// `S(x)/a` per Theorem 8.4.
+    pub fn noise_scale(&self, s_star: f64) -> f64 {
+        s_star / self.a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smooth_sensitivity_formula() {
+        // e^b >= 1+alpha: bounded, equals max(x_v*alpha, 1).
+        let s = smooth_sensitivity_count(500, 0.1, 0.1f64.ln_1p()).unwrap();
+        assert!((s - 50.0).abs() < 1e-12);
+        // Floor at 1 for small x_v.
+        let s = smooth_sensitivity_count(3, 0.1, 0.2).unwrap();
+        assert!((s - 1.0).abs() < 1e-12);
+        // e^b < 1+alpha: unbounded.
+        assert!(smooth_sensitivity_count(500, 0.3, 0.1).is_none());
+    }
+
+    #[test]
+    fn smooth_bound_dominates_discounted_local_sensitivity() {
+        // Def 8.2: S*(x) = max_j e^{-jb} A^(j)(x). With b = ln(1+alpha) the
+        // products e^{-jb} * x_v*alpha*(1+alpha)^j are constant in j, so the
+        // formula value must match every term.
+        let (x_v, alpha) = (120u32, 0.15);
+        let b = (1.0f64 + alpha).ln();
+        let s_star = smooth_sensitivity_count(x_v, alpha, b).unwrap();
+        for j in 0..30 {
+            let term = (-(j as f64) * b).exp() * local_sensitivity_at_distance(x_v, alpha, j);
+            assert!(
+                term <= s_star + 1e-9,
+                "j={j}: discounted term {term} exceeds S* {s_star}"
+            );
+        }
+        // With b strictly larger, terms decay and S* still dominates.
+        let b2 = b * 1.5;
+        let s2 = smooth_sensitivity_count(x_v, alpha, b2).unwrap();
+        for j in 0..30 {
+            let term = (-(j as f64) * b2).exp() * local_sensitivity_at_distance(x_v, alpha, j);
+            assert!(term <= s2 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn gamma_poly_budget_split() {
+        let alpha = 0.1;
+        let eps = 2.0;
+        let budget = AdmissibilityBudget::gamma_poly(alpha, eps).unwrap();
+        assert!((budget.epsilon_2 - 5.0 * 1.1f64.ln()).abs() < 1e-12);
+        assert!((budget.epsilon_1 + budget.epsilon_2 - eps).abs() < 1e-12);
+        assert!((budget.b.exp() - 1.1).abs() < 1e-9, "e^b = 1+alpha exactly");
+        assert_eq!(budget.delta, 0.0);
+        // Constraint violated: alpha+1 >= e^{eps/5}.
+        assert!(AdmissibilityBudget::gamma_poly(0.3, 1.0).is_none());
+        // Boundary: eps = 5 ln(1+alpha) leaves nothing for sliding.
+        assert!(AdmissibilityBudget::gamma_poly(0.3, 5.0 * 1.3f64.ln()).is_none());
+    }
+
+    #[test]
+    fn laplace_budget_constraint_matches_table_2() {
+        // Minimum eps for (alpha, delta) solves alpha+1 = e^{eps/(2 ln(1/delta))}.
+        let alpha: f64 = 0.1;
+        let delta: f64 = 5e-4;
+        let eps_min = 2.0 * (1.0 / delta).ln() * (1.0 + alpha).ln();
+        assert!(AdmissibilityBudget::laplace(alpha, eps_min * 1.001, delta).is_some());
+        assert!(AdmissibilityBudget::laplace(alpha, eps_min * 0.99, delta).is_none());
+        // Paper Table 2 delta=5e-4 column: alpha=.01 -> ~.15, alpha=.10 -> ~1.45.
+        let e1 = 2.0 * (1.0f64 / 5e-4).ln() * 1.01f64.ln();
+        assert!((e1 - 0.15).abs() < 0.01, "alpha=.01: {e1}");
+        let e2 = 2.0 * (1.0f64 / 5e-4).ln() * 1.10f64.ln();
+        assert!((e2 - 1.45).abs() < 0.01, "alpha=.10: {e2}");
+    }
+
+    #[test]
+    fn noise_scale_is_sensitivity_over_a() {
+        let budget = AdmissibilityBudget::gamma_poly(0.1, 2.0).unwrap();
+        let s_star = 50.0;
+        let scale = budget.noise_scale(s_star);
+        assert!((scale - s_star / budget.a).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,37 @@
+//! Regenerate Figure 5: Spearman rank correlation of Ranking 2 (Workload 1
+//! cells ordered by the count of female workers with a bachelor's degree
+//! or higher) vs the SDL ordering.
+//!
+//! Usage: `cargo run -p eval --release --bin figure5`
+
+use eval::experiments::figure5;
+use eval::report::{pivot_markdown, results_dir, to_csv, write_results, Point};
+use eval::runner::{EvalScale, ExperimentContext, TrialSpec};
+
+fn main() {
+    let scale = EvalScale::from_env();
+    eprintln!("figure5: building context at {scale:?} scale...");
+    let ctx = ExperimentContext::new(scale);
+    let trials = TrialSpec::default();
+    let rows = figure5::run(&ctx, &trials);
+
+    let points: Vec<Point> = rows
+        .iter()
+        .map(|r| Point {
+            series: r.series.clone(),
+            alpha: r.alpha,
+            epsilon: r.epsilon,
+            stratum: r.stratum.clone(),
+            value: r.spearman,
+        })
+        .collect();
+    let md = pivot_markdown(
+        "Figure 5: Spearman correlation, females with college degree ranking (vs SDL ordering)",
+        "rho",
+        &points,
+    );
+    let csv = to_csv("spearman", &points);
+    let printed =
+        write_results(&results_dir(), "figure5", &md, &csv, &rows).expect("write results");
+    println!("{printed}");
+}

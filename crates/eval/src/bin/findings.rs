@@ -1,0 +1,174 @@
+//! Regenerate the paper's six Findings (Sec 10) as a checklist with
+//! measured evidence from the current synthetic universe.
+//!
+//! Usage: `cargo run -p eval --release --bin findings`
+//! (respects `EREE_SCALE`; use `small` for a fast check).
+
+use eval::experiments::{figure1, figure2, figure3, figure4};
+use eval::runner::{EvalScale, ExperimentContext, TrialSpec};
+use std::fmt::Write as _;
+
+fn main() {
+    let scale = EvalScale::from_env();
+    eprintln!("findings: building context at {scale:?} scale...");
+    let ctx = ExperimentContext::new(scale);
+    let trials = TrialSpec::default();
+
+    let f1 = figure1::run(&ctx, &trials);
+    let f2 = figure2::run(&ctx, &trials);
+    let f3 = figure3::run(&ctx, &trials);
+    let f4 = figure4::run(&ctx, &trials);
+
+    let pick1 = |series: &str, alpha: f64, eps: f64| {
+        f1.iter()
+            .find(|r| {
+                r.series == series
+                    && (r.alpha - alpha).abs() < 1e-9
+                    && (r.epsilon - eps).abs() < 1e-9
+                    && r.stratum == "overall"
+            })
+            .map(|r| r.l1_ratio)
+    };
+
+    let mut out = String::new();
+    let _ = writeln!(out, "# Findings checklist (measured at {scale:?} scale)\n");
+
+    // Finding 1: establishment-only marginals comparable to SDL.
+    let ll = pick1("Log-Laplace", 0.1, 2.0).unwrap_or(f64::NAN);
+    let sg = pick1("Smooth Gamma", 0.1, 2.0).unwrap_or(f64::NAN);
+    let sl = pick1("Smooth Laplace", 0.1, 2.0).unwrap_or(f64::NAN);
+    let _ = writeln!(
+        out,
+        "**Finding 1** (W1 marginal comparable to SDL at eps=2, alpha=.1): \
+         Log-Laplace {ll:.2}x, Smooth Gamma {sg:.2}x, Smooth Laplace {sl:.2}x SDL. \
+         [{}]",
+        if sg < 3.5 && sl < 1.5 { "REPRODUCED" } else { "CHECK" }
+    );
+
+    // Finding 2: single queries + rankings competitive.
+    let f3_sl = f3
+        .iter()
+        .find(|r| {
+            r.series == "Smooth Laplace" && r.alpha == 0.1 && r.epsilon == 4.0 && r.stratum == "overall"
+        })
+        .map(|r| r.l1_ratio)
+        .unwrap_or(f64::NAN);
+    let _ = writeln!(
+        out,
+        "**Finding 2** (single worker-attribute queries at eps=4): Smooth Laplace \
+         {f3_sl:.2}x SDL. [{}]",
+        if f3_sl < 1.5 { "REPRODUCED" } else { "CHECK" }
+    );
+
+    // Finding 3: full worker marginal within factor ~10 at high eps/low alpha.
+    let f4_sl = f4
+        .iter()
+        .find(|r| {
+            r.series == "Smooth Laplace" && r.alpha == 0.01 && r.epsilon == 4.0 && r.stratum == "overall"
+        })
+        .map(|r| r.l1_ratio)
+        .unwrap_or(f64::NAN);
+    let _ = writeln!(
+        out,
+        "**Finding 3** (full sex x education marginal, alpha=.01, total eps=4): \
+         Smooth Laplace {f4_sl:.2}x SDL. [{}]",
+        if f4_sl < 10.0 { "REPRODUCED" } else { "CHECK" }
+    );
+
+    // Finding 4: improvement with place size (smooth mechanisms).
+    let strata_vals: Vec<f64> = [
+        "0 <= pop < 100",
+        "100 <= pop < 10k",
+        "10k <= pop < 100k",
+        "pop >= 100k",
+    ]
+    .iter()
+    .filter_map(|s| {
+        f1.iter()
+            .find(|r| {
+                r.series == "Smooth Laplace" && r.alpha == 0.1 && r.epsilon == 2.0 && &r.stratum == s
+            })
+            .map(|r| r.l1_ratio)
+    })
+    .collect();
+    let monotone = strata_vals.windows(2).all(|w| w[1] <= w[0] * 1.05);
+    let _ = writeln!(
+        out,
+        "**Finding 4** (Smooth Laplace ratio falls with place size at eps=2): \
+         {} . [{}]",
+        strata_vals
+            .iter()
+            .map(|v| format!("{v:.2}"))
+            .collect::<Vec<_>>()
+            .join(" -> "),
+        if monotone { "REPRODUCED" } else { "CHECK (see EXPERIMENTS.md on Log-Laplace)" }
+    );
+
+    // Finding 5: Smooth Laplace dominates; LL/SG crossover.
+    let dominance = f1
+        .iter()
+        .filter(|r| r.series == "Smooth Laplace" && r.stratum == "overall")
+        .all(|r| {
+            pick1("Smooth Gamma", r.alpha, r.epsilon)
+                .map(|sg| r.l1_ratio <= sg * 1.05)
+                .unwrap_or(true)
+        });
+    let ll_small = pick1("Log-Laplace", 0.05, 0.25);
+    let sg_small = pick1("Smooth Gamma", 0.05, 0.25);
+    let ll_large = pick1("Log-Laplace", 0.05, 4.0);
+    let sg_large = pick1("Smooth Gamma", 0.05, 4.0);
+    let crossover = match (ll_small, sg_small, ll_large, sg_large) {
+        (Some(a), Some(b), Some(c), Some(d)) => a < b && c > d,
+        _ => false,
+    };
+    let _ = writeln!(
+        out,
+        "**Finding 5** (Smooth Laplace best everywhere: {}; Log-Laplace/Smooth Gamma \
+         crossover in eps: {}). [{}]",
+        dominance,
+        crossover,
+        if dominance && crossover { "REPRODUCED" } else { "CHECK" }
+    );
+
+    // Finding 6: Truncated Laplace >= 10x at eps=4, flat in eps.
+    let tl_at_4: Vec<f64> = f1
+        .iter()
+        .filter(|r| r.series.starts_with("Truncated") && r.epsilon == 4.0 && r.stratum == "overall")
+        .map(|r| r.l1_ratio)
+        .collect();
+    let min_tl = tl_at_4.iter().copied().fold(f64::INFINITY, f64::min);
+    let tl2_small = f1
+        .iter()
+        .find(|r| {
+            r.series == "Truncated Laplace (theta=2)" && r.epsilon == 0.25 && r.stratum == "overall"
+        })
+        .map(|r| r.l1_ratio)
+        .unwrap_or(f64::NAN);
+    let tl2_large = f1
+        .iter()
+        .find(|r| {
+            r.series == "Truncated Laplace (theta=2)" && r.epsilon == 4.0 && r.stratum == "overall"
+        })
+        .map(|r| r.l1_ratio)
+        .unwrap_or(f64::NAN);
+    let tl2_rho_max = f2
+        .iter()
+        .filter(|r| r.series.starts_with("Truncated") && r.stratum == "overall")
+        .map(|r| r.spearman)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let _ = writeln!(
+        out,
+        "**Finding 6** (Truncated Laplace): min ratio over theta at eps=4 is {min_tl:.1}x \
+         (paper: >=10x); theta=2 ratio {tl2_small:.1} -> {tl2_large:.1} across 16x more eps \
+         (bias-dominated); best ranking rho {tl2_rho_max:.2} (paper: <=0.7). [{}]",
+        if min_tl >= 10.0 && (tl2_small / tl2_large) < 1.5 && tl2_rho_max < 0.75 {
+            "REPRODUCED"
+        } else {
+            "CHECK"
+        }
+    );
+
+    std::fs::create_dir_all(eval::report::results_dir()).expect("results dir");
+    std::fs::write(eval::report::results_dir().join("findings.md"), &out).expect("write");
+    println!("{out}");
+}

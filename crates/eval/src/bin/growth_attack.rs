@@ -1,0 +1,124 @@
+//! Time-series growth-rate disclosure: SDL vs the formally private
+//! mechanisms across the ε grid.
+//!
+//! For a quarterly panel, measures (a) the fraction of singleton-cell
+//! growth rates an attacker recovers *exactly* from the published series,
+//! and (b) the median relative error of the recovered rates — for the
+//! dynamically consistent SDL baseline and for fresh-noise private
+//! releases at each ε.
+//!
+//! Usage: `cargo run -p eval --release --bin growth_attack`
+
+use eree_core::{MechanismKind, PrivacyParams};
+use eval::experiments::release_cells;
+use eval::runner::EvalScale;
+use lodes::{DatasetPanel, PanelConfig};
+use sdl::{growth_rate_attack, PanelPublisher, SdlConfig, SdlRelease};
+use std::fmt::Write as _;
+use tabulate::{compute_marginal, workload1};
+
+fn main() {
+    let scale = EvalScale::from_env();
+    let base = scale.generator_config(0xEEE5_2017);
+    let panel = DatasetPanel::generate(
+        &base,
+        &PanelConfig {
+            quarters: 4,
+            growth_sigma: 0.08,
+            death_rate: 0.0,
+            seed: 23,
+        },
+    );
+    eprintln!(
+        "growth_attack: {} establishments x {} quarters",
+        panel.quarter(0).num_workplaces(),
+        panel.quarters()
+    );
+
+    let mut out = String::from(
+        "# Growth-rate disclosure from quarterly releases\n\n\
+         | release | exact recoveries | median rel. error |\n|---|---|---|\n",
+    );
+
+    // SDL with dynamically consistent factors.
+    let cfg = SdlConfig {
+        round_output: false,
+        ..SdlConfig::default()
+    };
+    let publisher = PanelPublisher::new(&panel, cfg);
+    let sdl_releases = publisher.publish_all(&panel, &workload1());
+    let sdl_results = growth_rate_attack(&panel, &sdl_releases, cfg.small_cell.limit);
+    let (frac, median) = summarize(&sdl_results);
+    let _ = writeln!(
+        out,
+        "| SDL (dynamically consistent) | {:.1}% of {} | {:.2}% |",
+        frac * 100.0,
+        sdl_results.len(),
+        median * 100.0
+    );
+
+    // Private releases at each epsilon: fresh noise per quarter. Epsilon
+    // values below the Smooth Laplace validity frontier (~0.571 at
+    // alpha=0.1, delta=0.05; Table 2) are skipped, as in the figures.
+    for &epsilon in &[1.0, 2.0, 4.0] {
+        if !eval::experiments::plottable(MechanismKind::SmoothLaplace, 0.1, epsilon, 0.05) {
+            continue;
+        }
+        let params = PrivacyParams::approximate(0.1, epsilon, 0.05);
+        let releases: Vec<SdlRelease> = panel
+            .snapshots()
+            .iter()
+            .enumerate()
+            .map(|(q, snap)| {
+                let truth = compute_marginal(snap, &workload1());
+                let published = release_cells(
+                    &truth,
+                    MechanismKind::SmoothLaplace,
+                    &params,
+                    1000 + q as u64,
+                )
+                .expect("valid parameters");
+                SdlRelease { published, truth }
+            })
+            .collect();
+        let results = growth_rate_attack(&panel, &releases, cfg.small_cell.limit);
+        let (frac, median) = summarize(&results);
+        let _ = writeln!(
+            out,
+            "| Smooth Laplace eps={epsilon}/quarter | {:.1}% of {} | {:.2}% |",
+            frac * 100.0,
+            results.len(),
+            median * 100.0
+        );
+    }
+
+    out.push_str(
+        "\nDynamic consistency cancels the confidential factor in quarter-over-quarter \
+         ratios,\ndisclosing exact growth rates of singleton-establishment cells with no \
+         background\nknowledge; fresh per-release noise bounds the same inference through \
+         sequential\ncomposition (total quarterly cost tracked by the ledger).\n",
+    );
+
+    std::fs::create_dir_all(eval::report::results_dir()).expect("results dir");
+    std::fs::write(eval::report::results_dir().join("growth_attack.md"), &out).expect("write");
+    println!("{out}");
+}
+
+fn summarize(results: &[sdl::GrowthAttackResult]) -> (f64, f64) {
+    if results.is_empty() {
+        return (0.0, 0.0);
+    }
+    let exact = results
+        .iter()
+        .filter(|r| (r.recovered_growth - r.true_growth).abs() < 1e-9)
+        .count();
+    let mut rel: Vec<f64> = results
+        .iter()
+        .map(|r| ((r.recovered_growth - r.true_growth) / r.true_growth).abs())
+        .collect();
+    rel.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    (
+        exact as f64 / results.len() as f64,
+        rel[rel.len() / 2],
+    )
+}

@@ -1,0 +1,139 @@
+//! One module per paper exhibit.
+//!
+//! | Module | Paper exhibit | Workload |
+//! |---|---|---|
+//! | [`figure1`] | Fig. 1 + Finding 6 | W1 L1 error ratio vs SDL (incl. Truncated Laplace) |
+//! | [`figure2`] | Fig. 2 | Ranking 1 Spearman correlation |
+//! | [`figure3`] | Fig. 3 | W2 single-query L1 error ratio |
+//! | [`figure4`] | Fig. 4 | W3 full-marginal L1 error ratio |
+//! | [`figure5`] | Fig. 5 | Ranking 2 Spearman correlation |
+//! | [`table1`]  | Table 1 | Requirement-satisfaction matrix |
+//! | [`table2`]  | Table 2 | Minimum ε given (α, δ) |
+
+pub mod figure1;
+pub mod figure2;
+pub mod figure3;
+pub mod figure4;
+pub mod figure5;
+pub mod table1;
+pub mod table2;
+
+use eree_core::{CellQuery, MechanismKind, PrivacyParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use tabulate::{CellKey, Marginal};
+
+/// A mechanism series in a figure: the three ER-EE mechanisms, or a
+/// Truncated Laplace baseline at a given θ.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Series {
+    /// One of the paper's mechanisms.
+    Mechanism(MechanismKind),
+    /// Node-DP Truncated Laplace with degree bound θ.
+    TruncatedLaplace(u32),
+}
+
+impl Series {
+    /// Display label.
+    pub fn label(&self) -> String {
+        match self {
+            Series::Mechanism(kind) => kind.label().to_string(),
+            Series::TruncatedLaplace(theta) => format!("Truncated Laplace (theta={theta})"),
+        }
+    }
+}
+
+/// Release every nonzero cell of a precomputed `truth` marginal with the
+/// mechanism `kind` instantiated at *per-cell* parameters `params`.
+///
+/// This is the hot inner loop of the figures; it skips re-tabulating the
+/// marginal for every trial (the production-facing API in
+/// `eree_core::release` handles tabulation and composition accounting).
+/// Returns `None` when the mechanism's validity constraint rejects the
+/// parameters — the gaps in the paper's plots.
+pub fn release_cells(
+    truth: &Marginal,
+    kind: MechanismKind,
+    params: &PrivacyParams,
+    seed: u64,
+) -> Option<BTreeMap<CellKey, f64>> {
+    let mechanism = kind.build(params)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    Some(
+        truth
+            .iter()
+            .map(|(key, stats)| {
+                let q = CellQuery::from_stats(stats);
+                (key, mechanism.release(&q, &mut rng))
+            })
+            .collect(),
+    )
+}
+
+/// Whether a mechanism/parameter combination should be plotted, following
+/// the paper's conventions: Smooth Gamma and Smooth Laplace are skipped
+/// when their constraints reject (α, ε[, δ]); Log-Laplace is skipped when
+/// its expectation is unbounded (λ ≥ 1, Lemma 8.2).
+pub fn plottable(kind: MechanismKind, alpha: f64, epsilon: f64, delta: f64) -> bool {
+    match kind {
+        MechanismKind::LogLaplace => eree_core::definitions::log_laplace_bounded(alpha, epsilon),
+        MechanismKind::SmoothGamma => {
+            eree_core::definitions::smooth_gamma_valid(alpha, epsilon)
+        }
+        MechanismKind::SmoothLaplace => {
+            eree_core::definitions::smooth_laplace_valid(alpha, epsilon, delta)
+        }
+    }
+}
+
+/// Parameters for one grid point, with δ applied only to Smooth Laplace.
+pub fn grid_params(kind: MechanismKind, alpha: f64, epsilon: f64, delta: f64) -> PrivacyParams {
+    match kind {
+        MechanismKind::SmoothLaplace => PrivacyParams::approximate(alpha, epsilon, delta),
+        _ => PrivacyParams::pure(alpha, epsilon),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{EvalScale, ExperimentContext};
+
+    #[test]
+    fn release_cells_respects_validity() {
+        let ctx = ExperimentContext::with_seed(EvalScale::Small, 3);
+        let truth = &ctx.sdl_w1.truth;
+        // Valid: publishes all cells.
+        let params = PrivacyParams::pure(0.1, 2.0);
+        let rel = release_cells(truth, MechanismKind::SmoothGamma, &params, 1).unwrap();
+        assert_eq!(rel.len(), truth.num_cells());
+        // Invalid Smooth Gamma parameters.
+        let bad = PrivacyParams::pure(0.3, 1.0);
+        assert!(release_cells(truth, MechanismKind::SmoothGamma, &bad, 1).is_none());
+    }
+
+    #[test]
+    fn plottable_matches_paper_conventions() {
+        // Log-Laplace unbounded at eps=0.25, alpha=0.2.
+        assert!(!plottable(MechanismKind::LogLaplace, 0.2, 0.25, 0.0));
+        assert!(plottable(MechanismKind::LogLaplace, 0.2, 1.0, 0.0));
+        // Smooth Laplace at delta=0.05 needs eps >= ~2 ln(20) ln(1.2) = 1.09
+        // for alpha = 0.2.
+        assert!(!plottable(MechanismKind::SmoothLaplace, 0.2, 1.0, 0.05));
+        assert!(plottable(MechanismKind::SmoothLaplace, 0.2, 2.0, 0.05));
+    }
+
+    #[test]
+    fn series_labels() {
+        assert_eq!(
+            Series::Mechanism(MechanismKind::LogLaplace).label(),
+            "Log-Laplace"
+        );
+        assert_eq!(
+            Series::TruncatedLaplace(50).label(),
+            "Truncated Laplace (theta=50)"
+        );
+    }
+}

@@ -1,0 +1,27 @@
+//! Experiment harness: regenerates every table and figure of the paper's
+//! evaluation (Sec 10 + Appendix C).
+//!
+//! Layout:
+//!
+//! * [`metrics`] — L1 error, error ratios, Spearman rank correlation.
+//! * [`runner`] — shared experiment context (dataset + SDL baseline) and
+//!   multi-trial orchestration with pinned seeds.
+//! * [`experiments`] — one module per paper exhibit: `figure1` … `figure5`,
+//!   `table1`, `table2`.
+//! * [`report`] — markdown/CSV rendering of experiment results.
+//!
+//! Each exhibit also has a binary (`cargo run -p eval --release --bin
+//! figure1`) that prints the regenerated rows/series and writes them under
+//! `results/`. The `run_all` binary regenerates everything.
+//!
+//! Scale control: the `EREE_SCALE` environment variable selects the
+//! synthetic universe (`small` ≈ 2 k establishments for smoke runs,
+//! `default` ≈ 60 k, `paper` ≈ 527 k matching the paper's sample).
+
+pub mod experiments;
+pub mod metrics;
+pub mod report;
+pub mod runner;
+
+pub use metrics::{l1_error, mean_l1_error, spearman};
+pub use runner::{EvalScale, ExperimentContext, TrialSpec};

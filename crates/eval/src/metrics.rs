@@ -1,0 +1,227 @@
+//! Error and ranking metrics.
+//!
+//! The paper quantifies utility two ways: the L1 error of released counts
+//! (motivated by the FEMA resource-allocation scenario of Sec 3.2, where
+//! each job in error has a net social cost of $3.50), and the Spearman
+//! rank-order correlation for ranking workloads (the OnTheMap area
+//! comparison scenario).
+
+use std::collections::BTreeMap;
+use tabulate::{CellKey, Marginal};
+
+/// Total L1 error `Σ_v |q(v) − q̃(v)|` over the truth's nonzero cells.
+/// Cells missing from `published` are treated as released zeros.
+pub fn l1_error(truth: &Marginal, published: &BTreeMap<CellKey, f64>) -> f64 {
+    truth
+        .iter()
+        .map(|(key, stats)| {
+            let noisy = published.get(&key).copied().unwrap_or(0.0);
+            (stats.count as f64 - noisy).abs()
+        })
+        .sum()
+}
+
+/// Mean per-cell L1 error.
+pub fn mean_l1_error(truth: &Marginal, published: &BTreeMap<CellKey, f64>) -> f64 {
+    if truth.num_cells() == 0 {
+        return 0.0;
+    }
+    l1_error(truth, published) / truth.num_cells() as f64
+}
+
+/// L1 error restricted to a subset of cells (a place-size stratum).
+pub fn l1_error_over(
+    truth: &Marginal,
+    published: &BTreeMap<CellKey, f64>,
+    cells: &[CellKey],
+) -> f64 {
+    cells
+        .iter()
+        .map(|key| {
+            let true_count = truth.cell(*key).map_or(0, |s| s.count) as f64;
+            let noisy = published.get(key).copied().unwrap_or(0.0);
+            (true_count - noisy).abs()
+        })
+        .sum()
+}
+
+/// Fraction of cells whose *relative* error is within `tolerance`
+/// percentage points of the baseline's relative error (the paper's
+/// "within 10 percentage points of the relative error of SDL for 65% of
+/// the counts" statistic in Finding 1).
+pub fn fraction_within_relative_tolerance(
+    truth: &Marginal,
+    ours: &BTreeMap<CellKey, f64>,
+    baseline: &BTreeMap<CellKey, f64>,
+    tolerance: f64,
+) -> f64 {
+    let mut within = 0usize;
+    let mut total = 0usize;
+    for (key, stats) in truth.iter() {
+        if stats.count == 0 {
+            continue;
+        }
+        let t = stats.count as f64;
+        let ours_rel = (ours.get(&key).copied().unwrap_or(0.0) - t).abs() / t;
+        let base_rel = (baseline.get(&key).copied().unwrap_or(0.0) - t).abs() / t;
+        total += 1;
+        if ours_rel - base_rel <= tolerance {
+            within += 1;
+        }
+    }
+    if total == 0 {
+        return 1.0;
+    }
+    within as f64 / total as f64
+}
+
+/// Average ranks with ties sharing the mean of their positions (the
+/// standard "fractional ranking" Spearman uses).
+fn average_ranks(values: &[f64]) -> Vec<f64> {
+    let n = values.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        values[a]
+            .partial_cmp(&values[b])
+            .expect("NaN in ranking input")
+    });
+    let mut ranks = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && values[order[j + 1]] == values[order[i]] {
+            j += 1;
+        }
+        // Positions i..=j share the average rank (1-based).
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &idx in &order[i..=j] {
+            ranks[idx] = avg;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+/// Spearman rank-order correlation between two paired samples, with
+/// average-rank tie handling. Returns `None` for fewer than 2 points or
+/// zero variance in either ranking.
+pub fn spearman(a: &[f64], b: &[f64]) -> Option<f64> {
+    assert_eq!(a.len(), b.len(), "paired samples must have equal length");
+    let n = a.len();
+    if n < 2 {
+        return None;
+    }
+    let ra = average_ranks(a);
+    let rb = average_ranks(b);
+    let mean = (n as f64 + 1.0) / 2.0;
+    let (mut cov, mut va, mut vb) = (0.0, 0.0, 0.0);
+    for i in 0..n {
+        let da = ra[i] - mean;
+        let db = rb[i] - mean;
+        cov += da * db;
+        va += da * da;
+        vb += db * db;
+    }
+    if va == 0.0 || vb == 0.0 {
+        return None;
+    }
+    Some(cov / (va * vb).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spearman_perfect_and_reversed() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let up = [10.0, 20.0, 30.0, 40.0];
+        let down = [9.0, 7.0, 5.0, 3.0];
+        assert!((spearman(&a, &up).unwrap() - 1.0).abs() < 1e-12);
+        assert!((spearman(&a, &down).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_is_rank_invariant() {
+        // Monotone transforms leave Spearman unchanged.
+        let a: [f64; 5] = [3.0, 1.0, 4.0, 1.5, 9.0];
+        let b = [0.2, 0.9, 0.1, 0.5, 0.05];
+        let a_exp: Vec<f64> = a.iter().map(|x| x.exp()).collect();
+        let s1 = spearman(&a, &b).unwrap();
+        let s2 = spearman(&a_exp, &b).unwrap();
+        assert!((s1 - s2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_handles_ties() {
+        let a = [1.0, 1.0, 2.0, 3.0];
+        let b = [1.0, 1.0, 2.0, 3.0];
+        assert!((spearman(&a, &b).unwrap() - 1.0).abs() < 1e-12);
+        // All-equal input has zero rank variance.
+        let flat = [5.0, 5.0, 5.0, 5.0];
+        assert!(spearman(&flat, &b).is_none());
+    }
+
+    #[test]
+    fn spearman_known_value() {
+        // Classic example: one transposition among 5.
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let b = [1.0, 2.0, 3.0, 5.0, 4.0];
+        // rho = 1 - 6*sum(d^2)/(n(n^2-1)) = 1 - 6*2/120 = 0.9.
+        assert!((spearman(&a, &b).unwrap() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_ranks_with_ties() {
+        let r = average_ranks(&[10.0, 20.0, 20.0, 30.0]);
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn l1_metrics_on_real_marginal() {
+        use lodes::{Generator, GeneratorConfig};
+        use tabulate::{compute_marginal, workload1};
+        let d = Generator::new(GeneratorConfig::test_small(61)).generate();
+        let truth = compute_marginal(&d, &workload1());
+        // Perfect release: zero error.
+        let perfect: BTreeMap<CellKey, f64> = truth
+            .iter()
+            .map(|(k, s)| (k, s.count as f64))
+            .collect();
+        assert_eq!(l1_error(&truth, &perfect), 0.0);
+        // Off-by-one everywhere: error = #cells.
+        let off: BTreeMap<CellKey, f64> = truth
+            .iter()
+            .map(|(k, s)| (k, s.count as f64 + 1.0))
+            .collect();
+        assert_eq!(l1_error(&truth, &off), truth.num_cells() as f64);
+        assert!((mean_l1_error(&truth, &off) - 1.0).abs() < 1e-12);
+        // Restricted version agrees on the full set.
+        let keys: Vec<CellKey> = truth.iter().map(|(k, _)| k).collect();
+        assert_eq!(l1_error_over(&truth, &off, &keys), truth.num_cells() as f64);
+    }
+
+    #[test]
+    fn relative_tolerance_fraction() {
+        use lodes::{Generator, GeneratorConfig};
+        use tabulate::{compute_marginal, workload1};
+        let d = Generator::new(GeneratorConfig::test_small(62)).generate();
+        let truth = compute_marginal(&d, &workload1());
+        let exact: BTreeMap<CellKey, f64> =
+            truth.iter().map(|(k, s)| (k, s.count as f64)).collect();
+        // Ours exact, baseline exact: everything within tolerance.
+        assert_eq!(
+            fraction_within_relative_tolerance(&truth, &exact, &exact, 0.1),
+            1.0
+        );
+        // Ours 50% off, baseline exact, tolerance 10pp: nothing within.
+        let off: BTreeMap<CellKey, f64> = truth
+            .iter()
+            .map(|(k, s)| (k, s.count as f64 * 1.5))
+            .collect();
+        assert_eq!(
+            fraction_within_relative_tolerance(&truth, &off, &exact, 0.1),
+            0.0
+        );
+    }
+}

@@ -1,0 +1,221 @@
+//! Shared experiment context and trial orchestration.
+//!
+//! Every figure needs the same ingredients: a synthetic dataset, the SDL
+//! baseline release, and repeated (20-trial, per the paper) mechanism
+//! releases across the (mechanism, α, ε) grid. This module builds those
+//! once and exposes deterministic per-trial seeds so any single number in
+//! any figure can be regenerated in isolation.
+
+use lodes::{Dataset, Generator, GeneratorConfig};
+use sdl::{SdlConfig, SdlPublisher, SdlRelease};
+use serde::{Deserialize, Serialize};
+use tabulate::{workload1, workload3, MarginalSpec};
+
+/// Universe scale for experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EvalScale {
+    /// ≈ 2 k establishments — smoke tests and CI.
+    Small,
+    /// ≈ 60 k establishments — the default for figure regeneration.
+    Default,
+    /// ≈ 527 k establishments / ≈ 10.9 M jobs — the paper's sample size.
+    Paper,
+}
+
+impl EvalScale {
+    /// Read from the `EREE_SCALE` environment variable
+    /// (`small`/`default`/`paper`), defaulting to `Default`.
+    pub fn from_env() -> Self {
+        match std::env::var("EREE_SCALE").as_deref() {
+            Ok("small") => EvalScale::Small,
+            Ok("paper") => EvalScale::Paper,
+            _ => EvalScale::Default,
+        }
+    }
+
+    /// Generator configuration for this scale.
+    pub fn generator_config(&self, seed: u64) -> GeneratorConfig {
+        match self {
+            EvalScale::Small => GeneratorConfig::test_small(seed),
+            EvalScale::Default => GeneratorConfig {
+                seed,
+                ..GeneratorConfig::default()
+            },
+            EvalScale::Paper => GeneratorConfig::paper_scale(seed),
+        }
+    }
+}
+
+/// Trial plan: how many independent releases to average, and the base seed
+/// from which per-trial seeds derive.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TrialSpec {
+    /// Number of independent trials (paper: 20).
+    pub trials: usize,
+    /// Base seed; trial `i` uses `base_seed + i`.
+    pub base_seed: u64,
+}
+
+impl Default for TrialSpec {
+    fn default() -> Self {
+        Self {
+            trials: 20,
+            base_seed: 0xF160,
+        }
+    }
+}
+
+impl TrialSpec {
+    /// The seed of trial `i`.
+    pub fn seed(&self, trial: usize) -> u64 {
+        self.base_seed.wrapping_add(trial as u64)
+    }
+
+    /// Average a per-trial statistic over all trials.
+    pub fn average<F>(&self, mut f: F) -> f64
+    where
+        F: FnMut(u64) -> f64,
+    {
+        let total: f64 = (0..self.trials).map(|i| f(self.seed(i))).sum();
+        total / self.trials as f64
+    }
+
+    /// Average a per-trial statistic with trials executed on worker
+    /// threads. Per-trial values are collected into a seed-ordered vector
+    /// and summed sequentially, so the result is bit-identical to
+    /// [`TrialSpec::average`] regardless of scheduling.
+    pub fn average_parallel<F>(&self, f: F) -> f64
+    where
+        F: Fn(u64) -> f64 + Sync,
+    {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(self.trials.max(1));
+        if threads <= 1 || self.trials <= 1 {
+            let total: f64 = (0..self.trials).map(|i| f(self.seed(i))).sum();
+            return total / self.trials as f64;
+        }
+        let mut values = vec![0.0f64; self.trials];
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let values_mutex = std::sync::Mutex::new(&mut values);
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= self.trials {
+                        break;
+                    }
+                    let v = f(self.seed(i));
+                    values_mutex.lock().expect("trial collection")[i] = v;
+                });
+            }
+        });
+        values.iter().sum::<f64>() / self.trials as f64
+    }
+}
+
+/// Everything the figures share: the dataset, the workload marginals'
+/// SDL baseline releases, and the parameter grids.
+pub struct ExperimentContext {
+    /// The synthetic universe.
+    pub dataset: Dataset,
+    /// SDL release of Workload 1 (place × industry × ownership).
+    pub sdl_w1: SdlRelease,
+    /// SDL release of Workload 2/3 (… × sex × education).
+    pub sdl_w3: SdlRelease,
+    /// Scale this context was built at.
+    pub scale: EvalScale,
+}
+
+impl ExperimentContext {
+    /// Build the context at the given scale with the canonical data seed.
+    pub fn new(scale: EvalScale) -> Self {
+        Self::with_seed(scale, 0xEEE5_2017)
+    }
+
+    /// Build with an explicit data seed (exposed so tests can vary data).
+    pub fn with_seed(scale: EvalScale, seed: u64) -> Self {
+        let dataset = Generator::new(scale.generator_config(seed)).generate();
+        let publisher = SdlPublisher::new(&dataset, SdlConfig::default());
+        let sdl_w1 = publisher.publish(&dataset, &workload1());
+        let sdl_w3 = publisher.publish(&dataset, &workload3());
+        Self {
+            dataset,
+            sdl_w1,
+            sdl_w3,
+            scale,
+        }
+    }
+
+    /// SDL release of an arbitrary spec (for workloads beyond W1/W3).
+    pub fn sdl_release(&self, spec: &MarginalSpec) -> SdlRelease {
+        SdlPublisher::new(&self.dataset, SdlConfig::default()).publish(&self.dataset, spec)
+    }
+
+    /// The ε grid of Figures 1–3 and 5.
+    pub const EPSILON_GRID: [f64; 6] = [0.25, 0.5, 0.67, 1.0, 2.0, 4.0];
+
+    /// The extended ε grid of Figure 4.
+    pub const EPSILON_GRID_WIDE: [f64; 7] = [1.0, 2.0, 4.0, 8.0, 10.0, 16.0, 20.0];
+
+    /// The α grid of all figures.
+    pub const ALPHA_GRID: [f64; 5] = [0.01, 0.05, 0.1, 0.15, 0.2];
+
+    /// The θ grid for the Truncated Laplace comparison (Finding 6).
+    pub const THETA_GRID: [u32; 6] = [2, 20, 50, 100, 200, 500];
+
+    /// δ used for Smooth Laplace throughout the figures (the paper reports
+    /// the δ = 0.05 feasibility frontier and notes smaller δ just removes
+    /// (α, ε) points).
+    pub const DELTA: f64 = 0.05;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trial_seeds_are_distinct_and_deterministic() {
+        let spec = TrialSpec {
+            trials: 5,
+            base_seed: 100,
+        };
+        let seeds: Vec<u64> = (0..spec.trials).map(|i| spec.seed(i)).collect();
+        assert_eq!(seeds, vec![100, 101, 102, 103, 104]);
+        let avg = spec.average(|s| s as f64);
+        assert!((avg - 102.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_average_is_bit_identical_to_sequential() {
+        let spec = TrialSpec {
+            trials: 17,
+            base_seed: 999,
+        };
+        // A nontrivial deterministic function of the seed.
+        let f = |s: u64| ((s as f64).sin() * 1e6).fract() + s as f64 * 0.5;
+        let sequential = spec.average(f);
+        let parallel = spec.average_parallel(f);
+        assert_eq!(sequential.to_bits(), parallel.to_bits());
+    }
+
+    #[test]
+    fn small_context_builds_consistently() {
+        let ctx = ExperimentContext::with_seed(EvalScale::Small, 7);
+        assert!(ctx.dataset.num_jobs() > 10_000);
+        assert_eq!(ctx.sdl_w1.published.len(), ctx.sdl_w1.truth.num_cells());
+        assert!(ctx.sdl_w3.truth.num_cells() > ctx.sdl_w1.truth.num_cells());
+        // SDL error is positive but small relative to total jobs.
+        let err = ctx.sdl_w1.l1_error();
+        assert!(err > 0.0);
+        assert!(err < 0.2 * ctx.dataset.num_jobs() as f64);
+    }
+
+    #[test]
+    fn scale_from_env_defaults() {
+        // Not setting the variable in tests: default expected.
+        std::env::remove_var("EREE_SCALE");
+        assert_eq!(EvalScale::from_env(), EvalScale::Default);
+    }
+}

@@ -1,0 +1,153 @@
+//! Edge-differential-privacy baseline: the Laplace mechanism with
+//! sensitivity 1.
+//!
+//! Under edge-DP, neighboring databases differ in a single job. A marginal
+//! query changes by at most 1 in a single cell, so adding independent
+//! `Laplace(1/ε)` noise to every cell releases the full marginal at
+//! privacy loss ε (cells partition jobs, so parallel composition applies).
+//!
+//! This mechanism satisfies the employee requirement (Def 4.1) but not the
+//! establishment requirements (Defs 4.2/4.3): the demonstration helpers at
+//! the bottom quantify how tightly an adversary pins down an
+//! establishment's total employment.
+
+use lodes::Dataset;
+use noise::{ContinuousDistribution, Laplace};
+use rand::Rng;
+use std::collections::BTreeMap;
+use tabulate::{compute_marginal, CellKey, Marginal, MarginalSpec};
+
+/// Edge-DP Laplace releaser.
+#[derive(Debug, Clone, Copy)]
+pub struct EdgeLaplace {
+    epsilon: f64,
+}
+
+impl EdgeLaplace {
+    /// Create with privacy-loss parameter `ε > 0`.
+    ///
+    /// # Panics
+    /// Panics unless `ε` is positive and finite.
+    pub fn new(epsilon: f64) -> Self {
+        assert!(
+            epsilon.is_finite() && epsilon > 0.0,
+            "epsilon must be positive, got {epsilon}"
+        );
+        Self { epsilon }
+    }
+
+    /// The privacy-loss parameter.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Release one count at privacy loss ε.
+    pub fn release_count<R: Rng + ?Sized>(&self, count: u64, rng: &mut R) -> f64 {
+        let lap = Laplace::new(1.0 / self.epsilon).expect("validated scale");
+        count as f64 + lap.sample(rng)
+    }
+
+    /// Release every nonzero cell of the marginal `spec`; each cell gets
+    /// independent `Laplace(1/ε)` noise (parallel composition over the
+    /// disjoint job partition).
+    pub fn release_marginal<R: Rng + ?Sized>(
+        &self,
+        dataset: &Dataset,
+        spec: &MarginalSpec,
+        rng: &mut R,
+    ) -> (BTreeMap<CellKey, f64>, Marginal) {
+        let truth = compute_marginal(dataset, spec);
+        let released = truth
+            .iter()
+            .map(|(key, stats)| (key, self.release_count(stats.count, rng)))
+            .collect();
+        (released, truth)
+    }
+
+    /// Claim B.1 quantification: with probability `1 − p`, the released
+    /// size of an establishment is within `ln(1/p)/ε` of the truth — an
+    /// additive band independent of establishment size, so the
+    /// multiplicative α-protection of Definition 4.2 fails for large
+    /// establishments.
+    pub fn size_disclosure_band(&self, p: f64) -> f64 {
+        assert!(p > 0.0 && p < 1.0, "p must be in (0,1), got {p}");
+        (1.0 / p).ln() / self.epsilon
+    }
+
+    /// The largest establishment size at which the edge-DP band still
+    /// provides the (ε′, α) multiplicative protection: above
+    /// `band/α`, the additive band is narrower than `α·size`, and the
+    /// adversary distinguishes sizes the ER-EE definition requires to be
+    /// indistinguishable.
+    pub fn alpha_protection_breaks_at(&self, p: f64, alpha: f64) -> f64 {
+        assert!(alpha > 0.0, "alpha must be positive");
+        self.size_disclosure_band(p) / alpha
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lodes::{Generator, GeneratorConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tabulate::workload1;
+
+    #[test]
+    #[should_panic(expected = "epsilon must be positive")]
+    fn rejects_bad_epsilon() {
+        EdgeLaplace::new(0.0);
+    }
+
+    #[test]
+    fn release_is_unbiased() {
+        let m = EdgeLaplace::new(1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| m.release_count(500, &mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 500.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn marginal_release_covers_truth() {
+        let d = Generator::new(GeneratorConfig::test_small(31)).generate();
+        let m = EdgeLaplace::new(2.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let (released, truth) = m.release_marginal(&d, &workload1(), &mut rng);
+        assert_eq!(released.len(), truth.num_cells());
+        // Mean |noise| should be near 1/eps = 0.5.
+        let mean_err: f64 = truth
+            .iter()
+            .map(|(k, s)| (released[&k] - s.count as f64).abs())
+            .sum::<f64>()
+            / truth.num_cells() as f64;
+        assert!(mean_err > 0.3 && mean_err < 0.8, "mean error {mean_err}");
+    }
+
+    #[test]
+    fn disclosure_band_matches_paper_example() {
+        // Paper Sec 6: at eps = 1, p = 0.01 the band is at most ~5
+        // (ln(100) = 4.6).
+        let m = EdgeLaplace::new(1.0);
+        let band = m.size_disclosure_band(0.01);
+        assert!((band - 100f64.ln()).abs() < 1e-12);
+        assert!(band < 5.0);
+        // "Knowing total employment is 10,000 +/- 5 is almost as good as
+        // knowing the true count": the alpha=0.1 protection breaks for any
+        // establishment larger than band/alpha = ~46.
+        assert!(m.alpha_protection_breaks_at(0.01, 0.1) < 50.0);
+    }
+
+    #[test]
+    fn band_holds_empirically() {
+        let m = EdgeLaplace::new(1.0);
+        let band = m.size_disclosure_band(0.01);
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 100_000;
+        let outside = (0..n)
+            .filter(|_| (m.release_count(10_000, &mut rng) - 10_000.0).abs() > band)
+            .count();
+        let frac = outside as f64 / n as f64;
+        assert!(frac < 0.015, "outside fraction {frac} should be ~0.01");
+    }
+}

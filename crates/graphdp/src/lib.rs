@@ -1,0 +1,25 @@
+//! Differential privacy baselines on the bipartite ER-EE graph (Sec 6).
+//!
+//! The linked data form a bipartite graph: establishments and workers are
+//! nodes, jobs are edges. Two classical notions apply:
+//!
+//! * **Edge differential privacy** — neighbors differ in one edge (one
+//!   job). Counting queries have sensitivity 1, so the Laplace mechanism
+//!   with scale `1/ε` applies ([`edge::EdgeLaplace`]). Edge-DP satisfies the
+//!   *employee* requirement but **fails** the establishment-size requirement
+//!   (Claim B.1): the adversary learns any establishment's size to within
+//!   `±ln(1/p)/ε` with probability `1−p` — a fixed additive band, so the
+//!   multiplicative protection of Definition 4.2 degrades as establishments
+//!   grow.
+//! * **Node differential privacy** — neighbors differ in one establishment
+//!   *and all its jobs*. Unbounded degree forces projection: the
+//!   "Truncated Laplace" baseline ([`node::TruncatedLaplace`]) removes every
+//!   establishment with `θ` or more employees, then adds `Laplace(θ/ε)`
+//!   noise. It satisfies all three requirements but with crushing utility
+//!   cost (Finding 6): truncation bias does not shrink as ε grows.
+
+pub mod edge;
+pub mod node;
+
+pub use edge::EdgeLaplace;
+pub use node::{TruncatedLaplace, TruncatedTabulation};

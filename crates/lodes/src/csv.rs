@@ -1,0 +1,309 @@
+//! Flat-file (CSV) export and import of the three-table schema.
+//!
+//! Statistical agencies exchange extracts as flat files; this module
+//! round-trips a [`Dataset`] through the LODES-style layout so synthetic
+//! universes can be inspected with standard tools, shared between runs, or
+//! fed to external analyses. The format is self-contained: a geography
+//! section plus the three tables, all in one reader/writer pass.
+//!
+//! No external CSV crate is used — the fields are all integers/enum
+//! indices, so hand-rolled serialization is both dependency-free and
+//! unambiguous (no quoting/escaping cases arise).
+
+use crate::geo::{Block, BlockId, CountyId, Geography, Place, PlaceId, StateId};
+use crate::naics::NaicsSector;
+use crate::ownership::Ownership;
+use crate::schema::{Dataset, Job, Worker, WorkerId, Workplace, WorkplaceId};
+use crate::worker::{AgeGroup, Education, Ethnicity, Race, Sex};
+use std::fmt::Write as _;
+use std::io::{self, BufRead, Write};
+
+/// Errors from CSV import.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Structural problem with the file.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl From<io::Error> for CsvError {
+    fn from(e: io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "io error: {e}"),
+            CsvError::Parse { line, message } => write!(f, "line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+/// Write a dataset to `out` in the sectioned CSV layout.
+pub fn write_dataset<W: Write>(dataset: &Dataset, out: &mut W) -> io::Result<()> {
+    let mut buf = String::new();
+    let geo = dataset.geography();
+
+    let _ = writeln!(buf, "#geography,states={}", geo.num_states());
+    let _ = writeln!(buf, "#counties");
+    let _ = writeln!(buf, "county,state");
+    for c in 0..geo.num_counties() {
+        let _ = writeln!(buf, "{},{}", c, geo.state_of_county(CountyId(c as u16)).0);
+    }
+    let _ = writeln!(buf, "#places");
+    let _ = writeln!(buf, "place,county,state,population");
+    for p in geo.places() {
+        let _ = writeln!(buf, "{},{},{},{}", p.id.0, p.county.0, p.state.0, p.population);
+    }
+    let _ = writeln!(buf, "#blocks");
+    let _ = writeln!(buf, "block,place");
+    for b in geo.blocks() {
+        let _ = writeln!(buf, "{},{}", b.id.0, b.place.0);
+    }
+
+    let _ = writeln!(buf, "#workplaces");
+    let _ = writeln!(buf, "workplace,block,naics,ownership");
+    for w in dataset.workplaces() {
+        let _ = writeln!(
+            buf,
+            "{},{},{},{}",
+            w.id.0,
+            w.block.0,
+            w.naics.index(),
+            w.ownership.index()
+        );
+    }
+
+    let _ = writeln!(buf, "#workers");
+    let _ = writeln!(buf, "worker,sex,age,race,ethnicity,education,workplace");
+    for w in dataset.workers() {
+        let _ = writeln!(
+            buf,
+            "{},{},{},{},{},{},{}",
+            w.id.0,
+            w.sex.index(),
+            w.age.index(),
+            w.race.index(),
+            w.ethnicity.index(),
+            w.education.index(),
+            dataset.employer_of(w.id).0
+        );
+    }
+    out.write_all(buf.as_bytes())
+}
+
+/// Read a dataset back from the sectioned CSV layout.
+pub fn read_dataset<R: BufRead>(input: R) -> Result<Dataset, CsvError> {
+    #[derive(PartialEq)]
+    enum Section {
+        None,
+        Counties,
+        Places,
+        Blocks,
+        Workplaces,
+        Workers,
+    }
+    let mut section = Section::None;
+    let mut states: u16 = 0;
+    let mut counties: Vec<StateId> = Vec::new();
+    let mut places: Vec<Place> = Vec::new();
+    let mut blocks: Vec<Block> = Vec::new();
+    let mut workplaces_raw: Vec<(u32, u32, usize, usize)> = Vec::new();
+    let mut workers: Vec<Worker> = Vec::new();
+    let mut jobs: Vec<Job> = Vec::new();
+
+    let parse_err = |line: usize, message: &str| CsvError::Parse {
+        line,
+        message: message.to_string(),
+    };
+
+    for (idx, line) in input.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            section = match rest.split(',').next().unwrap_or("") {
+                "geography" => {
+                    let states_field = rest
+                        .split(',')
+                        .nth(1)
+                        .and_then(|f| f.strip_prefix("states="))
+                        .ok_or_else(|| parse_err(line_no, "missing states= field"))?;
+                    states = states_field
+                        .parse()
+                        .map_err(|_| parse_err(line_no, "bad state count"))?;
+                    Section::None
+                }
+                "counties" => Section::Counties,
+                "places" => Section::Places,
+                "blocks" => Section::Blocks,
+                "workplaces" => Section::Workplaces,
+                "workers" => Section::Workers,
+                other => return Err(parse_err(line_no, &format!("unknown section '{other}'"))),
+            };
+            continue;
+        }
+        // Header rows (non-numeric first field) are skipped.
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields[0].parse::<u64>().is_err() {
+            continue;
+        }
+        let num = |i: usize| -> Result<u64, CsvError> {
+            fields
+                .get(i)
+                .ok_or_else(|| parse_err(line_no, "missing field"))?
+                .parse()
+                .map_err(|_| parse_err(line_no, "non-numeric field"))
+        };
+        match section {
+            Section::Counties => counties.push(StateId(num(1)? as u16)),
+            Section::Places => places.push(Place {
+                id: PlaceId(num(0)? as u32),
+                county: CountyId(num(1)? as u16),
+                state: StateId(num(2)? as u16),
+                population: num(3)?,
+            }),
+            Section::Blocks => blocks.push(Block {
+                id: BlockId(num(0)? as u32),
+                place: PlaceId(num(1)? as u32),
+            }),
+            Section::Workplaces => workplaces_raw.push((
+                num(0)? as u32,
+                num(1)? as u32,
+                num(2)? as usize,
+                num(3)? as usize,
+            )),
+            Section::Workers => {
+                let id = WorkerId(num(0)? as u32);
+                workers.push(Worker {
+                    id,
+                    sex: Sex::from_index(num(1)? as usize)
+                        .ok_or_else(|| parse_err(line_no, "bad sex index"))?,
+                    age: AgeGroup::from_index(num(2)? as usize)
+                        .ok_or_else(|| parse_err(line_no, "bad age index"))?,
+                    race: Race::from_index(num(3)? as usize)
+                        .ok_or_else(|| parse_err(line_no, "bad race index"))?,
+                    ethnicity: Ethnicity::from_index(num(4)? as usize)
+                        .ok_or_else(|| parse_err(line_no, "bad ethnicity index"))?,
+                    education: Education::from_index(num(5)? as usize)
+                        .ok_or_else(|| parse_err(line_no, "bad education index"))?,
+                });
+                jobs.push(Job {
+                    worker: id,
+                    workplace: WorkplaceId(num(6)? as u32),
+                });
+            }
+            Section::None => return Err(parse_err(line_no, "data before any section")),
+        }
+    }
+
+    let geography = Geography::new(states, counties, places, blocks);
+    let workplaces: Vec<Workplace> = workplaces_raw
+        .into_iter()
+        .map(|(id, block, naics, ownership)| {
+            let block = BlockId(block);
+            let place = geography.place_of_block(block);
+            let place_rec = geography.place(place);
+            Ok(Workplace {
+                id: WorkplaceId(id),
+                block,
+                place,
+                county: place_rec.county,
+                state: place_rec.state,
+                naics: NaicsSector::from_index(naics)
+                    .ok_or_else(|| parse_err(0, "bad naics index"))?,
+                ownership: Ownership::from_index(ownership)
+                    .ok_or_else(|| parse_err(0, "bad ownership index"))?,
+            })
+        })
+        .collect::<Result<_, CsvError>>()?;
+
+    Ok(Dataset::new(geography, workplaces, workers, jobs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{Generator, GeneratorConfig};
+    use std::io::BufReader;
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let original = Generator::new(GeneratorConfig::test_small(55)).generate();
+        let mut buf = Vec::new();
+        write_dataset(&original, &mut buf).unwrap();
+        let restored = read_dataset(BufReader::new(&buf[..])).unwrap();
+
+        assert_eq!(restored.num_jobs(), original.num_jobs());
+        assert_eq!(restored.num_workplaces(), original.num_workplaces());
+        assert_eq!(
+            restored.geography().num_places(),
+            original.geography().num_places()
+        );
+        assert_eq!(
+            restored.establishment_sizes(),
+            original.establishment_sizes()
+        );
+        // Spot-check record-level equality.
+        for i in (0..original.num_workers()).step_by(997) {
+            let id = WorkerId(i as u32);
+            let (a, b) = (original.worker(id), restored.worker(id));
+            assert_eq!(a.sex, b.sex);
+            assert_eq!(a.education, b.education);
+            assert_eq!(original.employer_of(id), restored.employer_of(id));
+        }
+        for i in (0..original.num_workplaces()).step_by(101) {
+            let id = WorkplaceId(i as u32);
+            let (a, b) = (original.workplace(id), restored.workplace(id));
+            assert_eq!(a.naics, b.naics);
+            assert_eq!(a.place, b.place);
+        }
+    }
+
+    #[test]
+    fn tabulations_agree_after_roundtrip() {
+        let original = Generator::new(GeneratorConfig::test_small(56)).generate();
+        let mut buf = Vec::new();
+        write_dataset(&original, &mut buf).unwrap();
+        let restored = read_dataset(BufReader::new(&buf[..])).unwrap();
+        // The ultimate consumer check: identical marginal output.
+        let a = crate::stats::DatasetStats::compute(&original);
+        let b = crate::stats::DatasetStats::compute(&restored);
+        assert_eq!(a.jobs, b.jobs);
+        assert_eq!(a.over_1000, b.over_1000);
+        assert_eq!(a.jobs_by_stratum, b.jobs_by_stratum);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        // Data before a section header.
+        let bad = "1,2,3\n";
+        let err = read_dataset(BufReader::new(bad.as_bytes())).unwrap_err();
+        assert!(matches!(err, CsvError::Parse { line: 1, .. }), "{err}");
+
+        // Bad enum index.
+        let bad = "#geography,states=1\n#counties\ncounty,state\n0,0\n#places\n\
+                   place,county,state,population\n0,0,0,100\n#blocks\nblock,place\n0,0\n\
+                   #workplaces\nworkplace,block,naics,ownership\n0,0,99,0\n#workers\n";
+        let err = read_dataset(BufReader::new(bad.as_bytes())).unwrap_err();
+        assert!(err.to_string().contains("naics"), "{err}");
+
+        // Unknown section.
+        let bad = "#mystery\n";
+        let err = read_dataset(BufReader::new(bad.as_bytes())).unwrap_err();
+        assert!(err.to_string().contains("unknown section"), "{err}");
+    }
+}

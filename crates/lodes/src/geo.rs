@@ -1,0 +1,278 @@
+//! Geography hierarchy: state → county → place → census block.
+//!
+//! LODES tabulates workplace counts at the census-block level, but the
+//! paper's headline marginal (Workload 1) aggregates blocks to Census
+//! *places* (cities, towns, Census Designated Places) and stratifies results
+//! by place population: 0–100, 100–10k, 10k–100k, 100k+. We therefore carry
+//! a resident population for each place, distinct from its job count.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a state (0-based dense index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct StateId(pub u16);
+
+/// Identifier of a county within the synthetic universe (dense index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct CountyId(pub u16);
+
+/// Identifier of a Census place (dense index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PlaceId(pub u32);
+
+/// Identifier of a census block (dense index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct BlockId(pub u32);
+
+/// Population-size class of a place — the strata used in Figures 1–5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum PlaceSizeClass {
+    /// Resident population in `[0, 100)`.
+    Under100,
+    /// Resident population in `[100, 10_000)`.
+    To10k,
+    /// Resident population in `[10_000, 100_000)`.
+    To100k,
+    /// Resident population `≥ 100_000`.
+    Over100k,
+}
+
+impl PlaceSizeClass {
+    /// Classify a population count.
+    pub fn of(population: u64) -> Self {
+        match population {
+            0..=99 => PlaceSizeClass::Under100,
+            100..=9_999 => PlaceSizeClass::To10k,
+            10_000..=99_999 => PlaceSizeClass::To100k,
+            _ => PlaceSizeClass::Over100k,
+        }
+    }
+
+    /// All classes in ascending population order.
+    pub const ALL: [PlaceSizeClass; 4] = [
+        PlaceSizeClass::Under100,
+        PlaceSizeClass::To10k,
+        PlaceSizeClass::To100k,
+        PlaceSizeClass::Over100k,
+    ];
+
+    /// Human-readable label matching the paper's facet titles.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PlaceSizeClass::Under100 => "0 <= pop < 100",
+            PlaceSizeClass::To10k => "100 <= pop < 10k",
+            PlaceSizeClass::To100k => "10k <= pop < 100k",
+            PlaceSizeClass::Over100k => "pop >= 100k",
+        }
+    }
+}
+
+/// A Census place with its containing geography and resident population.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Place {
+    /// Dense identifier.
+    pub id: PlaceId,
+    /// Containing county.
+    pub county: CountyId,
+    /// Containing state.
+    pub state: StateId,
+    /// Resident population (2010-Census-style `P0010001` analogue), used
+    /// only for stratifying evaluation output.
+    pub population: u64,
+}
+
+impl Place {
+    /// Stratum of this place.
+    pub fn size_class(&self) -> PlaceSizeClass {
+        PlaceSizeClass::of(self.population)
+    }
+}
+
+/// A census block, the finest workplace geography.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Block {
+    /// Dense identifier.
+    pub id: BlockId,
+    /// Containing place.
+    pub place: PlaceId,
+}
+
+/// The complete synthetic geography: states, counties, places, and blocks,
+/// with parent pointers in dense vectors for O(1) lookup.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Geography {
+    states: u16,
+    counties: Vec<StateId>,
+    places: Vec<Place>,
+    blocks: Vec<Block>,
+}
+
+impl Geography {
+    /// Assemble a geography from parts. Intended to be called by the
+    /// generator; validates parent references.
+    pub fn new(states: u16, counties: Vec<StateId>, places: Vec<Place>, blocks: Vec<Block>) -> Self {
+        for c in &counties {
+            assert!(c.0 < states, "county references missing state {}", c.0);
+        }
+        for (i, p) in places.iter().enumerate() {
+            assert_eq!(p.id.0 as usize, i, "place ids must be dense");
+            assert!(
+                (p.county.0 as usize) < counties.len(),
+                "place references missing county"
+            );
+        }
+        for (i, b) in blocks.iter().enumerate() {
+            assert_eq!(b.id.0 as usize, i, "block ids must be dense");
+            assert!(
+                (b.place.0 as usize) < places.len(),
+                "block references missing place"
+            );
+        }
+        Self {
+            states,
+            counties,
+            places,
+            blocks,
+        }
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> u16 {
+        self.states
+    }
+
+    /// Number of counties.
+    pub fn num_counties(&self) -> usize {
+        self.counties.len()
+    }
+
+    /// Number of places.
+    pub fn num_places(&self) -> usize {
+        self.places.len()
+    }
+
+    /// Number of blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// The place containing `block`.
+    pub fn place_of_block(&self, block: BlockId) -> PlaceId {
+        self.blocks[block.0 as usize].place
+    }
+
+    /// Full place record.
+    pub fn place(&self, place: PlaceId) -> &Place {
+        &self.places[place.0 as usize]
+    }
+
+    /// Iterate over all places.
+    pub fn places(&self) -> impl Iterator<Item = &Place> {
+        self.places.iter()
+    }
+
+    /// Iterate over all blocks.
+    pub fn blocks(&self) -> impl Iterator<Item = &Block> {
+        self.blocks.iter()
+    }
+
+    /// The state containing `county`.
+    pub fn state_of_county(&self, county: CountyId) -> StateId {
+        self.counties[county.0 as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_geo() -> Geography {
+        let counties = vec![StateId(0), StateId(0), StateId(1)];
+        let places = vec![
+            Place {
+                id: PlaceId(0),
+                county: CountyId(0),
+                state: StateId(0),
+                population: 50,
+            },
+            Place {
+                id: PlaceId(1),
+                county: CountyId(1),
+                state: StateId(0),
+                population: 5_000,
+            },
+            Place {
+                id: PlaceId(2),
+                county: CountyId(2),
+                state: StateId(1),
+                population: 250_000,
+            },
+        ];
+        let blocks = vec![
+            Block {
+                id: BlockId(0),
+                place: PlaceId(0),
+            },
+            Block {
+                id: BlockId(1),
+                place: PlaceId(1),
+            },
+            Block {
+                id: BlockId(2),
+                place: PlaceId(2),
+            },
+            Block {
+                id: BlockId(3),
+                place: PlaceId(2),
+            },
+        ];
+        Geography::new(2, counties, places, blocks)
+    }
+
+    #[test]
+    fn size_class_boundaries() {
+        assert_eq!(PlaceSizeClass::of(0), PlaceSizeClass::Under100);
+        assert_eq!(PlaceSizeClass::of(99), PlaceSizeClass::Under100);
+        assert_eq!(PlaceSizeClass::of(100), PlaceSizeClass::To10k);
+        assert_eq!(PlaceSizeClass::of(9_999), PlaceSizeClass::To10k);
+        assert_eq!(PlaceSizeClass::of(10_000), PlaceSizeClass::To100k);
+        assert_eq!(PlaceSizeClass::of(99_999), PlaceSizeClass::To100k);
+        assert_eq!(PlaceSizeClass::of(100_000), PlaceSizeClass::Over100k);
+        assert_eq!(PlaceSizeClass::of(u64::MAX), PlaceSizeClass::Over100k);
+    }
+
+    #[test]
+    fn lookups_resolve_parents() {
+        let g = tiny_geo();
+        assert_eq!(g.num_states(), 2);
+        assert_eq!(g.num_counties(), 3);
+        assert_eq!(g.num_places(), 3);
+        assert_eq!(g.num_blocks(), 4);
+        assert_eq!(g.place_of_block(BlockId(3)), PlaceId(2));
+        assert_eq!(g.place(PlaceId(2)).size_class(), PlaceSizeClass::Over100k);
+        assert_eq!(g.state_of_county(CountyId(2)), StateId(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "block references missing place")]
+    fn rejects_dangling_block() {
+        let mut counties = vec![StateId(0)];
+        counties.truncate(1);
+        Geography::new(
+            1,
+            counties,
+            vec![],
+            vec![Block {
+                id: BlockId(0),
+                place: PlaceId(7),
+            }],
+        );
+    }
+
+    #[test]
+    fn all_classes_cover_labels() {
+        for c in PlaceSizeClass::ALL {
+            assert!(!c.label().is_empty());
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! Per-establishment worker-cell histograms `h(w, c)`.
+//!
+//! Section 5.1 of the paper describes the `WorkplaceFull` table: one row per
+//! workplace `w` with a histogram `h(w)` of its workers cross-tabulated over
+//! *all* combinations of worker attributes. The SDL input-noise-infusion
+//! system perturbs these histograms (`h*(w,c) = f_w · h(w,c)`), and the
+//! smooth-sensitivity mechanisms need, per output cell, the largest
+//! single-establishment contribution `x_v` — both are computed from this
+//! structure.
+//!
+//! The full worker domain has 768 cells but a typical establishment has ~20
+//! workers, so histograms are stored sparsely.
+
+use crate::schema::{Dataset, Worker, WorkplaceId};
+use crate::worker::{AgeGroup, Education, Ethnicity, Race, Sex, WORKER_DOMAIN_SIZE};
+use std::collections::BTreeMap;
+
+/// Dense index of a full worker-attribute combination in
+/// `[0, WORKER_DOMAIN_SIZE)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct WorkerCell(pub u16);
+
+impl WorkerCell {
+    /// Encode a worker's attribute combination.
+    pub fn of(worker: &Worker) -> Self {
+        let mut idx = worker.sex.index();
+        idx = idx * AgeGroup::COUNT + worker.age.index();
+        idx = idx * Race::COUNT + worker.race.index();
+        idx = idx * Ethnicity::COUNT + worker.ethnicity.index();
+        idx = idx * Education::COUNT + worker.education.index();
+        WorkerCell(idx as u16)
+    }
+
+    /// Decode back into attribute values `(sex, age, race, ethnicity,
+    /// education)`.
+    pub fn decode(&self) -> (Sex, AgeGroup, Race, Ethnicity, Education) {
+        let mut idx = self.0 as usize;
+        let education = Education::from_index(idx % Education::COUNT).unwrap();
+        idx /= Education::COUNT;
+        let ethnicity = Ethnicity::from_index(idx % Ethnicity::COUNT).unwrap();
+        idx /= Ethnicity::COUNT;
+        let race = Race::from_index(idx % Race::COUNT).unwrap();
+        idx /= Race::COUNT;
+        let age = AgeGroup::from_index(idx % AgeGroup::COUNT).unwrap();
+        idx /= AgeGroup::COUNT;
+        let sex = Sex::from_index(idx).unwrap();
+        (sex, age, race, ethnicity, education)
+    }
+
+    /// All cells in the worker domain.
+    pub fn all() -> impl Iterator<Item = WorkerCell> {
+        (0..WORKER_DOMAIN_SIZE as u16).map(WorkerCell)
+    }
+}
+
+/// Sparse histogram of one establishment's workforce over worker cells.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WorkplaceHistogram {
+    counts: BTreeMap<WorkerCell, u32>,
+    total: u32,
+}
+
+impl WorkplaceHistogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one worker.
+    pub fn add(&mut self, cell: WorkerCell) {
+        *self.counts.entry(cell).or_insert(0) += 1;
+        self.total += 1;
+    }
+
+    /// Count in a specific cell (`h(w, c)`), zero when absent.
+    pub fn count(&self, cell: WorkerCell) -> u32 {
+        self.counts.get(&cell).copied().unwrap_or(0)
+    }
+
+    /// Total employment of the establishment (`|e|`).
+    pub fn total(&self) -> u32 {
+        self.total
+    }
+
+    /// Iterate over nonzero cells.
+    pub fn nonzero(&self) -> impl Iterator<Item = (WorkerCell, u32)> + '_ {
+        self.counts.iter().map(|(&c, &n)| (c, n))
+    }
+
+    /// Number of distinct nonzero cells.
+    pub fn support_size(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Sum of counts over an arbitrary predicate on decoded attributes —
+    /// the workforce property `φ(E)` of Definition 7.3.
+    pub fn count_matching<F>(&self, mut predicate: F) -> u32
+    where
+        F: FnMut(Sex, AgeGroup, Race, Ethnicity, Education) -> bool,
+    {
+        self.counts
+            .iter()
+            .filter(|(cell, _)| {
+                let (s, a, r, e, d) = cell.decode();
+                predicate(s, a, r, e, d)
+            })
+            .map(|(_, &n)| n)
+            .sum()
+    }
+}
+
+/// Histograms for every establishment in a dataset, indexed by workplace ID.
+#[derive(Debug, Clone)]
+pub struct DatasetHistograms {
+    histograms: Vec<WorkplaceHistogram>,
+}
+
+impl DatasetHistograms {
+    /// Build all establishment histograms in one pass over the Job table.
+    pub fn build(dataset: &Dataset) -> Self {
+        let mut histograms = vec![WorkplaceHistogram::new(); dataset.num_workplaces()];
+        for worker in dataset.workers() {
+            let wp = dataset.employer_of(worker.id);
+            histograms[wp.0 as usize].add(WorkerCell::of(worker));
+        }
+        Self { histograms }
+    }
+
+    /// Histogram of one establishment.
+    pub fn of(&self, workplace: WorkplaceId) -> &WorkplaceHistogram {
+        &self.histograms[workplace.0 as usize]
+    }
+
+    /// Iterate over `(workplace index, histogram)`.
+    pub fn iter(&self) -> impl Iterator<Item = (WorkplaceId, &WorkplaceHistogram)> {
+        self.histograms
+            .iter()
+            .enumerate()
+            .map(|(i, h)| (WorkplaceId(i as u32), h))
+    }
+
+    /// Number of establishments covered.
+    pub fn len(&self) -> usize {
+        self.histograms.len()
+    }
+
+    /// True when no establishments are covered.
+    pub fn is_empty(&self) -> bool {
+        self.histograms.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::worker::*;
+
+    #[test]
+    fn cell_roundtrip_entire_domain() {
+        for cell in WorkerCell::all() {
+            let (s, a, r, e, d) = cell.decode();
+            let w = Worker {
+                id: crate::schema::WorkerId(0),
+                sex: s,
+                age: a,
+                race: r,
+                ethnicity: e,
+                education: d,
+            };
+            assert_eq!(WorkerCell::of(&w), cell);
+        }
+    }
+
+    #[test]
+    fn histogram_counts() {
+        let mut h = WorkplaceHistogram::new();
+        let c0 = WorkerCell(0);
+        let c5 = WorkerCell(5);
+        h.add(c0);
+        h.add(c0);
+        h.add(c5);
+        assert_eq!(h.total(), 3);
+        assert_eq!(h.count(c0), 2);
+        assert_eq!(h.count(c5), 1);
+        assert_eq!(h.count(WorkerCell(9)), 0);
+        assert_eq!(h.support_size(), 2);
+    }
+
+    #[test]
+    fn count_matching_is_phi() {
+        let mut h = WorkplaceHistogram::new();
+        // Female with bachelor's.
+        let w1 = Worker {
+            id: crate::schema::WorkerId(0),
+            sex: Sex::Female,
+            age: AgeGroup::A25_34,
+            race: Race::Asian,
+            ethnicity: Ethnicity::NotHispanic,
+            education: Education::BachelorOrHigher,
+        };
+        // Male, high school.
+        let w2 = Worker {
+            id: crate::schema::WorkerId(1),
+            sex: Sex::Male,
+            age: AgeGroup::A45_54,
+            race: Race::White,
+            ethnicity: Ethnicity::Hispanic,
+            education: Education::HighSchool,
+        };
+        h.add(WorkerCell::of(&w1));
+        h.add(WorkerCell::of(&w1));
+        h.add(WorkerCell::of(&w2));
+        let females_college = h.count_matching(|s, _, _, _, d| {
+            s == Sex::Female && d == Education::BachelorOrHigher
+        });
+        assert_eq!(females_college, 2);
+        let total = h.count_matching(|_, _, _, _, _| true);
+        assert_eq!(total, h.total());
+    }
+
+    #[test]
+    fn dataset_histograms_match_sizes() {
+        let d = crate::schema::tests::tiny_dataset();
+        let hs = DatasetHistograms::build(&d);
+        assert_eq!(hs.len(), d.num_workplaces());
+        for (wp, h) in hs.iter() {
+            assert_eq!(h.total(), d.establishment_size(wp));
+        }
+    }
+}

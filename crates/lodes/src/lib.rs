@@ -1,0 +1,43 @@
+//! Synthetic LODES-style employer-employee (ER-EE) data substrate.
+//!
+//! The experiments in Haney et al. (SIGMOD 2017) run on a confidential
+//! 3-state extract of the U.S. Census Bureau's LODES infrastructure
+//! (10.9 M jobs across ~527 k establishments). That extract cannot leave the
+//! Bureau, so this crate builds the closest synthetic equivalent that
+//! exercises the same code paths:
+//!
+//! * the documented three-table schema — [`schema::Workplace`],
+//!   [`schema::Worker`], [`schema::Job`] — joined into the `WorkerFull`
+//!   universal relation the paper tabulates;
+//! * a geography hierarchy (state → county → place → census block) with
+//!   power-law place populations, so the paper's stratified results
+//!   (place population 0–100, 100–10k, 10k–100k, 100k+) are reproducible;
+//! * NAICS two-digit industry sectors and public/private ownership;
+//! * a seeded generator ([`generator::Generator`]) whose establishment-size
+//!   distribution is right-skewed (log-normal body, Pareto tail) and
+//!   calibrated to the paper's published aggregates: mean ≈ 20.7 jobs per
+//!   establishment and hundreds of establishments above 1 000 employees.
+//!
+//! Everything is deterministic given a seed; the evaluation harness pins
+//! seeds so figures regenerate bit-identically.
+
+pub mod csv;
+pub mod generator;
+pub mod geo;
+pub mod histogram;
+pub mod naics;
+pub mod ownership;
+pub mod panel;
+pub mod schema;
+pub mod stats;
+pub mod worker;
+
+pub use generator::{Generator, GeneratorConfig};
+pub use panel::{DatasetPanel, PanelConfig};
+pub use geo::{BlockId, Geography, PlaceId, PlaceSizeClass};
+pub use histogram::WorkplaceHistogram;
+pub use naics::NaicsSector;
+pub use ownership::Ownership;
+pub use schema::{Dataset, Job, Worker, WorkerId, Workplace, WorkplaceId};
+pub use stats::DatasetStats;
+pub use worker::{AgeGroup, Education, Ethnicity, Race, Sex};

@@ -1,0 +1,234 @@
+//! NAICS two-digit industry sectors.
+//!
+//! The Workplace table carries the NAICS code of each establishment; the
+//! paper's Workload 1 marginal groups by NAICS *sector* (the two-digit
+//! level, 20 sectors). Sector existence/location is public information
+//! (Sec 4.1), so sectors never need protection — only the employment counts
+//! within them do.
+
+use serde::{Deserialize, Serialize};
+
+/// The 20 two-digit NAICS sectors (2012 vintage).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum NaicsSector {
+    /// 11 — Agriculture, Forestry, Fishing and Hunting
+    Agriculture = 0,
+    /// 21 — Mining, Quarrying, and Oil and Gas Extraction
+    Mining,
+    /// 22 — Utilities
+    Utilities,
+    /// 23 — Construction
+    Construction,
+    /// 31-33 — Manufacturing
+    Manufacturing,
+    /// 42 — Wholesale Trade
+    Wholesale,
+    /// 44-45 — Retail Trade
+    Retail,
+    /// 48-49 — Transportation and Warehousing
+    Transportation,
+    /// 51 — Information
+    Information,
+    /// 52 — Finance and Insurance
+    Finance,
+    /// 53 — Real Estate and Rental and Leasing
+    RealEstate,
+    /// 54 — Professional, Scientific, and Technical Services
+    Professional,
+    /// 55 — Management of Companies and Enterprises
+    Management,
+    /// 56 — Administrative and Support and Waste Management
+    Administrative,
+    /// 61 — Educational Services
+    Education,
+    /// 62 — Health Care and Social Assistance
+    HealthCare,
+    /// 71 — Arts, Entertainment, and Recreation
+    Arts,
+    /// 72 — Accommodation and Food Services
+    Accommodation,
+    /// 81 — Other Services (except Public Administration)
+    OtherServices,
+    /// 92 — Public Administration
+    PublicAdministration,
+}
+
+impl NaicsSector {
+    /// All sectors, in code order.
+    pub const ALL: [NaicsSector; 20] = [
+        NaicsSector::Agriculture,
+        NaicsSector::Mining,
+        NaicsSector::Utilities,
+        NaicsSector::Construction,
+        NaicsSector::Manufacturing,
+        NaicsSector::Wholesale,
+        NaicsSector::Retail,
+        NaicsSector::Transportation,
+        NaicsSector::Information,
+        NaicsSector::Finance,
+        NaicsSector::RealEstate,
+        NaicsSector::Professional,
+        NaicsSector::Management,
+        NaicsSector::Administrative,
+        NaicsSector::Education,
+        NaicsSector::HealthCare,
+        NaicsSector::Arts,
+        NaicsSector::Accommodation,
+        NaicsSector::OtherServices,
+        NaicsSector::PublicAdministration,
+    ];
+
+    /// Number of sectors.
+    pub const COUNT: usize = 20;
+
+    /// Two-digit NAICS code string (ranged sectors use their range label).
+    pub fn code(&self) -> &'static str {
+        match self {
+            NaicsSector::Agriculture => "11",
+            NaicsSector::Mining => "21",
+            NaicsSector::Utilities => "22",
+            NaicsSector::Construction => "23",
+            NaicsSector::Manufacturing => "31-33",
+            NaicsSector::Wholesale => "42",
+            NaicsSector::Retail => "44-45",
+            NaicsSector::Transportation => "48-49",
+            NaicsSector::Information => "51",
+            NaicsSector::Finance => "52",
+            NaicsSector::RealEstate => "53",
+            NaicsSector::Professional => "54",
+            NaicsSector::Management => "55",
+            NaicsSector::Administrative => "56",
+            NaicsSector::Education => "61",
+            NaicsSector::HealthCare => "62",
+            NaicsSector::Arts => "71",
+            NaicsSector::Accommodation => "72",
+            NaicsSector::OtherServices => "81",
+            NaicsSector::PublicAdministration => "92",
+        }
+    }
+
+    /// Sector title.
+    pub fn title(&self) -> &'static str {
+        match self {
+            NaicsSector::Agriculture => "Agriculture, Forestry, Fishing and Hunting",
+            NaicsSector::Mining => "Mining, Quarrying, and Oil and Gas Extraction",
+            NaicsSector::Utilities => "Utilities",
+            NaicsSector::Construction => "Construction",
+            NaicsSector::Manufacturing => "Manufacturing",
+            NaicsSector::Wholesale => "Wholesale Trade",
+            NaicsSector::Retail => "Retail Trade",
+            NaicsSector::Transportation => "Transportation and Warehousing",
+            NaicsSector::Information => "Information",
+            NaicsSector::Finance => "Finance and Insurance",
+            NaicsSector::RealEstate => "Real Estate and Rental and Leasing",
+            NaicsSector::Professional => "Professional, Scientific, and Technical Services",
+            NaicsSector::Management => "Management of Companies and Enterprises",
+            NaicsSector::Administrative => "Administrative and Support and Waste Management",
+            NaicsSector::Education => "Educational Services",
+            NaicsSector::HealthCare => "Health Care and Social Assistance",
+            NaicsSector::Arts => "Arts, Entertainment, and Recreation",
+            NaicsSector::Accommodation => "Accommodation and Food Services",
+            NaicsSector::OtherServices => "Other Services (except Public Administration)",
+            NaicsSector::PublicAdministration => "Public Administration",
+        }
+    }
+
+    /// Dense index in `[0, COUNT)`.
+    #[inline]
+    pub fn index(&self) -> usize {
+        *self as usize
+    }
+
+    /// Inverse of [`NaicsSector::index`].
+    pub fn from_index(i: usize) -> Option<Self> {
+        Self::ALL.get(i).copied()
+    }
+
+    /// Typical establishment-size scale multiplier for the sector, used by
+    /// the generator to make size skew industry-dependent (e.g.
+    /// manufacturing plants and hospitals are larger than retail shops).
+    pub(crate) fn size_multiplier(&self) -> f64 {
+        match self {
+            NaicsSector::Agriculture => 0.5,
+            NaicsSector::Mining => 1.2,
+            NaicsSector::Utilities => 1.5,
+            NaicsSector::Construction => 0.7,
+            NaicsSector::Manufacturing => 2.5,
+            NaicsSector::Wholesale => 1.0,
+            NaicsSector::Retail => 0.9,
+            NaicsSector::Transportation => 1.3,
+            NaicsSector::Information => 1.1,
+            NaicsSector::Finance => 1.0,
+            NaicsSector::RealEstate => 0.5,
+            NaicsSector::Professional => 0.8,
+            NaicsSector::Management => 1.8,
+            NaicsSector::Administrative => 1.2,
+            NaicsSector::Education => 2.2,
+            NaicsSector::HealthCare => 2.4,
+            NaicsSector::Arts => 0.8,
+            NaicsSector::Accommodation => 1.1,
+            NaicsSector::OtherServices => 0.5,
+            NaicsSector::PublicAdministration => 1.6,
+        }
+    }
+
+    /// Relative frequency of establishments by sector (roughly matching CBP
+    /// sector shares; normalized by the generator).
+    pub(crate) fn establishment_weight(&self) -> f64 {
+        match self {
+            NaicsSector::Agriculture => 0.4,
+            NaicsSector::Mining => 0.2,
+            NaicsSector::Utilities => 0.1,
+            NaicsSector::Construction => 9.0,
+            NaicsSector::Manufacturing => 4.0,
+            NaicsSector::Wholesale => 5.5,
+            NaicsSector::Retail => 14.0,
+            NaicsSector::Transportation => 3.0,
+            NaicsSector::Information => 1.8,
+            NaicsSector::Finance => 6.0,
+            NaicsSector::RealEstate => 4.5,
+            NaicsSector::Professional => 11.0,
+            NaicsSector::Management => 0.7,
+            NaicsSector::Administrative => 5.0,
+            NaicsSector::Education => 1.2,
+            NaicsSector::HealthCare => 10.0,
+            NaicsSector::Arts => 1.7,
+            NaicsSector::Accommodation => 8.5,
+            NaicsSector::OtherServices => 9.5,
+            NaicsSector::PublicAdministration => 2.9,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_distinct_sectors() {
+        assert_eq!(NaicsSector::ALL.len(), NaicsSector::COUNT);
+        let mut codes: Vec<&str> = NaicsSector::ALL.iter().map(|s| s.code()).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), 20, "codes must be unique");
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        for (i, s) in NaicsSector::ALL.iter().enumerate() {
+            assert_eq!(s.index(), i);
+            assert_eq!(NaicsSector::from_index(i), Some(*s));
+        }
+        assert_eq!(NaicsSector::from_index(20), None);
+    }
+
+    #[test]
+    fn weights_positive() {
+        for s in NaicsSector::ALL {
+            assert!(s.size_multiplier() > 0.0);
+            assert!(s.establishment_weight() > 0.0);
+            assert!(!s.title().is_empty());
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Establishment ownership type.
+//!
+//! LODES distinguishes private establishments from federal, state, and local
+//! government workplaces. The paper treats ownership as a *public* workplace
+//! attribute (Sec 4.1: "the existence of an employer business as well as its
+//! type (or sector) and location is not confidential").
+
+use serde::{Deserialize, Serialize};
+
+/// Ownership type of an establishment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum Ownership {
+    /// Privately owned establishment.
+    Private = 0,
+    /// Federal government workplace.
+    Federal,
+    /// State government workplace.
+    StateGov,
+    /// Local government workplace (municipal, county, school district…).
+    LocalGov,
+}
+
+impl Ownership {
+    /// All ownership types.
+    pub const ALL: [Ownership; 4] = [
+        Ownership::Private,
+        Ownership::Federal,
+        Ownership::StateGov,
+        Ownership::LocalGov,
+    ];
+
+    /// Number of ownership categories.
+    pub const COUNT: usize = 4;
+
+    /// Dense index in `[0, COUNT)`.
+    #[inline]
+    pub fn index(&self) -> usize {
+        *self as usize
+    }
+
+    /// Inverse of [`Ownership::index`].
+    pub fn from_index(i: usize) -> Option<Self> {
+        Self::ALL.get(i).copied()
+    }
+
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Ownership::Private => "Private",
+            Ownership::Federal => "Federal",
+            Ownership::StateGov => "State government",
+            Ownership::LocalGov => "Local government",
+        }
+    }
+
+    /// Share of establishments with this ownership (generator prior;
+    /// private employers dominate establishment counts).
+    pub(crate) fn establishment_weight(&self) -> f64 {
+        match self {
+            Ownership::Private => 0.93,
+            Ownership::Federal => 0.01,
+            Ownership::StateGov => 0.02,
+            Ownership::LocalGov => 0.04,
+        }
+    }
+
+    /// Size multiplier (government workplaces tend to be larger).
+    pub(crate) fn size_multiplier(&self) -> f64 {
+        match self {
+            Ownership::Private => 1.0,
+            Ownership::Federal => 3.0,
+            Ownership::StateGov => 2.5,
+            Ownership::LocalGov => 2.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip() {
+        for (i, o) in Ownership::ALL.iter().enumerate() {
+            assert_eq!(o.index(), i);
+            assert_eq!(Ownership::from_index(i), Some(*o));
+        }
+        assert_eq!(Ownership::from_index(4), None);
+    }
+
+    #[test]
+    fn weights_form_distribution() {
+        let total: f64 = Ownership::ALL.iter().map(|o| o.establishment_weight()).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,388 @@
+//! The three-table LODES schema and the joined `Dataset`.
+//!
+//! Section 3.1 of the paper: the LODES relation has three tables —
+//! Workplace (one record per establishment; NAICS code, ownership,
+//! geography), Worker (one record per employed individual; age, sex, race,
+//! ethnicity, education), and Job (worker-ID × workplace-ID pairs). Each
+//! worker holds exactly one job, so the join of the three tables — the
+//! `WorkerFull` universal relation — has one record per worker carrying all
+//! worker and workplace attributes.
+//!
+//! [`Dataset`] stores the tables column-oriented-enough for fast marginal
+//! tabulation while keeping a simple record API.
+
+use crate::geo::{BlockId, CountyId, Geography, PlaceId, StateId};
+use crate::naics::NaicsSector;
+use crate::ownership::Ownership;
+use crate::worker::{AgeGroup, Education, Ethnicity, Race, Sex};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of an establishment (dense index into the Workplace table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct WorkplaceId(pub u32);
+
+/// Identifier of a worker (dense index into the Worker table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct WorkerId(pub u32);
+
+/// One establishment record.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Workplace {
+    /// Dense identifier.
+    pub id: WorkplaceId,
+    /// Census block where the establishment operates.
+    pub block: BlockId,
+    /// Census place containing the block (denormalized for tabulation).
+    pub place: PlaceId,
+    /// County containing the place (denormalized).
+    pub county: CountyId,
+    /// State containing the county (denormalized).
+    pub state: StateId,
+    /// Two-digit NAICS sector.
+    pub naics: NaicsSector,
+    /// Ownership type.
+    pub ownership: Ownership,
+}
+
+/// One worker record.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Worker {
+    /// Dense identifier.
+    pub id: WorkerId,
+    /// Sex.
+    pub sex: Sex,
+    /// Age group.
+    pub age: AgeGroup,
+    /// Race.
+    pub race: Race,
+    /// Ethnicity.
+    pub ethnicity: Ethnicity,
+    /// Educational attainment.
+    pub education: Education,
+}
+
+/// One job: worker `worker` is employed at establishment `workplace`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Job {
+    /// The worker.
+    pub worker: WorkerId,
+    /// The employing establishment.
+    pub workplace: WorkplaceId,
+}
+
+/// The linked ER-EE database: geography + the three tables.
+///
+/// Invariants (enforced by [`Dataset::new`]):
+/// * workplace and worker IDs are dense (`id == position`);
+/// * every job references an existing worker and workplace;
+/// * each worker holds exactly one job (the paper's assumption in Sec 3.1).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dataset {
+    geography: Geography,
+    workplaces: Vec<Workplace>,
+    workers: Vec<Worker>,
+    jobs: Vec<Job>,
+    /// `employer_of[w] = workplace of worker w` — the inverted Job table.
+    employer_of: Vec<WorkplaceId>,
+    /// Number of jobs at each establishment (the degree sequence of the
+    /// bipartite graph; establishment *size* in the paper's terminology).
+    establishment_size: Vec<u32>,
+}
+
+impl Dataset {
+    /// Assemble and validate a dataset.
+    ///
+    /// # Panics
+    /// Panics if IDs are not dense, a job dangles, or a worker holds more or
+    /// fewer than one job.
+    pub fn new(
+        geography: Geography,
+        workplaces: Vec<Workplace>,
+        workers: Vec<Worker>,
+        jobs: Vec<Job>,
+    ) -> Self {
+        for (i, w) in workplaces.iter().enumerate() {
+            assert_eq!(w.id.0 as usize, i, "workplace ids must be dense");
+            assert!(
+                (w.block.0 as usize) < geography.num_blocks(),
+                "workplace references missing block"
+            );
+        }
+        for (i, w) in workers.iter().enumerate() {
+            assert_eq!(w.id.0 as usize, i, "worker ids must be dense");
+        }
+        let mut employer_of = vec![None; workers.len()];
+        let mut establishment_size = vec![0u32; workplaces.len()];
+        for job in &jobs {
+            let wi = job.worker.0 as usize;
+            let pi = job.workplace.0 as usize;
+            assert!(wi < workers.len(), "job references missing worker");
+            assert!(pi < workplaces.len(), "job references missing workplace");
+            assert!(
+                employer_of[wi].is_none(),
+                "worker {wi} holds more than one job"
+            );
+            employer_of[wi] = Some(job.workplace);
+            establishment_size[pi] += 1;
+        }
+        let employer_of: Vec<WorkplaceId> = employer_of
+            .into_iter()
+            .enumerate()
+            .map(|(i, e)| e.unwrap_or_else(|| panic!("worker {i} holds no job")))
+            .collect();
+        Self {
+            geography,
+            workplaces,
+            workers,
+            jobs,
+            employer_of,
+            establishment_size,
+        }
+    }
+
+    /// The geography underlying this dataset.
+    pub fn geography(&self) -> &Geography {
+        &self.geography
+    }
+
+    /// Number of jobs (= number of workers, by the one-job assumption).
+    pub fn num_jobs(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Number of establishments.
+    pub fn num_workplaces(&self) -> usize {
+        self.workplaces.len()
+    }
+
+    /// Number of workers.
+    pub fn num_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Workplace record by ID.
+    pub fn workplace(&self, id: WorkplaceId) -> &Workplace {
+        &self.workplaces[id.0 as usize]
+    }
+
+    /// Worker record by ID.
+    pub fn worker(&self, id: WorkerId) -> &Worker {
+        &self.workers[id.0 as usize]
+    }
+
+    /// All workplaces.
+    pub fn workplaces(&self) -> &[Workplace] {
+        &self.workplaces
+    }
+
+    /// All workers.
+    pub fn workers(&self) -> &[Worker] {
+        &self.workers
+    }
+
+    /// All jobs.
+    pub fn jobs(&self) -> &[Job] {
+        &self.jobs
+    }
+
+    /// The employing establishment of `worker`.
+    pub fn employer_of(&self, worker: WorkerId) -> WorkplaceId {
+        self.employer_of[worker.0 as usize]
+    }
+
+    /// Total employment of establishment `id` (`|e|` in the paper).
+    pub fn establishment_size(&self, id: WorkplaceId) -> u32 {
+        self.establishment_size[id.0 as usize]
+    }
+
+    /// Employment counts for every establishment, indexed by workplace ID.
+    pub fn establishment_sizes(&self) -> &[u32] {
+        &self.establishment_size
+    }
+
+    /// Iterate over the joined `WorkerFull` relation: each item is a
+    /// (worker, workplace) record pair.
+    pub fn worker_full(&self) -> impl Iterator<Item = (&Worker, &Workplace)> + '_ {
+        self.workers
+            .iter()
+            .map(move |w| (w, self.workplace(self.employer_of[w.id.0 as usize])))
+    }
+
+    /// Remove every establishment whose employment is at least `theta`,
+    /// together with all its jobs/workers; returns the truncated dataset and
+    /// the number of establishments removed.
+    ///
+    /// This is the graph-projection step of the node-DP "Truncated Laplace"
+    /// baseline (Sec 6): truncation removes whole nodes until every degree is
+    /// below the bound.
+    pub fn truncate_establishments(&self, theta: u32) -> (Dataset, usize) {
+        let keep: Vec<bool> = self
+            .establishment_size
+            .iter()
+            .map(|&s| s < theta)
+            .collect();
+        let removed = keep.iter().filter(|&&k| !k).count();
+
+        // Re-index surviving workplaces.
+        let mut new_wp_id = vec![None; self.workplaces.len()];
+        let mut workplaces = Vec::with_capacity(self.workplaces.len() - removed);
+        for wp in &self.workplaces {
+            if keep[wp.id.0 as usize] {
+                let id = WorkplaceId(workplaces.len() as u32);
+                new_wp_id[wp.id.0 as usize] = Some(id);
+                let mut cloned = wp.clone();
+                cloned.id = id;
+                workplaces.push(cloned);
+            }
+        }
+        // Keep only workers whose employer survives; re-index.
+        let mut workers = Vec::new();
+        let mut jobs = Vec::new();
+        for worker in &self.workers {
+            let old_wp = self.employer_of[worker.id.0 as usize];
+            if let Some(new_wp) = new_wp_id[old_wp.0 as usize] {
+                let id = WorkerId(workers.len() as u32);
+                let mut cloned = *worker;
+                cloned.id = id;
+                workers.push(cloned);
+                jobs.push(Job {
+                    worker: id,
+                    workplace: new_wp,
+                });
+            }
+        }
+        (
+            Dataset::new(self.geography.clone(), workplaces, workers, jobs),
+            removed,
+        )
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use crate::geo::{Block, Place};
+
+    pub(crate) fn tiny_dataset() -> Dataset {
+        let geography = Geography::new(
+            1,
+            vec![StateId(0)],
+            vec![Place {
+                id: PlaceId(0),
+                county: CountyId(0),
+                state: StateId(0),
+                population: 1000,
+            }],
+            vec![Block {
+                id: BlockId(0),
+                place: PlaceId(0),
+            }],
+        );
+        let workplaces = vec![
+            Workplace {
+                id: WorkplaceId(0),
+                block: BlockId(0),
+                place: PlaceId(0),
+                county: CountyId(0),
+                state: StateId(0),
+                naics: NaicsSector::Retail,
+                ownership: Ownership::Private,
+            },
+            Workplace {
+                id: WorkplaceId(1),
+                block: BlockId(0),
+                place: PlaceId(0),
+                county: CountyId(0),
+                state: StateId(0),
+                naics: NaicsSector::HealthCare,
+                ownership: Ownership::LocalGov,
+            },
+        ];
+        let mk_worker = |id: u32, sex: Sex| Worker {
+            id: WorkerId(id),
+            sex,
+            age: AgeGroup::A25_34,
+            race: Race::White,
+            ethnicity: Ethnicity::NotHispanic,
+            education: Education::HighSchool,
+        };
+        let workers = vec![
+            mk_worker(0, Sex::Male),
+            mk_worker(1, Sex::Female),
+            mk_worker(2, Sex::Female),
+        ];
+        let jobs = vec![
+            Job {
+                worker: WorkerId(0),
+                workplace: WorkplaceId(0),
+            },
+            Job {
+                worker: WorkerId(1),
+                workplace: WorkplaceId(0),
+            },
+            Job {
+                worker: WorkerId(2),
+                workplace: WorkplaceId(1),
+            },
+        ];
+        Dataset::new(geography, workplaces, workers, jobs)
+    }
+
+    #[test]
+    fn sizes_and_joins() {
+        let d = tiny_dataset();
+        assert_eq!(d.num_jobs(), 3);
+        assert_eq!(d.establishment_size(WorkplaceId(0)), 2);
+        assert_eq!(d.establishment_size(WorkplaceId(1)), 1);
+        assert_eq!(d.employer_of(WorkerId(2)), WorkplaceId(1));
+        let joined: Vec<_> = d.worker_full().collect();
+        assert_eq!(joined.len(), 3);
+        assert_eq!(joined[1].1.id, WorkplaceId(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "holds more than one job")]
+    fn rejects_multiple_jobs() {
+        let d = tiny_dataset();
+        let mut jobs = d.jobs().to_vec();
+        jobs.push(Job {
+            worker: WorkerId(0),
+            workplace: WorkplaceId(1),
+        });
+        Dataset::new(
+            d.geography().clone(),
+            d.workplaces().to_vec(),
+            d.workers().to_vec(),
+            jobs,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "holds no job")]
+    fn rejects_jobless_worker() {
+        let d = tiny_dataset();
+        let mut jobs = d.jobs().to_vec();
+        jobs.pop();
+        Dataset::new(
+            d.geography().clone(),
+            d.workplaces().to_vec(),
+            d.workers().to_vec(),
+            jobs,
+        );
+    }
+
+    #[test]
+    fn truncation_removes_large_establishments() {
+        let d = tiny_dataset();
+        let (t, removed) = d.truncate_establishments(2);
+        assert_eq!(removed, 1, "establishment of size 2 must be removed");
+        assert_eq!(t.num_workplaces(), 1);
+        assert_eq!(t.num_jobs(), 1);
+        assert_eq!(t.establishment_size(WorkplaceId(0)), 1);
+
+        // theta larger than every size removes nothing.
+        let (t, removed) = d.truncate_establishments(100);
+        assert_eq!(removed, 0);
+        assert_eq!(t.num_jobs(), d.num_jobs());
+    }
+}

@@ -1,0 +1,130 @@
+//! Dataset summary statistics and skewness diagnostics.
+//!
+//! These mirror the aggregates the paper reports about its evaluation
+//! sample (job count, establishment count, size skew, tail mass), letting
+//! users and tests verify a generated universe is calibrated before running
+//! experiments.
+
+use crate::geo::PlaceSizeClass;
+use crate::schema::Dataset;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Summary of a generated ER-EE dataset.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DatasetStats {
+    /// Total jobs (= workers).
+    pub jobs: usize,
+    /// Total establishments.
+    pub establishments: usize,
+    /// Mean establishment size.
+    pub mean_size: f64,
+    /// Median establishment size.
+    pub median_size: u32,
+    /// Largest establishment.
+    pub max_size: u32,
+    /// Number of establishments with more than 1 000 employees (the paper
+    /// reports 740–815 in its 527 k-establishment sample).
+    pub over_1000: usize,
+    /// Pearson moment skewness of the size distribution.
+    pub size_skewness: f64,
+    /// Number of places per population stratum.
+    pub places_by_stratum: BTreeMap<String, usize>,
+    /// Number of jobs per population stratum.
+    pub jobs_by_stratum: BTreeMap<String, usize>,
+}
+
+impl DatasetStats {
+    /// Compute all summary statistics for `dataset`.
+    pub fn compute(dataset: &Dataset) -> Self {
+        let sizes = dataset.establishment_sizes();
+        let n = sizes.len().max(1) as f64;
+        let mean = sizes.iter().map(|&s| s as f64).sum::<f64>() / n;
+        let var = sizes
+            .iter()
+            .map(|&s| (s as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n;
+        let third = sizes
+            .iter()
+            .map(|&s| (s as f64 - mean).powi(3))
+            .sum::<f64>()
+            / n;
+        let skew = if var > 0.0 { third / var.powf(1.5) } else { 0.0 };
+
+        let mut sorted = sizes.to_vec();
+        sorted.sort_unstable();
+        let median = sorted.get(sorted.len() / 2).copied().unwrap_or(0);
+        let max = sorted.last().copied().unwrap_or(0);
+
+        let mut places_by_stratum: BTreeMap<String, usize> = BTreeMap::new();
+        for class in PlaceSizeClass::ALL {
+            places_by_stratum.insert(class.label().to_string(), 0);
+        }
+        for p in dataset.geography().places() {
+            *places_by_stratum
+                .get_mut(p.size_class().label())
+                .expect("all strata pre-inserted") += 1;
+        }
+
+        let mut jobs_by_stratum: BTreeMap<String, usize> = BTreeMap::new();
+        for class in PlaceSizeClass::ALL {
+            jobs_by_stratum.insert(class.label().to_string(), 0);
+        }
+        for wp in dataset.workplaces() {
+            let class = dataset.geography().place(wp.place).size_class();
+            *jobs_by_stratum
+                .get_mut(class.label())
+                .expect("all strata pre-inserted") +=
+                dataset.establishment_size(wp.id) as usize;
+        }
+
+        Self {
+            jobs: dataset.num_jobs(),
+            establishments: dataset.num_workplaces(),
+            mean_size: mean,
+            median_size: median,
+            max_size: max,
+            over_1000: sizes.iter().filter(|&&s| s > 1000).count(),
+            size_skewness: skew,
+            places_by_stratum,
+            jobs_by_stratum,
+        }
+    }
+
+    /// Render a compact human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} jobs across {} establishments (mean size {:.1}, median {}, max {}, \
+             {} establishments > 1000 employees, skewness {:.2})",
+            self.jobs,
+            self.establishments,
+            self.mean_size,
+            self.median_size,
+            self.max_size,
+            self.over_1000,
+            self.size_skewness
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{Generator, GeneratorConfig};
+
+    #[test]
+    fn stats_are_consistent() {
+        let d = Generator::new(GeneratorConfig::test_small(9)).generate();
+        let s = DatasetStats::compute(&d);
+        assert_eq!(s.jobs, d.num_jobs());
+        assert_eq!(s.establishments, d.num_workplaces());
+        assert!(s.mean_size > s.median_size as f64, "right-skew: mean>median");
+        assert!(s.size_skewness > 1.0, "size skewness {}", s.size_skewness);
+        let total_places: usize = s.places_by_stratum.values().sum();
+        assert_eq!(total_places, d.geography().num_places());
+        let total_jobs: usize = s.jobs_by_stratum.values().sum();
+        assert_eq!(total_jobs, s.jobs);
+        assert!(!s.summary().is_empty());
+    }
+}

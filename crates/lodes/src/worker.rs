@@ -1,0 +1,270 @@
+//! Worker demographic attributes: sex, age group, race, ethnicity, education.
+//!
+//! These are the private attributes `A1 … Ak` of Section 4.2: the adversary
+//! must not learn whether a worker has particular characteristics, and an
+//! establishment's *shape* — its workforce distribution over these
+//! attributes — is protected by Definition 4.3.
+
+use serde::{Deserialize, Serialize};
+
+/// Worker sex (LODES publishes two categories).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum Sex {
+    /// Male.
+    Male = 0,
+    /// Female.
+    Female,
+}
+
+impl Sex {
+    /// All categories.
+    pub const ALL: [Sex; 2] = [Sex::Male, Sex::Female];
+    /// Number of categories.
+    pub const COUNT: usize = 2;
+    /// Dense index.
+    #[inline]
+    pub fn index(&self) -> usize {
+        *self as usize
+    }
+    /// Inverse of `index`.
+    pub fn from_index(i: usize) -> Option<Self> {
+        Self::ALL.get(i).copied()
+    }
+}
+
+/// Worker age group (eight QWI-style buckets).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum AgeGroup {
+    /// 14–18.
+    A14_18 = 0,
+    /// 19–21.
+    A19_21,
+    /// 22–24.
+    A22_24,
+    /// 25–34.
+    A25_34,
+    /// 35–44.
+    A35_44,
+    /// 45–54.
+    A45_54,
+    /// 55–64.
+    A55_64,
+    /// 65 and older.
+    A65Plus,
+}
+
+impl AgeGroup {
+    /// All categories.
+    pub const ALL: [AgeGroup; 8] = [
+        AgeGroup::A14_18,
+        AgeGroup::A19_21,
+        AgeGroup::A22_24,
+        AgeGroup::A25_34,
+        AgeGroup::A35_44,
+        AgeGroup::A45_54,
+        AgeGroup::A55_64,
+        AgeGroup::A65Plus,
+    ];
+    /// Number of categories.
+    pub const COUNT: usize = 8;
+    /// Dense index.
+    #[inline]
+    pub fn index(&self) -> usize {
+        *self as usize
+    }
+    /// Inverse of `index`.
+    pub fn from_index(i: usize) -> Option<Self> {
+        Self::ALL.get(i).copied()
+    }
+    /// Workforce share prior used by the generator.
+    pub(crate) fn weight(&self) -> f64 {
+        match self {
+            AgeGroup::A14_18 => 0.03,
+            AgeGroup::A19_21 => 0.06,
+            AgeGroup::A22_24 => 0.08,
+            AgeGroup::A25_34 => 0.23,
+            AgeGroup::A35_44 => 0.22,
+            AgeGroup::A45_54 => 0.21,
+            AgeGroup::A55_64 => 0.13,
+            AgeGroup::A65Plus => 0.04,
+        }
+    }
+}
+
+/// Worker race (major OMB categories as used in LODES).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum Race {
+    /// White alone.
+    White = 0,
+    /// Black or African American alone.
+    Black,
+    /// American Indian or Alaska Native alone.
+    AmericanIndian,
+    /// Asian alone.
+    Asian,
+    /// Native Hawaiian or Other Pacific Islander alone.
+    PacificIslander,
+    /// Two or more race groups.
+    TwoOrMore,
+}
+
+impl Race {
+    /// All categories.
+    pub const ALL: [Race; 6] = [
+        Race::White,
+        Race::Black,
+        Race::AmericanIndian,
+        Race::Asian,
+        Race::PacificIslander,
+        Race::TwoOrMore,
+    ];
+    /// Number of categories.
+    pub const COUNT: usize = 6;
+    /// Dense index.
+    #[inline]
+    pub fn index(&self) -> usize {
+        *self as usize
+    }
+    /// Inverse of `index`.
+    pub fn from_index(i: usize) -> Option<Self> {
+        Self::ALL.get(i).copied()
+    }
+    /// Workforce share prior used by the generator.
+    pub(crate) fn weight(&self) -> f64 {
+        match self {
+            Race::White => 0.72,
+            Race::Black => 0.13,
+            Race::AmericanIndian => 0.01,
+            Race::Asian => 0.09,
+            Race::PacificIslander => 0.01,
+            Race::TwoOrMore => 0.04,
+        }
+    }
+}
+
+/// Worker ethnicity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum Ethnicity {
+    /// Not Hispanic or Latino.
+    NotHispanic = 0,
+    /// Hispanic or Latino.
+    Hispanic,
+}
+
+impl Ethnicity {
+    /// All categories.
+    pub const ALL: [Ethnicity; 2] = [Ethnicity::NotHispanic, Ethnicity::Hispanic];
+    /// Number of categories.
+    pub const COUNT: usize = 2;
+    /// Dense index.
+    #[inline]
+    pub fn index(&self) -> usize {
+        *self as usize
+    }
+    /// Inverse of `index`.
+    pub fn from_index(i: usize) -> Option<Self> {
+        Self::ALL.get(i).copied()
+    }
+    /// Workforce share prior used by the generator.
+    pub(crate) fn weight(&self) -> f64 {
+        match self {
+            Ethnicity::NotHispanic => 0.83,
+            Ethnicity::Hispanic => 0.17,
+        }
+    }
+}
+
+/// Worker educational attainment (four LODES categories; only tabulated for
+/// workers 30 and over in real LODES, a detail we do not model).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum Education {
+    /// Less than high school.
+    LessThanHighSchool = 0,
+    /// High school or equivalent, no college.
+    HighSchool,
+    /// Some college or Associate degree.
+    SomeCollege,
+    /// Bachelor's degree or advanced degree.
+    BachelorOrHigher,
+}
+
+impl Education {
+    /// All categories.
+    pub const ALL: [Education; 4] = [
+        Education::LessThanHighSchool,
+        Education::HighSchool,
+        Education::SomeCollege,
+        Education::BachelorOrHigher,
+    ];
+    /// Number of categories.
+    pub const COUNT: usize = 4;
+    /// Dense index.
+    #[inline]
+    pub fn index(&self) -> usize {
+        *self as usize
+    }
+    /// Inverse of `index`.
+    pub fn from_index(i: usize) -> Option<Self> {
+        Self::ALL.get(i).copied()
+    }
+    /// Workforce share prior used by the generator.
+    pub(crate) fn weight(&self) -> f64 {
+        match self {
+            Education::LessThanHighSchool => 0.11,
+            Education::HighSchool => 0.26,
+            Education::SomeCollege => 0.30,
+            Education::BachelorOrHigher => 0.33,
+        }
+    }
+}
+
+/// Size of the full worker-attribute cross-product domain
+/// (2 × 8 × 6 × 2 × 4 = 768 cells).
+pub const WORKER_DOMAIN_SIZE: usize =
+    Sex::COUNT * AgeGroup::COUNT * Race::COUNT * Ethnicity::COUNT * Education::COUNT;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn domain_size() {
+        assert_eq!(WORKER_DOMAIN_SIZE, 768);
+    }
+
+    #[test]
+    fn weights_sum_to_one() {
+        let age: f64 = AgeGroup::ALL.iter().map(|a| a.weight()).sum();
+        let race: f64 = Race::ALL.iter().map(|r| r.weight()).sum();
+        let eth: f64 = Ethnicity::ALL.iter().map(|e| e.weight()).sum();
+        let edu: f64 = Education::ALL.iter().map(|e| e.weight()).sum();
+        for (name, total) in [("age", age), ("race", race), ("ethnicity", eth), ("education", edu)]
+        {
+            assert!((total - 1.0).abs() < 1e-9, "{name} weights sum to {total}");
+        }
+    }
+
+    #[test]
+    fn index_roundtrips() {
+        for (i, v) in Sex::ALL.iter().enumerate() {
+            assert_eq!(Sex::from_index(i), Some(*v));
+        }
+        for (i, v) in AgeGroup::ALL.iter().enumerate() {
+            assert_eq!(AgeGroup::from_index(i), Some(*v));
+        }
+        for (i, v) in Race::ALL.iter().enumerate() {
+            assert_eq!(Race::from_index(i), Some(*v));
+        }
+        for (i, v) in Ethnicity::ALL.iter().enumerate() {
+            assert_eq!(Ethnicity::from_index(i), Some(*v));
+        }
+        for (i, v) in Education::ALL.iter().enumerate() {
+            assert_eq!(Education::from_index(i), Some(*v));
+        }
+    }
+}

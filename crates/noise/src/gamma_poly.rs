@@ -1,0 +1,290 @@
+//! The polynomial-tail "gamma-poly" distribution `h(z) ∝ 1/(1 + z⁴)`.
+//!
+//! Lemma 8.6 of Haney et al. shows this density (with γ = 4) is
+//! `(ε₁/(1+γ), ε₂/(1+γ))`-admissible, making it a valid noise distribution for
+//! the smooth-sensitivity framework with δ = 0 — unlike the Laplace, whose
+//! dilation property fails without a δ. Algorithm 2 ("Smooth Gamma") adds
+//! noise drawn from this distribution scaled by the smooth sensitivity.
+//!
+//! Analytic facts used throughout (normalizing constant `Z = π/√2`):
+//!
+//! * `pdf(z) = √2/π · 1/(1+z⁴)`
+//! * `E[Z] = 0` (symmetry), `E|Z| = √2/2`, `E[Z²] = 1`; third absolute
+//!   moment diverges.
+//! * The paper's Lemma 8.8 proof evaluates the *unnormalized* integral
+//!   `∫|z|/(1+z⁴)dz = π/2`; the normalized `E|Z| = (π/2)/(π/√2) = √2/2`.
+//!   Either way the expected L1 error of Algorithm 2 is `O(x_v·α/ε)`.
+//!
+//! Sampling is exact rejection from a Cauchy envelope: the ratio
+//! `h(z)/cauchy(z) = √2(1+z²)/(1+z⁴)` is maximized at `z² = √2−1` with value
+//! `M = (2+√2)/2 ≈ 1.7071`, giving acceptance probability `1/M ≈ 0.586`.
+
+use crate::{ContinuousDistribution, NoiseError};
+use rand::Rng;
+use std::f64::consts::{FRAC_1_SQRT_2, PI, SQRT_2};
+
+/// Normalizing constant `Z = ∫ dz/(1+z⁴) = π/√2`.
+pub const NORMALIZER: f64 = PI * FRAC_1_SQRT_2;
+
+/// Rejection-sampling envelope constant `M = (2+√2)/2`.
+const ENVELOPE_M: f64 = (2.0 + SQRT_2) / 2.0;
+
+/// The distribution of `s·Z` where `Z` has density `∝ 1/(1+z⁴)` and `s > 0`
+/// is a scale parameter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GammaPoly {
+    scale: f64,
+}
+
+impl GammaPoly {
+    /// Create a gamma-poly distribution with the given scale.
+    ///
+    /// # Errors
+    /// Returns [`NoiseError::NonPositiveScale`] unless `scale` is finite and
+    /// strictly positive.
+    pub fn new(scale: f64) -> Result<Self, NoiseError> {
+        if !scale.is_finite() || scale <= 0.0 {
+            return Err(NoiseError::NonPositiveScale(scale));
+        }
+        Ok(Self { scale })
+    }
+
+    /// Standard (unit-scale) distribution.
+    pub fn standard() -> Self {
+        Self { scale: 1.0 }
+    }
+
+    /// The scale parameter.
+    #[inline]
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Draw from the unit-scale distribution by rejection from a Cauchy
+    /// envelope. Expected number of iterations is `M ≈ 1.707`.
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+        loop {
+            // Cauchy sample via inverse CDF.
+            let u: f64 = rng.gen();
+            let z = (PI * (u - 0.5)).tan();
+            // Acceptance ratio h(z) / (M * g(z)) where g is standard Cauchy.
+            let z2 = z * z;
+            let accept = SQRT_2 * (1.0 + z2) / ((1.0 + z2 * z2) * ENVELOPE_M);
+            debug_assert!(accept <= 1.0 + 1e-12, "envelope violated at z={z}");
+            if rng.gen::<f64>() < accept {
+                return z;
+            }
+        }
+    }
+
+    /// Closed-form antiderivative of the *standard* pdf, used by `cdf`.
+    ///
+    /// `∫ dz/(1+z⁴) = (1/(4√2)) [ ln((z²+√2z+1)/(z²−√2z+1))
+    ///                            + 2 atan(√2z+1) + 2 atan(√2z−1) ] + C`
+    fn antiderivative(z: f64) -> f64 {
+        let s = SQRT_2 * z;
+        let log_term = ((z * z + s + 1.0) / (z * z - s + 1.0)).ln();
+        let atan_term = 2.0 * ((s + 1.0).atan() + (s - 1.0).atan());
+        (log_term + atan_term) / (4.0 * SQRT_2)
+    }
+
+    /// Quantile (inverse CDF) by bisection + Newton polish. Exposed for
+    /// the inverse-transform sampler ablation; the rejection sampler is
+    /// the default because it needs no iteration.
+    pub fn quantile(&self, p: f64) -> f64 {
+        assert!(p > 0.0 && p < 1.0, "quantile requires p in (0,1), got {p}");
+        // Bisection bracket: |Z| > z has mass ~ 2/(3 Z z^3); solve for a
+        // generous outer bound.
+        let (mut lo, mut hi) = (-1e6, 1e6);
+        let mut z = 0.0;
+        for _ in 0..200 {
+            z = 0.5 * (lo + hi);
+            let c = GammaPoly::standard().cdf(z);
+            if c < p {
+                lo = z;
+            } else {
+                hi = z;
+            }
+            if hi - lo < 1e-13 * (1.0 + z.abs()) {
+                break;
+            }
+        }
+        // One Newton step for polish: z <- z - (F(z) - p)/f(z).
+        let std = GammaPoly::standard();
+        let f = std.pdf(z);
+        if f > 1e-300 {
+            z -= (std.cdf(z) - p) / f;
+        }
+        self.scale * z
+    }
+
+    /// Inverse-transform sampling via [`GammaPoly::quantile`] — exact but
+    /// ~50× slower than rejection (see `bench/benches/ablations.rs`).
+    pub fn sample_inverse_cdf<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u = rng.gen::<f64>().clamp(f64::MIN_POSITIVE, 1.0 - 1e-16);
+        self.quantile(u)
+    }
+}
+
+impl ContinuousDistribution for GammaPoly {
+    fn pdf(&self, x: f64) -> f64 {
+        let z = x / self.scale;
+        let z2 = z * z;
+        1.0 / (NORMALIZER * self.scale * (1.0 + z2 * z2))
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        let z = x / self.scale;
+        // antiderivative(±∞) = ± (π/(2√2)); shift/scale to [0,1].
+        let at_inf = PI / (2.0 * SQRT_2);
+        ((Self::antiderivative(z) + at_inf) / NORMALIZER).clamp(0.0, 1.0)
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.scale * Self::sample_standard(rng)
+    }
+
+    fn mean(&self) -> Option<f64> {
+        Some(0.0)
+    }
+
+    fn mean_abs(&self) -> Option<f64> {
+        // E|Z| = √2/2 for unit scale.
+        Some(self.scale * FRAC_1_SQRT_2)
+    }
+
+    fn variance(&self) -> Option<f64> {
+        // E[Z²] = 1 for unit scale.
+        Some(self.scale * self.scale)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_scale() {
+        assert!(GammaPoly::new(0.0).is_err());
+        assert!(GammaPoly::new(-2.0).is_err());
+        assert!(GammaPoly::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn pdf_at_zero_is_normalizer_inverse() {
+        let d = GammaPoly::standard();
+        assert!((d.pdf(0.0) - 1.0 / NORMALIZER).abs() < 1e-14);
+        assert!((1.0 / NORMALIZER - 0.450_158_158).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cdf_limits_and_symmetry() {
+        let d = GammaPoly::standard();
+        assert!((d.cdf(0.0) - 0.5).abs() < 1e-12);
+        assert!(d.cdf(-50.0) < 1e-4);
+        assert!(d.cdf(50.0) > 1.0 - 1e-4);
+        for z in [0.3, 1.0, 2.5, 7.0] {
+            let sym = d.cdf(z) + d.cdf(-z);
+            assert!((sym - 1.0).abs() < 1e-10, "z={z}: {sym}");
+        }
+    }
+
+    #[test]
+    fn cdf_is_integral_of_pdf() {
+        let d = GammaPoly::new(1.3).unwrap();
+        // Numerically integrate pdf from -100 to x and compare with cdf.
+        for target in [-2.0, -0.5, 0.0, 0.8, 3.0] {
+            let (lo, n) = (-100.0, 400_000);
+            let h = (target - lo) / n as f64;
+            let mut acc = 0.0;
+            for i in 0..n {
+                acc += d.pdf(lo + (i as f64 + 0.5) * h) * h;
+            }
+            let err: f64 = acc - d.cdf(target);
+            assert!(err.abs() < 2e-3, "x={target}: {err}");
+        }
+    }
+
+    #[test]
+    fn sample_moments_match_theory() {
+        let d = GammaPoly::new(2.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(99);
+        let n = 300_000;
+        let (mut sum, mut sum_abs, mut sum_sq) = (0.0, 0.0, 0.0);
+        for _ in 0..n {
+            let x = d.sample(&mut rng);
+            sum += x;
+            sum_abs += x.abs();
+            sum_sq += x * x;
+        }
+        let mean = sum / n as f64;
+        let mean_abs = sum_abs / n as f64;
+        let second = sum_sq / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        // E|X| = 2 * √2/2 = √2
+        assert!((mean_abs - SQRT_2).abs() < 0.03, "mean_abs {mean_abs}");
+        // E[X²] = 4 (unit second moment, scale²)
+        assert!((second - 4.0).abs() < 0.35, "second moment {second}");
+    }
+
+    #[test]
+    fn sample_distribution_matches_cdf() {
+        // Empirical CDF vs analytic CDF at several points (a crude KS check).
+        let d = GammaPoly::standard();
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 200_000;
+        let mut samples: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for q in [-3.0, -1.0, -0.3, 0.0, 0.3, 1.0, 3.0] {
+            let emp = samples.partition_point(|&s| s <= q) as f64 / n as f64;
+            let diff: f64 = emp - d.cdf(q);
+            assert!(diff.abs() < 0.01, "q={q}: emp={emp}, cdf={}", d.cdf(q));
+        }
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        let d = GammaPoly::new(1.7).unwrap();
+        for p in [0.001, 0.05, 0.25, 0.5, 0.75, 0.95, 0.999] {
+            let z = d.quantile(p);
+            let back = d.cdf(z);
+            assert!((back - p).abs() < 1e-9, "p={p}: cdf(quantile)={back}");
+        }
+        // Median is 0 by symmetry.
+        assert!(d.quantile(0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inverse_cdf_sampler_matches_rejection_sampler() {
+        let d = GammaPoly::standard();
+        let mut rng = StdRng::seed_from_u64(8);
+        let n = 60_000;
+        let mut inv: Vec<f64> = (0..n).map(|_| d.sample_inverse_cdf(&mut rng)).collect();
+        let mut rej: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        inv.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        rej.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        // Compare quantiles of the two samples (two-sample check).
+        for q in [0.1, 0.25, 0.5, 0.75, 0.9] {
+            let i = (q * n as f64) as usize;
+            assert!(
+                (inv[i] - rej[i]).abs() < 0.05,
+                "q={q}: inverse {} vs rejection {}",
+                inv[i],
+                rej[i]
+            );
+        }
+    }
+
+    #[test]
+    fn heavy_tail_is_heavier_than_laplace() {
+        // 1/(1+z⁴) has polynomial tails: P(|Z|>15) ≈ 9e-5 while the unit
+        // Laplace tail e^{-15} ≈ 3e-7 — two orders of magnitude apart.
+        let d = GammaPoly::standard();
+        let lap = crate::Laplace::new(1.0).unwrap();
+        let tail_gp = 1.0 - d.cdf(15.0);
+        let tail_lap = 1.0 - lap.cdf(15.0);
+        assert!(tail_gp > 50.0 * tail_lap, "gp {tail_gp} vs lap {tail_lap}");
+    }
+}

@@ -1,0 +1,190 @@
+//! The log-Laplace distribution: `e^η` for `η ~ Laplace(λ)`.
+//!
+//! Algorithm 1 of the paper (the Log-Laplace mechanism) perturbs a count `n`
+//! by computing `ñ = e^{ln(n+γ) + η} − γ` with `η ~ Laplace(λ)` and
+//! `λ = 2·ln(1+α)/ε`. The output `ñ + γ` therefore follows a log-Laplace
+//! distribution with median `n + γ`.
+//!
+//! Lemma 8.2 of the paper: `E[e^η] = 1/(1−λ²)` when `λ < 1` (unbounded
+//! otherwise), so the mechanism carries a multiplicative bias `1/(1−λ²)`.
+//! Theorem 8.3 bounds the expected squared relative error when `λ < 1/2`
+//! via `E[e^{2η}] = 1/(1−4λ²)`.
+
+use crate::{ContinuousDistribution, Laplace, NoiseError};
+use rand::Rng;
+
+/// Distribution of `m·e^η` where `η ~ Laplace(λ)` and `m > 0` is the median.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogLaplace {
+    median: f64,
+    inner: Laplace,
+}
+
+impl LogLaplace {
+    /// Create a log-Laplace distribution with median `median` and log-scale
+    /// `lambda`.
+    ///
+    /// # Errors
+    /// Errors if `lambda` is not positive/finite or `median` is not
+    /// positive/finite.
+    pub fn new(median: f64, lambda: f64) -> Result<Self, NoiseError> {
+        if !median.is_finite() || median <= 0.0 {
+            return Err(NoiseError::NonFinite("median", median));
+        }
+        Ok(Self {
+            median,
+            inner: Laplace::new(lambda)?,
+        })
+    }
+
+    /// The median `m` (the point with CDF 1/2).
+    #[inline]
+    pub fn median(&self) -> f64 {
+        self.median
+    }
+
+    /// The log-scale parameter `λ`.
+    #[inline]
+    pub fn lambda(&self) -> f64 {
+        self.inner.scale()
+    }
+
+    /// Multiplicative bias factor `E[X]/m = 1/(1−λ²)`, finite iff `λ < 1`
+    /// (Lemma 8.2).
+    pub fn bias_factor(&self) -> Option<f64> {
+        self.inner.mgf(1.0)
+    }
+
+    /// Second-moment factor `E[X²]/m² = 1/(1−4λ²)`, finite iff `λ < 1/2`
+    /// (used in the Theorem 8.3 error bound).
+    pub fn second_moment_factor(&self) -> Option<f64> {
+        self.inner.mgf(2.0)
+    }
+
+    /// Expected squared relative error `E[((X − m)/m)²]`, finite iff
+    /// `λ < 1/2`. Equals `(2λ² + 4λ⁴) / ((1−4λ²)(1−λ²))` (Theorem 8.3).
+    pub fn expected_squared_rel_error(&self) -> Option<f64> {
+        let l = self.lambda();
+        if l >= 0.5 {
+            return None;
+        }
+        let l2 = l * l;
+        Some((2.0 * l2 + 4.0 * l2 * l2) / ((1.0 - 4.0 * l2) * (1.0 - l2)))
+    }
+}
+
+impl ContinuousDistribution for LogLaplace {
+    fn pdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        // X = m e^η  ⇒  f_X(x) = f_η(ln(x/m)) / x
+        self.inner.pdf((x / self.median).ln()) / x
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        self.inner.cdf((x / self.median).ln())
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.median * self.inner.sample(rng).exp()
+    }
+
+    fn mean(&self) -> Option<f64> {
+        self.bias_factor().map(|b| self.median * b)
+    }
+
+    fn mean_abs(&self) -> Option<f64> {
+        // Support is (0, ∞), so E|X| = E[X].
+        self.mean()
+    }
+
+    fn variance(&self) -> Option<f64> {
+        let m2 = self.second_moment_factor()?;
+        let b = self.bias_factor()?;
+        Some(self.median * self.median * (m2 - b * b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(LogLaplace::new(0.0, 0.5).is_err());
+        assert!(LogLaplace::new(-3.0, 0.5).is_err());
+        assert!(LogLaplace::new(1.0, 0.0).is_err());
+        assert!(LogLaplace::new(f64::NAN, 0.5).is_err());
+    }
+
+    #[test]
+    fn median_is_preserved() {
+        let d = LogLaplace::new(42.0, 0.3).unwrap();
+        assert!((d.cdf(42.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bias_factor_matches_lemma_8_2() {
+        // λ = 0.4 < 1: bias 1/(1-0.16)
+        let d = LogLaplace::new(10.0, 0.4).unwrap();
+        assert!((d.bias_factor().unwrap() - 1.0 / 0.84).abs() < 1e-12);
+        // λ ≥ 1: unbounded expectation
+        let d = LogLaplace::new(10.0, 1.0).unwrap();
+        assert!(d.bias_factor().is_none());
+        assert!(d.mean().is_none());
+    }
+
+    #[test]
+    fn empirical_bias_matches_analytic() {
+        let d = LogLaplace::new(100.0, 0.3).unwrap();
+        let mut rng = StdRng::seed_from_u64(17);
+        let n = 400_000;
+        let mean: f64 = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+        let expect = d.mean().unwrap();
+        assert!(
+            (mean - expect).abs() / expect < 0.02,
+            "empirical {mean} vs analytic {expect}"
+        );
+    }
+
+    #[test]
+    fn squared_rel_error_matches_theorem_8_3() {
+        let d = LogLaplace::new(50.0, 0.2).unwrap();
+        let analytic = d.expected_squared_rel_error().unwrap();
+        let mut rng = StdRng::seed_from_u64(23);
+        let n = 400_000;
+        let emp: f64 = (0..n)
+            .map(|_| {
+                let x = d.sample(&mut rng);
+                let r = (x - 50.0) / 50.0;
+                r * r
+            })
+            .sum::<f64>()
+            / n as f64;
+        assert!(
+            (emp - analytic).abs() / analytic < 0.05,
+            "empirical {emp} vs analytic {analytic}"
+        );
+        // λ ≥ 1/2 must report divergence.
+        let d = LogLaplace::new(50.0, 0.5).unwrap();
+        assert!(d.expected_squared_rel_error().is_none());
+    }
+
+    #[test]
+    fn pdf_integrates_to_cdf() {
+        let d = LogLaplace::new(5.0, 0.6).unwrap();
+        let (lo, hi, n) = (1e-9, 60.0, 600_000);
+        let h = (hi - lo) / n as f64;
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += d.pdf(lo + (i as f64 + 0.5) * h) * h;
+        }
+        assert!((acc - d.cdf(hi)).abs() < 2e-3, "acc {acc} vs {}", d.cdf(hi));
+    }
+}

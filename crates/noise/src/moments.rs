@@ -1,0 +1,121 @@
+//! Analytic moment constants and small statistical helpers shared by the
+//! error-bound tests across the workspace.
+
+use std::f64::consts::{FRAC_1_SQRT_2, PI};
+
+/// `E|Z|` for the unit-scale gamma-poly distribution `h(z) ∝ 1/(1+z⁴)`.
+///
+/// The paper's Lemma 8.8 proof evaluates the unnormalized integral
+/// `∫ |z|/(1+z⁴) dz = π/2`; dividing by the normalizer `π/√2` gives `√2/2`.
+pub const GAMMA_POLY_MEAN_ABS: f64 = FRAC_1_SQRT_2;
+
+/// `E[Z²]` for the unit-scale gamma-poly distribution (exactly 1).
+pub const GAMMA_POLY_SECOND_MOMENT: f64 = 1.0;
+
+/// The unnormalized first absolute moment `∫ |z|/(1+z⁴) dz = π/2` quoted in
+/// the paper's Lemma 8.8 proof.
+pub const GAMMA_POLY_UNNORMALIZED_L1: f64 = PI / 2.0;
+
+/// Normalizing constant of the gamma-poly density, `π/√2`.
+pub const GAMMA_POLY_NORMALIZER: f64 = PI * FRAC_1_SQRT_2;
+
+/// Streaming accumulator for sample mean / absolute mean / variance, used by
+/// tests and the experiment runner to summarize repeated trials without
+/// storing every observation.
+#[derive(Debug, Clone, Default)]
+pub struct MomentAccumulator {
+    n: u64,
+    sum: f64,
+    sum_abs: f64,
+    sum_sq: f64,
+}
+
+impl MomentAccumulator {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        self.sum += x;
+        self.sum_abs += x.abs();
+        self.sum_sq += x * x;
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean. Returns `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.n > 0).then(|| self.sum / self.n as f64)
+    }
+
+    /// Mean of absolute values.
+    pub fn mean_abs(&self) -> Option<f64> {
+        (self.n > 0).then(|| self.sum_abs / self.n as f64)
+    }
+
+    /// Population variance (biased, `1/n`).
+    pub fn variance(&self) -> Option<f64> {
+        self.mean().map(|m| self.sum_sq / self.n as f64 - m * m)
+    }
+
+    /// Merge another accumulator into this one.
+    pub fn merge(&mut self, other: &MomentAccumulator) {
+        self.n += other.n;
+        self.sum += other.sum;
+        self.sum_abs += other.sum_abs;
+        self.sum_sq += other.sum_sq;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::SQRT_2;
+
+    #[test]
+    fn constants_are_consistent() {
+        // Normalized L1 = unnormalized / normalizer.
+        let normalized = GAMMA_POLY_UNNORMALIZED_L1 / GAMMA_POLY_NORMALIZER;
+        assert!((normalized - GAMMA_POLY_MEAN_ABS).abs() < 1e-15);
+        assert!((GAMMA_POLY_MEAN_ABS - SQRT_2 / 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn accumulator_basics() {
+        let mut acc = MomentAccumulator::new();
+        assert!(acc.mean().is_none());
+        for x in [1.0, -1.0, 3.0, -3.0] {
+            acc.push(x);
+        }
+        assert_eq!(acc.count(), 4);
+        assert!((acc.mean().unwrap() - 0.0).abs() < 1e-15);
+        assert!((acc.mean_abs().unwrap() - 2.0).abs() < 1e-15);
+        assert!((acc.variance().unwrap() - 5.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn accumulator_merge_equals_combined() {
+        let xs = [0.5, 1.5, -2.0, 4.0, -0.25];
+        let mut all = MomentAccumulator::new();
+        let mut a = MomentAccumulator::new();
+        let mut b = MomentAccumulator::new();
+        for (i, &x) in xs.iter().enumerate() {
+            all.push(x);
+            if i % 2 == 0 {
+                a.push(x)
+            } else {
+                b.push(x)
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean().unwrap() - all.mean().unwrap()).abs() < 1e-15);
+        assert!((a.variance().unwrap() - all.variance().unwrap()).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,208 @@
+//! Per-establishment multiplicative distortion factors.
+//!
+//! Each establishment `w` gets a single confidential factor `f_w` with
+//! `|f_w − 1| ∈ [s, t]`, drawn once and reused for every cell of every
+//! tabulation (the source of the Sec 5.2 attacks). The magnitude follows a
+//! "ramp" density that linearly decreases from `s` to `t` (so most factors
+//! distort by close to the minimum `s`), with the sign fair-coin symmetric;
+//! a uniform-magnitude option is available for sensitivity analysis.
+
+use lodes::Dataset;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Shape of the fuzz-factor magnitude distribution on `[s, t]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FuzzDistribution {
+    /// Density decreasing linearly from `s` to `t`:
+    /// `p(m) = 2(t − m)/(t − s)²`. Matches the published description of the
+    /// QWI noise system.
+    Ramp,
+    /// Uniform on `[s, t]`.
+    Uniform,
+}
+
+/// Parameters of the input-noise-infusion scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DistortionParams {
+    /// Minimum distortion magnitude (`s` in the paper), `0 < s < t`.
+    pub s: f64,
+    /// Maximum distortion magnitude (`t`).
+    pub t: f64,
+    /// Magnitude distribution.
+    pub distribution: FuzzDistribution,
+}
+
+impl Default for DistortionParams {
+    fn default() -> Self {
+        Self {
+            s: 0.05,
+            t: 0.15,
+            distribution: FuzzDistribution::Ramp,
+        }
+    }
+}
+
+impl DistortionParams {
+    /// Validated constructor.
+    ///
+    /// # Panics
+    /// Panics unless `0 < s < t < 1`.
+    pub fn new(s: f64, t: f64, distribution: FuzzDistribution) -> Self {
+        assert!(
+            s > 0.0 && s < t && t < 1.0,
+            "distortion parameters require 0 < s < t < 1, got s={s}, t={t}"
+        );
+        Self { s, t, distribution }
+    }
+
+    /// Expected distortion magnitude `E|f − 1|`.
+    pub fn expected_magnitude(&self) -> f64 {
+        match self.distribution {
+            // Ramp p(m) = 2(t−m)/(t−s)² on [s,t]: E[m] = s + (t−s)/3.
+            FuzzDistribution::Ramp => self.s + (self.t - self.s) / 3.0,
+            FuzzDistribution::Uniform => (self.s + self.t) / 2.0,
+        }
+    }
+
+    /// Draw one magnitude `m ∈ [s, t]`.
+    fn sample_magnitude<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen();
+        match self.distribution {
+            FuzzDistribution::Ramp => {
+                // Inverse CDF of the decreasing ramp: F(m) = 1 − ((t−m)/(t−s))²
+                self.t - (self.t - self.s) * (1.0 - u).sqrt()
+            }
+            FuzzDistribution::Uniform => self.s + (self.t - self.s) * u,
+        }
+    }
+
+    /// Draw one signed factor `f ∈ [1−t, 1−s] ∪ [1+s, 1+t]`.
+    pub fn sample_factor<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let m = self.sample_magnitude(rng);
+        if rng.gen::<bool>() {
+            1.0 + m
+        } else {
+            1.0 - m
+        }
+    }
+}
+
+/// The assigned, time-invariant factor table: one `f_w` per establishment.
+#[derive(Debug, Clone)]
+pub struct DistortionFactors {
+    factors: Vec<f64>,
+    params: DistortionParams,
+}
+
+impl DistortionFactors {
+    /// Assign a factor to every establishment of `dataset`, deterministically
+    /// from `seed`.
+    pub fn assign(dataset: &Dataset, params: DistortionParams, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let factors = (0..dataset.num_workplaces())
+            .map(|_| params.sample_factor(&mut rng))
+            .collect();
+        Self { factors, params }
+    }
+
+    /// The factor of establishment `i` (dense workplace index).
+    #[inline]
+    pub fn factor(&self, workplace_index: usize) -> f64 {
+        self.factors[workplace_index]
+    }
+
+    /// All factors.
+    pub fn factors(&self) -> &[f64] {
+        &self.factors
+    }
+
+    /// The generating parameters.
+    pub fn params(&self) -> &DistortionParams {
+        &self.params
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lodes::{Generator, GeneratorConfig};
+
+    #[test]
+    #[should_panic(expected = "0 < s < t < 1")]
+    fn rejects_inverted_params() {
+        DistortionParams::new(0.2, 0.1, FuzzDistribution::Ramp);
+    }
+
+    #[test]
+    fn factors_bounded_away_from_one() {
+        let params = DistortionParams::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let f = params.sample_factor(&mut rng);
+            let m = (f - 1.0).abs();
+            assert!(
+                (params.s..=params.t).contains(&m),
+                "magnitude {m} outside [s,t]"
+            );
+        }
+    }
+
+    #[test]
+    fn ramp_mean_matches_formula() {
+        let params = DistortionParams::new(0.05, 0.15, FuzzDistribution::Ramp);
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 200_000;
+        let mean: f64 = (0..n)
+            .map(|_| (params.sample_factor(&mut rng) - 1.0).abs())
+            .sum::<f64>()
+            / n as f64;
+        assert!(
+            (mean - params.expected_magnitude()).abs() < 1e-3,
+            "mean {mean} vs {}",
+            params.expected_magnitude()
+        );
+        // Ramp concentrates near s: median below midpoint.
+        let mut mags: Vec<f64> = (0..n)
+            .map(|_| (params.sample_factor(&mut rng) - 1.0).abs())
+            .collect();
+        mags.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!(mags[n / 2] < 0.10, "ramp median {}", mags[n / 2]);
+    }
+
+    #[test]
+    fn uniform_mean_matches_formula() {
+        let params = DistortionParams::new(0.02, 0.10, FuzzDistribution::Uniform);
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 200_000;
+        let mean: f64 = (0..n)
+            .map(|_| (params.sample_factor(&mut rng) - 1.0).abs())
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - 0.06).abs() < 1e-3, "mean {mean}");
+    }
+
+    #[test]
+    fn signs_are_balanced() {
+        let params = DistortionParams::default();
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 100_000;
+        let ups = (0..n)
+            .filter(|_| params.sample_factor(&mut rng) > 1.0)
+            .count();
+        let frac = ups as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.01, "up fraction {frac}");
+    }
+
+    #[test]
+    fn assignment_is_deterministic_and_per_establishment() {
+        let d = Generator::new(GeneratorConfig::test_small(5)).generate();
+        let a = DistortionFactors::assign(&d, DistortionParams::default(), 7);
+        let b = DistortionFactors::assign(&d, DistortionParams::default(), 7);
+        assert_eq!(a.factors(), b.factors());
+        assert_eq!(a.factors().len(), d.num_workplaces());
+        let c = DistortionFactors::assign(&d, DistortionParams::default(), 8);
+        assert_ne!(a.factors(), c.factors());
+    }
+}

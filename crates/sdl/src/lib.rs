@@ -1,0 +1,35 @@
+//! Input noise infusion — the deployed SDL baseline (Sec 5 of the paper).
+//!
+//! Current LODES/QWI publications protect workplace tabulations with
+//! *multiplicative input noise infusion*: every establishment `w` receives a
+//! unique, time-invariant, confidential distortion factor
+//! `f_w ∈ [1−t, 1−s] ∪ [1+s, 1+t]` (bounded away from 1), every histogram
+//! count is published as `h*(w,c) = f_w · h(w,c)`, zero counts pass through
+//! exactly, and small positive counts (below the limit `S = 2.5`) are
+//! replaced by draws from a posterior-predictive distribution over
+//! `{1, …, ⌊S⌋}`.
+//!
+//! The production parameters `(s, t)` and the exact fuzz distribution are
+//! confidential; this crate implements the *published form* of the scheme
+//! (ramp-distributed magnitudes, per Abowd–Stephens–Vilhuber, TP-2006-02)
+//! with configurable parameters, defaulting to `s = 0.05, t = 0.15`
+//! (see DESIGN.md §2 for the substitution argument).
+//!
+//! The crate also implements the paper's Section 5.2 inference attacks,
+//! demonstrating that the scheme — unlike the formally private mechanisms —
+//! leaks establishment shape, establishment size (given one known cell),
+//! and worker attributes (through preserved zeros).
+
+pub mod attack;
+pub mod distortion;
+pub mod publish;
+pub mod small_cell;
+pub mod timeseries;
+
+pub use attack::{
+    reidentification_attack, shape_attack, size_attack_with_known_cell, worker_cells_for,
+};
+pub use distortion::{DistortionFactors, DistortionParams, FuzzDistribution};
+pub use publish::{SdlConfig, SdlPublisher, SdlRelease};
+pub use small_cell::SmallCellModel;
+pub use timeseries::{growth_rate_attack, GrowthAttackResult, PanelPublisher};

@@ -1,0 +1,137 @@
+//! Small-cell replacement.
+//!
+//! Section 5.1: when a marginal cell's *true* count lies in `(0, S)` with
+//! the small-cell limit `S = 2.5`, the noise-infused answer is replaced by a
+//! draw from a posterior-predictive distribution supported on the integers
+//! `{1, …, ⌊S⌋}` (so `{1, 2}` at the default limit). Exact zeros pass
+//! through unmodified — the property the Sec 5.2 re-identification attack
+//! exploits.
+//!
+//! The Bureau's exact posterior-predictive model is unpublished; we use a
+//! truncated-geometric predictive (small counts are a priori more likely)
+//! with configurable decay, which preserves the two properties the paper's
+//! analysis relies on: the output is always a positive integer below `S`,
+//! and it is independent of the establishment's distortion factor.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Posterior-predictive model for small cells.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SmallCellModel {
+    /// The small-cell limit `S`; counts in `(0, S)` are replaced.
+    pub limit: f64,
+    /// Geometric decay of the predictive over `{1, …, ⌊S⌋}`: value `k` has
+    /// weight `decay^(k-1)`. `decay = 1` is uniform.
+    pub decay: f64,
+}
+
+impl Default for SmallCellModel {
+    fn default() -> Self {
+        Self {
+            limit: 2.5,
+            decay: 0.6,
+        }
+    }
+}
+
+impl SmallCellModel {
+    /// Validated constructor.
+    ///
+    /// # Panics
+    /// Panics unless `limit > 1` and `0 < decay ≤ 1`.
+    pub fn new(limit: f64, decay: f64) -> Self {
+        assert!(limit > 1.0, "small-cell limit must exceed 1, got {limit}");
+        assert!(
+            decay > 0.0 && decay <= 1.0,
+            "decay must be in (0, 1], got {decay}"
+        );
+        Self { limit, decay }
+    }
+
+    /// Whether a *true* count triggers replacement.
+    #[inline]
+    pub fn applies(&self, true_count: u64) -> bool {
+        true_count > 0 && (true_count as f64) < self.limit
+    }
+
+    /// Support of the predictive distribution, `{1, …, ⌊S⌋}`.
+    pub fn support(&self) -> std::ops::RangeInclusive<u64> {
+        1..=(self.limit.floor() as u64)
+    }
+
+    /// Draw a replacement value.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let max = self.limit.floor() as u64;
+        // Weights decay^(k-1), k = 1..=max.
+        let total: f64 = (0..max).map(|k| self.decay.powi(k as i32)).sum();
+        let mut u = rng.gen::<f64>() * total;
+        for k in 1..=max {
+            let w = self.decay.powi((k - 1) as i32);
+            if u < w {
+                return k;
+            }
+            u -= w;
+        }
+        max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn applies_only_to_small_positive_counts() {
+        let m = SmallCellModel::default();
+        assert!(!m.applies(0), "zeros pass through");
+        assert!(m.applies(1));
+        assert!(m.applies(2));
+        assert!(!m.applies(3));
+        assert!(!m.applies(1000));
+    }
+
+    #[test]
+    fn samples_stay_in_support() {
+        let m = SmallCellModel::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = m.sample(&mut rng);
+            assert!(m.support().contains(&v), "value {v} outside support");
+        }
+    }
+
+    #[test]
+    fn decay_biases_toward_one() {
+        let m = SmallCellModel::new(2.5, 0.5);
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 100_000;
+        let ones = (0..n).filter(|_| m.sample(&mut rng) == 1).count();
+        let frac = ones as f64 / n as f64;
+        // weights 1 : 0.5 -> P(1) = 2/3.
+        assert!((frac - 2.0 / 3.0).abs() < 0.01, "P(1) = {frac}");
+    }
+
+    #[test]
+    fn uniform_decay_is_uniform() {
+        let m = SmallCellModel::new(3.5, 1.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 90_000;
+        let mut counts = [0usize; 3];
+        for _ in 0..n {
+            counts[(m.sample(&mut rng) - 1) as usize] += 1;
+        }
+        for c in counts {
+            let frac = c as f64 / n as f64;
+            assert!((frac - 1.0 / 3.0).abs() < 0.01, "frac {frac}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must exceed 1")]
+    fn rejects_tiny_limit() {
+        SmallCellModel::new(0.5, 0.6);
+    }
+}

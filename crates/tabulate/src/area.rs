@@ -1,0 +1,200 @@
+//! OnTheMap-style area selections and area-comparison analysis
+//! (Sec 3.2's ranking scenario).
+//!
+//! The OnTheMap web tool lets a user pick a comparison universe (state,
+//! congressional district, hand-drawn polygon) and rank areas within it by
+//! work-area job count. An [`AreaSelection`] is an arbitrary set of Census
+//! places; [`area_comparison`] tabulates each area's employment with the
+//! per-area establishment metadata the mechanisms need. Disjoint areas
+//! partition establishments, so a private area comparison parallel-
+//! composes (Thm 7.4): the whole comparison costs one ε.
+
+use crate::marginal::CellStats;
+use lodes::{Dataset, PlaceId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A named set of Census places.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AreaSelection {
+    /// Display name (e.g. "Metro core", "District 3").
+    pub name: String,
+    /// The places making up the area.
+    pub places: BTreeSet<PlaceId>,
+}
+
+impl AreaSelection {
+    /// Build a selection from a name and place list.
+    pub fn new(name: impl Into<String>, places: impl IntoIterator<Item = PlaceId>) -> Self {
+        Self {
+            name: name.into(),
+            places: places.into_iter().collect(),
+        }
+    }
+}
+
+/// Overlap between two areas (parallel composition requires disjointness).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OverlapError {
+    /// Names of the two overlapping areas.
+    pub areas: (String, String),
+    /// A witness place present in both.
+    pub place: PlaceId,
+}
+
+impl std::fmt::Display for OverlapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "areas '{}' and '{}' overlap at place {:?}",
+            self.areas.0, self.areas.1, self.place
+        )
+    }
+}
+
+impl std::error::Error for OverlapError {}
+
+/// Check that a set of areas is pairwise disjoint.
+pub fn validate_disjoint(areas: &[AreaSelection]) -> Result<(), OverlapError> {
+    let mut seen: BTreeMap<PlaceId, usize> = BTreeMap::new();
+    for (i, area) in areas.iter().enumerate() {
+        for &place in &area.places {
+            if let Some(&j) = seen.get(&place) {
+                return Err(OverlapError {
+                    areas: (areas[j].name.clone(), area.name.clone()),
+                    place,
+                });
+            }
+            seen.insert(place, i);
+        }
+    }
+    Ok(())
+}
+
+/// Tabulate each area's total employment with per-area establishment
+/// metadata ([`CellStats`]: count, contributing establishments, and the
+/// largest single-establishment contribution `x_v`).
+///
+/// # Errors
+/// Returns [`OverlapError`] when areas overlap — overlapping areas would
+/// break the parallel-composition accounting of a private release.
+pub fn area_comparison(
+    dataset: &Dataset,
+    areas: &[AreaSelection],
+) -> Result<Vec<(String, CellStats)>, OverlapError> {
+    validate_disjoint(areas)?;
+    // Map place -> area index for one-pass tabulation.
+    let mut place_to_area: BTreeMap<PlaceId, usize> = BTreeMap::new();
+    for (i, area) in areas.iter().enumerate() {
+        for &p in &area.places {
+            place_to_area.insert(p, i);
+        }
+    }
+
+    #[derive(Default, Clone)]
+    struct Acc {
+        count: u64,
+        establishments: u32,
+        max_establishment: u32,
+    }
+    let mut accs = vec![Acc::default(); areas.len()];
+    for wp in dataset.workplaces() {
+        if let Some(&i) = place_to_area.get(&wp.place) {
+            let size = dataset.establishment_size(wp.id);
+            if size == 0 {
+                continue;
+            }
+            accs[i].count += size as u64;
+            accs[i].establishments += 1;
+            accs[i].max_establishment = accs[i].max_establishment.max(size);
+        }
+    }
+
+    Ok(areas
+        .iter()
+        .zip(accs)
+        .map(|(area, acc)| {
+            (
+                area.name.clone(),
+                CellStats {
+                    count: acc.count,
+                    establishments: acc.establishments,
+                    max_establishment: acc.max_establishment,
+                },
+            )
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lodes::{Generator, GeneratorConfig};
+
+    fn dataset() -> Dataset {
+        Generator::new(GeneratorConfig::test_small(81)).generate()
+    }
+
+    #[test]
+    fn disjoint_validation() {
+        let a = AreaSelection::new("a", [PlaceId(0), PlaceId(1)]);
+        let b = AreaSelection::new("b", [PlaceId(2)]);
+        assert!(validate_disjoint(&[a.clone(), b.clone()]).is_ok());
+        let c = AreaSelection::new("c", [PlaceId(1), PlaceId(3)]);
+        let err = validate_disjoint(&[a, b, c]).unwrap_err();
+        assert_eq!(err.place, PlaceId(1));
+        assert_eq!(err.areas.0, "a");
+        assert_eq!(err.areas.1, "c");
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn area_counts_match_place_marginal() {
+        use crate::attr::{MarginalSpec, WorkplaceAttr};
+        use crate::engine::compute_marginal;
+        let d = dataset();
+        let m = compute_marginal(&d, &MarginalSpec::new(vec![WorkplaceAttr::Place], vec![]));
+        // One area per place: counts must match the marginal exactly.
+        let areas: Vec<AreaSelection> = (0..4)
+            .map(|p| AreaSelection::new(format!("p{p}"), [PlaceId(p)]))
+            .collect();
+        let stats = area_comparison(&d, &areas).unwrap();
+        for (p, (_, s)) in stats.iter().enumerate() {
+            let key = m.schema().encode(&[p as u32]);
+            let expect = m.cell(key).map(|c| c.count).unwrap_or(0);
+            assert_eq!(s.count, expect, "place {p}");
+        }
+    }
+
+    #[test]
+    fn merged_areas_sum_counts_and_max_is_max() {
+        let d = dataset();
+        let single: Vec<AreaSelection> = (0..3)
+            .map(|p| AreaSelection::new(format!("p{p}"), [PlaceId(p)]))
+            .collect();
+        let merged = vec![AreaSelection::new(
+            "merged",
+            [PlaceId(0), PlaceId(1), PlaceId(2)],
+        )];
+        let singles = area_comparison(&d, &single).unwrap();
+        let merged = area_comparison(&d, &merged).unwrap();
+        let sum: u64 = singles.iter().map(|(_, s)| s.count).sum();
+        assert_eq!(merged[0].1.count, sum);
+        let max = singles
+            .iter()
+            .map(|(_, s)| s.max_establishment)
+            .max()
+            .unwrap();
+        assert_eq!(merged[0].1.max_establishment, max);
+    }
+
+    #[test]
+    fn empty_area_reports_zero() {
+        let d = dataset();
+        // A place id beyond any establishment's place set — use an empty
+        // set instead (guaranteed empty).
+        let areas = vec![AreaSelection::new("empty", [])];
+        let stats = area_comparison(&d, &areas).unwrap();
+        assert_eq!(stats[0].1.count, 0);
+        assert_eq!(stats[0].1.establishments, 0);
+    }
+}

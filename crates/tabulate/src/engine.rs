@@ -1,0 +1,190 @@
+//! Marginal evaluation: one pass over the data, tracking per-establishment
+//! contributions per cell.
+//!
+//! Two evaluation paths:
+//!
+//! * **Workplace-only marginals** iterate establishments — each
+//!   establishment lands in exactly one cell, contributing its whole size.
+//! * **Marginals with worker attributes** iterate the joined `WorkerFull`
+//!   relation, first accumulating per-(cell, establishment) counts so the
+//!   per-cell maximum single-establishment contribution `x_v` is exact.
+
+use crate::attr::MarginalSpec;
+use crate::cell::{CellKey, CellSchema};
+use crate::marginal::{CellStats, Marginal};
+use lodes::{Dataset, Worker};
+use std::collections::{BTreeMap, HashMap};
+
+/// Evaluate the marginal query `q_V(D)`.
+pub fn compute_marginal(dataset: &Dataset, spec: &MarginalSpec) -> Marginal {
+    compute_marginal_filtered(dataset, spec, |_| true)
+}
+
+/// Evaluate a marginal over only the workers matching `filter`.
+///
+/// The filter models single-query workloads like Ranking 2 ("number of
+/// female employees with a bachelor's degree per place×industry×ownership
+/// cell"): group by workplace attributes while restricting the counted
+/// population. Establishment metadata (`x_v`, contributing-establishment
+/// counts) refer to the *filtered* population, matching Lemma 8.5's
+/// definition of `x_v` as the largest per-establishment count of workers
+/// matching the query condition.
+pub fn compute_marginal_filtered<F>(dataset: &Dataset, spec: &MarginalSpec, filter: F) -> Marginal
+where
+    F: Fn(&Worker) -> bool,
+{
+    let schema = CellSchema::new(spec, dataset);
+    // Accumulate per-(cell, establishment) counts. Establishments are dense
+    // u32 ids, so key by (cell, establishment) pair.
+    let mut per_estab: HashMap<(u64, u32), u32> =
+        HashMap::with_capacity(dataset.num_workplaces() * 2);
+
+    let mut values: Vec<u32> = Vec::with_capacity(schema.attrs().len());
+    for worker in dataset.workers() {
+        if !filter(worker) {
+            continue;
+        }
+        let wp = dataset.workplace(dataset.employer_of(worker.id));
+        values.clear();
+        for attr in &spec.workplace_attrs {
+            values.push(attr.value(wp));
+        }
+        for attr in &spec.worker_attrs {
+            values.push(attr.value(worker));
+        }
+        let key = schema.encode(&values);
+        *per_estab.entry((key.0, wp.id.0)).or_insert(0) += 1;
+    }
+
+    let mut cells: BTreeMap<CellKey, CellStats> = BTreeMap::new();
+    for (&(key, _estab), &count) in &per_estab {
+        let entry = cells.entry(CellKey(key)).or_insert(CellStats {
+            count: 0,
+            establishments: 0,
+            max_establishment: 0,
+        });
+        entry.count += count as u64;
+        entry.establishments += 1;
+        entry.max_establishment = entry.max_establishment.max(count);
+    }
+
+    Marginal::new(spec.clone(), schema, cells)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::{MarginalSpec, WorkerAttr, WorkplaceAttr};
+    use lodes::{Generator, GeneratorConfig, Sex};
+
+    fn dataset() -> Dataset {
+        Generator::new(GeneratorConfig::test_small(4)).generate()
+    }
+
+    /// Brute-force recomputation of one cell's stats.
+    fn brute_force_cell(
+        d: &Dataset,
+        spec: &MarginalSpec,
+        key_values: &[u32],
+    ) -> (u64, u32, u32) {
+        let mut per_estab: BTreeMap<u32, u32> = BTreeMap::new();
+        for w in d.workers() {
+            let wp = d.workplace(d.employer_of(w.id));
+            let mut vals = Vec::new();
+            for a in &spec.workplace_attrs {
+                vals.push(a.value(wp));
+            }
+            for a in &spec.worker_attrs {
+                vals.push(a.value(w));
+            }
+            if vals == key_values {
+                *per_estab.entry(wp.id.0).or_insert(0) += 1;
+            }
+        }
+        let count: u64 = per_estab.values().map(|&c| c as u64).sum();
+        let estabs = per_estab.len() as u32;
+        let max = per_estab.values().copied().max().unwrap_or(0);
+        (count, estabs, max)
+    }
+
+    #[test]
+    fn engine_matches_brute_force() {
+        let d = dataset();
+        let spec = MarginalSpec::new(
+            vec![WorkplaceAttr::Naics, WorkplaceAttr::Ownership],
+            vec![WorkerAttr::Sex],
+        );
+        let m = compute_marginal(&d, &spec);
+        // Check ten arbitrary nonzero cells + totals.
+        for (key, stats) in m.iter().take(10) {
+            let vals = m.schema().decode(key);
+            let (count, estabs, max) = brute_force_cell(&d, &spec, &vals);
+            assert_eq!(stats.count, count);
+            assert_eq!(stats.establishments, estabs);
+            assert_eq!(stats.max_establishment, max);
+        }
+        assert_eq!(m.total() as usize, d.num_jobs());
+    }
+
+    #[test]
+    fn workplace_only_marginal_max_is_establishment_size() {
+        let d = dataset();
+        // Group by block: cells are small; every establishment contributes
+        // its entire size to its one cell.
+        let spec = MarginalSpec::new(vec![WorkplaceAttr::Block], vec![]);
+        let m = compute_marginal(&d, &spec);
+        let mut by_block: BTreeMap<u32, u32> = BTreeMap::new();
+        for wp in d.workplaces() {
+            let max = by_block.entry(wp.block.0).or_insert(0);
+            *max = (*max).max(d.establishment_size(wp.id));
+        }
+        for (key, stats) in m.iter() {
+            let block = m.schema().value_of(key, 0);
+            assert_eq!(stats.max_establishment, by_block[&block]);
+        }
+    }
+
+    #[test]
+    fn filtered_marginal_counts_only_matching_workers() {
+        let d = dataset();
+        let spec = MarginalSpec::new(vec![WorkplaceAttr::Naics], vec![]);
+        let females = compute_marginal_filtered(&d, &spec, |w| w.sex == Sex::Female);
+        let males = compute_marginal_filtered(&d, &spec, |w| w.sex == Sex::Male);
+        let all = compute_marginal(&d, &spec);
+        assert_eq!(females.total() + males.total(), all.total());
+        // Filtered x_v never exceeds unfiltered x_v.
+        for (key, f_stats) in females.iter() {
+            let a_stats = all.cell(key).expect("filtered cell must exist unfiltered");
+            assert!(f_stats.max_establishment <= a_stats.max_establishment);
+            assert!(f_stats.count <= a_stats.count);
+        }
+    }
+
+    #[test]
+    fn empty_filter_yields_empty_marginal() {
+        let d = dataset();
+        let spec = MarginalSpec::new(vec![WorkplaceAttr::Place], vec![]);
+        let m = compute_marginal_filtered(&d, &spec, |_| false);
+        assert_eq!(m.num_cells(), 0);
+        assert_eq!(m.total(), 0);
+    }
+
+    #[test]
+    fn full_marginal_spec_with_all_attrs() {
+        let d = dataset();
+        let spec = MarginalSpec::new(
+            vec![WorkplaceAttr::Place, WorkplaceAttr::Naics, WorkplaceAttr::Ownership],
+            vec![
+                WorkerAttr::Sex,
+                WorkerAttr::Age,
+                WorkerAttr::Race,
+                WorkerAttr::Ethnicity,
+                WorkerAttr::Education,
+            ],
+        );
+        let m = compute_marginal(&d, &spec);
+        assert_eq!(m.total() as usize, d.num_jobs());
+        // Sparsity: nonzero cells are a tiny fraction of the domain.
+        assert!((m.num_cells() as u64) < m.schema().domain_size() / 10);
+    }
+}

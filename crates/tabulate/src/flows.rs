@@ -1,0 +1,218 @@
+//! QWI-style job-flow statistics over consecutive quarters.
+//!
+//! The paper's opening motivation: ER-EE publications "are used to compute
+//! national and local economic indicators, including job creation and
+//! destruction statistics" — the Quarterly Workforce Indicators. Given two
+//! snapshots of the same establishment frame, per cell `v`:
+//!
+//! * **beginning employment** `B(v)` — jobs in quarter `t`;
+//! * **ending employment** `E(v)` — jobs in quarter `t+1`;
+//! * **job creation** `JC(v) = Σ_w max(0, n_{t+1,w} − n_{t,w})` over the
+//!   cell's establishments;
+//! * **job destruction** `JD(v) = Σ_w max(0, n_{t,w} − n_{t+1,w})`;
+//! * **net change** `E − B = JC − JD` (an identity, checked in tests).
+//!
+//! For private release, each flow carries its own `x_v` analogue: the
+//! largest single-establishment contribution to that flow. A strong
+//! α-neighbor step perturbs one establishment's employment by at most an
+//! α-fraction per quarter, so flow queries plug into the same
+//! smooth-sensitivity machinery as level queries (the per-establishment
+//! flow contribution is itself bounded by the size change).
+
+use crate::attr::MarginalSpec;
+use crate::cell::{CellKey, CellSchema};
+use lodes::Dataset;
+use std::collections::BTreeMap;
+
+/// Flow statistics for one cell.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlowStats {
+    /// Beginning-of-period employment `B`.
+    pub beginning: u64,
+    /// End-of-period employment `E`.
+    pub ending: u64,
+    /// Job creation `JC` (gross gains at growing establishments).
+    pub job_creation: u64,
+    /// Job destruction `JD` (gross losses at shrinking establishments).
+    pub job_destruction: u64,
+    /// Largest single-establishment contribution to `JC` (the `x_v` of the
+    /// creation query).
+    pub max_creation: u32,
+    /// Largest single-establishment contribution to `JD`.
+    pub max_destruction: u32,
+}
+
+impl FlowStats {
+    /// Net employment change `E − B = JC − JD`.
+    pub fn net_change(&self) -> i64 {
+        self.ending as i64 - self.beginning as i64
+    }
+}
+
+/// A materialized flow tabulation between two quarters.
+#[derive(Debug, Clone)]
+pub struct FlowMarginal {
+    schema: CellSchema,
+    cells: BTreeMap<CellKey, FlowStats>,
+}
+
+impl FlowMarginal {
+    /// The key schema (shared with level marginals of the same spec).
+    pub fn schema(&self) -> &CellSchema {
+        &self.schema
+    }
+
+    /// Number of cells with any activity.
+    pub fn num_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Stats for one cell.
+    pub fn cell(&self, key: CellKey) -> Option<&FlowStats> {
+        self.cells.get(&key)
+    }
+
+    /// Iterate over active cells in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (CellKey, &FlowStats)> {
+        self.cells.iter().map(|(&k, v)| (k, v))
+    }
+
+    /// Aggregate totals across all cells.
+    pub fn totals(&self) -> FlowStats {
+        let mut out = FlowStats::default();
+        for stats in self.cells.values() {
+            out.beginning += stats.beginning;
+            out.ending += stats.ending;
+            out.job_creation += stats.job_creation;
+            out.job_destruction += stats.job_destruction;
+            out.max_creation = out.max_creation.max(stats.max_creation);
+            out.max_destruction = out.max_destruction.max(stats.max_destruction);
+        }
+        out
+    }
+}
+
+/// Tabulate job flows between `before` and `after` grouped by the
+/// workplace attributes of `spec`.
+///
+/// # Panics
+/// Panics if the spec has worker attributes (flows are establishment-level
+/// quantities), or if the two snapshots do not share an establishment
+/// frame (same workplace count; the panel generator guarantees identical
+/// frames).
+pub fn compute_flows(before: &Dataset, after: &Dataset, spec: &MarginalSpec) -> FlowMarginal {
+    assert!(
+        !spec.has_worker_attrs(),
+        "job flows are establishment-level: spec must not include worker attributes"
+    );
+    assert_eq!(
+        before.num_workplaces(),
+        after.num_workplaces(),
+        "flow tabulation requires a shared establishment frame"
+    );
+    let schema = CellSchema::new(spec, before);
+    let mut cells: BTreeMap<CellKey, FlowStats> = BTreeMap::new();
+    let mut values: Vec<u32> = Vec::with_capacity(schema.attrs().len());
+    for wp in before.workplaces() {
+        let b = before.establishment_size(wp.id) as u64;
+        let e = after.establishment_size(wp.id) as u64;
+        if b == 0 && e == 0 {
+            continue;
+        }
+        values.clear();
+        for attr in &spec.workplace_attrs {
+            values.push(attr.value(wp));
+        }
+        let key = schema.encode(&values);
+        let entry = cells.entry(key).or_default();
+        entry.beginning += b;
+        entry.ending += e;
+        let creation = e.saturating_sub(b);
+        let destruction = b.saturating_sub(e);
+        entry.job_creation += creation;
+        entry.job_destruction += destruction;
+        entry.max_creation = entry.max_creation.max(creation as u32);
+        entry.max_destruction = entry.max_destruction.max(destruction as u32);
+    }
+    FlowMarginal { schema, cells }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::{MarginalSpec, WorkerAttr, WorkplaceAttr};
+    use lodes::{DatasetPanel, GeneratorConfig, PanelConfig};
+
+    fn panel() -> DatasetPanel {
+        DatasetPanel::generate(
+            &GeneratorConfig::test_small(91),
+            &PanelConfig {
+                quarters: 2,
+                growth_sigma: 0.1,
+                death_rate: 0.05,
+                seed: 19,
+            },
+        )
+    }
+
+    #[test]
+    fn accounting_identity_holds_per_cell_and_overall() {
+        let p = panel();
+        let spec = MarginalSpec::new(vec![WorkplaceAttr::Naics], vec![]);
+        let flows = compute_flows(p.quarter(0), p.quarter(1), &spec);
+        assert!(flows.num_cells() > 0);
+        for (key, stats) in flows.iter() {
+            assert_eq!(
+                stats.net_change(),
+                stats.job_creation as i64 - stats.job_destruction as i64,
+                "E - B = JC - JD must hold for cell {key:?}"
+            );
+            assert!(stats.max_creation as u64 <= stats.job_creation.max(1));
+            assert!(stats.max_destruction as u64 <= stats.job_destruction.max(1));
+        }
+        let totals = flows.totals();
+        assert_eq!(totals.beginning as usize, p.quarter(0).num_jobs());
+        assert_eq!(totals.ending as usize, p.quarter(1).num_jobs());
+        // With 5% deaths there must be real destruction.
+        assert!(totals.job_destruction > 0);
+        assert!(totals.job_creation > 0);
+    }
+
+    #[test]
+    fn flows_are_zero_between_identical_quarters() {
+        let p = panel();
+        let spec = MarginalSpec::new(vec![WorkplaceAttr::Place], vec![]);
+        let flows = compute_flows(p.quarter(0), p.quarter(0), &spec);
+        for (_, stats) in flows.iter() {
+            assert_eq!(stats.job_creation, 0);
+            assert_eq!(stats.job_destruction, 0);
+            assert_eq!(stats.beginning, stats.ending);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must not include worker attributes")]
+    fn rejects_worker_attributes() {
+        let p = panel();
+        let spec = MarginalSpec::new(vec![WorkplaceAttr::Naics], vec![WorkerAttr::Sex]);
+        compute_flows(p.quarter(0), p.quarter(1), &spec);
+    }
+
+    #[test]
+    fn flow_keys_align_with_level_marginal_keys() {
+        use crate::engine::compute_marginal;
+        let p = panel();
+        let spec = MarginalSpec::new(
+            vec![WorkplaceAttr::Naics, WorkplaceAttr::Ownership],
+            vec![],
+        );
+        let flows = compute_flows(p.quarter(0), p.quarter(1), &spec);
+        let levels = compute_marginal(p.quarter(0), &spec);
+        for (key, stats) in flows.iter() {
+            if stats.beginning > 0 {
+                let level = levels.cell(key).expect("beginning > 0 implies level cell");
+                assert_eq!(level.count, stats.beginning, "keys must align");
+            }
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Marginal (GROUP BY) query engine over linked ER-EE data.
+//!
+//! Definition 2.1 of the paper: the marginal query `q_V(D)` returns one
+//! count per cell of the cross-product domain of the grouping attributes
+//! `V = V_I ∪ V_W` (worker attributes and workplace attributes), evaluated
+//! over the joined `WorkerFull` relation —
+//! `SELECT COUNT(*) FROM D GROUP BY V`.
+//!
+//! Beyond raw counts, every released cell carries the metadata the privacy
+//! mechanisms need:
+//!
+//! * `max_establishment` — `x_v`, the largest contribution of any single
+//!   establishment to the cell. Lemma 8.5 shows the smooth sensitivity of a
+//!   count under (α,ε)-ER-EE privacy is `max(x_v·α, 1)`, so the Smooth
+//!   Gamma and Smooth Laplace mechanisms consume this value directly.
+//! * `establishments` — the number of contributing establishments (used by
+//!   the SDL attack demonstrations, which need singleton-establishment
+//!   cells).
+//!
+//! The engine is deterministic: cells are kept in a `BTreeMap` ordered by
+//! packed key, so iteration order (and therefore experiment output) is
+//! stable across runs.
+
+pub mod area;
+pub mod attr;
+pub mod cell;
+pub mod engine;
+pub mod flows;
+pub mod marginal;
+pub mod strata;
+pub mod workload;
+
+pub use area::{area_comparison, validate_disjoint, AreaSelection, OverlapError};
+pub use attr::{Attr, MarginalSpec, WorkerAttr, WorkplaceAttr};
+pub use cell::{CellKey, CellSchema};
+pub use engine::{compute_marginal, compute_marginal_filtered};
+pub use flows::{compute_flows, FlowMarginal, FlowStats};
+pub use marginal::{CellStats, Marginal};
+pub use strata::stratify_by_place_size;
+pub use workload::{ranking2_filter, workload1, workload2, workload3};

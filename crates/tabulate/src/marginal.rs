@@ -1,0 +1,171 @@
+//! Materialized marginal query results.
+
+use crate::attr::{Attr, MarginalSpec, WorkerAttr};
+use crate::cell::{CellKey, CellSchema};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Per-cell statistics of a marginal query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CellStats {
+    /// The true count `q_V(D, v)`.
+    pub count: u64,
+    /// Number of distinct establishments contributing to the cell.
+    pub establishments: u32,
+    /// `x_v`: the largest contribution of any single establishment — the
+    /// driver of smooth sensitivity (Lemma 8.5).
+    pub max_establishment: u32,
+}
+
+/// A materialized marginal: nonzero cells with stats, plus the schema needed
+/// to decode keys.
+///
+/// Only nonzero cells are stored. LODES publications release sparse tables
+/// (zeros are implicit and, under the current SDL, exact); the evaluation
+/// follows the paper in computing error over the published (nonzero) cells.
+#[derive(Debug, Clone)]
+pub struct Marginal {
+    spec: MarginalSpec,
+    schema: CellSchema,
+    cells: BTreeMap<CellKey, CellStats>,
+    total: u64,
+}
+
+impl Marginal {
+    /// Assemble a marginal from parts (used by the engine).
+    pub(crate) fn new(
+        spec: MarginalSpec,
+        schema: CellSchema,
+        cells: BTreeMap<CellKey, CellStats>,
+    ) -> Self {
+        let total = cells.values().map(|c| c.count).sum();
+        Self {
+            spec,
+            schema,
+            cells,
+            total,
+        }
+    }
+
+    /// The query specification.
+    pub fn spec(&self) -> &MarginalSpec {
+        &self.spec
+    }
+
+    /// The key schema.
+    pub fn schema(&self) -> &CellSchema {
+        &self.schema
+    }
+
+    /// Number of nonzero cells.
+    pub fn num_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Sum of all cell counts (equals the number of jobs matching the
+    /// marginal's implicit universe).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Stats for one cell; `None` when the true count is zero.
+    pub fn cell(&self, key: CellKey) -> Option<&CellStats> {
+        self.cells.get(&key)
+    }
+
+    /// Iterate over nonzero cells in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (CellKey, &CellStats)> {
+        self.cells.iter().map(|(&k, v)| (k, v))
+    }
+
+    /// The count vector in key order (for error metrics).
+    pub fn counts(&self) -> Vec<u64> {
+        self.cells.values().map(|c| c.count).collect()
+    }
+
+    /// Restrict to cells where each listed worker attribute takes the given
+    /// value, then *project away* the worker attributes — yielding, e.g.,
+    /// the "females with a bachelor's degree" slice of a
+    /// place×naics×ownership×sex×education marginal, keyed like the
+    /// corresponding place×naics×ownership marginal (used by Ranking 2).
+    ///
+    /// # Panics
+    /// Panics if a listed attribute is not part of this marginal.
+    pub fn slice_worker_attrs(&self, fixed: &[(WorkerAttr, u32)]) -> BTreeMap<CellKey, u64> {
+        let positions: Vec<(usize, u32)> = fixed
+            .iter()
+            .map(|&(attr, value)| {
+                let pos = self
+                    .schema
+                    .position_of(Attr::Worker(attr))
+                    .unwrap_or_else(|| panic!("attribute {attr:?} not in marginal"));
+                (pos, value)
+            })
+            .collect();
+        // Positions of attributes to keep (everything except *all* worker
+        // attributes; slicing fixes some and sums out any others).
+        let keep: Vec<usize> = self
+            .schema
+            .attrs()
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| matches!(a, Attr::Workplace(_)))
+            .map(|(i, _)| i)
+            .collect();
+
+        let mut out: BTreeMap<CellKey, u64> = BTreeMap::new();
+        for (&key, stats) in &self.cells {
+            if positions
+                .iter()
+                .all(|&(pos, val)| self.schema.value_of(key, pos) == val)
+            {
+                // Re-encode using only the kept (workplace) positions,
+                // preserving their relative order — mixed-radix packing over
+                // kept attributes, matching the layout `CellSchema` would
+                // produce for the workplace-only spec.
+                let mut packed: u64 = 0;
+                for &pos in &keep {
+                    packed = packed * self.schema.cardinality_of(pos)
+                        + self.schema.value_of(key, pos) as u64;
+                }
+                *out.entry(CellKey(packed)).or_insert(0) += stats.count;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::attr::{MarginalSpec, WorkerAttr, WorkplaceAttr};
+    use crate::engine::compute_marginal;
+    use lodes::{Generator, GeneratorConfig};
+
+    #[test]
+    fn totals_and_cells_consistent() {
+        let d = Generator::new(GeneratorConfig::test_small(1)).generate();
+        let spec = MarginalSpec::new(vec![WorkplaceAttr::Naics], vec![]);
+        let m = compute_marginal(&d, &spec);
+        assert_eq!(m.total() as usize, d.num_jobs());
+        assert!(m.num_cells() <= 20);
+        for (_, stats) in m.iter() {
+            assert!(stats.count > 0, "only nonzero cells stored");
+            assert!(stats.max_establishment as u64 <= stats.count);
+            assert!(stats.establishments > 0);
+        }
+    }
+
+    #[test]
+    fn slice_extracts_fixed_worker_values() {
+        let d = Generator::new(GeneratorConfig::test_small(2)).generate();
+        let full = compute_marginal(
+            &d,
+            &MarginalSpec::new(vec![WorkplaceAttr::Naics], vec![WorkerAttr::Sex]),
+        );
+        let females = full.slice_worker_attrs(&[(WorkerAttr::Sex, 1)]);
+        let males = full.slice_worker_attrs(&[(WorkerAttr::Sex, 0)]);
+        let f_total: u64 = females.values().sum();
+        let m_total: u64 = males.values().sum();
+        assert_eq!(f_total + m_total, full.total());
+    }
+}

@@ -1,0 +1,87 @@
+//! Place-population stratification of marginal cells.
+//!
+//! The paper's figures report results both overall and stratified by the
+//! resident population of the Census place each cell belongs to (0–100,
+//! 100–10k, 10k–100k, 100k+). Any marginal whose spec includes
+//! `WorkplaceAttr::Place` can be stratified.
+
+use crate::attr::{Attr, WorkplaceAttr};
+use crate::cell::CellKey;
+use crate::marginal::Marginal;
+use lodes::{Dataset, PlaceId, PlaceSizeClass};
+use std::collections::BTreeMap;
+
+/// Group the nonzero cells of `marginal` by the population stratum of their
+/// place.
+///
+/// # Panics
+/// Panics if the marginal does not group by `Place`.
+pub fn stratify_by_place_size(
+    marginal: &Marginal,
+    dataset: &Dataset,
+) -> BTreeMap<PlaceSizeClass, Vec<CellKey>> {
+    let pos = marginal
+        .schema()
+        .position_of(Attr::Workplace(WorkplaceAttr::Place))
+        .expect("marginal must group by place to stratify by place size");
+    let mut out: BTreeMap<PlaceSizeClass, Vec<CellKey>> = BTreeMap::new();
+    for class in PlaceSizeClass::ALL {
+        out.insert(class, Vec::new());
+    }
+    for (key, _) in marginal.iter() {
+        let place = PlaceId(marginal.schema().value_of(key, pos));
+        let class = dataset.geography().place(place).size_class();
+        out.get_mut(&class).expect("all strata pre-inserted").push(key);
+    }
+    out
+}
+
+/// The stratum of a single cell (requires the marginal to group by place).
+pub fn stratum_of_cell(
+    marginal: &Marginal,
+    dataset: &Dataset,
+    key: CellKey,
+) -> Option<PlaceSizeClass> {
+    let pos = marginal
+        .schema()
+        .position_of(Attr::Workplace(WorkplaceAttr::Place))?;
+    let place = PlaceId(marginal.schema().value_of(key, pos));
+    Some(dataset.geography().place(place).size_class())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::MarginalSpec;
+    use crate::engine::compute_marginal;
+    use lodes::{Generator, GeneratorConfig};
+
+    #[test]
+    fn strata_partition_all_cells() {
+        let d = Generator::new(GeneratorConfig::test_small(6)).generate();
+        let spec = MarginalSpec::new(
+            vec![WorkplaceAttr::Place, WorkplaceAttr::Naics],
+            vec![],
+        );
+        let m = compute_marginal(&d, &spec);
+        let strata = stratify_by_place_size(&m, &d);
+        let total: usize = strata.values().map(|v| v.len()).sum();
+        assert_eq!(total, m.num_cells());
+        // Every stratum key must be present (possibly empty).
+        assert_eq!(strata.len(), 4);
+        // Spot-check individual membership.
+        for (class, keys) in &strata {
+            for &key in keys.iter().take(5) {
+                assert_eq!(stratum_of_cell(&m, &d, key), Some(*class));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must group by place")]
+    fn stratify_requires_place() {
+        let d = Generator::new(GeneratorConfig::test_small(6)).generate();
+        let m = compute_marginal(&d, &MarginalSpec::new(vec![WorkplaceAttr::Naics], vec![]));
+        stratify_by_place_size(&m, &d);
+    }
+}

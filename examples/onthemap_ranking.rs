@@ -1,0 +1,81 @@
+//! Area-comparison ranking — the OnTheMap scenario of Sec 3.2.
+//!
+//! The OnTheMap web tool lets users rank areas (e.g. Census places within
+//! a state) by work-area job count, for decisions like where to open a new
+//! establishment. This example ranks places by total employment from (a)
+//! the true counts, (b) the SDL release, and (c) formally private
+//! releases, and reports how well each noisy ranking preserves the SDL
+//! ordering (the paper's Ranking 1 protocol) and the true ordering.
+//!
+//! Run: `cargo run --release --example onthemap_ranking`
+
+use eree::prelude::*;
+use eval::metrics::spearman;
+
+fn main() {
+    let dataset = Generator::new(GeneratorConfig::test_small(512)).generate();
+    // Rank places by total employment: the place-only marginal.
+    let spec = MarginalSpec::new(vec![WorkplaceAttr::Place], vec![]);
+    let truth = compute_marginal(&dataset, &spec);
+    let keys: Vec<CellKey> = truth.iter().map(|(k, _)| k).collect();
+    let true_counts: Vec<f64> = truth.iter().map(|(_, s)| s.count as f64).collect();
+
+    let sdl = SdlPublisher::new(&dataset, SdlConfig::default()).publish(&dataset, &spec);
+    let sdl_counts: Vec<f64> = keys
+        .iter()
+        .map(|k| sdl.published.get(k).copied().unwrap_or(0.0))
+        .collect();
+
+    println!(
+        "Ranking {} places by job count (true top-5 places shown first)\n",
+        keys.len()
+    );
+    let mut order: Vec<usize> = (0..keys.len()).collect();
+    order.sort_by(|&a, &b| true_counts[b].partial_cmp(&true_counts[a]).unwrap());
+    for (rank, &i) in order.iter().take(5).enumerate() {
+        let place = truth.schema().value_of(keys[i], 0);
+        println!(
+            "  #{:<2} place {:>4}: {:>8} jobs (SDL published {:>9.1})",
+            rank + 1,
+            place,
+            true_counts[i],
+            sdl_counts[i]
+        );
+    }
+
+    println!("\n{:<24} {:>12} {:>12}", "method", "rho vs SDL", "rho vs truth");
+    let rho_sdl_truth = spearman(&sdl_counts, &true_counts).unwrap();
+    println!("{:<24} {:>12} {:>12.4}", "SDL", "1.0000", rho_sdl_truth);
+
+    for &epsilon in &[0.25, 1.0, 4.0] {
+        let release = release_marginal(
+            &dataset,
+            &spec,
+            &ReleaseConfig {
+                mechanism: MechanismKind::SmoothLaplace,
+                budget: PrivacyParams::approximate(0.1, epsilon, 0.05),
+                seed: 11,
+            },
+        );
+        let Ok(release) = release else {
+            println!("Smooth Laplace eps={epsilon:<6} (invalid parameters)");
+            continue;
+        };
+        let ours: Vec<f64> = keys
+            .iter()
+            .map(|k| release.published.get(k).copied().unwrap_or(0.0))
+            .collect();
+        println!(
+            "{:<24} {:>12.4} {:>12.4}",
+            format!("Smooth Laplace eps={epsilon}"),
+            spearman(&ours, &sdl_counts).unwrap(),
+            spearman(&ours, &true_counts).unwrap()
+        );
+    }
+
+    println!(
+        "\nAt eps >= 1 the formally private ranking tracks the published SDL ordering \
+         almost\nperfectly (the paper's Finding: counts can be used for ranking with \
+         high accuracy\nfor eps >= 1)."
+    );
+}

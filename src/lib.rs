@@ -1,0 +1,85 @@
+//! # eree — formal privacy for national employer-employee statistics
+//!
+//! A Rust reproduction of Haney, Machanavajjhala, Abowd, Graham, Kutzbach
+//! and Vilhuber, *"Utility Cost of Formal Privacy for Releasing National
+//! Employer-Employee Statistics"* (SIGMOD 2017): privacy definitions and
+//! release mechanisms for tabular summaries of linked employer-employee
+//! (ER-EE) data, evaluated against the statistical-disclosure-limitation
+//! system used in production by the U.S. Census Bureau's LODES product.
+//!
+//! This crate is a facade that re-exports the workspace members:
+//!
+//! * [`lodes`] — synthetic LODES-style data substrate (schema, geography,
+//!   calibrated generator).
+//! * [`tabulate`] — marginal (GROUP BY) query engine with per-cell
+//!   establishment metadata.
+//! * [`noise`] — noise distributions (Laplace, log-Laplace, polynomial-
+//!   tail) with analytic densities.
+//! * [`sdl`] — the input-noise-infusion baseline and its inference
+//!   attacks.
+//! * [`graphdp`] — edge- and node-DP baselines on the bipartite job graph.
+//! * [`eree_core`] — the paper's contribution: (α,ε)-ER-EE privacy,
+//!   smooth sensitivity, and the Log-Laplace / Smooth Gamma / Smooth
+//!   Laplace mechanisms.
+//! * [`eval`] — the experiment harness regenerating every table and
+//!   figure.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use eree::prelude::*;
+//!
+//! // Generate a small synthetic ER-EE universe.
+//! let dataset = Generator::new(GeneratorConfig::test_small(7)).generate();
+//!
+//! // Release the place x industry x ownership marginal with provable
+//! // (alpha = 0.1, epsilon = 2) ER-EE privacy via Smooth Gamma.
+//! let config = ReleaseConfig {
+//!     mechanism: MechanismKind::SmoothGamma,
+//!     budget: PrivacyParams::pure(0.1, 2.0),
+//!     seed: 42,
+//! };
+//! let release = release_marginal(&dataset, &workload1(), &config).unwrap();
+//! assert_eq!(release.published.len(), release.truth.num_cells());
+//! println!("mean per-cell error: {:.2}", release.mean_l1_error());
+//! ```
+
+pub use eree_core;
+pub use eval;
+pub use graphdp;
+pub use lodes;
+pub use noise;
+pub use sdl;
+pub use tabulate;
+
+/// Convenient single-import surface for examples and downstream users.
+pub mod prelude {
+    pub use eree_core::release::release_marginal_filtered;
+    pub use eree_core::{
+        release_marginal, CountMechanism, Ledger, MechanismKind, PrivacyParams, PrivateRelease,
+        ReleaseConfig, ReleaseCost,
+    };
+    pub use lodes::{Dataset, DatasetStats, Generator, GeneratorConfig, PlaceSizeClass};
+    pub use sdl::{SdlConfig, SdlPublisher};
+    pub use tabulate::{
+        compute_marginal, compute_marginal_filtered, ranking2_filter, workload1, workload3,
+        CellKey, Marginal, MarginalSpec, WorkerAttr, WorkplaceAttr,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_exposes_working_pipeline() {
+        let dataset = Generator::new(GeneratorConfig::test_small(1)).generate();
+        let config = ReleaseConfig {
+            mechanism: MechanismKind::LogLaplace,
+            budget: PrivacyParams::pure(0.1, 2.0),
+            seed: 5,
+        };
+        let release = release_marginal(&dataset, &workload1(), &config).unwrap();
+        assert!(release.l1_error() > 0.0);
+    }
+}

@@ -1,0 +1,69 @@
+//! Property-based round-trip tests for the CSV substrate.
+
+use lodes::csv::{read_dataset, write_dataset};
+use lodes::{Generator, GeneratorConfig};
+use proptest::prelude::*;
+use std::io::BufReader;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn csv_roundtrip_any_universe(
+        seed in 0u64..1_000,
+        states in 1u16..3,
+        counties in 1u16..3,
+        places in 2u16..6,
+        target in 50usize..400,
+    ) {
+        let cfg = GeneratorConfig {
+            seed,
+            states,
+            counties_per_state: counties,
+            places_per_county: places,
+            blocks_per_place: 2,
+            target_establishments: target,
+            ..GeneratorConfig::default()
+        };
+        let original = Generator::new(cfg).generate();
+        let mut buf = Vec::new();
+        write_dataset(&original, &mut buf).unwrap();
+        let restored = read_dataset(BufReader::new(&buf[..])).unwrap();
+
+        prop_assert_eq!(restored.num_jobs(), original.num_jobs());
+        prop_assert_eq!(restored.num_workplaces(), original.num_workplaces());
+        prop_assert_eq!(
+            restored.establishment_sizes(),
+            original.establishment_sizes()
+        );
+        // Tabulation-level equivalence on a workload-1 marginal.
+        let a = tabulate::compute_marginal(&original, &tabulate::workload1());
+        let b = tabulate::compute_marginal(&restored, &tabulate::workload1());
+        prop_assert_eq!(a.num_cells(), b.num_cells());
+        for ((ka, sa), (kb, sb)) in a.iter().zip(b.iter()) {
+            prop_assert_eq!(ka, kb);
+            prop_assert_eq!(sa.count, sb.count);
+            prop_assert_eq!(sa.max_establishment, sb.max_establishment);
+        }
+    }
+
+    #[test]
+    fn csv_roundtrip_is_idempotent(seed in 0u64..100) {
+        let original = Generator::new(GeneratorConfig {
+            target_establishments: 100,
+            states: 1,
+            counties_per_state: 1,
+            places_per_county: 3,
+            blocks_per_place: 2,
+            seed,
+            ..GeneratorConfig::default()
+        })
+        .generate();
+        let mut first = Vec::new();
+        write_dataset(&original, &mut first).unwrap();
+        let restored = read_dataset(BufReader::new(&first[..])).unwrap();
+        let mut second = Vec::new();
+        write_dataset(&restored, &mut second).unwrap();
+        prop_assert_eq!(first, second, "write(read(write(d))) == write(d)");
+    }
+}

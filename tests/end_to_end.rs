@@ -1,0 +1,153 @@
+//! End-to-end integration: generate → tabulate → release → evaluate,
+//! across crates.
+
+use eree::prelude::*;
+use eree_core::neighbors::NeighborKind;
+
+fn dataset() -> Dataset {
+    Generator::new(GeneratorConfig::test_small(1001)).generate()
+}
+
+#[test]
+fn full_pipeline_all_mechanisms_workload1() {
+    let d = dataset();
+    let spec = workload1();
+    let truth = compute_marginal(&d, &spec);
+    for (mechanism, budget) in [
+        (MechanismKind::LogLaplace, PrivacyParams::pure(0.1, 2.0)),
+        (MechanismKind::SmoothGamma, PrivacyParams::pure(0.1, 2.0)),
+        (
+            MechanismKind::SmoothLaplace,
+            PrivacyParams::approximate(0.1, 2.0, 0.05),
+        ),
+    ] {
+        let release = release_marginal(
+            &d,
+            &spec,
+            &ReleaseConfig {
+                mechanism,
+                budget,
+                seed: 5,
+            },
+        )
+        .unwrap();
+        assert_eq!(release.regime, NeighborKind::Strong);
+        assert_eq!(release.published.len(), truth.num_cells());
+        assert!(release.l1_error() > 0.0, "{mechanism:?} must add noise");
+        // Totals approximately preserved (mechanisms are unbiased or
+        // mildly biased): released total within 25% of truth.
+        let released_total: f64 = release.published.values().sum();
+        let true_total = truth.total() as f64;
+        assert!(
+            (released_total - true_total).abs() < 0.25 * true_total,
+            "{mechanism:?}: released total {released_total} vs {true_total}"
+        );
+    }
+}
+
+#[test]
+fn weak_release_costs_match_domain_size() {
+    let d = dataset();
+    let release = release_marginal(
+        &d,
+        &workload3(),
+        &ReleaseConfig {
+            mechanism: MechanismKind::SmoothLaplace,
+            budget: PrivacyParams::approximate(0.1, 8.0, 0.08),
+            seed: 9,
+        },
+    )
+    .unwrap();
+    assert_eq!(release.regime, NeighborKind::Weak);
+    assert_eq!(release.cost.multiplier, 8);
+    assert!((release.cost.per_cell_epsilon - 1.0).abs() < 1e-12);
+    assert!((release.cost.epsilon - 8.0).abs() < 1e-12);
+}
+
+#[test]
+fn filtered_release_is_weak_but_parallel() {
+    let d = dataset();
+    let release = eree_core::release::release_marginal_filtered(
+        &d,
+        &workload1(),
+        &ReleaseConfig {
+            mechanism: MechanismKind::SmoothGamma,
+            budget: PrivacyParams::pure(0.1, 2.0),
+            seed: 12,
+        },
+        ranking2_filter,
+    )
+    .unwrap();
+    // Worker-predicate filter forces the weak regime...
+    assert_eq!(release.regime, NeighborKind::Weak);
+    // ...but cells still partition establishments: multiplier 1.
+    assert_eq!(release.cost.multiplier, 1);
+    // Filtered totals are a strict subset of employment.
+    assert!(release.truth.total() < compute_marginal(&d, &workload1()).total());
+}
+
+#[test]
+fn private_release_error_tracks_analytic_expectation() {
+    // Cross-crate consistency: the empirical mean L1 per cell should be
+    // close to the average of the mechanism's analytic per-cell E|noise|.
+    use eree_core::{CellQuery, CountMechanism};
+    let d = dataset();
+    let spec = workload1();
+    let truth = compute_marginal(&d, &spec);
+    let mech = eree_core::mechanisms::SmoothLaplaceMechanism::new(0.1, 2.0, 0.05).unwrap();
+    let analytic_total: f64 = truth
+        .iter()
+        .map(|(_, s)| mech.expected_l1(&CellQuery::from_stats(s)).unwrap())
+        .sum();
+
+    // Average over several releases.
+    let trials = 30;
+    let mut total = 0.0;
+    for seed in 0..trials {
+        let release = release_marginal(
+            &d,
+            &spec,
+            &ReleaseConfig {
+                mechanism: MechanismKind::SmoothLaplace,
+                budget: PrivacyParams::approximate(0.1, 2.0, 0.05),
+                seed,
+            },
+        )
+        .unwrap();
+        total += release.l1_error();
+    }
+    let empirical = total / trials as f64;
+    assert!(
+        (empirical - analytic_total).abs() / analytic_total < 0.15,
+        "empirical {empirical} vs analytic {analytic_total}"
+    );
+}
+
+#[test]
+fn sdl_and_private_releases_share_support() {
+    let d = dataset();
+    let spec = workload1();
+    let sdl = SdlPublisher::new(&d, SdlConfig::default()).publish(&d, &spec);
+    let private = release_marginal(
+        &d,
+        &spec,
+        &ReleaseConfig {
+            mechanism: MechanismKind::SmoothGamma,
+            budget: PrivacyParams::pure(0.1, 2.0),
+            seed: 1,
+        },
+    )
+    .unwrap();
+    let sdl_keys: Vec<_> = sdl.published.keys().collect();
+    let private_keys: Vec<_> = private.published.keys().collect();
+    assert_eq!(sdl_keys, private_keys, "same published support");
+}
+
+#[test]
+fn paper_scale_config_is_calibrated() {
+    // Don't generate the full paper-scale universe in tests; check the
+    // target arithmetic instead.
+    let cfg = GeneratorConfig::paper_scale(1);
+    assert_eq!(cfg.target_establishments, 527_000);
+    assert_eq!(cfg.states, 3);
+}

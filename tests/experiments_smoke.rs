@@ -1,0 +1,108 @@
+//! Smoke tests for the full experiment harness: run every figure/table at
+//! small scale with a couple of trials and check structural properties of
+//! the regenerated series.
+
+use eval::experiments::{figure1, figure2, figure3, figure4, figure5, table1, table2};
+use eval::runner::{EvalScale, ExperimentContext, TrialSpec};
+
+fn ctx_and_trials() -> (ExperimentContext, TrialSpec) {
+    (
+        ExperimentContext::with_seed(EvalScale::Small, 3),
+        TrialSpec {
+            trials: 2,
+            base_seed: 0xABCD,
+        },
+    )
+}
+
+#[test]
+fn all_figures_regenerate() {
+    let (ctx, trials) = ctx_and_trials();
+
+    let f1 = figure1::run(&ctx, &trials);
+    assert!(f1.len() > 50, "figure 1 rows: {}", f1.len());
+    assert!(f1.iter().all(|r| r.l1_ratio.is_finite() && r.l1_ratio > 0.0));
+
+    let f2 = figure2::run(&ctx, &trials);
+    assert!(f2.len() > 50);
+    assert!(f2.iter().all(|r| (-1.0..=1.0).contains(&r.spearman)));
+
+    let f3 = figure3::run(&ctx, &trials);
+    assert!(f3.len() > 50);
+
+    let f4 = figure4::run(&ctx, &trials);
+    assert!(f4.len() > 50);
+
+    let f5 = figure5::run(&ctx, &trials);
+    assert!(f5.len() > 50);
+
+    // Structural cross-figure check: figures 1 and 2 cover the same
+    // mechanism grid points (same plottability filter).
+    let f1_points: std::collections::BTreeSet<String> = f1
+        .iter()
+        .filter(|r| r.stratum == "overall" && !r.series.starts_with("Truncated"))
+        .map(|r| format!("{}|{}|{}", r.series, r.alpha, r.epsilon))
+        .collect();
+    let f2_points: std::collections::BTreeSet<String> = f2
+        .iter()
+        .filter(|r| r.stratum == "overall" && !r.series.starts_with("Truncated"))
+        .map(|r| format!("{}|{}|{}", r.series, r.alpha, r.epsilon))
+        .collect();
+    assert_eq!(f1_points, f2_points);
+}
+
+#[test]
+fn tables_regenerate_and_match_paper() {
+    let t1 = table1::run();
+    assert_eq!(t1.len(), 5);
+    assert!(table1::matches_paper());
+    for (claim, ok) in table1::verify() {
+        assert!(ok, "verification failed: {claim}");
+    }
+
+    let t2 = table2::run();
+    assert_eq!(t2.len(), 6);
+    for row in &t2 {
+        assert!(row.epsilon_min > 0.0);
+    }
+}
+
+#[test]
+fn figure1_strata_show_size_gradient() {
+    // Finding 4: performance improves with population size. At small scale
+    // the gradient is noisy; require only that the largest stratum is not
+    // the worst one for the best mechanism at the baseline point.
+    let (ctx, trials) = ctx_and_trials();
+    let rows = figure1::run(&ctx, &trials);
+    let pick = |stratum: &str| {
+        rows.iter()
+            .find(|r| {
+                r.series == "Smooth Laplace"
+                    && r.alpha == 0.1
+                    && r.epsilon == 2.0
+                    && r.stratum == stratum
+            })
+            .map(|r| r.l1_ratio)
+    };
+    let small = pick("0 <= pop < 100");
+    let large = pick("pop >= 100k");
+    if let (Some(small), Some(large)) = (small, large) {
+        assert!(
+            large < small * 3.0,
+            "largest stratum ratio {large} should not dwarf smallest {small}"
+        );
+    }
+}
+
+#[test]
+fn deterministic_experiment_replay() {
+    // The same context + trial spec must reproduce identical series.
+    let (ctx, trials) = ctx_and_trials();
+    let a = figure1::run(&ctx, &trials);
+    let b = figure1::run(&ctx, &trials);
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.series, y.series);
+        assert_eq!(x.l1_ratio, y.l1_ratio);
+    }
+}

@@ -1,0 +1,208 @@
+//! Property-based tests (proptest) over cross-crate invariants:
+//! mechanism privacy on random neighbor pairs, engine conservation laws,
+//! metric invariants, and accounting arithmetic.
+
+use eree::prelude::*;
+use eree_core::mechanisms::{LogLaplaceMechanism, SmoothGammaMechanism, SmoothLaplaceMechanism};
+use eree_core::{CellQuery, CountMechanism};
+use proptest::prelude::*;
+
+/// Pointwise density-ratio check on a coarse grid (cheap enough for many
+/// proptest cases).
+fn ratio_bounded(
+    mech: &dyn CountMechanism,
+    q1: &CellQuery,
+    q2: &CellQuery,
+    epsilon: f64,
+) -> bool {
+    let hi = 4.0 * (q1.count.max(q2.count) as f64 + 10.0);
+    let lo = -hi;
+    let e_eps = epsilon.exp() * (1.0 + 1e-9);
+    (0..=800).all(|i| {
+        let omega = lo + (hi - lo) * i as f64 / 800.0;
+        let p1 = mech.output_pdf(q1, omega);
+        let p2 = mech.output_pdf(q2, omega);
+        if p1 < 1e-290 && p2 < 1e-290 {
+            return true;
+        }
+        p1 <= e_eps * p2 + 1e-300 && p2 <= e_eps * p1 + 1e-300
+    })
+}
+
+/// A strong α-neighbor pair: the cell belongs to one establishment whose
+/// workforce grows from `x` to a random `y ∈ (x, max((1+α)x, x+1)]`.
+fn neighbor_pair(x: u64, alpha: f64, t: f64) -> (CellQuery, CellQuery) {
+    let max_y = (((1.0 + alpha) * x as f64).floor() as u64).max(x + 1);
+    let y = x + 1 + ((max_y - x - 1) as f64 * t) as u64;
+    (
+        CellQuery {
+            count: x,
+            max_establishment: x as u32,
+        },
+        CellQuery {
+            count: y,
+            max_establishment: y as u32,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn log_laplace_private_on_random_neighbors(
+        x in 0u64..20_000,
+        alpha in 0.01f64..0.25,
+        epsilon in 0.25f64..4.0,
+        t in 0.0f64..=1.0,
+    ) {
+        let mech = LogLaplaceMechanism::new(alpha, epsilon);
+        let (q1, q2) = neighbor_pair(x, alpha, t);
+        prop_assert!(ratio_bounded(&mech, &q1, &q2, epsilon));
+    }
+
+    #[test]
+    fn smooth_gamma_private_on_random_neighbors(
+        x in 0u64..20_000,
+        alpha in 0.01f64..0.2,
+        eps_slack in 0.1f64..3.0,
+        t in 0.0f64..=1.0,
+    ) {
+        // Choose an epsilon above the validity threshold.
+        let epsilon = 5.0 * (1.0 + alpha).ln() + eps_slack;
+        let mech = SmoothGammaMechanism::new(alpha, epsilon).expect("valid by construction");
+        let (q1, q2) = neighbor_pair(x, alpha, t);
+        prop_assert!(ratio_bounded(&mech, &q1, &q2, epsilon));
+    }
+
+    #[test]
+    fn smooth_laplace_interval_private_on_random_neighbors(
+        x in 0u64..5_000,
+        alpha in 0.01f64..0.2,
+        eps_slack in 1.05f64..2.0,
+        t in 0.0f64..=1.0,
+    ) {
+        let delta = 0.05f64;
+        let epsilon = 2.0 * (1.0 / delta).ln() * (1.0 + alpha).ln() * eps_slack;
+        let mech = SmoothLaplaceMechanism::new(alpha, epsilon, delta)
+            .expect("valid by construction");
+        let (q1, q2) = neighbor_pair(x, alpha, t);
+        // Interval check on a coarse grid of one-sided intervals.
+        let hi = 4.0 * (q2.count as f64 + 10.0);
+        let e_eps = epsilon.exp();
+        for i in 0..=60 {
+            let b = -hi + 2.0 * hi * i as f64 / 60.0;
+            let p1 = mech.output_cdf(&q1, b);
+            let p2 = mech.output_cdf(&q2, b);
+            prop_assert!(p1 <= e_eps * p2 + delta + 1e-9);
+            prop_assert!(p2 <= e_eps * p1 + delta + 1e-9);
+            // Complement intervals too.
+            let c1 = 1.0 - p1;
+            let c2 = 1.0 - p2;
+            prop_assert!(c1 <= e_eps * c2 + delta + 1e-9);
+            prop_assert!(c2 <= e_eps * c1 + delta + 1e-9);
+        }
+    }
+
+    #[test]
+    fn unbiased_mechanisms_have_zero_mean_noise(
+        count in 0u64..100_000,
+        x_v in 1u32..10_000,
+        alpha in 0.02f64..0.2,
+    ) {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let epsilon = 5.0 * (1.0 + alpha).ln() + 1.0;
+        let mech = SmoothGammaMechanism::new(alpha, epsilon).unwrap();
+        let q = CellQuery { count, max_establishment: x_v.min(count.max(1) as u32) };
+        let mut rng = StdRng::seed_from_u64(count ^ x_v as u64);
+        let n = 4000;
+        let mean: f64 = (0..n).map(|_| mech.release(&q, &mut rng)).sum::<f64>() / n as f64;
+        let scale = mech.noise_scale(&q);
+        // Mean within 6 standard errors (sigma = scale).
+        prop_assert!(
+            (mean - count as f64).abs() < 6.0 * scale / (n as f64).sqrt() + 1e-9,
+            "mean {} vs count {} (scale {})", mean, count, scale
+        );
+    }
+
+    #[test]
+    fn engine_conserves_jobs_on_random_specs(
+        seed in 0u64..50,
+        use_naics in any::<bool>(),
+        use_own in any::<bool>(),
+        use_sex in any::<bool>(),
+        use_edu in any::<bool>(),
+    ) {
+        let d = Generator::new(GeneratorConfig {
+            target_establishments: 300,
+            states: 1,
+            counties_per_state: 2,
+            places_per_county: 4,
+            blocks_per_place: 2,
+            seed,
+            ..GeneratorConfig::default()
+        }).generate();
+        let mut wp = vec![WorkplaceAttr::Place];
+        if use_naics { wp.push(WorkplaceAttr::Naics); }
+        if use_own { wp.push(WorkplaceAttr::Ownership); }
+        let mut wk = vec![];
+        if use_sex { wk.push(WorkerAttr::Sex); }
+        if use_edu { wk.push(WorkerAttr::Education); }
+        let spec = MarginalSpec::new(wp, wk);
+        let m = compute_marginal(&d, &spec);
+        prop_assert_eq!(m.total() as usize, d.num_jobs());
+        // Per-cell invariants.
+        for (_, stats) in m.iter() {
+            prop_assert!(stats.count > 0);
+            prop_assert!(stats.max_establishment as u64 <= stats.count);
+            prop_assert!(stats.establishments as u64 <= stats.count);
+        }
+    }
+
+    #[test]
+    fn spearman_stays_in_range_and_detects_identity(
+        values in prop::collection::vec(0.0f64..1e6, 3..60),
+    ) {
+        use eval::metrics::spearman;
+        if let Some(rho) = spearman(&values, &values) {
+            prop_assert!((rho - 1.0).abs() < 1e-9);
+        }
+        let reversed: Vec<f64> = values.iter().map(|v| -v).collect();
+        if let Some(rho) = spearman(&values, &reversed) {
+            prop_assert!((rho + 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn size_distance_triangle_inequality(
+        x in 1u64..10_000,
+        y in 1u64..10_000,
+        z in 1u64..10_000,
+        alpha in 0.01f64..0.5,
+    ) {
+        use eree_core::size_distance;
+        let dxz = size_distance(x, z, alpha);
+        let dxy = size_distance(x, y, alpha);
+        let dyz = size_distance(y, z, alpha);
+        prop_assert!(dxz <= dxy + dyz, "d({x},{z})={dxz} > {dxy}+{dyz}");
+        // Identity and symmetry.
+        prop_assert_eq!(size_distance(x, x, alpha), 0);
+        prop_assert_eq!(size_distance(x, y, alpha), size_distance(y, x, alpha));
+    }
+
+    #[test]
+    fn release_cost_arithmetic(
+        eps in 0.1f64..16.0,
+        alpha in 0.01f64..0.3,
+    ) {
+        use eree_core::accountant::ReleaseCost;
+        use eree_core::neighbors::NeighborKind;
+        let total = PrivacyParams::pure(alpha, eps);
+        let spec = workload3();
+        let per_cell = ReleaseCost::per_cell_for_total(&spec, &total, NeighborKind::Weak);
+        let cost = ReleaseCost::for_marginal(&spec, &per_cell, NeighborKind::Weak);
+        prop_assert!((cost.epsilon - eps).abs() < 1e-9);
+        prop_assert_eq!(cost.multiplier, 8);
+    }
+}

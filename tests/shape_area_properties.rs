@@ -1,0 +1,77 @@
+//! Property-based tests for the shape-release and area-comparison
+//! extensions.
+
+use eree::prelude::*;
+use eree_core::release_shapes;
+use lodes::PlaceId;
+use proptest::prelude::*;
+use tabulate::{area_comparison, AreaSelection};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn shapes_always_normalize(
+        seed in 0u64..50,
+        eps_scale in 1.0f64..8.0,
+    ) {
+        let d = Generator::new(GeneratorConfig {
+            target_establishments: 400,
+            states: 1,
+            counties_per_state: 2,
+            places_per_county: 3,
+            blocks_per_place: 2,
+            seed,
+            ..GeneratorConfig::default()
+        })
+        .generate();
+        let truth = compute_marginal(&d, &workload3());
+        // Total budget must clear the per-class validity frontier. Both
+        // eps and delta split 8 ways, so the per-class constraint is
+        // eps/8 >= 2 ln(8/0.05) ln(1.1) ~= 0.968 => eps >= ~7.8.
+        let budget = PrivacyParams::approximate(0.1, 8.0 * eps_scale, 0.05);
+        let shapes = release_shapes(&truth, MechanismKind::SmoothLaplace, &budget, seed)
+            .expect("budget above frontier");
+        for s in &shapes {
+            let sum: f64 = s.fractions.iter().sum();
+            if s.total > 0.0 {
+                prop_assert!((sum - 1.0).abs() < 1e-9);
+            } else {
+                prop_assert!(sum == 0.0);
+            }
+            for &f in &s.fractions {
+                prop_assert!((0.0..=1.0).contains(&f));
+            }
+            prop_assert!(s.sub_counts.iter().all(|&c| c >= 0.0));
+        }
+    }
+
+    #[test]
+    fn area_partition_conserves_jobs(
+        seed in 0u64..50,
+        split in 1usize..10,
+    ) {
+        let d = Generator::new(GeneratorConfig {
+            target_establishments: 300,
+            states: 1,
+            counties_per_state: 2,
+            places_per_county: 6,
+            blocks_per_place: 2,
+            seed,
+            ..GeneratorConfig::default()
+        })
+        .generate();
+        let n_places = d.geography().num_places();
+        let cut = split.min(n_places - 1);
+        // Partition ALL places into two areas: totals must sum to all jobs.
+        let a = AreaSelection::new("a", (0..cut as u32).map(PlaceId));
+        let b = AreaSelection::new("b", (cut as u32..n_places as u32).map(PlaceId));
+        let stats = area_comparison(&d, &[a, b]).unwrap();
+        let total: u64 = stats.iter().map(|(_, s)| s.count).sum();
+        prop_assert_eq!(total as usize, d.num_jobs());
+        // x_v of each area bounds the area's largest establishment.
+        for (_, s) in &stats {
+            prop_assert!(s.max_establishment as u64 <= s.count);
+        }
+    }
+}
