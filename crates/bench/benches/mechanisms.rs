@@ -2,9 +2,7 @@
 //! noise samplers, and the SDL/graph-DP baselines.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use eree_core::mechanisms::{
-    LogLaplaceMechanism, SmoothGammaMechanism, SmoothLaplaceMechanism,
-};
+use eree_core::mechanisms::{LogLaplaceMechanism, SmoothGammaMechanism, SmoothLaplaceMechanism};
 use eree_core::{CellQuery, CountMechanism};
 use noise::{ContinuousDistribution, GammaPoly, Laplace, LogLaplace};
 use rand::rngs::StdRng;
@@ -16,7 +14,9 @@ fn bench_samplers(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(1);
 
     let laplace = Laplace::new(1.0).unwrap();
-    group.bench_function("laplace", |b| b.iter(|| black_box(laplace.sample(&mut rng))));
+    group.bench_function("laplace", |b| {
+        b.iter(|| black_box(laplace.sample(&mut rng)))
+    });
 
     let gamma_poly = GammaPoly::standard();
     group.bench_function("gamma_poly_rejection", |b| {
@@ -39,7 +39,9 @@ fn bench_mechanism_release(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(2);
 
     let ll = LogLaplaceMechanism::new(0.1, 2.0);
-    group.bench_function("log_laplace", |b| b.iter(|| black_box(ll.release(&q, &mut rng))));
+    group.bench_function("log_laplace", |b| {
+        b.iter(|| black_box(ll.release(&q, &mut rng)))
+    });
 
     let llc = LogLaplaceMechanism::new(0.1, 2.0).with_bias_correction();
     group.bench_function("log_laplace_bias_corrected", |b| {
@@ -47,7 +49,9 @@ fn bench_mechanism_release(c: &mut Criterion) {
     });
 
     let sg = SmoothGammaMechanism::new(0.1, 2.0).unwrap();
-    group.bench_function("smooth_gamma", |b| b.iter(|| black_box(sg.release(&q, &mut rng))));
+    group.bench_function("smooth_gamma", |b| {
+        b.iter(|| black_box(sg.release(&q, &mut rng)))
+    });
 
     let sl = SmoothLaplaceMechanism::new(0.1, 2.0, 0.05).unwrap();
     group.bench_function("smooth_laplace", |b| {

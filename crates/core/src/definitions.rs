@@ -171,11 +171,19 @@ pub fn requirement_matrix() -> Vec<(PrivacyMethod, [(Requirement, Satisfaction);
         ),
         (
             DpEstablishments,
-            [(Individuals, Yes), (EmployerSize, Yes), (EmployerShape, Yes)],
+            [
+                (Individuals, Yes),
+                (EmployerSize, Yes),
+                (EmployerShape, Yes),
+            ],
         ),
         (
             EreePrivacy,
-            [(Individuals, Yes), (EmployerSize, Yes), (EmployerShape, Yes)],
+            [
+                (Individuals, Yes),
+                (EmployerSize, Yes),
+                (EmployerShape, Yes),
+            ],
         ),
         (
             WeakEreePrivacy,
@@ -296,9 +304,7 @@ mod tests {
         assert!((min_epsilon_smooth_laplace(0.01, 5e-4) - 0.151).abs() < 5e-3);
         assert!((min_epsilon_smooth_laplace(0.10, 5e-4) - 1.449).abs() < 5e-3);
         // Monotone in alpha and in 1/delta.
-        assert!(
-            min_epsilon_smooth_laplace(0.2, 5e-4) > min_epsilon_smooth_laplace(0.1, 5e-4)
-        );
+        assert!(min_epsilon_smooth_laplace(0.2, 5e-4) > min_epsilon_smooth_laplace(0.1, 5e-4));
         assert!(min_epsilon_smooth_laplace(0.1, 1e-6) > min_epsilon_smooth_laplace(0.1, 5e-4));
     }
 

@@ -1,0 +1,1026 @@
+//! The release engine: the single front door for formally private
+//! releases.
+//!
+//! A production release service — the operating model of a statistical
+//! agency publishing many tabulations from one confidential database —
+//! needs every release to flow through one place where it is *requested*,
+//! *budget-checked*, *executed*, and *recorded*. This module provides that
+//! seam:
+//!
+//! * [`ReleaseRequest`] — a builder describing one release: a marginal
+//!   (`ReleaseRequest::marginal`) or an establishment-shape release
+//!   (`ReleaseRequest::shapes`), with a mechanism, an `(α, ε[, δ])`
+//!   budget (total or per-cell), an optional worker filter, optional
+//!   integer post-processing, and a seed.
+//! * [`ReleaseEngine`] — owns a [`Ledger`] and executes requests. Every
+//!   request is validated against the mechanism's constraints and the
+//!   remaining budget *before* any sampling happens; a rejected request
+//!   consumes nothing. [`ReleaseEngine::execute_all`] runs a whole
+//!   workload batch under the same ledger (sequential composition,
+//!   Thm 7.3), parallelizing tabulation across requests and noising
+//!   across cells.
+//! * [`ReleaseArtifact`] — the durable, serde-serializable output:
+//!   published cells (or shapes), the neighbor regime, the
+//!   [`ReleaseCost`] charged, the mechanism name, the seed and request
+//!   provenance. Truth digests are only attached when the `eval-only`
+//!   feature is enabled (the evaluation harness needs them; a production
+//!   service must not emit them).
+//!
+//! Determinism: per-cell noise streams are derived from
+//! `(request seed, cell key)` with a SplitMix64 mix, so a fixed seed
+//! yields bit-identical artifacts regardless of how many worker threads
+//! participate.
+//!
+//! ```
+//! use eree_core::engine::{ReleaseEngine, ReleaseRequest};
+//! use eree_core::{MechanismKind, PrivacyParams};
+//! use lodes::{Generator, GeneratorConfig};
+//! use tabulate::{workload1, workload3};
+//!
+//! let dataset = Generator::new(GeneratorConfig::test_small(7)).generate();
+//! // One ledger governs the whole publication season.
+//! let mut engine = ReleaseEngine::new(PrivacyParams::pure(0.1, 10.0));
+//! let batch = vec![
+//!     ReleaseRequest::marginal(workload1())
+//!         .mechanism(MechanismKind::SmoothGamma)
+//!         .budget(PrivacyParams::pure(0.1, 2.0))
+//!         .seed(1),
+//!     ReleaseRequest::marginal(workload3())
+//!         .mechanism(MechanismKind::LogLaplace)
+//!         .budget(PrivacyParams::pure(0.1, 8.0))
+//!         .seed(2),
+//! ];
+//! let artifacts = engine.execute_all(&dataset, &batch);
+//! assert!(artifacts.iter().all(|a| a.is_ok()));
+//! assert!(engine.ledger().remaining_epsilon() < 1e-9);
+//! ```
+
+use crate::accountant::{Ledger, ReleaseCost};
+use crate::definitions::PrivacyParams;
+use crate::error::EngineError;
+use crate::mechanisms::{CellQuery, MechanismKind};
+use crate::neighbors::NeighborKind;
+use crate::shape::ShapeRelease;
+use lodes::{Dataset, Worker};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use tabulate::{compute_marginal, compute_marginal_filtered, CellKey, Marginal, MarginalSpec};
+
+/// Worker predicate for filtered (single-query) workloads.
+pub type WorkerFilter = Arc<dyn Fn(&Worker) -> bool + Send + Sync>;
+
+/// What kind of release a request describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RequestKind {
+    /// Release every nonzero cell of a marginal.
+    Marginal,
+    /// Release the workforce shape of every workplace cell.
+    Shapes,
+}
+
+impl RequestKind {
+    fn label(&self) -> &'static str {
+        match self {
+            RequestKind::Marginal => "marginal",
+            RequestKind::Shapes => "shapes",
+        }
+    }
+}
+
+/// How the request's budget is interpreted.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+enum BudgetSpec {
+    /// Budget for the *whole* release; per-cell parameters are derived by
+    /// inverting the composition accounting.
+    Total(PrivacyParams),
+    /// Per-cell mechanism parameters; the ledger is charged the induced
+    /// total (`multiplier × per-cell`).
+    PerCell(PrivacyParams),
+}
+
+/// A builder-style description of one release.
+///
+/// Construct with [`ReleaseRequest::marginal`] or
+/// [`ReleaseRequest::shapes`], then chain [`mechanism`](Self::mechanism),
+/// [`budget`](Self::budget) (or [`budget_per_cell`](Self::budget_per_cell)),
+/// and optionally [`filter`](Self::filter), [`integerize`](Self::integerize),
+/// [`seed`](Self::seed), [`describe`](Self::describe).
+#[derive(Clone)]
+pub struct ReleaseRequest {
+    kind: RequestKind,
+    spec: MarginalSpec,
+    mechanism: Option<MechanismKind>,
+    budget: Option<BudgetSpec>,
+    filter: Option<WorkerFilter>,
+    integerize: bool,
+    seed: u64,
+    description: Option<String>,
+}
+
+impl std::fmt::Debug for ReleaseRequest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReleaseRequest")
+            .field("kind", &self.kind)
+            .field("spec", &self.spec.name())
+            .field("mechanism", &self.mechanism)
+            .field("budget", &self.budget)
+            .field("filtered", &self.filter.is_some())
+            .field("integerize", &self.integerize)
+            .field("seed", &self.seed)
+            .finish()
+    }
+}
+
+impl ReleaseRequest {
+    fn new(kind: RequestKind, spec: MarginalSpec) -> Self {
+        Self {
+            kind,
+            spec,
+            mechanism: None,
+            budget: None,
+            filter: None,
+            integerize: false,
+            seed: 0,
+            description: None,
+        }
+    }
+
+    /// Request the marginal `spec` (every nonzero cell, noised).
+    pub fn marginal(spec: MarginalSpec) -> Self {
+        Self::new(RequestKind::Marginal, spec)
+    }
+
+    /// Request establishment-class shapes over the worker partition of
+    /// `spec` (which must group by at least one worker attribute).
+    pub fn shapes(spec: MarginalSpec) -> Self {
+        Self::new(RequestKind::Shapes, spec)
+    }
+
+    /// Which mechanism to sample from (required).
+    pub fn mechanism(mut self, mechanism: MechanismKind) -> Self {
+        self.mechanism = Some(mechanism);
+        self
+    }
+
+    /// Total `(α, ε[, δ])` budget for the whole release (required, unless
+    /// [`budget_per_cell`](Self::budget_per_cell) is used instead).
+    pub fn budget(mut self, budget: PrivacyParams) -> Self {
+        self.budget = Some(BudgetSpec::Total(budget));
+        self
+    }
+
+    /// Per-cell mechanism parameters; the ledger is charged the induced
+    /// total under the request's composition regime. This is the natural
+    /// mode for single-query workloads evaluated at a per-query ε.
+    pub fn budget_per_cell(mut self, per_cell: PrivacyParams) -> Self {
+        self.budget = Some(BudgetSpec::PerCell(per_cell));
+        self
+    }
+
+    /// Restrict the tabulated population by a worker predicate. Filtered
+    /// counts answer worker-level questions even on workplace-only specs,
+    /// so a filtered request always runs under the **weak** regime.
+    pub fn filter(mut self, filter: impl Fn(&Worker) -> bool + Send + Sync + 'static) -> Self {
+        self.filter = Some(Arc::new(filter));
+        self
+    }
+
+    /// Round published values to non-negative integers (data-independent
+    /// post-processing; preserves the guarantee, adds ≤ 0.5 expected L1).
+    pub fn integerize(mut self, integerize: bool) -> Self {
+        self.integerize = integerize;
+        self
+    }
+
+    /// RNG seed (noise streams derive deterministically from it).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Human-readable description recorded in the ledger and provenance.
+    pub fn describe(mut self, description: impl Into<String>) -> Self {
+        self.description = Some(description.into());
+        self
+    }
+
+    /// The neighbor regime the release's guarantee holds under.
+    pub fn regime(&self) -> NeighborKind {
+        match self.kind {
+            RequestKind::Shapes => NeighborKind::Weak,
+            RequestKind::Marginal => {
+                if self.spec.has_worker_attrs() || self.filter.is_some() {
+                    NeighborKind::Weak
+                } else {
+                    NeighborKind::Strong
+                }
+            }
+        }
+    }
+
+    /// The request's description (explicit or derived).
+    pub fn description(&self) -> String {
+        self.description
+            .clone()
+            .unwrap_or_else(|| format!("{} release of {}", self.kind.label(), self.spec.name()))
+    }
+
+    /// The marginal spec the request tabulates.
+    pub fn spec(&self) -> &MarginalSpec {
+        &self.spec
+    }
+
+    /// Resolve budget accounting and validate the mechanism, *without*
+    /// sampling or spending: returns per-cell parameters and the total
+    /// [`ReleaseCost`] the ledger would be charged.
+    pub fn plan(&self) -> Result<ReleasePlan, EngineError> {
+        let mechanism = self.mechanism.ok_or(EngineError::IncompleteRequest {
+            missing: "mechanism",
+        })?;
+        let budget = self
+            .budget
+            .ok_or(EngineError::IncompleteRequest { missing: "budget" })?;
+        if self.kind == RequestKind::Shapes && !self.spec.has_worker_attrs() {
+            return Err(EngineError::Shape(
+                crate::shape::ShapeError::NoWorkerAttributes,
+            ));
+        }
+        let regime = self.regime();
+        let (per_cell, requested) = match budget {
+            BudgetSpec::Total(total) => (
+                ReleaseCost::per_cell_for_total(&self.spec, &total, regime),
+                total,
+            ),
+            BudgetSpec::PerCell(per_cell) => (per_cell, per_cell),
+        };
+        let cost = ReleaseCost::for_marginal(&self.spec, &per_cell, regime);
+        // Validate mechanism parameters up front so invalid requests are
+        // rejected before any budget is spent.
+        if mechanism.build(&per_cell).is_none() {
+            return Err(EngineError::InvalidParameters {
+                mechanism,
+                per_cell_epsilon: per_cell.epsilon,
+                alpha: per_cell.alpha,
+                delta: per_cell.delta,
+            });
+        }
+        Ok(ReleasePlan {
+            mechanism,
+            per_cell,
+            cost,
+            regime,
+            requested,
+            per_cell_budgeting: matches!(budget, BudgetSpec::PerCell(_)),
+        })
+    }
+
+    fn provenance(&self, plan: &ReleasePlan) -> RequestProvenance {
+        RequestProvenance {
+            kind: self.kind,
+            spec: self.spec.clone(),
+            mechanism: plan.mechanism,
+            budget: plan.requested,
+            budget_is_per_cell: plan.per_cell_budgeting,
+            seed: self.seed,
+            filtered: self.filter.is_some(),
+            integerized: self.integerize,
+            description: self.description(),
+        }
+    }
+}
+
+/// A validated request: resolved accounting, not yet executed.
+#[derive(Debug, Clone, Copy)]
+pub struct ReleasePlan {
+    /// The mechanism kind.
+    pub mechanism: MechanismKind,
+    /// Per-cell mechanism parameters after composition accounting.
+    pub per_cell: PrivacyParams,
+    /// Total cost the ledger will be charged.
+    pub cost: ReleaseCost,
+    /// Neighbor regime of the guarantee.
+    pub regime: NeighborKind,
+    requested: PrivacyParams,
+    per_cell_budgeting: bool,
+}
+
+/// Immutable record of what was asked for, embedded in every artifact.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RequestProvenance {
+    /// Marginal or shapes.
+    pub kind: RequestKind,
+    /// The tabulated spec.
+    pub spec: MarginalSpec,
+    /// The sampling mechanism.
+    pub mechanism: MechanismKind,
+    /// The requested budget (total or per-cell, per
+    /// [`budget_is_per_cell`](Self::budget_is_per_cell)).
+    pub budget: PrivacyParams,
+    /// Whether [`budget`](Self::budget) was per-cell parameters.
+    pub budget_is_per_cell: bool,
+    /// The request seed.
+    pub seed: u64,
+    /// Whether a worker filter restricted the population.
+    pub filtered: bool,
+    /// Whether outputs were rounded to non-negative integers.
+    pub integerized: bool,
+    /// Free-form description (also the ledger entry text).
+    pub description: String,
+}
+
+/// The released data inside an artifact.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ArtifactPayload {
+    /// Noisy value per nonzero-true-count cell.
+    Cells(BTreeMap<CellKey, f64>),
+    /// One released shape per workplace cell.
+    Shapes(Vec<ShapeRelease>),
+}
+
+/// A compact fingerprint of the underlying truth, for evaluation only.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TruthDigest {
+    /// Number of nonzero cells.
+    pub num_cells: usize,
+    /// Sum of all true counts.
+    pub total_count: u64,
+    /// FNV-1a over `(key, count)` pairs in key order.
+    pub checksum: u64,
+}
+
+impl TruthDigest {
+    /// Digest a marginal.
+    pub fn of(truth: &Marginal) -> Self {
+        let mut checksum: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut fold = |word: u64| {
+            for byte in word.to_le_bytes() {
+                checksum ^= byte as u64;
+                checksum = checksum.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        };
+        for (key, stats) in truth.iter() {
+            fold(key.0);
+            fold(stats.count);
+        }
+        Self {
+            num_cells: truth.num_cells(),
+            total_count: truth.total(),
+            checksum,
+        }
+    }
+}
+
+/// A completed, durable release: everything a downstream consumer (or
+/// auditor) needs, serializable to JSON and back losslessly.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReleaseArtifact {
+    /// What was requested.
+    pub request: RequestProvenance,
+    /// Neighbor regime the guarantee holds under.
+    pub regime: NeighborKind,
+    /// What the ledger was charged.
+    pub cost: ReleaseCost,
+    /// Mechanism display name.
+    pub mechanism_name: String,
+    /// The released data.
+    pub payload: ArtifactPayload,
+    /// Truth fingerprint — only populated when the crate is built with the
+    /// `eval-only` feature; a production release service never emits it.
+    pub truth_digest: Option<TruthDigest>,
+}
+
+impl ReleaseArtifact {
+    /// The published cells, when this is a marginal release.
+    pub fn cells(&self) -> Option<&BTreeMap<CellKey, f64>> {
+        match &self.payload {
+            ArtifactPayload::Cells(cells) => Some(cells),
+            ArtifactPayload::Shapes(_) => None,
+        }
+    }
+
+    /// The released shapes, when this is a shapes release.
+    pub fn shapes(&self) -> Option<&[ShapeRelease]> {
+        match &self.payload {
+            ArtifactPayload::Shapes(shapes) => Some(shapes),
+            ArtifactPayload::Cells(_) => None,
+        }
+    }
+
+    /// Total L1 error of a cell release against an externally supplied
+    /// truth marginal (evaluation use).
+    pub fn l1_error_against(&self, truth: &Marginal) -> Result<f64, EngineError> {
+        let cells = match &self.payload {
+            ArtifactPayload::Cells(cells) => cells,
+            ArtifactPayload::Shapes(_) => {
+                return Err(EngineError::WrongPayload { expected: "cells" })
+            }
+        };
+        let mut total = 0.0;
+        for (key, stats) in truth.iter() {
+            let published = cells
+                .get(&key)
+                .ok_or(EngineError::MissingCell { key: key.0 })?;
+            total += (stats.count as f64 - published).abs();
+        }
+        Ok(total)
+    }
+}
+
+/// Execution order for batches and per-cell noising.
+const MIN_PARALLEL_CELLS: usize = 512;
+
+/// The ledger-enforced release engine.
+///
+/// Owns a [`Ledger`]; every execution path charges it before sampling, so
+/// the cumulative privacy loss of everything the engine has ever released
+/// is `ledger().budget() - remaining`. A request that would overdraw the
+/// ledger (or fails validation) is rejected *without* spending.
+#[derive(Debug)]
+pub struct ReleaseEngine {
+    ledger: Ledger,
+    threads: usize,
+}
+
+impl ReleaseEngine {
+    /// Open an engine with a fresh ledger holding `budget`.
+    pub fn new(budget: PrivacyParams) -> Self {
+        Self::with_ledger(Ledger::new(budget))
+    }
+
+    /// Open an engine over an existing ledger (e.g. resumed mid-season).
+    pub fn with_ledger(ledger: Ledger) -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Self { ledger, threads }
+    }
+
+    /// Cap worker threads (`1` forces fully sequential execution; results
+    /// are bit-identical at any setting).
+    pub fn with_parallelism(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The engine's ledger.
+    pub fn ledger(&self) -> &Ledger {
+        &self.ledger
+    }
+
+    /// Consume the engine, returning the ledger (for archival).
+    pub fn into_ledger(self) -> Ledger {
+        self.ledger
+    }
+
+    /// Validate `request`, charge the ledger, tabulate, and sample.
+    pub fn execute(
+        &mut self,
+        dataset: &Dataset,
+        request: &ReleaseRequest,
+    ) -> Result<ReleaseArtifact, EngineError> {
+        let plan = request.plan()?;
+        self.charge(request, &plan)?;
+        Ok(self.run(dataset, request, &plan, self.threads))
+    }
+
+    /// Like [`execute`](Self::execute), but over an already-tabulated
+    /// truth marginal (the hot path for evaluation sweeps, which tabulate
+    /// once and release many times). The marginal's spec must match the
+    /// request's.
+    pub fn execute_precomputed(
+        &mut self,
+        truth: &Marginal,
+        request: &ReleaseRequest,
+    ) -> Result<ReleaseArtifact, EngineError> {
+        if truth.spec() != &request.spec {
+            return Err(EngineError::SpecMismatch {
+                requested: request.spec.name(),
+                supplied: truth.spec().name(),
+            });
+        }
+        let plan = request.plan()?;
+        self.charge(request, &plan)?;
+        Ok(self.sample(truth, request, &plan, self.threads))
+    }
+
+    /// Execute a whole workload batch under this engine's single ledger.
+    ///
+    /// Budget accounting is strictly sequential in request order
+    /// (sequential composition, Thm 7.3): each request is validated and
+    /// charged before the next, and a rejected request consumes nothing —
+    /// later requests still run if they fit the remaining budget.
+    /// Execution of the admitted requests (tabulation + noising) is
+    /// parallelized across requests; artifacts are returned in request
+    /// order and are bit-identical to sequential execution.
+    pub fn execute_all(
+        &mut self,
+        dataset: &Dataset,
+        requests: &[ReleaseRequest],
+    ) -> Vec<Result<ReleaseArtifact, EngineError>> {
+        // Phase 1 (sequential): validate + charge in order.
+        let admitted: Vec<Result<ReleasePlan, EngineError>> = requests
+            .iter()
+            .map(|request| {
+                let plan = request.plan()?;
+                self.charge(request, &plan)?;
+                Ok(plan)
+            })
+            .collect();
+        // Phase 2 (parallel): run admitted requests. Leftover threads are
+        // shared out to each request's per-cell noising, so a batch of one
+        // big marginal parallelizes as well as a direct `execute` call.
+        let jobs: Vec<(usize, &ReleaseRequest, ReleasePlan)> = admitted
+            .iter()
+            .enumerate()
+            .filter_map(|(i, outcome)| outcome.as_ref().ok().map(|plan| (i, &requests[i], *plan)))
+            .collect();
+        let inner_threads = (self.threads / jobs.len().max(1)).max(1);
+        let artifacts = par_map(
+            &jobs,
+            self.threads.min(jobs.len().max(1)),
+            |(_, request, plan)| self.run(dataset, request, plan, inner_threads),
+        );
+        let mut by_index: BTreeMap<usize, ReleaseArtifact> =
+            jobs.iter().map(|(i, _, _)| *i).zip(artifacts).collect();
+        admitted
+            .into_iter()
+            .enumerate()
+            .map(|(i, outcome)| {
+                outcome.map(|_| by_index.remove(&i).expect("artifact for admitted request"))
+            })
+            .collect()
+    }
+
+    fn charge(&mut self, request: &ReleaseRequest, plan: &ReleasePlan) -> Result<(), EngineError> {
+        // The ledger re-checks budget arithmetic and α-consistency; it
+        // mutates nothing when it refuses.
+        self.ledger
+            .charge(request.description(), &plan.per_cell, &plan.cost)?;
+        Ok(())
+    }
+
+    /// Tabulate and sample (no budget interaction — already charged).
+    fn run(
+        &self,
+        dataset: &Dataset,
+        request: &ReleaseRequest,
+        plan: &ReleasePlan,
+        threads: usize,
+    ) -> ReleaseArtifact {
+        let truth = match &request.filter {
+            Some(filter) => compute_marginal_filtered(dataset, &request.spec, |w| filter(w)),
+            None => compute_marginal(dataset, &request.spec),
+        };
+        self.sample(&truth, request, plan, threads)
+    }
+
+    fn sample(
+        &self,
+        truth: &Marginal,
+        request: &ReleaseRequest,
+        plan: &ReleasePlan,
+        threads: usize,
+    ) -> ReleaseArtifact {
+        let payload = match request.kind {
+            RequestKind::Marginal => ArtifactPayload::Cells(sample_cells(
+                truth,
+                plan,
+                request.seed,
+                request.integerize,
+                threads,
+            )),
+            RequestKind::Shapes => ArtifactPayload::Shapes(sample_shapes(
+                truth,
+                plan,
+                request.seed,
+                request.integerize,
+                threads,
+            )),
+        };
+        let mechanism_name = plan
+            .mechanism
+            .build(&plan.per_cell)
+            .expect("plan() validated mechanism parameters")
+            .name()
+            .to_string();
+        ReleaseArtifact {
+            request: request.provenance(plan),
+            regime: plan.regime,
+            cost: plan.cost,
+            mechanism_name,
+            payload,
+            truth_digest: truth_digest(truth),
+        }
+    }
+}
+
+#[cfg(feature = "eval-only")]
+fn truth_digest(truth: &Marginal) -> Option<TruthDigest> {
+    Some(TruthDigest::of(truth))
+}
+
+#[cfg(not(feature = "eval-only"))]
+fn truth_digest(_truth: &Marginal) -> Option<TruthDigest> {
+    None
+}
+
+/// Derive the independent noise seed of one cell from the request seed:
+/// two SplitMix64 rounds over the key so neighbouring keys decorrelate.
+fn cell_seed(base: u64, key: u64) -> u64 {
+    let mut state = base ^ key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let mut step = || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    step();
+    step()
+}
+
+/// Deterministic parallel map preserving input order: contiguous chunks
+/// are mapped on scoped worker threads and re-concatenated in order.
+fn par_map<T: Sync, U: Send>(items: &[T], threads: usize, f: impl Fn(&T) -> U + Sync) -> Vec<U> {
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    let mut out: Vec<U> = Vec::with_capacity(items.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|chunk_items| {
+                let f = &f;
+                scope.spawn(move || chunk_items.iter().map(f).collect::<Vec<U>>())
+            })
+            .collect();
+        for handle in handles {
+            out.extend(handle.join().expect("release worker panicked"));
+        }
+    });
+    out
+}
+
+fn sample_cells(
+    truth: &Marginal,
+    plan: &ReleasePlan,
+    seed: u64,
+    integerize: bool,
+    threads: usize,
+) -> BTreeMap<CellKey, f64> {
+    let cells: Vec<(CellKey, CellQuery)> = truth
+        .iter()
+        .map(|(key, stats)| (key, CellQuery::from_stats(stats)))
+        .collect();
+    let threads = if cells.len() < MIN_PARALLEL_CELLS {
+        1
+    } else {
+        threads
+    };
+    let mechanism = plan
+        .mechanism
+        .build(&plan.per_cell)
+        .expect("plan() validated mechanism parameters");
+    let released = par_map(&cells, threads, |(key, query)| {
+        let mut rng = StdRng::seed_from_u64(cell_seed(seed, key.0));
+        let value = mechanism.release(query, &mut rng);
+        let value = if integerize {
+            value.round().max(0.0)
+        } else {
+            value
+        };
+        (*key, value)
+    });
+    released.into_iter().collect()
+}
+
+fn sample_shapes(
+    truth: &Marginal,
+    plan: &ReleasePlan,
+    seed: u64,
+    integerize: bool,
+    threads: usize,
+) -> Vec<ShapeRelease> {
+    // One cell of the full marginal: (worker-class index, full packed key,
+    // query) — the full key pins the cell's independent noise stream.
+    type GroupedCell = (usize, u64, CellQuery);
+    let d = truth.spec().worker_domain_size();
+    let schema = truth.schema();
+    let n_wp = truth.spec().workplace_attrs.len();
+    // Group the marginal's cells by their workplace part.
+    let mut groups: BTreeMap<u64, Vec<GroupedCell>> = BTreeMap::new();
+    for (key, stats) in truth.iter() {
+        let mut wp_key: u64 = 0;
+        for pos in 0..n_wp {
+            wp_key = wp_key * schema.cardinality_of(pos) + schema.value_of(key, pos) as u64;
+        }
+        let mut class_idx: u64 = 0;
+        for pos in n_wp..schema.attrs().len() {
+            class_idx = class_idx * schema.cardinality_of(pos) + schema.value_of(key, pos) as u64;
+        }
+        groups.entry(wp_key).or_default().push((
+            class_idx as usize,
+            key.0,
+            CellQuery::from_stats(stats),
+        ));
+    }
+    let mechanism = plan
+        .mechanism
+        .build(&plan.per_cell)
+        .expect("plan() validated mechanism parameters");
+    let group_list: Vec<(u64, Vec<GroupedCell>)> = groups.into_iter().collect();
+    let threads = if group_list.len() < MIN_PARALLEL_CELLS {
+        1
+    } else {
+        threads
+    };
+    par_map(&group_list, threads, |(wp_key, cells)| {
+        let mut sub_counts = vec![0.0; d];
+        for (class_idx, full_key, query) in cells {
+            // True-zero classes are not released (sparse-publication
+            // convention); their noisy value stays 0.
+            let mut rng = StdRng::seed_from_u64(cell_seed(seed, *full_key));
+            let mut value = mechanism.release(query, &mut rng).max(0.0);
+            if integerize {
+                value = value.round();
+            }
+            sub_counts[*class_idx] = value;
+        }
+        let total: f64 = sub_counts.iter().sum();
+        let fractions = if total > 0.0 {
+            sub_counts.iter().map(|&c| c / total).collect()
+        } else {
+            vec![0.0; d]
+        };
+        ShapeRelease {
+            cell: CellKey(*wp_key),
+            fractions,
+            sub_counts,
+            total,
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lodes::{Generator, GeneratorConfig};
+    use tabulate::{compute_marginal, workload1, workload3};
+
+    fn dataset() -> Dataset {
+        Generator::new(GeneratorConfig::test_small(91)).generate()
+    }
+
+    #[test]
+    fn builder_requires_mechanism_and_budget() {
+        let err = ReleaseRequest::marginal(workload1()).plan().unwrap_err();
+        assert_eq!(
+            err,
+            EngineError::IncompleteRequest {
+                missing: "mechanism"
+            }
+        );
+        let err = ReleaseRequest::marginal(workload1())
+            .mechanism(MechanismKind::SmoothGamma)
+            .plan()
+            .unwrap_err();
+        assert_eq!(err, EngineError::IncompleteRequest { missing: "budget" });
+    }
+
+    #[test]
+    fn regimes_follow_spec_and_filter() {
+        let plain = ReleaseRequest::marginal(workload1());
+        assert_eq!(plain.regime(), NeighborKind::Strong);
+        let filtered = ReleaseRequest::marginal(workload1()).filter(|w| w.sex.index() == 1);
+        assert_eq!(filtered.regime(), NeighborKind::Weak);
+        assert_eq!(
+            ReleaseRequest::marginal(workload3()).regime(),
+            NeighborKind::Weak
+        );
+        assert_eq!(
+            ReleaseRequest::shapes(workload3()).regime(),
+            NeighborKind::Weak
+        );
+    }
+
+    #[test]
+    fn execute_charges_exactly_the_cost() {
+        let d = dataset();
+        let mut engine = ReleaseEngine::new(PrivacyParams::pure(0.1, 4.0));
+        let artifact = engine
+            .execute(
+                &d,
+                &ReleaseRequest::marginal(workload1())
+                    .mechanism(MechanismKind::SmoothGamma)
+                    .budget(PrivacyParams::pure(0.1, 2.0))
+                    .seed(5),
+            )
+            .unwrap();
+        assert_eq!(artifact.cost.multiplier, 1);
+        assert!((engine.ledger().remaining_epsilon() - 2.0).abs() < 1e-12);
+        assert_eq!(artifact.regime, NeighborKind::Strong);
+        let cells = artifact.cells().expect("marginal payload");
+        let truth = compute_marginal(&d, &workload1());
+        assert_eq!(cells.len(), truth.num_cells());
+    }
+
+    #[test]
+    fn rejected_requests_spend_nothing() {
+        let d = dataset();
+        let mut engine = ReleaseEngine::new(PrivacyParams::pure(0.1, 1.0));
+        // Over budget.
+        let err = engine
+            .execute(
+                &d,
+                &ReleaseRequest::marginal(workload1())
+                    .mechanism(MechanismKind::SmoothGamma)
+                    .budget(PrivacyParams::pure(0.1, 2.0)),
+            )
+            .unwrap_err();
+        assert!(matches!(err, EngineError::Budget(_)));
+        assert!((engine.ledger().remaining_epsilon() - 1.0).abs() < 1e-12);
+        // Invalid mechanism parameters: rejected before charging.
+        let err = engine
+            .execute(
+                &d,
+                &ReleaseRequest::marginal(workload1())
+                    .mechanism(MechanismKind::SmoothGamma)
+                    .budget(PrivacyParams::pure(0.1, 0.2)),
+            )
+            .unwrap_err();
+        assert!(matches!(err, EngineError::InvalidParameters { .. }));
+        assert!((engine.ledger().remaining_epsilon() - 1.0).abs() < 1e-12);
+        assert!(engine.ledger().entries().is_empty());
+    }
+
+    #[test]
+    fn execute_all_is_deterministic_across_parallelism() {
+        let d = dataset();
+        let requests = vec![
+            ReleaseRequest::marginal(workload1())
+                .mechanism(MechanismKind::SmoothGamma)
+                .budget(PrivacyParams::pure(0.1, 2.0))
+                .seed(11),
+            ReleaseRequest::marginal(workload3())
+                .mechanism(MechanismKind::LogLaplace)
+                .budget(PrivacyParams::pure(0.1, 8.0))
+                .seed(12),
+            ReleaseRequest::shapes(workload3())
+                .mechanism(MechanismKind::SmoothLaplace)
+                .budget(PrivacyParams::approximate(0.1, 16.0, 0.05))
+                .seed(13),
+        ];
+        let run = |threads: usize| {
+            let mut engine = ReleaseEngine::new(PrivacyParams::approximate(0.1, 26.0, 0.05))
+                .with_parallelism(threads);
+            engine.execute_all(&d, &requests)
+        };
+        let sequential = run(1);
+        let parallel = run(8);
+        assert_eq!(sequential.len(), 3);
+        for (s, p) in sequential.iter().zip(&parallel) {
+            assert_eq!(s.as_ref().unwrap(), p.as_ref().unwrap());
+        }
+        // Single-request execution with cell parallelism agrees too.
+        let mut engine = ReleaseEngine::new(PrivacyParams::pure(0.1, 2.0)).with_parallelism(8);
+        let single = engine.execute(&d, &requests[0]).unwrap();
+        assert_eq!(&single, sequential[0].as_ref().unwrap());
+    }
+
+    #[test]
+    fn batch_skips_overdraws_but_keeps_later_requests() {
+        let d = dataset();
+        let mut engine = ReleaseEngine::new(PrivacyParams::pure(0.1, 3.0));
+        let outcomes = engine.execute_all(
+            &d,
+            &[
+                ReleaseRequest::marginal(workload1())
+                    .mechanism(MechanismKind::SmoothGamma)
+                    .budget(PrivacyParams::pure(0.1, 2.0))
+                    .seed(1),
+                // 2.0 > remaining 1.0: rejected, nothing spent.
+                ReleaseRequest::marginal(workload1())
+                    .mechanism(MechanismKind::SmoothGamma)
+                    .budget(PrivacyParams::pure(0.1, 2.0))
+                    .seed(2),
+                // Exactly the remaining 1.0: admitted.
+                ReleaseRequest::marginal(workload1())
+                    .mechanism(MechanismKind::LogLaplace)
+                    .budget(PrivacyParams::pure(0.1, 1.0))
+                    .seed(3),
+            ],
+        );
+        assert!(outcomes[0].is_ok());
+        assert!(matches!(
+            outcomes[1],
+            Err(EngineError::Budget(
+                crate::accountant::LedgerError::EpsilonExhausted { .. }
+            ))
+        ));
+        assert!(outcomes[2].is_ok());
+        assert!(engine.ledger().remaining_epsilon() < 1e-9);
+        assert_eq!(engine.ledger().entries().len(), 2);
+    }
+
+    #[test]
+    fn precomputed_path_matches_dataset_path() {
+        let d = dataset();
+        let truth = compute_marginal(&d, &workload1());
+        let request = ReleaseRequest::marginal(workload1())
+            .mechanism(MechanismKind::SmoothGamma)
+            .budget(PrivacyParams::pure(0.1, 2.0))
+            .seed(21);
+        let mut e1 = ReleaseEngine::new(PrivacyParams::pure(0.1, 2.0));
+        let mut e2 = ReleaseEngine::new(PrivacyParams::pure(0.1, 2.0));
+        let a = e1.execute(&d, &request).unwrap();
+        let b = e2.execute_precomputed(&truth, &request).unwrap();
+        assert_eq!(a, b);
+        // Spec mismatch is caught.
+        let err = e2
+            .execute_precomputed(
+                &truth,
+                &ReleaseRequest::marginal(workload3())
+                    .mechanism(MechanismKind::SmoothGamma)
+                    .budget(PrivacyParams::pure(0.1, 2.0)),
+            )
+            .unwrap_err();
+        assert!(matches!(err, EngineError::SpecMismatch { .. }));
+    }
+
+    #[test]
+    fn integerize_rounds_and_clamps() {
+        let d = dataset();
+        let mut engine = ReleaseEngine::new(PrivacyParams::pure(0.5, 1.0));
+        let artifact = engine
+            .execute(
+                &d,
+                &ReleaseRequest::marginal(workload1())
+                    .mechanism(MechanismKind::LogLaplace)
+                    .budget(PrivacyParams::pure(0.5, 1.0))
+                    .integerize(true)
+                    .seed(3),
+            )
+            .unwrap();
+        for &v in artifact.cells().unwrap().values() {
+            assert!(v >= 0.0 && v.fract() == 0.0, "non-integer value {v}");
+        }
+        assert!(artifact.request.integerized);
+    }
+
+    #[test]
+    fn per_cell_budgeting_charges_the_induced_total() {
+        let d = dataset();
+        // Workload 3 under weak composition: per-cell 1.0 -> total 8.0.
+        let mut engine = ReleaseEngine::new(PrivacyParams::pure(0.1, 8.0));
+        let artifact = engine
+            .execute(
+                &d,
+                &ReleaseRequest::marginal(workload3())
+                    .mechanism(MechanismKind::LogLaplace)
+                    .budget_per_cell(PrivacyParams::pure(0.1, 1.0))
+                    .seed(1),
+            )
+            .unwrap();
+        assert_eq!(artifact.cost.multiplier, 8);
+        assert!((artifact.cost.epsilon - 8.0).abs() < 1e-12);
+        assert!((artifact.cost.per_cell_epsilon - 1.0).abs() < 1e-12);
+        assert!(engine.ledger().remaining_epsilon() < 1e-9);
+        assert!(artifact.request.budget_is_per_cell);
+    }
+
+    #[test]
+    fn shapes_request_needs_worker_attributes() {
+        let err = ReleaseRequest::shapes(workload1())
+            .mechanism(MechanismKind::SmoothLaplace)
+            .budget(PrivacyParams::approximate(0.1, 16.0, 0.05))
+            .plan()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            EngineError::Shape(crate::shape::ShapeError::NoWorkerAttributes)
+        );
+    }
+
+    #[cfg(feature = "eval-only")]
+    #[test]
+    fn truth_digest_present_under_eval_only() {
+        let d = dataset();
+        let mut engine = ReleaseEngine::new(PrivacyParams::pure(0.1, 2.0));
+        let artifact = engine
+            .execute(
+                &d,
+                &ReleaseRequest::marginal(workload1())
+                    .mechanism(MechanismKind::SmoothGamma)
+                    .budget(PrivacyParams::pure(0.1, 2.0)),
+            )
+            .unwrap();
+        let digest = artifact.truth_digest.expect("digest under eval-only");
+        let truth = compute_marginal(&d, &workload1());
+        assert_eq!(digest, TruthDigest::of(&truth));
+        assert_eq!(digest.num_cells, truth.num_cells());
+    }
+}

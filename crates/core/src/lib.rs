@@ -2,7 +2,44 @@
 //! (SIGMOD 2017), "Utility Cost of Formal Privacy for Releasing National
 //! Employer-Employee Statistics".
 //!
-//! The crate provides, roughly in the order the paper develops them:
+//! ## The release engine
+//!
+//! The crate's front door is [`engine::ReleaseEngine`]: a ledger-enforced
+//! executor through which every formally private release flows. Requests
+//! are described with the [`engine::ReleaseRequest`] builder, validated
+//! against the mechanism's constraints and the remaining `(α, ε, δ)`
+//! budget *before* any sampling, and emitted as serde-serializable
+//! [`engine::ReleaseArtifact`]s carrying provenance, cost, and payload:
+//!
+//! ```
+//! use eree_core::engine::{ReleaseEngine, ReleaseRequest};
+//! use eree_core::{MechanismKind, PrivacyParams};
+//! use lodes::{Generator, GeneratorConfig};
+//! use tabulate::workload1;
+//!
+//! let dataset = Generator::new(GeneratorConfig::test_small(7)).generate();
+//! let mut engine = ReleaseEngine::new(PrivacyParams::pure(0.1, 4.0));
+//! let artifact = engine
+//!     .execute(
+//!         &dataset,
+//!         &ReleaseRequest::marginal(workload1())
+//!             .mechanism(MechanismKind::SmoothGamma)
+//!             .budget(PrivacyParams::pure(0.1, 2.0))
+//!             .seed(42),
+//!     )
+//!     .unwrap();
+//! assert!((engine.ledger().remaining_epsilon() - 2.0).abs() < 1e-12);
+//! assert!(!artifact.cells().unwrap().is_empty());
+//! // Truth digests only exist under the opt-in `eval-only` feature.
+//! assert!(cfg!(feature = "eval-only") || artifact.truth_digest.is_none());
+//! ```
+//!
+//! Failures anywhere in the pipeline surface as the unified
+//! [`EngineError`] hierarchy; a rejected request never spends budget.
+//!
+//! ## Layer map
+//!
+//! Roughly in the order the paper develops them:
 //!
 //! * [`pufferfish`] — machine-checkable encodings of the three statutory
 //!   privacy requirements (Defs 4.1–4.3): no re-identification of
@@ -21,12 +58,20 @@
 //!   densities so the ε-indistinguishability guarantees are verified
 //!   numerically in the test-suite rather than assumed.
 //! * [`accountant`] — sequential and parallel composition (Thms 7.3–7.5)
-//!   and a budget ledger for multi-release accounting.
-//! * [`release`] — the high-level API: release a whole marginal under a
-//!   chosen mechanism with correct per-cell budgeting.
+//!   and the budget [`Ledger`] the engine enforces.
+//! * [`engine`] — the release engine: builder requests, ledger-enforced
+//!   single and batch execution (noising parallelized across
+//!   cells/requests, deterministic under any thread count), durable
+//!   artifacts.
+//! * [`error`] — the [`EngineError`] hierarchy consolidating release,
+//!   ledger, shape, and neighbor errors.
+//! * [`release`] / [`shape`] — the legacy free functions, now thin
+//!   deprecated wrappers over the engine.
 
 pub mod accountant;
 pub mod definitions;
+pub mod engine;
+pub mod error;
 pub mod integerize;
 pub mod mechanisms;
 pub mod neighbors;
@@ -40,12 +85,21 @@ pub use definitions::{
     min_epsilon_smooth_gamma, min_epsilon_smooth_laplace, requirement_matrix, PrivacyMethod,
     PrivacyParams, Requirement, Satisfaction,
 };
+pub use engine::{
+    ArtifactPayload, ReleaseArtifact, ReleaseEngine, ReleaseRequest, RequestKind,
+    RequestProvenance, TruthDigest,
+};
+pub use error::EngineError;
+pub use integerize::Integerized;
 pub use mechanisms::{
     CellQuery, CountMechanism, LogLaplaceMechanism, MechanismKind, SmoothGammaMechanism,
     SmoothLaplaceMechanism,
 };
 pub use neighbors::{size_distance, NeighborError, NeighborKind};
-pub use integerize::Integerized;
-pub use release::{release_marginal, PrivateRelease, ReleaseConfig};
-pub use shape::{release_shapes, ShapeError, ShapeRelease};
+#[allow(deprecated)]
+pub use release::release_marginal;
+pub use release::{PrivateRelease, ReleaseConfig, ReleaseError};
+#[allow(deprecated)]
+pub use shape::release_shapes;
+pub use shape::{ShapeError, ShapeRelease};
 pub use smooth::{smooth_sensitivity_count, AdmissibilityBudget};

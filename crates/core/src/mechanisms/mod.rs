@@ -121,20 +121,20 @@ impl MechanismKind {
     pub fn build(
         &self,
         params: &crate::definitions::PrivacyParams,
-    ) -> Option<Box<dyn CountMechanism>> {
+    ) -> Option<Box<dyn CountMechanism + Send + Sync>> {
         match self {
             MechanismKind::LogLaplace => Some(Box::new(LogLaplaceMechanism::new(
                 params.alpha,
                 params.epsilon,
             ))),
             MechanismKind::SmoothGamma => SmoothGammaMechanism::new(params.alpha, params.epsilon)
-                .map(|m| Box::new(m) as Box<dyn CountMechanism>),
+                .map(|m| Box::new(m) as Box<dyn CountMechanism + Send + Sync>),
             MechanismKind::SmoothLaplace => {
                 if params.delta <= 0.0 {
                     return None;
                 }
                 SmoothLaplaceMechanism::new(params.alpha, params.epsilon, params.delta)
-                    .map(|m| Box::new(m) as Box<dyn CountMechanism>)
+                    .map(|m| Box::new(m) as Box<dyn CountMechanism + Send + Sync>)
             }
         }
     }

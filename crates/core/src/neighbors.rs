@@ -17,10 +17,11 @@
 //! domain, which is faithful because workers are exchangeable within a
 //! cell for every marginal query.
 
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Which neighbor definition is in force.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum NeighborKind {
     /// Definition 7.1 — bounds only the total size change.
     Strong,
@@ -124,7 +125,10 @@ pub fn check_weak_neighbors(
             .filter(|(i, _)| mask & (1 << i) != 0)
             .map(|(_, &c)| c)
             .collect();
-        let phi_from: u64 = cells.iter().map(|c| from.get(c).copied().unwrap_or(0)).sum();
+        let phi_from: u64 = cells
+            .iter()
+            .map(|c| from.get(c).copied().unwrap_or(0))
+            .sum();
         let phi_to: u64 = cells.iter().map(|c| to.get(c).copied().unwrap_or(0)).sum();
         let allowed = allowed_growth(phi_from, alpha);
         if phi_to > allowed {
@@ -152,10 +156,7 @@ pub fn check_neighbors(
     }
 }
 
-fn check_superset(
-    from: &BTreeMap<u64, u64>,
-    to: &BTreeMap<u64, u64>,
-) -> Result<(), NeighborError> {
+fn check_superset(from: &BTreeMap<u64, u64>, to: &BTreeMap<u64, u64>) -> Result<(), NeighborError> {
     for (&cell, &n) in from {
         if to.get(&cell).copied().unwrap_or(0) < n {
             return Err(NeighborError::NotSuperset { cell });

@@ -184,12 +184,7 @@ impl ExhaustiveBayesCheck {
 /// side knowledge pins down more of the workforce.
 ///
 /// Returns the weak-neighbor step count `k` between the two worlds.
-pub fn weak_regime_size_distance(
-    total_x: u64,
-    total_y: u64,
-    known_rest: u64,
-    alpha: f64,
-) -> u32 {
+pub fn weak_regime_size_distance(total_x: u64, total_y: u64, known_rest: u64, alpha: f64) -> u32 {
     assert!(total_x >= known_rest && total_y >= known_rest);
     // The only free sub-population is the unknown group.
     let phi_x = total_x - known_rest;
@@ -209,7 +204,12 @@ mod tests {
         let (alpha, eps) = (0.1, 1.0);
         let mech = LogLaplaceMechanism::new(alpha, eps);
         assert!(check_employee_requirement(&mech, eps, &COUNTS));
-        assert!(check_employer_size_requirement(&mech, eps, alpha, &[10, 200, 3_000]));
+        assert!(check_employer_size_requirement(
+            &mech,
+            eps,
+            alpha,
+            &[10, 200, 3_000]
+        ));
         assert!(check_employer_shape_requirement(
             &mech,
             eps,
@@ -224,7 +224,12 @@ mod tests {
         let (alpha, eps) = (0.1, 2.0);
         let mech = SmoothGammaMechanism::new(alpha, eps).unwrap();
         assert!(check_employee_requirement(&mech, eps, &COUNTS));
-        assert!(check_employer_size_requirement(&mech, eps, alpha, &[10, 200, 3_000]));
+        assert!(check_employer_size_requirement(
+            &mech,
+            eps,
+            alpha,
+            &[10, 200, 3_000]
+        ));
         assert!(check_employer_shape_requirement(
             &mech,
             eps,

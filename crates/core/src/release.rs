@@ -1,29 +1,22 @@
-//! High-level private marginal release.
+//! Legacy free-function release API.
 //!
-//! Ties together the tabulation engine, the mechanisms, and the
-//! composition accounting: given a dataset, a marginal spec, and a total
-//! `(α, ε[, δ])` budget, release every nonzero cell with the correct
-//! per-cell parameters:
-//!
-//! * workplace-only marginals release each cell at the full ε (parallel
-//!   composition over establishments, Thm 7.4);
-//! * marginals with worker attributes are released under **weak**
-//!   (α,ε)-ER-EE privacy with the per-cell budget `ε/d` so the total
-//!   sequential cost over the worker domain equals ε (Sec 8).
-//!
-//! Like the SDL baseline, only nonzero-true-count cells are published —
-//! matching LODES practice and the evaluation protocol (see
-//! EXPERIMENTS.md).
+//! These entry points predate the [`crate::engine`] redesign and survive
+//! as thin **deprecated** wrappers: each one builds a [`ReleaseRequest`],
+//! runs it through a single-use [`ReleaseEngine`] whose ledger holds
+//! exactly the request's cost, and converts the result back to the legacy
+//! [`PrivateRelease`] shape. New code should use the engine directly — it
+//! adds multi-release budget enforcement (Thms 7.3–7.5 composed across a
+//! whole publication season), batch execution, and durable artifacts.
 
-use crate::accountant::ReleaseCost;
+use crate::accountant::{Ledger, ReleaseCost};
 use crate::definitions::PrivacyParams;
-use crate::mechanisms::{CellQuery, MechanismKind};
+use crate::engine::{ArtifactPayload, ReleaseEngine, ReleaseRequest};
+use crate::error::EngineError;
+use crate::mechanisms::MechanismKind;
 use crate::neighbors::NeighborKind;
 use lodes::{Dataset, Worker};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::collections::BTreeMap;
-use tabulate::{compute_marginal_filtered, CellKey, Marginal, MarginalSpec};
+use tabulate::{compute_marginal, compute_marginal_filtered, CellKey, Marginal, MarginalSpec};
 
 /// Configuration of a private marginal release.
 #[derive(Debug, Clone, Copy)]
@@ -55,11 +48,34 @@ pub struct PrivateRelease {
 
 impl PrivateRelease {
     /// Total L1 error over published cells.
+    ///
+    /// Cells present in the truth but absent from `published` are
+    /// *skipped* (a complete release publishes every nonzero cell, so
+    /// nothing is skipped on the happy path); use
+    /// [`try_l1_error`](Self::try_l1_error) to treat absence as an error.
     pub fn l1_error(&self) -> f64 {
         self.truth
             .iter()
-            .map(|(key, stats)| (stats.count as f64 - self.published[&key]).abs())
+            .filter_map(|(key, stats)| {
+                self.published
+                    .get(&key)
+                    .map(|noisy| (stats.count as f64 - noisy).abs())
+            })
             .sum()
+    }
+
+    /// Total L1 error, failing with [`EngineError::MissingCell`] if any
+    /// truth cell is missing from the published release.
+    pub fn try_l1_error(&self) -> Result<f64, EngineError> {
+        let mut total = 0.0;
+        for (key, stats) in self.truth.iter() {
+            let noisy = self
+                .published
+                .get(&key)
+                .ok_or(EngineError::MissingCell { key: key.0 })?;
+            total += (stats.count as f64 - noisy).abs();
+        }
+        Ok(total)
     }
 
     /// Mean per-cell L1 error.
@@ -108,17 +124,21 @@ impl std::fmt::Display for ReleaseError {
 impl std::error::Error for ReleaseError {}
 
 /// Release the marginal `spec` over `dataset` under `config`.
+#[deprecated(
+    since = "0.1.0",
+    note = "use ReleaseEngine::execute with ReleaseRequest::marginal"
+)]
 pub fn release_marginal(
     dataset: &Dataset,
     spec: &MarginalSpec,
     config: &ReleaseConfig,
 ) -> Result<PrivateRelease, ReleaseError> {
-    let regime = if spec.has_worker_attrs() {
-        NeighborKind::Weak
-    } else {
-        NeighborKind::Strong
-    };
-    release_inner(dataset, spec, config, regime, |_| true)
+    let truth = compute_marginal(dataset, spec);
+    let request = ReleaseRequest::marginal(spec.clone())
+        .mechanism(config.mechanism)
+        .budget(config.budget)
+        .seed(config.seed);
+    run_single(truth, request)
 }
 
 /// Release a filtered marginal (single-query workloads like Ranking 2).
@@ -128,6 +148,10 @@ pub fn release_marginal(
 /// guarantee is always **weak** (α,ε)-ER-EE privacy. Cells of a
 /// workplace-only spec still parallel-compose over establishments
 /// (Thm 7.4 holds for the weak variant), so the cost multiplier stays 1.
+#[deprecated(
+    since = "0.1.0",
+    note = "use ReleaseEngine::execute with ReleaseRequest::marginal(..).filter(..)"
+)]
 pub fn release_marginal_filtered<F>(
     dataset: &Dataset,
     spec: &MarginalSpec,
@@ -135,55 +159,69 @@ pub fn release_marginal_filtered<F>(
     filter: F,
 ) -> Result<PrivateRelease, ReleaseError>
 where
-    F: Fn(&Worker) -> bool,
+    F: Fn(&Worker) -> bool + Send + Sync + 'static,
 {
-    release_inner(dataset, spec, config, NeighborKind::Weak, filter)
+    let truth = compute_marginal_filtered(dataset, spec, &filter);
+    let request = ReleaseRequest::marginal(spec.clone())
+        .mechanism(config.mechanism)
+        .budget(config.budget)
+        .filter(filter)
+        .seed(config.seed);
+    run_single(truth, request)
 }
 
-fn release_inner<F>(
-    dataset: &Dataset,
-    spec: &MarginalSpec,
-    config: &ReleaseConfig,
-    regime: NeighborKind,
-    filter: F,
-) -> Result<PrivateRelease, ReleaseError>
-where
-    F: Fn(&Worker) -> bool,
-{
-    let per_cell = ReleaseCost::per_cell_for_total(spec, &config.budget, regime);
-    let cost = ReleaseCost::for_marginal(spec, &per_cell, regime);
-
-    let mechanism =
-        config
-            .mechanism
-            .build(&per_cell)
-            .ok_or(ReleaseError::InvalidParameters {
-                mechanism: config.mechanism,
-                per_cell_epsilon: per_cell.epsilon,
-                alpha: per_cell.alpha,
-                delta: per_cell.delta,
-            })?;
-
-    let truth = compute_marginal_filtered(dataset, spec, filter);
-    let mut rng = StdRng::seed_from_u64(config.seed);
-    let published = truth
-        .iter()
-        .map(|(key, stats)| {
-            let q = CellQuery::from_stats(stats);
-            (key, mechanism.release(&q, &mut rng))
-        })
-        .collect();
-
+/// Execute one request against a ledger holding exactly its cost, then
+/// repackage as the legacy [`PrivateRelease`].
+fn run_single(truth: Marginal, request: ReleaseRequest) -> Result<PrivateRelease, ReleaseError> {
+    let plan = request.plan().map_err(demote)?;
+    let mut engine = ReleaseEngine::with_ledger(Ledger::new(PrivacyParams {
+        alpha: plan.per_cell.alpha,
+        epsilon: plan.cost.epsilon,
+        delta: plan.cost.delta,
+    }));
+    let artifact = engine
+        .execute_precomputed(&truth, &request)
+        .map_err(demote)?;
+    let mechanism_name = plan
+        .mechanism
+        .build(&plan.per_cell)
+        .expect("plan() validated mechanism parameters")
+        .name();
+    let published = match artifact.payload {
+        ArtifactPayload::Cells(cells) => cells,
+        ArtifactPayload::Shapes(_) => unreachable!("marginal request yields a cell payload"),
+    };
     Ok(PrivateRelease {
         published,
         truth,
-        regime,
-        cost,
-        mechanism_name: mechanism.name(),
+        regime: artifact.regime,
+        cost: artifact.cost,
+        mechanism_name,
     })
 }
 
+/// Map engine errors onto the legacy error type. The wrapper's private
+/// ledger always covers the request, so only parameter validation can
+/// fail here.
+fn demote(e: EngineError) -> ReleaseError {
+    match e {
+        EngineError::InvalidParameters {
+            mechanism,
+            per_cell_epsilon,
+            alpha,
+            delta,
+        } => ReleaseError::InvalidParameters {
+            mechanism,
+            per_cell_epsilon,
+            alpha,
+            delta,
+        },
+        other => unreachable!("single-release wrapper cannot fail with {other}"),
+    }
+}
+
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use lodes::{Generator, GeneratorConfig};
@@ -273,15 +311,7 @@ mod tests {
         let a = release_marginal(&d, &workload1(), &cfg).unwrap();
         let b = release_marginal(&d, &workload1(), &cfg).unwrap();
         assert_eq!(a.published, b.published);
-        let c = release_marginal(
-            &d,
-            &workload1(),
-            &ReleaseConfig {
-                seed: 43,
-                ..cfg
-            },
-        )
-        .unwrap();
+        let c = release_marginal(&d, &workload1(), &ReleaseConfig { seed: 43, ..cfg }).unwrap();
         assert_ne!(a.published, c.published);
     }
 
@@ -305,5 +335,51 @@ mod tests {
             errors[0],
             errors[2]
         );
+    }
+
+    #[test]
+    fn l1_error_skips_missing_cells_instead_of_panicking() {
+        // Regression: `published[&key]` used to panic when a cell was
+        // absent (e.g. a partially archived release).
+        let d = dataset();
+        let cfg = ReleaseConfig {
+            mechanism: MechanismKind::SmoothGamma,
+            budget: PrivacyParams::pure(0.1, 2.0),
+            seed: 9,
+        };
+        let mut rel = release_marginal(&d, &workload1(), &cfg).unwrap();
+        let full = rel.try_l1_error().expect("complete release");
+        assert!((full - rel.l1_error()).abs() < 1e-12);
+        // Drop one cell: l1_error degrades gracefully, try_l1_error errors.
+        let dropped = *rel.published.keys().next().expect("nonempty release");
+        rel.published.remove(&dropped);
+        let partial = rel.l1_error();
+        assert!(partial.is_finite() && partial <= full);
+        let err = rel.try_l1_error().unwrap_err();
+        assert_eq!(err, EngineError::MissingCell { key: dropped.0 });
+    }
+
+    #[test]
+    fn wrapper_matches_engine_output() {
+        // The deprecated wrapper must be a pure repackaging of the engine.
+        let d = dataset();
+        let cfg = ReleaseConfig {
+            mechanism: MechanismKind::SmoothGamma,
+            budget: PrivacyParams::pure(0.1, 2.0),
+            seed: 77,
+        };
+        let legacy = release_marginal(&d, &workload1(), &cfg).unwrap();
+        let mut engine = ReleaseEngine::new(PrivacyParams::pure(0.1, 2.0));
+        let artifact = engine
+            .execute(
+                &d,
+                &ReleaseRequest::marginal(workload1())
+                    .mechanism(cfg.mechanism)
+                    .budget(cfg.budget)
+                    .seed(cfg.seed),
+            )
+            .unwrap();
+        assert_eq!(&legacy.published, artifact.cells().unwrap());
+        assert_eq!(legacy.cost, artifact.cost);
     }
 }

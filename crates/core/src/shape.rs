@@ -5,27 +5,31 @@
 //! workforce over worker characteristics ("shape"), not just its
 //! magnitude. Data users, conversely, often want exactly that
 //! distribution — e.g. the education mix of manufacturing employment in a
-//! place. This module releases shapes with the weak (α,ε)-ER-EE
-//! guarantee: every sub-count of the partition is released with a
-//! mechanism at budget `ε/d` (sequential composition over the `d` partition
-//! classes, Sec 8), then normalized. Normalization is post-processing, so
-//! the composition bound is the entire privacy cost.
+//! place. Shape releases carry the weak (α,ε)-ER-EE guarantee: every
+//! sub-count of the partition is released with a mechanism at budget
+//! `ε/d` (sequential composition over the `d` partition classes, Sec 8),
+//! then normalized. Normalization is post-processing, so the composition
+//! bound is the entire privacy cost.
 //!
 //! Released fractions are clamped to `[0, 1]` and renormalized; the
 //! released total is the sum of the noisy sub-counts (consistent by
 //! construction — the fractions and total always agree, unlike releasing
 //! them from separate budgets).
+//!
+//! The sampling logic lives in [`crate::engine`]
+//! ([`ReleaseRequest::shapes`](crate::engine::ReleaseRequest::shapes));
+//! the free function here is a deprecated single-release wrapper.
 
-use crate::accountant::ReleaseCost;
+use crate::accountant::Ledger;
 use crate::definitions::PrivacyParams;
-use crate::mechanisms::{CellQuery, MechanismKind};
-use crate::neighbors::NeighborKind;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use tabulate::{CellKey, Marginal, MarginalSpec};
+use crate::engine::{ArtifactPayload, ReleaseEngine, ReleaseRequest};
+use crate::error::EngineError;
+use crate::mechanisms::MechanismKind;
+use serde::{Deserialize, Serialize};
+use tabulate::{CellKey, Marginal};
 
 /// A privately released shape for one workplace-attribute cell.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ShapeRelease {
     /// The workplace cell (keyed in the *worker-free* layout, matching the
     /// corresponding workplace-only marginal).
@@ -74,72 +78,51 @@ impl std::error::Error for ShapeError {}
 /// `truth` must be the marginal over workplace attributes × the partition
 /// attributes (e.g. Workload 3 for sex×education shapes). The budget is
 /// split `d` ways across the worker domain.
+#[deprecated(
+    since = "0.1.0",
+    note = "use ReleaseEngine::execute with ReleaseRequest::shapes"
+)]
 pub fn release_shapes(
     truth: &Marginal,
     mechanism: MechanismKind,
     total_budget: &PrivacyParams,
     seed: u64,
 ) -> Result<Vec<ShapeRelease>, ShapeError> {
-    let spec: &MarginalSpec = truth.spec();
-    if !spec.has_worker_attrs() {
-        return Err(ShapeError::NoWorkerAttributes);
+    let request = ReleaseRequest::shapes(truth.spec().clone())
+        .mechanism(mechanism)
+        .budget(*total_budget)
+        .seed(seed);
+    let plan = request.plan().map_err(demote)?;
+    let mut engine = ReleaseEngine::with_ledger(Ledger::new(PrivacyParams {
+        alpha: plan.per_cell.alpha,
+        epsilon: plan.cost.epsilon,
+        delta: plan.cost.delta,
+    }));
+    let artifact = engine
+        .execute_precomputed(truth, &request)
+        .map_err(demote)?;
+    match artifact.payload {
+        ArtifactPayload::Shapes(shapes) => Ok(shapes),
+        ArtifactPayload::Cells(_) => unreachable!("shapes request yields a shapes payload"),
     }
-    let d = spec.worker_domain_size();
-    let per_class = ReleaseCost::per_cell_for_total(spec, total_budget, NeighborKind::Weak);
-    let mech = mechanism
-        .build(&per_class)
-        .ok_or(ShapeError::InvalidParameters {
-            per_class_epsilon: per_class.epsilon,
-        })?;
+}
 
-    // Group the marginal's cells by their workplace part.
-    let schema = truth.schema();
-    let n_wp = spec.workplace_attrs.len();
-    let mut groups: std::collections::BTreeMap<u64, Vec<(usize, CellQuery)>> =
-        std::collections::BTreeMap::new();
-    for (key, stats) in truth.iter() {
-        // Workplace-part packed key (mixed radix over workplace positions).
-        let mut wp_key: u64 = 0;
-        for pos in 0..n_wp {
-            wp_key = wp_key * schema.cardinality_of(pos) + schema.value_of(key, pos) as u64;
-        }
-        // Worker-part dense index.
-        let mut class_idx: u64 = 0;
-        for pos in n_wp..schema.attrs().len() {
-            class_idx = class_idx * schema.cardinality_of(pos) + schema.value_of(key, pos) as u64;
-        }
-        groups
-            .entry(wp_key)
-            .or_default()
-            .push((class_idx as usize, CellQuery::from_stats(stats)));
+/// Map engine errors onto the legacy error type; the wrapper's private
+/// ledger always covers the request.
+fn demote(e: EngineError) -> ShapeError {
+    match e {
+        EngineError::Shape(e) => e,
+        EngineError::InvalidParameters {
+            per_cell_epsilon, ..
+        } => ShapeError::InvalidParameters {
+            per_class_epsilon: per_cell_epsilon,
+        },
+        other => unreachable!("single-release shape wrapper cannot fail with {other}"),
     }
-
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut out = Vec::with_capacity(groups.len());
-    for (wp_key, cells) in groups {
-        let mut sub_counts = vec![0.0; d];
-        for (class_idx, query) in cells {
-            // True zero classes are not released (consistent with the
-            // sparse-publication convention); their noisy value is 0.
-            sub_counts[class_idx] = mech.release(&query, &mut rng).max(0.0);
-        }
-        let total: f64 = sub_counts.iter().sum();
-        let fractions = if total > 0.0 {
-            sub_counts.iter().map(|&c| c / total).collect()
-        } else {
-            vec![0.0; d]
-        };
-        out.push(ShapeRelease {
-            cell: CellKey(wp_key),
-            fractions,
-            sub_counts,
-            total,
-        });
-    }
-    Ok(out)
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use lodes::{Generator, GeneratorConfig};
@@ -169,7 +152,10 @@ mod tests {
             assert!(s.fractions.iter().all(|&f| (0.0..=1.0).contains(&f)));
             assert_eq!(s.fractions.len(), 8, "sex x education partition");
             let total_check: f64 = s.sub_counts.iter().sum();
-            assert!((total_check - s.total).abs() < 1e-9, "internally consistent");
+            assert!(
+                (total_check - s.total).abs() < 1e-9,
+                "internally consistent"
+            );
         }
     }
 
@@ -236,8 +222,8 @@ mod tests {
     #[test]
     fn rejects_insufficient_budget() {
         let truth = truth();
-        // Smooth Gamma per-class budget 4/8 = 0.5 < 5 ln(1.1) = 0.48? ->
-        // 0.5 > 0.4766: valid. Use alpha = .2: 5 ln(1.2) = 0.91 > 0.5.
+        // Smooth Gamma per-class budget 4/8 = 0.5 < 5 ln(1.2) = 0.91 at
+        // alpha = 0.2: invalid.
         let err = release_shapes(
             &truth,
             MechanismKind::SmoothGamma,

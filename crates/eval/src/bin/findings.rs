@@ -42,14 +42,21 @@ fn main() {
         "**Finding 1** (W1 marginal comparable to SDL at eps=2, alpha=.1): \
          Log-Laplace {ll:.2}x, Smooth Gamma {sg:.2}x, Smooth Laplace {sl:.2}x SDL. \
          [{}]",
-        if sg < 3.5 && sl < 1.5 { "REPRODUCED" } else { "CHECK" }
+        if sg < 3.5 && sl < 1.5 {
+            "REPRODUCED"
+        } else {
+            "CHECK"
+        }
     );
 
     // Finding 2: single queries + rankings competitive.
     let f3_sl = f3
         .iter()
         .find(|r| {
-            r.series == "Smooth Laplace" && r.alpha == 0.1 && r.epsilon == 4.0 && r.stratum == "overall"
+            r.series == "Smooth Laplace"
+                && r.alpha == 0.1
+                && r.epsilon == 4.0
+                && r.stratum == "overall"
         })
         .map(|r| r.l1_ratio)
         .unwrap_or(f64::NAN);
@@ -64,7 +71,10 @@ fn main() {
     let f4_sl = f4
         .iter()
         .find(|r| {
-            r.series == "Smooth Laplace" && r.alpha == 0.01 && r.epsilon == 4.0 && r.stratum == "overall"
+            r.series == "Smooth Laplace"
+                && r.alpha == 0.01
+                && r.epsilon == 4.0
+                && r.stratum == "overall"
         })
         .map(|r| r.l1_ratio)
         .unwrap_or(f64::NAN);
@@ -86,7 +96,10 @@ fn main() {
     .filter_map(|s| {
         f1.iter()
             .find(|r| {
-                r.series == "Smooth Laplace" && r.alpha == 0.1 && r.epsilon == 2.0 && &r.stratum == s
+                r.series == "Smooth Laplace"
+                    && r.alpha == 0.1
+                    && r.epsilon == 2.0
+                    && &r.stratum == s
             })
             .map(|r| r.l1_ratio)
     })
@@ -101,7 +114,11 @@ fn main() {
             .map(|v| format!("{v:.2}"))
             .collect::<Vec<_>>()
             .join(" -> "),
-        if monotone { "REPRODUCED" } else { "CHECK (see EXPERIMENTS.md on Log-Laplace)" }
+        if monotone {
+            "REPRODUCED"
+        } else {
+            "CHECK (see EXPERIMENTS.md on Log-Laplace)"
+        }
     );
 
     // Finding 5: Smooth Laplace dominates; LL/SG crossover.
@@ -127,7 +144,11 @@ fn main() {
          crossover in eps: {}). [{}]",
         dominance,
         crossover,
-        if dominance && crossover { "REPRODUCED" } else { "CHECK" }
+        if dominance && crossover {
+            "REPRODUCED"
+        } else {
+            "CHECK"
+        }
     );
 
     // Finding 6: Truncated Laplace >= 10x at eps=4, flat in eps.

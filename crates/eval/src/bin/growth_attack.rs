@@ -117,8 +117,5 @@ fn summarize(results: &[sdl::GrowthAttackResult]) -> (f64, f64) {
         .map(|r| ((r.recovered_growth - r.true_growth) / r.true_growth).abs())
         .collect();
     rel.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    (
-        exact as f64 / results.len() as f64,
-        rel[rel.len() / 2],
-    )
+    (exact as f64 / results.len() as f64, rel[rel.len() / 2])
 }

@@ -53,7 +53,11 @@ fn main() {
             value: r.spearman,
         })
         .collect();
-    let md = pivot_markdown("Figure 2: Ranking 1 Spearman (vs SDL ordering)", "rho", &points);
+    let md = pivot_markdown(
+        "Figure 2: Ranking 1 Spearman (vs SDL ordering)",
+        "rho",
+        &points,
+    );
     write_results(&dir, "figure2", &md, &to_csv("spearman", &points), &rows).unwrap();
     eprintln!("run_all: figure2 done ({:.1?})", t.elapsed());
 
@@ -112,7 +116,11 @@ fn main() {
             value: r.spearman,
         })
         .collect();
-    let md = pivot_markdown("Figure 5: Ranking 2 Spearman (vs SDL ordering)", "rho", &points);
+    let md = pivot_markdown(
+        "Figure 5: Ranking 2 Spearman (vs SDL ordering)",
+        "rho",
+        &points,
+    );
     write_results(&dir, "figure5", &md, &to_csv("spearman", &points), &rows).unwrap();
     eprintln!("run_all: figure5 done ({:.1?})", t.elapsed());
 
@@ -131,9 +139,8 @@ fn main() {
     write_results(&dir, "table1", &md, "", &rows).unwrap();
 
     let rows = table2::run();
-    let mut md = String::from(
-        "# Table 2\n\n| delta | alpha | eps_min | eps (paper) |\n|---|---|---|---|\n",
-    );
+    let mut md =
+        String::from("# Table 2\n\n| delta | alpha | eps_min | eps (paper) |\n|---|---|---|---|\n");
     for r in &rows {
         let _ = writeln!(
             md,

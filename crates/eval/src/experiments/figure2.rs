@@ -34,8 +34,14 @@ fn correlation_for(
     ours: &BTreeMap<CellKey, f64>,
     keys: &[CellKey],
 ) -> Option<f64> {
-    let a: Vec<f64> = keys.iter().map(|k| sdl.get(k).copied().unwrap_or(0.0)).collect();
-    let b: Vec<f64> = keys.iter().map(|k| ours.get(k).copied().unwrap_or(0.0)).collect();
+    let a: Vec<f64> = keys
+        .iter()
+        .map(|k| sdl.get(k).copied().unwrap_or(0.0))
+        .collect();
+    let b: Vec<f64> = keys
+        .iter()
+        .map(|k| ours.get(k).copied().unwrap_or(0.0))
+        .collect();
     spearman(&a, &b)
 }
 
@@ -45,8 +51,7 @@ pub fn run(ctx: &ExperimentContext, trials: &TrialSpec) -> Vec<Figure2Row> {
     let strata = stratify_by_place_size(truth, &ctx.dataset);
     let all_keys: Vec<CellKey> = truth.iter().map(|(k, _)| k).collect();
 
-    let mut panels: Vec<(String, Vec<CellKey>)> =
-        vec![("overall".to_string(), all_keys)];
+    let mut panels: Vec<(String, Vec<CellKey>)> = vec![("overall".to_string(), all_keys)];
     for (class, keys) in &strata {
         if keys.len() >= 3 {
             panels.push((class.label().to_string(), keys.clone()));

@@ -101,9 +101,10 @@ mod tests {
         assert!(!rows.is_empty());
         // Finding 2: at eps = 4, Smooth Laplace outperforms SDL for all
         // alpha values tested — ratio below ~1.
-        for r in rows.iter().filter(|r| {
-            r.series == "Smooth Laplace" && r.epsilon == 4.0 && r.stratum == "overall"
-        }) {
+        for r in rows
+            .iter()
+            .filter(|r| r.series == "Smooth Laplace" && r.epsilon == 4.0 && r.stratum == "overall")
+        {
             assert!(
                 r.l1_ratio < 1.5,
                 "Smooth Laplace at eps=4 should be near or below SDL: {r:?}"

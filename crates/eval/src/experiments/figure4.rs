@@ -11,9 +11,9 @@
 use super::{grid_params, plottable, release_cells, Series};
 use crate::metrics::{l1_error, l1_error_over};
 use crate::runner::{ExperimentContext, TrialSpec};
-use eree_core::{MechanismKind, PrivacyParams};
 use eree_core::accountant::ReleaseCost;
 use eree_core::neighbors::NeighborKind;
+use eree_core::{MechanismKind, PrivacyParams};
 use lodes::PlaceSizeClass;
 use serde::{Deserialize, Serialize};
 use tabulate::{stratify_by_place_size, workload3};

@@ -18,9 +18,8 @@ pub mod figure5;
 pub mod table1;
 pub mod table2;
 
-use eree_core::{CellQuery, MechanismKind, PrivacyParams};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use eree_core::engine::{ArtifactPayload, ReleaseEngine, ReleaseRequest};
+use eree_core::{Ledger, MechanismKind, PrivacyParams};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use tabulate::{CellKey, Marginal};
@@ -48,9 +47,11 @@ impl Series {
 /// Release every nonzero cell of a precomputed `truth` marginal with the
 /// mechanism `kind` instantiated at *per-cell* parameters `params`.
 ///
-/// This is the hot inner loop of the figures; it skips re-tabulating the
-/// marginal for every trial (the production-facing API in
-/// `eree_core::release` handles tabulation and composition accounting).
+/// This is the hot inner loop of the figures. Each call runs one
+/// [`ReleaseRequest`] through a single-use [`ReleaseEngine`] whose ledger
+/// holds exactly the request's induced total cost, so even the evaluation
+/// sweeps exercise ledger-enforced composition accounting end to end; the
+/// precomputed `truth` skips re-tabulating the marginal for every trial.
 /// Returns `None` when the mechanism's validity constraint rejects the
 /// parameters — the gaps in the paper's plots.
 pub fn release_cells(
@@ -59,17 +60,24 @@ pub fn release_cells(
     params: &PrivacyParams,
     seed: u64,
 ) -> Option<BTreeMap<CellKey, f64>> {
-    let mechanism = kind.build(params)?;
-    let mut rng = StdRng::seed_from_u64(seed);
-    Some(
-        truth
-            .iter()
-            .map(|(key, stats)| {
-                let q = CellQuery::from_stats(stats);
-                (key, mechanism.release(&q, &mut rng))
-            })
-            .collect(),
-    )
+    let request = ReleaseRequest::marginal(truth.spec().clone())
+        .mechanism(kind)
+        .budget_per_cell(*params)
+        .seed(seed);
+    // Invalid per-cell parameters surface here, before any budget moves.
+    let plan = request.plan().ok()?;
+    let mut engine = ReleaseEngine::with_ledger(Ledger::new(PrivacyParams {
+        alpha: params.alpha,
+        epsilon: plan.cost.epsilon,
+        delta: plan.cost.delta,
+    }));
+    let artifact = engine
+        .execute_precomputed(truth, &request)
+        .expect("exact ledger covers the request");
+    match artifact.payload {
+        ArtifactPayload::Cells(cells) => Some(cells),
+        ArtifactPayload::Shapes(_) => unreachable!("marginal request yields cells"),
+    }
 }
 
 /// Whether a mechanism/parameter combination should be plotted, following
@@ -79,9 +87,7 @@ pub fn release_cells(
 pub fn plottable(kind: MechanismKind, alpha: f64, epsilon: f64, delta: f64) -> bool {
     match kind {
         MechanismKind::LogLaplace => eree_core::definitions::log_laplace_bounded(alpha, epsilon),
-        MechanismKind::SmoothGamma => {
-            eree_core::definitions::smooth_gamma_valid(alpha, epsilon)
-        }
+        MechanismKind::SmoothGamma => eree_core::definitions::smooth_gamma_valid(alpha, epsilon),
         MechanismKind::SmoothLaplace => {
             eree_core::definitions::smooth_laplace_valid(alpha, epsilon, delta)
         }

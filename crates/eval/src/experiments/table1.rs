@@ -102,17 +102,23 @@ pub fn matches_paper() -> bool {
     let expect = [
         ("Input Noise Infusion", ["No", "No", "No"]),
         ("Differential Privacy (individuals", ["Yes", "No", "No"]),
-        ("Differential Privacy (establishments", ["Yes", "Yes", "Yes"]),
+        (
+            "Differential Privacy (establishments",
+            ["Yes", "Yes", "Yes"],
+        ),
         ("ER-EE-privacy", ["Yes", "Yes", "Yes"]),
         ("Weak ER-EE privacy", ["Yes", "Yes*", "Yes"]),
     ];
     rows.len() == expect.len()
-        && rows.iter().zip(expect.iter()).all(|(row, (prefix, cells))| {
-            row.method.starts_with(prefix)
-                && row.individuals == cells[0]
-                && row.employer_size == cells[1]
-                && row.employer_shape == cells[2]
-        })
+        && rows
+            .iter()
+            .zip(expect.iter())
+            .all(|(row, (prefix, cells))| {
+                row.method.starts_with(prefix)
+                    && row.individuals == cells[0]
+                    && row.employer_size == cells[1]
+                    && row.employer_shape == cells[2]
+            })
 }
 
 /// The satisfaction level of one matrix entry (re-exported convenience for

@@ -64,8 +64,7 @@ mod tests {
             );
             // Just below: rejected.
             assert!(
-                SmoothLaplaceMechanism::new(row.alpha, row.epsilon_min * 0.98, row.delta)
-                    .is_none(),
+                SmoothLaplaceMechanism::new(row.alpha, row.epsilon_min * 0.98, row.delta).is_none(),
                 "{row:?}"
             );
         }

@@ -184,10 +184,8 @@ mod tests {
         let d = Generator::new(GeneratorConfig::test_small(61)).generate();
         let truth = compute_marginal(&d, &workload1());
         // Perfect release: zero error.
-        let perfect: BTreeMap<CellKey, f64> = truth
-            .iter()
-            .map(|(k, s)| (k, s.count as f64))
-            .collect();
+        let perfect: BTreeMap<CellKey, f64> =
+            truth.iter().map(|(k, s)| (k, s.count as f64)).collect();
         assert_eq!(l1_error(&truth, &perfect), 0.0);
         // Off-by-one everywhere: error = #cells.
         let off: BTreeMap<CellKey, f64> = truth

@@ -63,7 +63,11 @@ pub fn write_dataset<W: Write>(dataset: &Dataset, out: &mut W) -> io::Result<()>
     let _ = writeln!(buf, "#places");
     let _ = writeln!(buf, "place,county,state,population");
     for p in geo.places() {
-        let _ = writeln!(buf, "{},{},{},{}", p.id.0, p.county.0, p.state.0, p.population);
+        let _ = writeln!(
+            buf,
+            "{},{},{},{}",
+            p.id.0, p.county.0, p.state.0, p.population
+        );
     }
     let _ = writeln!(buf, "#blocks");
     let _ = writeln!(buf, "block,place");

@@ -202,9 +202,8 @@ impl Generator {
             let expected = share * cfg.target_establishments as f64;
             // Randomized rounding keeps the total near the target without
             // biasing against small places.
-            let n = expected.floor() as usize
-                + usize::from(rng.gen::<f64>() < expected.fract())
-                + 1;
+            let n =
+                expected.floor() as usize + usize::from(rng.gen::<f64>() < expected.fract()) + 1;
             let place_blocks: Vec<BlockId> = geography
                 .blocks()
                 .filter(|b| b.place == place.id)

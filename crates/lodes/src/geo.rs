@@ -110,7 +110,12 @@ pub struct Geography {
 impl Geography {
     /// Assemble a geography from parts. Intended to be called by the
     /// generator; validates parent references.
-    pub fn new(states: u16, counties: Vec<StateId>, places: Vec<Place>, blocks: Vec<Block>) -> Self {
+    pub fn new(
+        states: u16,
+        counties: Vec<StateId>,
+        places: Vec<Place>,
+        blocks: Vec<Block>,
+    ) -> Self {
         for c in &counties {
             assert!(c.0 < states, "county references missing state {}", c.0);
         }

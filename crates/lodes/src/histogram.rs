@@ -210,9 +210,8 @@ mod tests {
         h.add(WorkerCell::of(&w1));
         h.add(WorkerCell::of(&w1));
         h.add(WorkerCell::of(&w2));
-        let females_college = h.count_matching(|s, _, _, _, d| {
-            s == Sex::Female && d == Education::BachelorOrHigher
-        });
+        let females_college =
+            h.count_matching(|s, _, _, _, d| s == Sex::Female && d == Education::BachelorOrHigher);
         assert_eq!(females_college, 2);
         let total = h.count_matching(|_, _, _, _, _| true);
         assert_eq!(total, h.total());

@@ -33,11 +33,11 @@ pub mod stats;
 pub mod worker;
 
 pub use generator::{Generator, GeneratorConfig};
-pub use panel::{DatasetPanel, PanelConfig};
 pub use geo::{BlockId, Geography, PlaceId, PlaceSizeClass};
 pub use histogram::WorkplaceHistogram;
 pub use naics::NaicsSector;
 pub use ownership::Ownership;
+pub use panel::{DatasetPanel, PanelConfig};
 pub use schema::{Dataset, Job, Worker, WorkerId, Workplace, WorkplaceId};
 pub use stats::DatasetStats;
 pub use worker::{AgeGroup, Education, Ethnicity, Race, Sex};

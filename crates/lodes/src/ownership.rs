@@ -91,7 +91,10 @@ mod tests {
 
     #[test]
     fn weights_form_distribution() {
-        let total: f64 = Ownership::ALL.iter().map(|o| o.establishment_weight()).sum();
+        let total: f64 = Ownership::ALL
+            .iter()
+            .map(|o| o.establishment_weight())
+            .sum();
         assert!((total - 1.0).abs() < 1e-12);
     }
 }

@@ -216,11 +216,7 @@ impl Dataset {
     /// baseline (Sec 6): truncation removes whole nodes until every degree is
     /// below the bound.
     pub fn truncate_establishments(&self, theta: u32) -> (Dataset, usize) {
-        let keep: Vec<bool> = self
-            .establishment_size
-            .iter()
-            .map(|&s| s < theta)
-            .collect();
+        let keep: Vec<bool> = self.establishment_size.iter().map(|&s| s < theta).collect();
         let removed = keep.iter().filter(|&&k| !k).count();
 
         // Re-index surviving workplaces.

@@ -50,7 +50,11 @@ impl DatasetStats {
             .map(|&s| (s as f64 - mean).powi(3))
             .sum::<f64>()
             / n;
-        let skew = if var > 0.0 { third / var.powf(1.5) } else { 0.0 };
+        let skew = if var > 0.0 {
+            third / var.powf(1.5)
+        } else {
+            0.0
+        };
 
         let mut sorted = sizes.to_vec();
         sorted.sort_unstable();
@@ -75,8 +79,7 @@ impl DatasetStats {
             let class = dataset.geography().place(wp.place).size_class();
             *jobs_by_stratum
                 .get_mut(class.label())
-                .expect("all strata pre-inserted") +=
-                dataset.establishment_size(wp.id) as usize;
+                .expect("all strata pre-inserted") += dataset.establishment_size(wp.id) as usize;
         }
 
         Self {
@@ -119,7 +122,10 @@ mod tests {
         let s = DatasetStats::compute(&d);
         assert_eq!(s.jobs, d.num_jobs());
         assert_eq!(s.establishments, d.num_workplaces());
-        assert!(s.mean_size > s.median_size as f64, "right-skew: mean>median");
+        assert!(
+            s.mean_size > s.median_size as f64,
+            "right-skew: mean>median"
+        );
         assert!(s.size_skewness > 1.0, "size skewness {}", s.size_skewness);
         let total_places: usize = s.places_by_stratum.values().sum();
         assert_eq!(total_places, d.geography().num_places());

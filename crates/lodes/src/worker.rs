@@ -243,8 +243,12 @@ mod tests {
         let race: f64 = Race::ALL.iter().map(|r| r.weight()).sum();
         let eth: f64 = Ethnicity::ALL.iter().map(|e| e.weight()).sum();
         let edu: f64 = Education::ALL.iter().map(|e| e.weight()).sum();
-        for (name, total) in [("age", age), ("race", race), ("ethnicity", eth), ("education", edu)]
-        {
+        for (name, total) in [
+            ("age", age),
+            ("race", race),
+            ("ethnicity", eth),
+            ("education", edu),
+        ] {
             assert!((total - 1.0).abs() < 1e-9, "{name} weights sum to {total}");
         }
     }

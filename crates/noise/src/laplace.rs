@@ -181,11 +181,9 @@ mod tests {
         let reference = rand_distr::Exp::new(1.0 / 3.0).unwrap();
         let mut rng = StdRng::seed_from_u64(11);
         let n = 100_000;
-        let our_abs_mean: f64 =
-            (0..n).map(|_| ours.sample(&mut rng).abs()).sum::<f64>() / n as f64;
+        let our_abs_mean: f64 = (0..n).map(|_| ours.sample(&mut rng).abs()).sum::<f64>() / n as f64;
         // |Laplace(b)| is Exp(1/b)
-        let ref_mean: f64 =
-            (0..n).map(|_| reference.sample(&mut rng)).sum::<f64>() / n as f64;
+        let ref_mean: f64 = (0..n).map(|_| reference.sample(&mut rng)).sum::<f64>() / n as f64;
         assert!((our_abs_mean - ref_mean).abs() < 0.06);
     }
 }

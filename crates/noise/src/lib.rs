@@ -84,7 +84,10 @@ mod tests {
         let lap = Laplace::new(1.7).unwrap();
         let gp = GammaPoly::new(2.3).unwrap();
         for (name, f) in [
-            ("laplace", Box::new(move |x: f64| lap.pdf(x)) as Box<dyn Fn(f64) -> f64>),
+            (
+                "laplace",
+                Box::new(move |x: f64| lap.pdf(x)) as Box<dyn Fn(f64) -> f64>,
+            ),
             ("gamma_poly", Box::new(move |x: f64| gp.pdf(x))),
         ] {
             let (lo, hi, n) = (-400.0, 400.0, 800_000);

@@ -300,9 +300,8 @@ mod tests {
                     .filter(|&c| WorkerCell(c).decode().4 == victim_edu)
                     .collect();
                 if same_edu.len() == 1 {
-                    let result = reidentification_attack(wp, &nonzero, |c| {
-                        c.decode().4 == victim_edu
-                    });
+                    let result =
+                        reidentification_attack(wp, &nonzero, |c| c.decode().4 == victim_edu);
                     assert_eq!(result.candidate_cells, vec![victim_cell.0]);
                     demonstrated = true;
                     break;

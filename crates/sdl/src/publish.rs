@@ -149,8 +149,9 @@ impl SdlPublisher {
         for (key, stats) in truth.iter() {
             let raw = noisy.get(&key).copied().unwrap_or(0.0);
             let value = if self.config.small_cell.applies(stats.count) {
-                let mut cell_rng =
-                    StdRng::seed_from_u64(self.config.seed ^ key.0.wrapping_mul(0x9E3779B97F4A7C15));
+                let mut cell_rng = StdRng::seed_from_u64(
+                    self.config.seed ^ key.0.wrapping_mul(0x9E3779B97F4A7C15),
+                );
                 self.config.small_cell.sample(&mut cell_rng) as f64
             } else if self.config.round_output {
                 raw.round()

@@ -8,8 +8,8 @@
 //! require weak privacy and sequential composition over the worker-cell
 //! domain (Sec 8 of the paper).
 
-use lodes::{AgeGroup, Dataset, Education, Ethnicity, Ownership, Race, Sex, Worker, Workplace};
 use lodes::NaicsSector;
+use lodes::{AgeGroup, Dataset, Education, Ethnicity, Ownership, Race, Sex, Worker, Workplace};
 use serde::{Deserialize, Serialize};
 
 /// A workplace (establishment) attribute.

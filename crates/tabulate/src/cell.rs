@@ -160,7 +160,10 @@ mod tests {
     #[test]
     fn position_of_finds_attrs() {
         let (s, _) = schema();
-        assert_eq!(s.position_of(Attr::Workplace(WorkplaceAttr::Naics)), Some(0));
+        assert_eq!(
+            s.position_of(Attr::Workplace(WorkplaceAttr::Naics)),
+            Some(0)
+        );
         assert_eq!(s.position_of(Attr::Worker(WorkerAttr::Sex)), Some(2));
         assert_eq!(s.position_of(Attr::Worker(WorkerAttr::Age)), None);
     }

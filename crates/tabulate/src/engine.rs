@@ -82,11 +82,7 @@ mod tests {
     }
 
     /// Brute-force recomputation of one cell's stats.
-    fn brute_force_cell(
-        d: &Dataset,
-        spec: &MarginalSpec,
-        key_values: &[u32],
-    ) -> (u64, u32, u32) {
+    fn brute_force_cell(d: &Dataset, spec: &MarginalSpec, key_values: &[u32]) -> (u64, u32, u32) {
         let mut per_estab: BTreeMap<u32, u32> = BTreeMap::new();
         for w in d.workers() {
             let wp = d.workplace(d.employer_of(w.id));
@@ -173,7 +169,11 @@ mod tests {
     fn full_marginal_spec_with_all_attrs() {
         let d = dataset();
         let spec = MarginalSpec::new(
-            vec![WorkplaceAttr::Place, WorkplaceAttr::Naics, WorkplaceAttr::Ownership],
+            vec![
+                WorkplaceAttr::Place,
+                WorkplaceAttr::Naics,
+                WorkplaceAttr::Ownership,
+            ],
             vec![
                 WorkerAttr::Sex,
                 WorkerAttr::Age,

@@ -202,10 +202,7 @@ mod tests {
     fn flow_keys_align_with_level_marginal_keys() {
         use crate::engine::compute_marginal;
         let p = panel();
-        let spec = MarginalSpec::new(
-            vec![WorkplaceAttr::Naics, WorkplaceAttr::Ownership],
-            vec![],
-        );
+        let spec = MarginalSpec::new(vec![WorkplaceAttr::Naics, WorkplaceAttr::Ownership], vec![]);
         let flows = compute_flows(p.quarter(0), p.quarter(1), &spec);
         let levels = compute_marginal(p.quarter(0), &spec);
         for (key, stats) in flows.iter() {

@@ -31,7 +31,9 @@ pub fn stratify_by_place_size(
     for (key, _) in marginal.iter() {
         let place = PlaceId(marginal.schema().value_of(key, pos));
         let class = dataset.geography().place(place).size_class();
-        out.get_mut(&class).expect("all strata pre-inserted").push(key);
+        out.get_mut(&class)
+            .expect("all strata pre-inserted")
+            .push(key);
     }
     out
 }
@@ -59,10 +61,7 @@ mod tests {
     #[test]
     fn strata_partition_all_cells() {
         let d = Generator::new(GeneratorConfig::test_small(6)).generate();
-        let spec = MarginalSpec::new(
-            vec![WorkplaceAttr::Place, WorkplaceAttr::Naics],
-            vec![],
-        );
+        let spec = MarginalSpec::new(vec![WorkplaceAttr::Place, WorkplaceAttr::Naics], vec![]);
         let m = compute_marginal(&d, &spec);
         let strata = stratify_by_place_size(&m, &d);
         let total: usize = strata.values().map(|v| v.len()).sum();

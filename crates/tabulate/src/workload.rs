@@ -63,7 +63,10 @@ mod tests {
     fn workload_specs() {
         assert_eq!(workload1().name(), "place x naics x ownership");
         assert!(!workload1().has_worker_attrs());
-        assert_eq!(workload3().name(), "place x naics x ownership x sex x education");
+        assert_eq!(
+            workload3().name(),
+            "place x naics x ownership x sex x education"
+        );
         assert_eq!(workload3().worker_domain_size(), 8);
         assert_eq!(workload2(), workload3());
     }
@@ -73,10 +76,7 @@ mod tests {
         let d = Generator::new(GeneratorConfig::test_small(8)).generate();
         let w3 = compute_marginal(&d, &workload3());
         // Slice: sex = Female(1), education = BachelorOrHigher(3).
-        let sliced = w3.slice_worker_attrs(&[
-            (WorkerAttr::Sex, 1),
-            (WorkerAttr::Education, 3),
-        ]);
+        let sliced = w3.slice_worker_attrs(&[(WorkerAttr::Sex, 1), (WorkerAttr::Education, 3)]);
         let filtered = compute_marginal_filtered(&d, &workload1(), ranking2_filter);
         // Both routes must agree cell-by-cell.
         assert_eq!(sliced.len(), filtered.num_cells());

@@ -12,7 +12,7 @@
 //! Run: `cargo run --release --example area_shape_release`
 
 use eree::prelude::*;
-use eree_core::{release_shapes, CellQuery, CountMechanism, SmoothLaplaceMechanism};
+use eree_core::{CellQuery, CountMechanism, SmoothLaplaceMechanism};
 use lodes::PlaceId;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -33,7 +33,10 @@ fn main() {
     let mech = SmoothLaplaceMechanism::new(0.1, 2.0, 0.05).expect("valid parameters");
     let mut rng = StdRng::seed_from_u64(5);
     println!("Area comparison at (alpha=0.1, eps=2, delta=.05) — one eps for the whole set:\n");
-    println!("{:<16} {:>10} {:>12} {:>12}", "area", "true jobs", "released", "E|noise|");
+    println!(
+        "{:<16} {:>10} {:>12} {:>12}",
+        "area", "true jobs", "released", "E|noise|"
+    );
     for (name, cell) in &stats {
         let q = CellQuery::from_stats(cell);
         let released = mech.release(&q, &mut rng);
@@ -48,13 +51,17 @@ fn main() {
 
     // ---- 2. Shape release ----------------------------------------------
     let truth = compute_marginal(&dataset, &workload3());
-    let shapes = release_shapes(
-        &truth,
-        MechanismKind::SmoothLaplace,
-        &PrivacyParams::approximate(0.1, 16.0, 0.05),
-        7,
-    )
-    .expect("valid parameters");
+    let mut engine = ReleaseEngine::new(PrivacyParams::approximate(0.1, 16.0, 0.05));
+    let artifact = engine
+        .execute_precomputed(
+            &truth,
+            &ReleaseRequest::shapes(workload3())
+                .mechanism(MechanismKind::SmoothLaplace)
+                .budget(PrivacyParams::approximate(0.1, 16.0, 0.05))
+                .seed(7),
+        )
+        .expect("valid parameters");
+    let shapes = artifact.shapes().expect("shapes payload");
 
     // Show the largest cell's released education mix for female workers.
     let biggest = shapes

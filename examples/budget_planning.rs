@@ -1,89 +1,96 @@
-//! Multi-release budget planning with the privacy ledger.
+//! Multi-release budget planning with the ledger-enforced release engine.
 //!
 //! A statistical agency publishes many tabulations from the same
 //! confidential snapshot. Sequential composition (Thm 7.3) makes the
 //! losses add; parallel composition (Thms 7.4/7.5) makes some of them
-//! free. This example walks a year of releases through the
-//! [`eree_core::Ledger`] and shows where each theorem saves budget.
+//! free. This example submits a year of releases to one
+//! [`ReleaseEngine`] as a batch: every request is validated against the
+//! remaining annual budget *before* any noise is drawn, over-budget
+//! requests are refused without spending, and the engine's ledger is the
+//! audit trail.
 //!
 //! Run: `cargo run --release --example budget_planning`
 
 use eree::prelude::*;
-use eree_core::neighbors::NeighborKind;
-use tabulate::MarginalSpec;
+use tabulate::{compute_marginal, MarginalSpec};
 
 fn main() {
     let dataset = Generator::new(GeneratorConfig::test_small(77)).generate();
 
     // Annual budget: (alpha = 0.1, eps = 8, delta = 0.05).
     let annual = PrivacyParams::approximate(0.1, 8.0, 0.05);
-    let mut ledger = Ledger::new(annual);
+    let mut engine = ReleaseEngine::new(annual);
     println!(
         "annual budget: alpha={}, eps={}, delta={}\n",
         annual.alpha, annual.epsilon, annual.delta
     );
 
-    // Release 1 — Workload 1 (workplace-only marginal): the cells
-    // partition establishments, so the WHOLE marginal costs one epsilon
-    // (Thm 7.4), regardless of its ~thousands of cells.
-    let spec1 = workload1();
-    let per_cell = PrivacyParams::approximate(0.1, 2.0, 0.01);
-    let cost1 = ReleaseCost::for_marginal(&spec1, &per_cell, NeighborKind::Strong);
-    ledger
-        .charge("Q1: place x naics x ownership", &per_cell, &cost1)
-        .unwrap();
-    println!(
-        "Q1 {} ({} cells): charged eps={} (multiplier {} — Thm 7.4 parallel composition)",
-        spec1.name(),
-        compute_marginal(&dataset, &spec1).num_cells(),
-        cost1.epsilon,
-        cost1.multiplier
-    );
-
-    // Release 2 — Workload 3 (adds sex x education): under weak privacy
-    // the worker cells compose sequentially: multiplier d = 8.
-    let spec3 = workload3();
-    let per_cell3 = PrivacyParams::approximate(0.1, 0.5, 0.004);
-    let cost3 = ReleaseCost::for_marginal(&spec3, &per_cell3, NeighborKind::Weak);
-    ledger
-        .charge("Q2: ... x sex x education", &per_cell3, &cost3)
-        .unwrap();
-    println!(
-        "Q2 {}: charged eps={} (per-cell {} x multiplier {} — weak sequential composition)",
-        spec3.name(),
-        cost3.epsilon,
-        cost3.per_cell_epsilon,
-        cost3.multiplier
-    );
-
-    // Release 3 — a county-level marginal for a different quarter... the
-    // budget is nearly spent; an over-budget request is refused.
     let spec_county = MarginalSpec::new(vec![WorkplaceAttr::County], vec![]);
-    let per_cell_c = PrivacyParams::approximate(0.1, 4.0, 0.04);
-    let cost_c = ReleaseCost::for_marginal(&spec_county, &per_cell_c, NeighborKind::Strong);
-    match ledger.charge("Q3: county marginal", &per_cell_c, &cost_c) {
-        Ok(()) => println!("Q3 charged"),
-        Err(e) => println!("Q3 refused: {e}"),
+    let batch = vec![
+        // Q1 — Workload 1 (workplace-only marginal): the cells partition
+        // establishments, so the WHOLE marginal costs one epsilon
+        // (Thm 7.4), regardless of its ~thousands of cells.
+        ReleaseRequest::marginal(workload1())
+            .mechanism(MechanismKind::SmoothLaplace)
+            .budget(PrivacyParams::approximate(0.1, 2.0, 0.01))
+            .describe("Q1: place x naics x ownership")
+            .seed(1),
+        // Q2 — Workload 3 (adds sex x education): under weak privacy the
+        // worker cells compose sequentially: multiplier d = 8, so the
+        // total charge is 8 x the per-cell budget. Log-Laplace, because
+        // the split per-cell budget (eps/8 = 0.5) is below the smooth
+        // mechanisms' validity frontiers.
+        ReleaseRequest::marginal(workload3())
+            .mechanism(MechanismKind::LogLaplace)
+            .budget(PrivacyParams::pure(0.1, 4.0))
+            .describe("Q2: ... x sex x education")
+            .seed(2),
+        // Q3 — a county marginal, but the budget is nearly spent: this
+        // request overdraws the remaining epsilon and must be refused
+        // WITHOUT consuming anything.
+        ReleaseRequest::marginal(spec_county.clone())
+            .mechanism(MechanismKind::SmoothLaplace)
+            .budget(PrivacyParams::approximate(0.1, 4.0, 0.004))
+            .describe("Q3: county marginal")
+            .seed(3),
+        // Q3 again at a reduced epsilon that fits the remainder.
+        ReleaseRequest::marginal(spec_county.clone())
+            .mechanism(MechanismKind::SmoothLaplace)
+            .budget(PrivacyParams::approximate(0.1, 2.0, 0.005))
+            .describe("Q3: county marginal (reduced eps)")
+            .seed(3),
+    ];
+
+    for (request, outcome) in batch.iter().zip(engine.execute_all(&dataset, &batch)) {
+        match outcome {
+            Ok(artifact) => println!(
+                "{:<38} charged eps={:<4} (per-cell {} x multiplier {}) over {} cells",
+                artifact.request.description,
+                artifact.cost.epsilon,
+                artifact.cost.per_cell_epsilon,
+                artifact.cost.multiplier,
+                artifact.cells().map_or(0, |c| c.len()),
+            ),
+            Err(e) => println!("{:<38} REFUSED: {e}", request.description()),
+        }
     }
 
-    // A smaller request fits (remaining after Q1+Q2: eps 2.0, delta 0.008).
-    let per_cell_c = PrivacyParams::approximate(0.1, 2.0, 0.005);
-    let cost_c = ReleaseCost::for_marginal(&spec_county, &per_cell_c, NeighborKind::Strong);
-    ledger
-        .charge("Q3: county marginal (reduced eps)", &per_cell_c, &cost_c)
-        .unwrap();
     println!(
-        "Q3 charged at reduced eps={}; remaining budget: eps={:.2}, delta={:.3}",
-        cost_c.epsilon,
-        ledger.remaining_epsilon(),
-        ledger.remaining_delta()
+        "\nremaining budget: eps={:.2}, delta={:.3}",
+        engine.ledger().remaining_epsilon(),
+        engine.ledger().remaining_delta()
     );
-
-    println!("\nledger entries:");
-    for entry in ledger.entries() {
+    println!("ledger entries:");
+    for entry in engine.ledger().entries() {
         println!(
             "  - {:<38} eps={:<5} delta={}",
             entry.description, entry.epsilon, entry.delta
         );
     }
+
+    // Context: Thm 7.4's saving — the Q1 charge covered this many cells.
+    println!(
+        "\n(Q1's one-epsilon charge covered {} cells — Thm 7.4 parallel composition.)",
+        compute_marginal(&dataset, &workload1()).num_cells()
+    );
 }

@@ -43,27 +43,31 @@ fn main() {
         );
     }
 
-    println!("\n{:<24} {:>12} {:>12}", "method", "rho vs SDL", "rho vs truth");
+    println!(
+        "\n{:<24} {:>12} {:>12}",
+        "method", "rho vs SDL", "rho vs truth"
+    );
     let rho_sdl_truth = spearman(&sdl_counts, &true_counts).unwrap();
     println!("{:<24} {:>12} {:>12.4}", "SDL", "1.0000", rho_sdl_truth);
 
     for &epsilon in &[0.25, 1.0, 4.0] {
-        let release = release_marginal(
-            &dataset,
-            &spec,
-            &ReleaseConfig {
-                mechanism: MechanismKind::SmoothLaplace,
-                budget: PrivacyParams::approximate(0.1, epsilon, 0.05),
-                seed: 11,
-            },
+        let budget = PrivacyParams::approximate(0.1, epsilon, 0.05);
+        let mut engine = ReleaseEngine::new(budget);
+        let outcome = engine.execute_precomputed(
+            &truth,
+            &ReleaseRequest::marginal(spec.clone())
+                .mechanism(MechanismKind::SmoothLaplace)
+                .budget(budget)
+                .seed(11),
         );
-        let Ok(release) = release else {
+        let Ok(artifact) = outcome else {
             println!("Smooth Laplace eps={epsilon:<6} (invalid parameters)");
             continue;
         };
+        let published = artifact.cells().expect("marginal payload");
         let ours: Vec<f64> = keys
             .iter()
-            .map(|k| release.published.get(k).copied().unwrap_or(0.0))
+            .map(|k| published.get(k).copied().unwrap_or(0.0))
             .collect();
         println!(
             "{:<24} {:>12.4} {:>12.4}",

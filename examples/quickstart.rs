@@ -1,9 +1,15 @@
 //! Quickstart: generate a synthetic ER-EE universe, release a tabulation
 //! three ways (exact, SDL, formally private), and compare.
 //!
+//! Formally private releases flow through the [`ReleaseEngine`]: one
+//! ledger governs the whole session, every request is budget-checked
+//! before sampling, and each release comes back as a durable
+//! [`ReleaseArtifact`].
+//!
 //! Run: `cargo run --release --example quickstart`
 
 use eree::prelude::*;
+use tabulate::compute_marginal;
 
 fn main() {
     // 1. A synthetic LODES-style universe (seeded: fully reproducible).
@@ -32,38 +38,46 @@ fn main() {
     );
 
     // 3b. Provable privacy: the three mechanisms at the paper's baseline
-    //     (alpha = 0.1, epsilon = 2; delta = 0.05 for Smooth Laplace).
-    for (mechanism, budget) in [
-        (MechanismKind::LogLaplace, PrivacyParams::pure(0.1, 2.0)),
-        (MechanismKind::SmoothGamma, PrivacyParams::pure(0.1, 2.0)),
-        (
-            MechanismKind::SmoothLaplace,
-            PrivacyParams::approximate(0.1, 2.0, 0.05),
-        ),
-    ] {
-        let release = release_marginal(
-            &dataset,
-            &spec,
-            &ReleaseConfig {
-                mechanism,
-                budget,
-                seed: 42,
-            },
-        )
-        .expect("valid parameters");
+    //     (alpha = 0.1, epsilon = 2; delta = 0.05 for Smooth Laplace),
+    //     executed as one batch under a single session ledger.
+    let mut engine = ReleaseEngine::new(PrivacyParams::approximate(0.1, 6.0, 0.05));
+    let batch = vec![
+        ReleaseRequest::marginal(spec.clone())
+            .mechanism(MechanismKind::LogLaplace)
+            .budget(PrivacyParams::pure(0.1, 2.0))
+            .seed(42),
+        ReleaseRequest::marginal(spec.clone())
+            .mechanism(MechanismKind::SmoothGamma)
+            .budget(PrivacyParams::pure(0.1, 2.0))
+            .seed(42),
+        ReleaseRequest::marginal(spec.clone())
+            .mechanism(MechanismKind::SmoothLaplace)
+            .budget(PrivacyParams::approximate(0.1, 2.0, 0.05))
+            .seed(42),
+    ];
+    for outcome in engine.execute_all(&dataset, &batch) {
+        let artifact = outcome.expect("valid parameters and sufficient budget");
+        let l1 = artifact
+            .l1_error_against(&truth)
+            .expect("complete cell release");
         println!(
             "{:<22} total L1 error {:>10.1} (mean {:>6.2}/cell)  [{} regime, eps={} alpha={}]",
-            format!("{}:", release.mechanism_name),
-            release.l1_error(),
-            release.mean_l1_error(),
-            match release.regime {
+            format!("{}:", artifact.mechanism_name),
+            l1,
+            l1 / truth.num_cells() as f64,
+            match artifact.regime {
                 eree_core::neighbors::NeighborKind::Strong => "strong",
                 eree_core::neighbors::NeighborKind::Weak => "weak",
             },
-            budget.epsilon,
-            budget.alpha,
+            artifact.cost.epsilon,
+            artifact.request.budget.alpha,
         );
     }
+    println!(
+        "session ledger: spent eps={:.1}, remaining eps={:.1}",
+        engine.ledger().budget().epsilon - engine.ledger().remaining_epsilon(),
+        engine.ledger().remaining_epsilon()
+    );
 
     println!(
         "\nThe formally private releases carry provable (alpha, epsilon)-ER-EE \

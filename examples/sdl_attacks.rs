@@ -75,17 +75,17 @@ fn main() {
     }
 
     // ---- The same attacks against a formally private release -------------
-    let private = release_marginal(
-        &dataset,
-        &workload1(),
-        &ReleaseConfig {
-            mechanism: MechanismKind::SmoothGamma,
-            budget: PrivacyParams::pure(0.1, 2.0),
-            seed: 3,
-        },
-    )
-    .unwrap();
-    let private_total = private.published[&victim_key];
+    let mut engine = ReleaseEngine::new(PrivacyParams::pure(0.1, 2.0));
+    let private = engine
+        .execute_precomputed(
+            &w1_truth,
+            &ReleaseRequest::marginal(workload1())
+                .mechanism(MechanismKind::SmoothGamma)
+                .budget(PrivacyParams::pure(0.1, 2.0))
+                .seed(3),
+        )
+        .unwrap();
+    let private_total = private.cells().expect("marginal payload")[&victim_key];
     // The "recovered factor" is now meaningless: the noise is additive with
     // heavy tails and *fresh per release* — dividing by a known cell no
     // longer cancels anything, and repeating the attack across releases

@@ -60,53 +60,55 @@ fn main() {
         );
     }
 
-    // --- ER-EE private: fresh noise each quarter, ledger-accounted -----
+    // --- ER-EE private: fresh noise each quarter, one engine ledger ----
+    // The engine enforces the annual budget across the quarterly releases:
+    // each request is checked against the remainder before sampling.
     let annual = PrivacyParams::approximate(0.1, 8.0, 0.05);
-    let mut ledger = Ledger::new(annual);
+    let mut engine = ReleaseEngine::new(annual);
     let per_quarter = PrivacyParams::approximate(0.1, 2.0, 0.0125);
     let mut private_releases = Vec::new();
     for (q, snapshot) in panel.snapshots().iter().enumerate() {
-        let cost = ReleaseCost::for_marginal(
-            &workload1(),
-            &per_quarter,
-            eree_core::neighbors::NeighborKind::Strong,
-        );
-        ledger
-            .charge(format!("Q{q} workload-1 release"), &per_quarter, &cost)
+        let artifact = engine
+            .execute(
+                snapshot,
+                &ReleaseRequest::marginal(workload1())
+                    .mechanism(MechanismKind::SmoothLaplace)
+                    .budget(per_quarter)
+                    .describe(format!("Q{q} workload-1 release"))
+                    .seed(100 + q as u64),
+            )
             .expect("annual budget covers four quarters");
-        let release = release_marginal(
-            snapshot,
-            &workload1(),
-            &ReleaseConfig {
-                mechanism: MechanismKind::SmoothLaplace,
-                budget: per_quarter,
-                seed: 100 + q as u64,
-            },
-        )
-        .unwrap();
-        private_releases.push(release);
+        let truth = compute_marginal(snapshot, &workload1());
+        private_releases.push((truth, artifact));
     }
     println!(
         "\n[ER-EE] four quarterly releases at (alpha=0.1, eps=2, delta=0.0125) each;\n        \
          ledger: spent eps={:.1}, remaining eps={:.1} of the annual {:.1}",
-        annual.epsilon - ledger.remaining_epsilon(),
-        ledger.remaining_epsilon(),
+        annual.epsilon - engine.ledger().remaining_epsilon(),
+        engine.ledger().remaining_epsilon(),
         annual.epsilon
     );
 
     // The same ratio attack against the private series.
     let mut rel_errors = Vec::new();
     for q in 0..private_releases.len() - 1 {
-        let (a, b) = (&private_releases[q], &private_releases[q + 1]);
-        for (key, stats_a) in a.truth.iter() {
+        let (truth_a, rel_a) = &private_releases[q];
+        let (truth_b, rel_b) = &private_releases[q + 1];
+        let (pub_a, pub_b) = (
+            rel_a.cells().expect("marginal payload"),
+            rel_b.cells().expect("marginal payload"),
+        );
+        for (key, stats_a) in truth_a.iter() {
             if stats_a.establishments != 1 || stats_a.count < 5 {
                 continue;
             }
-            let Some(stats_b) = b.truth.cell(key) else { continue };
+            let Some(stats_b) = truth_b.cell(key) else {
+                continue;
+            };
             if stats_b.establishments != 1 || stats_b.count < 5 {
                 continue;
             }
-            let recovered = b.published[&key] / a.published[&key];
+            let recovered = pub_b[&key] / pub_a[&key];
             let true_growth = stats_b.count as f64 / stats_a.count as f64;
             rel_errors.push(((recovered - true_growth) / true_growth).abs());
         }

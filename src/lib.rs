@@ -19,12 +19,20 @@
 //!   attacks.
 //! * [`graphdp`] — edge- and node-DP baselines on the bipartite job graph.
 //! * [`eree_core`] — the paper's contribution: (α,ε)-ER-EE privacy,
-//!   smooth sensitivity, and the Log-Laplace / Smooth Gamma / Smooth
-//!   Laplace mechanisms.
+//!   smooth sensitivity, the Log-Laplace / Smooth Gamma / Smooth Laplace
+//!   mechanisms, and the ledger-enforced release engine.
 //! * [`eval`] — the experiment harness regenerating every table and
 //!   figure.
 //!
 //! ## Quickstart
+//!
+//! Every formally private release flows through the
+//! [`ReleaseEngine`](eree_core::engine::ReleaseEngine): open it with a
+//! session budget, describe releases with the
+//! [`ReleaseRequest`](eree_core::engine::ReleaseRequest) builder, and get
+//! back serializable [`ReleaseArtifact`](eree_core::engine::ReleaseArtifact)s.
+//! The engine validates every request against the remaining budget
+//! *before* sampling; a refused request spends nothing.
 //!
 //! ```
 //! use eree::prelude::*;
@@ -32,16 +40,23 @@
 //! // Generate a small synthetic ER-EE universe.
 //! let dataset = Generator::new(GeneratorConfig::test_small(7)).generate();
 //!
+//! // One ledger for the whole session: (alpha = 0.1, eps = 4).
+//! let mut engine = ReleaseEngine::new(PrivacyParams::pure(0.1, 4.0));
+//!
 //! // Release the place x industry x ownership marginal with provable
 //! // (alpha = 0.1, epsilon = 2) ER-EE privacy via Smooth Gamma.
-//! let config = ReleaseConfig {
-//!     mechanism: MechanismKind::SmoothGamma,
-//!     budget: PrivacyParams::pure(0.1, 2.0),
-//!     seed: 42,
-//! };
-//! let release = release_marginal(&dataset, &workload1(), &config).unwrap();
-//! assert_eq!(release.published.len(), release.truth.num_cells());
-//! println!("mean per-cell error: {:.2}", release.mean_l1_error());
+//! let artifact = engine
+//!     .execute(
+//!         &dataset,
+//!         &ReleaseRequest::marginal(workload1())
+//!             .mechanism(MechanismKind::SmoothGamma)
+//!             .budget(PrivacyParams::pure(0.1, 2.0))
+//!             .seed(42),
+//!     )
+//!     .unwrap();
+//! assert!(artifact.cells().unwrap().len() > 0);
+//! // Half the session budget remains for later releases.
+//! assert!((engine.ledger().remaining_epsilon() - 2.0).abs() < 1e-12);
 //! ```
 
 pub use eree_core;
@@ -54,10 +69,14 @@ pub use tabulate;
 
 /// Convenient single-import surface for examples and downstream users.
 pub mod prelude {
-    pub use eree_core::release::release_marginal_filtered;
+    #[allow(deprecated)]
+    pub use eree_core::release::{release_marginal, release_marginal_filtered};
+    #[allow(deprecated)]
+    pub use eree_core::shape::release_shapes;
     pub use eree_core::{
-        release_marginal, CountMechanism, Ledger, MechanismKind, PrivacyParams, PrivateRelease,
-        ReleaseConfig, ReleaseCost,
+        ArtifactPayload, CountMechanism, EngineError, Ledger, MechanismKind, PrivacyParams,
+        PrivateRelease, ReleaseArtifact, ReleaseConfig, ReleaseCost, ReleaseEngine, ReleaseRequest,
+        RequestKind,
     };
     pub use lodes::{Dataset, DatasetStats, Generator, GeneratorConfig, PlaceSizeClass};
     pub use sdl::{SdlConfig, SdlPublisher};
@@ -74,12 +93,17 @@ mod tests {
     #[test]
     fn facade_exposes_working_pipeline() {
         let dataset = Generator::new(GeneratorConfig::test_small(1)).generate();
-        let config = ReleaseConfig {
-            mechanism: MechanismKind::LogLaplace,
-            budget: PrivacyParams::pure(0.1, 2.0),
-            seed: 5,
-        };
-        let release = release_marginal(&dataset, &workload1(), &config).unwrap();
-        assert!(release.l1_error() > 0.0);
+        let truth = compute_marginal(&dataset, &workload1());
+        let mut engine = ReleaseEngine::new(PrivacyParams::pure(0.1, 2.0));
+        let artifact = engine
+            .execute(
+                &dataset,
+                &ReleaseRequest::marginal(workload1())
+                    .mechanism(MechanismKind::LogLaplace)
+                    .budget(PrivacyParams::pure(0.1, 2.0))
+                    .seed(5),
+            )
+            .unwrap();
+        assert!(artifact.l1_error_against(&truth).unwrap() > 0.0);
     }
 }

@@ -14,7 +14,33 @@
 
 use eree::prelude::*;
 use sdl::attack::{establishment_of_singleton, singleton_cells, size_attack_with_known_cell};
+use std::collections::BTreeMap;
 use tabulate::{compute_marginal, Marginal, WorkerAttr};
+
+/// Release `spec` through a single-use engine and return the published
+/// cells (each test site is an independent guarantee statement).
+fn engine_release(
+    dataset: &Dataset,
+    spec: &MarginalSpec,
+    mechanism: MechanismKind,
+    budget: PrivacyParams,
+    seed: u64,
+) -> BTreeMap<CellKey, f64> {
+    let mut engine = ReleaseEngine::new(budget);
+    let artifact = engine
+        .execute(
+            dataset,
+            &ReleaseRequest::marginal(spec.clone())
+                .mechanism(mechanism)
+                .budget(budget)
+                .seed(seed),
+        )
+        .unwrap();
+    match artifact.payload {
+        ArtifactPayload::Cells(cells) => cells,
+        _ => unreachable!("marginal request yields cells"),
+    }
+}
 
 struct AttackScenario {
     dataset: Dataset,
@@ -51,10 +77,7 @@ fn setup() -> AttackScenario {
         // Scan the victim's worker cells in the W3 marginal.
         for (w3_key, w3_stats) in w3_truth.iter() {
             let values = w3_truth.schema().decode(w3_key);
-            if values[..3] == wp_values[..]
-                && w3_stats.count >= 3
-                && w3_stats.count < stats.count
-            {
+            if values[..3] == wp_values[..] && w3_stats.count >= 3 && w3_stats.count < stats.count {
                 return AttackScenario {
                     dataset,
                     w1_key: key,
@@ -111,28 +134,22 @@ fn size_attack_fails_against_private_release() {
     // (comparable to the mechanisms' relative noise), not ~0 as with SDL.
     let mut rel_errors: Vec<f64> = (0..40u64)
         .map(|seed| {
-            let w1 = release_marginal(
+            let w1 = engine_release(
                 &s.dataset,
                 &workload1(),
-                &ReleaseConfig {
-                    mechanism: MechanismKind::SmoothLaplace,
-                    budget: PrivacyParams::approximate(0.1, 2.0, 0.05),
-                    seed,
-                },
-            )
-            .unwrap();
-            let w3 = release_marginal(
+                MechanismKind::SmoothLaplace,
+                PrivacyParams::approximate(0.1, 2.0, 0.05),
+                seed,
+            );
+            let w3 = engine_release(
                 &s.dataset,
                 &workload3(),
-                &ReleaseConfig {
-                    mechanism: MechanismKind::SmoothLaplace,
-                    budget: PrivacyParams::approximate(0.1, 16.0, 0.05),
-                    seed: seed + 1000,
-                },
-            )
-            .unwrap();
-            let published_known = w3.published[&s.known_w3_key];
-            let published_total = w1.published[&s.w1_key];
+                MechanismKind::SmoothLaplace,
+                PrivacyParams::approximate(0.1, 16.0, 0.05),
+                seed + 1000,
+            );
+            let published_known = w3[&s.known_w3_key];
+            let published_total = w1[&s.w1_key];
             let result = size_attack_with_known_cell(
                 &s.dataset,
                 s.victim,
@@ -187,21 +204,18 @@ fn shape_ratios_are_exact_under_sdl_but_noisy_under_private_release() {
     }
 
     // Under the private release the same ratios are noisy.
-    let private = release_marginal(
+    let private = engine_release(
         &s.dataset,
         &workload3(),
-        &ReleaseConfig {
-            mechanism: MechanismKind::SmoothGamma,
-            budget: PrivacyParams::pure(0.1, 16.0),
-            seed: 17,
-        },
-    )
-    .unwrap();
+        MechanismKind::SmoothGamma,
+        PrivacyParams::pure(0.1, 16.0),
+        17,
+    );
     let mut priv_cells: Vec<(f64, f64)> = Vec::new();
     for (key, stats) in w3_truth.iter() {
         let values = w3_truth.schema().decode(key);
         if values[..3] == wp_values[..] && stats.count >= 3 {
-            priv_cells.push((private.published[&key], stats.count as f64));
+            priv_cells.push((private[&key], stats.count as f64));
         }
     }
     if priv_cells.len() >= 2 {
@@ -230,20 +244,17 @@ fn zero_preservation_attack_channel_quantified() {
     // The private release also publishes the nonzero support, but small
     // cells carry macroscopic noise: count-1 cells cannot be told from
     // count-2 cells (the +1 neighbor step) within the epsilon bound.
-    let release = release_marginal(
+    let release = engine_release(
         &s.dataset,
         &spec,
-        &ReleaseConfig {
-            mechanism: MechanismKind::SmoothGamma,
-            budget: PrivacyParams::pure(0.1, 16.0),
-            seed: 4,
-        },
-    )
-    .unwrap();
+        MechanismKind::SmoothGamma,
+        PrivacyParams::pure(0.1, 16.0),
+        4,
+    );
     let mut small_cell_errors = Vec::new();
-    for (key, stats) in release.truth.iter() {
+    for (key, stats) in truth.iter() {
         if stats.count <= 2 {
-            small_cell_errors.push((release.published[&key] - stats.count as f64).abs());
+            small_cell_errors.push((release[&key] - stats.count as f64).abs());
         }
     }
     assert!(!small_cell_errors.is_empty());

@@ -1,5 +1,5 @@
 //! End-to-end integration: generate → tabulate → release → evaluate,
-//! across crates.
+//! across crates, through the ledger-enforced `ReleaseEngine`.
 
 use eree::prelude::*;
 use eree_core::neighbors::NeighborKind;
@@ -13,61 +13,113 @@ fn full_pipeline_all_mechanisms_workload1() {
     let d = dataset();
     let spec = workload1();
     let truth = compute_marginal(&d, &spec);
-    for (mechanism, budget) in [
-        (MechanismKind::LogLaplace, PrivacyParams::pure(0.1, 2.0)),
-        (MechanismKind::SmoothGamma, PrivacyParams::pure(0.1, 2.0)),
-        (
-            MechanismKind::SmoothLaplace,
-            PrivacyParams::approximate(0.1, 2.0, 0.05),
-        ),
-    ] {
-        let release = release_marginal(
-            &d,
-            &spec,
-            &ReleaseConfig {
-                mechanism,
-                budget,
-                seed: 5,
-            },
-        )
-        .unwrap();
-        assert_eq!(release.regime, NeighborKind::Strong);
-        assert_eq!(release.published.len(), truth.num_cells());
-        assert!(release.l1_error() > 0.0, "{mechanism:?} must add noise");
+    // One engine batch releases all three mechanisms under a shared ledger.
+    let mut engine = ReleaseEngine::new(PrivacyParams::approximate(0.1, 6.0, 0.05));
+    let batch = vec![
+        ReleaseRequest::marginal(spec.clone())
+            .mechanism(MechanismKind::LogLaplace)
+            .budget(PrivacyParams::pure(0.1, 2.0))
+            .seed(5),
+        ReleaseRequest::marginal(spec.clone())
+            .mechanism(MechanismKind::SmoothGamma)
+            .budget(PrivacyParams::pure(0.1, 2.0))
+            .seed(5),
+        ReleaseRequest::marginal(spec.clone())
+            .mechanism(MechanismKind::SmoothLaplace)
+            .budget(PrivacyParams::approximate(0.1, 2.0, 0.05))
+            .seed(5),
+    ];
+    for outcome in engine.execute_all(&d, &batch) {
+        let artifact = outcome.unwrap();
+        assert_eq!(artifact.regime, NeighborKind::Strong);
+        let cells = artifact.cells().expect("marginal payload");
+        assert_eq!(cells.len(), truth.num_cells());
+        let l1 = artifact.l1_error_against(&truth).unwrap();
+        assert!(l1 > 0.0, "{} must add noise", artifact.mechanism_name);
         // Totals approximately preserved (mechanisms are unbiased or
         // mildly biased): released total within 25% of truth.
-        let released_total: f64 = release.published.values().sum();
+        let released_total: f64 = cells.values().sum();
         let true_total = truth.total() as f64;
         assert!(
             (released_total - true_total).abs() < 0.25 * true_total,
-            "{mechanism:?}: released total {released_total} vs {true_total}"
+            "{}: released total {released_total} vs {true_total}",
+            artifact.mechanism_name
         );
     }
+    // The whole session is accounted on one ledger.
+    assert!(engine.ledger().remaining_epsilon() < 1e-9);
 }
 
 #[test]
 fn weak_release_costs_match_domain_size() {
     let d = dataset();
-    let release = release_marginal(
-        &d,
-        &workload3(),
-        &ReleaseConfig {
-            mechanism: MechanismKind::SmoothLaplace,
-            budget: PrivacyParams::approximate(0.1, 8.0, 0.08),
-            seed: 9,
-        },
-    )
-    .unwrap();
-    assert_eq!(release.regime, NeighborKind::Weak);
-    assert_eq!(release.cost.multiplier, 8);
-    assert!((release.cost.per_cell_epsilon - 1.0).abs() < 1e-12);
-    assert!((release.cost.epsilon - 8.0).abs() < 1e-12);
+    let mut engine = ReleaseEngine::new(PrivacyParams::approximate(0.1, 8.0, 0.08));
+    let artifact = engine
+        .execute(
+            &d,
+            &ReleaseRequest::marginal(workload3())
+                .mechanism(MechanismKind::SmoothLaplace)
+                .budget(PrivacyParams::approximate(0.1, 8.0, 0.08))
+                .seed(9),
+        )
+        .unwrap();
+    assert_eq!(artifact.regime, NeighborKind::Weak);
+    assert_eq!(artifact.cost.multiplier, 8);
+    assert!((artifact.cost.per_cell_epsilon - 1.0).abs() < 1e-12);
+    assert!((artifact.cost.epsilon - 8.0).abs() < 1e-12);
 }
 
 #[test]
 fn filtered_release_is_weak_but_parallel() {
     let d = dataset();
-    let release = eree_core::release::release_marginal_filtered(
+    let mut engine = ReleaseEngine::new(PrivacyParams::pure(0.1, 2.0));
+    let artifact = engine
+        .execute(
+            &d,
+            &ReleaseRequest::marginal(workload1())
+                .mechanism(MechanismKind::SmoothGamma)
+                .budget(PrivacyParams::pure(0.1, 2.0))
+                .filter(ranking2_filter)
+                .seed(12),
+        )
+        .unwrap();
+    // Worker-predicate filter forces the weak regime...
+    assert_eq!(artifact.regime, NeighborKind::Weak);
+    assert!(artifact.request.filtered);
+    // ...but cells still partition establishments: multiplier 1.
+    assert_eq!(artifact.cost.multiplier, 1);
+    // Filtered totals are a strict subset of employment.
+    let filtered_truth = compute_marginal_filtered(&d, &workload1(), ranking2_filter);
+    assert!(filtered_truth.total() < compute_marginal(&d, &workload1()).total());
+    assert_eq!(
+        artifact.cells().unwrap().len(),
+        filtered_truth.num_cells(),
+        "engine tabulates the filtered population"
+    );
+}
+
+#[test]
+#[allow(deprecated)]
+fn deprecated_wrappers_still_work() {
+    // The legacy free functions survive as thin wrappers over the engine.
+    let d = dataset();
+    let release = release_marginal(
+        &d,
+        &workload1(),
+        &ReleaseConfig {
+            mechanism: MechanismKind::SmoothGamma,
+            budget: PrivacyParams::pure(0.1, 2.0),
+            seed: 5,
+        },
+    )
+    .unwrap();
+    assert_eq!(release.regime, NeighborKind::Strong);
+    assert_eq!(
+        release.published.len(),
+        compute_marginal(&d, &workload1()).num_cells()
+    );
+
+    let filtered = release_marginal_filtered(
         &d,
         &workload1(),
         &ReleaseConfig {
@@ -78,12 +130,8 @@ fn filtered_release_is_weak_but_parallel() {
         ranking2_filter,
     )
     .unwrap();
-    // Worker-predicate filter forces the weak regime...
-    assert_eq!(release.regime, NeighborKind::Weak);
-    // ...but cells still partition establishments: multiplier 1.
-    assert_eq!(release.cost.multiplier, 1);
-    // Filtered totals are a strict subset of employment.
-    assert!(release.truth.total() < compute_marginal(&d, &workload1()).total());
+    assert_eq!(filtered.regime, NeighborKind::Weak);
+    assert_eq!(filtered.cost.multiplier, 1);
 }
 
 #[test]
@@ -104,17 +152,17 @@ fn private_release_error_tracks_analytic_expectation() {
     let trials = 30;
     let mut total = 0.0;
     for seed in 0..trials {
-        let release = release_marginal(
-            &d,
-            &spec,
-            &ReleaseConfig {
-                mechanism: MechanismKind::SmoothLaplace,
-                budget: PrivacyParams::approximate(0.1, 2.0, 0.05),
-                seed,
-            },
-        )
-        .unwrap();
-        total += release.l1_error();
+        let mut engine = ReleaseEngine::new(PrivacyParams::approximate(0.1, 2.0, 0.05));
+        let artifact = engine
+            .execute_precomputed(
+                &truth,
+                &ReleaseRequest::marginal(spec.clone())
+                    .mechanism(MechanismKind::SmoothLaplace)
+                    .budget(PrivacyParams::approximate(0.1, 2.0, 0.05))
+                    .seed(seed),
+            )
+            .unwrap();
+        total += artifact.l1_error_against(&truth).unwrap();
     }
     let empirical = total / trials as f64;
     assert!(
@@ -128,18 +176,18 @@ fn sdl_and_private_releases_share_support() {
     let d = dataset();
     let spec = workload1();
     let sdl = SdlPublisher::new(&d, SdlConfig::default()).publish(&d, &spec);
-    let private = release_marginal(
-        &d,
-        &spec,
-        &ReleaseConfig {
-            mechanism: MechanismKind::SmoothGamma,
-            budget: PrivacyParams::pure(0.1, 2.0),
-            seed: 1,
-        },
-    )
-    .unwrap();
+    let mut engine = ReleaseEngine::new(PrivacyParams::pure(0.1, 2.0));
+    let artifact = engine
+        .execute(
+            &d,
+            &ReleaseRequest::marginal(spec.clone())
+                .mechanism(MechanismKind::SmoothGamma)
+                .budget(PrivacyParams::pure(0.1, 2.0))
+                .seed(1),
+        )
+        .unwrap();
     let sdl_keys: Vec<_> = sdl.published.keys().collect();
-    let private_keys: Vec<_> = private.published.keys().collect();
+    let private_keys: Vec<_> = artifact.cells().unwrap().keys().collect();
     assert_eq!(sdl_keys, private_keys, "same published support");
 }
 

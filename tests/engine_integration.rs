@@ -1,0 +1,159 @@
+//! Integration coverage for the `ReleaseEngine`: ledger-enforced batch
+//! semantics, artifact serialization, and determinism under parallelism.
+
+use eree::prelude::*;
+
+fn dataset() -> Dataset {
+    Generator::new(GeneratorConfig::test_small(5005)).generate()
+}
+
+#[test]
+fn rejection_ordering_consumes_no_budget() {
+    let d = dataset();
+    let mut engine = ReleaseEngine::new(PrivacyParams::pure(0.1, 4.0));
+
+    // A request that fails mechanism validation: nothing spent, nothing
+    // recorded.
+    let err = engine
+        .execute(
+            &d,
+            &ReleaseRequest::marginal(workload1())
+                .mechanism(MechanismKind::SmoothGamma)
+                .budget(PrivacyParams::pure(0.1, 0.3))
+                .seed(1),
+        )
+        .unwrap_err();
+    assert!(matches!(err, EngineError::InvalidParameters { .. }));
+    assert!((engine.ledger().remaining_epsilon() - 4.0).abs() < 1e-12);
+    assert!(engine.ledger().entries().is_empty());
+
+    // A request that overdraws: rejected before sampling, nothing spent.
+    let err = engine
+        .execute(
+            &d,
+            &ReleaseRequest::marginal(workload1())
+                .mechanism(MechanismKind::SmoothGamma)
+                .budget(PrivacyParams::pure(0.1, 5.0))
+                .seed(2),
+        )
+        .unwrap_err();
+    assert!(matches!(err, EngineError::Budget(_)));
+    assert!((engine.ledger().remaining_epsilon() - 4.0).abs() < 1e-12);
+
+    // An under-specified request is caught before everything else.
+    let err = engine
+        .execute(&d, &ReleaseRequest::marginal(workload1()).seed(3))
+        .unwrap_err();
+    assert!(matches!(err, EngineError::IncompleteRequest { .. }));
+
+    // The budget is still fully available for a valid request.
+    assert!(engine
+        .execute(
+            &d,
+            &ReleaseRequest::marginal(workload1())
+                .mechanism(MechanismKind::SmoothGamma)
+                .budget(PrivacyParams::pure(0.1, 4.0))
+                .seed(4),
+        )
+        .is_ok());
+    assert!(engine.ledger().remaining_epsilon() < 1e-9);
+}
+
+#[test]
+fn artifact_json_roundtrip_is_lossless() {
+    let d = dataset();
+    let mut engine = ReleaseEngine::new(PrivacyParams::approximate(0.1, 26.0, 0.05));
+    let batch = vec![
+        // Marginal with integerization and a filter.
+        ReleaseRequest::marginal(workload1())
+            .mechanism(MechanismKind::SmoothGamma)
+            .budget(PrivacyParams::pure(0.1, 2.0))
+            .filter(ranking2_filter)
+            .integerize(true)
+            .describe("filtered integerized W1")
+            .seed(11),
+        // Weak-regime full marginal.
+        ReleaseRequest::marginal(workload3())
+            .mechanism(MechanismKind::LogLaplace)
+            .budget(PrivacyParams::pure(0.1, 8.0))
+            .seed(12),
+        // Shapes release.
+        ReleaseRequest::shapes(workload3())
+            .mechanism(MechanismKind::SmoothLaplace)
+            .budget(PrivacyParams::approximate(0.1, 16.0, 0.05))
+            .seed(13),
+    ];
+    for outcome in engine.execute_all(&d, &batch) {
+        let artifact = outcome.unwrap();
+        let json = serde_json::to_string_pretty(&artifact).unwrap();
+        let back: ReleaseArtifact = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, artifact, "JSON round-trip must be lossless");
+        // Spot-check provenance survived.
+        assert_eq!(back.request.seed, artifact.request.seed);
+        assert_eq!(back.mechanism_name, artifact.mechanism_name);
+        assert_eq!(back.cost, artifact.cost);
+        // Compact form round-trips too.
+        let compact = serde_json::to_string(&artifact).unwrap();
+        let back: ReleaseArtifact = serde_json::from_str(&compact).unwrap();
+        assert_eq!(back, artifact);
+    }
+}
+
+#[test]
+fn execute_all_deterministic_for_any_thread_count() {
+    let d = dataset();
+    let requests = vec![
+        ReleaseRequest::marginal(workload1())
+            .mechanism(MechanismKind::SmoothGamma)
+            .budget(PrivacyParams::pure(0.1, 2.0))
+            .seed(21),
+        ReleaseRequest::marginal(workload3())
+            .mechanism(MechanismKind::LogLaplace)
+            .budget(PrivacyParams::pure(0.1, 8.0))
+            .seed(22),
+        ReleaseRequest::shapes(workload3())
+            .mechanism(MechanismKind::SmoothLaplace)
+            .budget(PrivacyParams::approximate(0.1, 16.0, 0.05))
+            .seed(23),
+    ];
+    let run = |threads: usize| {
+        let mut engine = ReleaseEngine::new(PrivacyParams::approximate(0.1, 26.0, 0.05))
+            .with_parallelism(threads);
+        engine
+            .execute_all(&d, &requests)
+            .into_iter()
+            .map(|o| o.unwrap())
+            .collect::<Vec<_>>()
+    };
+    let baseline = run(1);
+    for threads in [2, 4, 16] {
+        assert_eq!(run(threads), baseline, "threads={threads}");
+    }
+    // Serialized forms are bit-identical as well.
+    let a = serde_json::to_string(&baseline).unwrap();
+    let b = serde_json::to_string(&run(8)).unwrap();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn production_artifacts_carry_no_truth_digest() {
+    // Nothing in the default workspace build enables eree_core's
+    // `eval-only` feature, so artifacts from the facade must NOT embed
+    // truth digests (they fingerprint the unnoised data). The digest
+    // path is covered by `cargo test -p eree_core --features eval-only`.
+    let d = dataset();
+    let mut engine = ReleaseEngine::new(PrivacyParams::pure(0.1, 2.0));
+    let artifact = engine
+        .execute(
+            &d,
+            &ReleaseRequest::marginal(workload1())
+                .mechanism(MechanismKind::SmoothGamma)
+                .budget(PrivacyParams::pure(0.1, 2.0))
+                .seed(31),
+        )
+        .unwrap();
+    assert_eq!(artifact.truth_digest, None);
+    // And the serialized artifact doesn't smuggle it either.
+    let json = serde_json::to_string(&artifact).unwrap();
+    assert!(json.contains("\"truth_digest\":null"));
+}

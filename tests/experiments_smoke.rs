@@ -21,7 +21,9 @@ fn all_figures_regenerate() {
 
     let f1 = figure1::run(&ctx, &trials);
     assert!(f1.len() > 50, "figure 1 rows: {}", f1.len());
-    assert!(f1.iter().all(|r| r.l1_ratio.is_finite() && r.l1_ratio > 0.0));
+    assert!(f1
+        .iter()
+        .all(|r| r.l1_ratio.is_finite() && r.l1_ratio > 0.0));
 
     let f2 = figure2::run(&ctx, &trials);
     assert!(f2.len() > 50);

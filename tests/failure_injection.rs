@@ -49,9 +49,7 @@ fn mechanisms_reject_invalid_privacy_parameters() {
     let r = std::panic::catch_unwind(|| LogLaplaceMechanism::new(0.1, 0.0));
     assert!(r.is_err());
     // Bias correction demands a finite expectation (lambda < 1).
-    let r = std::panic::catch_unwind(|| {
-        LogLaplaceMechanism::new(0.2, 0.25).with_bias_correction()
-    });
+    let r = std::panic::catch_unwind(|| LogLaplaceMechanism::new(0.2, 0.25).with_bias_correction());
     assert!(r.is_err(), "lambda >= 1 must refuse bias correction");
 }
 
@@ -60,7 +58,30 @@ fn mechanisms_reject_invalid_privacy_parameters() {
 #[test]
 fn release_surfaces_structured_errors() {
     let d = Generator::new(GeneratorConfig::test_small(4040)).generate();
-    // Per-cell budget after the weak split is too small for Smooth Gamma.
+    // Per-cell budget after the weak split is too small for Smooth Gamma;
+    // the engine rejects before charging anything.
+    let mut engine = ReleaseEngine::new(PrivacyParams::pure(0.2, 2.0));
+    let err = engine
+        .execute(
+            &d,
+            &ReleaseRequest::marginal(workload3())
+                .mechanism(MechanismKind::SmoothGamma)
+                .budget(PrivacyParams::pure(0.2, 2.0))
+                .seed(1),
+        )
+        .unwrap_err();
+    match err {
+        EngineError::InvalidParameters {
+            per_cell_epsilon, ..
+        } => {
+            assert!((per_cell_epsilon - 0.25).abs() < 1e-12, "2.0 / 8 cells");
+        }
+        other => panic!("expected InvalidParameters, got {other:?}"),
+    }
+    assert!((engine.ledger().remaining_epsilon() - 2.0).abs() < 1e-12);
+
+    // The deprecated wrapper surfaces the same failure as its legacy type.
+    #[allow(deprecated)]
     let err = release_marginal(
         &d,
         &workload3(),
@@ -111,19 +132,31 @@ fn overlapping_areas_are_rejected_with_witness() {
 
 #[test]
 fn shape_release_rejects_without_partition() {
-    use eree_core::{release_shapes, ShapeError};
+    use eree_core::ShapeError;
     let d = Generator::new(GeneratorConfig::test_small(4042)).generate();
     let truth = compute_marginal(&d, &workload1());
-    assert_eq!(
-        release_shapes(
+    // Engine path: the unified error wraps the shape failure.
+    let mut engine = ReleaseEngine::new(PrivacyParams::approximate(0.1, 8.0, 0.05));
+    let err = engine
+        .execute_precomputed(
             &truth,
-            MechanismKind::SmoothLaplace,
-            &PrivacyParams::approximate(0.1, 8.0, 0.05),
-            1
+            &ReleaseRequest::shapes(workload1())
+                .mechanism(MechanismKind::SmoothLaplace)
+                .budget(PrivacyParams::approximate(0.1, 8.0, 0.05))
+                .seed(1),
         )
-        .unwrap_err(),
-        ShapeError::NoWorkerAttributes
-    );
+        .unwrap_err();
+    assert_eq!(err, EngineError::Shape(ShapeError::NoWorkerAttributes));
+    // Deprecated wrapper path: the legacy error type survives.
+    #[allow(deprecated)]
+    let err = release_shapes(
+        &truth,
+        MechanismKind::SmoothLaplace,
+        &PrivacyParams::approximate(0.1, 8.0, 0.05),
+        1,
+    )
+    .unwrap_err();
+    assert_eq!(err, ShapeError::NoWorkerAttributes);
 }
 
 // ---- SDL layer -----------------------------------------------------------
@@ -132,9 +165,7 @@ fn shape_release_rejects_without_partition() {
 fn sdl_parameter_validation() {
     use sdl::{DistortionParams, FuzzDistribution, SmallCellModel};
     for (s, t) in [(0.0, 0.1), (0.1, 0.1), (0.2, 0.1), (0.5, 1.5)] {
-        let r = std::panic::catch_unwind(|| {
-            DistortionParams::new(s, t, FuzzDistribution::Ramp)
-        });
+        let r = std::panic::catch_unwind(|| DistortionParams::new(s, t, FuzzDistribution::Ramp));
         assert!(r.is_err(), "(s={s}, t={t}) must be rejected");
     }
     let r = std::panic::catch_unwind(|| SmallCellModel::new(2.5, 0.0));

@@ -69,7 +69,9 @@ fn flow_noise_scales_with_flow_concentration_not_level() {
     let mech = SmoothLaplaceMechanism::new(0.1, 2.0, 0.05).unwrap();
     let mut checked = 0;
     for (key, stats) in flows.iter() {
-        let Some(level) = levels.cell(key) else { continue };
+        let Some(level) = levels.cell(key) else {
+            continue;
+        };
         if stats.job_creation == 0 || level.count < 100 {
             continue;
         }

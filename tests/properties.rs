@@ -9,12 +9,7 @@ use proptest::prelude::*;
 
 /// Pointwise density-ratio check on a coarse grid (cheap enough for many
 /// proptest cases).
-fn ratio_bounded(
-    mech: &dyn CountMechanism,
-    q1: &CellQuery,
-    q2: &CellQuery,
-    epsilon: f64,
-) -> bool {
+fn ratio_bounded(mech: &dyn CountMechanism, q1: &CellQuery, q2: &CellQuery, epsilon: f64) -> bool {
     let hi = 4.0 * (q1.count.max(q2.count) as f64 + 10.0);
     let lo = -hi;
     let e_eps = epsilon.exp() * (1.0 + 1e-9);

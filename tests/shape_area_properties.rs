@@ -2,10 +2,32 @@
 //! extensions.
 
 use eree::prelude::*;
-use eree_core::release_shapes;
 use lodes::PlaceId;
 use proptest::prelude::*;
 use tabulate::{area_comparison, AreaSelection};
+
+/// Release shapes through a single-use engine.
+fn engine_shapes(
+    truth: &Marginal,
+    mechanism: MechanismKind,
+    budget: PrivacyParams,
+    seed: u64,
+) -> Vec<eree_core::ShapeRelease> {
+    let mut engine = ReleaseEngine::new(budget);
+    let artifact = engine
+        .execute_precomputed(
+            truth,
+            &ReleaseRequest::shapes(truth.spec().clone())
+                .mechanism(mechanism)
+                .budget(budget)
+                .seed(seed),
+        )
+        .expect("budget above frontier");
+    match artifact.payload {
+        ArtifactPayload::Shapes(shapes) => shapes,
+        _ => unreachable!("shapes request yields shapes"),
+    }
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(10))]
@@ -30,8 +52,7 @@ proptest! {
         // eps and delta split 8 ways, so the per-class constraint is
         // eps/8 >= 2 ln(8/0.05) ln(1.1) ~= 0.968 => eps >= ~7.8.
         let budget = PrivacyParams::approximate(0.1, 8.0 * eps_scale, 0.05);
-        let shapes = release_shapes(&truth, MechanismKind::SmoothLaplace, &budget, seed)
-            .expect("budget above frontier");
+        let shapes = engine_shapes(&truth, MechanismKind::SmoothLaplace, budget, seed);
         for s in &shapes {
             let sum: f64 = s.fractions.iter().sum();
             if s.total > 0.0 {

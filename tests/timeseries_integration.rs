@@ -28,7 +28,11 @@ fn sdl_panel_leaks_exact_growth_rates() {
     let publisher = PanelPublisher::new(&p, cfg);
     let releases = publisher.publish_all(&p, &workload1());
     let results = growth_rate_attack(&p, &releases, cfg.small_cell.limit);
-    assert!(results.len() > 10, "found {} attackable cells", results.len());
+    assert!(
+        results.len() > 10,
+        "found {} attackable cells",
+        results.len()
+    );
     for r in &results {
         assert!(
             (r.recovered_growth - r.true_growth).abs() < 1e-9,
@@ -41,50 +45,52 @@ fn sdl_panel_leaks_exact_growth_rates() {
 fn private_panel_resists_growth_attack_within_budget() {
     let p = panel();
     let annual = PrivacyParams::approximate(0.1, 6.0, 0.05);
-    let mut ledger = Ledger::new(annual);
+    let mut engine = ReleaseEngine::new(annual);
     let per_quarter = PrivacyParams::approximate(0.1, 2.0, 0.015);
 
-    // Release each quarter with the real Smooth Laplace mechanism, charging
-    // the ledger (sequential composition across quarters).
+    // Release each quarter with the real Smooth Laplace mechanism through
+    // the engine (sequential composition across quarters on one ledger).
     let releases: Vec<SdlRelease> = p
         .snapshots()
         .iter()
         .enumerate()
         .map(|(q, snapshot)| {
-            let cost = ReleaseCost::for_marginal(
-                &workload1(),
-                &per_quarter,
-                eree_core::neighbors::NeighborKind::Strong,
-            );
-            ledger
-                .charge(format!("Q{q}"), &per_quarter, &cost)
+            let artifact = engine
+                .execute(
+                    snapshot,
+                    &ReleaseRequest::marginal(workload1())
+                        .mechanism(MechanismKind::SmoothLaplace)
+                        .budget(per_quarter)
+                        .describe(format!("Q{q}"))
+                        .seed(500 + q as u64),
+                )
                 .expect("annual budget covers three quarters");
-            let rel = release_marginal(
-                snapshot,
-                &workload1(),
-                &ReleaseConfig {
-                    mechanism: MechanismKind::SmoothLaplace,
-                    budget: per_quarter,
-                    seed: 500 + q as u64,
-                },
-            )
-            .unwrap();
+            let published = match artifact.payload {
+                ArtifactPayload::Cells(cells) => cells,
+                _ => unreachable!("marginal request yields cells"),
+            };
             SdlRelease {
-                published: rel.published,
-                truth: rel.truth,
+                published,
+                truth: compute_marginal(snapshot, &workload1()),
             }
         })
         .collect();
 
     // The budget is fully accounted: 3 x 2.0 = 6.0.
-    assert!(ledger.remaining_epsilon() < 1e-9);
-    // A fourth quarter must be refused.
-    let cost = ReleaseCost::for_marginal(
-        &workload1(),
-        &per_quarter,
-        eree_core::neighbors::NeighborKind::Strong,
-    );
-    assert!(ledger.charge("Q3", &per_quarter, &cost).is_err());
+    assert!(engine.ledger().remaining_epsilon() < 1e-9);
+    // A fourth quarter must be refused without spending.
+    let refused = engine
+        .execute(
+            p.snapshots().last().unwrap(),
+            &ReleaseRequest::marginal(workload1())
+                .mechanism(MechanismKind::SmoothLaplace)
+                .budget(per_quarter)
+                .describe("Q3")
+                .seed(999),
+        )
+        .unwrap_err();
+    assert!(matches!(refused, EngineError::Budget(_)));
+    assert_eq!(engine.ledger().entries().len(), 3);
 
     // The ratio attack's recovered growth rates are materially wrong.
     let results = growth_rate_attack(&p, &releases, 2.5);

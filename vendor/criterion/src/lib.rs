@@ -1,0 +1,143 @@
+//! Offline stand-in for `criterion`: a minimal wall-clock benchmark
+//! harness with the `criterion_group!`/`criterion_main!` macro surface and
+//! the `Criterion`/`BenchmarkGroup`/`Bencher` types this workspace's
+//! benches use.
+//!
+//! No statistical analysis — each benchmark runs a fixed number of timed
+//! samples and reports min/mean per-iteration wall time to stdout.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier (re-export of `std::hint::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Benchmark registry/driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            sample_size: 10,
+        }
+    }
+
+    /// Run a stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(name, 10, f);
+        self
+    }
+}
+
+/// A named group sharing a sample-size setting.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F>(&mut self, name: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&name.to_string(), self.sample_size, f);
+        self
+    }
+
+    /// End the group (printing is incremental; nothing to flush).
+    pub fn finish(self) {}
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(name: &str, samples: usize, mut f: F) {
+    let mut bencher = Bencher {
+        samples: Vec::with_capacity(samples),
+        iters_per_sample: 1,
+    };
+    // Warm-up: one untimed closure call that also sizes iteration counts.
+    f(&mut bencher);
+    bencher.samples.clear();
+    for _ in 0..samples {
+        f(&mut bencher);
+    }
+    let per_iter: Vec<f64> = bencher
+        .samples
+        .iter()
+        .map(|d| d.as_secs_f64() / bencher.iters_per_sample as f64)
+        .collect();
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len().max(1) as f64;
+    let min = per_iter.iter().copied().fold(f64::INFINITY, f64::min);
+    println!(
+        "  {name}: mean {} / min {}",
+        format_time(mean),
+        format_time(min)
+    );
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} us", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+/// Passed to the benchmark closure; times the hot loop.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: usize,
+}
+
+impl Bencher {
+    /// Time repeated calls of `routine`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters_per_sample {
+            std_black_box(routine());
+        }
+        self.samples.push(start.elapsed());
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,99 @@
+//! Offline stand-in for `proptest`: a deterministic mini property-testing
+//! harness exposing the macro surface this workspace uses —
+//! `proptest! { #![proptest_config(..)] #[test] fn case(x in strategy) {..} }`,
+//! `prop_assert!`, `prop_assert_eq!`, `any::<T>()`, and
+//! `prop::collection::vec`.
+//!
+//! Unlike real proptest there is no shrinking: a failing case panics with
+//! the sampled arguments so it can be reproduced (sampling is
+//! deterministic per test name).
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob-import surface: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Entry macro: expands each `fn name(arg in strategy, ...) { body }` into
+/// a `#[test]` running `config.cases` sampled cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Internal item-by-item expansion of [`proptest!`].
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_items {
+    (cfg = $cfg:expr;) => {};
+    (
+        cfg = $cfg:expr;
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+            for __case in 0..__config.cases {
+                $(let $arg = $crate::strategy::Strategy::sample(&$strat, &mut __rng);)*
+                let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(e) = __outcome {
+                    panic!(
+                        "proptest case {}/{} failed with args {:?}:\n{}",
+                        __case + 1,
+                        __config.cases,
+                        ($(&$arg,)*),
+                        e
+                    );
+                }
+            }
+        }
+        $crate::__proptest_items! { cfg = $cfg; $($rest)* }
+    };
+}
+
+/// Property assertion; returns a test-case error instead of panicking so
+/// the harness can report the sampled arguments.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Equality property assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, $($fmt)*);
+    }};
+}

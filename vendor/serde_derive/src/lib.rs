@@ -1,0 +1,366 @@
+//! Offline vendored `#[derive(Serialize)]` / `#[derive(Deserialize)]`.
+//!
+//! A hand-rolled token parser (no `syn`/`quote` — the build environment
+//! has no registry access) covering exactly the shapes this workspace
+//! derives on:
+//!
+//! * structs with named fields;
+//! * tuple structs (1-field newtypes serialize transparently);
+//! * enums with unit and tuple variants.
+//!
+//! Generics, struct variants, and `#[serde(...)]` attributes are not
+//! supported and fail loudly at expansion time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Variant {
+    name: String,
+    arity: usize,
+}
+
+enum ItemKind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    kind: ItemKind,
+}
+
+/// Count top-level comma-separated segments inside a group, tracking angle
+/// brackets so `BTreeMap<K, V>` counts as one segment.
+fn count_segments(group: TokenStream) -> usize {
+    let mut depth: i32 = 0;
+    let mut segments = 0;
+    let mut in_segment = false;
+    for tt in group {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                depth += 1;
+                in_segment = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                in_segment = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                if in_segment {
+                    segments += 1;
+                }
+                in_segment = false;
+            }
+            _ => in_segment = true,
+        }
+    }
+    if in_segment {
+        segments += 1;
+    }
+    segments
+}
+
+/// Parse named fields: skip attributes and visibility, collect `name: Type`.
+fn parse_named_fields(group: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut iter = group.into_iter().peekable();
+    loop {
+        // Skip field attributes.
+        loop {
+            match iter.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                    iter.next(); // the bracket group
+                }
+                _ => break,
+            }
+        }
+        // Visibility.
+        if matches!(iter.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            iter.next();
+            if matches!(iter.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                iter.next();
+            }
+        }
+        // Field name.
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => panic!("serde derive: expected field name, found `{other}`"),
+            None => break,
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde derive: expected `:` after field `{name}`, found {other:?}"),
+        }
+        fields.push(name);
+        // Skip the type up to a top-level comma.
+        let mut depth: i32 = 0;
+        for tt in iter.by_ref() {
+            match &tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    fields
+}
+
+fn parse_variants(group: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut iter = group.into_iter().peekable();
+    loop {
+        // Skip variant attributes.
+        loop {
+            match iter.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                    iter.next();
+                }
+                _ => break,
+            }
+        }
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => panic!("serde derive: expected variant name, found `{other}`"),
+            None => break,
+        };
+        let arity = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let g = g.stream();
+                iter.next();
+                count_segments(g)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                panic!("serde derive: struct variant `{name}` not supported by the vendored serde")
+            }
+            _ => 0,
+        };
+        // Skip an explicit discriminant (`= expr`) up to the separating comma.
+        let mut ended = false;
+        loop {
+            match iter.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' => break,
+                Some(_) => {}
+                None => {
+                    ended = true;
+                    break;
+                }
+            }
+        }
+        variants.push(Variant { name, arity });
+        if ended {
+            break;
+        }
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut iter = input.into_iter().peekable();
+    let mut is_struct = None;
+    // Skip outer attributes and visibility; find `struct` or `enum`.
+    while let Some(tt) = iter.next() {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                iter.next();
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                if matches!(iter.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    iter.next();
+                }
+            }
+            TokenTree::Ident(id) if id.to_string() == "struct" => {
+                is_struct = Some(true);
+                break;
+            }
+            TokenTree::Ident(id) if id.to_string() == "enum" => {
+                is_struct = Some(false);
+                break;
+            }
+            other => panic!("serde derive: unexpected token `{other}` before item keyword"),
+        }
+    }
+    let is_struct = is_struct.expect("serde derive: no struct/enum keyword found");
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected item name, found {other:?}"),
+    };
+    if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde derive: generic type `{name}` not supported by the vendored serde");
+    }
+    let kind = if is_struct {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                ItemKind::TupleStruct(count_segments(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => ItemKind::UnitStruct,
+            other => panic!("serde derive: unexpected struct body {other:?}"),
+        }
+    } else {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde derive: unexpected enum body {other:?}"),
+        }
+    };
+    Item { name, kind }
+}
+
+/// `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+        }
+        ItemKind::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        ItemKind::TupleStruct(n) => {
+            let entries: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(::std::vec![{}])", entries.join(", "))
+        }
+        ItemKind::UnitStruct => "::serde::Value::Null".to_string(),
+        ItemKind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match v.arity {
+                        0 => format!(
+                            "{name}::{vname} => ::serde::Value::Str(::std::string::String::from(\"{vname}\")),"
+                        ),
+                        1 => format!(
+                            "{name}::{vname}(x0) => ::serde::Value::Map(::std::vec![(::std::string::String::from(\"{vname}\"), ::serde::Serialize::to_value(x0))]),"
+                        ),
+                        n => {
+                            let binds: Vec<String> = (0..n).map(|i| format!("x{i}")).collect();
+                            let vals: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({}) => ::serde::Value::Map(::std::vec![(::std::string::String::from(\"{vname}\"), ::serde::Value::Seq(::std::vec![{}]))]),",
+                                binds.join(", "),
+                                vals.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n    fn to_value(&self) -> ::serde::Value {{ {body} }}\n}}"
+    )
+    .parse()
+    .expect("serde derive: generated Serialize impl must parse")
+}
+
+/// `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(::serde::get_field(v, \"{f}\")?)?"
+                    )
+                })
+                .collect();
+            format!("::std::result::Result::Ok(Self {{ {} }})", inits.join(", "))
+        }
+        ItemKind::TupleStruct(1) => {
+            "::std::result::Result::Ok(Self(::serde::Deserialize::from_value(v)?))".to_string()
+        }
+        ItemKind::TupleStruct(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "match v {{ ::serde::Value::Seq(items) if items.len() == {n} => ::std::result::Result::Ok(Self({})), other => ::std::result::Result::Err(::serde::DeError::new(::std::format!(\"expected {n}-element array for {name}, got {{other:?}}\"))) }}",
+                inits.join(", ")
+            )
+        }
+        ItemKind::UnitStruct => "::std::result::Result::Ok(Self)".to_string(),
+        ItemKind::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| v.arity == 0)
+                .map(|v| {
+                    format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),",
+                        vname = v.name
+                    )
+                })
+                .collect();
+            let tuple_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| v.arity > 0)
+                .map(|v| {
+                    let vname = &v.name;
+                    if v.arity == 1 {
+                        format!(
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(::serde::Deserialize::from_value(payload)?)),"
+                        )
+                    } else {
+                        let n = v.arity;
+                        let inits: Vec<String> = (0..n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                            .collect();
+                        format!(
+                            "\"{vname}\" => match payload {{ ::serde::Value::Seq(items) if items.len() == {n} => ::std::result::Result::Ok({name}::{vname}({inits})), other => ::std::result::Result::Err(::serde::DeError::new(::std::format!(\"expected {n}-element payload for {name}::{vname}, got {{other:?}}\"))) }},",
+                            inits = inits.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            let mut arms = Vec::new();
+            if !unit_arms.is_empty() {
+                arms.push(format!(
+                    "::serde::Value::Str(s) => match s.as_str() {{ {} other => ::std::result::Result::Err(::serde::DeError::new(::std::format!(\"unknown variant `{{other}}` for {name}\"))) }},",
+                    unit_arms.join(" ")
+                ));
+            }
+            if !tuple_arms.is_empty() {
+                arms.push(format!(
+                    "::serde::Value::Map(entries) if entries.len() == 1 => {{ let (tag, payload) = &entries[0]; match tag.as_str() {{ {} other => ::std::result::Result::Err(::serde::DeError::new(::std::format!(\"unknown variant `{{other}}` for {name}\"))) }} }},",
+                    tuple_arms.join(" ")
+                ));
+            }
+            arms.push(format!(
+                "other => ::std::result::Result::Err(::serde::DeError::new(::std::format!(\"unexpected value for enum {name}: {{other:?}}\")))"
+            ));
+            format!("match v {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n    fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }}\n}}"
+    )
+    .parse()
+    .expect("serde derive: generated Deserialize impl must parse")
+}
