@@ -20,7 +20,7 @@
 
 use crate::definitions::PrivacyParams;
 use crate::neighbors::NeighborKind;
-use serde::{Deserialize, Serialize};
+use serde::{get_field, DeError, Deserialize, Serialize, Value};
 use tabulate::MarginalSpec;
 
 /// The privacy-loss cost of releasing one marginal.
@@ -108,6 +108,15 @@ pub enum LedgerError {
         /// The charge's α.
         charge: f64,
     },
+    /// A charge whose ε or δ is negative (a budget *refund*) or non-finite
+    /// (a NaN admitted into the spent totals would make every comparison
+    /// against the budget false and disable enforcement forever).
+    InvalidCharge {
+        /// The offending ε.
+        epsilon: f64,
+        /// The offending δ.
+        delta: f64,
+    },
 }
 
 impl std::fmt::Display for LedgerError {
@@ -130,6 +139,13 @@ impl std::fmt::Display for LedgerError {
             LedgerError::AlphaMismatch { ledger, charge } => {
                 write!(f, "alpha mismatch: ledger {ledger}, charge {charge}")
             }
+            LedgerError::InvalidCharge { epsilon, delta } => {
+                write!(
+                    f,
+                    "invalid charge refused (epsilon {epsilon}, delta {delta}): \
+                     privacy loss must be finite and non-negative"
+                )
+            }
         }
     }
 }
@@ -147,7 +163,50 @@ pub struct LedgerEntry {
     pub delta: f64,
 }
 
+/// A running sum with Neumaier (improved Kahan) compensation.
+///
+/// A publication season is a long sequence of small charges; naive `+=`
+/// accumulates rounding drift that either leaks budget (spend
+/// under-counted) or strands it (over-counted). The compensated sum keeps
+/// the error of the whole sequence at one ulp of the total, independent of
+/// its length.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+struct CompensatedSum {
+    sum: f64,
+    compensation: f64,
+}
+
+impl CompensatedSum {
+    fn add(&mut self, x: f64) {
+        let t = self.sum + x;
+        if self.sum.abs() >= x.abs() {
+            self.compensation += (self.sum - t) + x;
+        } else {
+            self.compensation += (x - t) + self.sum;
+        }
+        self.sum = t;
+    }
+
+    fn value(&self) -> f64 {
+        self.sum + self.compensation
+    }
+}
+
+/// Relative budget tolerance: the total spend may exceed the budget by at
+/// most `LEDGER_REL_TOL × budget` — *cumulatively*, over the whole life of
+/// the ledger, not per charge. (An absolute per-charge tolerance would
+/// admit ε ≤ tol charges forever once the budget is exhausted: an
+/// unbounded leak via repeated tiny releases.)
+pub const LEDGER_REL_TOL: f64 = 1e-9;
+
 /// A cumulative privacy-loss ledger with a hard total budget.
+///
+/// The ledger serializes to JSON (budget + entries + spent totals) and
+/// deserializes by *replaying* the entries through the same compensated
+/// budget arithmetic, refusing snapshots whose entries overdraw the budget
+/// or whose recorded totals disagree with the replay — a tampered or
+/// corrupted snapshot cannot be used to resume a season with more budget
+/// than was actually left.
 ///
 /// ```
 /// use eree_core::{Ledger, PrivacyParams, ReleaseCost};
@@ -168,8 +227,8 @@ pub struct LedgerEntry {
 pub struct Ledger {
     budget: PrivacyParams,
     entries: Vec<LedgerEntry>,
-    spent_epsilon: f64,
-    spent_delta: f64,
+    spent_epsilon: CompensatedSum,
+    spent_delta: CompensatedSum,
 }
 
 impl Ledger {
@@ -178,8 +237,8 @@ impl Ledger {
         Self {
             budget,
             entries: Vec::new(),
-            spent_epsilon: 0.0,
-            spent_delta: 0.0,
+            spent_epsilon: CompensatedSum::default(),
+            spent_delta: CompensatedSum::default(),
         }
     }
 
@@ -188,18 +247,34 @@ impl Ledger {
         &self.budget
     }
 
+    /// Total ε spent so far (compensated sum over all entries).
+    pub fn spent_epsilon(&self) -> f64 {
+        self.spent_epsilon.value()
+    }
+
+    /// Total δ spent so far (compensated sum over all entries).
+    pub fn spent_delta(&self) -> f64 {
+        self.spent_delta.value()
+    }
+
     /// Remaining ε.
     pub fn remaining_epsilon(&self) -> f64 {
-        (self.budget.epsilon - self.spent_epsilon).max(0.0)
+        (self.budget.epsilon - self.spent_epsilon.value()).max(0.0)
     }
 
     /// Remaining δ.
     pub fn remaining_delta(&self) -> f64 {
-        (self.budget.delta - self.spent_delta).max(0.0)
+        (self.budget.delta - self.spent_delta.value()).max(0.0)
     }
 
     /// Record a charge with α-consistency and budget checks (sequential
     /// composition: charges add).
+    ///
+    /// Admission is checked on the *projected total*: the charge is
+    /// admitted iff `spent + cost ≤ budget × (1 + LEDGER_REL_TOL)` for
+    /// both ε and δ. The tolerance is relative and one-shot — however many
+    /// charges are made, the lifetime spend can never exceed the budget by
+    /// more than one relative tolerance.
     pub fn charge(
         &mut self,
         description: impl Into<String>,
@@ -212,21 +287,7 @@ impl Ledger {
                 charge: params.alpha,
             });
         }
-        let tol = 1e-9;
-        if cost.epsilon > self.remaining_epsilon() + tol {
-            return Err(LedgerError::EpsilonExhausted {
-                requested: cost.epsilon,
-                remaining: self.remaining_epsilon(),
-            });
-        }
-        if cost.delta > self.remaining_delta() + tol {
-            return Err(LedgerError::DeltaExhausted {
-                requested: cost.delta,
-                remaining: self.remaining_delta(),
-            });
-        }
-        self.spent_epsilon += cost.epsilon;
-        self.spent_delta += cost.delta;
+        self.admit(cost.epsilon, cost.delta)?;
         self.entries.push(LedgerEntry {
             description: description.into(),
             epsilon: cost.epsilon,
@@ -235,9 +296,104 @@ impl Ledger {
         Ok(())
     }
 
+    /// The shared budget arithmetic of [`charge`](Self::charge) and
+    /// [`replay`](Self::replay): mutates the spent totals only when the
+    /// projected totals stay within one relative tolerance of the budget.
+    fn admit(&mut self, epsilon: f64, delta: f64) -> Result<(), LedgerError> {
+        // A NaN charge admitted into the spent totals would make every
+        // later budget comparison false and disable enforcement forever;
+        // refuse non-finite (and negative) charges outright.
+        let invalid = |x: f64| !x.is_finite() || x < 0.0;
+        if invalid(epsilon) || invalid(delta) {
+            return Err(LedgerError::InvalidCharge { epsilon, delta });
+        }
+        // With finite non-negative charges the projected totals are
+        // finite, so the only possible NaN below is a NaN *budget* — and a
+        // NaN cap must refuse, not admit: the ledger fails closed.
+        let mut projected_epsilon = self.spent_epsilon;
+        projected_epsilon.add(epsilon);
+        let cap = self.budget.epsilon * (1.0 + LEDGER_REL_TOL);
+        if cap.is_nan() || projected_epsilon.value() > cap {
+            return Err(LedgerError::EpsilonExhausted {
+                requested: epsilon,
+                remaining: self.remaining_epsilon(),
+            });
+        }
+        let mut projected_delta = self.spent_delta;
+        projected_delta.add(delta);
+        let cap = self.budget.delta * (1.0 + LEDGER_REL_TOL);
+        if cap.is_nan() || projected_delta.value() > cap {
+            return Err(LedgerError::DeltaExhausted {
+                requested: delta,
+                remaining: self.remaining_delta(),
+            });
+        }
+        self.spent_epsilon = projected_epsilon;
+        self.spent_delta = projected_delta;
+        Ok(())
+    }
+
+    /// Rebuild a ledger by replaying recorded entries against `budget`,
+    /// with exactly the arithmetic [`charge`](Self::charge) uses — the
+    /// resume path of a persisted publication season. Fails if any entry
+    /// would overdraw the budget (a budget-inconsistent snapshot).
+    pub fn replay(budget: PrivacyParams, entries: &[LedgerEntry]) -> Result<Self, LedgerError> {
+        let mut ledger = Ledger::new(budget);
+        for entry in entries {
+            ledger.admit(entry.epsilon, entry.delta)?;
+            ledger.entries.push(entry.clone());
+        }
+        Ok(ledger)
+    }
+
     /// All recorded charges.
     pub fn entries(&self) -> &[LedgerEntry] {
         &self.entries
+    }
+}
+
+impl Serialize for Ledger {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("budget".to_string(), self.budget.to_value()),
+            ("entries".to_string(), self.entries.to_value()),
+            (
+                "spent_epsilon".to_string(),
+                self.spent_epsilon.value().to_value(),
+            ),
+            (
+                "spent_delta".to_string(),
+                self.spent_delta.value().to_value(),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for Ledger {
+    /// Deserialize by replay: the spent totals are *recomputed* from the
+    /// entries (never trusted from the snapshot) and then cross-checked
+    /// against the recorded totals. Either an overdraft or a totals
+    /// mismatch makes the whole snapshot unusable.
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let budget = PrivacyParams::from_value(get_field(v, "budget")?)?;
+        let entries = Vec::<LedgerEntry>::from_value(get_field(v, "entries")?)?;
+        let ledger = Ledger::replay(budget, &entries)
+            .map_err(|e| DeError::new(format!("budget-inconsistent ledger snapshot: {e}")))?;
+        let recorded_epsilon = f64::from_value(get_field(v, "spent_epsilon")?)?;
+        let recorded_delta = f64::from_value(get_field(v, "spent_delta")?)?;
+        // The replay is deterministic, and the vendored JSON writer prints
+        // f64 with shortest-round-trip precision, so an untouched snapshot
+        // reproduces its totals bit-for-bit; any slack here would be a
+        // tampering allowance, not a robustness feature.
+        if recorded_epsilon != ledger.spent_epsilon() || recorded_delta != ledger.spent_delta() {
+            return Err(DeError::new(format!(
+                "ledger snapshot totals (eps {recorded_epsilon}, delta {recorded_delta}) \
+                 disagree with entry replay (eps {}, delta {})",
+                ledger.spent_epsilon(),
+                ledger.spent_delta()
+            )));
+        }
+        Ok(ledger)
     }
 }
 
@@ -301,6 +457,170 @@ mod tests {
             ledger.charge("bad alpha", &params, &cost),
             Err(LedgerError::AlphaMismatch { .. })
         ));
+    }
+
+    /// Regression: the old ledger admitted any charge up to
+    /// `remaining + 1e-9` with an *absolute* tolerance, so once the budget
+    /// was exhausted, ε ≤ 1e-9 charges succeeded forever — an unbounded
+    /// leak via repeated tiny releases. The relative one-shot tolerance
+    /// caps the lifetime overdraft at `LEDGER_REL_TOL × budget` total.
+    #[test]
+    fn exhausted_ledger_rejects_repeated_tiny_charges() {
+        let budget = PrivacyParams::pure(0.1, 4.0);
+        let mut ledger = Ledger::new(budget);
+        let params = PrivacyParams::pure(0.1, 4.0);
+        let full = ReleaseCost::for_marginal(&workload1(), &params, NeighborKind::Strong);
+        ledger.charge("exhaust", &params, &full).unwrap();
+
+        let tiny = ReleaseCost {
+            epsilon: 1e-9,
+            delta: 0.0,
+            per_cell_epsilon: 1e-9,
+            multiplier: 1,
+        };
+        let tiny_params = PrivacyParams::pure(0.1, 1e-9);
+        let mut admitted = 0usize;
+        let mut refused = false;
+        for i in 0..10_000 {
+            match ledger.charge(format!("tiny {i}"), &tiny_params, &tiny) {
+                Ok(()) => admitted += 1,
+                Err(LedgerError::EpsilonExhausted { .. }) => {
+                    refused = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert!(
+            refused,
+            "tiny charges were admitted {admitted} times without refusal"
+        );
+        // Lifetime spend never exceeds the budget by more than one
+        // relative tolerance.
+        assert!(ledger.spent_epsilon() <= budget.epsilon * (1.0 + LEDGER_REL_TOL));
+    }
+
+    #[test]
+    fn long_seasons_do_not_drift() {
+        // 1e6 charges of ε = budget / 1e6: naive `+=` drifts by far more
+        // than an ulp; the compensated sum lands within one ulp of the
+        // budget, so the *entire* budget is usable — no stranded remainder
+        // and no leak.
+        let budget = 4.0;
+        let n = 1_000_000u64;
+        let step = budget / n as f64;
+        let mut ledger = Ledger::new(PrivacyParams::pure(0.1, budget));
+        let params = PrivacyParams::pure(0.1, step);
+        let cost = ReleaseCost {
+            epsilon: step,
+            delta: 0.0,
+            per_cell_epsilon: step,
+            multiplier: 1,
+        };
+        for i in 0..n {
+            ledger
+                .charge(format!("slice {i}"), &params, &cost)
+                .unwrap_or_else(|e| panic!("slice {i} refused: {e}"));
+        }
+        let naive: f64 = (0..n).map(|_| step).sum();
+        assert!(
+            (naive - budget).abs() > 1e-12,
+            "naive summation should visibly drift for this to be a regression test"
+        );
+        assert!((ledger.spent_epsilon() - budget).abs() < 1e-12);
+        assert!(ledger.remaining_epsilon() < 1e-12);
+    }
+
+    #[test]
+    fn negative_and_non_finite_charges_are_refused() {
+        let mut ledger = Ledger::new(PrivacyParams::pure(0.1, 4.0));
+        let params = PrivacyParams::pure(0.1, 1.0);
+        let cost = |epsilon: f64, delta: f64| ReleaseCost {
+            epsilon,
+            delta,
+            per_cell_epsilon: epsilon,
+            multiplier: 1,
+        };
+        // A negative charge would *refund* budget.
+        assert!(matches!(
+            ledger.charge("refund attempt", &params, &cost(-1.0, 0.0)),
+            Err(LedgerError::InvalidCharge { .. })
+        ));
+        // Regression: a NaN charge used to be admitted (NaN comparisons
+        // are all false), poisoning the spent totals so that every later
+        // charge of any size was admitted forever.
+        for bad in [f64::NAN, f64::INFINITY] {
+            assert!(matches!(
+                ledger.charge("poison attempt", &params, &cost(bad, 0.0)),
+                Err(LedgerError::InvalidCharge { .. })
+            ));
+            assert!(matches!(
+                ledger.charge("poison attempt", &params, &cost(0.5, bad)),
+                Err(LedgerError::InvalidCharge { .. })
+            ));
+        }
+        assert!(ledger.entries().is_empty());
+        assert_eq!(ledger.spent_epsilon(), 0.0);
+        // Enforcement still works after the refused attempts.
+        ledger.charge("fine", &params, &cost(4.0, 0.0)).unwrap();
+        assert!(ledger.charge("over", &params, &cost(0.5, 0.0)).is_err());
+    }
+
+    #[test]
+    fn ledger_json_roundtrip_preserves_state() {
+        let mut ledger = Ledger::new(PrivacyParams::approximate(0.1, 4.0, 0.01));
+        let params = PrivacyParams::approximate(0.1, 1.1, 0.003);
+        let cost = ReleaseCost::for_marginal(&workload1(), &params, NeighborKind::Weak);
+        ledger.charge("q1", &params, &cost).unwrap();
+        ledger.charge("q2", &params, &cost).unwrap();
+
+        let json = serde_json::to_string_pretty(&ledger).unwrap();
+        let back: Ledger = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.budget(), ledger.budget());
+        assert_eq!(back.entries().len(), 2);
+        assert_eq!(back.spent_epsilon(), ledger.spent_epsilon());
+        assert_eq!(back.spent_delta(), ledger.spent_delta());
+        assert_eq!(back.remaining_epsilon(), ledger.remaining_epsilon());
+        // The restored ledger keeps enforcing: a 3rd+4th charge exhausts,
+        // a 5th is refused, exactly as on the original.
+        let mut back = back;
+        back.charge("q3", &params, &cost).unwrap();
+        assert!(back.charge("q4", &params, &cost).is_err());
+    }
+
+    #[test]
+    fn deserialization_refuses_overdrawn_snapshots() {
+        let mut ledger = Ledger::new(PrivacyParams::pure(0.1, 2.0));
+        let params = PrivacyParams::pure(0.1, 2.0);
+        let cost = ReleaseCost::for_marginal(&workload1(), &params, NeighborKind::Strong);
+        ledger.charge("all of it", &params, &cost).unwrap();
+        let json = serde_json::to_string(&ledger).unwrap();
+
+        // Shrink the budget below the recorded spend: replay must refuse.
+        // (The budget object serializes first, so the first "epsilon" hit
+        // is the budget's, not an entry's.)
+        let tampered = json.replacen("\"epsilon\":2.0", "\"epsilon\":1.0", 1);
+        assert_ne!(tampered, json, "tampering must hit the budget field");
+        assert!(serde_json::from_str::<Ledger>(&tampered).is_err());
+
+        // Fudge the recorded totals: replay cross-check must refuse.
+        let tampered = json.replace("\"spent_epsilon\":2.0", "\"spent_epsilon\":0.5");
+        assert_ne!(tampered, json);
+        assert!(serde_json::from_str::<Ledger>(&tampered).is_err());
+    }
+
+    #[test]
+    fn replay_matches_live_charging() {
+        let mut live = Ledger::new(PrivacyParams::pure(0.1, 4.0));
+        let params = PrivacyParams::pure(0.1, 0.3);
+        let cost = ReleaseCost::for_marginal(&workload1(), &params, NeighborKind::Strong);
+        for i in 0..13 {
+            live.charge(format!("r{i}"), &params, &cost).unwrap();
+        }
+        let replayed = Ledger::replay(*live.budget(), live.entries()).unwrap();
+        assert_eq!(replayed.spent_epsilon(), live.spent_epsilon());
+        assert_eq!(replayed.remaining_epsilon(), live.remaining_epsilon());
+        assert_eq!(replayed.entries().len(), live.entries().len());
     }
 
     #[test]

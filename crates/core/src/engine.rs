@@ -277,7 +277,7 @@ impl ReleaseRequest {
         })
     }
 
-    fn provenance(&self, plan: &ReleasePlan) -> RequestProvenance {
+    pub(crate) fn provenance(&self, plan: &ReleasePlan) -> RequestProvenance {
         RequestProvenance {
             kind: self.kind,
             spec: self.spec.clone(),
@@ -432,6 +432,92 @@ impl ReleaseArtifact {
 /// Execution order for batches and per-cell noising.
 const MIN_PARALLEL_CELLS: usize = 512;
 
+/// Identity of one tabulation: the marginal spec plus the identity of the
+/// worker filter restricting its population (`None` when unfiltered).
+///
+/// Filters are opaque closures, so their identity is the address of the
+/// shared [`WorkerFilter`] allocation: requests built from the *same*
+/// `Arc` (e.g. a cloned request, or one filter handle reused across a
+/// batch) share a tabulation; textually identical but separately
+/// constructed closures do not. Cache entries hold a clone of the `Arc`,
+/// so a keyed address can never be freed and reused while the cache lives.
+type TabulationKey = (MarginalSpec, Option<usize>);
+
+fn tabulation_key(request: &ReleaseRequest) -> TabulationKey {
+    (
+        request.spec.clone(),
+        request
+            .filter
+            .as_ref()
+            .map(|f| Arc::as_ptr(f) as *const () as usize),
+    )
+}
+
+/// A cache of tabulated truth marginals keyed by
+/// `(MarginalSpec, filter identity)`.
+///
+/// Tabulation is the engine's dominant cost for large universes; a batch
+/// (or a resumed publication season) whose requests share a marginal
+/// should pay it once. The cache is owned by the *caller* (or created per
+/// [`ReleaseEngine::execute_all`] batch) rather than stored inside the
+/// engine, because cached truths are only valid for one dataset — tying
+/// the cache's lifetime to the caller's dataset makes stale reuse a type
+/// discipline instead of a runtime bug.
+#[derive(Default)]
+pub struct TabulationCache {
+    entries: BTreeMap<TabulationKey, (Arc<Marginal>, Option<WorkerFilter>)>,
+}
+
+impl TabulationCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct tabulations held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no tabulations.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The truth marginal for `request`, tabulating `dataset` on a miss.
+    /// Returns the marginal and whether this call was a cache hit.
+    fn get_or_tabulate(
+        &mut self,
+        dataset: &Dataset,
+        request: &ReleaseRequest,
+    ) -> (Arc<Marginal>, bool) {
+        let key = tabulation_key(request);
+        if let Some((truth, _)) = self.entries.get(&key) {
+            return (Arc::clone(truth), true);
+        }
+        let truth = Arc::new(tabulate_request(dataset, request));
+        self.entries
+            .insert(key, (Arc::clone(&truth), request.filter.clone()));
+        (truth, false)
+    }
+}
+
+fn tabulate_request(dataset: &Dataset, request: &ReleaseRequest) -> Marginal {
+    match &request.filter {
+        Some(filter) => compute_marginal_filtered(dataset, &request.spec, |w| filter(w)),
+        None => compute_marginal(dataset, &request.spec),
+    }
+}
+
+/// Lifetime tabulation-cache counters of a [`ReleaseEngine`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TabulationStats {
+    /// Tabulations actually computed.
+    pub computed: u64,
+    /// Requests served from a cached tabulation.
+    pub hits: u64,
+}
+
 /// The ledger-enforced release engine.
 ///
 /// Owns a [`Ledger`]; every execution path charges it before sampling, so
@@ -442,6 +528,7 @@ const MIN_PARALLEL_CELLS: usize = 512;
 pub struct ReleaseEngine {
     ledger: Ledger,
     threads: usize,
+    tab_stats: TabulationStats,
 }
 
 impl ReleaseEngine {
@@ -455,7 +542,11 @@ impl ReleaseEngine {
         let threads = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);
-        Self { ledger, threads }
+        Self {
+            ledger,
+            threads,
+            tab_stats: TabulationStats::default(),
+        }
     }
 
     /// Cap worker threads (`1` forces fully sequential execution; results
@@ -473,6 +564,14 @@ impl ReleaseEngine {
     /// Consume the engine, returning the ledger (for archival).
     pub fn into_ledger(self) -> Ledger {
         self.ledger
+    }
+
+    /// Lifetime tabulation-cache counters: how many truth marginals were
+    /// actually computed vs served from a cache, across all
+    /// [`execute_all`](Self::execute_all) batches and
+    /// [`execute_cached`](Self::execute_cached) calls on this engine.
+    pub fn tabulation_stats(&self) -> TabulationStats {
+        self.tab_stats
     }
 
     /// Validate `request`, charge the ledger, tabulate, and sample.
@@ -506,6 +605,28 @@ impl ReleaseEngine {
         Ok(self.sample(truth, request, &plan, self.threads))
     }
 
+    /// Like [`execute`](Self::execute), but tabulating through a
+    /// caller-owned [`TabulationCache`]: requests sharing a
+    /// `(spec, filter)` tabulation — e.g. the sequential, persist-as-you-go
+    /// releases of a publication season — pay for it once. The cache must
+    /// only ever be used with one dataset.
+    pub fn execute_cached(
+        &mut self,
+        dataset: &Dataset,
+        request: &ReleaseRequest,
+        cache: &mut TabulationCache,
+    ) -> Result<ReleaseArtifact, EngineError> {
+        let plan = request.plan()?;
+        self.charge(request, &plan)?;
+        let (truth, hit) = cache.get_or_tabulate(dataset, request);
+        if hit {
+            self.tab_stats.hits += 1;
+        } else {
+            self.tab_stats.computed += 1;
+        }
+        Ok(self.sample(&truth, request, &plan, self.threads))
+    }
+
     /// Execute a whole workload batch under this engine's single ledger.
     ///
     /// Budget accounting is strictly sequential in request order
@@ -537,11 +658,36 @@ impl ReleaseEngine {
             .enumerate()
             .filter_map(|(i, outcome)| outcome.as_ref().ok().map(|plan| (i, &requests[i], *plan)))
             .collect();
-        let inner_threads = (self.threads / jobs.len().max(1)).max(1);
+        // Tabulate each distinct (spec, filter-id) exactly once, in
+        // parallel across the distinct keys; requests sharing a marginal
+        // then sample from the shared truth.
+        let mut key_index: BTreeMap<TabulationKey, usize> = BTreeMap::new();
+        let mut distinct: Vec<&ReleaseRequest> = Vec::new();
+        for (_, request, _) in &jobs {
+            key_index.entry(tabulation_key(request)).or_insert_with(|| {
+                distinct.push(request);
+                distinct.len() - 1
+            });
+        }
+        let truths: Vec<Arc<Marginal>> = par_map(
+            &distinct,
+            self.threads.min(distinct.len().max(1)),
+            |request| Arc::new(tabulate_request(dataset, request)),
+        );
+        self.tab_stats.computed += distinct.len() as u64;
+        self.tab_stats.hits += (jobs.len() - distinct.len()) as u64;
+        let tasks: Vec<(usize, &ReleaseRequest, ReleasePlan, Arc<Marginal>)> = jobs
+            .iter()
+            .map(|&(i, request, plan)| {
+                let truth = Arc::clone(&truths[key_index[&tabulation_key(request)]]);
+                (i, request, plan, truth)
+            })
+            .collect();
+        let inner_threads = (self.threads / tasks.len().max(1)).max(1);
         let artifacts = par_map(
-            &jobs,
-            self.threads.min(jobs.len().max(1)),
-            |(_, request, plan)| self.run(dataset, request, plan, inner_threads),
+            &tasks,
+            self.threads.min(tasks.len().max(1)),
+            |(_, request, plan, truth)| self.sample(truth, request, plan, inner_threads),
         );
         let mut by_index: BTreeMap<usize, ReleaseArtifact> =
             jobs.iter().map(|(i, _, _)| *i).zip(artifacts).collect();
@@ -570,10 +716,7 @@ impl ReleaseEngine {
         plan: &ReleasePlan,
         threads: usize,
     ) -> ReleaseArtifact {
-        let truth = match &request.filter {
-            Some(filter) => compute_marginal_filtered(dataset, &request.spec, |w| filter(w)),
-            None => compute_marginal(dataset, &request.spec),
-        };
+        let truth = tabulate_request(dataset, request);
         self.sample(&truth, request, plan, threads)
     }
 
@@ -924,6 +1067,69 @@ mod tests {
         assert!(outcomes[2].is_ok());
         assert!(engine.ledger().remaining_epsilon() < 1e-9);
         assert_eq!(engine.ledger().entries().len(), 2);
+    }
+
+    #[test]
+    fn batch_sharing_one_marginal_tabulates_it_once() {
+        let d = dataset();
+        let requests: Vec<ReleaseRequest> = (0..4)
+            .map(|i| {
+                ReleaseRequest::marginal(workload1())
+                    .mechanism(MechanismKind::LogLaplace)
+                    .budget(PrivacyParams::pure(0.1, 1.0))
+                    .seed(i)
+            })
+            .collect();
+        let mut engine = ReleaseEngine::new(PrivacyParams::pure(0.1, 4.0));
+        let outcomes = engine.execute_all(&d, &requests);
+        assert!(outcomes.iter().all(Result::is_ok));
+        let stats = engine.tabulation_stats();
+        assert_eq!(stats.computed, 1, "one distinct marginal, one tabulation");
+        assert_eq!(stats.hits, 3, "the other three requests share it");
+        // A mixed batch still tabulates each distinct spec exactly once.
+        let mut engine = ReleaseEngine::new(PrivacyParams::pure(0.1, 10.0));
+        let mixed = vec![
+            requests[0].clone(),
+            ReleaseRequest::marginal(workload3())
+                .mechanism(MechanismKind::LogLaplace)
+                .budget(PrivacyParams::pure(0.1, 8.0))
+                .seed(9),
+            requests[1].clone(),
+        ];
+        let outcomes = engine.execute_all(&d, &mixed);
+        assert!(outcomes.iter().all(Result::is_ok));
+        assert_eq!(engine.tabulation_stats().computed, 2);
+        assert_eq!(engine.tabulation_stats().hits, 1);
+    }
+
+    #[test]
+    fn cached_execution_matches_uncached_and_counts_hits() {
+        let d = dataset();
+        let r1 = ReleaseRequest::marginal(workload1())
+            .mechanism(MechanismKind::SmoothGamma)
+            .budget(PrivacyParams::pure(0.1, 2.0))
+            .seed(31);
+        let r2 = ReleaseRequest::marginal(workload1())
+            .mechanism(MechanismKind::LogLaplace)
+            .budget(PrivacyParams::pure(0.1, 1.0))
+            .seed(32);
+        let mut cached = ReleaseEngine::new(PrivacyParams::pure(0.1, 3.0));
+        let mut cache = TabulationCache::new();
+        let a1 = cached.execute_cached(&d, &r1, &mut cache).unwrap();
+        let a2 = cached.execute_cached(&d, &r2, &mut cache).unwrap();
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cached.tabulation_stats().computed, 1);
+        assert_eq!(cached.tabulation_stats().hits, 1);
+        // Bit-identical to the uncached path.
+        let mut plain = ReleaseEngine::new(PrivacyParams::pure(0.1, 3.0));
+        assert_eq!(plain.execute(&d, &r1).unwrap(), a1);
+        assert_eq!(plain.execute(&d, &r2).unwrap(), a2);
+        // A rejected request never touches the cache or the stats.
+        let mut engine = ReleaseEngine::new(PrivacyParams::pure(0.1, 0.5));
+        let mut cache = TabulationCache::new();
+        assert!(engine.execute_cached(&d, &r1, &mut cache).is_err());
+        assert!(cache.is_empty());
+        assert_eq!(engine.tabulation_stats(), TabulationStats::default());
     }
 
     #[test]

@@ -1,9 +1,9 @@
 //! The unified error hierarchy of the release engine.
 //!
 //! Before the [`crate::engine`] redesign, each layer had its own error
-//! type — [`ReleaseError`] from marginal releases, [`LedgerError`] from
-//! budget accounting, [`ShapeError`] from shape releases and
-//! [`NeighborError`] from neighbor checking — and callers composing
+//! type — [`ReleaseError`](crate::release::ReleaseError) from marginal
+//! releases, [`LedgerError`] from budget accounting, [`ShapeError`] from
+//! shape releases and [`NeighborError`] from neighbor checking — and callers composing
 //! multiple layers had to invent ad-hoc wrappers. [`EngineError`] is the
 //! one type every engine entry point returns; the legacy types survive as
 //! wrapped sources (with `From` conversions) so existing match sites keep

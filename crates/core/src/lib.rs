@@ -37,6 +37,55 @@
 //! Failures anywhere in the pipeline surface as the unified
 //! [`EngineError`] hierarchy; a rejected request never spends budget.
 //!
+//! ## Resuming a publication season
+//!
+//! A season — an agency's ordered plan of releases spending one
+//! season-long budget — outlives any single process. The
+//! [`store::SeasonStore`] makes it durable: every artifact is persisted
+//! as JSON (atomically, artifact first) together with a [`Ledger`]
+//! snapshot, and [`store::SeasonStore::open`] restores the ledger by
+//! *replaying* its entries through the same compensated budget
+//! arithmetic [`Ledger::charge`] uses, refusing corrupted or
+//! budget-inconsistent stores outright. Killing a season run and
+//! resuming it re-spends nothing and reproduces the remaining artifacts
+//! bit-for-bit (noise streams derive from `(request seed, cell key)`):
+//!
+//! ```
+//! use eree_core::store::SeasonStore;
+//! use eree_core::{MechanismKind, PrivacyParams, ReleaseRequest};
+//! use lodes::{Generator, GeneratorConfig};
+//! use tabulate::{workload1, workload3};
+//!
+//! let dataset = Generator::new(GeneratorConfig::test_small(7)).generate();
+//! let season = vec![
+//!     ReleaseRequest::marginal(workload1())
+//!         .mechanism(MechanismKind::SmoothGamma)
+//!         .budget(PrivacyParams::pure(0.1, 2.0))
+//!         .describe("Q1: establishment counts")
+//!         .seed(1),
+//!     ReleaseRequest::marginal(workload3())
+//!         .mechanism(MechanismKind::LogLaplace)
+//!         .budget(PrivacyParams::pure(0.1, 8.0))
+//!         .describe("Q2: … x sex x education")
+//!         .seed(2),
+//! ];
+//! let dir = std::env::temp_dir().join("eree-lib-doc-season");
+//! let _ = std::fs::remove_dir_all(&dir);
+//!
+//! // The process running the season is killed after the first release…
+//! let mut store = SeasonStore::create(&dir, PrivacyParams::pure(0.1, 10.0)).unwrap();
+//! store.run(&dataset, &season[..1]).unwrap();
+//! drop(store); // (the kill)
+//!
+//! // …and a new process resumes exactly where it stopped.
+//! let mut store = SeasonStore::open(&dir).unwrap();
+//! let report = store.run(&dataset, &season).unwrap();
+//! assert_eq!((report.resumed_from, report.executed), (1, 1));
+//! assert_eq!(store.completed(), 2);
+//! assert!(store.ledger().remaining_epsilon() < 1e-9);
+//! # std::fs::remove_dir_all(&dir).unwrap();
+//! ```
+//!
 //! ## Layer map
 //!
 //! Roughly in the order the paper develops them:
@@ -62,7 +111,9 @@
 //! * [`engine`] — the release engine: builder requests, ledger-enforced
 //!   single and batch execution (noising parallelized across
 //!   cells/requests, deterministic under any thread count), durable
-//!   artifacts.
+//!   artifacts, and the shared [`engine::TabulationCache`].
+//! * [`store`] — the on-disk season store: atomic artifact + ledger
+//!   persistence with verified, replay-based resume.
 //! * [`error`] — the [`EngineError`] hierarchy consolidating release,
 //!   ledger, shape, and neighbor errors.
 //! * [`release`] / [`shape`] — the legacy free functions, now thin
@@ -79,15 +130,16 @@ pub mod pufferfish;
 pub mod release;
 pub mod shape;
 pub mod smooth;
+pub mod store;
 
-pub use accountant::{Ledger, LedgerError, ReleaseCost};
+pub use accountant::{Ledger, LedgerEntry, LedgerError, ReleaseCost, LEDGER_REL_TOL};
 pub use definitions::{
     min_epsilon_smooth_gamma, min_epsilon_smooth_laplace, requirement_matrix, PrivacyMethod,
     PrivacyParams, Requirement, Satisfaction,
 };
 pub use engine::{
     ArtifactPayload, ReleaseArtifact, ReleaseEngine, ReleaseRequest, RequestKind,
-    RequestProvenance, TruthDigest,
+    RequestProvenance, TabulationCache, TabulationStats, TruthDigest,
 };
 pub use error::EngineError;
 pub use integerize::Integerized;
@@ -103,3 +155,4 @@ pub use release::{PrivateRelease, ReleaseConfig, ReleaseError};
 pub use shape::release_shapes;
 pub use shape::{ShapeError, ShapeRelease};
 pub use smooth::{smooth_sensitivity_count, AdmissibilityBudget};
+pub use store::{CompletedRelease, SeasonReport, SeasonStore, StoreError};

@@ -104,8 +104,18 @@ pub fn check_employer_shape_requirement(
 ) -> bool {
     fractions.iter().all(|&p| {
         let x_count = (p * z as f64).round() as u64;
+        // A sub-population already filling the establishment has no room
+        // to grow: every (1+α)-larger neighbor would need a sub-count
+        // above z, which no database of size z realizes. The requirement
+        // is vacuous for this fraction, not violated.
+        if x_count >= z {
+            return true;
+        }
         let q = (1.0 + alpha) * p;
-        let y_count = ((q * z as f64).round() as u64).min(z).max(x_count + 1);
+        // Grow to at least x+1, but never beyond the establishment size z
+        // (clamping to z must come *after* the x+1 floor, or x_count == z
+        // would yield the infeasible pair y = z + 1 > z).
+        let y_count = ((q * z as f64).round() as u64).max(x_count + 1).min(z);
         let x = CellQuery {
             count: x_count,
             max_establishment: x_count as u32,
@@ -236,6 +246,45 @@ mod tests {
             alpha,
             1_000,
             &[0.05, 0.2, 0.5]
+        ));
+    }
+
+    /// Regression: the old clamp order `.min(z).max(x_count + 1)` turned
+    /// the saturated fraction `p = 1` into the infeasible neighbor pair
+    /// `(z, z + 1)` — a sub-count exceeding the establishment size — and
+    /// small-z checks flunked mechanisms that actually satisfy Def 4.3.
+    /// The case is vacuous (a full sub-population has no larger neighbor)
+    /// and must be skipped, not tested against an impossible database.
+    #[test]
+    fn shape_requirement_skips_saturated_fractions() {
+        let (alpha, eps) = (0.1, 1.0);
+        let mech = LogLaplaceMechanism::new(alpha, eps);
+        // z = 1, p = 1: the old code compared counts 1 vs 2 — a doubling,
+        // far outside the (1+α) band, so the check spuriously failed.
+        assert!(check_employer_shape_requirement(
+            &mech,
+            eps,
+            alpha,
+            1,
+            &[1.0]
+        ));
+        // Mixed feasible + saturated fractions: the feasible ones are
+        // still genuinely checked.
+        assert!(check_employer_shape_requirement(
+            &mech,
+            eps,
+            alpha,
+            40,
+            &[0.2, 0.5, 1.0]
+        ));
+        // And the checker is not vacuous: a much smaller claimed ε still
+        // fails on the feasible fractions.
+        assert!(!check_employer_shape_requirement(
+            &mech,
+            eps / 8.0,
+            alpha,
+            1_000,
+            &[0.5]
         ));
     }
 

@@ -1,0 +1,824 @@
+//! On-disk persistence for publication seasons.
+//!
+//! A *publication season* is an agency's ordered plan of releases spending
+//! one season-long [`Ledger`] budget — the operational reading of the
+//! paper's composition theorems (Thms 7.3–7.5). A season runs for hours at
+//! national scale, so the process executing it will eventually be killed
+//! partway; what must never happen on restart is a request being noised
+//! (and its ε spent) twice. The [`SeasonStore`] makes a season durable:
+//!
+//! * every completed [`ReleaseArtifact`] is written to its own JSON file
+//!   under `<season>/artifacts/`, atomically (temp file + rename);
+//! * after each artifact, the ledger snapshot in `<season>/ledger.json` is
+//!   refreshed the same way;
+//! * [`SeasonStore::open`] reloads both, **replaying** the ledger entries
+//!   through the same compensated budget arithmetic the live
+//!   [`Ledger::charge`] uses, and refuses a store whose entries overdraw
+//!   the budget, whose artifacts disagree with its entries, or whose files
+//!   are corrupt — a tampered snapshot can never resume with more budget
+//!   than was actually left.
+//!
+//! The write protocol is artifact-first. A crash in the window between an
+//! artifact landing and its ledger snapshot leaves the store one entry
+//! behind its artifacts; [`SeasonStore::open`] detects exactly that state
+//! and rolls the ledger forward from the artifact's recorded
+//! [`cost`](ReleaseArtifact::cost) (which is bit-for-bit what the engine
+//! charged). Any other disagreement is refused as
+//! [`StoreError::Inconsistent`].
+//!
+//! # Resuming a season
+//!
+//! [`SeasonStore::run`] is the resumable driver: given the season's full
+//! request list, it verifies the already-persisted artifacts came from the
+//! same plan (request-by-request provenance comparison), then executes
+//! only the remainder through a [`ReleaseEngine`] opened on the restored
+//! ledger, sharing tabulations via a [`TabulationCache`]. Because per-cell
+//! noise streams derive from `(request seed, cell key)`, the artifacts a
+//! resumed run produces are bit-identical to an uninterrupted run's.
+//!
+//! ```
+//! use eree_core::store::SeasonStore;
+//! use eree_core::{MechanismKind, PrivacyParams, ReleaseRequest};
+//! use lodes::{Generator, GeneratorConfig};
+//! use tabulate::{workload1, workload3};
+//!
+//! let dataset = Generator::new(GeneratorConfig::test_small(7)).generate();
+//! let season = vec![
+//!     ReleaseRequest::marginal(workload1())
+//!         .mechanism(MechanismKind::SmoothGamma)
+//!         .budget(PrivacyParams::pure(0.1, 2.0))
+//!         .seed(1),
+//!     ReleaseRequest::marginal(workload3())
+//!         .mechanism(MechanismKind::LogLaplace)
+//!         .budget(PrivacyParams::pure(0.1, 8.0))
+//!         .seed(2),
+//! ];
+//! let dir = std::env::temp_dir().join("eree-doctest-season");
+//! let _ = std::fs::remove_dir_all(&dir);
+//!
+//! // First run: killed (here: stopped) after one release.
+//! let mut store = SeasonStore::create(&dir, PrivacyParams::pure(0.1, 10.0)).unwrap();
+//! store.run(&dataset, &season[..1]).unwrap();
+//! drop(store);
+//!
+//! // Resume: only the second release executes; ε is not re-spent.
+//! let mut store = SeasonStore::open(&dir).unwrap();
+//! let report = store.run(&dataset, &season).unwrap();
+//! assert_eq!(report.resumed_from, 1);
+//! assert_eq!(report.executed, 1);
+//! assert!(store.ledger().remaining_epsilon() < 1e-9);
+//! # std::fs::remove_dir_all(&dir).unwrap();
+//! ```
+
+use crate::accountant::{Ledger, LedgerEntry};
+use crate::definitions::PrivacyParams;
+use crate::engine::{ReleaseArtifact, ReleaseEngine, ReleaseRequest, TabulationCache};
+use crate::error::EngineError;
+use lodes::Dataset;
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Store format version, recorded in the season manifest so a future
+/// layout change can refuse (or migrate) old directories explicitly.
+const FORMAT_VERSION: u32 = 1;
+
+/// Manifest file name under the season directory.
+const MANIFEST_FILE: &str = "season.json";
+/// Ledger snapshot file name under the season directory.
+const LEDGER_FILE: &str = "ledger.json";
+/// Artifact subdirectory name under the season directory.
+const ARTIFACTS_DIR: &str = "artifacts";
+
+/// A failure opening, verifying, or writing a [`SeasonStore`].
+#[derive(Debug)]
+pub enum StoreError {
+    /// Filesystem I/O failed.
+    Io {
+        /// The path involved.
+        path: PathBuf,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// A store file exists but does not parse as what it must be.
+    Corrupt {
+        /// The unparseable file.
+        path: PathBuf,
+        /// What went wrong.
+        detail: String,
+    },
+    /// The store's files parse individually but contradict each other
+    /// (ledger vs artifacts, manifest vs ledger, store vs resume plan).
+    /// An inconsistent store is never partially trusted: nothing resumes.
+    Inconsistent {
+        /// The contradiction.
+        detail: String,
+    },
+    /// [`SeasonStore::create`] on a directory that already holds a season.
+    AlreadyExists {
+        /// The occupied directory.
+        path: PathBuf,
+    },
+    /// [`SeasonStore::open`] on a directory with no season manifest.
+    NotAStore {
+        /// The directory.
+        path: PathBuf,
+    },
+    /// The engine refused a request during [`SeasonStore::run`] (over
+    /// budget or invalid); nothing was recorded for it.
+    Refused {
+        /// Index of the refused request in the season plan.
+        index: usize,
+        /// The request's description.
+        description: String,
+        /// The engine's refusal.
+        source: EngineError,
+    },
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io { path, source } => {
+                write!(f, "store I/O failed at {}: {source}", path.display())
+            }
+            StoreError::Corrupt { path, detail } => {
+                write!(f, "corrupt store file {}: {detail}", path.display())
+            }
+            StoreError::Inconsistent { detail } => {
+                write!(f, "inconsistent season store: {detail}")
+            }
+            StoreError::AlreadyExists { path } => {
+                write!(f, "season store already exists at {}", path.display())
+            }
+            StoreError::NotAStore { path } => {
+                write!(f, "no season store at {}", path.display())
+            }
+            StoreError::Refused {
+                index,
+                description,
+                source,
+            } => {
+                write!(
+                    f,
+                    "season request {index} ({description}) refused: {source}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io { source, .. } => Some(source),
+            StoreError::Refused { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// The season manifest: identifies the directory as a store, pins the
+/// budget the ledger must carry, and — once the first [`SeasonStore::run`]
+/// has seen the confidential database — pins the dataset fingerprint so a
+/// season can never silently resume against different data.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct SeasonManifest {
+    format: u32,
+    budget: PrivacyParams,
+    /// [`dataset_digest`] of the season's database; `None` until the
+    /// first `run` binds it.
+    dataset_digest: Option<u64>,
+}
+
+/// What one [`SeasonStore::run`] call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeasonReport {
+    /// Artifacts already persisted before this run (requests skipped).
+    pub resumed_from: usize,
+    /// Requests newly executed (and persisted) by this run.
+    pub executed: usize,
+    /// Truth marginals tabulated by this run.
+    pub tabulations_computed: u64,
+    /// Requests served from a shared tabulation instead.
+    pub tabulation_hits: u64,
+}
+
+/// The in-memory summary of one persisted release: what was asked and
+/// what it cost. The payload (published cells) stays on disk — a season
+/// holds the full artifact in memory only while writing or verifying it,
+/// so resident state is O(releases), not O(total published cells).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompletedRelease {
+    /// The persisted artifact's request provenance.
+    pub request: crate::engine::RequestProvenance,
+    /// The cost its release charged the ledger.
+    pub cost: crate::accountant::ReleaseCost,
+}
+
+impl CompletedRelease {
+    fn of(artifact: &ReleaseArtifact) -> Self {
+        Self {
+            request: artifact.request.clone(),
+            cost: artifact.cost,
+        }
+    }
+}
+
+/// A durable publication season: ledger snapshot + artifact files under
+/// one directory. See the [module docs](self) for the layout and crash
+/// protocol.
+#[derive(Debug)]
+pub struct SeasonStore {
+    root: PathBuf,
+    manifest: SeasonManifest,
+    ledger: Ledger,
+    completed: Vec<CompletedRelease>,
+}
+
+impl SeasonStore {
+    /// Start a fresh season under `root` (created if absent) with the
+    /// given season budget. Refuses a directory that already holds one.
+    pub fn create(root: impl AsRef<Path>, budget: PrivacyParams) -> Result<Self, StoreError> {
+        let root = root.as_ref().to_path_buf();
+        let manifest_path = root.join(MANIFEST_FILE);
+        if manifest_path.exists() {
+            return Err(StoreError::AlreadyExists { path: root });
+        }
+        fs::create_dir_all(root.join(ARTIFACTS_DIR)).map_err(|source| StoreError::Io {
+            path: root.join(ARTIFACTS_DIR),
+            source,
+        })?;
+        let manifest = SeasonManifest {
+            format: FORMAT_VERSION,
+            budget,
+            dataset_digest: None,
+        };
+        let ledger = Ledger::new(budget);
+        write_json_atomic(&manifest_path, &manifest)?;
+        write_json_atomic(&root.join(LEDGER_FILE), &ledger)?;
+        Ok(Self {
+            root,
+            manifest,
+            ledger,
+            completed: Vec::new(),
+        })
+    }
+
+    /// Reload a persisted season, verifying it end to end:
+    ///
+    /// 1. the manifest parses and its format is supported;
+    /// 2. the ledger snapshot parses, and its entries **replay** within the
+    ///    budget (the deserializer re-runs the compensated arithmetic and
+    ///    cross-checks the recorded totals);
+    /// 3. the ledger's budget matches the manifest's;
+    /// 4. artifact files are contiguous (`000000.json … N.json`, no gaps)
+    ///    and each parses;
+    /// 5. artifact `i`'s recorded cost and description agree bit-for-bit
+    ///    with ledger entry `i`.
+    ///
+    /// The one tolerated asymmetry is the crash window of the
+    /// artifact-first write protocol: exactly one more artifact than
+    /// ledger entries, repaired by rolling the ledger forward from that
+    /// artifact's recorded cost.
+    pub fn open(root: impl AsRef<Path>) -> Result<Self, StoreError> {
+        let root = root.as_ref().to_path_buf();
+        let manifest_path = root.join(MANIFEST_FILE);
+        if !manifest_path.exists() {
+            return Err(StoreError::NotAStore { path: root });
+        }
+        let manifest: SeasonManifest = read_json(&manifest_path)?;
+        if manifest.format != FORMAT_VERSION {
+            return Err(StoreError::Corrupt {
+                path: manifest_path,
+                detail: format!(
+                    "unsupported store format {} (this build reads {FORMAT_VERSION})",
+                    manifest.format
+                ),
+            });
+        }
+        let ledger_path = root.join(LEDGER_FILE);
+        let mut ledger: Ledger = read_json(&ledger_path)?;
+        if ledger.budget() != &manifest.budget {
+            return Err(StoreError::Inconsistent {
+                detail: format!(
+                    "ledger budget {:?} disagrees with season manifest {:?}",
+                    ledger.budget(),
+                    manifest.budget
+                ),
+            });
+        }
+        let artifacts_dir = root.join(ARTIFACTS_DIR);
+        let artifact_count = scan_artifact_files(&artifacts_dir)?;
+
+        // Crash window: the last artifact landed but its ledger snapshot
+        // did not. Roll forward from the artifact's recorded cost — the
+        // exact value the engine charged — through the same replay
+        // arithmetic. The repaired snapshot is persisted only after the
+        // whole store verifies: a refused open never modifies the store.
+        let mut rolled_forward: Option<ReleaseArtifact> = None;
+        if ledger.entries().len() + 1 == artifact_count {
+            let last: ReleaseArtifact =
+                read_json(&artifact_file(&artifacts_dir, artifact_count - 1))?;
+            let mut entries = ledger.entries().to_vec();
+            entries.push(LedgerEntry {
+                description: last.request.description.clone(),
+                epsilon: last.cost.epsilon,
+                delta: last.cost.delta,
+            });
+            ledger = Ledger::replay(manifest.budget, &entries).map_err(|e| {
+                StoreError::Inconsistent {
+                    detail: format!("rolling the ledger forward over the last artifact: {e}"),
+                }
+            })?;
+            rolled_forward = Some(last);
+        } else if ledger.entries().len() != artifact_count {
+            return Err(StoreError::Inconsistent {
+                detail: format!(
+                    "{} ledger entries vs {artifact_count} artifacts \
+                     (only artifacts = entries + 1 is repairable)",
+                    ledger.entries().len(),
+                ),
+            });
+        }
+
+        // Verify artifact-by-artifact (one in memory at a time), keeping
+        // only the provenance + cost summary of each. The rolled-forward
+        // artifact was already parsed above; don't read it twice.
+        let mut completed = Vec::with_capacity(artifact_count);
+        for (i, entry) in ledger.entries().iter().enumerate() {
+            let artifact: ReleaseArtifact = match &rolled_forward {
+                Some(last) if i + 1 == artifact_count => last.clone(),
+                _ => read_json(&artifact_file(&artifacts_dir, i))?,
+            };
+            if entry.epsilon.to_bits() != artifact.cost.epsilon.to_bits()
+                || entry.delta.to_bits() != artifact.cost.delta.to_bits()
+                || entry.description != artifact.request.description
+            {
+                return Err(StoreError::Inconsistent {
+                    detail: format!(
+                        "ledger entry {i} ({}, eps {}, delta {}) disagrees with artifact {i} \
+                         ({}, eps {}, delta {})",
+                        entry.description,
+                        entry.epsilon,
+                        entry.delta,
+                        artifact.request.description,
+                        artifact.cost.epsilon,
+                        artifact.cost.delta
+                    ),
+                });
+            }
+            completed.push(CompletedRelease::of(&artifact));
+        }
+        if rolled_forward.is_some() {
+            write_json_atomic(&ledger_path, &ledger)?;
+        }
+        Ok(Self {
+            root,
+            manifest,
+            ledger,
+            completed,
+        })
+    }
+
+    /// [`open`](Self::open) if `root` holds a season (whose budget must
+    /// equal `budget`), else [`create`](Self::create).
+    pub fn open_or_create(
+        root: impl AsRef<Path>,
+        budget: PrivacyParams,
+    ) -> Result<Self, StoreError> {
+        let root = root.as_ref();
+        if root.join(MANIFEST_FILE).exists() {
+            let store = Self::open(root)?;
+            if store.ledger.budget() != &budget {
+                return Err(StoreError::Inconsistent {
+                    detail: format!(
+                        "existing season budget {:?} differs from requested {:?}",
+                        store.ledger.budget(),
+                        budget
+                    ),
+                });
+            }
+            Ok(store)
+        } else {
+            Self::create(root, budget)
+        }
+    }
+
+    /// The season directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The restored (or live) ledger snapshot.
+    pub fn ledger(&self) -> &Ledger {
+        &self.ledger
+    }
+
+    /// Provenance + cost of every persisted release, in publication order
+    /// (the audit view; payloads stay on disk — see
+    /// [`load_artifact`](Self::load_artifact)).
+    pub fn releases(&self) -> &[CompletedRelease] {
+        &self.completed
+    }
+
+    /// Load the full artifact of release `index` from disk.
+    pub fn load_artifact(&self, index: usize) -> Result<ReleaseArtifact, StoreError> {
+        if index >= self.completed.len() {
+            return Err(StoreError::Inconsistent {
+                detail: format!(
+                    "artifact index {index} out of range ({} completed)",
+                    self.completed.len()
+                ),
+            });
+        }
+        read_json(&artifact_file(&self.root.join(ARTIFACTS_DIR), index))
+    }
+
+    /// How many releases this season has completed.
+    pub fn completed(&self) -> usize {
+        self.completed.len()
+    }
+
+    /// A [`ReleaseEngine`] opened on this season's ledger — the resume
+    /// path of [`ReleaseEngine::with_ledger`].
+    pub fn engine(&self) -> ReleaseEngine {
+        ReleaseEngine::with_ledger(self.ledger.clone())
+    }
+
+    /// Persist one completed release: the artifact file first (atomic),
+    /// then the ledger snapshot.
+    ///
+    /// `ledger` must be the charging engine's ledger *after* this release:
+    /// exactly one entry beyond the store's, matching the artifact's cost.
+    /// Anything else is refused as [`StoreError::Inconsistent`] before a
+    /// byte is written.
+    pub fn record(
+        &mut self,
+        ledger: &Ledger,
+        artifact: &ReleaseArtifact,
+    ) -> Result<(), StoreError> {
+        if ledger.budget() != self.ledger.budget() {
+            return Err(StoreError::Inconsistent {
+                detail: "recording ledger carries a different budget than the season".to_string(),
+            });
+        }
+        if ledger.entries().len() != self.completed.len() + 1 {
+            return Err(StoreError::Inconsistent {
+                detail: format!(
+                    "recording ledger has {} entries; store expects {}",
+                    ledger.entries().len(),
+                    self.completed.len() + 1
+                ),
+            });
+        }
+        // Mirror open()'s entry-vs-artifact checks exactly: anything
+        // record() admits must be reopenable.
+        let entry = ledger.entries().last().expect("len >= 1");
+        if entry.epsilon.to_bits() != artifact.cost.epsilon.to_bits()
+            || entry.delta.to_bits() != artifact.cost.delta.to_bits()
+            || entry.description != artifact.request.description
+        {
+            return Err(StoreError::Inconsistent {
+                detail: format!(
+                    "ledger's newest entry ({}, eps {}, delta {}) is not the artifact's \
+                     charge ({}, eps {}, delta {})",
+                    entry.description,
+                    entry.epsilon,
+                    entry.delta,
+                    artifact.request.description,
+                    artifact.cost.epsilon,
+                    artifact.cost.delta
+                ),
+            });
+        }
+        let path = artifact_file(&self.root.join(ARTIFACTS_DIR), self.completed.len());
+        write_json_atomic(&path, artifact)?;
+        write_json_atomic(&self.root.join(LEDGER_FILE), ledger)?;
+        self.completed.push(CompletedRelease::of(artifact));
+        self.ledger = ledger.clone();
+        Ok(())
+    }
+
+    /// Execute (the rest of) a season plan, persisting as it goes.
+    ///
+    /// `requests` is the season's *full* ordered plan. The
+    /// already-persisted prefix is verified request-by-request — each
+    /// stored artifact's provenance must equal what the corresponding
+    /// request would produce — so a store can never be silently resumed
+    /// under a different plan; and the season's first `run` binds a
+    /// [`dataset_digest`] into the manifest, so it can never be silently
+    /// resumed against a *different database* either. Remaining requests
+    /// then execute on a [`ReleaseEngine`] over the restored ledger,
+    /// sharing truth tabulations through a [`TabulationCache`].
+    ///
+    /// A refused request (over budget, invalid parameters) aborts the run
+    /// with [`StoreError::Refused`] and records nothing for it: the season
+    /// plan needs revising, and the store stays consistent and resumable.
+    pub fn run(
+        &mut self,
+        dataset: &Dataset,
+        requests: &[ReleaseRequest],
+    ) -> Result<SeasonReport, StoreError> {
+        let digest = dataset_digest(dataset);
+        match self.manifest.dataset_digest {
+            Some(bound) if bound != digest => {
+                return Err(StoreError::Inconsistent {
+                    detail: format!(
+                        "season is bound to dataset {bound:016x} but was asked to run \
+                         against dataset {digest:016x} — refusing to mix databases"
+                    ),
+                });
+            }
+            Some(_) => {}
+            None => {
+                self.manifest.dataset_digest = Some(digest);
+                write_json_atomic(&self.root.join(MANIFEST_FILE), &self.manifest)?;
+            }
+        }
+        if requests.len() < self.completed.len() {
+            return Err(StoreError::Inconsistent {
+                detail: format!(
+                    "season plan has {} requests but {} artifacts are already persisted",
+                    requests.len(),
+                    self.completed.len()
+                ),
+            });
+        }
+        for (i, (release, request)) in self.completed.iter().zip(requests).enumerate() {
+            let plan = request.plan().map_err(|e| StoreError::Refused {
+                index: i,
+                description: request.description(),
+                source: e,
+            })?;
+            if release.request != request.provenance(&plan) {
+                return Err(StoreError::Inconsistent {
+                    detail: format!(
+                        "persisted artifact {i} ({}) does not match the season plan's \
+                         request {i} ({}) — refusing to resume under a different plan",
+                        release.request.description,
+                        request.description()
+                    ),
+                });
+            }
+        }
+        let resumed_from = self.completed.len();
+        let mut engine = self.engine();
+        let mut cache = TabulationCache::new();
+        for (i, request) in requests.iter().enumerate().skip(resumed_from) {
+            let artifact = engine
+                .execute_cached(dataset, request, &mut cache)
+                .map_err(|e| StoreError::Refused {
+                    index: i,
+                    description: request.description(),
+                    source: e,
+                })?;
+            self.record(engine.ledger(), &artifact)?;
+        }
+        let stats = engine.tabulation_stats();
+        Ok(SeasonReport {
+            resumed_from,
+            executed: requests.len() - resumed_from,
+            tabulations_computed: stats.computed,
+            tabulation_hits: stats.hits,
+        })
+    }
+}
+
+/// The canonical path of artifact `index`.
+fn artifact_file(dir: &Path, index: usize) -> PathBuf {
+    dir.join(format!("{index:06}.json"))
+}
+
+/// A stable FNV-1a fingerprint of the confidential database: table sizes,
+/// every workplace's attributes, every worker's attributes, and the job
+/// edge list, folded in table order.
+///
+/// [`SeasonStore::run`] binds this into the manifest on a season's first
+/// run and refuses any later run against a database that hashes
+/// differently — a resumed season's remaining releases must come from the
+/// same data as its persisted ones. One linear pass over the dataset per
+/// `run` call (cheap next to a single tabulation).
+pub fn dataset_digest(dataset: &Dataset) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut fold = |word: u64| {
+        for byte in word.to_le_bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    fold(dataset.num_workplaces() as u64);
+    fold(dataset.num_workers() as u64);
+    fold(dataset.num_jobs() as u64);
+    for wp in dataset.workplaces() {
+        fold(
+            (wp.state.0 as u64)
+                | ((wp.county.0 as u64) << 16)
+                | ((wp.naics.index() as u64) << 32)
+                | ((wp.ownership.index() as u64) << 40),
+        );
+        fold((wp.place.0 as u64) | ((wp.block.0 as u64) << 32));
+    }
+    for w in dataset.workers() {
+        fold(
+            (w.sex.index() as u64)
+                | ((w.age.index() as u64) << 8)
+                | ((w.race.index() as u64) << 16)
+                | ((w.ethnicity.index() as u64) << 24)
+                | ((w.education.index() as u64) << 32),
+        );
+    }
+    for job in dataset.jobs() {
+        fold((job.worker.0 as u64) | ((job.workplace.0 as u64) << 32));
+    }
+    hash
+}
+
+/// Write `value` as pretty JSON via a temp file + rename, fsyncing the
+/// temp file before the rename and the parent directory after it, so a
+/// crash (or power loss) leaves either the old file or the new one — never
+/// a torn write — and the artifact-first ordering [`SeasonStore::record`]
+/// relies on survives to disk in order.
+fn write_json_atomic<T: Serialize>(path: &Path, value: &T) -> Result<(), StoreError> {
+    let json = serde_json::to_string_pretty(value).map_err(|e| StoreError::Corrupt {
+        path: path.to_path_buf(),
+        detail: format!("serialization failed: {e}"),
+    })?;
+    let tmp = path.with_extension("tmp");
+    let io_err = |source: std::io::Error| StoreError::Io {
+        path: tmp.clone(),
+        source,
+    };
+    let mut file = fs::File::create(&tmp).map_err(io_err)?;
+    file.write_all(json.as_bytes()).map_err(io_err)?;
+    file.sync_all().map_err(io_err)?;
+    drop(file);
+    fs::rename(&tmp, path).map_err(|source| StoreError::Io {
+        path: path.to_path_buf(),
+        source,
+    })?;
+    if let Some(parent) = path.parent() {
+        let dir = fs::File::open(parent).map_err(|source| StoreError::Io {
+            path: parent.to_path_buf(),
+            source,
+        })?;
+        dir.sync_all().map_err(|source| StoreError::Io {
+            path: parent.to_path_buf(),
+            source,
+        })?;
+    }
+    Ok(())
+}
+
+fn read_json<T: Deserialize>(path: &Path) -> Result<T, StoreError> {
+    let text = fs::read_to_string(path).map_err(|source| StoreError::Io {
+        path: path.to_path_buf(),
+        source,
+    })?;
+    serde_json::from_str(&text).map_err(|e| StoreError::Corrupt {
+        path: path.to_path_buf(),
+        detail: e.to_string(),
+    })
+}
+
+/// Scan the artifacts directory, returning how many artifacts it holds.
+/// File names must be exactly the canonical zero-padded `NNNNNN.json` and
+/// the indexes contiguous from 0 — gaps and stray files are refused.
+/// Leftover `*.tmp` files from an interrupted atomic write are swept away
+/// (their renames never happened, so they were never part of the store).
+fn scan_artifact_files(dir: &Path) -> Result<usize, StoreError> {
+    let mut indexes: Vec<usize> = Vec::new();
+    let entries = fs::read_dir(dir).map_err(|source| StoreError::Io {
+        path: dir.to_path_buf(),
+        source,
+    })?;
+    for entry in entries {
+        let entry = entry.map_err(|source| StoreError::Io {
+            path: dir.to_path_buf(),
+            source,
+        })?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if name.ends_with(".tmp") {
+            let _ = fs::remove_file(entry.path());
+            continue;
+        }
+        let index = name
+            .strip_suffix(".json")
+            .and_then(|stem| stem.parse::<usize>().ok())
+            // Exactly the canonical zero-padded name, so every index maps
+            // to one possible file and reads re-derive paths exactly.
+            .filter(|&index| name == format!("{index:06}.json"))
+            .ok_or_else(|| StoreError::Corrupt {
+                path: entry.path(),
+                detail: "artifact files must be named NNNNNN.json (zero-padded)".to_string(),
+            })?;
+        indexes.push(index);
+    }
+    indexes.sort_unstable();
+    for (expect, &got) in indexes.iter().enumerate() {
+        if got != expect {
+            return Err(StoreError::Inconsistent {
+                detail: format!(
+                    "artifact files are not contiguous: expected index {expect}, found {got}"
+                ),
+            });
+        }
+    }
+    Ok(indexes.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mechanisms::MechanismKind;
+    use lodes::{Generator, GeneratorConfig};
+    use tabulate::workload1;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("eree-store-unit-{name}"));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn request(seed: u64, epsilon: f64) -> ReleaseRequest {
+        ReleaseRequest::marginal(workload1())
+            .mechanism(MechanismKind::LogLaplace)
+            .budget(PrivacyParams::pure(0.1, epsilon))
+            .seed(seed)
+    }
+
+    #[test]
+    fn create_then_open_round_trips_empty_season() {
+        let dir = tmp_dir("empty");
+        let budget = PrivacyParams::pure(0.1, 4.0);
+        let store = SeasonStore::create(&dir, budget).unwrap();
+        assert_eq!(store.completed(), 0);
+        drop(store);
+        let store = SeasonStore::open(&dir).unwrap();
+        assert_eq!(store.completed(), 0);
+        assert_eq!(store.ledger().budget(), &budget);
+        assert!(matches!(
+            SeasonStore::create(&dir, budget),
+            Err(StoreError::AlreadyExists { .. })
+        ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn open_refuses_non_store_directories() {
+        let dir = tmp_dir("not-a-store");
+        fs::create_dir_all(&dir).unwrap();
+        assert!(matches!(
+            SeasonStore::open(&dir),
+            Err(StoreError::NotAStore { .. })
+        ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn record_rejects_out_of_step_ledgers() {
+        let dir = tmp_dir("out-of-step");
+        let dataset = Generator::new(GeneratorConfig::test_small(5)).generate();
+        let mut store = SeasonStore::create(&dir, PrivacyParams::pure(0.1, 4.0)).unwrap();
+        let mut engine = store.engine();
+        let mut cache = TabulationCache::new();
+        let a1 = engine
+            .execute_cached(&dataset, &request(1, 1.0), &mut cache)
+            .unwrap();
+        let a2 = engine
+            .execute_cached(&dataset, &request(2, 1.0), &mut cache)
+            .unwrap();
+        // Two charges but the store saw neither: entry count is off by 2.
+        assert!(matches!(
+            store.record(engine.ledger(), &a2),
+            Err(StoreError::Inconsistent { .. })
+        ));
+        // A ledger whose newest entry was charged under a different
+        // description than the artifact's would persist a store that
+        // open() must refuse — record() refuses it up front instead.
+        let mut renamed = store.ledger().clone();
+        renamed
+            .charge(
+                "not the artifact's description",
+                &PrivacyParams::pure(0.1, 1.0),
+                &a1.cost,
+            )
+            .unwrap();
+        assert!(matches!(
+            store.record(&renamed, &a1),
+            Err(StoreError::Inconsistent { .. })
+        ));
+        // Recording in order works.
+        let mut engine = store.engine();
+        let mut cache = TabulationCache::new();
+        let b1 = engine
+            .execute_cached(&dataset, &request(1, 1.0), &mut cache)
+            .unwrap();
+        assert_eq!(b1, a1);
+        store.record(engine.ledger(), &b1).unwrap();
+        assert_eq!(store.completed(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -150,6 +150,30 @@ fn main() {
     }
     write_results(&dir, "table2", &md, "", &rows).unwrap();
 
+    // Publication season: execute (or resume) the canonical composed
+    // release plan under a persistent SeasonStore. A run_all killed during
+    // this step picks up exactly where it stopped on the next invocation,
+    // without re-spending any of the season's ε.
+    let t = Instant::now();
+    let season_dir = dir.join("season");
+    match eval::season::run_or_resume(&season_dir, &ctx.dataset) {
+        Ok((report, store)) => eprintln!(
+            "run_all: season done — resumed at {}, executed {}, {} tabulations ({} shared), \
+             eps remaining {:.3} ({:.1?}; store at {})",
+            report.resumed_from,
+            report.executed,
+            report.tabulations_computed,
+            report.tabulation_hits,
+            store.ledger().remaining_epsilon(),
+            t.elapsed(),
+            season_dir.display()
+        ),
+        Err(e) => eprintln!(
+            "run_all: season store at {} refused: {e} (delete the directory to restart the season)",
+            season_dir.display()
+        ),
+    }
+
     eprintln!(
         "run_all: complete in {:.1?}; results under {}",
         start.elapsed(),

@@ -9,6 +9,8 @@
 //! * [`experiments`] — one module per paper exhibit: `figure1` … `figure5`,
 //!   `table1`, `table2`.
 //! * [`report`] — markdown/CSV rendering of experiment results.
+//! * [`season`] — the canonical publication season, persisted and
+//!   resumable through the core [`SeasonStore`](eree_core::SeasonStore).
 //!
 //! Each exhibit also has a binary (`cargo run -p eval --release --bin
 //! figure1`) that prints the regenerated rows/series and writes them under
@@ -22,6 +24,7 @@ pub mod experiments;
 pub mod metrics;
 pub mod report;
 pub mod runner;
+pub mod season;
 
 pub use metrics::{l1_error, mean_l1_error, spearman};
 pub use runner::{EvalScale, ExperimentContext, TrialSpec};

@@ -1,0 +1,93 @@
+//! The evaluation pipeline's canonical publication season.
+//!
+//! The figures measure single releases; this module exercises the *other*
+//! half of the paper's story — Sec 7.3–7.5 composition across an ordered
+//! sequence of publications spending one season budget — through the
+//! durable [`SeasonStore`]. `run_all` (and the store-resume CI smoke step)
+//! call [`run_or_resume`]: the first invocation executes and persists the
+//! whole plan; an invocation after a kill resumes from the last persisted
+//! artifact without re-spending ε, producing bit-identical artifacts.
+
+use eree_core::store::{SeasonReport, SeasonStore, StoreError};
+use eree_core::{MechanismKind, PrivacyParams, ReleaseRequest};
+use lodes::Dataset;
+use std::path::Path;
+use tabulate::{workload1, workload3, MarginalSpec, WorkplaceAttr};
+
+/// The season-long budget: covers the four canonical releases exactly.
+pub fn season_budget() -> PrivacyParams {
+    PrivacyParams::approximate(0.1, 12.0, 0.05)
+}
+
+/// The canonical season plan, in publication order. The first two
+/// requests share the Workload 1 tabulation (exercising the engine's
+/// tabulation cache); the last is an approximate-DP county release.
+pub fn season_requests() -> Vec<ReleaseRequest> {
+    let county = MarginalSpec::new(vec![WorkplaceAttr::County], vec![]);
+    vec![
+        ReleaseRequest::marginal(workload1())
+            .mechanism(MechanismKind::SmoothGamma)
+            .budget(PrivacyParams::pure(0.1, 2.0))
+            .describe("S1: place x naics x ownership (Smooth Gamma)")
+            .seed(0xA1),
+        ReleaseRequest::marginal(workload1())
+            .mechanism(MechanismKind::LogLaplace)
+            .budget(PrivacyParams::pure(0.1, 1.0))
+            .describe("S2: place x naics x ownership (Log-Laplace re-release)")
+            .seed(0xA2),
+        ReleaseRequest::marginal(workload3())
+            .mechanism(MechanismKind::LogLaplace)
+            .budget(PrivacyParams::pure(0.1, 8.0))
+            .describe("S3: ... x sex x education")
+            .seed(0xA3),
+        ReleaseRequest::marginal(county)
+            .mechanism(MechanismKind::SmoothLaplace)
+            .budget(PrivacyParams::approximate(0.1, 1.0, 0.05))
+            .describe("S4: county marginal (Smooth Laplace)")
+            .seed(0xA4),
+    ]
+}
+
+/// Open (or start) the season under `dir` and execute whatever remains of
+/// the canonical plan, returning the run report and the store for
+/// inspection. A store left behind by a killed run resumes; a store from
+/// a *different* plan or budget, or a corrupted one, is refused.
+pub fn run_or_resume(
+    dir: impl AsRef<Path>,
+    dataset: &Dataset,
+) -> Result<(SeasonReport, SeasonStore), StoreError> {
+    let mut store = SeasonStore::open_or_create(dir, season_budget())?;
+    let report = store.run(dataset, &season_requests())?;
+    Ok((report, store))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lodes::{Generator, GeneratorConfig};
+
+    #[test]
+    fn canonical_plan_fits_its_budget_exactly() {
+        let total: f64 = season_requests()
+            .iter()
+            .map(|r| r.plan().expect("canonical requests are valid").cost.epsilon)
+            .sum();
+        assert!((total - season_budget().epsilon).abs() < 1e-12);
+    }
+
+    #[test]
+    fn run_or_resume_is_idempotent_once_complete() {
+        let dir = std::env::temp_dir().join("eree-eval-season-idempotent");
+        let _ = std::fs::remove_dir_all(&dir);
+        let dataset = Generator::new(GeneratorConfig::test_small(3)).generate();
+        let (first, store) = run_or_resume(&dir, &dataset).unwrap();
+        assert_eq!(first.executed, 4);
+        assert_eq!(store.completed(), 4);
+        drop(store);
+        let (second, store) = run_or_resume(&dir, &dataset).unwrap();
+        assert_eq!(second.resumed_from, 4);
+        assert_eq!(second.executed, 0);
+        assert!(store.ledger().remaining_epsilon() < 1e-9);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -130,7 +130,10 @@ impl WorkerAttr {
 }
 
 /// A marginal query specification `q_{V_I ∪ V_W}`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Ordered and hashable so specs can key caches (e.g. the release
+/// engine's tabulation cache) and sorted indexes.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct MarginalSpec {
     /// Workplace grouping attributes `V_W` (order defines key layout).
     pub workplace_attrs: Vec<WorkplaceAttr>,

@@ -76,7 +76,7 @@ pub mod prelude {
     pub use eree_core::{
         ArtifactPayload, CountMechanism, EngineError, Ledger, MechanismKind, PrivacyParams,
         PrivateRelease, ReleaseArtifact, ReleaseConfig, ReleaseCost, ReleaseEngine, ReleaseRequest,
-        RequestKind,
+        RequestKind, SeasonReport, SeasonStore, StoreError, TabulationCache, TabulationStats,
     };
     pub use lodes::{Dataset, DatasetStats, Generator, GeneratorConfig, PlaceSizeClass};
     pub use sdl::{SdlConfig, SdlPublisher};

@@ -200,4 +200,49 @@ proptest! {
         prop_assert!((cost.epsilon - eps).abs() < 1e-9);
         prop_assert_eq!(cost.multiplier, 8);
     }
+
+    /// However a charge sequence is interleaved with refusals, the
+    /// lifetime spend never exceeds the budget by more than one relative
+    /// tolerance — the regression property for the old absolute, per-charge
+    /// tolerance that admitted tiny charges forever after exhaustion.
+    #[test]
+    fn ledger_never_overspends_its_budget(
+        budget_eps in 0.25f64..16.0,
+        charges in prop::collection::vec(0.0f64..3.0, 1..60),
+        tiny_scale in 1e-12f64..1e-9,
+    ) {
+        use eree_core::accountant::ReleaseCost;
+        use eree_core::LEDGER_REL_TOL;
+        let budget = PrivacyParams::pure(0.1, budget_eps);
+        let mut ledger = Ledger::new(budget);
+        let cap = budget_eps * (1.0 + LEDGER_REL_TOL);
+        let charge = |eps: f64| ReleaseCost {
+            epsilon: eps,
+            delta: 0.0,
+            per_cell_epsilon: eps,
+            multiplier: 1,
+        };
+        for (i, &eps) in charges.iter().enumerate() {
+            let params = PrivacyParams::pure(0.1, eps);
+            let _ = ledger.charge(format!("c{i}"), &params, &charge(eps));
+            prop_assert!(
+                ledger.spent_epsilon() <= cap,
+                "spent {} above cap {} after charge {}", ledger.spent_epsilon(), cap, i
+            );
+        }
+        // Hammer the exhausted (or near-exhausted) ledger with sub-tol
+        // charges: the cumulative cap must still hold.
+        let tiny = tiny_scale * budget_eps;
+        let tiny_params = PrivacyParams::pure(0.1, tiny);
+        for i in 0..2_000 {
+            let _ = ledger.charge(format!("tiny{i}"), &tiny_params, &charge(tiny));
+        }
+        prop_assert!(
+            ledger.spent_epsilon() <= cap,
+            "tiny-charge hammering drove spend {} above cap {}", ledger.spent_epsilon(), cap
+        );
+        // The ledger's own bookkeeping agrees with an entry replay.
+        let replayed = Ledger::replay(*ledger.budget(), ledger.entries()).expect("replayable");
+        prop_assert_eq!(replayed.spent_epsilon(), ledger.spent_epsilon());
+    }
 }

@@ -4,7 +4,7 @@ use crate::strategy::Strategy;
 use crate::test_runner::TestRng;
 use std::ops::Range;
 
-/// Strategy producing `Vec`s of sampled elements; see [`vec`].
+/// Strategy producing `Vec`s of sampled elements; see [`vec()`].
 #[derive(Debug, Clone)]
 pub struct VecStrategy<S> {
     element: S,
