@@ -8,22 +8,43 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sdl::{SdlConfig, SdlPublisher};
 use std::hint::black_box;
-use tabulate::{compute_marginal, workload1, workload3, MarginalSpec, WorkplaceAttr};
+use tabulate::{
+    compute_marginal_legacy, workload1, workload3, MarginalSpec, TabulationIndex, WorkplaceAttr,
+};
 
 fn bench_engine(c: &mut Criterion) {
     let ctx = bench_context();
     let mut group = c.benchmark_group("tabulate");
     group.sample_size(20);
 
-    group.bench_function("workload1_marginal", |b| {
-        b.iter(|| black_box(compute_marginal(&ctx.dataset, &workload1())))
+    // Legacy per-worker hash-map engine (the retained reference path).
+    group.bench_function("workload1_marginal_legacy", |b| {
+        b.iter(|| black_box(compute_marginal_legacy(&ctx.dataset, &workload1())))
     });
-    group.bench_function("workload3_marginal", |b| {
-        b.iter(|| black_box(compute_marginal(&ctx.dataset, &workload3())))
+    group.bench_function("workload3_marginal_legacy", |b| {
+        b.iter(|| black_box(compute_marginal_legacy(&ctx.dataset, &workload3())))
     });
-    group.bench_function("naics_only_marginal", |b| {
+
+    // Columnar CSR index engine: one-time build, then indexed tabulation.
+    group.bench_function("index_build", |b| {
+        b.iter(|| black_box(TabulationIndex::build(&ctx.dataset)))
+    });
+    let index = TabulationIndex::build(&ctx.dataset);
+    group.bench_function("workload1_marginal_indexed", |b| {
+        b.iter(|| black_box(index.marginal(&workload1())))
+    });
+    group.bench_function("workload3_marginal_indexed", |b| {
+        b.iter(|| black_box(index.marginal(&workload3())))
+    });
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    group.bench_function("workload3_marginal_indexed_sharded", |b| {
+        b.iter(|| black_box(index.marginal_sharded(&workload3(), threads)))
+    });
+    group.bench_function("naics_only_marginal_indexed", |b| {
         let spec = MarginalSpec::new(vec![WorkplaceAttr::Naics], vec![]);
-        b.iter(|| black_box(compute_marginal(&ctx.dataset, &spec)))
+        b.iter(|| black_box(index.marginal(&spec)))
     });
     group.finish();
 }

@@ -1,0 +1,163 @@
+//! Old-vs-new tabulation timing: the legacy per-worker hash-map engine
+//! against the columnar CSR [`TabulationIndex`] engine, on the canonical
+//! eval dataset.
+//!
+//! Writes `BENCH_tabulate.json` at the repo root (override with
+//! `--out <path>`), recording per-spec wall times and speedups plus the
+//! one-time index build cost. Exits nonzero (panics) if the two engines
+//! ever disagree on a single cell, so CI can run it as a correctness
+//! smoke as well as a perf probe.
+//!
+//! Usage: `cargo run --release -p bench --bin bench_tabulate -- [--iters N] [--out PATH]`
+//! Scale follows `EREE_SCALE` (`small`/`default`/`paper`).
+
+use eval::runner::EvalScale;
+use lodes::{Dataset, Generator};
+use std::time::Instant;
+use tabulate::{
+    compute_marginal_legacy, workload1, workload3, Marginal, MarginalSpec, TabulationIndex,
+    WorkerAttr, WorkplaceAttr,
+};
+
+/// Canonical eval data seed (same as `ExperimentContext::new`).
+const CANONICAL_SEED: u64 = 0xEEE5_2017;
+
+fn time_best<T>(iters: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..iters {
+        let start = Instant::now();
+        let out = f();
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+        last = Some(out);
+    }
+    (best, last.expect("at least one iteration"))
+}
+
+fn assert_identical(name: &str, legacy: &Marginal, indexed: &Marginal) {
+    assert_eq!(
+        legacy.num_cells(),
+        indexed.num_cells(),
+        "{name}: cell count mismatch"
+    );
+    for ((lk, ls), (ik, is)) in legacy.iter().zip(indexed.iter()) {
+        assert_eq!(lk, ik, "{name}: key order mismatch");
+        assert_eq!(ls, is, "{name}: stats mismatch at key {lk:?}");
+    }
+}
+
+struct SpecResult {
+    name: String,
+    cells: usize,
+    legacy_ms: f64,
+    indexed_ms: f64,
+    indexed_mt_ms: f64,
+    speedup_1t: f64,
+    speedup_mt: f64,
+}
+
+fn bench_spec(
+    dataset: &Dataset,
+    index: &TabulationIndex,
+    spec: &MarginalSpec,
+    iters: usize,
+    threads: usize,
+) -> SpecResult {
+    let (legacy_ms, legacy) = time_best(iters, || compute_marginal_legacy(dataset, spec));
+    let (indexed_ms, indexed) = time_best(iters, || index.marginal(spec));
+    let (indexed_mt_ms, indexed_mt) = time_best(iters, || index.marginal_sharded(spec, threads));
+    assert_identical(&spec.name(), &legacy, &indexed);
+    assert_identical(&spec.name(), &legacy, &indexed_mt);
+    SpecResult {
+        name: spec.name(),
+        cells: legacy.num_cells(),
+        legacy_ms,
+        indexed_ms,
+        indexed_mt_ms,
+        speedup_1t: legacy_ms / indexed_ms,
+        speedup_mt: legacy_ms / indexed_mt_ms,
+    }
+}
+
+fn main() {
+    let mut iters = 3usize;
+    let mut out = format!("{}/../../BENCH_tabulate.json", env!("CARGO_MANIFEST_DIR"));
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--iters" => {
+                iters = args[i + 1].parse().expect("--iters takes a number");
+                i += 2;
+            }
+            "--out" => {
+                out = args[i + 1].clone();
+                i += 2;
+            }
+            other => panic!("unknown argument {other}"),
+        }
+    }
+
+    let scale = EvalScale::from_env();
+    eprintln!("generating canonical eval dataset ({scale:?}) ...");
+    let dataset = Generator::new(scale.generator_config(CANONICAL_SEED)).generate();
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    eprintln!(
+        "dataset: {} jobs, {} establishments; {threads} hardware threads; best of {iters} iters",
+        dataset.num_jobs(),
+        dataset.num_workplaces()
+    );
+
+    let (build_ms, index) = time_best(iters, || TabulationIndex::build(&dataset));
+
+    // The full-attribute (workload3-class) spec: all establishment
+    // attributes crossed with every worker attribute.
+    let full_spec = MarginalSpec::new(
+        vec![
+            WorkplaceAttr::Place,
+            WorkplaceAttr::Naics,
+            WorkplaceAttr::Ownership,
+        ],
+        vec![
+            WorkerAttr::Sex,
+            WorkerAttr::Age,
+            WorkerAttr::Race,
+            WorkerAttr::Ethnicity,
+            WorkerAttr::Education,
+        ],
+    );
+    let specs = [workload1(), workload3(), full_spec];
+    let mut results = Vec::new();
+    for spec in &specs {
+        let r = bench_spec(&dataset, &index, spec, iters, threads);
+        eprintln!(
+            "{:<55} legacy {:>9.3} ms | indexed(1t) {:>9.3} ms ({:>5.2}x) | indexed({}t) {:>9.3} ms ({:>5.2}x) | {} cells",
+            r.name, r.legacy_ms, r.indexed_ms, r.speedup_1t, threads, r.indexed_mt_ms, r.speedup_mt, r.cells
+        );
+        results.push(r);
+    }
+
+    let spec_json: Vec<String> = results
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\n      \"spec\": \"{}\",\n      \"cells\": {},\n      \"legacy_ms\": {:.3},\n      \"indexed_1t_ms\": {:.3},\n      \"indexed_mt_ms\": {:.3},\n      \"speedup_1t\": {:.3},\n      \"speedup_mt\": {:.3}\n    }}",
+                r.name, r.cells, r.legacy_ms, r.indexed_ms, r.indexed_mt_ms, r.speedup_1t, r.speedup_mt
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"tabulate_old_vs_new\",\n  \"scale\": \"{:?}\",\n  \"jobs\": {},\n  \"establishments\": {},\n  \"threads\": {},\n  \"iters\": {},\n  \"index_build_ms\": {:.3},\n  \"specs\": [\n{}\n  ]\n}}\n",
+        scale,
+        dataset.num_jobs(),
+        dataset.num_workplaces(),
+        threads,
+        iters,
+        build_ms,
+        spec_json.join(",\n")
+    );
+    std::fs::write(&out, json).expect("write BENCH_tabulate.json");
+    eprintln!("wrote {out}");
+}

@@ -27,9 +27,15 @@
 //!   service must not emit them).
 //!
 //! Determinism: per-cell noise streams are derived from
-//! `(request seed, cell key)` with a SplitMix64 mix, so a fixed seed
-//! yields bit-identical artifacts regardless of how many worker threads
-//! participate.
+//! `(request seed, cell key)` with a SplitMix64 mix, and tabulation's
+//! sharded establishment loop merges sorted runs with commutative
+//! aggregates, so a fixed seed yields bit-identical artifacts regardless
+//! of how many worker threads participate in either phase.
+//!
+//! Tabulation runs on a columnar employer-grouped
+//! [`TabulationIndex`] — built **once per
+//! dataset**: `execute_all` builds it per batch, [`TabulationCache`]
+//! (used by `SeasonStore::run`) holds it for a whole season.
 //!
 //! ```
 //! use eree_core::engine::{ReleaseEngine, ReleaseRequest};
@@ -67,7 +73,7 @@ use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::sync::Arc;
-use tabulate::{compute_marginal, compute_marginal_filtered, CellKey, Marginal, MarginalSpec};
+use tabulate::{CellKey, Marginal, MarginalSpec, TabulationIndex};
 
 /// Worker predicate for filtered (single-query) workloads.
 pub type WorkerFilter = Arc<dyn Fn(&Worker) -> bool + Send + Sync>;
@@ -454,17 +460,21 @@ fn tabulation_key(request: &ReleaseRequest) -> TabulationKey {
 }
 
 /// A cache of tabulated truth marginals keyed by
-/// `(MarginalSpec, filter identity)`.
+/// `(MarginalSpec, filter identity)`, plus the shared columnar
+/// [`TabulationIndex`] they were computed from.
 ///
 /// Tabulation is the engine's dominant cost for large universes; a batch
 /// (or a resumed publication season) whose requests share a marginal
-/// should pay it once. The cache is owned by the *caller* (or created per
+/// should pay it once — and every request, shared marginal or not, should
+/// share one CSR index of the dataset, built lazily on the first miss.
+/// The cache is owned by the *caller* (or created per
 /// [`ReleaseEngine::execute_all`] batch) rather than stored inside the
-/// engine, because cached truths are only valid for one dataset — tying
-/// the cache's lifetime to the caller's dataset makes stale reuse a type
-/// discipline instead of a runtime bug.
+/// engine, because cached truths (and the index) are only valid for one
+/// dataset — tying the cache's lifetime to the caller's dataset makes
+/// stale reuse a type discipline instead of a runtime bug.
 #[derive(Default)]
 pub struct TabulationCache {
+    index: Option<Arc<TabulationIndex>>,
     entries: BTreeMap<TabulationKey, (Arc<Marginal>, Option<WorkerFilter>)>,
 }
 
@@ -484,28 +494,41 @@ impl TabulationCache {
         self.entries.is_empty()
     }
 
+    /// The shared columnar index of `dataset`, building it on first use.
+    fn index_for(&mut self, dataset: &Dataset) -> Arc<TabulationIndex> {
+        Arc::clone(
+            self.index
+                .get_or_insert_with(|| Arc::new(TabulationIndex::build(dataset))),
+        )
+    }
+
     /// The truth marginal for `request`, tabulating `dataset` on a miss.
     /// Returns the marginal and whether this call was a cache hit.
     fn get_or_tabulate(
         &mut self,
         dataset: &Dataset,
         request: &ReleaseRequest,
+        threads: usize,
     ) -> (Arc<Marginal>, bool) {
         let key = tabulation_key(request);
         if let Some((truth, _)) = self.entries.get(&key) {
             return (Arc::clone(truth), true);
         }
-        let truth = Arc::new(tabulate_request(dataset, request));
+        let index = self.index_for(dataset);
+        let truth = Arc::new(tabulate_request(&index, request, threads));
         self.entries
             .insert(key, (Arc::clone(&truth), request.filter.clone()));
         (truth, false)
     }
 }
 
-fn tabulate_request(dataset: &Dataset, request: &ReleaseRequest) -> Marginal {
+/// Tabulate one request's truth marginal over the shared index,
+/// sharding the establishment loop across up to `threads` workers
+/// (bit-identical at any count).
+fn tabulate_request(index: &TabulationIndex, request: &ReleaseRequest, threads: usize) -> Marginal {
     match &request.filter {
-        Some(filter) => compute_marginal_filtered(dataset, &request.spec, |w| filter(w)),
-        None => compute_marginal(dataset, &request.spec),
+        Some(filter) => index.marginal_filtered_sharded(&request.spec, |w| filter(w), threads),
+        None => index.marginal_sharded(&request.spec, threads),
     }
 }
 
@@ -575,6 +598,11 @@ impl ReleaseEngine {
     }
 
     /// Validate `request`, charge the ledger, tabulate, and sample.
+    ///
+    /// Builds a throwaway [`TabulationIndex`] for the single tabulation;
+    /// batches and seasons ([`execute_all`](Self::execute_all),
+    /// [`execute_cached`](Self::execute_cached)) share one index across
+    /// requests instead.
     pub fn execute(
         &mut self,
         dataset: &Dataset,
@@ -582,7 +610,9 @@ impl ReleaseEngine {
     ) -> Result<ReleaseArtifact, EngineError> {
         let plan = request.plan()?;
         self.charge(request, &plan)?;
-        Ok(self.run(dataset, request, &plan, self.threads))
+        let index = TabulationIndex::build(dataset);
+        let truth = tabulate_request(&index, request, self.threads);
+        Ok(self.sample(&truth, request, &plan, self.threads))
     }
 
     /// Like [`execute`](Self::execute), but over an already-tabulated
@@ -608,8 +638,9 @@ impl ReleaseEngine {
     /// Like [`execute`](Self::execute), but tabulating through a
     /// caller-owned [`TabulationCache`]: requests sharing a
     /// `(spec, filter)` tabulation — e.g. the sequential, persist-as-you-go
-    /// releases of a publication season — pay for it once. The cache must
-    /// only ever be used with one dataset.
+    /// releases of a publication season — pay for it once, and *all*
+    /// requests share the cache's one [`TabulationIndex`] of the dataset.
+    /// The cache must only ever be used with one dataset.
     pub fn execute_cached(
         &mut self,
         dataset: &Dataset,
@@ -618,7 +649,7 @@ impl ReleaseEngine {
     ) -> Result<ReleaseArtifact, EngineError> {
         let plan = request.plan()?;
         self.charge(request, &plan)?;
-        let (truth, hit) = cache.get_or_tabulate(dataset, request);
+        let (truth, hit) = cache.get_or_tabulate(dataset, request, self.threads);
         if hit {
             self.tab_stats.hits += 1;
         } else {
@@ -658,9 +689,11 @@ impl ReleaseEngine {
             .enumerate()
             .filter_map(|(i, outcome)| outcome.as_ref().ok().map(|plan| (i, &requests[i], *plan)))
             .collect();
-        // Tabulate each distinct (spec, filter-id) exactly once, in
-        // parallel across the distinct keys; requests sharing a marginal
-        // then sample from the shared truth.
+        // Tabulate each distinct (spec, filter-id) exactly once over a
+        // single shared columnar index of the dataset, in parallel across
+        // the distinct keys (leftover threads shard each tabulation's
+        // establishment loop); requests sharing a marginal then sample
+        // from the shared truth.
         let mut key_index: BTreeMap<TabulationKey, usize> = BTreeMap::new();
         let mut distinct: Vec<&ReleaseRequest> = Vec::new();
         for (_, request, _) in &jobs {
@@ -669,10 +702,19 @@ impl ReleaseEngine {
                 distinct.len() - 1
             });
         }
+        let index = if distinct.is_empty() {
+            None
+        } else {
+            Some(TabulationIndex::build(dataset))
+        };
+        let tab_inner = (self.threads / distinct.len().max(1)).max(1);
         let truths: Vec<Arc<Marginal>> = par_map(
             &distinct,
             self.threads.min(distinct.len().max(1)),
-            |request| Arc::new(tabulate_request(dataset, request)),
+            |request| {
+                let index = index.as_ref().expect("index built for nonempty batch");
+                Arc::new(tabulate_request(index, request, tab_inner))
+            },
         );
         self.tab_stats.computed += distinct.len() as u64;
         self.tab_stats.hits += (jobs.len() - distinct.len()) as u64;
@@ -706,18 +748,6 @@ impl ReleaseEngine {
         self.ledger
             .charge(request.description(), &plan.per_cell, &plan.cost)?;
         Ok(())
-    }
-
-    /// Tabulate and sample (no budget interaction — already charged).
-    fn run(
-        &self,
-        dataset: &Dataset,
-        request: &ReleaseRequest,
-        plan: &ReleasePlan,
-        threads: usize,
-    ) -> ReleaseArtifact {
-        let truth = tabulate_request(dataset, request);
-        self.sample(&truth, request, plan, threads)
     }
 
     fn sample(

@@ -32,9 +32,13 @@
 //! request list, it verifies the already-persisted artifacts came from the
 //! same plan (request-by-request provenance comparison), then executes
 //! only the remainder through a [`ReleaseEngine`] opened on the restored
-//! ledger, sharing tabulations via a [`TabulationCache`]. Because per-cell
-//! noise streams derive from `(request seed, cell key)`, the artifacts a
-//! resumed run produces are bit-identical to an uninterrupted run's.
+//! ledger, sharing tabulations via a [`TabulationCache`] — which also
+//! builds the dataset's columnar `TabulationIndex` exactly once per run,
+//! so a resumed season re-tabulates over the shared CSR index instead of
+//! from scratch. Because per-cell noise streams derive from
+//! `(request seed, cell key)` and tabulation's sharded merge is
+//! order-insensitive, the artifacts a resumed run produces are
+//! bit-identical to an uninterrupted run's at any thread count.
 //!
 //! ```
 //! use eree_core::store::SeasonStore;
@@ -511,7 +515,8 @@ impl SeasonStore {
     /// [`dataset_digest`] into the manifest, so it can never be silently
     /// resumed against a *different database* either. Remaining requests
     /// then execute on a [`ReleaseEngine`] over the restored ledger,
-    /// sharing truth tabulations through a [`TabulationCache`].
+    /// sharing truth tabulations (and one columnar tabulation index of
+    /// the dataset) through a [`TabulationCache`].
     ///
     /// A refused request (over budget, invalid parameters) aborts the run
     /// with [`StoreError::Refused`] and records nothing for it: the season

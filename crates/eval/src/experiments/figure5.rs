@@ -14,9 +14,7 @@ use eree_core::MechanismKind;
 use sdl::{SdlConfig, SdlPublisher};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
-use tabulate::{
-    compute_marginal_filtered, ranking2_filter, stratify_by_place_size, workload1, CellKey,
-};
+use tabulate::{ranking2_filter, stratify_by_place_size, workload1, CellKey};
 
 /// One plotted point of Figure 5.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -35,10 +33,12 @@ pub struct Figure5Row {
 
 /// Run the Figure 5 experiment.
 pub fn run(ctx: &ExperimentContext, trials: &TrialSpec) -> Vec<Figure5Row> {
-    // Truth: female × bachelor's+ counts per Workload 1 cell.
-    let truth = compute_marginal_filtered(&ctx.dataset, &workload1(), ranking2_filter);
-    // SDL baseline on the same filtered population.
-    let sdl = SdlPublisher::new(&ctx.dataset, SdlConfig::default()).publish_filtered(
+    // Truth: female × bachelor's+ counts per Workload 1 cell, tabulated
+    // over the context's shared columnar index.
+    let truth = ctx.index.marginal_filtered(&workload1(), ranking2_filter);
+    // SDL baseline on the same filtered population (sharing the index).
+    let sdl = SdlPublisher::new(&ctx.dataset, SdlConfig::default()).publish_filtered_on(
+        &ctx.index,
         &ctx.dataset,
         &workload1(),
         ranking2_filter,

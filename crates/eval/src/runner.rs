@@ -9,7 +9,8 @@
 use lodes::{Dataset, Generator, GeneratorConfig};
 use sdl::{SdlConfig, SdlPublisher, SdlRelease};
 use serde::{Deserialize, Serialize};
-use tabulate::{workload1, workload3, MarginalSpec};
+use std::sync::Arc;
+use tabulate::{workload1, workload3, MarginalSpec, TabulationIndex};
 
 /// Universe scale for experiments.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -120,6 +121,9 @@ impl TrialSpec {
 pub struct ExperimentContext {
     /// The synthetic universe.
     pub dataset: Dataset,
+    /// Shared columnar tabulation index of [`dataset`](Self::dataset),
+    /// built once so every experiment's truth marginals reuse it.
+    pub index: Arc<TabulationIndex>,
     /// SDL release of Workload 1 (place × industry × ownership).
     pub sdl_w1: SdlRelease,
     /// SDL release of Workload 2/3 (… × sex × education).
@@ -137,11 +141,13 @@ impl ExperimentContext {
     /// Build with an explicit data seed (exposed so tests can vary data).
     pub fn with_seed(scale: EvalScale, seed: u64) -> Self {
         let dataset = Generator::new(scale.generator_config(seed)).generate();
+        let index = Arc::new(TabulationIndex::build(&dataset));
         let publisher = SdlPublisher::new(&dataset, SdlConfig::default());
-        let sdl_w1 = publisher.publish(&dataset, &workload1());
-        let sdl_w3 = publisher.publish(&dataset, &workload3());
+        let sdl_w1 = publisher.publish_on(&index, &dataset, &workload1());
+        let sdl_w3 = publisher.publish_on(&index, &dataset, &workload3());
         Self {
             dataset,
+            index,
             sdl_w1,
             sdl_w3,
             scale,
@@ -150,7 +156,11 @@ impl ExperimentContext {
 
     /// SDL release of an arbitrary spec (for workloads beyond W1/W3).
     pub fn sdl_release(&self, spec: &MarginalSpec) -> SdlRelease {
-        SdlPublisher::new(&self.dataset, SdlConfig::default()).publish(&self.dataset, spec)
+        SdlPublisher::new(&self.dataset, SdlConfig::default()).publish_on(
+            &self.index,
+            &self.dataset,
+            spec,
+        )
     }
 
     /// The ε grid of Figures 1–3 and 5.

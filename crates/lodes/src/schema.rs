@@ -200,6 +200,34 @@ impl Dataset {
         &self.establishment_size
     }
 
+    /// Group workers by employing establishment in CSR (compressed sparse
+    /// row) form: returns `(offsets, order)` where
+    /// `order[offsets[e] as usize .. offsets[e + 1] as usize]` lists the
+    /// worker IDs employed at establishment `e`, in ascending worker ID.
+    ///
+    /// This is the physical layout fast tabulation wants — one contiguous
+    /// worker range per establishment — and it is built in two linear
+    /// passes (a counting sort over the inverted Job table), so callers
+    /// can afford to rebuild it per dataset. Deterministic: the layout is
+    /// a pure function of the Job table.
+    pub fn workers_by_employer(&self) -> (Vec<u32>, Vec<u32>) {
+        let mut offsets = Vec::with_capacity(self.workplaces.len() + 1);
+        let mut acc: u32 = 0;
+        offsets.push(0);
+        for &size in &self.establishment_size {
+            acc += size;
+            offsets.push(acc);
+        }
+        let mut cursor: Vec<u32> = offsets[..self.workplaces.len()].to_vec();
+        let mut order = vec![0u32; self.workers.len()];
+        for (worker, employer) in self.employer_of.iter().enumerate() {
+            let slot = &mut cursor[employer.0 as usize];
+            order[*slot as usize] = worker as u32;
+            *slot += 1;
+        }
+        (offsets, order)
+    }
+
     /// Iterate over the joined `WorkerFull` relation: each item is a
     /// (worker, workplace) record pair.
     pub fn worker_full(&self) -> impl Iterator<Item = (&Worker, &Workplace)> + '_ {
@@ -365,6 +393,24 @@ pub(crate) mod tests {
             d.workers().to_vec(),
             jobs,
         );
+    }
+
+    #[test]
+    fn csr_grouping_covers_every_worker_once() {
+        let d = tiny_dataset();
+        let (offsets, order) = d.workers_by_employer();
+        assert_eq!(offsets, vec![0, 2, 3]);
+        assert_eq!(order, vec![0, 1, 2]);
+        for e in 0..d.num_workplaces() {
+            let range = offsets[e] as usize..offsets[e + 1] as usize;
+            assert_eq!(
+                range.len() as u32,
+                d.establishment_size(WorkplaceId(e as u32))
+            );
+            for &w in &order[range] {
+                assert_eq!(d.employer_of(WorkerId(w)), WorkplaceId(e as u32));
+            }
+        }
     }
 
     #[test]

@@ -19,7 +19,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
-use tabulate::{compute_marginal_filtered, CellKey, Marginal, MarginalSpec};
+use tabulate::{CellKey, Marginal, MarginalSpec, TabulationIndex};
 
 /// Configuration of the SDL publication pipeline.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -116,12 +116,39 @@ impl SdlPublisher {
         filter: F,
     ) -> SdlRelease
     where
-        F: Fn(&Worker) -> bool,
+        F: Fn(&Worker) -> bool + Sync,
+    {
+        self.publish_filtered_on(&TabulationIndex::build(dataset), dataset, spec, filter)
+    }
+
+    /// Like [`publish`](Self::publish), but tabulating the truth over a
+    /// caller-provided [`TabulationIndex`] of `dataset`, so repeated
+    /// publications share one index build.
+    pub fn publish_on(
+        &self,
+        index: &TabulationIndex,
+        dataset: &Dataset,
+        spec: &MarginalSpec,
+    ) -> SdlRelease {
+        self.publish_filtered_on(index, dataset, spec, |_| true)
+    }
+
+    /// Filtered variant of [`publish_on`](Self::publish_on). `index` must
+    /// be an index of `dataset`.
+    pub fn publish_filtered_on<F>(
+        &self,
+        index: &TabulationIndex,
+        dataset: &Dataset,
+        spec: &MarginalSpec,
+        filter: F,
+    ) -> SdlRelease
+    where
+        F: Fn(&Worker) -> bool + Sync,
     {
         // Noisy per-cell sums: every worker contributes its establishment's
         // factor. (Equivalent to Σ_w f_w·h(w,c) without materializing the
         // per-establishment histograms.)
-        let truth = compute_marginal_filtered(dataset, spec, &filter);
+        let truth = index.marginal_filtered(spec, &filter);
         let schema = truth.schema();
 
         let mut noisy: BTreeMap<CellKey, f64> = BTreeMap::new();

@@ -41,6 +41,17 @@ impl CellSchema {
                 Attr::Worker(w) => w.cardinality() as u64,
             })
             .collect();
+        Self::from_parts(attrs, cardinalities)
+    }
+
+    /// Build a schema from an attribute list and matching cardinalities
+    /// (used by [`crate::TabulationIndex`], which snapshots the dataset's
+    /// domain cardinalities at build time).
+    ///
+    /// # Panics
+    /// Panics if the cross-product domain exceeds `u64` range.
+    pub(crate) fn from_parts(attrs: Vec<Attr>, cardinalities: Vec<u64>) -> Self {
+        debug_assert_eq!(attrs.len(), cardinalities.len());
         let mut strides = vec![0u64; attrs.len()];
         let mut acc: u64 = 1;
         for i in (0..attrs.len()).rev() {
@@ -98,6 +109,15 @@ impl CellSchema {
     #[inline]
     pub fn value_of(&self, key: CellKey, attr_index: usize) -> u32 {
         ((key.0 / self.strides[attr_index]) % self.cardinalities[attr_index]) as u32
+    }
+
+    /// Mixed-radix stride of the attribute at `attr_index` — the packed
+    /// weight of one unit of that attribute's value inside a key. Exposed
+    /// so the columnar tabulation engine can accumulate keys column-wise
+    /// instead of materializing value tuples for [`encode`](Self::encode).
+    #[inline]
+    pub fn stride_of(&self, attr_index: usize) -> u64 {
+        self.strides[attr_index]
     }
 
     /// Position of an attribute in the key layout, if present.

@@ -1,23 +1,58 @@
-//! Marginal evaluation: one pass over the data, tracking per-establishment
-//! contributions per cell.
+//! Marginal evaluation over the columnar [`TabulationIndex`].
 //!
-//! Two evaluation paths:
+//! The evaluator iterates **establishments, not workers**, over the
+//! index's CSR layout (see [`crate::index`]):
 //!
-//! * **Workplace-only marginals** iterate establishments — each
-//!   establishment lands in exactly one cell, contributing its whole size.
-//! * **Marginals with worker attributes** iterate the joined `WorkerFull`
-//!   relation, first accumulating per-(cell, establishment) counts so the
-//!   per-cell maximum single-establishment contribution `x_v` is exact.
+//! 1. The workplace part of the cell key is encoded **once per
+//!    establishment** by accumulating the spec's workplace code columns
+//!    against the schema strides.
+//! 2. Worker-attribute combinations within the establishment are counted
+//!    in a small **dense scratch array** over the worker sub-domain (at
+//!    most a few thousand codes — the product of worker-attribute
+//!    cardinalities), touching only the `u8` columns the spec names.
+//! 3. Each establishment emits `(cell key, contribution)` pairs; because
+//!    one establishment's workers are contiguous, every pair *is* one
+//!    establishment's exact contribution to one cell — no global
+//!    `(cell, establishment)` hash map exists anywhere.
+//!
+//! **Workplace-only marginals** skip step 2 entirely: each establishment
+//! lands in exactly one cell, contributing its whole (or filtered)
+//! worker-range size.
+//!
+//! **Parallelism and determinism.** The establishment loop is sharded
+//! across `std::thread::scope` workers in contiguous chunks; each shard
+//! sorts its emitted run by key, and the shards are combined by a
+//! deterministic k-way merge that aggregates equal keys into
+//! [`CellStats`] (`count` sums, `establishments` counts pairs,
+//! `max_establishment` maxes). All three aggregates are commutative, so
+//! the resulting [`Marginal`] — a `Vec` of cells sorted by key — is
+//! **bit-identical at any thread count**, preserving the engine-wide
+//! determinism guarantee (artifacts depend only on `(seed, cell key)`).
+//!
+//! Establishment metadata follows Lemma 8.5 throughout: for filtered
+//! queries, `x_v` is the largest per-establishment count of workers
+//! *matching the filter*, and `establishments` counts establishments with
+//! at least one matching worker.
+//!
+//! The pre-index per-worker loop survives as
+//! [`compute_marginal_legacy`] / [`compute_marginal_filtered_legacy`] — a
+//! brute-force reference for tests and the old-vs-new benchmark.
 
 use crate::attr::MarginalSpec;
 use crate::cell::{CellKey, CellSchema};
+use crate::index::TabulationIndex;
 use crate::marginal::{CellStats, Marginal};
 use lodes::{Dataset, Worker};
 use std::collections::{BTreeMap, HashMap};
 
 /// Evaluate the marginal query `q_V(D)`.
+///
+/// Convenience wrapper: builds a throwaway [`TabulationIndex`] and runs
+/// the indexed evaluator single-threaded. Callers tabulating one dataset
+/// more than once should build the index themselves (or go through the
+/// release engine, which shares one per batch/season).
 pub fn compute_marginal(dataset: &Dataset, spec: &MarginalSpec) -> Marginal {
-    compute_marginal_filtered(dataset, spec, |_| true)
+    TabulationIndex::build(dataset).marginal(spec)
 }
 
 /// Evaluate a marginal over only the workers matching `filter`.
@@ -31,13 +66,278 @@ pub fn compute_marginal(dataset: &Dataset, spec: &MarginalSpec) -> Marginal {
 /// matching the query condition.
 pub fn compute_marginal_filtered<F>(dataset: &Dataset, spec: &MarginalSpec, filter: F) -> Marginal
 where
+    F: Fn(&Worker) -> bool + Sync,
+{
+    TabulationIndex::build(dataset).marginal_filtered(spec, filter)
+}
+
+impl TabulationIndex {
+    /// Evaluate `q_V` over the indexed dataset, single-threaded.
+    pub fn marginal(&self, spec: &MarginalSpec) -> Marginal {
+        self.marginal_sharded(spec, 1)
+    }
+
+    /// Evaluate `q_V`, sharding the establishment loop across up to
+    /// `threads` scoped workers. The result is bit-identical at any
+    /// thread count.
+    pub fn marginal_sharded(&self, spec: &MarginalSpec, threads: usize) -> Marginal {
+        tabulate_index(self, spec, None, threads)
+    }
+
+    /// Evaluate `q_V` over only the workers matching `filter`,
+    /// single-threaded.
+    pub fn marginal_filtered<F>(&self, spec: &MarginalSpec, filter: F) -> Marginal
+    where
+        F: Fn(&Worker) -> bool + Sync,
+    {
+        self.marginal_filtered_sharded(spec, filter, 1)
+    }
+
+    /// Evaluate a filtered marginal with a sharded establishment loop.
+    /// The result is bit-identical at any thread count.
+    pub fn marginal_filtered_sharded<F>(
+        &self,
+        spec: &MarginalSpec,
+        filter: F,
+        threads: usize,
+    ) -> Marginal
+    where
+        F: Fn(&Worker) -> bool + Sync,
+    {
+        tabulate_index(self, spec, Some(&filter), threads)
+    }
+}
+
+/// Per-shard tabulation state, borrowed immutably by every worker thread.
+struct ShardPlan<'a> {
+    index: &'a TabulationIndex,
+    /// Workplace code columns of the spec's workplace attributes.
+    wp_cols: Vec<&'a [u32]>,
+    /// Schema strides of the workplace attributes (these already carry the
+    /// worker sub-domain factor, so `base + subkey` is the full key).
+    wp_strides: Vec<u64>,
+    /// Worker code columns of the spec's worker attributes.
+    wk_cols: Vec<&'a [u8]>,
+    /// Schema strides of the worker attributes (the low mixed-radix part;
+    /// sub-keys fit `u32` because worker domains are small enums).
+    wk_strides: Vec<u32>,
+    /// Worker sub-domain size — the dense scratch extent.
+    worker_domain: usize,
+    filter: Option<&'a (dyn Fn(&Worker) -> bool + Sync)>,
+}
+
+/// The indexed evaluator: shard, tabulate sorted runs, k-way merge.
+fn tabulate_index(
+    index: &TabulationIndex,
+    spec: &MarginalSpec,
+    filter: Option<&(dyn Fn(&Worker) -> bool + Sync)>,
+    threads: usize,
+) -> Marginal {
+    let schema = index.schema(spec);
+    let n_estabs = index.num_establishments();
+    let n_wp = spec.workplace_attrs.len();
+    let plan = ShardPlan {
+        index,
+        wp_cols: spec
+            .workplace_attrs
+            .iter()
+            .map(|&a| index.workplace_column(a))
+            .collect(),
+        wp_strides: (0..n_wp).map(|i| schema.stride_of(i)).collect(),
+        wk_cols: spec
+            .worker_attrs
+            .iter()
+            .map(|&a| index.worker_column(a))
+            .collect(),
+        wk_strides: (0..spec.worker_attrs.len())
+            .map(|i| {
+                u32::try_from(schema.stride_of(n_wp + i)).expect("worker sub-domain exceeds u32")
+            })
+            .collect(),
+        worker_domain: spec.worker_domain_size(),
+        filter,
+    };
+    let threads = threads.max(1).min(n_estabs.max(1));
+    let runs: Vec<Vec<(u64, u32)>> = if threads <= 1 {
+        vec![tabulate_shard(&plan, 0, n_estabs)]
+    } else {
+        let chunk = n_estabs.div_ceil(threads);
+        std::thread::scope(|scope| {
+            let plan = &plan;
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let lo = t * chunk;
+                    let hi = ((t + 1) * chunk).min(n_estabs);
+                    scope.spawn(move || tabulate_shard(plan, lo, hi))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("tabulation shard panicked"))
+                .collect()
+        })
+    };
+    Marginal::from_sorted(spec.clone(), schema, merge_runs(runs))
+}
+
+/// Tabulate establishments `lo..hi` into a run of `(key, contribution)`
+/// pairs sorted by key. Each pair is one establishment's exact count in
+/// one cell; an establishment emits at most one pair per cell.
+fn tabulate_shard(plan: &ShardPlan<'_>, lo: usize, hi: usize) -> Vec<(u64, u32)> {
+    let mut run: Vec<(u64, u32)> = Vec::new();
+    // Dense per-establishment counts over the worker sub-domain, reset
+    // via the touched list (sub-domains are ≤ a few thousand codes).
+    let mut scratch = vec![0u32; plan.worker_domain];
+    let mut touched: Vec<u32> = Vec::with_capacity(plan.worker_domain.min(256));
+    let workers = plan.index.workers();
+    for e in lo..hi {
+        let range = plan.index.worker_range(e);
+        if range.is_empty() {
+            continue;
+        }
+        // Workplace part of the key: encoded once per establishment.
+        let mut base: u64 = 0;
+        for (col, &stride) in plan.wp_cols.iter().zip(&plan.wp_strides) {
+            base += col[e] as u64 * stride;
+        }
+        if plan.wk_cols.is_empty() {
+            // Workplace-only fast path: the establishment lands in exactly
+            // one cell with its whole (or filtered) size — no per-worker
+            // attribute work at all when unfiltered.
+            let count = match plan.filter {
+                None => range.len() as u32,
+                Some(f) => workers[range].iter().filter(|w| f(w)).count() as u32,
+            };
+            if count > 0 {
+                run.push((base, count));
+            }
+            continue;
+        }
+        match plan.filter {
+            None => {
+                for i in range {
+                    bump(plan, &mut scratch, &mut touched, i);
+                }
+            }
+            Some(f) => {
+                for i in range {
+                    if f(&workers[i]) {
+                        bump(plan, &mut scratch, &mut touched, i);
+                    }
+                }
+            }
+        }
+        for &subkey in &touched {
+            run.push((base + subkey as u64, scratch[subkey as usize]));
+            scratch[subkey as usize] = 0;
+        }
+        touched.clear();
+    }
+    // Equal keys (same cell, different establishments) may interleave
+    // arbitrarily under the unstable sort; the merge's aggregates are
+    // commutative, so the final marginal does not depend on their order.
+    run.sort_unstable_by_key(|&(key, _)| key);
+    run
+}
+
+/// Count worker `i` into the dense scratch array.
+#[inline]
+fn bump(plan: &ShardPlan<'_>, scratch: &mut [u32], touched: &mut Vec<u32>, i: usize) {
+    let mut subkey: u32 = 0;
+    for (col, &stride) in plan.wk_cols.iter().zip(&plan.wk_strides) {
+        subkey += col[i] as u32 * stride;
+    }
+    let slot = &mut scratch[subkey as usize];
+    if *slot == 0 {
+        touched.push(subkey);
+    }
+    *slot += 1;
+}
+
+/// Deterministic k-way merge of per-shard sorted runs, aggregating every
+/// `(cell, establishment)` contribution with the same key into one
+/// [`CellStats`].
+fn merge_runs(runs: Vec<Vec<(u64, u32)>>) -> Vec<(CellKey, CellStats)> {
+    let mut pos = vec![0usize; runs.len()];
+    let mut out: Vec<(CellKey, CellStats)> =
+        Vec::with_capacity(runs.iter().map(Vec::len).max().unwrap_or(0));
+    loop {
+        let mut min_key: Option<u64> = None;
+        for (run, &p) in runs.iter().zip(&pos) {
+            if let Some(&(key, _)) = run.get(p) {
+                min_key = Some(min_key.map_or(key, |m: u64| m.min(key)));
+            }
+        }
+        let Some(key) = min_key else { break };
+        let mut stats = CellStats {
+            count: 0,
+            establishments: 0,
+            max_establishment: 0,
+        };
+        for (run, p) in runs.iter().zip(&mut pos) {
+            while let Some(&(k, contribution)) = run.get(*p) {
+                if k != key {
+                    break;
+                }
+                stats.count += contribution as u64;
+                stats.establishments += 1;
+                stats.max_establishment = stats.max_establishment.max(contribution);
+                *p += 1;
+            }
+        }
+        out.push((CellKey(key), stats));
+    }
+    out
+}
+
+/// The pre-index evaluator: one pass over the joined `WorkerFull`
+/// relation, accumulating a global `(cell, establishment)` hash map.
+///
+/// Retained as the brute-force fallback/reference; see
+/// [`compute_marginal`] for the production path.
+pub fn compute_marginal_legacy(dataset: &Dataset, spec: &MarginalSpec) -> Marginal {
+    // Unfiltered: every worker survives, no counting pass needed.
+    legacy_with_survivors(dataset, spec, dataset.num_workers(), |_| true)
+}
+
+/// Filtered variant of [`compute_marginal_legacy`].
+pub fn compute_marginal_filtered_legacy<F>(
+    dataset: &Dataset,
+    spec: &MarginalSpec,
+    filter: F,
+) -> Marginal
+where
+    F: Fn(&Worker) -> bool,
+{
+    // One cheap counting pass so the map is sized from the rows that
+    // actually survive the filter (this is the fallback path; clarity and
+    // a right-sized table beat avoiding the extra predicate evaluations).
+    let survivors = dataset.workers().iter().filter(|w| filter(w)).count();
+    legacy_with_survivors(dataset, spec, survivors, filter)
+}
+
+fn legacy_with_survivors<F>(
+    dataset: &Dataset,
+    spec: &MarginalSpec,
+    survivors: usize,
+    filter: F,
+) -> Marginal
+where
     F: Fn(&Worker) -> bool,
 {
     let schema = CellSchema::new(spec, dataset);
     // Accumulate per-(cell, establishment) counts. Establishments are dense
-    // u32 ids, so key by (cell, establishment) pair.
-    let mut per_estab: HashMap<(u64, u32), u32> =
-        HashMap::with_capacity(dataset.num_workplaces() * 2);
+    // u32 ids, so key by (cell, establishment) pair. The map holds at most
+    // one entry per filter-surviving worker, and at most one per
+    // (establishment, worker-sub-domain code) pair — size from whichever
+    // bound is tighter, so wide specs don't rehash and empty filters don't
+    // allocate a workplace-sized table.
+    let capacity = survivors.min(
+        dataset
+            .num_workplaces()
+            .saturating_mul(spec.worker_domain_size()),
+    );
+    let mut per_estab: HashMap<(u64, u32), u32> = HashMap::with_capacity(capacity);
 
     let mut values: Vec<u32> = Vec::with_capacity(schema.attrs().len());
     for worker in dataset.workers() {
@@ -103,6 +403,15 @@ mod tests {
         (count, estabs, max)
     }
 
+    fn assert_marginals_identical(a: &Marginal, b: &Marginal) {
+        assert_eq!(a.num_cells(), b.num_cells());
+        assert_eq!(a.total(), b.total());
+        for ((ka, sa), (kb, sb)) in a.iter().zip(b.iter()) {
+            assert_eq!(ka, kb);
+            assert_eq!(sa, sb);
+        }
+    }
+
     #[test]
     fn engine_matches_brute_force() {
         let d = dataset();
@@ -120,6 +429,56 @@ mod tests {
             assert_eq!(stats.max_establishment, max);
         }
         assert_eq!(m.total() as usize, d.num_jobs());
+    }
+
+    #[test]
+    fn indexed_engine_matches_legacy_engine() {
+        let d = dataset();
+        let index = TabulationIndex::build(&d);
+        let specs = [
+            MarginalSpec::new(vec![], vec![]),
+            MarginalSpec::new(vec![WorkplaceAttr::Place], vec![]),
+            MarginalSpec::new(vec![], vec![WorkerAttr::Age, WorkerAttr::Race]),
+            MarginalSpec::new(
+                vec![
+                    WorkplaceAttr::Place,
+                    WorkplaceAttr::Naics,
+                    WorkplaceAttr::Ownership,
+                ],
+                vec![WorkerAttr::Sex, WorkerAttr::Education],
+            ),
+        ];
+        for spec in &specs {
+            let legacy = compute_marginal_legacy(&d, spec);
+            assert_marginals_identical(&index.marginal(spec), &legacy);
+            // Filtered path too.
+            let legacy_f = compute_marginal_filtered_legacy(&d, spec, |w| w.sex == Sex::Female);
+            let indexed_f = index.marginal_filtered(spec, |w| w.sex == Sex::Female);
+            assert_marginals_identical(&indexed_f, &legacy_f);
+        }
+    }
+
+    #[test]
+    fn sharded_tabulation_is_bit_identical_at_any_thread_count() {
+        let d = dataset();
+        let index = TabulationIndex::build(&d);
+        let spec = MarginalSpec::new(
+            vec![
+                WorkplaceAttr::Place,
+                WorkplaceAttr::Naics,
+                WorkplaceAttr::Ownership,
+            ],
+            vec![WorkerAttr::Sex, WorkerAttr::Education],
+        );
+        let reference = index.marginal_sharded(&spec, 1);
+        for threads in [2, 3, 7, 64] {
+            assert_marginals_identical(&index.marginal_sharded(&spec, threads), &reference);
+        }
+        let filtered_ref = index.marginal_filtered_sharded(&spec, |w| w.sex == Sex::Male, 1);
+        for threads in [2, 5, 16] {
+            let m = index.marginal_filtered_sharded(&spec, |w| w.sex == Sex::Male, threads);
+            assert_marginals_identical(&m, &filtered_ref);
+        }
     }
 
     #[test]
@@ -163,6 +522,11 @@ mod tests {
         let m = compute_marginal_filtered(&d, &spec, |_| false);
         assert_eq!(m.num_cells(), 0);
         assert_eq!(m.total(), 0);
+        // The legacy fallback agrees (and its capacity heuristic now sizes
+        // from the zero filter-surviving rows).
+        let legacy = compute_marginal_filtered_legacy(&d, &spec, |_| false);
+        assert_eq!(legacy.num_cells(), 0);
+        assert_eq!(legacy.total(), 0);
     }
 
     #[test]
@@ -186,5 +550,7 @@ mod tests {
         assert_eq!(m.total() as usize, d.num_jobs());
         // Sparsity: nonzero cells are a tiny fraction of the domain.
         assert!((m.num_cells() as u64) < m.schema().domain_size() / 10);
+        // The widest worker sub-domain still matches the legacy engine.
+        assert_marginals_identical(&m, &compute_marginal_legacy(&d, &spec));
     }
 }

@@ -1,0 +1,237 @@
+//! Columnar, employer-grouped tabulation index.
+//!
+//! The paper's workloads tabulate the same confidential snapshot many
+//! times under different marginal specs; a production release service does
+//! so thousands of times per publication season. [`TabulationIndex`]
+//! amortizes everything that is spec-independent into one build per
+//! [`Dataset`]:
+//!
+//! * a **CSR grouping** of workers by employing establishment —
+//!   `offsets[e]..offsets[e + 1]` is establishment `e`'s contiguous worker
+//!   range — so per-establishment statistics (`x_v`, contributing-
+//!   establishment counts) fall out of a sequential scan instead of a
+//!   global `(cell, establishment)` hash map;
+//! * **pre-extracted attribute code columns**: worker attributes as dense
+//!   `u8` codes in CSR order, workplace attributes as dense `u32` codes
+//!   per establishment — tabulation reads only the columns a spec names;
+//! * the worker records themselves in CSR order, for filtered workloads
+//!   (the filter API takes `&Worker`);
+//! * a snapshot of the dataset's workplace-attribute cardinalities, so a
+//!   [`CellSchema`] can be derived for any spec without re-touching the
+//!   dataset.
+//!
+//! The marginal evaluation built on top of this lives in
+//! [`crate::engine`]; see that module for the sorted-run algorithm and its
+//! determinism guarantee.
+
+use crate::attr::{Attr, MarginalSpec, WorkerAttr, WorkplaceAttr};
+use crate::cell::CellSchema;
+use lodes::{Dataset, Worker};
+
+/// All workplace attributes, in the order their columns are stored.
+const WORKPLACE_ATTRS: [WorkplaceAttr; 6] = [
+    WorkplaceAttr::State,
+    WorkplaceAttr::County,
+    WorkplaceAttr::Place,
+    WorkplaceAttr::Block,
+    WorkplaceAttr::Naics,
+    WorkplaceAttr::Ownership,
+];
+
+/// All worker attributes, in the order their columns are stored.
+const WORKER_ATTRS: [WorkerAttr; 5] = [
+    WorkerAttr::Sex,
+    WorkerAttr::Age,
+    WorkerAttr::Race,
+    WorkerAttr::Ethnicity,
+    WorkerAttr::Education,
+];
+
+fn workplace_slot(attr: WorkplaceAttr) -> usize {
+    match attr {
+        WorkplaceAttr::State => 0,
+        WorkplaceAttr::County => 1,
+        WorkplaceAttr::Place => 2,
+        WorkplaceAttr::Block => 3,
+        WorkplaceAttr::Naics => 4,
+        WorkplaceAttr::Ownership => 5,
+    }
+}
+
+fn worker_slot(attr: WorkerAttr) -> usize {
+    match attr {
+        WorkerAttr::Sex => 0,
+        WorkerAttr::Age => 1,
+        WorkerAttr::Race => 2,
+        WorkerAttr::Ethnicity => 3,
+        WorkerAttr::Education => 4,
+    }
+}
+
+/// Columnar employer-grouped (CSR) layout of one [`Dataset`], built once
+/// and shared across every tabulation of that dataset.
+///
+/// Self-contained: after `build`, tabulation never touches the `Dataset`
+/// again, so an index can be handed to worker threads or cached next to
+/// the truth marginals it produced without borrowing the database.
+#[derive(Debug, Clone)]
+pub struct TabulationIndex {
+    /// CSR offsets: establishment `e`'s workers occupy
+    /// `offsets[e] as usize .. offsets[e + 1] as usize` in the
+    /// employer-grouped worker columns.
+    offsets: Vec<u32>,
+    /// Worker records in employer-grouped order (filter evaluation).
+    workers: Vec<Worker>,
+    /// Worker attribute code columns in employer-grouped order, indexed by
+    /// `worker_slot` (sex, age, race, ethnicity, education). Every worker
+    /// domain has ≤ 8 categories, so `u8` codes are exact.
+    worker_codes: [Vec<u8>; 5],
+    /// Workplace attribute code columns, one entry per establishment,
+    /// indexed by `workplace_slot` (state, county, place, block, naics,
+    /// ownership).
+    workplace_codes: [Vec<u32>; 6],
+    /// Workplace-attribute domain cardinalities of the source dataset,
+    /// indexed by `workplace_slot`.
+    workplace_cards: [u64; 6],
+}
+
+impl TabulationIndex {
+    /// Build the index: one counting sort over the Job table plus one
+    /// column-extraction pass per attribute. `O(workers + establishments)`
+    /// — cheap next to a single tabulation, and amortized across all of
+    /// them.
+    pub fn build(dataset: &Dataset) -> Self {
+        let (offsets, order) = dataset.workers_by_employer();
+        let workers: Vec<Worker> = order
+            .iter()
+            .map(|&w| *dataset.worker(lodes::WorkerId(w)))
+            .collect();
+        let worker_codes = WORKER_ATTRS.map(|attr| {
+            workers
+                .iter()
+                .map(|w| {
+                    let code = attr.value(w);
+                    debug_assert!(code < 256, "worker attribute code exceeds u8");
+                    code as u8
+                })
+                .collect()
+        });
+        let workplace_codes = WORKPLACE_ATTRS.map(|attr| {
+            dataset
+                .workplaces()
+                .iter()
+                .map(|wp| attr.value(wp))
+                .collect()
+        });
+        let workplace_cards = WORKPLACE_ATTRS.map(|attr| attr.cardinality(dataset) as u64);
+        Self {
+            offsets,
+            workers,
+            worker_codes,
+            workplace_codes,
+            workplace_cards,
+        }
+    }
+
+    /// Number of establishments indexed.
+    pub fn num_establishments(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of workers indexed.
+    pub fn num_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Establishment `e`'s worker range in the employer-grouped columns.
+    #[inline]
+    pub(crate) fn worker_range(&self, e: usize) -> std::ops::Range<usize> {
+        self.offsets[e] as usize..self.offsets[e + 1] as usize
+    }
+
+    /// Worker records in employer-grouped order.
+    #[inline]
+    pub(crate) fn workers(&self) -> &[Worker] {
+        &self.workers
+    }
+
+    /// The `u8` code column of one worker attribute (employer-grouped
+    /// order).
+    #[inline]
+    pub(crate) fn worker_column(&self, attr: WorkerAttr) -> &[u8] {
+        &self.worker_codes[worker_slot(attr)]
+    }
+
+    /// The `u32` code column of one workplace attribute (one entry per
+    /// establishment).
+    #[inline]
+    pub(crate) fn workplace_column(&self, attr: WorkplaceAttr) -> &[u32] {
+        &self.workplace_codes[workplace_slot(attr)]
+    }
+
+    /// The key schema `spec` induces over the indexed dataset — identical
+    /// to `CellSchema::new(spec, dataset)` on the source dataset.
+    pub fn schema(&self, spec: &MarginalSpec) -> CellSchema {
+        let attrs: Vec<Attr> = spec.attrs().collect();
+        let cards: Vec<u64> = attrs
+            .iter()
+            .map(|a| match a {
+                Attr::Workplace(w) => self.workplace_cards[workplace_slot(*w)],
+                Attr::Worker(w) => w.cardinality() as u64,
+            })
+            .collect();
+        CellSchema::from_parts(attrs, cards)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lodes::{Generator, GeneratorConfig};
+
+    #[test]
+    fn index_matches_dataset_layout() {
+        let d = Generator::new(GeneratorConfig::test_small(3)).generate();
+        let idx = TabulationIndex::build(&d);
+        assert_eq!(idx.num_establishments(), d.num_workplaces());
+        assert_eq!(idx.num_workers(), d.num_workers());
+        // Every CSR range holds exactly that establishment's workers.
+        for e in 0..idx.num_establishments() {
+            let range = idx.worker_range(e);
+            assert_eq!(
+                range.len() as u32,
+                d.establishment_size(lodes::WorkplaceId(e as u32))
+            );
+            for w in &idx.workers()[range] {
+                assert_eq!(d.employer_of(w.id).0 as usize, e);
+            }
+        }
+        // Columns agree with the record API.
+        let sex = idx.worker_column(WorkerAttr::Sex);
+        for (i, w) in idx.workers().iter().enumerate() {
+            assert_eq!(sex[i] as u32, WorkerAttr::Sex.value(w));
+        }
+        let naics = idx.workplace_column(WorkplaceAttr::Naics);
+        for (e, wp) in d.workplaces().iter().enumerate() {
+            assert_eq!(naics[e], WorkplaceAttr::Naics.value(wp));
+        }
+    }
+
+    #[test]
+    fn schema_matches_dataset_schema() {
+        let d = Generator::new(GeneratorConfig::test_small(5)).generate();
+        let idx = TabulationIndex::build(&d);
+        let spec = MarginalSpec::new(
+            vec![WorkplaceAttr::Place, WorkplaceAttr::Naics],
+            vec![WorkerAttr::Sex, WorkerAttr::Education],
+        );
+        let from_index = idx.schema(&spec);
+        let from_dataset = CellSchema::new(&spec, &d);
+        assert_eq!(from_index.domain_size(), from_dataset.domain_size());
+        assert_eq!(from_index.attrs(), from_dataset.attrs());
+        for i in 0..from_index.attrs().len() {
+            assert_eq!(from_index.stride_of(i), from_dataset.stride_of(i));
+            assert_eq!(from_index.cardinality_of(i), from_dataset.cardinality_of(i));
+        }
+    }
+}

@@ -17,15 +17,21 @@
 //!   the SDL attack demonstrations, which need singleton-establishment
 //!   cells).
 //!
-//! The engine is deterministic: cells are kept in a `BTreeMap` ordered by
-//! packed key, so iteration order (and therefore experiment output) is
-//! stable across runs.
+//! Evaluation runs on a columnar, employer-grouped [`TabulationIndex`]
+//! (CSR worker ranges + pre-extracted attribute code columns), built once
+//! per dataset and shared across every tabulation of it; the
+//! establishment loop shards across scoped threads and merges sorted
+//! per-shard runs deterministically. The engine is deterministic: cells
+//! live in a `Vec` sorted by packed key, so iteration order (and
+//! therefore experiment output) is stable across runs *and* bit-identical
+//! at any thread count.
 
 pub mod area;
 pub mod attr;
 pub mod cell;
 pub mod engine;
 pub mod flows;
+pub mod index;
 pub mod marginal;
 pub mod strata;
 pub mod workload;
@@ -33,8 +39,12 @@ pub mod workload;
 pub use area::{area_comparison, validate_disjoint, AreaSelection, OverlapError};
 pub use attr::{Attr, MarginalSpec, WorkerAttr, WorkplaceAttr};
 pub use cell::{CellKey, CellSchema};
-pub use engine::{compute_marginal, compute_marginal_filtered};
+pub use engine::{
+    compute_marginal, compute_marginal_filtered, compute_marginal_filtered_legacy,
+    compute_marginal_legacy,
+};
 pub use flows::{compute_flows, FlowMarginal, FlowStats};
+pub use index::TabulationIndex;
 pub use marginal::{CellStats, Marginal};
 pub use strata::stratify_by_place_size;
 pub use workload::{ranking2_filter, workload1, workload2, workload3};

@@ -23,22 +23,48 @@ pub struct CellStats {
 /// Only nonzero cells are stored. LODES publications release sparse tables
 /// (zeros are implicit and, under the current SDL, exact); the evaluation
 /// follows the paper in computing error over the published (nonzero) cells.
+///
+/// Cells are held in a `Vec` sorted by packed key — the output shape the
+/// tabulation engine's sorted-run merge produces directly. Ordered
+/// iteration is identical to the former `BTreeMap` store; point lookups
+/// ([`cell`](Self::cell)) are a binary search; merges, scans, and
+/// serialization walk contiguous memory.
 #[derive(Debug, Clone)]
 pub struct Marginal {
     spec: MarginalSpec,
     schema: CellSchema,
-    cells: BTreeMap<CellKey, CellStats>,
+    /// Nonzero cells, strictly ascending by key.
+    cells: Vec<(CellKey, CellStats)>,
     total: u64,
 }
 
 impl Marginal {
-    /// Assemble a marginal from parts (used by the engine).
+    /// Assemble a marginal from parts (used by the legacy engine path).
     pub(crate) fn new(
         spec: MarginalSpec,
         schema: CellSchema,
         cells: BTreeMap<CellKey, CellStats>,
     ) -> Self {
-        let total = cells.values().map(|c| c.count).sum();
+        // BTreeMap iteration is ascending by key, so the collected Vec
+        // satisfies the sorted-store invariant by construction.
+        Self::from_sorted(spec, schema, cells.into_iter().collect())
+    }
+
+    /// Assemble a marginal from an already-sorted cell run (the tabulation
+    /// engine's merge output).
+    ///
+    /// # Panics
+    /// Debug-asserts that keys are strictly ascending.
+    pub(crate) fn from_sorted(
+        spec: MarginalSpec,
+        schema: CellSchema,
+        cells: Vec<(CellKey, CellStats)>,
+    ) -> Self {
+        debug_assert!(
+            cells.windows(2).all(|w| w[0].0 < w[1].0),
+            "cell run must be strictly sorted by key"
+        );
+        let total = cells.iter().map(|(_, c)| c.count).sum();
         Self {
             spec,
             schema,
@@ -70,17 +96,20 @@ impl Marginal {
 
     /// Stats for one cell; `None` when the true count is zero.
     pub fn cell(&self, key: CellKey) -> Option<&CellStats> {
-        self.cells.get(&key)
+        self.cells
+            .binary_search_by_key(&key, |&(k, _)| k)
+            .ok()
+            .map(|i| &self.cells[i].1)
     }
 
     /// Iterate over nonzero cells in key order.
     pub fn iter(&self) -> impl Iterator<Item = (CellKey, &CellStats)> {
-        self.cells.iter().map(|(&k, v)| (k, v))
+        self.cells.iter().map(|(k, v)| (*k, v))
     }
 
     /// The count vector in key order (for error metrics).
     pub fn counts(&self) -> Vec<u64> {
-        self.cells.values().map(|c| c.count).collect()
+        self.cells.iter().map(|(_, c)| c.count).collect()
     }
 
     /// Restrict to cells where each listed worker attribute takes the given
@@ -114,7 +143,7 @@ impl Marginal {
             .collect();
 
         let mut out: BTreeMap<CellKey, u64> = BTreeMap::new();
-        for (&key, stats) in &self.cells {
+        for &(key, ref stats) in &self.cells {
             if positions
                 .iter()
                 .all(|&(pos, val)| self.schema.value_of(key, pos) == val)

@@ -82,7 +82,7 @@ pub mod prelude {
     pub use sdl::{SdlConfig, SdlPublisher};
     pub use tabulate::{
         compute_marginal, compute_marginal_filtered, ranking2_filter, workload1, workload3,
-        CellKey, Marginal, MarginalSpec, WorkerAttr, WorkplaceAttr,
+        CellKey, Marginal, MarginalSpec, TabulationIndex, WorkerAttr, WorkplaceAttr,
     };
 }
 

@@ -136,6 +136,48 @@ fn execute_all_deterministic_for_any_thread_count() {
 }
 
 #[test]
+fn indexed_artifacts_bit_identical_to_legacy_tabulation() {
+    // The CSR-index engine replaced the legacy per-worker tabulation
+    // under every release path; per-cell noise depends only on
+    // (seed, cell key), so artifacts must be bit-identical to ones
+    // sampled from a legacy-tabulated truth — at any thread count.
+    use tabulate::{compute_marginal_filtered_legacy, compute_marginal_legacy, ranking2_filter};
+    let d = dataset();
+    let request = |seed: u64| {
+        ReleaseRequest::marginal(workload3())
+            .mechanism(MechanismKind::LogLaplace)
+            .budget(PrivacyParams::pure(0.1, 8.0))
+            .seed(seed)
+    };
+    let legacy_truth = compute_marginal_legacy(&d, &workload3());
+    for threads in [1, 2, 8] {
+        let mut via_legacy =
+            ReleaseEngine::new(PrivacyParams::pure(0.1, 8.0)).with_parallelism(threads);
+        let mut via_index =
+            ReleaseEngine::new(PrivacyParams::pure(0.1, 8.0)).with_parallelism(threads);
+        let a = via_legacy
+            .execute_precomputed(&legacy_truth, &request(77))
+            .unwrap();
+        let b = via_index.execute(&d, &request(77)).unwrap();
+        assert_eq!(a, b, "threads={threads}");
+    }
+    // Filtered releases agree too (weak-regime single-query workload).
+    let filtered_truth = compute_marginal_filtered_legacy(&d, &workload1(), ranking2_filter);
+    let filtered_request = ReleaseRequest::marginal(workload1())
+        .filter(ranking2_filter)
+        .mechanism(MechanismKind::LogLaplace)
+        .budget(PrivacyParams::pure(0.1, 2.0))
+        .seed(78);
+    let mut via_legacy = ReleaseEngine::new(PrivacyParams::pure(0.1, 2.0));
+    let mut via_index = ReleaseEngine::new(PrivacyParams::pure(0.1, 2.0));
+    let a = via_legacy
+        .execute_precomputed(&filtered_truth, &filtered_request)
+        .unwrap();
+    let b = via_index.execute(&d, &filtered_request).unwrap();
+    assert_eq!(a, b);
+}
+
+#[test]
 fn production_artifacts_carry_no_truth_digest() {
     // Nothing in the default workspace build enables eree_core's
     // `eval-only` feature, so artifacts from the facade must NOT embed

@@ -155,6 +155,81 @@ proptest! {
         }
     }
 
+    /// The index-based CSR tabulation engine is cell-for-cell identical —
+    /// `count`, `establishments`, `max_establishment` — to an independent
+    /// brute-force reference (per-worker loop into a per-establishment
+    /// map), across random specs, filters, data seeds, and thread counts.
+    #[test]
+    fn indexed_tabulation_matches_brute_force(
+        seed in 0u64..40,
+        use_place in any::<bool>(),
+        use_naics in any::<bool>(),
+        use_own in any::<bool>(),
+        use_sex in any::<bool>(),
+        use_age in any::<bool>(),
+        use_edu in any::<bool>(),
+        filter_kind in 0u8..3,
+        threads in 1usize..5,
+    ) {
+        use lodes::{Sex, Worker};
+        use std::collections::BTreeMap;
+
+        let d = Generator::new(GeneratorConfig {
+            target_establishments: 250,
+            states: 1,
+            counties_per_state: 2,
+            places_per_county: 3,
+            blocks_per_place: 2,
+            seed,
+            ..GeneratorConfig::default()
+        }).generate();
+        let mut wp = vec![];
+        if use_place { wp.push(WorkplaceAttr::Place); }
+        if use_naics { wp.push(WorkplaceAttr::Naics); }
+        if use_own { wp.push(WorkplaceAttr::Ownership); }
+        let mut wk = vec![];
+        if use_sex { wk.push(WorkerAttr::Sex); }
+        if use_age { wk.push(WorkerAttr::Age); }
+        if use_edu { wk.push(WorkerAttr::Education); }
+        let spec = MarginalSpec::new(wp, wk);
+        let filter = move |w: &Worker| match filter_kind {
+            0 => true,
+            1 => w.sex == Sex::Female,
+            _ => w.age.index() >= 3,
+        };
+
+        // Brute-force reference: per-worker loop into a
+        // (cell values, establishment) -> count map, aggregated per cell.
+        let index = TabulationIndex::build(&d);
+        let schema = index.schema(&spec);
+        let mut per_estab: BTreeMap<(u64, u32), u32> = BTreeMap::new();
+        for w in d.workers() {
+            if !filter(w) { continue; }
+            let wp_rec = d.workplace(d.employer_of(w.id));
+            let mut vals = Vec::new();
+            for a in &spec.workplace_attrs { vals.push(a.value(wp_rec)); }
+            for a in &spec.worker_attrs { vals.push(a.value(w)); }
+            *per_estab.entry((schema.encode(&vals).0, wp_rec.id.0)).or_insert(0) += 1;
+        }
+        let mut reference: BTreeMap<u64, (u64, u32, u32)> = BTreeMap::new();
+        for (&(key, _), &c) in &per_estab {
+            let cell = reference.entry(key).or_insert((0, 0, 0));
+            cell.0 += c as u64;
+            cell.1 += 1;
+            cell.2 = cell.2.max(c);
+        }
+
+        let m = index.marginal_filtered_sharded(&spec, filter, threads);
+        prop_assert_eq!(m.num_cells(), reference.len());
+        for (key, stats) in m.iter() {
+            let &(count, estabs, max) = reference.get(&key.0)
+                .expect("indexed cell missing from brute force");
+            prop_assert_eq!(stats.count, count);
+            prop_assert_eq!(stats.establishments, estabs);
+            prop_assert_eq!(stats.max_establishment, max);
+        }
+    }
+
     #[test]
     fn spearman_stays_in_range_and_detects_identity(
         values in prop::collection::vec(0.0f64..1e6, 3..60),
