@@ -10,6 +10,9 @@
 //!
 //! Usage: `cargo run --release -p bench --bin bench_tabulate -- [--iters N] [--out PATH]`
 //! Scale follows `EREE_SCALE` (`small`/`default`/`paper`).
+//!
+//! The output schema (field-by-field) and the 1-core dev-container
+//! caveat are documented in the `bench` crate's rustdoc (`crates/bench`).
 
 use eval::runner::EvalScale;
 use lodes::{Dataset, Generator};

@@ -3,6 +3,46 @@
 //! One bench target per paper exhibit (`figure1`..`figure5`, `table1`,
 //! `table2`) plus mechanism microbenches and design-choice ablations.
 //! Shared fixtures live here.
+//!
+//! # The tabulation perf probe and `BENCH_tabulate.json`
+//!
+//! Beyond the Criterion targets, `bin/bench_tabulate` times the legacy
+//! per-worker tabulation engine against the columnar CSR
+//! [`TabulationIndex`](tabulate::TabulationIndex) engine on the canonical
+//! eval dataset, and **panics if the two ever disagree on a single
+//! cell** — CI runs it at small scale as a correctness smoke as well as
+//! a perf probe. Regenerate the checked-in file with:
+//!
+//! ```text
+//! cargo run --release -p bench --bin bench_tabulate
+//! ```
+//!
+//! (`--iters N` controls best-of-N timing, `--out PATH` overrides the
+//! destination, and `EREE_SCALE` = `small` / `default` / `paper` selects
+//! the universe; the checked-in file is Default scale, ≈ 1.0 M jobs.)
+//!
+//! The JSON written at the repo root has this schema:
+//!
+//! | field | meaning |
+//! |---|---|
+//! | `bench` | always `"tabulate_old_vs_new"` |
+//! | `scale` | the `EREE_SCALE` the run used |
+//! | `jobs`, `establishments` | size of the timed universe |
+//! | `threads` | hardware threads used for the `_mt` rows |
+//! | `iters` | best-of-N iteration count |
+//! | `index_build_ms` | one-time [`TabulationIndex`](tabulate::TabulationIndex) build cost |
+//! | `specs[].spec` | marginal spec name (`workload1`, `workload3`, full-attribute) |
+//! | `specs[].cells` | nonzero cells tabulated |
+//! | `specs[].legacy_ms` | legacy per-worker engine, single-threaded |
+//! | `specs[].indexed_1t_ms` | CSR engine, single-threaded |
+//! | `specs[].indexed_mt_ms` | CSR engine, sharded across `threads` |
+//! | `specs[].speedup_1t` / `speedup_mt` | `legacy_ms` over the two indexed times |
+//!
+//! **Caveat (from ROADMAP):** the dev container is 1-core, so the
+//! checked-in `indexed_mt_ms` ≈ `indexed_1t_ms` and `engine_batch`'s
+//! sequential-vs-parallel comparison reads as parity there; multi-core
+//! CI runners show the real sharded speedup. Treat `speedup_1t` as the
+//! portable number.
 
 use eval::runner::{EvalScale, ExperimentContext, TrialSpec};
 

@@ -10,8 +10,11 @@
 //! * [`ReleaseRequest`] — a builder describing one release: a marginal
 //!   (`ReleaseRequest::marginal`) or an establishment-shape release
 //!   (`ReleaseRequest::shapes`), with a mechanism, an `(α, ε[, δ])`
-//!   budget (total or per-cell), an optional worker filter, optional
-//!   integer post-processing, and a seed.
+//!   budget (total or per-cell), an optional population filter (a
+//!   declarative, serializable [`FilterExpr`] via
+//!   [`ReleaseRequest::filter_expr`]; opaque closures survive as a
+//!   deprecated escape hatch), optional integer post-processing, and a
+//!   seed.
 //! * [`ReleaseEngine`] — owns a [`Ledger`] and executes requests. Every
 //!   request is validated against the mechanism's constraints and the
 //!   remaining budget *before* any sampling happens; a rejected request
@@ -35,17 +38,22 @@
 //! Tabulation runs on a columnar employer-grouped
 //! [`TabulationIndex`] — built **once per
 //! dataset**: `execute_all` builds it per batch, [`TabulationCache`]
-//! (used by `SeasonStore::run`) holds it for a whole season.
+//! (used by `SeasonStore::run`) holds it for a whole season. Within a
+//! batch or cache, each distinct `(MarginalSpec, filter identity)` is
+//! tabulated once; declarative filters are identified by their
+//! normalized structure (the [`FilterId`] digest is its compact
+//! fingerprint), so structurally equal expressions share even when
+//! constructed independently.
 //!
 //! ```
 //! use eree_core::engine::{ReleaseEngine, ReleaseRequest};
-//! use eree_core::{MechanismKind, PrivacyParams};
-//! use lodes::{Generator, GeneratorConfig};
+//! use eree_core::{FilterExpr, MechanismKind, PrivacyParams};
+//! use lodes::{Generator, GeneratorConfig, Sex};
 //! use tabulate::{workload1, workload3};
 //!
 //! let dataset = Generator::new(GeneratorConfig::test_small(7)).generate();
 //! // One ledger governs the whole publication season.
-//! let mut engine = ReleaseEngine::new(PrivacyParams::pure(0.1, 10.0));
+//! let mut engine = ReleaseEngine::new(PrivacyParams::pure(0.1, 11.0));
 //! let batch = vec![
 //!     ReleaseRequest::marginal(workload1())
 //!         .mechanism(MechanismKind::SmoothGamma)
@@ -55,10 +63,23 @@
 //!         .mechanism(MechanismKind::LogLaplace)
 //!         .budget(PrivacyParams::pure(0.1, 8.0))
 //!         .seed(2),
+//!     // A sub-population release: the filter is declarative data, so it
+//!     // is recorded in the artifact's provenance and shares tabulations
+//!     // with any structurally equal filter.
+//!     ReleaseRequest::marginal(workload1())
+//!         .mechanism(MechanismKind::SmoothGamma)
+//!         .budget(PrivacyParams::pure(0.1, 1.0))
+//!         .filter_expr(FilterExpr::sex(Sex::Female))
+//!         .seed(3),
 //! ];
 //! let artifacts = engine.execute_all(&dataset, &batch);
 //! assert!(artifacts.iter().all(|a| a.is_ok()));
 //! assert!(engine.ledger().remaining_epsilon() < 1e-9);
+//! let filtered = artifacts[2].as_ref().unwrap();
+//! assert_eq!(
+//!     filtered.request.filter_id(),
+//!     Some(FilterExpr::sex(Sex::Female).id()),
+//! );
 //! ```
 
 use crate::accountant::{Ledger, ReleaseCost};
@@ -73,10 +94,42 @@ use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::sync::Arc;
-use tabulate::{CellKey, Marginal, MarginalSpec, TabulationIndex};
+use tabulate::{CellKey, FilterExpr, FilterId, Marginal, MarginalSpec, TabulationIndex};
 
-/// Worker predicate for filtered (single-query) workloads.
+/// Worker predicate for filtered (single-query) workloads — the opaque
+/// escape hatch. Prefer [`FilterExpr`] (via
+/// [`ReleaseRequest::filter_expr`]): an expression's identity is
+/// serializable, so structurally equal filters share tabulations and
+/// filter provenance survives in artifacts and season stores.
 pub type WorkerFilter = Arc<dyn Fn(&Worker) -> bool + Send + Sync>;
+
+/// How a request restricts the tabulated population.
+#[derive(Clone)]
+enum RequestFilter {
+    /// Declarative, serializable filter (the documented path).
+    Expr(FilterExpr),
+    /// Opaque closure (deprecated escape hatch); identity is the `Arc`
+    /// pointer, provenance records only a boolean.
+    Closure(WorkerFilter),
+}
+
+impl RequestFilter {
+    fn expr(&self) -> Option<&FilterExpr> {
+        match self {
+            RequestFilter::Expr(expr) => Some(expr),
+            RequestFilter::Closure(_) => None,
+        }
+    }
+}
+
+impl std::fmt::Debug for RequestFilter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RequestFilter::Expr(expr) => write!(f, "Expr({})", expr.id()),
+            RequestFilter::Closure(_) => write!(f, "Closure(<opaque>)"),
+        }
+    }
+}
 
 /// What kind of release a request describes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -112,15 +165,16 @@ enum BudgetSpec {
 /// Construct with [`ReleaseRequest::marginal`] or
 /// [`ReleaseRequest::shapes`], then chain [`mechanism`](Self::mechanism),
 /// [`budget`](Self::budget) (or [`budget_per_cell`](Self::budget_per_cell)),
-/// and optionally [`filter`](Self::filter), [`integerize`](Self::integerize),
-/// [`seed`](Self::seed), [`describe`](Self::describe).
+/// and optionally [`filter_expr`](Self::filter_expr),
+/// [`integerize`](Self::integerize), [`seed`](Self::seed),
+/// [`describe`](Self::describe).
 #[derive(Clone)]
 pub struct ReleaseRequest {
     kind: RequestKind,
     spec: MarginalSpec,
     mechanism: Option<MechanismKind>,
     budget: Option<BudgetSpec>,
-    filter: Option<WorkerFilter>,
+    filter: Option<RequestFilter>,
     integerize: bool,
     seed: u64,
     description: Option<String>,
@@ -133,7 +187,7 @@ impl std::fmt::Debug for ReleaseRequest {
             .field("spec", &self.spec.name())
             .field("mechanism", &self.mechanism)
             .field("budget", &self.budget)
-            .field("filtered", &self.filter.is_some())
+            .field("filter", &self.filter)
             .field("integerize", &self.integerize)
             .field("seed", &self.seed)
             .finish()
@@ -186,11 +240,38 @@ impl ReleaseRequest {
         self
     }
 
-    /// Restrict the tabulated population by a worker predicate. Filtered
-    /// counts answer worker-level questions even on workplace-only specs,
-    /// so a filtered request always runs under the **weak** regime.
+    /// Restrict the tabulated population by a declarative [`FilterExpr`]
+    /// (see [`crate::filter`]). Filtered counts answer worker-level
+    /// questions even on workplace-only specs, so a filtered request
+    /// always runs under the **weak** regime (including a vacuous
+    /// `FilterExpr::All` — the engine prices the request by its form,
+    /// not by what the expression happens to match).
+    ///
+    /// Unlike a closure filter, the expression is recorded in the
+    /// artifact's provenance, keys the tabulation cache by its
+    /// normalized structure (structurally equal expressions share a
+    /// tabulation, no `Arc` reuse required — the [`FilterId`] digest is
+    /// only a compact fingerprint), and is verified across season
+    /// resumes.
+    pub fn filter_expr(mut self, expr: FilterExpr) -> Self {
+        self.filter = Some(RequestFilter::Expr(expr));
+        self
+    }
+
+    /// Restrict the tabulated population by an opaque worker predicate.
+    ///
+    /// Deprecated escape hatch: a closure's identity is its `Arc`
+    /// pointer, so only requests cloned from one handle share
+    /// tabulations, and provenance records nothing but a boolean flag —
+    /// a resumed season cannot verify *which* population was filtered.
+    /// Use [`filter_expr`](Self::filter_expr) unless the predicate
+    /// genuinely cannot be expressed as a [`FilterExpr`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use filter_expr(FilterExpr) — serializable identity, shared tabulations, verifiable provenance"
+    )]
     pub fn filter(mut self, filter: impl Fn(&Worker) -> bool + Send + Sync + 'static) -> Self {
-        self.filter = Some(Arc::new(filter));
+        self.filter = Some(RequestFilter::Closure(Arc::new(filter)));
         self
     }
 
@@ -292,6 +373,7 @@ impl ReleaseRequest {
             budget_is_per_cell: plan.per_cell_budgeting,
             seed: self.seed,
             filtered: self.filter.is_some(),
+            filter: self.filter.as_ref().and_then(RequestFilter::expr).cloned(),
             integerized: self.integerize,
             description: self.description(),
         }
@@ -314,7 +396,12 @@ pub struct ReleasePlan {
 }
 
 /// Immutable record of what was asked for, embedded in every artifact.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Serde is hand-written (not derived) for one reason: artifacts
+/// persisted before the filter AST existed carry no `filter` field, and
+/// they must keep deserializing — a missing field reads as `None`, the
+/// exact provenance those artifacts recorded.
+#[derive(Debug, Clone, PartialEq)]
 pub struct RequestProvenance {
     /// Marginal or shapes.
     pub kind: RequestKind,
@@ -331,10 +418,69 @@ pub struct RequestProvenance {
     pub seed: u64,
     /// Whether a worker filter restricted the population.
     pub filtered: bool,
+    /// The declarative filter restricting the population, when the
+    /// request used [`ReleaseRequest::filter_expr`]. `None` for
+    /// unfiltered requests, for the deprecated closure escape hatch
+    /// (whose only trace is [`filtered`](Self::filtered)), and for
+    /// artifacts persisted before the AST existed.
+    pub filter: Option<FilterExpr>,
     /// Whether outputs were rounded to non-negative integers.
     pub integerized: bool,
     /// Free-form description (also the ledger entry text).
     pub description: String,
+}
+
+impl RequestProvenance {
+    /// Content digest of the recorded filter expression, when one was
+    /// recorded. Season resume verification compares these digests.
+    pub fn filter_id(&self) -> Option<FilterId> {
+        self.filter.as_ref().map(FilterExpr::id)
+    }
+}
+
+impl Serialize for RequestProvenance {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("kind".to_string(), self.kind.to_value()),
+            ("spec".to_string(), self.spec.to_value()),
+            ("mechanism".to_string(), self.mechanism.to_value()),
+            ("budget".to_string(), self.budget.to_value()),
+            (
+                "budget_is_per_cell".to_string(),
+                self.budget_is_per_cell.to_value(),
+            ),
+            ("seed".to_string(), self.seed.to_value()),
+            ("filtered".to_string(), self.filtered.to_value()),
+            ("filter".to_string(), self.filter.to_value()),
+            ("integerized".to_string(), self.integerized.to_value()),
+            ("description".to_string(), self.description.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for RequestProvenance {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        Ok(Self {
+            kind: Deserialize::from_value(serde::get_field(v, "kind")?)?,
+            spec: Deserialize::from_value(serde::get_field(v, "spec")?)?,
+            mechanism: Deserialize::from_value(serde::get_field(v, "mechanism")?)?,
+            budget: Deserialize::from_value(serde::get_field(v, "budget")?)?,
+            budget_is_per_cell: Deserialize::from_value(serde::get_field(
+                v,
+                "budget_is_per_cell",
+            )?)?,
+            seed: Deserialize::from_value(serde::get_field(v, "seed")?)?,
+            filtered: Deserialize::from_value(serde::get_field(v, "filtered")?)?,
+            // Absent in pre-AST artifacts: default to "no expression
+            // recorded" rather than refusing the whole store.
+            filter: match v.get("filter") {
+                Some(value) => Deserialize::from_value(value)?,
+                None => None,
+            },
+            integerized: Deserialize::from_value(serde::get_field(v, "integerized")?)?,
+            description: Deserialize::from_value(serde::get_field(v, "description")?)?,
+        })
+    }
 }
 
 /// The released data inside an artifact.
@@ -438,30 +584,43 @@ impl ReleaseArtifact {
 /// Execution order for batches and per-cell noising.
 const MIN_PARALLEL_CELLS: usize = 512;
 
+/// Identity of the filter of one tabulation, for cache keying.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+enum FilterKey {
+    /// The normalized form of a declarative filter: *structurally equal*
+    /// expressions share a tabulation no matter where or when they were
+    /// constructed. The expression itself is the key (not its
+    /// [`FilterId`] digest) so a digest collision can never alias two
+    /// different populations onto one cached truth.
+    Expr(FilterExpr),
+    /// Address of an opaque closure's shared [`WorkerFilter`] allocation:
+    /// only requests built from the *same* `Arc` (a cloned request, or
+    /// one handle reused across a batch) share. Cache entries hold a
+    /// clone of the `Arc`, so a keyed address can never be freed and
+    /// reused while the cache lives.
+    Opaque(usize),
+}
+
 /// Identity of one tabulation: the marginal spec plus the identity of the
-/// worker filter restricting its population (`None` when unfiltered).
-///
-/// Filters are opaque closures, so their identity is the address of the
-/// shared [`WorkerFilter`] allocation: requests built from the *same*
-/// `Arc` (e.g. a cloned request, or one filter handle reused across a
-/// batch) share a tabulation; textually identical but separately
-/// constructed closures do not. Cache entries hold a clone of the `Arc`,
-/// so a keyed address can never be freed and reused while the cache lives.
-type TabulationKey = (MarginalSpec, Option<usize>);
+/// filter restricting its population (`None` when unfiltered).
+type TabulationKey = (MarginalSpec, Option<FilterKey>);
 
 fn tabulation_key(request: &ReleaseRequest) -> TabulationKey {
     (
         request.spec.clone(),
-        request
-            .filter
-            .as_ref()
-            .map(|f| Arc::as_ptr(f) as *const () as usize),
+        request.filter.as_ref().map(|f| match f {
+            RequestFilter::Expr(expr) => FilterKey::Expr(expr.normalized()),
+            RequestFilter::Closure(closure) => {
+                FilterKey::Opaque(Arc::as_ptr(closure) as *const () as usize)
+            }
+        }),
     )
 }
 
 /// A cache of tabulated truth marginals keyed by
-/// `(MarginalSpec, filter identity)`, plus the shared columnar
-/// [`TabulationIndex`] they were computed from.
+/// `(MarginalSpec, filter identity)` — the normalized expression for
+/// declarative filters, the `Arc` address for opaque closures — plus the
+/// shared columnar [`TabulationIndex`] they were computed from.
 ///
 /// Tabulation is the engine's dominant cost for large universes; a batch
 /// (or a resumed publication season) whose requests share a marginal
@@ -516,8 +675,14 @@ impl TabulationCache {
         }
         let index = self.index_for(dataset);
         let truth = Arc::new(tabulate_request(&index, request, threads));
-        self.entries
-            .insert(key, (Arc::clone(&truth), request.filter.clone()));
+        // Pin opaque closures so an `Opaque` key's address can never be
+        // freed and reused while the cache lives; declarative filters are
+        // keyed by their normalized structure and need no pinning.
+        let pinned = match &request.filter {
+            Some(RequestFilter::Closure(closure)) => Some(Arc::clone(closure)),
+            _ => None,
+        };
+        self.entries.insert(key, (Arc::clone(&truth), pinned));
         (truth, false)
     }
 }
@@ -527,7 +692,12 @@ impl TabulationCache {
 /// (bit-identical at any count).
 fn tabulate_request(index: &TabulationIndex, request: &ReleaseRequest, threads: usize) -> Marginal {
     match &request.filter {
-        Some(filter) => index.marginal_filtered_sharded(&request.spec, |w| filter(w), threads),
+        Some(RequestFilter::Expr(expr)) => {
+            index.marginal_expr_sharded(&request.spec, expr, threads)
+        }
+        Some(RequestFilter::Closure(filter)) => {
+            index.marginal_filtered_sharded(&request.spec, |w| filter(w), threads)
+        }
         None => index.marginal_sharded(&request.spec, threads),
     }
 }
@@ -689,15 +859,20 @@ impl ReleaseEngine {
             .enumerate()
             .filter_map(|(i, outcome)| outcome.as_ref().ok().map(|plan| (i, &requests[i], *plan)))
             .collect();
-        // Tabulate each distinct (spec, filter-id) exactly once over a
-        // single shared columnar index of the dataset, in parallel across
-        // the distinct keys (leftover threads shard each tabulation's
-        // establishment loop); requests sharing a marginal then sample
-        // from the shared truth.
-        let mut key_index: BTreeMap<TabulationKey, usize> = BTreeMap::new();
+        // Tabulate each distinct (spec, filter identity) exactly once over
+        // a single shared columnar index of the dataset, in parallel
+        // across the distinct keys (leftover threads shard each
+        // tabulation's establishment loop); requests sharing a marginal
+        // then sample from the shared truth. Keys (which clone and
+        // normalize the filter expression) are computed once per job.
+        let job_keys: Vec<TabulationKey> = jobs
+            .iter()
+            .map(|(_, request, _)| tabulation_key(request))
+            .collect();
+        let mut key_index: BTreeMap<&TabulationKey, usize> = BTreeMap::new();
         let mut distinct: Vec<&ReleaseRequest> = Vec::new();
-        for (_, request, _) in &jobs {
-            key_index.entry(tabulation_key(request)).or_insert_with(|| {
+        for ((_, request, _), key) in jobs.iter().zip(&job_keys) {
+            key_index.entry(key).or_insert_with(|| {
                 distinct.push(request);
                 distinct.len() - 1
             });
@@ -720,8 +895,9 @@ impl ReleaseEngine {
         self.tab_stats.hits += (jobs.len() - distinct.len()) as u64;
         let tasks: Vec<(usize, &ReleaseRequest, ReleasePlan, Arc<Marginal>)> = jobs
             .iter()
-            .map(|&(i, request, plan)| {
-                let truth = Arc::clone(&truths[key_index[&tabulation_key(request)]]);
+            .zip(&job_keys)
+            .map(|(&(i, request, plan), key)| {
+                let truth = Arc::clone(&truths[key_index[key]]);
                 (i, request, plan, truth)
             })
             .collect();
@@ -968,8 +1144,12 @@ mod tests {
     fn regimes_follow_spec_and_filter() {
         let plain = ReleaseRequest::marginal(workload1());
         assert_eq!(plain.regime(), NeighborKind::Strong);
-        let filtered = ReleaseRequest::marginal(workload1()).filter(|w| w.sex.index() == 1);
+        let filtered =
+            ReleaseRequest::marginal(workload1()).filter_expr(FilterExpr::sex(lodes::Sex::Female));
         assert_eq!(filtered.regime(), NeighborKind::Weak);
+        #[allow(deprecated)]
+        let closure = ReleaseRequest::marginal(workload1()).filter(|w| w.sex.index() == 1);
+        assert_eq!(closure.regime(), NeighborKind::Weak);
         assert_eq!(
             ReleaseRequest::marginal(workload3()).regime(),
             NeighborKind::Weak
@@ -1160,6 +1340,129 @@ mod tests {
         assert!(engine.execute_cached(&d, &r1, &mut cache).is_err());
         assert!(cache.is_empty());
         assert_eq!(engine.tabulation_stats(), TabulationStats::default());
+    }
+
+    #[test]
+    fn structurally_equal_filter_exprs_share_one_tabulation() {
+        use lodes::{Education, Sex};
+        let d = dataset();
+        // Two *separately constructed* — but structurally equal —
+        // expressions: no Arc reuse, no pointer identity.
+        let ranking2 = || {
+            FilterExpr::sex(Sex::Female)
+                .and(FilterExpr::education_at_least(Education::BachelorOrHigher))
+        };
+        let requests = vec![
+            ReleaseRequest::marginal(workload1())
+                .mechanism(MechanismKind::SmoothGamma)
+                .budget(PrivacyParams::pure(0.1, 2.0))
+                .filter_expr(ranking2())
+                .seed(1),
+            ReleaseRequest::marginal(workload1())
+                .mechanism(MechanismKind::LogLaplace)
+                .budget(PrivacyParams::pure(0.1, 1.0))
+                .filter_expr(ranking2())
+                .seed(2),
+        ];
+        let mut engine = ReleaseEngine::new(PrivacyParams::pure(0.1, 3.0));
+        let outcomes = engine.execute_all(&d, &requests);
+        assert!(outcomes.iter().all(Result::is_ok));
+        assert_eq!(engine.tabulation_stats().computed, 1);
+        assert_eq!(engine.tabulation_stats().hits, 1);
+        // The caller-owned cache shares by digest the same way.
+        let mut engine = ReleaseEngine::new(PrivacyParams::pure(0.1, 3.0));
+        let mut cache = TabulationCache::new();
+        let a0 = engine.execute_cached(&d, &requests[0], &mut cache).unwrap();
+        let a1 = engine.execute_cached(&d, &requests[1], &mut cache).unwrap();
+        assert_eq!(cache.len(), 1);
+        assert_eq!(engine.tabulation_stats().hits, 1);
+        assert_eq!(outcomes[0].as_ref().unwrap(), &a0);
+        assert_eq!(outcomes[1].as_ref().unwrap(), &a1);
+        // A structurally different filter does not share.
+        let mut other = ReleaseEngine::new(PrivacyParams::pure(0.1, 1.0));
+        other
+            .execute_cached(
+                &d,
+                &ReleaseRequest::marginal(workload1())
+                    .mechanism(MechanismKind::LogLaplace)
+                    .budget(PrivacyParams::pure(0.1, 1.0))
+                    .filter_expr(FilterExpr::sex(Sex::Female))
+                    .seed(3),
+                &mut cache,
+            )
+            .unwrap();
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn closure_filters_still_share_by_arc_identity() {
+        use lodes::Sex;
+        let d = dataset();
+        let shared: WorkerFilter = Arc::new(|w: &Worker| w.sex == Sex::Female);
+        let request = |seed: u64, f: WorkerFilter| {
+            let mut r = ReleaseRequest::marginal(workload1())
+                .mechanism(MechanismKind::LogLaplace)
+                .budget(PrivacyParams::pure(0.1, 1.0))
+                .seed(seed);
+            r.filter = Some(RequestFilter::Closure(f));
+            r
+        };
+        let mut engine = ReleaseEngine::new(PrivacyParams::pure(0.1, 3.0));
+        let batch = vec![
+            request(1, Arc::clone(&shared)),
+            request(2, Arc::clone(&shared)),
+            // Textually identical but separately allocated: not shared.
+            request(3, Arc::new(|w: &Worker| w.sex == Sex::Female)),
+        ];
+        let outcomes = engine.execute_all(&d, &batch);
+        assert!(outcomes.iter().all(Result::is_ok));
+        assert_eq!(engine.tabulation_stats().computed, 2);
+        assert_eq!(engine.tabulation_stats().hits, 1);
+        // The AST filter for the same population is bit-identical to the
+        // closure's artifact (modulo provenance, which now records it).
+        let mut ast_engine = ReleaseEngine::new(PrivacyParams::pure(0.1, 1.0));
+        let ast = ast_engine
+            .execute(
+                &d,
+                &ReleaseRequest::marginal(workload1())
+                    .mechanism(MechanismKind::LogLaplace)
+                    .budget(PrivacyParams::pure(0.1, 1.0))
+                    .filter_expr(FilterExpr::sex(Sex::Female))
+                    .seed(1),
+            )
+            .unwrap();
+        let closure_artifact = outcomes[0].as_ref().unwrap();
+        assert_eq!(ast.payload, closure_artifact.payload);
+        assert!(closure_artifact.request.filter.is_none());
+        assert!(closure_artifact.request.filtered);
+        assert!(ast.request.filter.is_some());
+    }
+
+    #[test]
+    fn provenance_json_without_filter_field_still_deserializes() {
+        // A pre-AST artifact's provenance has no `filter` key at all.
+        let request = ReleaseRequest::marginal(workload1())
+            .mechanism(MechanismKind::SmoothGamma)
+            .budget(PrivacyParams::pure(0.1, 2.0))
+            .seed(7);
+        let fresh = request.provenance(&request.plan().unwrap());
+        let json = serde_json::to_string(&fresh).unwrap();
+        let stripped = json.replace("\"filter\":null,", "");
+        assert_ne!(json, stripped, "test must actually remove the field");
+        let parsed: RequestProvenance = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(parsed, fresh);
+        // And a filtered provenance round-trips with its expression.
+        let filtered = ReleaseRequest::marginal(workload1())
+            .mechanism(MechanismKind::SmoothGamma)
+            .budget(PrivacyParams::pure(0.1, 2.0))
+            .filter_expr(FilterExpr::sex(lodes::Sex::Female))
+            .seed(7);
+        let fresh = filtered.provenance(&filtered.plan().unwrap());
+        let back: RequestProvenance =
+            serde_json::from_str(&serde_json::to_string(&fresh).unwrap()).unwrap();
+        assert_eq!(back, fresh);
+        assert_eq!(back.filter_id(), fresh.filter_id());
     }
 
     #[test]

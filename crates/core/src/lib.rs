@@ -112,6 +112,11 @@
 //!   single and batch execution (noising parallelized across
 //!   cells/requests, deterministic under any thread count), durable
 //!   artifacts, and the shared [`engine::TabulationCache`].
+//! * [`filter`] — declarative sub-population filters ([`FilterExpr`]):
+//!   serializable ASTs over worker/workplace attributes with a stable
+//!   content digest ([`FilterId`]), so filtered requests share
+//!   tabulations by structure and filter provenance is verified across
+//!   season resumes.
 //! * [`store`] — the on-disk season store: atomic artifact + ledger
 //!   persistence with verified, replay-based resume.
 //! * [`error`] — the [`EngineError`] hierarchy consolidating release,
@@ -119,10 +124,15 @@
 //! * [`release`] / [`shape`] — the legacy free functions, now thin
 //!   deprecated wrappers over the engine.
 
+// Every public item of the release pipeline is part of an agency-facing
+// API surface; undocumented additions fail `cargo doc -D warnings` in CI.
+#![warn(missing_docs)]
+
 pub mod accountant;
 pub mod definitions;
 pub mod engine;
 pub mod error;
+pub mod filter;
 pub mod integerize;
 pub mod mechanisms;
 pub mod neighbors;
@@ -142,6 +152,7 @@ pub use engine::{
     RequestProvenance, TabulationCache, TabulationStats, TruthDigest,
 };
 pub use error::EngineError;
+pub use filter::{Cmp, CompiledFilter, FilterExpr, FilterId};
 pub use integerize::Integerized;
 pub use mechanisms::{
     CellQuery, CountMechanism, LogLaplaceMechanism, MechanismKind, SmoothGammaMechanism,

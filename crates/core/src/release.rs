@@ -150,7 +150,7 @@ pub fn release_marginal(
 /// (Thm 7.4 holds for the weak variant), so the cost multiplier stays 1.
 #[deprecated(
     since = "0.1.0",
-    note = "use ReleaseEngine::execute with ReleaseRequest::marginal(..).filter(..)"
+    note = "use ReleaseEngine::execute with ReleaseRequest::marginal(..).filter_expr(..)"
 )]
 pub fn release_marginal_filtered<F>(
     dataset: &Dataset,
@@ -162,6 +162,7 @@ where
     F: Fn(&Worker) -> bool + Send + Sync + 'static,
 {
     let truth = compute_marginal_filtered(dataset, spec, &filter);
+    #[allow(deprecated)] // closure-filter wrapper stays on the closure API
     let request = ReleaseRequest::marginal(spec.clone())
         .mechanism(config.mechanism)
         .budget(config.budget)

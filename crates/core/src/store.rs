@@ -30,7 +30,11 @@
 //!
 //! [`SeasonStore::run`] is the resumable driver: given the season's full
 //! request list, it verifies the already-persisted artifacts came from the
-//! same plan (request-by-request provenance comparison), then executes
+//! same plan — request-by-request provenance comparison, with declarative
+//! filters checked by content digest (`FilterId`), so a plan whose
+//! sub-population definition changed is refused; artifacts persisted
+//! before the filter AST existed fall back to the legacy boolean-flag
+//! check — then executes
 //! only the remainder through a [`ReleaseEngine`] opened on the restored
 //! ledger, sharing tabulations via a [`TabulationCache`] — which also
 //! builds the dataset's columnar `TabulationIndex` exactly once per run,
@@ -557,11 +561,11 @@ impl SeasonStore {
                 description: request.description(),
                 source: e,
             })?;
-            if release.request != request.provenance(&plan) {
+            if let Err(why) = provenance_matches(&release.request, &request.provenance(&plan)) {
                 return Err(StoreError::Inconsistent {
                     detail: format!(
                         "persisted artifact {i} ({}) does not match the season plan's \
-                         request {i} ({}) — refusing to resume under a different plan",
+                         request {i} ({}): {why} — refusing to resume under a different plan",
                         release.request.description,
                         request.description()
                     ),
@@ -594,6 +598,58 @@ impl SeasonStore {
 /// The canonical path of artifact `index`.
 fn artifact_file(dir: &Path, index: usize) -> PathBuf {
     dir.join(format!("{index:06}.json"))
+}
+
+/// Does a persisted release's provenance match what the resume plan's
+/// request would produce?
+///
+/// Filters are compared **structurally, in normalized form**: a stored
+/// expression must equal the plan's (membership sets canonicalized), so
+/// a season can never silently resume under a filter whose *population*
+/// definition changed — something the pre-AST boolean `filtered` flag
+/// could not see. The [`FilterId`] digests appear only in the error
+/// message; equality never rests on a 64-bit fingerprint.
+///
+/// One asymmetry is tolerated for compatibility: artifacts persisted
+/// before the filter AST existed (and closure-filtered requests, whose
+/// expression was never representable) record `filter: None` while still
+/// flagging `filtered: true`. When the *stored* side has no expression,
+/// the expression cannot be checked and verification falls back to the
+/// flag and every other provenance field. The reverse is never
+/// tolerated: a stored expression that the plan no longer carries is a
+/// plan change.
+fn provenance_matches(
+    stored: &crate::engine::RequestProvenance,
+    fresh: &crate::engine::RequestProvenance,
+) -> Result<(), String> {
+    match (&stored.filter, &fresh.filter) {
+        (Some(s), Some(f)) if s.normalized() != f.normalized() => {
+            return Err(format!(
+                "stored filter (digest {}) differs from the plan's filter (digest {})",
+                s.id(),
+                f.id()
+            ));
+        }
+        (Some(s), None) => {
+            return Err(format!(
+                "stored artifact records a filter (digest {}) but the plan's request \
+                 carries no filter expression",
+                s.id()
+            ));
+        }
+        // Pre-AST artifact (or closure escape hatch): no expression to
+        // check; the `filtered` flag is still compared below with the
+        // rest.
+        (None, _) | (Some(_), Some(_)) => {}
+    }
+    // Compare every remaining field by neutralizing the (already
+    // structurally checked) expression.
+    let mut fresh_rest = fresh.clone();
+    fresh_rest.filter = stored.filter.clone();
+    if stored != &fresh_rest {
+        return Err("request parameters differ".to_string());
+    }
+    Ok(())
 }
 
 /// A stable FNV-1a fingerprint of the confidential database: table sizes,

@@ -14,7 +14,7 @@ use eree_core::MechanismKind;
 use sdl::{SdlConfig, SdlPublisher};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
-use tabulate::{ranking2_filter, stratify_by_place_size, workload1, CellKey};
+use tabulate::{ranking2_expr, stratify_by_place_size, workload1, CellKey};
 
 /// One plotted point of Figure 5.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -34,14 +34,18 @@ pub struct Figure5Row {
 /// Run the Figure 5 experiment.
 pub fn run(ctx: &ExperimentContext, trials: &TrialSpec) -> Vec<Figure5Row> {
     // Truth: female × bachelor's+ counts per Workload 1 cell, tabulated
-    // over the context's shared columnar index.
-    let truth = ctx.index.marginal_filtered(&workload1(), ranking2_filter);
+    // over the context's shared columnar index. The population is the
+    // declarative `ranking2_expr()` filter, so this experiment exercises
+    // the same filter definition a release pipeline would record in
+    // provenance.
+    let filter = ranking2_expr();
+    let truth = ctx.index.marginal_expr(&workload1(), &filter);
     // SDL baseline on the same filtered population (sharing the index).
-    let sdl = SdlPublisher::new(&ctx.dataset, SdlConfig::default()).publish_filtered_on(
+    let sdl = SdlPublisher::new(&ctx.dataset, SdlConfig::default()).publish_expr_on(
         &ctx.index,
         &ctx.dataset,
         &workload1(),
-        ranking2_filter,
+        &filter,
     );
 
     let strata = stratify_by_place_size(&truth, &ctx.dataset);

@@ -9,8 +9,10 @@
 //! * [`experiments`] — one module per paper exhibit: `figure1` … `figure5`,
 //!   `table1`, `table2`.
 //! * [`report`] — markdown/CSV rendering of experiment results.
-//! * [`season`] — the canonical publication season, persisted and
-//!   resumable through the core [`SeasonStore`](eree_core::SeasonStore).
+//! * [`season`] — the canonical five-release publication season
+//!   (including a declaratively filtered sub-population release),
+//!   persisted and resumable through the core
+//!   [`SeasonStore`](eree_core::SeasonStore).
 //!
 //! Each exhibit also has a binary (`cargo run -p eval --release --bin
 //! figure1`) that prints the regenerated rows/series and writes them under

@@ -12,16 +12,18 @@ use eree_core::store::{SeasonReport, SeasonStore, StoreError};
 use eree_core::{MechanismKind, PrivacyParams, ReleaseRequest};
 use lodes::Dataset;
 use std::path::Path;
-use tabulate::{workload1, workload3, MarginalSpec, WorkplaceAttr};
+use tabulate::{ranking2_expr, workload1, workload3, MarginalSpec, WorkplaceAttr};
 
-/// The season-long budget: covers the four canonical releases exactly.
+/// The season-long budget: covers the five canonical releases exactly.
 pub fn season_budget() -> PrivacyParams {
-    PrivacyParams::approximate(0.1, 12.0, 0.05)
+    PrivacyParams::approximate(0.1, 13.0, 0.05)
 }
 
 /// The canonical season plan, in publication order. The first two
 /// requests share the Workload 1 tabulation (exercising the engine's
-/// tabulation cache); the last is an approximate-DP county release.
+/// tabulation cache); the fourth is an approximate-DP county release;
+/// the last is a declaratively filtered sub-population release whose
+/// `FilterExpr` is persisted in provenance and digest-verified on resume.
 pub fn season_requests() -> Vec<ReleaseRequest> {
     let county = MarginalSpec::new(vec![WorkplaceAttr::County], vec![]);
     vec![
@@ -40,11 +42,17 @@ pub fn season_requests() -> Vec<ReleaseRequest> {
             .budget(PrivacyParams::pure(0.1, 8.0))
             .describe("S3: ... x sex x education")
             .seed(0xA3),
-        ReleaseRequest::marginal(county)
+        ReleaseRequest::marginal(county.clone())
             .mechanism(MechanismKind::SmoothLaplace)
             .budget(PrivacyParams::approximate(0.1, 1.0, 0.05))
             .describe("S4: county marginal (Smooth Laplace)")
             .seed(0xA4),
+        ReleaseRequest::marginal(county)
+            .mechanism(MechanismKind::SmoothGamma)
+            .budget(PrivacyParams::pure(0.1, 1.0))
+            .filter_expr(ranking2_expr())
+            .describe("S5: county marginal, female x bachelor's+ (Ranking 2 population)")
+            .seed(0xA5),
     ]
 }
 
@@ -81,11 +89,16 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         let dataset = Generator::new(GeneratorConfig::test_small(3)).generate();
         let (first, store) = run_or_resume(&dir, &dataset).unwrap();
-        assert_eq!(first.executed, 4);
-        assert_eq!(store.completed(), 4);
+        assert_eq!(first.executed, 5);
+        assert_eq!(store.completed(), 5);
+        // The filtered release's expression is in the persisted provenance.
+        assert_eq!(
+            store.releases()[4].request.filter_id(),
+            Some(ranking2_expr().id())
+        );
         drop(store);
         let (second, store) = run_or_resume(&dir, &dataset).unwrap();
-        assert_eq!(second.resumed_from, 4);
+        assert_eq!(second.resumed_from, 5);
         assert_eq!(second.executed, 0);
         assert!(store.ledger().remaining_epsilon() < 1e-9);
         std::fs::remove_dir_all(&dir).unwrap();

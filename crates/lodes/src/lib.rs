@@ -33,7 +33,7 @@ pub mod stats;
 pub mod worker;
 
 pub use generator::{Generator, GeneratorConfig};
-pub use geo::{BlockId, Geography, PlaceId, PlaceSizeClass};
+pub use geo::{BlockId, CountyId, Geography, PlaceId, PlaceSizeClass, StateId};
 pub use histogram::WorkplaceHistogram;
 pub use naics::NaicsSector;
 pub use ownership::Ownership;

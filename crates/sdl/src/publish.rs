@@ -19,7 +19,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
-use tabulate::{CellKey, Marginal, MarginalSpec, TabulationIndex};
+use tabulate::{CellKey, FilterExpr, Marginal, MarginalSpec, TabulationIndex};
 
 /// Configuration of the SDL publication pipeline.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -104,11 +104,29 @@ impl SdlPublisher {
 
     /// Publish the marginal `spec` over `dataset`.
     pub fn publish(&self, dataset: &Dataset, spec: &MarginalSpec) -> SdlRelease {
-        self.publish_filtered(dataset, spec, |_| true)
+        self.publish_inner(&TabulationIndex::build(dataset), dataset, spec, |_| true)
     }
 
-    /// Publish a filtered marginal (e.g. Ranking 2's
-    /// "female × bachelor's-or-higher" population).
+    /// Publish a marginal restricted to the sub-population matching the
+    /// declarative `expr` (e.g. [`tabulate::ranking2_expr`] for Ranking
+    /// 2's "female × bachelor's-or-higher" workers). The expression form
+    /// keeps the SDL baseline on the same filter definitions — and the
+    /// same provenance story — as the formally private engine it is
+    /// compared against.
+    pub fn publish_expr(
+        &self,
+        dataset: &Dataset,
+        spec: &MarginalSpec,
+        expr: &FilterExpr,
+    ) -> SdlRelease {
+        self.publish_expr_on(&TabulationIndex::build(dataset), dataset, spec, expr)
+    }
+
+    /// Publish a filtered marginal through an opaque closure.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use publish_expr(FilterExpr) — declarative filters share definitions with the release engine"
+    )]
     pub fn publish_filtered<F>(
         &self,
         dataset: &Dataset,
@@ -118,7 +136,7 @@ impl SdlPublisher {
     where
         F: Fn(&Worker) -> bool + Sync,
     {
-        self.publish_filtered_on(&TabulationIndex::build(dataset), dataset, spec, filter)
+        self.publish_inner(&TabulationIndex::build(dataset), dataset, spec, filter)
     }
 
     /// Like [`publish`](Self::publish), but tabulating the truth over a
@@ -130,12 +148,41 @@ impl SdlPublisher {
         dataset: &Dataset,
         spec: &MarginalSpec,
     ) -> SdlRelease {
-        self.publish_filtered_on(index, dataset, spec, |_| true)
+        self.publish_inner(index, dataset, spec, |_| true)
     }
 
-    /// Filtered variant of [`publish_on`](Self::publish_on). `index` must
-    /// be an index of `dataset`.
+    /// Declaratively filtered variant of [`publish_on`](Self::publish_on).
+    /// `index` must be an index of `dataset`.
+    pub fn publish_expr_on(
+        &self,
+        index: &TabulationIndex,
+        dataset: &Dataset,
+        spec: &MarginalSpec,
+        expr: &FilterExpr,
+    ) -> SdlRelease {
+        let compiled = expr.compile(index);
+        self.publish_inner(index, dataset, spec, |w| compiled.matches(w))
+    }
+
+    /// Closure-filtered variant of [`publish_on`](Self::publish_on).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use publish_expr_on(FilterExpr) — declarative filters share definitions with the release engine"
+    )]
     pub fn publish_filtered_on<F>(
+        &self,
+        index: &TabulationIndex,
+        dataset: &Dataset,
+        spec: &MarginalSpec,
+        filter: F,
+    ) -> SdlRelease
+    where
+        F: Fn(&Worker) -> bool + Sync,
+    {
+        self.publish_inner(index, dataset, spec, filter)
+    }
+
+    fn publish_inner<F>(
         &self,
         index: &TabulationIndex,
         dataset: &Dataset,
@@ -305,6 +352,16 @@ mod tests {
             e_large > 3.0 * e_small,
             "10x distortion should raise error: {e_small} vs {e_large}"
         );
+    }
+
+    #[test]
+    fn expr_publication_matches_closure_publication() {
+        let (d, p) = setup();
+        let via_expr = p.publish_expr(&d, &workload1(), &tabulate::ranking2_expr());
+        #[allow(deprecated)]
+        let via_closure = p.publish_filtered(&d, &workload1(), tabulate::ranking2_filter);
+        assert_eq!(via_expr.published, via_closure.published);
+        assert_eq!(via_expr.truth.num_cells(), via_closure.truth.num_cells());
     }
 
     #[test]

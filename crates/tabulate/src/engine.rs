@@ -71,6 +71,20 @@ where
     TabulationIndex::build(dataset).marginal_filtered(spec, filter)
 }
 
+/// Evaluate a marginal over only the records matching the declarative
+/// filter `expr` (see [`crate::filter`]).
+///
+/// Convenience wrapper building a throwaway [`TabulationIndex`]; callers
+/// tabulating one dataset more than once should build the index
+/// themselves and use [`TabulationIndex::marginal_expr`].
+pub fn compute_marginal_expr(
+    dataset: &Dataset,
+    spec: &MarginalSpec,
+    expr: &crate::filter::FilterExpr,
+) -> Marginal {
+    TabulationIndex::build(dataset).marginal_expr(spec, expr)
+}
+
 impl TabulationIndex {
     /// Evaluate `q_V` over the indexed dataset, single-threaded.
     pub fn marginal(&self, spec: &MarginalSpec) -> Marginal {
@@ -91,6 +105,30 @@ impl TabulationIndex {
         F: Fn(&Worker) -> bool + Sync,
     {
         self.marginal_filtered_sharded(spec, filter, 1)
+    }
+
+    /// Evaluate `q_V` over only the records matching the declarative
+    /// filter `expr`, single-threaded. The expression is compiled against
+    /// this index (workplace leaves resolved per establishment, worker
+    /// leaves collapsed into domain truth tables — see [`crate::filter`])
+    /// and then evaluated exactly like a closure filter, so the result is
+    /// bit-identical to [`marginal_filtered`](Self::marginal_filtered)
+    /// with the equivalent predicate.
+    pub fn marginal_expr(&self, spec: &MarginalSpec, expr: &crate::filter::FilterExpr) -> Marginal {
+        self.marginal_expr_sharded(spec, expr, 1)
+    }
+
+    /// Evaluate a declaratively filtered marginal with a sharded
+    /// establishment loop. The result is bit-identical at any thread
+    /// count.
+    pub fn marginal_expr_sharded(
+        &self,
+        spec: &MarginalSpec,
+        expr: &crate::filter::FilterExpr,
+        threads: usize,
+    ) -> Marginal {
+        let compiled = expr.compile(self);
+        self.marginal_filtered_sharded(spec, |w| compiled.matches(w), threads)
     }
 
     /// Evaluate a filtered marginal with a sharded establishment loop.

@@ -27,6 +27,7 @@
 use crate::attr::{Attr, MarginalSpec, WorkerAttr, WorkplaceAttr};
 use crate::cell::CellSchema;
 use lodes::{Dataset, Worker};
+use std::sync::Arc;
 
 /// All workplace attributes, in the order their columns are stored.
 const WORKPLACE_ATTRS: [WorkplaceAttr; 6] = [
@@ -93,6 +94,12 @@ pub struct TabulationIndex {
     /// Workplace-attribute domain cardinalities of the source dataset,
     /// indexed by `workplace_slot`.
     workplace_cards: [u64; 6],
+    /// Employing establishment per **dense worker id** (the inverse of
+    /// the CSR grouping). Filter compilation needs it to resolve
+    /// workplace predicates from a bare `&Worker`; it is
+    /// filter-independent, so it is built once here and shared (`Arc`)
+    /// with every [`crate::filter::CompiledFilter`].
+    employer_of_worker: Arc<Vec<u32>>,
 }
 
 impl TabulationIndex {
@@ -124,12 +131,19 @@ impl TabulationIndex {
                 .collect()
         });
         let workplace_cards = WORKPLACE_ATTRS.map(|attr| attr.cardinality(dataset) as u64);
+        let mut employer_of_worker = vec![0u32; workers.len()];
+        for e in 0..offsets.len() - 1 {
+            for i in offsets[e] as usize..offsets[e + 1] as usize {
+                employer_of_worker[workers[i].id.0 as usize] = e as u32;
+            }
+        }
         Self {
             offsets,
             workers,
             worker_codes,
             workplace_codes,
             workplace_cards,
+            employer_of_worker: Arc::new(employer_of_worker),
         }
     }
 
@@ -167,6 +181,12 @@ impl TabulationIndex {
     #[inline]
     pub(crate) fn workplace_column(&self, attr: WorkplaceAttr) -> &[u32] {
         &self.workplace_codes[workplace_slot(attr)]
+    }
+
+    /// Shared employing-establishment column, indexed by dense worker id.
+    #[inline]
+    pub(crate) fn employer_of_worker(&self) -> &Arc<Vec<u32>> {
+        &self.employer_of_worker
     }
 
     /// The key schema `spec` induces over the indexed dataset — identical

@@ -25,11 +25,19 @@
 //! live in a `Vec` sorted by packed key, so iteration order (and
 //! therefore experiment output) is stable across runs *and* bit-identical
 //! at any thread count.
+//!
+//! Sub-population workloads (Ranking 2, OnTheMap-style extracts) restrict
+//! the tabulated population with a declarative [`FilterExpr`] — a
+//! serializable AST over worker and workplace attributes with a stable
+//! content digest ([`FilterId`]) — compiled against the index into the
+//! same closure form the raw `Fn(&Worker) -> bool` API consumes; see
+//! [`filter`].
 
 pub mod area;
 pub mod attr;
 pub mod cell;
 pub mod engine;
+pub mod filter;
 pub mod flows;
 pub mod index;
 pub mod marginal;
@@ -40,11 +48,12 @@ pub use area::{area_comparison, validate_disjoint, AreaSelection, OverlapError};
 pub use attr::{Attr, MarginalSpec, WorkerAttr, WorkplaceAttr};
 pub use cell::{CellKey, CellSchema};
 pub use engine::{
-    compute_marginal, compute_marginal_filtered, compute_marginal_filtered_legacy,
-    compute_marginal_legacy,
+    compute_marginal, compute_marginal_expr, compute_marginal_filtered,
+    compute_marginal_filtered_legacy, compute_marginal_legacy,
 };
+pub use filter::{Cmp, CompiledFilter, FilterExpr, FilterId};
 pub use flows::{compute_flows, FlowMarginal, FlowStats};
 pub use index::TabulationIndex;
 pub use marginal::{CellStats, Marginal};
 pub use strata::stratify_by_place_size;
-pub use workload::{ranking2_filter, workload1, workload2, workload3};
+pub use workload::{ranking2_expr, ranking2_filter, workload1, workload2, workload3};

@@ -12,6 +12,7 @@
 //!   workers with a bachelor's degree or higher.
 
 use crate::attr::{MarginalSpec, WorkerAttr, WorkplaceAttr};
+use crate::filter::FilterExpr;
 use lodes::{Education, Sex, Worker};
 
 /// Workload 1: `place × industry × ownership`, no worker attributes.
@@ -49,8 +50,22 @@ pub fn workload2() -> MarginalSpec {
 
 /// Worker filter for Ranking 2: female workers with a bachelor's degree or
 /// higher.
+///
+/// This is the raw-closure form; release pipelines should prefer
+/// [`ranking2_expr`], whose identity is serializable and
+/// provenance-checkable. The closure survives as the reference the
+/// equivalence tests compare the AST against.
 pub fn ranking2_filter(worker: &Worker) -> bool {
     worker.sex == Sex::Female && worker.education == Education::BachelorOrHigher
+}
+
+/// Declarative form of [`ranking2_filter`]: the same population as a
+/// serializable [`FilterExpr`] with a stable
+/// [`FilterId`](crate::filter::FilterId), so Ranking 2 releases can share
+/// tabulations across construction sites and verify filter provenance
+/// across season resumes.
+pub fn ranking2_expr() -> FilterExpr {
+    FilterExpr::sex(Sex::Female).and(FilterExpr::education_at_least(Education::BachelorOrHigher))
 }
 
 #[cfg(test)]
@@ -83,5 +98,18 @@ mod tests {
         for (key, stats) in filtered.iter() {
             assert_eq!(sliced.get(&key).copied(), Some(stats.count), "cell {key:?}");
         }
+    }
+
+    #[test]
+    fn ranking2_expr_matches_ranking2_filter() {
+        let d = Generator::new(GeneratorConfig::test_small(8)).generate();
+        let via_closure = compute_marginal_filtered(&d, &workload1(), ranking2_filter);
+        let via_expr = crate::engine::compute_marginal_expr(&d, &workload1(), &ranking2_expr());
+        assert_eq!(via_expr.num_cells(), via_closure.num_cells());
+        for ((ka, sa), (kb, sb)) in via_expr.iter().zip(via_closure.iter()) {
+            assert_eq!((ka, sa), (kb, sb));
+        }
+        // Two separately constructed expressions share one identity.
+        assert_eq!(ranking2_expr().id(), ranking2_expr().id());
     }
 }

@@ -77,6 +77,39 @@ fn main() {
         );
     }
 
+    // OnTheMap also answers *sub-population* rankings ("where do female
+    // workers with a bachelor's degree work?"). The population is a
+    // declarative FilterExpr, so the engine tabulates the filtered truth
+    // itself and the artifact's provenance records exactly which
+    // sub-population was ranked.
+    let filter = ranking2_expr();
+    let mut engine = ReleaseEngine::new(PrivacyParams::pure(0.1, 4.0));
+    let artifact = engine
+        .execute(
+            &dataset,
+            &ReleaseRequest::marginal(spec.clone())
+                .mechanism(MechanismKind::SmoothGamma)
+                .budget(PrivacyParams::pure(0.1, 4.0))
+                .filter_expr(filter.clone())
+                .seed(11),
+        )
+        .expect("valid filtered request");
+    let filtered_truth = compute_marginal_expr(&dataset, &spec, &filter);
+    let f_keys: Vec<CellKey> = filtered_truth.iter().map(|(k, _)| k).collect();
+    let f_true: Vec<f64> = filtered_truth.iter().map(|(_, s)| s.count as f64).collect();
+    let published = artifact.cells().expect("marginal payload");
+    let f_ours: Vec<f64> = f_keys
+        .iter()
+        .map(|k| published.get(k).copied().unwrap_or(0.0))
+        .collect();
+    println!(
+        "\n{:<24} {:>12} {:>12.4}   (filter digest {})",
+        "female x bachelor's+",
+        "-",
+        spearman(&f_ours, &f_true).unwrap(),
+        artifact.request.filter_id().expect("AST-filtered request"),
+    );
+
     println!(
         "\nAt eps >= 1 the formally private ranking tracks the published SDL ordering \
          almost\nperfectly (the paper's Finding: counts can be used for ranking with \

@@ -12,7 +12,8 @@
 //! * [`lodes`] — synthetic LODES-style data substrate (schema, geography,
 //!   calibrated generator).
 //! * [`tabulate`] — marginal (GROUP BY) query engine with per-cell
-//!   establishment metadata.
+//!   establishment metadata, plus the declarative
+//!   [`FilterExpr`](tabulate::FilterExpr) sub-population filters.
 //! * [`noise`] — noise distributions (Laplace, log-Laplace, polynomial-
 //!   tail) with analytic densities.
 //! * [`sdl`] — the input-noise-infusion baseline and its inference
@@ -74,15 +75,19 @@ pub mod prelude {
     #[allow(deprecated)]
     pub use eree_core::shape::release_shapes;
     pub use eree_core::{
-        ArtifactPayload, CountMechanism, EngineError, Ledger, MechanismKind, PrivacyParams,
-        PrivateRelease, ReleaseArtifact, ReleaseConfig, ReleaseCost, ReleaseEngine, ReleaseRequest,
-        RequestKind, SeasonReport, SeasonStore, StoreError, TabulationCache, TabulationStats,
+        ArtifactPayload, CountMechanism, EngineError, FilterExpr, FilterId, Ledger, MechanismKind,
+        PrivacyParams, PrivateRelease, ReleaseArtifact, ReleaseConfig, ReleaseCost, ReleaseEngine,
+        ReleaseRequest, RequestKind, SeasonReport, SeasonStore, StoreError, TabulationCache,
+        TabulationStats,
     };
-    pub use lodes::{Dataset, DatasetStats, Generator, GeneratorConfig, PlaceSizeClass};
+    pub use lodes::{
+        CountyId, Dataset, DatasetStats, Generator, GeneratorConfig, PlaceSizeClass, StateId,
+    };
     pub use sdl::{SdlConfig, SdlPublisher};
     pub use tabulate::{
-        compute_marginal, compute_marginal_filtered, ranking2_filter, workload1, workload3,
-        CellKey, Marginal, MarginalSpec, TabulationIndex, WorkerAttr, WorkplaceAttr,
+        compute_marginal, compute_marginal_expr, compute_marginal_filtered, ranking2_expr,
+        ranking2_filter, workload1, workload3, CellKey, Marginal, MarginalSpec, TabulationIndex,
+        WorkerAttr, WorkplaceAttr,
     };
 }
 

@@ -79,13 +79,15 @@ fn filtered_release_is_weak_but_parallel() {
             &ReleaseRequest::marginal(workload1())
                 .mechanism(MechanismKind::SmoothGamma)
                 .budget(PrivacyParams::pure(0.1, 2.0))
-                .filter(ranking2_filter)
+                .filter_expr(ranking2_expr())
                 .seed(12),
         )
         .unwrap();
     // Worker-predicate filter forces the weak regime...
     assert_eq!(artifact.regime, NeighborKind::Weak);
     assert!(artifact.request.filtered);
+    // ...and the declarative filter is recorded in provenance.
+    assert_eq!(artifact.request.filter_id(), Some(ranking2_expr().id()));
     // ...but cells still partition establishments: multiplier 1.
     assert_eq!(artifact.cost.multiplier, 1);
     // Filtered totals are a strict subset of employment.

@@ -64,11 +64,12 @@ fn artifact_json_roundtrip_is_lossless() {
     let d = dataset();
     let mut engine = ReleaseEngine::new(PrivacyParams::approximate(0.1, 26.0, 0.05));
     let batch = vec![
-        // Marginal with integerization and a filter.
+        // Marginal with integerization and a declarative filter (its
+        // expression must survive the JSON round-trip in provenance).
         ReleaseRequest::marginal(workload1())
             .mechanism(MechanismKind::SmoothGamma)
             .budget(PrivacyParams::pure(0.1, 2.0))
-            .filter(ranking2_filter)
+            .filter_expr(ranking2_expr())
             .integerize(true)
             .describe("filtered integerized W1")
             .seed(11),
@@ -161,10 +162,12 @@ fn indexed_artifacts_bit_identical_to_legacy_tabulation() {
         let b = via_index.execute(&d, &request(77)).unwrap();
         assert_eq!(a, b, "threads={threads}");
     }
-    // Filtered releases agree too (weak-regime single-query workload).
+    // Filtered releases agree too (weak-regime single-query workload):
+    // the declarative filter's tabulation must match the legacy
+    // brute-force engine driven by the equivalent closure.
     let filtered_truth = compute_marginal_filtered_legacy(&d, &workload1(), ranking2_filter);
     let filtered_request = ReleaseRequest::marginal(workload1())
-        .filter(ranking2_filter)
+        .filter_expr(ranking2_expr())
         .mechanism(MechanismKind::LogLaplace)
         .budget(PrivacyParams::pure(0.1, 2.0))
         .seed(78);

@@ -294,6 +294,148 @@ fn resuming_under_a_different_plan_is_refused() {
     fs::remove_dir_all(dir).unwrap();
 }
 
+/// A filtered two-release plan whose sub-population is the declarative
+/// `expr` (the S-prefixed canonical style: shared workload1 tabulation,
+/// then the filtered county release).
+fn filtered_plan(expr: FilterExpr) -> Vec<ReleaseRequest> {
+    vec![
+        ReleaseRequest::marginal(workload1())
+            .mechanism(MechanismKind::SmoothGamma)
+            .budget(PrivacyParams::pure(0.1, 2.0))
+            .describe("F0: workload1 smooth-gamma")
+            .seed(1),
+        ReleaseRequest::marginal(workload1())
+            .mechanism(MechanismKind::LogLaplace)
+            .budget(PrivacyParams::pure(0.1, 1.0))
+            .filter_expr(expr)
+            .describe("F1: workload1 sub-population")
+            .seed(2),
+    ]
+}
+
+#[test]
+fn ast_filtered_season_resumes_bit_identically() {
+    let d = dataset();
+    let plan = filtered_plan(ranking2_expr());
+
+    // Reference: uninterrupted season.
+    let full_dir = test_dir("ast-full");
+    let mut full = SeasonStore::create(&full_dir, budget()).unwrap();
+    full.run(&d, &plan).unwrap();
+    drop(full);
+
+    // Killed after the unfiltered release, resumed by a fresh process
+    // with a *separately constructed* (but structurally equal) filter.
+    let cut_dir = test_dir("ast-cut");
+    let mut cut = SeasonStore::create(&cut_dir, budget()).unwrap();
+    cut.run(&d, &plan[..1]).unwrap();
+    drop(cut);
+    let mut cut = SeasonStore::open(&cut_dir).unwrap();
+    let report = cut.run(&d, &filtered_plan(ranking2_expr())).unwrap();
+    assert_eq!((report.resumed_from, report.executed), (1, 1));
+
+    // Every persisted byte agrees with the uninterrupted run.
+    assert_eq!(
+        sorted_files(&full_dir.join("artifacts")),
+        sorted_files(&cut_dir.join("artifacts"))
+    );
+    // And the filter expression is part of the persisted provenance.
+    let stored = cut.load_artifact(1).unwrap();
+    assert_eq!(stored.request.filter_id(), Some(ranking2_expr().id()));
+    fs::remove_dir_all(full_dir).unwrap();
+    fs::remove_dir_all(cut_dir).unwrap();
+}
+
+#[test]
+fn resuming_with_a_changed_filter_digest_is_refused() {
+    let d = dataset();
+    let dir = test_dir("refiltered");
+    let mut store = SeasonStore::create(&dir, budget()).unwrap();
+    store.run(&d, &filtered_plan(ranking2_expr())).unwrap();
+    drop(store);
+
+    // Same plan shape, same descriptions and seeds — but the filter now
+    // names a different population. The pre-AST `filtered` boolean could
+    // not see this; the digest comparison must.
+    let changed = FilterExpr::sex(lodes::Sex::Female);
+    assert_ne!(changed.id(), ranking2_expr().id());
+    let mut store = SeasonStore::open(&dir).unwrap();
+    match store.run(&d, &filtered_plan(changed)) {
+        Err(StoreError::Inconsistent { detail }) => {
+            assert!(detail.contains("digest"), "unexpected detail: {detail}");
+        }
+        other => panic!("expected Inconsistent, got {other:?}"),
+    }
+
+    // Dropping the filter from the plan entirely is a plan change too.
+    let mut unfiltered = filtered_plan(ranking2_expr());
+    unfiltered[1] = ReleaseRequest::marginal(workload1())
+        .mechanism(MechanismKind::LogLaplace)
+        .budget(PrivacyParams::pure(0.1, 1.0))
+        .describe("F1: workload1 sub-population")
+        .seed(2);
+    assert!(matches!(
+        store.run(&d, &unfiltered),
+        Err(StoreError::Inconsistent { .. })
+    ));
+
+    // The original filter still resumes.
+    let report = store.run(&d, &filtered_plan(ranking2_expr())).unwrap();
+    assert_eq!((report.resumed_from, report.executed), (2, 0));
+    fs::remove_dir_all(dir).unwrap();
+}
+
+#[test]
+#[allow(deprecated)]
+fn pre_ast_closure_store_resumes_under_ast_plan() {
+    // A store persisted before the AST existed recorded `filtered: true`
+    // with no expression — exactly what the deprecated closure escape
+    // hatch still records. Re-expressing the same plan with a FilterExpr
+    // must be accepted (the digest is unverifiable; the flag and every
+    // other field still are), because the alternative is stranding every
+    // pre-AST season.
+    let d = dataset();
+    let dir = test_dir("pre-ast");
+    let closure_plan: Vec<ReleaseRequest> = {
+        let mut plan = filtered_plan(ranking2_expr());
+        plan[1] = ReleaseRequest::marginal(workload1())
+            .mechanism(MechanismKind::LogLaplace)
+            .budget(PrivacyParams::pure(0.1, 1.0))
+            .filter(ranking2_filter)
+            .describe("F1: workload1 sub-population")
+            .seed(2);
+        plan
+    };
+    let mut store = SeasonStore::create(&dir, budget()).unwrap();
+    store.run(&d, &closure_plan).unwrap();
+    let stored = store.load_artifact(1).unwrap();
+    assert!(stored.request.filtered && stored.request.filter.is_none());
+    drop(store);
+
+    // Resume under the AST-ified plan: accepted, nothing re-executed.
+    let mut store = SeasonStore::open(&dir).unwrap();
+    let report = store.run(&d, &filtered_plan(ranking2_expr())).unwrap();
+    assert_eq!((report.resumed_from, report.executed), (2, 0));
+
+    // The compatibility path is one-directional: an *unfiltered* stored
+    // artifact never matches a filtered request.
+    let unf_dir = test_dir("pre-ast-unf");
+    let mut unfiltered_store = SeasonStore::create(&unf_dir, budget()).unwrap();
+    let mut plain = filtered_plan(ranking2_expr());
+    plain[1] = ReleaseRequest::marginal(workload1())
+        .mechanism(MechanismKind::LogLaplace)
+        .budget(PrivacyParams::pure(0.1, 1.0))
+        .describe("F1: workload1 sub-population")
+        .seed(2);
+    unfiltered_store.run(&d, &plain).unwrap();
+    assert!(matches!(
+        unfiltered_store.run(&d, &filtered_plan(ranking2_expr())),
+        Err(StoreError::Inconsistent { .. })
+    ));
+    fs::remove_dir_all(dir).unwrap();
+    fs::remove_dir_all(unf_dir).unwrap();
+}
+
 #[test]
 fn resuming_against_a_different_dataset_is_refused() {
     let d = dataset();
