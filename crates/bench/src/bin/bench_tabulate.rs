@@ -8,8 +8,17 @@
 //! ever disagree on a single cell, so CI can run it as a correctness
 //! smoke as well as a perf probe.
 //!
-//! Usage: `cargo run --release -p bench --bin bench_tabulate -- [--iters N] [--out PATH]`
+//! Usage: `cargo run --release -p bench --bin bench_tabulate --
+//! [--iters N] [--out PATH] [--check-against BASELINE [--max-regression F]]`.
 //! Scale follows `EREE_SCALE` (`small`/`default`/`paper`).
+//!
+//! `--check-against` is the CI delta guard: after writing the fresh
+//! results, the Workload 1 single-threaded speedup is compared against the
+//! same field of the checked-in baseline file (which must come from the
+//! same scale), and the run exits nonzero if it regressed by more than
+//! `--max-regression` (default 0.20, i.e. >20%). Speedup is a *ratio* of
+//! two timings from the same run, so it is far more stable across runner
+//! hardware than absolute milliseconds.
 //!
 //! The output schema (field-by-field) and the 1-core dev-container
 //! caveat are documented in the `bench` crate's rustdoc (`crates/bench`).
@@ -82,9 +91,41 @@ fn bench_spec(
     }
 }
 
+/// Extract the `scale` field from a results file.
+fn result_scale(json: &str, path: &str) -> String {
+    let value: serde::Value = serde_json::from_str(json)
+        .unwrap_or_else(|e| panic!("unparseable results file {path}: {e}"));
+    match value.get("scale") {
+        Some(serde::Value::Str(scale)) => scale.clone(),
+        _ => panic!("results file {path} has no `scale` field"),
+    }
+}
+
+/// Extract `specs[name == spec_name].speedup_1t` from a results file.
+fn speedup_1t(json: &str, spec_name: &str, path: &str) -> f64 {
+    let value: serde::Value = serde_json::from_str(json)
+        .unwrap_or_else(|e| panic!("unparseable results file {path}: {e}"));
+    let specs = match value.get("specs") {
+        Some(serde::Value::Seq(specs)) => specs,
+        _ => panic!("results file {path} has no `specs` array"),
+    };
+    for spec in specs {
+        if spec.get("spec") == Some(&serde::Value::Str(spec_name.to_string())) {
+            return match spec.get("speedup_1t") {
+                Some(serde::Value::F64(x)) => *x,
+                Some(serde::Value::U64(n)) => *n as f64,
+                _ => panic!("spec `{spec_name}` in {path} has no numeric `speedup_1t`"),
+            };
+        }
+    }
+    panic!("results file {path} has no spec named `{spec_name}`");
+}
+
 fn main() {
     let mut iters = 3usize;
     let mut out = format!("{}/../../BENCH_tabulate.json", env!("CARGO_MANIFEST_DIR"));
+    let mut check_against: Option<String> = None;
+    let mut max_regression = 0.20f64;
     let args: Vec<String> = std::env::args().collect();
     let mut i = 1;
     while i < args.len() {
@@ -95,6 +136,14 @@ fn main() {
             }
             "--out" => {
                 out = args[i + 1].clone();
+                i += 2;
+            }
+            "--check-against" => {
+                check_against = Some(args[i + 1].clone());
+                i += 2;
+            }
+            "--max-regression" => {
+                max_regression = args[i + 1].parse().expect("--max-regression takes a float");
                 i += 2;
             }
             other => panic!("unknown argument {other}"),
@@ -161,6 +210,38 @@ fn main() {
         build_ms,
         spec_json.join(",\n")
     );
-    std::fs::write(&out, json).expect("write BENCH_tabulate.json");
+    std::fs::write(&out, &json).expect("write BENCH_tabulate.json");
     eprintln!("wrote {out}");
+
+    // Delta guard: the Workload 1 single-threaded speedup must not have
+    // regressed by more than `max_regression` relative to the baseline.
+    if let Some(baseline_path) = check_against {
+        let baseline_json =
+            std::fs::read_to_string(&baseline_path).expect("read baseline results file");
+        // Speedups are only comparable within one universe size: refuse a
+        // baseline generated at a different EREE_SCALE outright instead
+        // of passing (or failing) on an apples-to-oranges ratio.
+        let baseline_scale = result_scale(&baseline_json, &baseline_path);
+        let fresh_scale = result_scale(&json, &out);
+        assert_eq!(
+            baseline_scale, fresh_scale,
+            "baseline {baseline_path} was generated at {baseline_scale:?} scale but this run \
+             is {fresh_scale:?} — regenerate the baseline at the scale the guard runs at"
+        );
+        let spec_name = workload1().name();
+        let baseline = speedup_1t(&baseline_json, &spec_name, &baseline_path);
+        let fresh = speedup_1t(&json, &spec_name, &out);
+        let floor = baseline * (1.0 - max_regression);
+        eprintln!(
+            "delta guard: workload1 speedup_1t fresh {fresh:.2}x vs baseline {baseline:.2}x \
+             (floor {floor:.2}x at {:.0}% allowed regression)",
+            max_regression * 100.0
+        );
+        assert!(
+            fresh >= floor,
+            "workload1 single-threaded speedup regressed more than {:.0}%: \
+             {fresh:.2}x vs baseline {baseline:.2}x (floor {floor:.2}x; baseline {baseline_path})",
+            max_regression * 100.0
+        );
+    }
 }

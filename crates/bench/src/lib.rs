@@ -19,7 +19,20 @@
 //!
 //! (`--iters N` controls best-of-N timing, `--out PATH` overrides the
 //! destination, and `EREE_SCALE` = `small` / `default` / `paper` selects
-//! the universe; the checked-in file is Default scale, ≈ 1.0 M jobs.)
+//! the universe; the checked-in `BENCH_tabulate.json` is Default scale,
+//! ≈ 1.0 M jobs. The legacy engine it times lives behind tabulate's
+//! `reference` feature, which this crate enables.)
+//!
+//! `BENCH_tabulate_ci.json` is a second checked-in baseline at **Small**
+//! scale, consumed by the CI delta guard: passing
+//! `--check-against <baseline>` makes the run exit nonzero when the
+//! Workload 1 `speedup_1t` regressed by more than `--max-regression`
+//! (default 0.20) relative to the baseline. The guard compares speedup
+//! *ratios* (two timings from one run), not absolute milliseconds, so it
+//! travels across runner hardware; regenerate the CI baseline with
+//! `EREE_SCALE=small cargo run --release -p bench --bin bench_tabulate --
+//! --out BENCH_tabulate_ci.json` whenever the engine legitimately
+//! changes speed.
 //!
 //! The JSON written at the repo root has this schema:
 //!

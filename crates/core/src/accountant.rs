@@ -14,9 +14,28 @@
 //!   privacy, releasing a marginal with worker attributes costs
 //!   `d·ε` where `d` is the worker-attribute domain size (Sec 8).
 //!
+//! # The accountant hierarchy
+//!
+//! Budget enforcement is layered, sharing one arithmetic core:
+//!
+//! * [`BudgetAccount`] — the compensated-summation budget arithmetic:
+//!   a `(α, ε, δ)` cap, Neumaier-compensated spent totals, and the
+//!   fail-closed admission rule (relative one-shot tolerance, NaN and
+//!   negative charges refused outright).
+//! * [`Ledger`] — a season-level account: every release charges it, every
+//!   charge is recorded as a [`LedgerEntry`], and snapshots deserialize by
+//!   *replaying* the entries through the same arithmetic.
+//! * [`MetaLedger`] — the agency-level account above the seasons: a global
+//!   privacy-loss cap (the social choice of Abowd & Schmutte, 2018) from
+//!   which every season's *whole budget* is reserved up front. A season's
+//!   ledger can never admit more than its budget, and the meta-ledger
+//!   never reserves more than the cap, so the agency's lifetime loss is
+//!   bounded by the cap however many seasons run, crash, or resume.
+//!
 //! [`Ledger`] enforces a total budget across a sequence of releases,
 //! mirroring how a statistical agency would track cumulative privacy loss
-//! across publications.
+//! across publications; [`MetaLedger`] is what `agency::AgencyStore`
+//! persists to govern many seasons over one confidential snapshot.
 
 use crate::definitions::PrivacyParams;
 use crate::neighbors::NeighborKind;
@@ -117,6 +136,13 @@ pub enum LedgerError {
         /// The offending δ.
         delta: f64,
     },
+    /// A [`MetaLedger`] reservation re-using a season name. Every season
+    /// holds exactly one reservation; reserving twice under one name would
+    /// double-count (or worse, silently alias) a season's budget.
+    DuplicateReservation {
+        /// The already-reserved season name.
+        name: String,
+    },
 }
 
 impl std::fmt::Display for LedgerError {
@@ -145,6 +171,9 @@ impl std::fmt::Display for LedgerError {
                     "invalid charge refused (epsilon {epsilon}, delta {delta}): \
                      privacy loss must be finite and non-negative"
                 )
+            }
+            LedgerError::DuplicateReservation { name } => {
+                write!(f, "season `{name}` already holds a budget reservation")
             }
         }
     }
@@ -199,6 +228,107 @@ impl CompensatedSum {
 /// unbounded leak via repeated tiny releases.)
 pub const LEDGER_REL_TOL: f64 = 1e-9;
 
+/// The budget arithmetic core every accountant level shares: a
+/// `(α, ε, δ)` cap with Neumaier-compensated spent totals and the
+/// fail-closed admission rule.
+///
+/// [`Ledger`] (per-season release charges) and [`MetaLedger`]
+/// (agency-level season reservations) are both thin record-keeping layers
+/// over this account, so a charge admitted at either level obeys exactly
+/// the same rules: finite, non-negative, and within one relative
+/// [`LEDGER_REL_TOL`] of the cap over the account's whole lifetime — with
+/// a NaN cap refusing everything rather than admitting everything.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BudgetAccount {
+    budget: PrivacyParams,
+    spent_epsilon: CompensatedSum,
+    spent_delta: CompensatedSum,
+}
+
+impl BudgetAccount {
+    /// Open an account holding `budget`.
+    pub fn new(budget: PrivacyParams) -> Self {
+        Self {
+            budget,
+            spent_epsilon: CompensatedSum::default(),
+            spent_delta: CompensatedSum::default(),
+        }
+    }
+
+    /// The total budget.
+    pub fn budget(&self) -> &PrivacyParams {
+        &self.budget
+    }
+
+    /// Total ε admitted so far (compensated sum).
+    pub fn spent_epsilon(&self) -> f64 {
+        self.spent_epsilon.value()
+    }
+
+    /// Total δ admitted so far (compensated sum).
+    pub fn spent_delta(&self) -> f64 {
+        self.spent_delta.value()
+    }
+
+    /// Remaining ε.
+    pub fn remaining_epsilon(&self) -> f64 {
+        (self.budget.epsilon - self.spent_epsilon.value()).max(0.0)
+    }
+
+    /// Remaining δ.
+    pub fn remaining_delta(&self) -> f64 {
+        (self.budget.delta - self.spent_delta.value()).max(0.0)
+    }
+
+    /// Admit a charge, mutating the spent totals only when the projected
+    /// totals stay within one relative tolerance of the budget.
+    ///
+    /// A NaN charge admitted into the spent totals would make every later
+    /// budget comparison false and disable enforcement forever, so
+    /// non-finite (and negative) charges are refused outright; and with
+    /// finite non-negative charges the only possible NaN below is a NaN
+    /// *budget*, which must refuse, not admit — the account fails closed.
+    pub fn admit(&mut self, epsilon: f64, delta: f64) -> Result<(), LedgerError> {
+        let invalid = |x: f64| !x.is_finite() || x < 0.0;
+        if invalid(epsilon) || invalid(delta) {
+            return Err(LedgerError::InvalidCharge { epsilon, delta });
+        }
+        let mut projected_epsilon = self.spent_epsilon;
+        projected_epsilon.add(epsilon);
+        let cap = self.budget.epsilon * (1.0 + LEDGER_REL_TOL);
+        if cap.is_nan() || projected_epsilon.value() > cap {
+            return Err(LedgerError::EpsilonExhausted {
+                requested: epsilon,
+                remaining: self.remaining_epsilon(),
+            });
+        }
+        let mut projected_delta = self.spent_delta;
+        projected_delta.add(delta);
+        let cap = self.budget.delta * (1.0 + LEDGER_REL_TOL);
+        if cap.is_nan() || projected_delta.value() > cap {
+            return Err(LedgerError::DeltaExhausted {
+                requested: delta,
+                remaining: self.remaining_delta(),
+            });
+        }
+        self.spent_epsilon = projected_epsilon;
+        self.spent_delta = projected_delta;
+        Ok(())
+    }
+
+    /// Charges must carry the account's α: the composition theorems (and
+    /// therefore the meaning of a summed ε) are per-α.
+    fn check_alpha(&self, alpha: f64) -> Result<(), LedgerError> {
+        if (alpha - self.budget.alpha).abs() > 1e-12 {
+            return Err(LedgerError::AlphaMismatch {
+                ledger: self.budget.alpha,
+                charge: alpha,
+            });
+        }
+        Ok(())
+    }
+}
+
 /// A cumulative privacy-loss ledger with a hard total budget.
 ///
 /// The ledger serializes to JSON (budget + entries + spent totals) and
@@ -225,69 +355,60 @@ pub const LEDGER_REL_TOL: f64 = 1e-9;
 /// ```
 #[derive(Debug, Clone)]
 pub struct Ledger {
-    budget: PrivacyParams,
+    account: BudgetAccount,
     entries: Vec<LedgerEntry>,
-    spent_epsilon: CompensatedSum,
-    spent_delta: CompensatedSum,
 }
 
 impl Ledger {
     /// Open a ledger with a total `(α, ε, δ)` budget.
     pub fn new(budget: PrivacyParams) -> Self {
         Self {
-            budget,
+            account: BudgetAccount::new(budget),
             entries: Vec::new(),
-            spent_epsilon: CompensatedSum::default(),
-            spent_delta: CompensatedSum::default(),
         }
     }
 
     /// The total budget.
     pub fn budget(&self) -> &PrivacyParams {
-        &self.budget
+        self.account.budget()
     }
 
     /// Total ε spent so far (compensated sum over all entries).
     pub fn spent_epsilon(&self) -> f64 {
-        self.spent_epsilon.value()
+        self.account.spent_epsilon()
     }
 
     /// Total δ spent so far (compensated sum over all entries).
     pub fn spent_delta(&self) -> f64 {
-        self.spent_delta.value()
+        self.account.spent_delta()
     }
 
     /// Remaining ε.
     pub fn remaining_epsilon(&self) -> f64 {
-        (self.budget.epsilon - self.spent_epsilon.value()).max(0.0)
+        self.account.remaining_epsilon()
     }
 
     /// Remaining δ.
     pub fn remaining_delta(&self) -> f64 {
-        (self.budget.delta - self.spent_delta.value()).max(0.0)
+        self.account.remaining_delta()
     }
 
     /// Record a charge with α-consistency and budget checks (sequential
     /// composition: charges add).
     ///
-    /// Admission is checked on the *projected total*: the charge is
-    /// admitted iff `spent + cost ≤ budget × (1 + LEDGER_REL_TOL)` for
-    /// both ε and δ. The tolerance is relative and one-shot — however many
-    /// charges are made, the lifetime spend can never exceed the budget by
-    /// more than one relative tolerance.
+    /// Admission is [`BudgetAccount::admit`] on the *projected total*: the
+    /// charge is admitted iff `spent + cost ≤ budget × (1 + LEDGER_REL_TOL)`
+    /// for both ε and δ. The tolerance is relative and one-shot — however
+    /// many charges are made, the lifetime spend can never exceed the
+    /// budget by more than one relative tolerance.
     pub fn charge(
         &mut self,
         description: impl Into<String>,
         params: &PrivacyParams,
         cost: &ReleaseCost,
     ) -> Result<(), LedgerError> {
-        if (params.alpha - self.budget.alpha).abs() > 1e-12 {
-            return Err(LedgerError::AlphaMismatch {
-                ledger: self.budget.alpha,
-                charge: params.alpha,
-            });
-        }
-        self.admit(cost.epsilon, cost.delta)?;
+        self.account.check_alpha(params.alpha)?;
+        self.account.admit(cost.epsilon, cost.delta)?;
         self.entries.push(LedgerEntry {
             description: description.into(),
             epsilon: cost.epsilon,
@@ -296,41 +417,20 @@ impl Ledger {
         Ok(())
     }
 
-    /// The shared budget arithmetic of [`charge`](Self::charge) and
-    /// [`replay`](Self::replay): mutates the spent totals only when the
-    /// projected totals stay within one relative tolerance of the budget.
-    fn admit(&mut self, epsilon: f64, delta: f64) -> Result<(), LedgerError> {
-        // A NaN charge admitted into the spent totals would make every
-        // later budget comparison false and disable enforcement forever;
-        // refuse non-finite (and negative) charges outright.
-        let invalid = |x: f64| !x.is_finite() || x < 0.0;
-        if invalid(epsilon) || invalid(delta) {
-            return Err(LedgerError::InvalidCharge { epsilon, delta });
-        }
-        // With finite non-negative charges the projected totals are
-        // finite, so the only possible NaN below is a NaN *budget* — and a
-        // NaN cap must refuse, not admit: the ledger fails closed.
-        let mut projected_epsilon = self.spent_epsilon;
-        projected_epsilon.add(epsilon);
-        let cap = self.budget.epsilon * (1.0 + LEDGER_REL_TOL);
-        if cap.is_nan() || projected_epsilon.value() > cap {
-            return Err(LedgerError::EpsilonExhausted {
-                requested: epsilon,
-                remaining: self.remaining_epsilon(),
-            });
-        }
-        let mut projected_delta = self.spent_delta;
-        projected_delta.add(delta);
-        let cap = self.budget.delta * (1.0 + LEDGER_REL_TOL);
-        if cap.is_nan() || projected_delta.value() > cap {
-            return Err(LedgerError::DeltaExhausted {
-                requested: delta,
-                remaining: self.remaining_delta(),
-            });
-        }
-        self.spent_epsilon = projected_epsilon;
-        self.spent_delta = projected_delta;
-        Ok(())
+    /// Would [`charge`](Self::charge) admit this cost? Exactly the same
+    /// α-consistency and admission arithmetic, run on a copy of the
+    /// account — nothing is recorded either way. This is the engine's
+    /// admission dry-run: it lets fallible work (e.g. a truth-store load)
+    /// run between the decision and the charge without ever stranding a
+    /// charge that produced no artifact, and it costs two compensated
+    /// sums, not a clone of the entry log.
+    pub fn can_charge(
+        &self,
+        params: &PrivacyParams,
+        cost: &ReleaseCost,
+    ) -> Result<(), LedgerError> {
+        self.account.check_alpha(params.alpha)?;
+        self.account.clone().admit(cost.epsilon, cost.delta)
     }
 
     /// Rebuild a ledger by replaying recorded entries against `budget`,
@@ -340,7 +440,7 @@ impl Ledger {
     pub fn replay(budget: PrivacyParams, entries: &[LedgerEntry]) -> Result<Self, LedgerError> {
         let mut ledger = Ledger::new(budget);
         for entry in entries {
-            ledger.admit(entry.epsilon, entry.delta)?;
+            ledger.account.admit(entry.epsilon, entry.delta)?;
             ledger.entries.push(entry.clone());
         }
         Ok(ledger)
@@ -355,16 +455,10 @@ impl Ledger {
 impl Serialize for Ledger {
     fn to_value(&self) -> Value {
         Value::Map(vec![
-            ("budget".to_string(), self.budget.to_value()),
+            ("budget".to_string(), self.account.budget().to_value()),
             ("entries".to_string(), self.entries.to_value()),
-            (
-                "spent_epsilon".to_string(),
-                self.spent_epsilon.value().to_value(),
-            ),
-            (
-                "spent_delta".to_string(),
-                self.spent_delta.value().to_value(),
-            ),
+            ("spent_epsilon".to_string(), self.spent_epsilon().to_value()),
+            ("spent_delta".to_string(), self.spent_delta().to_value()),
         ])
     }
 }
@@ -394,6 +488,170 @@ impl Deserialize for Ledger {
             )));
         }
         Ok(ledger)
+    }
+}
+
+/// One season's budget reservation in a [`MetaLedger`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SeasonReservation {
+    /// The season's unique name (its directory name under an agency).
+    pub name: String,
+    /// The season-long budget reserved from the agency cap. The season's
+    /// [`Ledger`] must carry exactly this budget.
+    pub budget: PrivacyParams,
+}
+
+/// The agency-level accountant: a global privacy-loss cap from which every
+/// season's whole budget is **reserved up front**.
+///
+/// Reservation — not per-release pass-through — is what makes the
+/// hierarchy crash-safe: once a season's budget is reserved (durably,
+/// before its directory exists), the agency's worst case is already
+/// accounted for, so a season crashing, resuming, or running concurrently
+/// in another process can never push the agency past its cap. The season's
+/// own [`Ledger`] then enforces the reserved budget charge-by-charge with
+/// the same [`BudgetAccount`] arithmetic.
+///
+/// Like [`Ledger`], a `MetaLedger` deserializes by *replaying* its
+/// reservations and cross-checking the recorded totals, so a tampered
+/// snapshot cannot resume an agency with more cap than was actually left.
+///
+/// ```
+/// use eree_core::{MetaLedger, PrivacyParams};
+///
+/// let mut meta = MetaLedger::new(PrivacyParams::pure(0.1, 16.0));
+/// meta.reserve("annual", PrivacyParams::pure(0.1, 13.0)).unwrap();
+/// meta.reserve("quarterly", PrivacyParams::pure(0.1, 3.0)).unwrap();
+/// // The cap is exhausted: no further season can be opened.
+/// assert!(meta.reserve("extra", PrivacyParams::pure(0.1, 0.5)).is_err());
+/// assert!(meta.remaining_epsilon() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MetaLedger {
+    account: BudgetAccount,
+    reservations: Vec<SeasonReservation>,
+}
+
+impl MetaLedger {
+    /// Open a meta-ledger with a global `(α, ε, δ)` cap.
+    pub fn new(cap: PrivacyParams) -> Self {
+        Self {
+            account: BudgetAccount::new(cap),
+            reservations: Vec::new(),
+        }
+    }
+
+    /// The global cap.
+    pub fn cap(&self) -> &PrivacyParams {
+        self.account.budget()
+    }
+
+    /// Total ε reserved by seasons so far.
+    pub fn reserved_epsilon(&self) -> f64 {
+        self.account.spent_epsilon()
+    }
+
+    /// Total δ reserved by seasons so far.
+    pub fn reserved_delta(&self) -> f64 {
+        self.account.spent_delta()
+    }
+
+    /// ε still available for new seasons.
+    pub fn remaining_epsilon(&self) -> f64 {
+        self.account.remaining_epsilon()
+    }
+
+    /// δ still available for new seasons.
+    pub fn remaining_delta(&self) -> f64 {
+        self.account.remaining_delta()
+    }
+
+    /// All reservations, in the order they were made.
+    pub fn reservations(&self) -> &[SeasonReservation] {
+        &self.reservations
+    }
+
+    /// The reservation held by season `name`, if any.
+    pub fn reservation(&self, name: &str) -> Option<&SeasonReservation> {
+        self.reservations.iter().find(|r| r.name == name)
+    }
+
+    /// Reserve `budget` for a new season named `name`.
+    ///
+    /// Refused — before anything is recorded — when the name is already
+    /// reserved, the budget's α differs from the cap's, the budget is
+    /// non-finite or negative, or the projected reserved totals would
+    /// exceed the cap (same [`BudgetAccount::admit`] rule as release
+    /// charges: relative one-shot tolerance, fail-closed on NaN).
+    pub fn reserve(
+        &mut self,
+        name: impl Into<String>,
+        budget: PrivacyParams,
+    ) -> Result<(), LedgerError> {
+        let name = name.into();
+        if self.reservation(&name).is_some() {
+            return Err(LedgerError::DuplicateReservation { name });
+        }
+        self.account.check_alpha(budget.alpha)?;
+        self.account.admit(budget.epsilon, budget.delta)?;
+        self.reservations.push(SeasonReservation { name, budget });
+        Ok(())
+    }
+
+    /// Rebuild a meta-ledger by replaying recorded reservations against
+    /// `cap` with exactly the arithmetic [`reserve`](Self::reserve) uses —
+    /// the agency resume path. Fails if any reservation is duplicated,
+    /// α-inconsistent, or would overdraw the cap.
+    pub fn replay(
+        cap: PrivacyParams,
+        reservations: &[SeasonReservation],
+    ) -> Result<Self, LedgerError> {
+        let mut meta = MetaLedger::new(cap);
+        for r in reservations {
+            meta.reserve(r.name.clone(), r.budget)?;
+        }
+        Ok(meta)
+    }
+}
+
+impl Serialize for MetaLedger {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("cap".to_string(), self.cap().to_value()),
+            ("reservations".to_string(), self.reservations.to_value()),
+            (
+                "reserved_epsilon".to_string(),
+                self.reserved_epsilon().to_value(),
+            ),
+            (
+                "reserved_delta".to_string(),
+                self.reserved_delta().to_value(),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for MetaLedger {
+    /// Deserialize by replay: reserved totals are recomputed from the
+    /// reservations (never trusted from the snapshot) and cross-checked
+    /// against the recorded totals, exactly like [`Ledger`]'s
+    /// deserializer.
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let cap = PrivacyParams::from_value(get_field(v, "cap")?)?;
+        let reservations = Vec::<SeasonReservation>::from_value(get_field(v, "reservations")?)?;
+        let meta = MetaLedger::replay(cap, &reservations)
+            .map_err(|e| DeError::new(format!("cap-inconsistent meta-ledger snapshot: {e}")))?;
+        let recorded_epsilon = f64::from_value(get_field(v, "reserved_epsilon")?)?;
+        let recorded_delta = f64::from_value(get_field(v, "reserved_delta")?)?;
+        if recorded_epsilon != meta.reserved_epsilon() || recorded_delta != meta.reserved_delta() {
+            return Err(DeError::new(format!(
+                "meta-ledger snapshot totals (eps {recorded_epsilon}, delta {recorded_delta}) \
+                 disagree with reservation replay (eps {}, delta {})",
+                meta.reserved_epsilon(),
+                meta.reserved_delta()
+            )));
+        }
+        Ok(meta)
     }
 }
 
@@ -621,6 +879,90 @@ mod tests {
         assert_eq!(replayed.spent_epsilon(), live.spent_epsilon());
         assert_eq!(replayed.remaining_epsilon(), live.remaining_epsilon());
         assert_eq!(replayed.entries().len(), live.entries().len());
+    }
+
+    #[test]
+    fn meta_ledger_reserves_and_exhausts() {
+        let mut meta = MetaLedger::new(PrivacyParams::approximate(0.1, 10.0, 0.05));
+        meta.reserve("annual", PrivacyParams::approximate(0.1, 6.0, 0.03))
+            .unwrap();
+        meta.reserve("quarterly", PrivacyParams::pure(0.1, 4.0))
+            .unwrap();
+        assert!(meta.remaining_epsilon() < 1e-9);
+        assert!((meta.remaining_delta() - 0.02).abs() < 1e-12);
+        // Cap exhausted in epsilon: refused.
+        assert!(matches!(
+            meta.reserve("extra", PrivacyParams::pure(0.1, 0.1)),
+            Err(LedgerError::EpsilonExhausted { .. })
+        ));
+        // Duplicate names refused before any arithmetic.
+        assert!(matches!(
+            meta.reserve("annual", PrivacyParams::pure(0.1, 1.0)),
+            Err(LedgerError::DuplicateReservation { .. })
+        ));
+        // Alpha must match the cap's.
+        assert!(matches!(
+            meta.reserve("wrong-alpha", PrivacyParams::pure(0.2, 1.0)),
+            Err(LedgerError::AlphaMismatch { .. })
+        ));
+        // Non-finite budgets are refused outright (the constructors
+        // already reject them; a corrupted snapshot is the only way in).
+        let mut poison = PrivacyParams::pure(0.1, 1.0);
+        poison.epsilon = f64::NAN;
+        assert!(matches!(
+            meta.reserve("poison", poison),
+            Err(LedgerError::InvalidCharge { .. })
+        ));
+        assert_eq!(meta.reservations().len(), 2);
+        assert_eq!(
+            meta.reservation("quarterly").unwrap().budget,
+            PrivacyParams::pure(0.1, 4.0)
+        );
+    }
+
+    #[test]
+    fn meta_ledger_json_roundtrip_and_tamper_refusal() {
+        let mut meta = MetaLedger::new(PrivacyParams::pure(0.1, 8.0));
+        meta.reserve("s1", PrivacyParams::pure(0.1, 5.0)).unwrap();
+        meta.reserve("s2", PrivacyParams::pure(0.1, 2.0)).unwrap();
+        let json = serde_json::to_string(&meta).unwrap();
+        let back: MetaLedger = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.cap(), meta.cap());
+        assert_eq!(back.reservations(), meta.reservations());
+        assert_eq!(back.reserved_epsilon(), meta.reserved_epsilon());
+        // Shrinking the cap below the reservations: replay refuses. (The
+        // cap serializes first, so the first "epsilon" hit is the cap's.)
+        let tampered = json.replacen("\"epsilon\":8.0", "\"epsilon\":4.0", 1);
+        assert_ne!(tampered, json);
+        assert!(serde_json::from_str::<MetaLedger>(&tampered).is_err());
+        // Fudging the recorded totals: cross-check refuses.
+        let tampered = json.replace("\"reserved_epsilon\":7.0", "\"reserved_epsilon\":1.0");
+        assert_ne!(tampered, json);
+        assert!(serde_json::from_str::<MetaLedger>(&tampered).is_err());
+    }
+
+    #[test]
+    fn meta_ledger_replay_matches_live_reservation() {
+        let mut live = MetaLedger::new(PrivacyParams::pure(0.1, 4.0));
+        for i in 0..13 {
+            live.reserve(format!("s{i}"), PrivacyParams::pure(0.1, 0.3))
+                .unwrap();
+        }
+        let replayed = MetaLedger::replay(*live.cap(), live.reservations()).unwrap();
+        assert_eq!(replayed.reserved_epsilon(), live.reserved_epsilon());
+        assert_eq!(replayed.remaining_epsilon(), live.remaining_epsilon());
+    }
+
+    #[test]
+    fn budget_account_is_shared_arithmetic() {
+        // The account alone enforces the same relative one-shot tolerance
+        // the ledger does — the hierarchy adds bookkeeping, not rules.
+        let mut account = BudgetAccount::new(PrivacyParams::pure(0.1, 1.0));
+        account.admit(1.0, 0.0).unwrap();
+        assert!(account.admit(1e-6, 0.0).is_err());
+        assert!(account.admit(f64::NAN, 0.0).is_err());
+        assert!(account.admit(-0.5, 0.0).is_err());
+        assert_eq!(account.spent_epsilon(), 1.0);
     }
 
     #[test]

@@ -1,0 +1,811 @@
+//! The agency layer: many publication seasons, one global privacy-loss
+//! cap, one shared store of tabulated truths.
+//!
+//! A statistical agency does not run one season — it runs a recurring,
+//! overlapping release program over a single confidential snapshot, and
+//! the privacy semantics of sequential composition mean the quantity that
+//! must be governed is the **total** ε spent across *all* of it (Abowd &
+//! Schmutte's social choice of a global privacy-loss budget). The
+//! [`AgencyStore`] is that governance made durable:
+//!
+//! ```text
+//! <agency>/
+//! ├── agency.json        manifest: format, cap, dataset digest
+//! ├── meta_ledger.json   MetaLedger snapshot: cap + season reservations
+//! ├── seasons/
+//! │   ├── <name>/        one SeasonStore per season
+//! │   │   ├── season.json
+//! │   │   ├── ledger.json
+//! │   │   └── artifacts/000000.json …
+//! │   └── …
+//! └── truths/            content-addressed truth store (shared)
+//!     └── <key-digest>.json
+//! ```
+//!
+//! # Budget hierarchy
+//!
+//! The [`MetaLedger`] reserves every season's **whole budget** from the
+//! agency cap *before the season exists*: [`AgencyStore::create_season`]
+//! writes the reservation durably, then creates the season directory.
+//! A season that would overspend the cap is refused before any directory,
+//! any tabulation, and any sampling. Because a season's
+//! [`Ledger`](crate::accountant::Ledger) can
+//! never admit more than its budget (same fail-closed
+//! [`BudgetAccount`](crate::accountant::BudgetAccount) arithmetic at both
+//! levels), the agency's lifetime privacy loss is bounded by the cap no
+//! matter how seasons run, crash, resume, or interleave.
+//!
+//! The crash window of that two-step protocol is a reservation whose
+//! directory was never created. That state *holds* budget (the safe
+//! direction — fail closed) and is repaired by re-issuing
+//! [`create_season`](AgencyStore::create_season) (or
+//! [`open_or_create_season`](AgencyStore::open_or_create_season)) with the
+//! same budget. The reverse state — a season directory with no
+//! reservation — would be privacy loss outside the meta-ledger and is
+//! refused outright on [`open`](AgencyStore::open).
+//!
+//! # Verification on open
+//!
+//! [`AgencyStore::open`] replays and cross-checks everything it governs:
+//! the meta-ledger snapshot deserializes by replaying its reservations
+//! against the cap; every season directory must hold a reservation; every
+//! reserved season that exists is opened through the full
+//! [`SeasonStore::open`] verification (ledger replay, artifact/entry
+//! agreement, crash-window repair) and must carry exactly its reserved
+//! budget; and every season must be pinned to the agency's dataset.
+//! Tampering any one season's ledger snapshot therefore makes the whole
+//! agency refuse to open.
+//!
+//! # Shared truths
+//!
+//! [`AgencyStore::run_season`] executes a season through a
+//! [`TabulationCache`] backed by the agency-wide [`TruthStore`]: the
+//! first season to tabulate
+//! a `(spec, normalized filter)` persists the truth, and every later
+//! season — or a resumed run of the same season — loads it back
+//! digest-verified with zero recomputation.
+//!
+//! # The degenerate case
+//!
+//! A single [`SeasonStore`] used directly is exactly an agency with one
+//! season and `cap = season budget`; the season API is unchanged and keeps
+//! working standalone.
+//!
+//! ```
+//! use eree_core::agency::AgencyStore;
+//! use eree_core::{MechanismKind, PrivacyParams, ReleaseRequest};
+//! use lodes::{Generator, GeneratorConfig};
+//! use tabulate::{workload1, workload3};
+//!
+//! let dataset = Generator::new(GeneratorConfig::test_small(7)).generate();
+//! let dir = std::env::temp_dir().join("eree-doctest-agency");
+//! let _ = std::fs::remove_dir_all(&dir);
+//!
+//! // A global cap of eps = 10 governs every season this agency will run.
+//! let mut agency = AgencyStore::create(&dir, PrivacyParams::pure(0.1, 10.0)).unwrap();
+//! agency.create_season("annual", PrivacyParams::pure(0.1, 8.0)).unwrap();
+//!
+//! let annual = vec![ReleaseRequest::marginal(workload3())
+//!     .mechanism(MechanismKind::LogLaplace)
+//!     .budget(PrivacyParams::pure(0.1, 8.0))
+//!     .seed(1)];
+//! agency.run_season("annual", &dataset, &annual).unwrap();
+//!
+//! // A sibling season re-publishing the same marginal never re-tabulates:
+//! // its truth is served from the agency's persistent truth store.
+//! agency.create_season("update", PrivacyParams::pure(0.1, 2.0)).unwrap();
+//! let update = vec![ReleaseRequest::marginal(workload3())
+//!     .mechanism(MechanismKind::LogLaplace)
+//!     .budget(PrivacyParams::pure(0.1, 2.0))
+//!     .seed(2)];
+//! let report = agency.run_season("update", &dataset, &update).unwrap();
+//! assert_eq!(report.tabulations_computed, 0);
+//! assert_eq!(report.tabulation_disk_hits, 1);
+//!
+//! // The cap is spoken for: a third season is refused before anything
+//! // touches disk or data.
+//! assert!(agency.create_season("extra", PrivacyParams::pure(0.1, 1.0)).is_err());
+//! # std::fs::remove_dir_all(&dir).unwrap();
+//! ```
+
+use crate::accountant::MetaLedger;
+use crate::definitions::PrivacyParams;
+use crate::engine::{ReleaseRequest, TabulationCache};
+use crate::store::{
+    dataset_digest, read_json, write_json_atomic, SeasonReport, SeasonStore, StoreError,
+};
+use crate::truths::TruthStore;
+use lodes::Dataset;
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Agency store format version, recorded in the manifest.
+const FORMAT_VERSION: u32 = 1;
+
+/// Manifest file name under the agency directory.
+const MANIFEST_FILE: &str = "agency.json";
+/// Meta-ledger snapshot file name under the agency directory.
+const META_LEDGER_FILE: &str = "meta_ledger.json";
+/// Season subdirectory name.
+const SEASONS_DIR: &str = "seasons";
+/// Truth-store subdirectory name.
+const TRUTHS_DIR: &str = "truths";
+
+/// The agency manifest: identifies the directory as an agency, pins the
+/// global cap the meta-ledger must carry, and — once the first
+/// [`AgencyStore::run_season`] has seen the confidential database — pins
+/// the dataset fingerprint every season must share.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct AgencyManifest {
+    format: u32,
+    cap: PrivacyParams,
+    dataset_digest: Option<u64>,
+}
+
+/// The audit view of one governed season, refreshed on
+/// [`AgencyStore::open`] and after every [`AgencyStore::run_season`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeasonSummary {
+    /// The season's name (its directory name under `seasons/`).
+    pub name: String,
+    /// The budget reserved for it in the meta-ledger.
+    pub budget: PrivacyParams,
+    /// ε the season has actually spent so far.
+    pub spent_epsilon: f64,
+    /// δ the season has actually spent so far.
+    pub spent_delta: f64,
+    /// Releases the season has persisted so far.
+    pub completed: usize,
+    /// Whether the season directory exists yet. `false` only in the
+    /// crash window between a durable reservation and the directory's
+    /// creation; the budget is held either way.
+    pub materialized: bool,
+}
+
+/// A durable multi-season agency: meta-ledger + season stores + shared
+/// truth store under one directory. See the [module docs](self).
+#[derive(Debug)]
+pub struct AgencyStore {
+    root: PathBuf,
+    manifest: AgencyManifest,
+    meta: MetaLedger,
+    seasons: Vec<SeasonSummary>,
+}
+
+impl AgencyStore {
+    /// Start a fresh agency under `root` (created if absent) with the
+    /// given global `(α, ε, δ)` cap. Refuses a directory that already
+    /// holds one.
+    pub fn create(root: impl AsRef<Path>, cap: PrivacyParams) -> Result<Self, StoreError> {
+        let root = root.as_ref().to_path_buf();
+        let manifest_path = root.join(MANIFEST_FILE);
+        if manifest_path.exists() {
+            return Err(StoreError::AlreadyExists { path: root });
+        }
+        for sub in [SEASONS_DIR, TRUTHS_DIR] {
+            fs::create_dir_all(root.join(sub)).map_err(|source| StoreError::Io {
+                path: root.join(sub),
+                source,
+            })?;
+        }
+        let manifest = AgencyManifest {
+            format: FORMAT_VERSION,
+            cap,
+            dataset_digest: None,
+        };
+        let meta = MetaLedger::new(cap);
+        // Manifest last: its presence is the commit point (`open` demands
+        // it, `create` refuses it). A crash before it leaves a directory
+        // a retried `create` simply finishes; a crash after it leaves a
+        // complete agency. Manifest-first would strand a directory that
+        // `open` rejects (no meta-ledger) and `create` rejects
+        // (AlreadyExists) — unrecoverable without manual deletion.
+        write_json_atomic(&root.join(META_LEDGER_FILE), &meta)?;
+        write_json_atomic(&manifest_path, &manifest)?;
+        Ok(Self {
+            root,
+            manifest,
+            meta,
+            seasons: Vec::new(),
+        })
+    }
+
+    /// Reload a persisted agency, verifying everything it governs:
+    ///
+    /// 1. the manifest parses and its format is supported;
+    /// 2. the meta-ledger snapshot parses, its reservations **replay**
+    ///    within the cap, and its cap matches the manifest's;
+    /// 3. every directory under `seasons/` holds a reservation (a season
+    ///    with no reservation would be privacy loss outside the
+    ///    meta-ledger);
+    /// 4. every reserved season that exists passes the full
+    ///    [`SeasonStore::open`] verification and carries exactly its
+    ///    reserved budget;
+    /// 5. every materialized season is pinned to the agency's dataset (a
+    ///    season bound before the agency was binds the agency, provided
+    ///    all seasons agree).
+    ///
+    /// A reservation without a directory is the tolerated crash window of
+    /// [`create_season`](Self::create_season): the budget stays held.
+    pub fn open(root: impl AsRef<Path>) -> Result<Self, StoreError> {
+        let root = root.as_ref().to_path_buf();
+        let manifest_path = root.join(MANIFEST_FILE);
+        if !manifest_path.exists() {
+            return Err(StoreError::NotAStore { path: root });
+        }
+        let mut manifest: AgencyManifest = read_json(&manifest_path)?;
+        if manifest.format != FORMAT_VERSION {
+            return Err(StoreError::Corrupt {
+                path: manifest_path,
+                detail: format!(
+                    "unsupported agency format {} (this build reads {FORMAT_VERSION})",
+                    manifest.format
+                ),
+            });
+        }
+        let meta: MetaLedger = read_json(&root.join(META_LEDGER_FILE))?;
+        if meta.cap() != &manifest.cap {
+            return Err(StoreError::Inconsistent {
+                detail: format!(
+                    "meta-ledger cap {:?} disagrees with agency manifest {:?}",
+                    meta.cap(),
+                    manifest.cap
+                ),
+            });
+        }
+        // Every season directory must be in the meta-ledger.
+        let seasons_dir = root.join(SEASONS_DIR);
+        let entries = fs::read_dir(&seasons_dir).map_err(|source| StoreError::Io {
+            path: seasons_dir.clone(),
+            source,
+        })?;
+        for entry in entries {
+            let entry = entry.map_err(|source| StoreError::Io {
+                path: seasons_dir.clone(),
+                source,
+            })?;
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if meta.reservation(&name).is_none() {
+                return Err(StoreError::Inconsistent {
+                    detail: format!(
+                        "season directory `{name}` holds no meta-ledger reservation — \
+                         privacy loss outside the agency cap"
+                    ),
+                });
+            }
+        }
+        // Open and verify every reserved season that exists.
+        let mut seasons = Vec::with_capacity(meta.reservations().len());
+        let mut bound_digest = manifest.dataset_digest;
+        for reservation in meta.reservations() {
+            let season_dir = seasons_dir.join(&reservation.name);
+            if !season_dir.exists() {
+                seasons.push(SeasonSummary {
+                    name: reservation.name.clone(),
+                    budget: reservation.budget,
+                    spent_epsilon: 0.0,
+                    spent_delta: 0.0,
+                    completed: 0,
+                    materialized: false,
+                });
+                continue;
+            }
+            let season = SeasonStore::open(&season_dir)?;
+            if season.ledger().budget() != &reservation.budget {
+                return Err(StoreError::Inconsistent {
+                    detail: format!(
+                        "season `{}` carries budget {:?} but its reservation is {:?}",
+                        reservation.name,
+                        season.ledger().budget(),
+                        reservation.budget
+                    ),
+                });
+            }
+            if let Some(season_digest) = season.dataset_digest() {
+                match bound_digest {
+                    Some(agency_digest) if agency_digest != season_digest => {
+                        return Err(StoreError::Inconsistent {
+                            detail: format!(
+                                "season `{}` is bound to dataset {season_digest:016x} but the \
+                                 agency is bound to {agency_digest:016x}",
+                                reservation.name
+                            ),
+                        });
+                    }
+                    Some(_) => {}
+                    // A season bound before the agency was (e.g. run
+                    // standalone): adopt its dataset, provided every
+                    // other season agrees.
+                    None => bound_digest = Some(season_digest),
+                }
+            }
+            seasons.push(SeasonSummary {
+                name: reservation.name.clone(),
+                budget: reservation.budget,
+                spent_epsilon: season.ledger().spent_epsilon(),
+                spent_delta: season.ledger().spent_delta(),
+                completed: season.completed(),
+                materialized: true,
+            });
+        }
+        if bound_digest != manifest.dataset_digest {
+            manifest.dataset_digest = bound_digest;
+            write_json_atomic(&manifest_path, &manifest)?;
+        }
+        Ok(Self {
+            root,
+            manifest,
+            meta,
+            seasons,
+        })
+    }
+
+    /// [`open`](Self::open) if `root` holds an agency (whose cap must
+    /// equal `cap`), else [`create`](Self::create).
+    pub fn open_or_create(root: impl AsRef<Path>, cap: PrivacyParams) -> Result<Self, StoreError> {
+        let root = root.as_ref();
+        if root.join(MANIFEST_FILE).exists() {
+            let agency = Self::open(root)?;
+            if agency.cap() != &cap {
+                return Err(StoreError::Inconsistent {
+                    detail: format!(
+                        "existing agency cap {:?} differs from requested {:?}",
+                        agency.cap(),
+                        cap
+                    ),
+                });
+            }
+            Ok(agency)
+        } else {
+            Self::create(root, cap)
+        }
+    }
+
+    /// The agency directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The global cap.
+    pub fn cap(&self) -> &PrivacyParams {
+        self.meta.cap()
+    }
+
+    /// The (restored) meta-ledger.
+    pub fn meta_ledger(&self) -> &MetaLedger {
+        &self.meta
+    }
+
+    /// ε still unreserved under the cap.
+    pub fn remaining_epsilon(&self) -> f64 {
+        self.meta.remaining_epsilon()
+    }
+
+    /// The dataset fingerprint the agency is pinned to (`None` until the
+    /// first [`run_season`](Self::run_season) binds one).
+    pub fn dataset_digest(&self) -> Option<u64> {
+        self.manifest.dataset_digest
+    }
+
+    /// Audit summaries of every reserved season, in reservation order.
+    pub fn seasons(&self) -> &[SeasonSummary] {
+        &self.seasons
+    }
+
+    /// Total ε actually spent across all materialized seasons — always
+    /// `≤` [`MetaLedger::reserved_epsilon`], which is `≤` the cap's ε.
+    pub fn spent_epsilon(&self) -> f64 {
+        self.seasons.iter().map(|s| s.spent_epsilon).sum()
+    }
+
+    /// The agency-wide persistent truth store, pinned to the agency's
+    /// dataset. `None` until a dataset is bound.
+    pub fn truth_store(&self) -> Result<Option<TruthStore>, StoreError> {
+        match self.manifest.dataset_digest {
+            Some(digest) => Ok(Some(TruthStore::open(self.root.join(TRUTHS_DIR), digest)?)),
+            None => Ok(None),
+        }
+    }
+
+    fn season_dir(&self, name: &str) -> PathBuf {
+        self.root.join(SEASONS_DIR).join(name)
+    }
+
+    /// Season names become directory names; keep them boring so a name
+    /// can never traverse outside `seasons/` or collide with store files.
+    fn validate_name(name: &str) -> Result<(), StoreError> {
+        let ok = !name.is_empty()
+            && name.len() <= 64
+            && name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'))
+            && !name.starts_with('.');
+        if ok {
+            Ok(())
+        } else {
+            Err(StoreError::Inconsistent {
+                detail: format!(
+                    "invalid season name `{name}`: use 1-64 ASCII alphanumerics, `-`, `_`, `.` \
+                     (not leading)"
+                ),
+            })
+        }
+    }
+
+    /// Start a new season: reserve `budget` from the cap in the
+    /// meta-ledger (durably, first), then create its [`SeasonStore`].
+    ///
+    /// Refused with [`StoreError::AgencyBudget`] — before anything touches
+    /// disk — when the reservation would overspend the cap, duplicate a
+    /// name, or mismatch the cap's α. Re-issuing after a crash that left
+    /// the reservation without a directory materializes the season
+    /// (`budget` must equal the reservation).
+    pub fn create_season(
+        &mut self,
+        name: &str,
+        budget: PrivacyParams,
+    ) -> Result<SeasonStore, StoreError> {
+        Self::validate_name(name)?;
+        let season_dir = self.season_dir(name);
+        if let Some(reservation) = self.meta.reservation(name) {
+            if season_dir.exists() {
+                return Err(StoreError::AlreadyExists { path: season_dir });
+            }
+            // Crash-window repair: the reservation is durable, the
+            // directory never appeared. Materialize under the reserved
+            // budget — and only that budget.
+            if reservation.budget != budget {
+                return Err(StoreError::Inconsistent {
+                    detail: format!(
+                        "season `{name}` already holds a reservation of {:?}; \
+                         cannot materialize it with {:?}",
+                        reservation.budget, budget
+                    ),
+                });
+            }
+            let store = SeasonStore::create(&season_dir, budget)?;
+            self.upsert_summary(name, &store);
+            return Ok(store);
+        }
+        // Reservation-first write protocol: the meta-ledger admits (and
+        // durably records) the whole season budget before the season
+        // exists, so a crash can strand held budget but never unseen
+        // spending capacity.
+        let mut meta = self.meta.clone();
+        meta.reserve(name, budget)
+            .map_err(|source| StoreError::AgencyBudget {
+                season: name.to_string(),
+                source,
+            })?;
+        write_json_atomic(&self.root.join(META_LEDGER_FILE), &meta)?;
+        self.meta = meta;
+        let store = SeasonStore::create(&season_dir, budget)?;
+        self.upsert_summary(name, &store);
+        Ok(store)
+    }
+
+    /// Refresh the audit view of one season from its live store.
+    fn upsert_summary(&mut self, name: &str, season: &SeasonStore) {
+        let summary = SeasonSummary {
+            name: name.to_string(),
+            budget: *season.ledger().budget(),
+            spent_epsilon: season.ledger().spent_epsilon(),
+            spent_delta: season.ledger().spent_delta(),
+            completed: season.completed(),
+            materialized: true,
+        };
+        match self.seasons.iter_mut().find(|s| s.name == name) {
+            Some(existing) => *existing = summary,
+            None => self.seasons.push(summary),
+        }
+    }
+
+    /// Open an existing season of this agency, re-verifying it end to end
+    /// (full [`SeasonStore::open`]) and checking its budget against the
+    /// reservation.
+    pub fn open_season(&self, name: &str) -> Result<SeasonStore, StoreError> {
+        Self::validate_name(name)?;
+        let reservation = self
+            .meta
+            .reservation(name)
+            .ok_or_else(|| StoreError::Inconsistent {
+                detail: format!("agency holds no season named `{name}`"),
+            })?;
+        let season = SeasonStore::open(self.season_dir(name))?;
+        if season.ledger().budget() != &reservation.budget {
+            return Err(StoreError::Inconsistent {
+                detail: format!(
+                    "season `{name}` carries budget {:?} but its reservation is {:?}",
+                    season.ledger().budget(),
+                    reservation.budget
+                ),
+            });
+        }
+        Ok(season)
+    }
+
+    /// [`open_season`](Self::open_season) if the season exists (its
+    /// reservation must equal `budget`), else
+    /// [`create_season`](Self::create_season).
+    pub fn open_or_create_season(
+        &mut self,
+        name: &str,
+        budget: PrivacyParams,
+    ) -> Result<SeasonStore, StoreError> {
+        Self::validate_name(name)?;
+        match self.meta.reservation(name) {
+            Some(reservation) if reservation.budget != budget => Err(StoreError::Inconsistent {
+                detail: format!(
+                    "season `{name}` is reserved at {:?}, not the requested {:?}",
+                    reservation.budget, budget
+                ),
+            }),
+            Some(_) if self.season_dir(name).exists() => self.open_season(name),
+            Some(_) => self.create_season(name, budget),
+            None => self.create_season(name, budget),
+        }
+    }
+
+    /// Execute (or resume) season `name` against `dataset` under the
+    /// agency's shared truth store: verify the dataset pin (binding it on
+    /// the agency's first run), open the season, and drive
+    /// [`SeasonStore::run_cached`] with a cache backed by the persistent
+    /// [`TruthStore`] — so truths tabulated by *any* season of this agency
+    /// are reused, digest-verified, with zero recomputation.
+    pub fn run_season(
+        &mut self,
+        name: &str,
+        dataset: &Dataset,
+        requests: &[ReleaseRequest],
+    ) -> Result<SeasonReport, StoreError> {
+        // Validate the season *before* touching the dataset pin: a failed
+        // call (typo'd name, corrupt season) must not durably bind the
+        // agency to whatever dataset it happened to be handed.
+        let mut season = self.open_season(name)?;
+        let digest = dataset_digest(dataset);
+        match self.manifest.dataset_digest {
+            Some(bound) if bound != digest => {
+                return Err(StoreError::Inconsistent {
+                    detail: format!(
+                        "agency is bound to dataset {bound:016x} but was asked to run \
+                         against dataset {digest:016x} — refusing to mix databases"
+                    ),
+                });
+            }
+            Some(_) => {}
+            None => {
+                self.manifest.dataset_digest = Some(digest);
+                write_json_atomic(&self.root.join(MANIFEST_FILE), &self.manifest)?;
+            }
+        }
+        let truths = TruthStore::open(self.root.join(TRUTHS_DIR), digest)?;
+        let mut cache = TabulationCache::with_store(truths);
+        let result = season.run_cached_with_digest(dataset, digest, requests, &mut cache);
+        // Refresh the audit view even when the run aborted mid-plan: the
+        // season store reflects exactly what was durably persisted (and
+        // charged) before the refusal, and that spend is real.
+        self.upsert_summary(name, &season);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mechanisms::MechanismKind;
+    use lodes::{Generator, GeneratorConfig};
+    use tabulate::{workload1, workload3};
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("eree-agency-unit-{name}"));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn dataset() -> Dataset {
+        Generator::new(GeneratorConfig::test_small(21)).generate()
+    }
+
+    fn request(seed: u64, epsilon: f64) -> ReleaseRequest {
+        ReleaseRequest::marginal(workload1())
+            .mechanism(MechanismKind::LogLaplace)
+            .budget(PrivacyParams::pure(0.1, epsilon))
+            .seed(seed)
+    }
+
+    #[test]
+    fn create_then_open_round_trips() {
+        let dir = tmp_dir("roundtrip");
+        let cap = PrivacyParams::pure(0.1, 8.0);
+        let mut agency = AgencyStore::create(&dir, cap).unwrap();
+        agency
+            .create_season("a", PrivacyParams::pure(0.1, 3.0))
+            .unwrap();
+        agency
+            .create_season("b", PrivacyParams::pure(0.1, 4.0))
+            .unwrap();
+        drop(agency);
+        let agency = AgencyStore::open(&dir).unwrap();
+        assert_eq!(agency.cap(), &cap);
+        assert_eq!(agency.seasons().len(), 2);
+        assert!((agency.remaining_epsilon() - 1.0).abs() < 1e-12);
+        assert!(matches!(
+            AgencyStore::create(&dir, cap),
+            Err(StoreError::AlreadyExists { .. })
+        ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn over_cap_season_is_refused_before_any_disk_state() {
+        let dir = tmp_dir("over-cap");
+        let mut agency = AgencyStore::create(&dir, PrivacyParams::pure(0.1, 4.0)).unwrap();
+        agency
+            .create_season("first", PrivacyParams::pure(0.1, 3.0))
+            .unwrap();
+        let err = agency
+            .create_season("greedy", PrivacyParams::pure(0.1, 2.0))
+            .unwrap_err();
+        assert!(matches!(err, StoreError::AgencyBudget { .. }));
+        assert!(!dir.join("seasons").join("greedy").exists());
+        assert_eq!(agency.meta_ledger().reservations().len(), 1);
+        // The durable state agrees: reopening sees one season.
+        drop(agency);
+        let agency = AgencyStore::open(&dir).unwrap();
+        assert_eq!(agency.seasons().len(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn invalid_season_names_are_refused() {
+        let dir = tmp_dir("names");
+        let mut agency = AgencyStore::create(&dir, PrivacyParams::pure(0.1, 4.0)).unwrap();
+        for bad in ["", "..", "a/b", "a\\b", ".hidden", "x".repeat(65).as_str()] {
+            assert!(
+                matches!(
+                    agency.create_season(bad, PrivacyParams::pure(0.1, 1.0)),
+                    Err(StoreError::Inconsistent { .. })
+                ),
+                "name {bad:?} must be refused"
+            );
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reservation_without_directory_is_the_repairable_crash_window() {
+        let dir = tmp_dir("crash-window");
+        let mut agency = AgencyStore::create(&dir, PrivacyParams::pure(0.1, 4.0)).unwrap();
+        agency
+            .create_season("s", PrivacyParams::pure(0.1, 3.0))
+            .unwrap();
+        // Simulate the crash: the reservation landed, the directory never
+        // did.
+        fs::remove_dir_all(dir.join("seasons").join("s")).unwrap();
+        let mut agency = AgencyStore::open(&dir).unwrap();
+        assert!(!agency.seasons()[0].materialized);
+        // The budget stays held…
+        assert!((agency.remaining_epsilon() - 1.0).abs() < 1e-12);
+        // …a different budget cannot claim the name…
+        assert!(matches!(
+            agency.create_season("s", PrivacyParams::pure(0.1, 1.0)),
+            Err(StoreError::Inconsistent { .. })
+        ));
+        // …and re-issuing with the reserved budget materializes it — in
+        // the in-memory audit view too, not just on disk.
+        agency
+            .create_season("s", PrivacyParams::pure(0.1, 3.0))
+            .unwrap();
+        assert!(dir.join("seasons").join("s").exists());
+        assert!(agency
+            .seasons()
+            .iter()
+            .any(|s| s.name == "s" && s.materialized));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn season_directory_without_reservation_is_refused() {
+        let dir = tmp_dir("rogue-season");
+        let agency = AgencyStore::create(&dir, PrivacyParams::pure(0.1, 4.0)).unwrap();
+        drop(agency);
+        SeasonStore::create(
+            dir.join("seasons").join("rogue"),
+            PrivacyParams::pure(0.1, 1.0),
+        )
+        .unwrap();
+        let err = AgencyStore::open(&dir).unwrap_err();
+        assert!(matches!(err, StoreError::Inconsistent { .. }));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn run_season_binds_dataset_and_shares_truths() {
+        let dir = tmp_dir("shared-truths");
+        let d = dataset();
+        let mut agency = AgencyStore::create(&dir, PrivacyParams::pure(0.1, 6.0)).unwrap();
+        // A failed run against a nonexistent season must not durably bind
+        // the agency to the dataset it was (possibly wrongly) handed.
+        assert!(agency.run_season("typo", &d, &[request(0, 1.0)]).is_err());
+        assert_eq!(agency.dataset_digest(), None);
+        agency
+            .create_season("a", PrivacyParams::pure(0.1, 2.0))
+            .unwrap();
+        agency
+            .create_season("b", PrivacyParams::pure(0.1, 2.0))
+            .unwrap();
+        let ra = agency.run_season("a", &d, &[request(1, 2.0)]).unwrap();
+        assert_eq!(ra.tabulations_computed, 1);
+        assert_eq!(ra.tabulation_disk_hits, 0);
+        // Season b shares the (spec, filter): zero recomputation.
+        let rb = agency.run_season("b", &d, &[request(2, 2.0)]).unwrap();
+        assert_eq!(rb.tabulations_computed, 0);
+        assert_eq!(rb.tabulation_disk_hits, 1);
+        // The agency is now pinned: a different dataset is refused.
+        let other = Generator::new(GeneratorConfig::test_small(22)).generate();
+        agency
+            .create_season("c", PrivacyParams::pure(0.1, 1.0))
+            .unwrap();
+        assert!(matches!(
+            agency.run_season("c", &other, &[request(3, 1.0)]),
+            Err(StoreError::Inconsistent { .. })
+        ));
+        // And so is a season plan that overdraws its own ledger.
+        assert!(matches!(
+            agency.run_season("c", &d, &[request(3, 1.5)]),
+            Err(StoreError::Refused { .. })
+        ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tampered_season_ledger_refuses_the_whole_agency() {
+        let dir = tmp_dir("tampered-season");
+        let d = dataset();
+        let mut agency = AgencyStore::create(&dir, PrivacyParams::pure(0.1, 6.0)).unwrap();
+        agency
+            .create_season("a", PrivacyParams::pure(0.1, 2.0))
+            .unwrap();
+        agency.run_season("a", &d, &[request(1, 2.0)]).unwrap();
+        drop(agency);
+        let ledger_path = dir.join("seasons").join("a").join("ledger.json");
+        let tampered = fs::read_to_string(&ledger_path)
+            .unwrap()
+            .replace("\"spent_epsilon\": 2.0", "\"spent_epsilon\": 0.5");
+        fs::write(&ledger_path, tampered).unwrap();
+        assert!(AgencyStore::open(&dir).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn resumed_season_serves_truths_from_disk() {
+        let dir = tmp_dir("resume-truths");
+        let d = dataset();
+        let plan = vec![
+            request(1, 1.0),
+            ReleaseRequest::marginal(workload3())
+                .mechanism(MechanismKind::LogLaplace)
+                .budget(PrivacyParams::pure(0.1, 8.0))
+                .seed(2),
+        ];
+        let mut agency = AgencyStore::create(&dir, PrivacyParams::pure(0.1, 9.0)).unwrap();
+        agency
+            .create_season("s", PrivacyParams::pure(0.1, 9.0))
+            .unwrap();
+        // First run killed after one release.
+        agency.run_season("s", &d, &plan[..1]).unwrap();
+        drop(agency);
+        // Resume from a fresh process: the first request's truth comes
+        // from the store (it is verified, not re-tabulated), the second is
+        // computed and persisted.
+        let mut agency = AgencyStore::open(&dir).unwrap();
+        let report = agency.run_season("s", &d, &plan).unwrap();
+        assert_eq!(report.resumed_from, 1);
+        assert_eq!(report.executed, 1);
+        assert_eq!(report.tabulations_computed, 1);
+        let truths = agency.truth_store().unwrap().expect("dataset bound");
+        assert_eq!(truths.len(), 2);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -617,6 +617,17 @@ fn tabulation_key(request: &ReleaseRequest) -> TabulationKey {
     )
 }
 
+/// Where one cached tabulation came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TabulationSource {
+    /// Served from this cache's in-memory entries.
+    Memory,
+    /// Loaded (and verified) from the persistent [`TruthStore`].
+    Disk,
+    /// Freshly computed over the shared index.
+    Computed,
+}
+
 /// A cache of tabulated truth marginals keyed by
 /// `(MarginalSpec, filter identity)` — the normalized expression for
 /// declarative filters, the `Arc` address for opaque closures — plus the
@@ -631,26 +642,82 @@ fn tabulation_key(request: &ReleaseRequest) -> TabulationKey {
 /// engine, because cached truths (and the index) are only valid for one
 /// dataset — tying the cache's lifetime to the caller's dataset makes
 /// stale reuse a type discipline instead of a runtime bug.
+///
+/// A cache built with [`with_store`](Self::with_store) additionally reads
+/// and writes a persistent, content-addressed
+/// [`TruthStore`](crate::truths::TruthStore): a memory miss first tries
+/// the store (digest-verified
+/// load), and a computed truth is persisted before it is used — so a
+/// resumed season, or a *sibling* season sharing a `(spec, filter)` with
+/// an earlier one, never re-tabulates. The store is pinned to one dataset
+/// digest, checked against the dataset on the **first tabulation through
+/// this cache** (one linear scan; a mismatch is refused loudly) and on
+/// every [`SeasonStore::run_cached`](crate::store::SeasonStore::run_cached)
+/// — the one-dataset-per-cache contract above still rests on the caller
+/// for later direct `execute_cached` calls. Closure-filtered truths have
+/// no serializable identity and stay memory-only.
 #[derive(Default)]
 pub struct TabulationCache {
     index: Option<Arc<TabulationIndex>>,
     entries: BTreeMap<TabulationKey, (Arc<Marginal>, Option<WorkerFilter>)>,
+    store: Option<crate::truths::TruthStore>,
+    /// Whether the dataset's digest has been checked against the store's.
+    /// One linear pass per cache, on the first tabulation.
+    dataset_verified: bool,
 }
 
 impl TabulationCache {
-    /// An empty cache.
+    /// An empty, memory-only cache.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Number of distinct tabulations held.
+    /// An empty cache backed by a persistent truth store. Declaratively
+    /// identified tabulations (unfiltered or [`FilterExpr`]-filtered) are
+    /// served from and persisted to `store`; the cache may only ever be
+    /// used with the dataset `store` is pinned to.
+    pub fn with_store(store: crate::truths::TruthStore) -> Self {
+        Self {
+            store: Some(store),
+            ..Self::default()
+        }
+    }
+
+    /// The persistent truth store backing this cache, if any.
+    pub fn store(&self) -> Option<&crate::truths::TruthStore> {
+        self.store.as_ref()
+    }
+
+    /// Number of distinct tabulations held in memory.
     pub fn len(&self) -> usize {
         self.entries.len()
     }
 
-    /// Whether the cache holds no tabulations.
+    /// Whether the cache holds no in-memory tabulations.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
+    }
+
+    /// Check an externally computed dataset digest against the backing
+    /// store's pin, marking the cache verified on success — so callers
+    /// that already paid for the digest (season/agency drivers, which
+    /// need it for their own manifest pins) don't trigger a second
+    /// full-dataset scan inside [`get_or_tabulate`](Self::get_or_tabulate).
+    /// A no-op for memory-only caches.
+    pub(crate) fn verify_dataset_digest(&mut self, digest: u64) -> Result<(), EngineError> {
+        if let Some(store) = &self.store {
+            if digest != store.dataset_digest() {
+                return Err(EngineError::TruthStore {
+                    detail: format!(
+                        "cache's truth store is pinned to dataset {:016x} but was handed \
+                         dataset {digest:016x} — refusing to mix databases",
+                        store.dataset_digest()
+                    ),
+                });
+            }
+            self.dataset_verified = true;
+        }
+        Ok(())
     }
 
     /// The shared columnar index of `dataset`, building it on first use.
@@ -661,20 +728,50 @@ impl TabulationCache {
         )
     }
 
-    /// The truth marginal for `request`, tabulating `dataset` on a miss.
-    /// Returns the marginal and whether this call was a cache hit.
+    /// The truth marginal for `request`: in-memory entry, verified
+    /// persistent truth, or fresh tabulation of `dataset`, in that order.
     fn get_or_tabulate(
         &mut self,
         dataset: &Dataset,
         request: &ReleaseRequest,
         threads: usize,
-    ) -> (Arc<Marginal>, bool) {
+    ) -> Result<(Arc<Marginal>, TabulationSource), EngineError> {
         let key = tabulation_key(request);
         if let Some((truth, _)) = self.entries.get(&key) {
-            return (Arc::clone(truth), true);
+            return Ok((Arc::clone(truth), TabulationSource::Memory));
+        }
+        // The persistent layer only speaks serializable identities.
+        let filter_expr = match &request.filter {
+            Some(RequestFilter::Expr(expr)) => Some(expr),
+            Some(RequestFilter::Closure(_)) => None,
+            None => None,
+        };
+        let persistable = !matches!(&request.filter, Some(RequestFilter::Closure(_)));
+        if self.store.is_some() {
+            if !self.dataset_verified {
+                let digest = crate::store::dataset_digest(dataset);
+                self.verify_dataset_digest(digest)?;
+            }
+            let store = self.store.as_ref().expect("checked above");
+            if persistable {
+                if let Some(truth) = store.load(&request.spec, filter_expr) {
+                    let truth = Arc::new(truth);
+                    self.entries.insert(key, (Arc::clone(&truth), None));
+                    return Ok((truth, TabulationSource::Disk));
+                }
+            }
         }
         let index = self.index_for(dataset);
         let truth = Arc::new(tabulate_request(&index, request, threads));
+        if persistable {
+            if let Some(store) = &self.store {
+                store
+                    .save(&request.spec, filter_expr, &truth)
+                    .map_err(|e| EngineError::TruthStore {
+                        detail: format!("persisting freshly computed truth failed: {e}"),
+                    })?;
+            }
+        }
         // Pin opaque closures so an `Opaque` key's address can never be
         // freed and reused while the cache lives; declarative filters are
         // keyed by their normalized structure and need no pinning.
@@ -683,7 +780,7 @@ impl TabulationCache {
             _ => None,
         };
         self.entries.insert(key, (Arc::clone(&truth), pinned));
-        (truth, false)
+        Ok((truth, TabulationSource::Computed))
     }
 }
 
@@ -705,10 +802,14 @@ fn tabulate_request(index: &TabulationIndex, request: &ReleaseRequest, threads: 
 /// Lifetime tabulation-cache counters of a [`ReleaseEngine`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TabulationStats {
-    /// Tabulations actually computed.
+    /// Tabulations actually computed (a full scan of the indexed dataset).
     pub computed: u64,
-    /// Requests served from a cached tabulation.
+    /// Requests served from an in-memory cached tabulation.
     pub hits: u64,
+    /// Requests served from the persistent truth store (a digest-verified
+    /// load — zero recomputation, e.g. on season resume or from a sibling
+    /// season that already tabulated the same `(spec, filter)`).
+    pub disk_hits: u64,
 }
 
 /// The ledger-enforced release engine.
@@ -818,12 +919,19 @@ impl ReleaseEngine {
         cache: &mut TabulationCache,
     ) -> Result<ReleaseArtifact, EngineError> {
         let plan = request.plan()?;
-        self.charge(request, &plan)?;
-        let (truth, hit) = cache.get_or_tabulate(dataset, request, self.threads);
-        if hit {
-            self.tab_stats.hits += 1;
-        } else {
-            self.tab_stats.computed += 1;
+        // Dry-run the admission first: a budget-rejected request must not
+        // touch the cache or the truth store, and — the other way round —
+        // a truth-store failure must not strand a ledger charge that never
+        // produced an artifact. The real charge happens once the truth is
+        // in hand, on identical ledger state, so it cannot fail.
+        self.ledger.can_charge(&plan.per_cell, &plan.cost)?;
+        let (truth, source) = cache.get_or_tabulate(dataset, request, self.threads)?;
+        self.charge(request, &plan)
+            .expect("dry-run admitted this charge on identical ledger state");
+        match source {
+            TabulationSource::Memory => self.tab_stats.hits += 1,
+            TabulationSource::Disk => self.tab_stats.disk_hits += 1,
+            TabulationSource::Computed => self.tab_stats.computed += 1,
         }
         Ok(self.sample(&truth, request, &plan, self.threads))
     }

@@ -65,6 +65,15 @@ pub enum EngineError {
         /// The payload kind the operation needs.
         expected: &'static str,
     },
+    /// The persistent truth store refused to cooperate: the cache's store
+    /// is pinned to a different dataset than the one being tabulated, or
+    /// persisting a freshly computed truth failed. The store is never
+    /// silently bypassed — a season configured to persist truths either
+    /// persists them or stops.
+    TruthStore {
+        /// What went wrong.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for EngineError {
@@ -98,6 +107,9 @@ impl std::fmt::Display for EngineError {
             }
             EngineError::WrongPayload { expected } => {
                 write!(f, "operation needs a {expected} payload")
+            }
+            EngineError::TruthStore { detail } => {
+                write!(f, "persistent truth store: {detail}")
             }
         }
     }

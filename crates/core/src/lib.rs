@@ -119,6 +119,13 @@
 //!   season resumes.
 //! * [`store`] — the on-disk season store: atomic artifact + ledger
 //!   persistence with verified, replay-based resume.
+//! * [`truths`] — the persistent, content-addressed store of tabulated
+//!   truth marginals (keyed by dataset digest + spec + normalized filter,
+//!   digest-verified on load) that seasons share.
+//! * [`agency`] — the multi-season governance layer: a durable
+//!   [`MetaLedger`] holding a global ε cap from which every season's
+//!   budget is reserved up front, child [`SeasonStore`]s, and the shared
+//!   truth store — an agency's whole release program under one bound.
 //! * [`error`] — the [`EngineError`] hierarchy consolidating release,
 //!   ledger, shape, and neighbor errors.
 //! * [`release`] / [`shape`] — the legacy free functions, now thin
@@ -129,6 +136,7 @@
 #![warn(missing_docs)]
 
 pub mod accountant;
+pub mod agency;
 pub mod definitions;
 pub mod engine;
 pub mod error;
@@ -141,8 +149,13 @@ pub mod release;
 pub mod shape;
 pub mod smooth;
 pub mod store;
+pub mod truths;
 
-pub use accountant::{Ledger, LedgerEntry, LedgerError, ReleaseCost, LEDGER_REL_TOL};
+pub use accountant::{
+    BudgetAccount, Ledger, LedgerEntry, LedgerError, MetaLedger, ReleaseCost, SeasonReservation,
+    LEDGER_REL_TOL,
+};
+pub use agency::{AgencyStore, SeasonSummary};
 pub use definitions::{
     min_epsilon_smooth_gamma, min_epsilon_smooth_laplace, requirement_matrix, PrivacyMethod,
     PrivacyParams, Requirement, Satisfaction,
@@ -167,3 +180,4 @@ pub use shape::release_shapes;
 pub use shape::{ShapeError, ShapeRelease};
 pub use smooth::{smooth_sensitivity_count, AdmissibilityBudget};
 pub use store::{CompletedRelease, SeasonReport, SeasonStore, StoreError};
+pub use truths::TruthStore;

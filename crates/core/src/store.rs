@@ -143,6 +143,16 @@ pub enum StoreError {
         /// The engine's refusal.
         source: EngineError,
     },
+    /// The agency meta-ledger refused a season: reserving its budget would
+    /// overspend the global cap, the name is already reserved, or its α
+    /// differs from the cap's. Refused before any directory is created or
+    /// any sampling happens.
+    AgencyBudget {
+        /// The season whose reservation was refused.
+        season: String,
+        /// The meta-ledger's refusal.
+        source: crate::accountant::LedgerError,
+    },
 }
 
 impl std::fmt::Display for StoreError {
@@ -173,6 +183,9 @@ impl std::fmt::Display for StoreError {
                     "season request {index} ({description}) refused: {source}"
                 )
             }
+            StoreError::AgencyBudget { season, source } => {
+                write!(f, "agency meta-ledger refused season `{season}`: {source}")
+            }
         }
     }
 }
@@ -182,6 +195,7 @@ impl std::error::Error for StoreError {
         match self {
             StoreError::Io { source, .. } => Some(source),
             StoreError::Refused { source, .. } => Some(source),
+            StoreError::AgencyBudget { source, .. } => Some(source),
             _ => None,
         }
     }
@@ -207,10 +221,16 @@ pub struct SeasonReport {
     pub resumed_from: usize,
     /// Requests newly executed (and persisted) by this run.
     pub executed: usize,
-    /// Truth marginals tabulated by this run.
+    /// Truth marginals tabulated (fully computed) by this run.
     pub tabulations_computed: u64,
-    /// Requests served from a shared tabulation instead.
+    /// Requests served from a shared in-memory tabulation instead.
     pub tabulation_hits: u64,
+    /// Requests served from a persistent truth store (digest-verified
+    /// load, zero recomputation). Always 0 for [`SeasonStore::run`], which
+    /// uses an in-memory cache; [`run_cached`](SeasonStore::run_cached)
+    /// with a store-backed cache — e.g. through an
+    /// [`AgencyStore`](crate::agency::AgencyStore) — reports them here.
+    pub tabulation_disk_hits: u64,
 }
 
 /// The in-memory summary of one persisted release: what was asked and
@@ -419,6 +439,12 @@ impl SeasonStore {
         &self.root
     }
 
+    /// The dataset fingerprint this season is pinned to (`None` until the
+    /// first [`run`](Self::run) binds one).
+    pub fn dataset_digest(&self) -> Option<u64> {
+        self.manifest.dataset_digest
+    }
+
     /// The restored (or live) ledger snapshot.
     pub fn ledger(&self) -> &Ledger {
         &self.ledger
@@ -530,7 +556,43 @@ impl SeasonStore {
         dataset: &Dataset,
         requests: &[ReleaseRequest],
     ) -> Result<SeasonReport, StoreError> {
-        let digest = dataset_digest(dataset);
+        self.run_cached(dataset, requests, &mut TabulationCache::new())
+    }
+
+    /// [`run`](Self::run) over a caller-owned [`TabulationCache`] — the
+    /// agency path: a cache backed by a persistent truth store
+    /// (`TabulationCache::with_store`) lets a resumed season, or a sibling
+    /// season sharing a `(spec, filter)`, reuse digest-verified truths
+    /// from disk instead of re-tabulating. The cache must belong to this
+    /// season's dataset.
+    pub fn run_cached(
+        &mut self,
+        dataset: &Dataset,
+        requests: &[ReleaseRequest],
+        cache: &mut TabulationCache,
+    ) -> Result<SeasonReport, StoreError> {
+        self.run_cached_with_digest(dataset, dataset_digest(dataset), requests, cache)
+    }
+
+    /// [`run_cached`](Self::run_cached) with the dataset's digest already
+    /// in hand — drivers that computed it for their own pins (the agency
+    /// layer) pass it through so one run costs exactly one full-dataset
+    /// scan, not three.
+    pub(crate) fn run_cached_with_digest(
+        &mut self,
+        dataset: &Dataset,
+        digest: u64,
+        requests: &[ReleaseRequest],
+        cache: &mut TabulationCache,
+    ) -> Result<SeasonReport, StoreError> {
+        // Re-check a store-backed cache against *this* dataset on every
+        // run — and hand the digest over, so the cache never pays for a
+        // second full-dataset scan of its own.
+        cache
+            .verify_dataset_digest(digest)
+            .map_err(|e| StoreError::Inconsistent {
+                detail: e.to_string(),
+            })?;
         match self.manifest.dataset_digest {
             Some(bound) if bound != digest => {
                 return Err(StoreError::Inconsistent {
@@ -574,10 +636,9 @@ impl SeasonStore {
         }
         let resumed_from = self.completed.len();
         let mut engine = self.engine();
-        let mut cache = TabulationCache::new();
         for (i, request) in requests.iter().enumerate().skip(resumed_from) {
             let artifact = engine
-                .execute_cached(dataset, request, &mut cache)
+                .execute_cached(dataset, request, cache)
                 .map_err(|e| StoreError::Refused {
                     index: i,
                     description: request.description(),
@@ -591,6 +652,7 @@ impl SeasonStore {
             executed: requests.len() - resumed_from,
             tabulations_computed: stats.computed,
             tabulation_hits: stats.hits,
+            tabulation_disk_hits: stats.disk_hits,
         })
     }
 }
@@ -701,7 +763,7 @@ pub fn dataset_digest(dataset: &Dataset) -> u64 {
 /// crash (or power loss) leaves either the old file or the new one — never
 /// a torn write — and the artifact-first ordering [`SeasonStore::record`]
 /// relies on survives to disk in order.
-fn write_json_atomic<T: Serialize>(path: &Path, value: &T) -> Result<(), StoreError> {
+pub(crate) fn write_json_atomic<T: Serialize>(path: &Path, value: &T) -> Result<(), StoreError> {
     let json = serde_json::to_string_pretty(value).map_err(|e| StoreError::Corrupt {
         path: path.to_path_buf(),
         detail: format!("serialization failed: {e}"),
@@ -732,7 +794,7 @@ fn write_json_atomic<T: Serialize>(path: &Path, value: &T) -> Result<(), StoreEr
     Ok(())
 }
 
-fn read_json<T: Deserialize>(path: &Path) -> Result<T, StoreError> {
+pub(crate) fn read_json<T: Deserialize>(path: &Path) -> Result<T, StoreError> {
     let text = fs::read_to_string(path).map_err(|source| StoreError::Io {
         path: path.to_path_buf(),
         source,

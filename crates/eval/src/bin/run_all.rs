@@ -150,27 +150,36 @@ fn main() {
     }
     write_results(&dir, "table2", &md, "", &rows).unwrap();
 
-    // Publication season: execute (or resume) the canonical composed
-    // release plan under a persistent SeasonStore. A run_all killed during
-    // this step picks up exactly where it stopped on the next invocation,
-    // without re-spending any of the season's ε.
+    // Publication agency: execute (or resume) the canonical two-season
+    // release program under a persistent AgencyStore — one global ε cap
+    // governing both seasons, truths shared across them through the
+    // persistent truth store. A run_all killed during this step picks up
+    // exactly where it stopped on the next invocation, without re-spending
+    // any ε or re-tabulating any truth.
     let t = Instant::now();
-    let season_dir = dir.join("season");
-    match eval::season::run_or_resume(&season_dir, &ctx.dataset) {
-        Ok((report, store)) => eprintln!(
-            "run_all: season done — resumed at {}, executed {}, {} tabulations ({} shared), \
-             eps remaining {:.3} ({:.1?}; store at {})",
-            report.resumed_from,
-            report.executed,
-            report.tabulations_computed,
-            report.tabulation_hits,
-            store.ledger().remaining_epsilon(),
+    let agency_dir = dir.join("agency");
+    match eval::season::run_or_resume(&agency_dir, &ctx.dataset) {
+        Ok((report, agency)) => eprintln!(
+            "run_all: agency done — annual resumed at {} / executed {} ({} tabulated, {} memory-\
+             shared, {} from truth store); followup resumed at {} / executed {} ({} tabulated, \
+             {} from truth store); cap remaining {:.3} ({:.1?}; agency at {})",
+            report.annual.resumed_from,
+            report.annual.executed,
+            report.annual.tabulations_computed,
+            report.annual.tabulation_hits,
+            report.annual.tabulation_disk_hits,
+            report.followup.resumed_from,
+            report.followup.executed,
+            report.followup.tabulations_computed,
+            report.followup.tabulation_disk_hits,
+            agency.remaining_epsilon(),
             t.elapsed(),
-            season_dir.display()
+            agency_dir.display()
         ),
         Err(e) => eprintln!(
-            "run_all: season store at {} refused: {e} (delete the directory to restart the season)",
-            season_dir.display()
+            "run_all: agency store at {} refused: {e} (delete the directory to restart the \
+             release program)",
+            agency_dir.display()
         ),
     }
 

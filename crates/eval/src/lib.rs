@@ -9,10 +9,10 @@
 //! * [`experiments`] — one module per paper exhibit: `figure1` … `figure5`,
 //!   `table1`, `table2`.
 //! * [`report`] — markdown/CSV rendering of experiment results.
-//! * [`season`] — the canonical five-release publication season
-//!   (including a declaratively filtered sub-population release),
+//! * [`season`] — the canonical two-season publication agency (a
+//!   five-release annual season plus a truth-sharing followup season),
 //!   persisted and resumable through the core
-//!   [`SeasonStore`](eree_core::SeasonStore).
+//!   [`AgencyStore`](eree_core::AgencyStore) under one global ε cap.
 //!
 //! Each exhibit also has a binary (`cargo run -p eval --release --bin
 //! figure1`) that prints the regenerated rows/series and writes them under

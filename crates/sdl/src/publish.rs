@@ -47,7 +47,13 @@ impl Default for SdlConfig {
 
 /// A published SDL tabulation: noisy counts per nonzero-true-count cell,
 /// alongside the true marginal for evaluation.
-#[derive(Debug, Clone)]
+///
+/// Serializable since `Marginal` gained its stable serialized form: an
+/// evaluation run can persist SDL baselines next to the engine's
+/// `ReleaseArtifact`s and replay comparisons without re-publishing.
+/// (The `truth` field makes a serialized release *confidential* — it
+/// exists for experiments, never for dissemination.)
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SdlRelease {
     /// Published (noisy) value per cell.
     pub published: BTreeMap<CellKey, f64>,
@@ -352,6 +358,17 @@ mod tests {
             e_large > 3.0 * e_small,
             "10x distortion should raise error: {e_small} vs {e_large}"
         );
+    }
+
+    #[test]
+    fn release_json_round_trips_bit_identically() {
+        let (d, p) = setup();
+        let release = p.publish(&d, &workload1());
+        let json = serde_json::to_string(&release).unwrap();
+        let back: SdlRelease = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, release);
+        assert_eq!(back.truth.content_digest(), release.truth.content_digest());
+        assert_eq!(back.l1_error(), release.l1_error());
     }
 
     #[test]

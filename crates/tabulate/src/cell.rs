@@ -8,7 +8,7 @@
 
 use crate::attr::{Attr, MarginalSpec};
 use lodes::Dataset;
-use serde::{Deserialize, Serialize};
+use serde::{get_field, DeError, Deserialize, Serialize, Value};
 
 /// A packed marginal-cell identifier. Ordering follows the packed integer,
 /// which is lexicographic in the spec's attribute order.
@@ -16,7 +16,7 @@ use serde::{Deserialize, Serialize};
 pub struct CellKey(pub u64);
 
 /// Encoder/decoder between attribute-value tuples and packed [`CellKey`]s.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CellSchema {
     attrs: Vec<Attr>,
     cardinalities: Vec<u64>,
@@ -128,6 +128,42 @@ impl CellSchema {
     /// Domain cardinality of the attribute at `attr_index`.
     pub fn cardinality_of(&self, attr_index: usize) -> u64 {
         self.cardinalities[attr_index]
+    }
+}
+
+/// A schema serializes as its attribute list and cardinalities; strides and
+/// domain size are derived, never trusted from a snapshot.
+impl Serialize for CellSchema {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("attrs".to_string(), self.attrs.to_value()),
+            ("cardinalities".to_string(), self.cardinalities.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for CellSchema {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let attrs = Vec::<Attr>::from_value(get_field(v, "attrs")?)?;
+        let cardinalities = Vec::<u64>::from_value(get_field(v, "cardinalities")?)?;
+        if attrs.len() != cardinalities.len() {
+            return Err(DeError::new(format!(
+                "schema has {} attributes but {} cardinalities",
+                attrs.len(),
+                cardinalities.len()
+            )));
+        }
+        // Re-derive the strides with the same overflow/zero rules `new`
+        // enforces, but failing as a parse error instead of a panic: a
+        // persisted schema is untrusted input.
+        cardinalities.iter().try_fold(1u64, |acc, &card| {
+            if card == 0 {
+                return Err(DeError::new("schema cardinality of 0"));
+            }
+            acc.checked_mul(card)
+                .ok_or_else(|| DeError::new("schema domain exceeds u64"))
+        })?;
+        Ok(Self::from_parts(attrs, cardinalities))
     }
 }
 

@@ -34,15 +34,21 @@
 //! *matching the filter*, and `establishments` counts establishments with
 //! at least one matching worker.
 //!
-//! The pre-index per-worker loop survives as
-//! [`compute_marginal_legacy`] / [`compute_marginal_filtered_legacy`] — a
-//! brute-force reference for tests and the old-vs-new benchmark.
+//! The pre-index per-worker loop survives as `compute_marginal_legacy` /
+//! `compute_marginal_filtered_legacy` — a brute-force reference for tests
+//! and the old-vs-new benchmark — but only behind the **default-off
+//! `reference` feature**: the reference evaluators are reachable from
+//! nothing a production build compiles, so a release path can never
+//! silently take the slow pre-index loop.
 
 use crate::attr::MarginalSpec;
-use crate::cell::{CellKey, CellSchema};
+use crate::cell::CellKey;
+#[cfg(feature = "reference")]
+use crate::cell::CellSchema;
 use crate::index::TabulationIndex;
 use crate::marginal::{CellStats, Marginal};
 use lodes::{Dataset, Worker};
+#[cfg(feature = "reference")]
 use std::collections::{BTreeMap, HashMap};
 
 /// Evaluate the marginal query `q_V(D)`.
@@ -199,13 +205,17 @@ fn tabulate_index(
     let runs: Vec<Vec<(u64, u32)>> = if threads <= 1 {
         vec![tabulate_shard(&plan, 0, n_estabs)]
     } else {
-        let chunk = n_estabs.div_ceil(threads);
+        // Shard boundaries are balanced by cumulative *worker* count (see
+        // [`TabulationIndex::shard_bounds`]): tabulation cost is linear in
+        // workers scanned, so establishment-count chunking starves some
+        // shards and overloads others on skewed universes.
+        let bounds = index.shard_bounds(threads);
         std::thread::scope(|scope| {
             let plan = &plan;
-            let handles: Vec<_> = (0..threads)
-                .map(|t| {
-                    let lo = t * chunk;
-                    let hi = ((t + 1) * chunk).min(n_estabs);
+            let handles: Vec<_> = bounds
+                .windows(2)
+                .map(|w| {
+                    let (lo, hi) = (w[0], w[1]);
                     scope.spawn(move || tabulate_shard(plan, lo, hi))
                 })
                 .collect();
@@ -331,14 +341,19 @@ fn merge_runs(runs: Vec<Vec<(u64, u32)>>) -> Vec<(CellKey, CellStats)> {
 /// The pre-index evaluator: one pass over the joined `WorkerFull`
 /// relation, accumulating a global `(cell, establishment)` hash map.
 ///
-/// Retained as the brute-force fallback/reference; see
-/// [`compute_marginal`] for the production path.
+/// Retained as the brute-force *reference* — ground truth for property
+/// tests and the old-vs-new benchmark, never a production path; see
+/// [`compute_marginal`] for the indexed engine. Only compiled under the
+/// default-off `reference` feature.
+#[cfg(feature = "reference")]
 pub fn compute_marginal_legacy(dataset: &Dataset, spec: &MarginalSpec) -> Marginal {
     // Unfiltered: every worker survives, no counting pass needed.
     legacy_with_survivors(dataset, spec, dataset.num_workers(), |_| true)
 }
 
-/// Filtered variant of [`compute_marginal_legacy`].
+/// Filtered variant of [`compute_marginal_legacy`]. Only compiled under
+/// the default-off `reference` feature.
+#[cfg(feature = "reference")]
 pub fn compute_marginal_filtered_legacy<F>(
     dataset: &Dataset,
     spec: &MarginalSpec,
@@ -354,6 +369,7 @@ where
     legacy_with_survivors(dataset, spec, survivors, filter)
 }
 
+#[cfg(feature = "reference")]
 fn legacy_with_survivors<F>(
     dataset: &Dataset,
     spec: &MarginalSpec,
@@ -414,6 +430,7 @@ mod tests {
     use super::*;
     use crate::attr::{MarginalSpec, WorkerAttr, WorkplaceAttr};
     use lodes::{Generator, GeneratorConfig, Sex};
+    use std::collections::BTreeMap;
 
     fn dataset() -> Dataset {
         Generator::new(GeneratorConfig::test_small(4)).generate()
@@ -469,6 +486,7 @@ mod tests {
         assert_eq!(m.total() as usize, d.num_jobs());
     }
 
+    #[cfg(feature = "reference")]
     #[test]
     fn indexed_engine_matches_legacy_engine() {
         let d = dataset();
@@ -560,11 +578,14 @@ mod tests {
         let m = compute_marginal_filtered(&d, &spec, |_| false);
         assert_eq!(m.num_cells(), 0);
         assert_eq!(m.total(), 0);
-        // The legacy fallback agrees (and its capacity heuristic now sizes
-        // from the zero filter-surviving rows).
-        let legacy = compute_marginal_filtered_legacy(&d, &spec, |_| false);
-        assert_eq!(legacy.num_cells(), 0);
-        assert_eq!(legacy.total(), 0);
+        // The legacy reference agrees (and its capacity heuristic now
+        // sizes from the zero filter-surviving rows).
+        #[cfg(feature = "reference")]
+        {
+            let legacy = compute_marginal_filtered_legacy(&d, &spec, |_| false);
+            assert_eq!(legacy.num_cells(), 0);
+            assert_eq!(legacy.total(), 0);
+        }
     }
 
     #[test]
@@ -589,6 +610,29 @@ mod tests {
         // Sparsity: nonzero cells are a tiny fraction of the domain.
         assert!((m.num_cells() as u64) < m.schema().domain_size() / 10);
         // The widest worker sub-domain still matches the legacy engine.
+        #[cfg(feature = "reference")]
         assert_marginals_identical(&m, &compute_marginal_legacy(&d, &spec));
+    }
+
+    /// Worker-balanced shard boundaries produce bit-identical marginals to
+    /// the single-shard (contiguous) evaluation on a skewed universe —
+    /// the merge, not the chunking, carries the determinism guarantee.
+    #[test]
+    fn worker_balanced_sharding_is_bit_identical_to_contiguous() {
+        let d = Generator::new(GeneratorConfig {
+            target_establishments: 400,
+            seed: 99,
+            ..GeneratorConfig::default()
+        })
+        .generate();
+        let index = TabulationIndex::build(&d);
+        let spec = MarginalSpec::new(
+            vec![WorkplaceAttr::County, WorkplaceAttr::Naics],
+            vec![WorkerAttr::Sex, WorkerAttr::Age],
+        );
+        let contiguous = index.marginal_sharded(&spec, 1);
+        for threads in [2, 3, 5, 13, 64] {
+            assert_marginals_identical(&index.marginal_sharded(&spec, threads), &contiguous);
+        }
     }
 }

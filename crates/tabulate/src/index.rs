@@ -189,6 +189,47 @@ impl TabulationIndex {
         &self.employer_of_worker
     }
 
+    /// Establishment shard boundaries balanced by **cumulative worker
+    /// count**: `shards + 1` monotone establishment indexes whose windows
+    /// partition `0..num_establishments()` so that every shard scans
+    /// roughly `num_workers() / shards` workers.
+    ///
+    /// Contiguous establishment-count chunking (the obvious split) hands a
+    /// shard of tiny establishments and a shard of giant ones the same
+    /// establishment count but wildly different worker counts — on skewed
+    /// (power-law) universes the slowest shard dominates wall clock. The
+    /// tabulation cost of a shard is linear in the workers it scans, so
+    /// balancing on the CSR offsets balances the actual work. A boundary
+    /// never splits an establishment (shards stay establishment-aligned,
+    /// which the per-establishment evaluator requires), so one
+    /// establishment larger than the ideal shard yields empty neighbors —
+    /// harmless to the merge.
+    ///
+    /// The boundaries are a pure function of the index and `shards`;
+    /// sharded tabulation stays bit-identical at any shard count because
+    /// the k-way merge is order-insensitive, not because the boundaries
+    /// are fixed.
+    pub fn shard_bounds(&self, shards: usize) -> Vec<usize> {
+        let n = self.num_establishments();
+        let shards = shards.max(1).min(n.max(1));
+        let total = *self.offsets.last().expect("offsets never empty") as u64;
+        let mut bounds = Vec::with_capacity(shards + 1);
+        bounds.push(0usize);
+        for t in 1..shards {
+            let target = total * t as u64 / shards as u64;
+            // First establishment starting at or beyond the target worker
+            // count, clamped monotone so windows never run backwards.
+            let b = self
+                .offsets
+                .partition_point(|&o| (o as u64) < target)
+                .min(n)
+                .max(*bounds.last().expect("nonempty"));
+            bounds.push(b);
+        }
+        bounds.push(n);
+        bounds
+    }
+
     /// The key schema `spec` induces over the indexed dataset — identical
     /// to `CellSchema::new(spec, dataset)` on the source dataset.
     pub fn schema(&self, spec: &MarginalSpec) -> CellSchema {
@@ -234,6 +275,34 @@ mod tests {
         let naics = idx.workplace_column(WorkplaceAttr::Naics);
         for (e, wp) in d.workplaces().iter().enumerate() {
             assert_eq!(naics[e], WorkplaceAttr::Naics.value(wp));
+        }
+    }
+
+    #[test]
+    fn shard_bounds_balance_worker_counts() {
+        let d = Generator::new(GeneratorConfig::test_small(7)).generate();
+        let idx = TabulationIndex::build(&d);
+        let total = idx.num_workers();
+        for shards in [1, 2, 3, 7, 16] {
+            let bounds = idx.shard_bounds(shards);
+            assert_eq!(bounds[0], 0);
+            assert_eq!(*bounds.last().unwrap(), idx.num_establishments());
+            assert!(bounds.windows(2).all(|w| w[0] <= w[1]), "monotone bounds");
+            let ideal = total.div_ceil(shards);
+            let biggest_estab = (0..idx.num_establishments())
+                .map(|e| idx.worker_range(e).len())
+                .max()
+                .unwrap_or(0);
+            for w in bounds.windows(2) {
+                let workers: usize = (w[0]..w[1]).map(|e| idx.worker_range(e).len()).sum();
+                // Establishment-aligned boundaries can overshoot the ideal
+                // by at most one establishment's worth of workers.
+                assert!(
+                    workers <= ideal + biggest_estab,
+                    "shard {w:?} scans {workers} workers (ideal {ideal}, \
+                     biggest establishment {biggest_estab})"
+                );
+            }
         }
     }
 

@@ -33,6 +33,10 @@
 //! same closure form the raw `Fn(&Worker) -> bool` API consumes; see
 //! [`filter`].
 
+// Marginals, specs, filters, and the index are agency-facing API surface;
+// undocumented additions fail `cargo doc -D warnings` in CI.
+#![warn(missing_docs)]
+
 pub mod area;
 pub mod attr;
 pub mod cell;
@@ -47,10 +51,9 @@ pub mod workload;
 pub use area::{area_comparison, validate_disjoint, AreaSelection, OverlapError};
 pub use attr::{Attr, MarginalSpec, WorkerAttr, WorkplaceAttr};
 pub use cell::{CellKey, CellSchema};
-pub use engine::{
-    compute_marginal, compute_marginal_expr, compute_marginal_filtered,
-    compute_marginal_filtered_legacy, compute_marginal_legacy,
-};
+pub use engine::{compute_marginal, compute_marginal_expr, compute_marginal_filtered};
+#[cfg(feature = "reference")]
+pub use engine::{compute_marginal_filtered_legacy, compute_marginal_legacy};
 pub use filter::{Cmp, CompiledFilter, FilterExpr, FilterId};
 pub use flows::{compute_flows, FlowMarginal, FlowStats};
 pub use index::TabulationIndex;

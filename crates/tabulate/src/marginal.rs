@@ -2,7 +2,7 @@
 
 use crate::attr::{Attr, MarginalSpec, WorkerAttr};
 use crate::cell::{CellKey, CellSchema};
-use serde::{Deserialize, Serialize};
+use serde::{get_field, DeError, Deserialize, Serialize, Value};
 use std::collections::BTreeMap;
 
 /// Per-cell statistics of a marginal query.
@@ -29,7 +29,7 @@ pub struct CellStats {
 /// iteration is identical to the former `BTreeMap` store; point lookups
 /// ([`cell`](Self::cell)) are a binary search; merges, scans, and
 /// serialization walk contiguous memory.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Marginal {
     spec: MarginalSpec,
     schema: CellSchema,
@@ -39,7 +39,9 @@ pub struct Marginal {
 }
 
 impl Marginal {
-    /// Assemble a marginal from parts (used by the legacy engine path).
+    /// Assemble a marginal from parts (used by the legacy reference
+    /// engine, which only exists under the `reference` feature).
+    #[cfg(feature = "reference")]
     pub(crate) fn new(
         spec: MarginalSpec,
         schema: CellSchema,
@@ -112,6 +114,29 @@ impl Marginal {
         self.cells.iter().map(|(_, c)| c.count).collect()
     }
 
+    /// A stable FNV-1a digest over every cell — key, count, contributing
+    /// establishments, and `x_v`, folded in key order, prefixed by the
+    /// cell count. Two marginals with equal digests (and equal specs)
+    /// carry bit-identical published statistics; a persistent truth store
+    /// records this digest next to the serialized cells and refuses loads
+    /// that no longer reproduce it.
+    pub fn content_digest(&self) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut fold = |word: u64| {
+            for byte in word.to_le_bytes() {
+                hash ^= byte as u64;
+                hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        };
+        fold(self.cells.len() as u64);
+        for &(key, stats) in &self.cells {
+            fold(key.0);
+            fold(stats.count);
+            fold((stats.establishments as u64) | ((stats.max_establishment as u64) << 32));
+        }
+        hash
+    }
+
     /// Restrict to cells where each listed worker attribute takes the given
     /// value, then *project away* the worker attributes — yielding, e.g.,
     /// the "females with a bachelor's degree" slice of a
@@ -164,6 +189,82 @@ impl Marginal {
     }
 }
 
+/// The stable serialized form of a marginal: spec, schema (attributes +
+/// cardinalities), and the sorted cell run. The total is derived on load,
+/// never trusted from the snapshot.
+impl Serialize for Marginal {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("spec".to_string(), self.spec.to_value()),
+            ("schema".to_string(), self.schema.to_value()),
+            ("cells".to_string(), self.cells.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for Marginal {
+    /// Reconstruct from the serialized form, re-validating every invariant
+    /// the tabulation engine guarantees by construction: the cell run must
+    /// be strictly ascending by key, every key must lie inside the
+    /// schema's domain, and only nonzero cells may be stored. A snapshot
+    /// violating any of these is refused — a persisted truth is untrusted
+    /// input until it proves itself.
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let spec = MarginalSpec::from_value(get_field(v, "spec")?)?;
+        let schema = CellSchema::from_value(get_field(v, "schema")?)?;
+        let cells = Vec::<(CellKey, CellStats)>::from_value(get_field(v, "cells")?)?;
+        let spec_attrs: Vec<Attr> = spec.attrs().collect();
+        if schema.attrs() != spec_attrs.as_slice() {
+            return Err(DeError::new(
+                "marginal schema attributes disagree with its spec",
+            ));
+        }
+        if !cells.windows(2).all(|w| w[0].0 < w[1].0) {
+            return Err(DeError::new(
+                "marginal cells are not strictly sorted by key",
+            ));
+        }
+        let domain = schema.domain_size();
+        let mut total: u64 = 0;
+        for &(key, stats) in &cells {
+            if key.0 >= domain {
+                return Err(DeError::new(format!(
+                    "cell key {} outside schema domain {domain}",
+                    key.0
+                )));
+            }
+            if stats.count == 0 {
+                return Err(DeError::new("zero-count cell in marginal snapshot"));
+            }
+            // Per-cell stats invariants the evaluator guarantees: every
+            // stored cell has at least one contributing establishment,
+            // and neither the establishment count nor x_v (the largest
+            // single-establishment contribution, which drives smooth
+            // sensitivity) can exceed the cell's total count.
+            if stats.establishments == 0
+                || stats.max_establishment == 0
+                || stats.establishments as u64 > stats.count
+                || stats.max_establishment as u64 > stats.count
+            {
+                return Err(DeError::new(format!(
+                    "impossible cell stats in marginal snapshot (count {}, establishments {}, \
+                     max_establishment {})",
+                    stats.count, stats.establishments, stats.max_establishment
+                )));
+            }
+            total = total
+                .checked_add(stats.count)
+                .ok_or_else(|| DeError::new("marginal total overflows u64"))?;
+        }
+        Ok(Self {
+            spec,
+            schema,
+            cells,
+            total,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use crate::attr::{MarginalSpec, WorkerAttr, WorkplaceAttr};
@@ -182,6 +283,61 @@ mod tests {
             assert!(stats.max_establishment as u64 <= stats.count);
             assert!(stats.establishments > 0);
         }
+    }
+
+    #[test]
+    fn serde_round_trip_is_bit_identical() {
+        let d = Generator::new(GeneratorConfig::test_small(3)).generate();
+        let spec = MarginalSpec::new(
+            vec![WorkplaceAttr::Naics, WorkplaceAttr::Ownership],
+            vec![WorkerAttr::Sex],
+        );
+        let m = compute_marginal(&d, &spec);
+        let json = serde_json::to_string(&m).unwrap();
+        let back: super::Marginal = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(back.content_digest(), m.content_digest());
+        assert_eq!(back.total(), m.total());
+        assert_eq!(back.schema().domain_size(), m.schema().domain_size());
+    }
+
+    #[test]
+    fn deserialization_refuses_invalid_snapshots() {
+        let d = Generator::new(GeneratorConfig::test_small(3)).generate();
+        let spec = MarginalSpec::new(vec![WorkplaceAttr::Naics], vec![]);
+        let m = compute_marginal(&d, &spec);
+        let json = serde_json::to_string(&m).unwrap();
+        // A zero-count cell can never be stored.
+        let (key, stats) = m.iter().next().expect("nonempty marginal");
+        let tampered = json.replace(
+            &format!("[{},{{\"count\":{}", key.0, stats.count),
+            &format!("[{},{{\"count\":0", key.0),
+        );
+        assert_ne!(tampered, json);
+        assert!(serde_json::from_str::<super::Marginal>(&tampered).is_err());
+        // A cell key outside the schema's domain is refused.
+        let domain = m.schema().domain_size();
+        let tampered = json.replacen(&format!("[{}", key.0), &format!("[{domain}"), 1);
+        assert_ne!(tampered, json);
+        assert!(serde_json::from_str::<super::Marginal>(&tampered).is_err());
+        // Impossible stats are refused: x_v can never exceed the count.
+        let tampered = json.replacen(
+            &format!("\"max_establishment\":{}", stats.max_establishment),
+            &format!("\"max_establishment\":{}", stats.count + 1),
+            1,
+        );
+        assert_ne!(tampered, json);
+        assert!(serde_json::from_str::<super::Marginal>(&tampered).is_err());
+    }
+
+    #[test]
+    fn content_digest_tracks_cell_changes() {
+        let d = Generator::new(GeneratorConfig::test_small(5)).generate();
+        let a = compute_marginal(&d, &MarginalSpec::new(vec![WorkplaceAttr::Naics], vec![]));
+        let b = compute_marginal(&d, &MarginalSpec::new(vec![WorkplaceAttr::County], vec![]));
+        assert_ne!(a.content_digest(), b.content_digest());
+        let a2 = compute_marginal(&d, &MarginalSpec::new(vec![WorkplaceAttr::Naics], vec![]));
+        assert_eq!(a.content_digest(), a2.content_digest());
     }
 
     #[test]

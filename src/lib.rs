@@ -75,10 +75,10 @@ pub mod prelude {
     #[allow(deprecated)]
     pub use eree_core::shape::release_shapes;
     pub use eree_core::{
-        ArtifactPayload, CountMechanism, EngineError, FilterExpr, FilterId, Ledger, MechanismKind,
-        PrivacyParams, PrivateRelease, ReleaseArtifact, ReleaseConfig, ReleaseCost, ReleaseEngine,
-        ReleaseRequest, RequestKind, SeasonReport, SeasonStore, StoreError, TabulationCache,
-        TabulationStats,
+        AgencyStore, ArtifactPayload, CountMechanism, EngineError, FilterExpr, FilterId, Ledger,
+        MechanismKind, MetaLedger, PrivacyParams, PrivateRelease, ReleaseArtifact, ReleaseConfig,
+        ReleaseCost, ReleaseEngine, ReleaseRequest, RequestKind, SeasonReport, SeasonStore,
+        SeasonSummary, StoreError, TabulationCache, TabulationStats, TruthStore,
     };
     pub use lodes::{
         CountyId, Dataset, DatasetStats, Generator, GeneratorConfig, PlaceSizeClass, StateId,

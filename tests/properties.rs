@@ -228,6 +228,13 @@ proptest! {
             prop_assert_eq!(stats.establishments, estabs);
             prop_assert_eq!(stats.max_establishment, max);
         }
+
+        // Worker-count-balanced shard boundaries (the skew-proof split)
+        // are bit-identical to the contiguous single-chunk evaluation:
+        // chunking strategy is a performance choice, never a semantic one.
+        let contiguous = index.marginal_filtered_sharded(&spec, filter, 1);
+        prop_assert_eq!(&m, &contiguous);
+        prop_assert_eq!(m.content_digest(), contiguous.content_digest());
     }
 
     #[test]
