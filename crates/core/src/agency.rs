@@ -18,8 +18,11 @@
 //! │   │   ├── ledger.json
 //! │   │   └── artifacts/000000.json …
 //! │   └── …
-//! └── truths/            content-addressed truth store (shared)
-//!     └── <key-digest>.json
+//! ├── truths/            content-addressed truth store (shared,
+//! │   └── <key-digest>.json                             confidential)
+//! ├── public/            content-addressed released-artifact cache
+//! │   └── <key-digest>.json                             (releasable)
+//! └── agency.lock        write lease (live-PID, reclaimed when stale)
 //! ```
 //!
 //! # Budget hierarchy
@@ -111,8 +114,9 @@
 use crate::accountant::MetaLedger;
 use crate::definitions::PrivacyParams;
 use crate::engine::{ReleaseRequest, TabulationCache};
+use crate::public_cache::ReleaseCache;
 use crate::store::{
-    dataset_digest, read_json, write_json_atomic, SeasonReport, SeasonStore, StoreError,
+    dataset_digest, read_json, write_json_atomic, DirLease, SeasonReport, SeasonStore, StoreError,
 };
 use crate::truths::TruthStore;
 use lodes::Dataset;
@@ -131,6 +135,11 @@ const META_LEDGER_FILE: &str = "meta_ledger.json";
 const SEASONS_DIR: &str = "seasons";
 /// Truth-store subdirectory name.
 const TRUTHS_DIR: &str = "truths";
+/// Released-artifact cache subdirectory name — everything under it sits on
+/// the **public** side of the release barrier.
+const PUBLIC_DIR: &str = "public";
+/// Agency write-lease file name.
+const LEASE_FILE: &str = "agency.lock";
 
 /// The agency manifest: identifies the directory as an agency, pins the
 /// global cap the meta-ledger must carry, and — once the first
@@ -145,7 +154,8 @@ struct AgencyManifest {
 
 /// The audit view of one governed season, refreshed on
 /// [`AgencyStore::open`] and after every [`AgencyStore::run_season`].
-#[derive(Debug, Clone, PartialEq)]
+/// Serializable so budget-audit endpoints can publish it as-is.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SeasonSummary {
     /// The season's name (its directory name under `seasons/`).
     pub name: String,
@@ -171,6 +181,9 @@ pub struct AgencyStore {
     manifest: AgencyManifest,
     meta: MetaLedger,
     seasons: Vec<SeasonSummary>,
+    /// Write lease on the agency directory: the meta-ledger and manifest
+    /// have exactly one writer per agency at a time. Released on drop.
+    _lease: DirLease,
 }
 
 impl AgencyStore {
@@ -183,12 +196,15 @@ impl AgencyStore {
         if manifest_path.exists() {
             return Err(StoreError::AlreadyExists { path: root });
         }
-        for sub in [SEASONS_DIR, TRUTHS_DIR] {
+        for sub in [SEASONS_DIR, TRUTHS_DIR, PUBLIC_DIR] {
             fs::create_dir_all(root.join(sub)).map_err(|source| StoreError::Io {
                 path: root.join(sub),
                 source,
             })?;
         }
+        // Lease before the manifest: from the moment this directory can be
+        // recognized as an agency, it has exactly one writer.
+        let lease = DirLease::acquire(root.join(LEASE_FILE))?;
         let manifest = AgencyManifest {
             format: FORMAT_VERSION,
             cap,
@@ -208,6 +224,7 @@ impl AgencyStore {
             manifest,
             meta,
             seasons: Vec::new(),
+            _lease: lease,
         })
     }
 
@@ -234,6 +251,10 @@ impl AgencyStore {
         if !manifest_path.exists() {
             return Err(StoreError::NotAStore { path: root });
         }
+        // One writer per agency: a second live opener is refused with
+        // [`StoreError::Locked`] before any verification work; a lease
+        // left by a dead process is reclaimed.
+        let lease = DirLease::acquire(root.join(LEASE_FILE))?;
         let mut manifest: AgencyManifest = read_json(&manifest_path)?;
         if manifest.format != FORMAT_VERSION {
             return Err(StoreError::Corrupt {
@@ -338,6 +359,7 @@ impl AgencyStore {
             manifest,
             meta,
             seasons,
+            _lease: lease,
         })
     }
 
@@ -382,6 +404,11 @@ impl AgencyStore {
         self.meta.remaining_epsilon()
     }
 
+    /// δ still unreserved under the cap.
+    pub fn remaining_delta(&self) -> f64 {
+        self.meta.remaining_delta()
+    }
+
     /// The dataset fingerprint the agency is pinned to (`None` until the
     /// first [`run_season`](Self::run_season) binds one).
     pub fn dataset_digest(&self) -> Option<u64> {
@@ -405,6 +432,35 @@ impl AgencyStore {
         match self.manifest.dataset_digest {
             Some(digest) => Ok(Some(TruthStore::open(self.root.join(TRUTHS_DIR), digest)?)),
             None => Ok(None),
+        }
+    }
+
+    /// The agency's **public** released-artifact cache (see
+    /// [`ReleaseCache`]): completed artifacts land here keyed by their
+    /// full release identity, and repeat identical requests are served
+    /// from it with zero additional ε and zero tabulation. Unlike the
+    /// truth store it needs no dataset pin — the dataset digest is part
+    /// of every cache key.
+    pub fn release_cache(&self) -> Result<ReleaseCache, StoreError> {
+        ReleaseCache::open(self.root.join(PUBLIC_DIR))
+    }
+
+    /// Pin the agency to the dataset fingerprinted by `digest`, durably,
+    /// if it is not already pinned. Refuses a digest that disagrees with
+    /// an existing pin — an agency never mixes databases.
+    pub fn bind_dataset(&mut self, digest: u64) -> Result<(), StoreError> {
+        match self.manifest.dataset_digest {
+            Some(bound) if bound != digest => Err(StoreError::Inconsistent {
+                detail: format!(
+                    "agency is bound to dataset {bound:016x} but was asked to run \
+                     against dataset {digest:016x} — refusing to mix databases"
+                ),
+            }),
+            Some(_) => Ok(()),
+            None => {
+                self.manifest.dataset_digest = Some(digest);
+                write_json_atomic(&self.root.join(MANIFEST_FILE), &self.manifest)
+            }
         }
     }
 
@@ -564,21 +620,7 @@ impl AgencyStore {
         // agency to whatever dataset it happened to be handed.
         let mut season = self.open_season(name)?;
         let digest = dataset_digest(dataset);
-        match self.manifest.dataset_digest {
-            Some(bound) if bound != digest => {
-                return Err(StoreError::Inconsistent {
-                    detail: format!(
-                        "agency is bound to dataset {bound:016x} but was asked to run \
-                         against dataset {digest:016x} — refusing to mix databases"
-                    ),
-                });
-            }
-            Some(_) => {}
-            None => {
-                self.manifest.dataset_digest = Some(digest);
-                write_json_atomic(&self.root.join(MANIFEST_FILE), &self.manifest)?;
-            }
-        }
+        self.bind_dataset(digest)?;
         let truths = TruthStore::open(self.root.join(TRUTHS_DIR), digest)?;
         let mut cache = TabulationCache::with_store(truths);
         let result = season.run_cached_with_digest(dataset, digest, requests, &mut cache);
@@ -681,7 +723,8 @@ mod tests {
             .create_season("s", PrivacyParams::pure(0.1, 3.0))
             .unwrap();
         // Simulate the crash: the reservation landed, the directory never
-        // did.
+        // did (and the crashed process's handle — with its lease — died).
+        drop(agency);
         fs::remove_dir_all(dir.join("seasons").join("s")).unwrap();
         let mut agency = AgencyStore::open(&dir).unwrap();
         assert!(!agency.seasons()[0].materialized);
@@ -702,6 +745,23 @@ mod tests {
             .seasons()
             .iter()
             .any(|s| s.name == "s" && s.materialized));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn second_concurrent_agency_writer_is_refused() {
+        let dir = tmp_dir("agency-lease");
+        let agency = AgencyStore::create(&dir, PrivacyParams::pure(0.1, 4.0)).unwrap();
+        // The directory is write-leased while a handle lives…
+        assert!(matches!(
+            AgencyStore::open(&dir),
+            Err(StoreError::Locked { holder_pid, .. }) if holder_pid == std::process::id()
+        ));
+        // …and the public artifact cache exists from birth.
+        assert!(agency.release_cache().unwrap().is_empty());
+        drop(agency);
+        let agency = AgencyStore::open(&dir).unwrap();
+        drop(agency);
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -219,6 +219,34 @@ impl ReleaseRequest {
         Self::new(RequestKind::Shapes, spec)
     }
 
+    /// Reconstruct the request a recorded [`RequestProvenance`] describes
+    /// — the resume path of drivers that hold only persisted artifacts
+    /// (e.g. a release service rebuilding a season's plan from its store).
+    /// The rebuilt request reproduces the stored provenance exactly, so it
+    /// passes the season store's resume verification.
+    ///
+    /// Returns `None` for closure-filtered provenance (`filtered` with no
+    /// recorded expression): the population is not reconstructible.
+    pub fn from_provenance(provenance: &RequestProvenance) -> Option<Self> {
+        if provenance.filtered && provenance.filter.is_none() {
+            return None;
+        }
+        let mut request = Self::new(provenance.kind, provenance.spec.clone())
+            .mechanism(provenance.mechanism)
+            .integerize(provenance.integerized)
+            .seed(provenance.seed)
+            .describe(provenance.description.clone());
+        request = if provenance.budget_is_per_cell {
+            request.budget_per_cell(provenance.budget)
+        } else {
+            request.budget(provenance.budget)
+        };
+        if let Some(expr) = &provenance.filter {
+            request = request.filter_expr(expr.clone());
+        }
+        Some(request)
+    }
+
     /// Which mechanism to sample from (required).
     pub fn mechanism(mut self, mechanism: MechanismKind) -> Self {
         self.mechanism = Some(mechanism);
@@ -686,6 +714,18 @@ impl TabulationCache {
     /// The persistent truth store backing this cache, if any.
     pub fn store(&self) -> Option<&crate::truths::TruthStore> {
         self.store.as_ref()
+    }
+
+    /// Seed the cache with an already built columnar index instead of
+    /// building one lazily on the first miss. A multi-tenant frontend
+    /// builds the index **once** at startup and hands a clone of the
+    /// `Arc` to every per-season cache, so N concurrent seasons share one
+    /// CSR image of the dataset instead of paying N builds — the caller
+    /// owes the same one-dataset contract as for cached truths: the index
+    /// must have been built from the dataset this cache will be used with.
+    pub fn with_shared_index(mut self, index: Arc<TabulationIndex>) -> Self {
+        self.index = Some(index);
+        self
     }
 
     /// Number of distinct tabulations held in memory.

@@ -122,6 +122,10 @@
 //! * [`truths`] — the persistent, content-addressed store of tabulated
 //!   truth marginals (keyed by dataset digest + spec + normalized filter,
 //!   digest-verified on load) that seasons share.
+//! * [`public_cache`] — the *public* side of the same discipline: a
+//!   content-addressed cache of released artifacts, keyed by the full
+//!   release identity, from which repeat identical requests are served
+//!   with zero additional ε and zero tabulation work.
 //! * [`agency`] — the multi-season governance layer: a durable
 //!   [`MetaLedger`] holding a global ε cap from which every season's
 //!   budget is reserved up front, child [`SeasonStore`]s, and the shared
@@ -144,6 +148,7 @@ pub mod filter;
 pub mod integerize;
 pub mod mechanisms;
 pub mod neighbors;
+pub mod public_cache;
 pub mod pufferfish;
 pub mod release;
 pub mod shape;
@@ -172,6 +177,7 @@ pub use mechanisms::{
     SmoothLaplaceMechanism,
 };
 pub use neighbors::{size_distance, NeighborError, NeighborKind};
+pub use public_cache::{ReleaseCache, ReleaseKey};
 #[allow(deprecated)]
 pub use release::release_marginal;
 pub use release::{PrivateRelease, ReleaseConfig, ReleaseError};
@@ -179,5 +185,5 @@ pub use release::{PrivateRelease, ReleaseConfig, ReleaseError};
 pub use shape::release_shapes;
 pub use shape::{ShapeError, ShapeRelease};
 pub use smooth::{smooth_sensitivity_count, AdmissibilityBudget};
-pub use store::{CompletedRelease, SeasonReport, SeasonStore, StoreError};
+pub use store::{CompletedRelease, DirLease, SeasonReport, SeasonStore, StoreError};
 pub use truths::TruthStore;

@@ -16,7 +16,12 @@
 //!   [`Ledger::charge`] uses, and refuses a store whose entries overdraw
 //!   the budget, whose artifacts disagree with its entries, or whose files
 //!   are corrupt — a tampered snapshot can never resume with more budget
-//!   than was actually left.
+//!   than was actually left;
+//! * every open store holds an exclusive **write lease** (`season.lock`,
+//!   a [`DirLease`]): the whole protocol assumes one writer per season
+//!   directory, so a second concurrent writer is refused with
+//!   [`StoreError::Locked`] instead of silently risking corruption, and a
+//!   stale lease left by a dead process is reclaimed automatically.
 //!
 //! The write protocol is artifact-first. A crash in the window between an
 //! artifact landing and its ledger snapshot leaves the store one entry
@@ -98,6 +103,8 @@ const MANIFEST_FILE: &str = "season.json";
 const LEDGER_FILE: &str = "ledger.json";
 /// Artifact subdirectory name under the season directory.
 const ARTIFACTS_DIR: &str = "artifacts";
+/// Write-lease file name under the season directory.
+const LEASE_FILE: &str = "season.lock";
 
 /// A failure opening, verifying, or writing a [`SeasonStore`].
 #[derive(Debug)]
@@ -153,6 +160,17 @@ pub enum StoreError {
         /// The meta-ledger's refusal.
         source: crate::accountant::LedgerError,
     },
+    /// Another live process (or another handle in this process) holds the
+    /// store's write lease. Two concurrent writers against one season
+    /// directory would race the artifact-first protocol into corruption,
+    /// so the second acquirer is refused loudly instead. Stale leases —
+    /// whose holder PID no longer exists — are reclaimed automatically.
+    Locked {
+        /// The lease file.
+        path: PathBuf,
+        /// PID recorded in the live lease.
+        holder_pid: u32,
+    },
 }
 
 impl std::fmt::Display for StoreError {
@@ -186,6 +204,13 @@ impl std::fmt::Display for StoreError {
             StoreError::AgencyBudget { season, source } => {
                 write!(f, "agency meta-ledger refused season `{season}`: {source}")
             }
+            StoreError::Locked { path, holder_pid } => {
+                write!(
+                    f,
+                    "store is write-locked by live process {holder_pid} (lease {})",
+                    path.display()
+                )
+            }
         }
     }
 }
@@ -198,6 +223,120 @@ impl std::error::Error for StoreError {
             StoreError::AgencyBudget { source, .. } => Some(source),
             _ => None,
         }
+    }
+}
+
+/// The on-disk form of a write lease: who holds the directory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct LeaseFile {
+    pid: u32,
+}
+
+/// An exclusive write lease on a store directory, embodied as a lease
+/// file created with `O_EXCL` semantics and removed on [`Drop`].
+///
+/// The season store's crash protocol (artifact-first atomic writes,
+/// replay-verified open) assumes **one writer at a time** per directory;
+/// a second concurrent writer could interleave `ledger.json` renames and
+/// leave a store that verifies but under-reports spending. The lease
+/// makes that assumption explicit and enforced: acquiring a directory
+/// that a *live* process already holds fails with [`StoreError::Locked`],
+/// while a stale lease — its recorded PID no longer running — is
+/// reclaimed automatically, so a crashed season never needs manual
+/// cleanup before resuming.
+///
+/// Liveness is judged by `/proc/<pid>` on Linux; on platforms without
+/// `/proc` the holder is conservatively presumed alive (a stale lease
+/// then needs manual removal — fail-closed, never fail-open).
+#[derive(Debug)]
+pub struct DirLease {
+    path: PathBuf,
+}
+
+impl DirLease {
+    /// Acquire the lease file at `path`, reclaiming it first if its
+    /// recorded holder is provably dead.
+    pub fn acquire(path: impl AsRef<Path>) -> Result<Self, StoreError> {
+        let path = path.as_ref().to_path_buf();
+        let lease = LeaseFile {
+            pid: std::process::id(),
+        };
+        let json = serde_json::to_string_pretty(&lease).expect("lease serialization is infallible");
+        // Bounded retry: between observing a dead holder and reclaiming,
+        // another acquirer may win the exclusive create; re-examine rather
+        // than spin forever.
+        for _ in 0..4 {
+            match fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&path)
+            {
+                Ok(mut file) => {
+                    file.write_all(json.as_bytes())
+                        .and_then(|()| file.sync_all())
+                        .map_err(|source| StoreError::Io {
+                            path: path.clone(),
+                            source,
+                        })?;
+                    return Ok(Self { path });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                    let holder: LeaseFile = match read_json(&path) {
+                        Ok(holder) => holder,
+                        // A torn or vanished lease file (the holder died
+                        // mid-write, or released between our create and
+                        // read): treat as stale and retry.
+                        Err(_) => {
+                            let _ = fs::remove_file(&path);
+                            continue;
+                        }
+                    };
+                    if pid_is_alive(holder.pid) {
+                        return Err(StoreError::Locked {
+                            path,
+                            holder_pid: holder.pid,
+                        });
+                    }
+                    // Dead holder: reclaim and retry the exclusive create.
+                    let _ = fs::remove_file(&path);
+                }
+                Err(source) => return Err(StoreError::Io { path, source }),
+            }
+        }
+        Err(StoreError::Inconsistent {
+            detail: format!(
+                "lease {} could not be acquired after repeated reclaim attempts",
+                path.display()
+            ),
+        })
+    }
+
+    /// The lease file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for DirLease {
+    fn drop(&mut self) {
+        let _ = fs::remove_file(&self.path);
+    }
+}
+
+/// Is the process with this PID still running?
+///
+/// The current process always reads as alive (so a second handle inside
+/// one process is correctly refused). Elsewhere, `/proc/<pid>` decides on
+/// Linux; platforms without `/proc` presume alive — conservative, since a
+/// false "alive" can only refuse a writer, never admit two.
+fn pid_is_alive(pid: u32) -> bool {
+    if pid == std::process::id() {
+        return true;
+    }
+    if cfg!(target_os = "linux") {
+        Path::new("/proc").join(pid.to_string()).exists()
+    } else {
+        true
     }
 }
 
@@ -215,7 +354,7 @@ struct SeasonManifest {
 }
 
 /// What one [`SeasonStore::run`] call did.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SeasonReport {
     /// Artifacts already persisted before this run (requests skipped).
     pub resumed_from: usize,
@@ -263,6 +402,9 @@ pub struct SeasonStore {
     manifest: SeasonManifest,
     ledger: Ledger,
     completed: Vec<CompletedRelease>,
+    /// Exclusive write lease on the season directory, held for the
+    /// store's lifetime and released (the file removed) on drop.
+    _lease: DirLease,
 }
 
 impl SeasonStore {
@@ -278,6 +420,9 @@ impl SeasonStore {
             path: root.join(ARTIFACTS_DIR),
             source,
         })?;
+        // Lease before the manifest: once the directory is a season (the
+        // manifest exists), it is never touched without the lease held.
+        let lease = DirLease::acquire(root.join(LEASE_FILE))?;
         let manifest = SeasonManifest {
             format: FORMAT_VERSION,
             budget,
@@ -291,6 +436,7 @@ impl SeasonStore {
             manifest,
             ledger,
             completed: Vec::new(),
+            _lease: lease,
         })
     }
 
@@ -316,6 +462,10 @@ impl SeasonStore {
         if !manifest_path.exists() {
             return Err(StoreError::NotAStore { path: root });
         }
+        // Exclusive writer from here on: verification reads (and the
+        // crash-window repair write below) happen under the lease too, so
+        // a concurrent writer can never shear the files being verified.
+        let lease = DirLease::acquire(root.join(LEASE_FILE))?;
         let manifest: SeasonManifest = read_json(&manifest_path)?;
         if manifest.format != FORMAT_VERSION {
             return Err(StoreError::Corrupt {
@@ -407,6 +557,7 @@ impl SeasonStore {
             manifest,
             ledger,
             completed,
+            _lease: lease,
         })
     }
 
@@ -576,9 +727,11 @@ impl SeasonStore {
 
     /// [`run_cached`](Self::run_cached) with the dataset's digest already
     /// in hand — drivers that computed it for their own pins (the agency
-    /// layer) pass it through so one run costs exactly one full-dataset
-    /// scan, not three.
-    pub(crate) fn run_cached_with_digest(
+    /// layer, the release service's per-season workers) pass it through
+    /// so one run costs exactly one full-dataset scan, not three. The
+    /// digest must be [`dataset_digest`]`(dataset)`; handing a digest of
+    /// different data voids every pin this store enforces.
+    pub fn run_cached_with_digest(
         &mut self,
         dataset: &Dataset,
         digest: u64,
@@ -714,6 +867,19 @@ fn provenance_matches(
     Ok(())
 }
 
+/// FNV-1a over a byte string — the workspace's one content-address hash
+/// (dataset digests, truth-store keys, released-artifact cache keys all
+/// fold through it). A digest only ever *names* things; every store that
+/// uses one re-verifies the full key structurally on load.
+pub(crate) fn fnv1a_bytes(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &byte in bytes {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
 /// A stable FNV-1a fingerprint of the confidential database: table sizes,
 /// every workplace's attributes, every worker's attributes, and the job
 /// edge list, folded in table order.
@@ -768,7 +934,21 @@ pub(crate) fn write_json_atomic<T: Serialize>(path: &Path, value: &T) -> Result<
         path: path.to_path_buf(),
         detail: format!("serialization failed: {e}"),
     })?;
-    let tmp = path.with_extension("tmp");
+    // The temp name must be unique per writer: concurrent writers of the
+    // same target (two season workers persisting the same truth identity)
+    // would otherwise share one temp file, and whoever renames second
+    // finds it already gone. Keep the `.tmp` suffix — interrupted writes
+    // are swept by that suffix.
+    let tmp = {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+        let seq = TMP_SEQ.fetch_add(1, Ordering::Relaxed);
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy())
+            .unwrap_or_default();
+        path.with_file_name(format!("{name}.{}.{seq}.tmp", std::process::id()))
+    };
     let io_err = |source: std::io::Error| StoreError::Io {
         path: tmp.clone(),
         source,
@@ -886,6 +1066,40 @@ mod tests {
             SeasonStore::create(&dir, budget),
             Err(StoreError::AlreadyExists { .. })
         ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn second_concurrent_writer_is_refused_and_stale_leases_reclaim() {
+        let dir = tmp_dir("lease");
+        let budget = PrivacyParams::pure(0.1, 4.0);
+        let store = SeasonStore::create(&dir, budget).unwrap();
+        // A second writer on the same directory — same process counts —
+        // is refused with Locked while the first store lives.
+        match SeasonStore::open(&dir) {
+            Err(StoreError::Locked { holder_pid, .. }) => {
+                assert_eq!(holder_pid, std::process::id());
+            }
+            other => panic!("expected Locked, got {other:?}"),
+        }
+        // Releasing the store (dropping it) releases the lease.
+        drop(store);
+        assert!(!dir.join(LEASE_FILE).exists());
+        let store = SeasonStore::open(&dir).unwrap();
+        drop(store);
+        // A stale lease from a dead process is reclaimed on open. PID 0 is
+        // the kernel's; no user process ever holds it.
+        fs::write(
+            dir.join(LEASE_FILE),
+            serde_json::to_string(&LeaseFile { pid: 0 }).unwrap(),
+        )
+        .unwrap();
+        let store = SeasonStore::open(&dir).unwrap();
+        drop(store);
+        // A torn (unparseable) lease file reads as stale too.
+        fs::write(dir.join(LEASE_FILE), "{not json").unwrap();
+        let store = SeasonStore::open(&dir).unwrap();
+        drop(store);
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -105,12 +105,7 @@ impl TruthStore {
             filter.map(FilterExpr::normalized),
         );
         let json = serde_json::to_string(&key).expect("key serialization is infallible");
-        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-        for byte in json.as_bytes() {
-            hash ^= *byte as u64;
-            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
-        }
-        hash
+        crate::store::fnv1a_bytes(json.as_bytes())
     }
 
     fn path_for(&self, spec: &MarginalSpec, filter: Option<&FilterExpr>) -> PathBuf {

@@ -171,12 +171,16 @@ mod tests {
         assert_eq!(first.followup.tabulation_disk_hits, 2);
         // The cap is exhausted and both ledgers are fully spent.
         assert!(agency.remaining_epsilon() < 1e-9);
-        let annual = agency.open_season(ANNUAL_SEASON).unwrap();
-        assert_eq!(annual.completed(), 5);
-        assert_eq!(
-            annual.releases()[4].request.filter_id(),
-            Some(ranking2_expr().id())
-        );
+        // Scoped peek: the handle holds the season's write lease, which
+        // must be free before run_or_resume reopens the season below.
+        {
+            let annual = agency.open_season(ANNUAL_SEASON).unwrap();
+            assert_eq!(annual.completed(), 5);
+            assert_eq!(
+                annual.releases()[4].request.filter_id(),
+                Some(ranking2_expr().id())
+            );
+        }
         drop(agency);
         let (second, agency) = run_or_resume(&dir, &dataset).unwrap();
         assert_eq!(second.annual.resumed_from, 5);

@@ -1,0 +1,172 @@
+//! A small blocking loopback client for the release service.
+//!
+//! One `TcpStream` per call (the server is `Connection: close`), typed
+//! request/response bodies from [`crate::api`]. Exists so integration
+//! tests and examples can drive the service without hand-rolling HTTP;
+//! it is deliberately not a general-purpose HTTP client.
+
+use crate::api::{
+    AuditView, ReleaseStatusView, ReleaseSubmission, SeasonCreate, SeasonCreated, SubmitReceipt,
+};
+use eree_core::definitions::PrivacyParams;
+use serde::{Deserialize, Serialize};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// A failure talking to the service.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The transport failed (connect, write, read).
+    Io(std::io::Error),
+    /// The service answered with an error status.
+    Api {
+        /// The HTTP status code.
+        status: u16,
+        /// The service's `error` message.
+        message: String,
+    },
+    /// The response could not be parsed as expected.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Api { status, message } => {
+                write!(f, "service refused ({status}): {message}")
+            }
+            ClientError::Protocol(detail) => write!(f, "protocol error: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A blocking client bound to one service address.
+#[derive(Debug, Clone, Copy)]
+pub struct Client {
+    addr: SocketAddr,
+}
+
+impl Client {
+    /// A client for the service at `addr` (see `ReleaseService::addr`).
+    pub fn new(addr: SocketAddr) -> Self {
+        Self { addr }
+    }
+
+    /// `POST /seasons`: create `name` with `budget` reserved up front.
+    pub fn create_season(
+        &self,
+        name: &str,
+        budget: PrivacyParams,
+    ) -> Result<SeasonCreated, ClientError> {
+        self.post(
+            "/seasons",
+            &SeasonCreate {
+                name: name.to_string(),
+                budget,
+            },
+        )
+    }
+
+    /// `POST /seasons/{name}/releases`: submit one release.
+    pub fn submit(
+        &self,
+        season: &str,
+        submission: &ReleaseSubmission,
+    ) -> Result<SubmitReceipt, ClientError> {
+        self.post(&format!("/seasons/{season}/releases"), submission)
+    }
+
+    /// `GET /releases/{id}`: the release's current status.
+    pub fn release(&self, id: u64) -> Result<ReleaseStatusView, ClientError> {
+        self.get(&format!("/releases/{id}"))
+    }
+
+    /// Poll `GET /releases/{id}` until it leaves `"queued"` or `timeout`
+    /// elapses.
+    pub fn wait_for(&self, id: u64, timeout: Duration) -> Result<ReleaseStatusView, ClientError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let view = self.release(id)?;
+            if view.status != "queued" {
+                return Ok(view);
+            }
+            if Instant::now() >= deadline {
+                return Err(ClientError::Protocol(format!(
+                    "release {id} still queued after {timeout:?}"
+                )));
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    /// `GET /audit`: the agency-wide budget and cache audit.
+    pub fn audit(&self) -> Result<AuditView, ClientError> {
+        self.get("/audit")
+    }
+
+    fn get<T: Deserialize>(&self, path: &str) -> Result<T, ClientError> {
+        let (status, body) = self.call("GET", path, None)?;
+        decode(status, &body)
+    }
+
+    fn post<B: Serialize, T: Deserialize>(&self, path: &str, body: &B) -> Result<T, ClientError> {
+        let payload = serde_json::to_string(body).expect("request serialization is infallible");
+        let (status, body) = self.call("POST", path, Some(&payload))?;
+        decode(status, &body)
+    }
+
+    fn call(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> Result<(u16, String), ClientError> {
+        let mut stream = TcpStream::connect(self.addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30))).ok();
+        let body = body.unwrap_or("");
+        let request = format!(
+            "{method} {path} HTTP/1.1\r\nHost: service\r\nContent-Type: application/json\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        );
+        stream.write_all(request.as_bytes())?;
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw)?;
+        let (head, body) = raw
+            .split_once("\r\n\r\n")
+            .ok_or_else(|| ClientError::Protocol("response has no header/body split".into()))?;
+        let status: u16 = head
+            .lines()
+            .next()
+            .and_then(|line| line.split_whitespace().nth(1))
+            .and_then(|code| code.parse().ok())
+            .ok_or_else(|| ClientError::Protocol(format!("unparseable status line in {head:?}")))?;
+        Ok((status, body.to_string()))
+    }
+}
+
+fn decode<T: Deserialize>(status: u16, body: &str) -> Result<T, ClientError> {
+    if (200..300).contains(&status) {
+        serde_json::from_str(body)
+            .map_err(|e| ClientError::Protocol(format!("undecodable success body: {e}")))
+    } else {
+        #[derive(Deserialize)]
+        struct ErrorBody {
+            error: String,
+        }
+        let message = serde_json::from_str::<ErrorBody>(body)
+            .map(|e| e.error)
+            .unwrap_or_else(|_| body.to_string());
+        Err(ClientError::Api { status, message })
+    }
+}

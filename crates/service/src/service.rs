@@ -1,0 +1,618 @@
+//! The release service: one [`AgencyStore`] served to many tenants.
+//!
+//! # Request lifecycle
+//!
+//! ```text
+//!                 ┌────────────────────────── HTTP pool ──────────────┐
+//! tenant ── POST ─►  parse → validate → ReleaseKey → public cache? ───┼─► 200 (cached)
+//!                 │                                   │ miss          │
+//!                 │                 resolve season ── ▼ enqueue ──────┼─► 202 (queued)
+//!                 └──────────────────────────┬────────────────────────┘
+//!                                            │ per-season mpsc queue
+//!                 ┌────────────────── season worker (owns the lease) ─┐
+//!                 │ plan += request → SeasonStore::run_cached…        │
+//!                 │   → ledger charge → artifact persisted            │
+//!                 │   → public cache save → registry: complete        │
+//!                 └───────────────────────────────────────────────────┘
+//! tenant ── GET /releases/{id} ── registry ──► queued | complete | failed
+//! ```
+//!
+//! # Concurrency model
+//!
+//! Every season gets exactly one **worker thread** owning its
+//! [`SeasonStore`] — and with it the season's on-disk write lease — for
+//! the lifetime of the service. Submissions to one season serialize
+//! through its worker's queue (season ledgers are strictly ordered
+//! objects; there is no correct concurrent charge), while different
+//! seasons run fully in parallel. All workers share one
+//! [`TabulationIndex`] of the dataset (built once at startup) and the
+//! agency's persistent truth store, so concurrent tenants never duplicate
+//! tabulation work. Every admission decision is durable before it is
+//! acknowledged: a completed release is an artifact + ledger snapshot on
+//! disk, and killing the service loses nothing but the in-memory
+//! release-id registry.
+//!
+//! # The public/confidential boundary
+//!
+//! The public artifact cache is checked **before** a submission is
+//! resolved to a season: a repeat identical request is answered from
+//! released bits alone — zero ε, zero tabulation, no season, no lease,
+//! no confidential data. Everything else crosses into the confidential
+//! side only through a season worker, whose every charge lands in the
+//! season ledger and, transitively, under the agency cap.
+
+use crate::api::{
+    AuditView, ReleaseStatusView, ReleaseSubmission, SeasonCreate, SeasonCreated, SubmitReceipt,
+};
+use crate::http::{Handler, HttpServer, Request, Response};
+use eree_core::agency::{AgencyStore, SeasonSummary};
+use eree_core::definitions::PrivacyParams;
+use eree_core::engine::{ReleaseArtifact, ReleaseRequest, TabulationCache, TabulationStats};
+use eree_core::public_cache::{ReleaseCache, ReleaseKey};
+use eree_core::store::{dataset_digest, SeasonStore, StoreError};
+use eree_core::truths::TruthStore;
+use lodes::Dataset;
+use serde::Deserialize;
+use std::collections::BTreeMap;
+use std::net::SocketAddr;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use tabulate::{FilterExpr, TabulationIndex};
+
+/// Service startup configuration.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Bind address; `"127.0.0.1:0"` picks an ephemeral port.
+    pub addr: String,
+    /// HTTP pool size (season workers are separate, one per season).
+    pub http_threads: usize,
+    /// The agency's global `(α, ε[, δ])` cap — must match an existing
+    /// agency directory's cap when reopening one.
+    pub cap: PrivacyParams,
+}
+
+impl ServiceConfig {
+    /// Loopback on an ephemeral port, four HTTP threads, cap `cap`.
+    pub fn new(cap: PrivacyParams) -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            http_threads: 4,
+            cap,
+        }
+    }
+}
+
+/// A failure starting or stopping the service.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// The agency (or one of its stores) refused.
+    Store(StoreError),
+    /// Binding or driving the listener failed.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Store(e) => write!(f, "agency store error: {e}"),
+            ServiceError::Io(e) => write!(f, "service I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<StoreError> for ServiceError {
+    fn from(e: StoreError) -> Self {
+        ServiceError::Store(e)
+    }
+}
+
+impl From<std::io::Error> for ServiceError {
+    fn from(e: std::io::Error) -> Self {
+        ServiceError::Io(e)
+    }
+}
+
+/// Where one accepted release currently stands.
+enum ReleaseState {
+    Queued,
+    Complete {
+        artifact: Arc<ReleaseArtifact>,
+        cached: bool,
+    },
+    Failed {
+        error: String,
+    },
+}
+
+struct ReleaseRecord {
+    season: String,
+    state: ReleaseState,
+}
+
+/// A season's live audit view, maintained by its worker.
+struct SeasonView {
+    summary: SeasonSummary,
+    stats: TabulationStats,
+}
+
+enum Job {
+    Release { id: u64, request: ReleaseRequest },
+    Shutdown,
+}
+
+struct SeasonWorker {
+    tx: mpsc::Sender<Job>,
+    join: JoinHandle<()>,
+    view: Arc<Mutex<SeasonView>>,
+}
+
+/// State shared by the HTTP pool and every season worker.
+///
+/// Lock order (where multiple are held): `agency` → `workers` →
+/// `registry` → a season `view`. Workers only ever take `registry` and
+/// their own `view`, so they can never deadlock against the HTTP side.
+struct Shared {
+    dataset: Arc<Dataset>,
+    digest: u64,
+    index: Arc<TabulationIndex>,
+    truths: TruthStore,
+    cache: ReleaseCache,
+    agency: Mutex<AgencyStore>,
+    workers: Mutex<BTreeMap<String, SeasonWorker>>,
+    registry: Mutex<Vec<ReleaseRecord>>,
+    cache_hits: AtomicU64,
+}
+
+/// The running multi-tenant release service. See the [module docs](self).
+pub struct ReleaseService {
+    shared: Arc<Shared>,
+    http: HttpServer,
+}
+
+impl ReleaseService {
+    /// Open (or create) the agency under `root` with `config.cap`, pin it
+    /// to `dataset`, build the shared tabulation index, and start
+    /// serving. The bound address (with the real port) is
+    /// [`addr`](Self::addr).
+    pub fn start(
+        root: impl AsRef<Path>,
+        dataset: Dataset,
+        config: ServiceConfig,
+    ) -> Result<Self, ServiceError> {
+        let mut agency = AgencyStore::open_or_create(root.as_ref(), config.cap)?;
+        let digest = dataset_digest(&dataset);
+        agency.bind_dataset(digest)?;
+        let cache = agency.release_cache()?;
+        let truths = agency.truth_store()?.expect("dataset bound just above");
+        let index = Arc::new(TabulationIndex::build(&dataset));
+        let shared = Arc::new(Shared {
+            dataset: Arc::new(dataset),
+            digest,
+            index,
+            truths,
+            cache,
+            agency: Mutex::new(agency),
+            workers: Mutex::new(BTreeMap::new()),
+            registry: Mutex::new(Vec::new()),
+            cache_hits: AtomicU64::new(0),
+        });
+        let handler: Handler = {
+            let shared = Arc::clone(&shared);
+            Arc::new(move |request: &Request| route(&shared, request))
+        };
+        let http = HttpServer::serve(&config.addr, config.http_threads, handler)?;
+        Ok(Self { shared, http })
+    }
+
+    /// The bound listen address.
+    pub fn addr(&self) -> SocketAddr {
+        self.http.addr()
+    }
+
+    /// ε still unreserved under the agency cap.
+    pub fn remaining_epsilon(&self) -> f64 {
+        self.shared
+            .agency
+            .lock()
+            .expect("agency lock poisoned")
+            .remaining_epsilon()
+    }
+
+    /// Stop accepting requests, drain every season's queue, persist
+    /// everything, release all leases, and join every thread. Consumes
+    /// the service; the agency directory is reopenable afterwards.
+    pub fn shutdown(mut self) {
+        self.http.shutdown();
+        let workers =
+            std::mem::take(&mut *self.shared.workers.lock().expect("workers lock poisoned"));
+        for (_, worker) in workers {
+            // Queued jobs drain first — Shutdown lands behind them.
+            let _ = worker.tx.send(Job::Shutdown);
+            let _ = worker.join.join();
+        }
+        // `self.shared` is the last Arc now (HTTP and workers joined), so
+        // dropping it drops the AgencyStore and releases its lease.
+    }
+}
+
+/// Route one request. Pure with respect to the HTTP layer: all state
+/// lives in `shared`.
+fn route(shared: &Arc<Shared>, request: &Request) -> Response {
+    let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (request.method.as_str(), segments.as_slice()) {
+        ("POST", ["seasons"]) => create_season(shared, &request.body),
+        ("POST", ["seasons", name, "releases"]) => submit_release(shared, name, &request.body),
+        ("GET", ["releases", id]) => release_status(shared, id),
+        ("GET", ["audit"]) => audit(shared),
+        _ => Response::error(404, "no such route"),
+    }
+}
+
+fn parse_body<T: Deserialize>(body: &str) -> Result<T, Response> {
+    serde_json::from_str(body).map_err(|e| Response::error(400, &format!("invalid body: {e}")))
+}
+
+fn json_ok<T: serde::Serialize>(status: u16, value: &T) -> Response {
+    Response::json(
+        status,
+        serde_json::to_string(value).expect("response serialization is infallible"),
+    )
+}
+
+/// Map a [`StoreError`] onto the API's status vocabulary.
+fn store_error(e: &StoreError) -> Response {
+    let status = match e {
+        StoreError::Locked { .. } => 423,
+        StoreError::AlreadyExists { .. }
+        | StoreError::AgencyBudget { .. }
+        | StoreError::Refused { .. }
+        | StoreError::Inconsistent { .. } => 409,
+        StoreError::NotAStore { .. } => 404,
+        _ => 500,
+    };
+    Response::error(status, &e.to_string())
+}
+
+fn create_season(shared: &Arc<Shared>, body: &str) -> Response {
+    let create: SeasonCreate = match parse_body(body) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    let mut agency = shared.agency.lock().expect("agency lock poisoned");
+    match agency.create_season(&create.name, create.budget) {
+        // Drop the returned store immediately: its write lease must be
+        // free for the season's worker to claim on first submission.
+        Ok(store) => {
+            drop(store);
+            json_ok(
+                200,
+                &SeasonCreated {
+                    name: create.name,
+                    budget: create.budget,
+                    remaining_epsilon: agency.remaining_epsilon(),
+                },
+            )
+        }
+        Err(e) => store_error(&e),
+    }
+}
+
+fn submit_release(shared: &Arc<Shared>, name: &str, body: &str) -> Response {
+    let submission: ReleaseSubmission = match parse_body(body) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    // Non-finite budgets must be refused at the boundary: the mechanism
+    // constructors (correctly) treat them as programmer error and panic,
+    // but over the wire they are client error.
+    let budget = submission.budget;
+    let budget_valid = budget.alpha.is_finite()
+        && budget.alpha > 0.0
+        && budget.epsilon.is_finite()
+        && budget.epsilon > 0.0
+        && budget.delta.is_finite()
+        && budget.delta >= 0.0;
+    if !budget_valid {
+        return Response::error(400, "budget parameters must be finite and positive");
+    }
+    let request = submission.to_request();
+    // Validate the rest up front: an unpriceable request 400s here and
+    // never reaches a queue (or the ledger).
+    if let Err(e) = request.plan() {
+        return Response::error(400, &format!("invalid release request: {e}"));
+    }
+    // The release's full public identity — checked against the cache
+    // BEFORE any season is resolved. A hit is answered from released
+    // bits alone: zero ε, zero tabulation, nothing confidential touched.
+    let key = ReleaseKey {
+        dataset_digest: shared.digest,
+        kind: submission.kind,
+        spec: submission.spec.clone(),
+        mechanism: submission.mechanism,
+        budget: submission.budget,
+        budget_is_per_cell: submission.budget_is_per_cell,
+        filter: submission.filter.as_ref().map(FilterExpr::normalized),
+        integerized: submission.integerize,
+        seed: submission.seed,
+    };
+    if let Some(artifact) = shared.cache.load(&key) {
+        shared.cache_hits.fetch_add(1, Ordering::Relaxed);
+        let id = {
+            let mut registry = shared.registry.lock().expect("registry lock poisoned");
+            registry.push(ReleaseRecord {
+                season: String::new(),
+                state: ReleaseState::Complete {
+                    artifact: Arc::new(artifact),
+                    cached: true,
+                },
+            });
+            (registry.len() - 1) as u64
+        };
+        return json_ok(
+            200,
+            &SubmitReceipt {
+                id,
+                status: "complete".to_string(),
+                cached: true,
+            },
+        );
+    }
+    // Cache miss: the request crosses to the confidential side through
+    // the season's worker queue.
+    let agency = shared.agency.lock().expect("agency lock poisoned");
+    if agency.meta_ledger().reservation(name).is_none() {
+        return Response::error(404, &format!("no season named `{name}`"));
+    }
+    let mut workers = shared.workers.lock().expect("workers lock poisoned");
+    if !workers.contains_key(name) {
+        match spawn_worker(shared, &agency, name) {
+            Ok(worker) => {
+                workers.insert(name.to_string(), worker);
+            }
+            Err(e) => return store_error(&e),
+        }
+    }
+    let worker = workers.get(name).expect("inserted just above");
+    let id = {
+        let mut registry = shared.registry.lock().expect("registry lock poisoned");
+        registry.push(ReleaseRecord {
+            season: name.to_string(),
+            state: ReleaseState::Queued,
+        });
+        (registry.len() - 1) as u64
+    };
+    if worker.tx.send(Job::Release { id, request }).is_err() {
+        set_state(
+            shared,
+            id,
+            ReleaseState::Failed {
+                error: "season worker is gone".to_string(),
+            },
+        );
+        return Response::error(500, "season worker is gone");
+    }
+    json_ok(
+        202,
+        &SubmitReceipt {
+            id,
+            status: "queued".to_string(),
+            cached: false,
+        },
+    )
+}
+
+fn release_status(shared: &Arc<Shared>, id: &str) -> Response {
+    let Ok(id) = id.parse::<u64>() else {
+        return Response::error(400, "release id must be an integer");
+    };
+    let registry = shared.registry.lock().expect("registry lock poisoned");
+    let Some(record) = registry.get(id as usize) else {
+        return Response::error(404, &format!("no release with id {id}"));
+    };
+    let view = match &record.state {
+        ReleaseState::Queued => ReleaseStatusView {
+            id,
+            season: record.season.clone(),
+            status: "queued".to_string(),
+            cached: false,
+            error: None,
+            artifact: None,
+        },
+        ReleaseState::Complete { artifact, cached } => ReleaseStatusView {
+            id,
+            season: record.season.clone(),
+            status: "complete".to_string(),
+            cached: *cached,
+            error: None,
+            artifact: Some(artifact.as_ref().clone()),
+        },
+        ReleaseState::Failed { error } => ReleaseStatusView {
+            id,
+            season: record.season.clone(),
+            status: "failed".to_string(),
+            cached: false,
+            error: Some(error.clone()),
+            artifact: None,
+        },
+    };
+    json_ok(200, &view)
+}
+
+fn audit(shared: &Arc<Shared>) -> Response {
+    let agency = shared.agency.lock().expect("agency lock poisoned");
+    let workers = shared.workers.lock().expect("workers lock poisoned");
+    let mut seasons = Vec::new();
+    let mut stats = TabulationStats::default();
+    for reservation in agency.meta_ledger().reservations() {
+        match workers.get(&reservation.name) {
+            // A live worker's view is fresher than the agency's (the
+            // worker owns the season store; the agency read it at open).
+            Some(worker) => {
+                let view = worker.view.lock().expect("season view poisoned");
+                seasons.push(view.summary.clone());
+                stats.computed += view.stats.computed;
+                stats.hits += view.stats.hits;
+                stats.disk_hits += view.stats.disk_hits;
+            }
+            None => seasons.push(
+                agency
+                    .seasons()
+                    .iter()
+                    .find(|s| s.name == reservation.name)
+                    .cloned()
+                    .unwrap_or(SeasonSummary {
+                        name: reservation.name.clone(),
+                        budget: reservation.budget,
+                        spent_epsilon: 0.0,
+                        spent_delta: 0.0,
+                        completed: 0,
+                        materialized: false,
+                    }),
+            ),
+        }
+    }
+    let releases = shared
+        .registry
+        .lock()
+        .expect("registry lock poisoned")
+        .len() as u64;
+    let view = AuditView {
+        cap: *agency.cap(),
+        reserved_epsilon: agency.meta_ledger().reserved_epsilon(),
+        remaining_epsilon: agency.remaining_epsilon(),
+        spent_epsilon: seasons.iter().map(|s| s.spent_epsilon).sum(),
+        seasons,
+        releases,
+        cache_hits: shared.cache_hits.load(Ordering::Relaxed),
+        cache_entries: shared.cache.len() as u64,
+        tabulations: stats,
+    };
+    json_ok(200, &view)
+}
+
+fn set_state(shared: &Shared, id: u64, state: ReleaseState) {
+    let mut registry = shared.registry.lock().expect("registry lock poisoned");
+    if let Some(record) = registry.get_mut(id as usize) {
+        record.state = state;
+    }
+}
+
+/// Open season `name` (claiming its write lease), rebuild its plan from
+/// persisted provenance, and start its worker thread. Called under the
+/// `agency` and `workers` locks.
+fn spawn_worker(
+    shared: &Arc<Shared>,
+    agency: &AgencyStore,
+    name: &str,
+) -> Result<SeasonWorker, StoreError> {
+    let store = agency.open_season(name)?;
+    let mut plan = Vec::with_capacity(store.completed());
+    for release in store.releases() {
+        match ReleaseRequest::from_provenance(&release.request) {
+            Some(request) => plan.push(request),
+            None => {
+                return Err(StoreError::Inconsistent {
+                    detail: format!(
+                        "season `{name}` holds a closure-filtered release ({}) whose plan \
+                         cannot be reconstructed; it cannot be served",
+                        release.request.description
+                    ),
+                })
+            }
+        }
+    }
+    let view = Arc::new(Mutex::new(SeasonView {
+        summary: SeasonSummary {
+            name: name.to_string(),
+            budget: *store.ledger().budget(),
+            spent_epsilon: store.ledger().spent_epsilon(),
+            spent_delta: store.ledger().spent_delta(),
+            completed: store.completed(),
+            materialized: true,
+        },
+        stats: TabulationStats::default(),
+    }));
+    let (tx, rx) = mpsc::channel::<Job>();
+    let join = {
+        let shared = Arc::clone(shared);
+        let view = Arc::clone(&view);
+        std::thread::spawn(move || season_worker(shared, store, plan, rx, view))
+    };
+    Ok(SeasonWorker { tx, join, view })
+}
+
+/// The per-season worker loop: owns the [`SeasonStore`] (and its lease)
+/// until shutdown, executing queued releases strictly in order.
+fn season_worker(
+    shared: Arc<Shared>,
+    mut store: SeasonStore,
+    mut plan: Vec<ReleaseRequest>,
+    rx: mpsc::Receiver<Job>,
+    view: Arc<Mutex<SeasonView>>,
+) {
+    let mut cache = TabulationCache::with_store(shared.truths.clone())
+        .with_shared_index(Arc::clone(&shared.index));
+    while let Ok(job) = rx.recv() {
+        let (id, request) = match job {
+            Job::Shutdown => break,
+            Job::Release { id, request } => (id, request),
+        };
+        plan.push(request);
+        match store.run_cached_with_digest(&shared.dataset, shared.digest, &plan, &mut cache) {
+            Ok(report) => {
+                match store.load_artifact(store.completed() - 1) {
+                    Ok(artifact) => {
+                        let artifact = Arc::new(artifact);
+                        // Publish to the released-artifact cache. Every
+                        // service release has a declarative identity, so
+                        // the key always exists; a cache-write failure is
+                        // only a lost optimization, never a lost release.
+                        if let Some(key) = ReleaseKey::of(&artifact.request, shared.digest) {
+                            let _ = shared.cache.save(&key, &artifact);
+                        }
+                        set_state(
+                            &shared,
+                            id,
+                            ReleaseState::Complete {
+                                artifact,
+                                cached: false,
+                            },
+                        )
+                    }
+                    Err(e) => set_state(
+                        &shared,
+                        id,
+                        ReleaseState::Failed {
+                            error: format!("release persisted but failed to load back: {e}"),
+                        },
+                    ),
+                }
+                let mut v = view.lock().expect("season view poisoned");
+                v.stats.computed += report.tabulations_computed;
+                v.stats.hits += report.tabulation_hits;
+                v.stats.disk_hits += report.tabulation_disk_hits;
+            }
+            Err(e) => {
+                // The refusal recorded nothing: keep the plan in lockstep
+                // with the store.
+                plan.pop();
+                set_state(
+                    &shared,
+                    id,
+                    ReleaseState::Failed {
+                        error: e.to_string(),
+                    },
+                );
+            }
+        }
+        let mut v = view.lock().expect("season view poisoned");
+        v.summary.spent_epsilon = store.ledger().spent_epsilon();
+        v.summary.spent_delta = store.ledger().spent_delta();
+        v.summary.completed = store.completed();
+    }
+    // `store` drops here: the season's write lease is released.
+}

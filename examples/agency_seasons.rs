@@ -169,7 +169,10 @@ fn main() {
     }
     println!("verified:   resumed artifacts byte-identical; no eps re-spent");
 
-    // A tampered season ledger refuses the whole agency.
+    // A tampered season ledger refuses the whole agency. (Drop the live
+    // handle first: its write lease would otherwise refuse the reopen
+    // before verification even looks at the ledgers.)
+    drop(agency);
     let ledger_path = killed_dir
         .join("seasons")
         .join("annual")

@@ -1,0 +1,100 @@
+//! The release service end to end on loopback: start the HTTP frontend
+//! over a fresh agency, serve two tenants, demonstrate the zero-ε public
+//! cache on a repeat request, and print the audit trail.
+//!
+//! ```text
+//! cargo run --release --example release_service
+//! ```
+
+use eree::prelude::*;
+use eree_core::engine::RequestKind;
+use std::time::Duration;
+
+fn submission(spec: MarginalSpec, epsilon: f64, seed: u64) -> ReleaseSubmission {
+    ReleaseSubmission {
+        kind: RequestKind::Marginal,
+        spec,
+        mechanism: MechanismKind::LogLaplace,
+        budget: PrivacyParams::pure(0.1, epsilon),
+        budget_is_per_cell: false,
+        filter: None,
+        integerize: true,
+        seed,
+        description: None,
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dir = std::env::temp_dir().join("eree-example-release-service");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // One agency, one global cap, one confidential dataset — exposed to
+    // many tenants over HTTP.
+    let dataset = Generator::new(GeneratorConfig::test_small(7)).generate();
+    let cap = PrivacyParams::pure(0.1, 2.0);
+    let service = ReleaseService::start(&dir, dataset, ServiceConfig::new(cap))?;
+    let client = Client::new(service.addr());
+    println!("release service listening on http://{}", service.addr());
+
+    // Two tenants reserve their seasons; the budget is held durably in
+    // the agency meta-ledger before either runs anything.
+    for (season, epsilon) in [("census-q1", 1.0), ("bls-q1", 0.6)] {
+        let created = client.create_season(season, PrivacyParams::pure(0.1, epsilon))?;
+        println!(
+            "season {:<9} reserved eps={:.1} (agency eps remaining: {:.1})",
+            created.name, created.budget.epsilon, created.remaining_epsilon
+        );
+    }
+
+    // Each tenant releases the county x age marginal under its own
+    // budget and seed.
+    let spec = MarginalSpec::new(vec![WorkplaceAttr::County], vec![WorkerAttr::Age]);
+    for (season, seed) in [("census-q1", 41), ("bls-q1", 42)] {
+        let receipt = client.submit(season, &submission(spec.clone(), 0.3, seed))?;
+        let done = client.wait_for(receipt.id, Duration::from_secs(60))?;
+        println!(
+            "{season}: release {} is {} (cached: {})",
+            done.id, done.status, done.cached
+        );
+        assert_eq!(done.status, "complete");
+    }
+
+    // A repeat of an identical request never touches the confidential
+    // side again: it is served from the public released-artifact cache,
+    // spends zero ε, and tabulates nothing.
+    let before = client.audit()?;
+    let repeat = client.submit("census-q1", &submission(spec.clone(), 0.3, 41))?;
+    let after = client.audit()?;
+    println!(
+        "repeat request: status={} cached={} (eps spent {:.2} -> {:.2}, tabulations {} -> {})",
+        repeat.status,
+        repeat.cached,
+        before.spent_epsilon,
+        after.spent_epsilon,
+        before.tabulations.computed,
+        after.tabulations.computed,
+    );
+    assert!(repeat.cached, "repeat must be a cache hit");
+    assert_eq!(before.spent_epsilon, after.spent_epsilon);
+    assert_eq!(before.tabulations.computed, after.tabulations.computed);
+
+    println!(
+        "\naudit: cap eps={:.1}, reserved={:.1}, spent={:.2}, cache entries={}, cache hits={}",
+        after.cap.epsilon,
+        after.reserved_epsilon,
+        after.spent_epsilon,
+        after.cache_entries,
+        after.cache_hits,
+    );
+    for season in &after.seasons {
+        println!(
+            "  {:<9} eps {:.2}/{:.1} across {} release(s)",
+            season.name, season.spent_epsilon, season.budget.epsilon, season.completed
+        );
+    }
+
+    service.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+    println!("\nservice drained, leases released, agency directory intact");
+    Ok(())
+}

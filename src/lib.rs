@@ -22,6 +22,9 @@
 //! * [`eree_core`] — the paper's contribution: (α,ε)-ER-EE privacy,
 //!   smooth sensitivity, the Log-Laplace / Smooth Gamma / Smooth Laplace
 //!   mechanisms, and the ledger-enforced release engine.
+//! * [`eree_service`] — a multi-tenant HTTP release service over the
+//!   agency: per-season write leases and worker queues, plus a public
+//!   released-artifact cache that answers repeat requests at zero ε.
 //! * [`eval`] — the experiment harness regenerating every table and
 //!   figure.
 //!
@@ -61,6 +64,7 @@
 //! ```
 
 pub use eree_core;
+pub use eree_service;
 pub use eval;
 pub use graphdp;
 pub use lodes;
@@ -80,6 +84,7 @@ pub mod prelude {
         ReleaseCost, ReleaseEngine, ReleaseRequest, RequestKind, SeasonReport, SeasonStore,
         SeasonSummary, StoreError, TabulationCache, TabulationStats, TruthStore,
     };
+    pub use eree_service::{Client, ReleaseService, ReleaseSubmission, ServiceConfig};
     pub use lodes::{
         CountyId, Dataset, DatasetStats, Generator, GeneratorConfig, PlaceSizeClass, StateId,
     };

@@ -86,8 +86,12 @@ proptest! {
                 // Charge a release against some existing season.
                 1 if !created.is_empty() => {
                     let name = &created[i % created.len()];
-                    let season = agency.open_season(name).unwrap();
-                    let eps = (frac * season.ledger().remaining_epsilon()).max(0.01);
+                    // Scoped peek: the handle's write lease must be
+                    // released before `run_season` opens the season again.
+                    let eps = {
+                        let season = agency.open_season(name).unwrap();
+                        (frac * season.ledger().remaining_epsilon()).max(0.01)
+                    };
                     seed += 1;
                     match agency.run_season(name, &d, &[request(seed, eps)]) {
                         Ok(_) => {}
