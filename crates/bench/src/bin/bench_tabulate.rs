@@ -4,9 +4,11 @@
 //!
 //! Writes `BENCH_tabulate.json` at the repo root (override with
 //! `--out <path>`), recording per-spec wall times and speedups plus the
-//! one-time index build cost. Exits nonzero (panics) if the two engines
-//! ever disagree on a single cell, so CI can run it as a correctness
-//! smoke as well as a perf probe.
+//! one-time index build cost. The spec list includes a `flows:` workload:
+//! the quarter-pair flow tabulation over a two-quarter panel, legacy
+//! `establishment_size` scan vs the CSR index pair. Exits nonzero
+//! (panics) if the two engines ever disagree on a single cell, so CI can
+//! run it as a correctness smoke as well as a perf probe.
 //!
 //! Usage: `cargo run --release -p bench --bin bench_tabulate --
 //! [--iters N] [--out PATH] [--check-against BASELINE [--max-regression F]]`.
@@ -24,11 +26,11 @@
 //! caveat are documented in the `bench` crate's rustdoc (`crates/bench`).
 
 use eval::runner::EvalScale;
-use lodes::{Dataset, Generator};
+use lodes::{Dataset, DatasetPanel, Generator, PanelConfig};
 use std::time::Instant;
 use tabulate::{
-    compute_marginal_legacy, workload1, workload3, Marginal, MarginalSpec, TabulationIndex,
-    WorkerAttr, WorkplaceAttr,
+    compute_flows_legacy, compute_marginal_legacy, workload1, workload3, FlowMarginal, Marginal,
+    MarginalSpec, TabulationIndex, WorkerAttr, WorkplaceAttr,
 };
 
 /// Canonical eval data seed (same as `ExperimentContext::new`).
@@ -58,6 +60,23 @@ fn assert_identical(name: &str, legacy: &Marginal, indexed: &Marginal) {
     }
 }
 
+fn assert_flows_identical(name: &str, legacy: &FlowMarginal, indexed: &FlowMarginal) {
+    assert_eq!(
+        legacy.num_cells(),
+        indexed.num_cells(),
+        "{name}: flow cell count mismatch"
+    );
+    for ((lk, ls), (ik, is)) in legacy.iter().zip(indexed.iter()) {
+        assert_eq!(lk, ik, "{name}: flow key order mismatch");
+        assert_eq!(ls, is, "{name}: flow stats mismatch at key {lk:?}");
+    }
+    assert_eq!(
+        legacy.content_digest(),
+        indexed.content_digest(),
+        "{name}: flow content digest mismatch"
+    );
+}
+
 struct SpecResult {
     name: String,
     cells: usize,
@@ -82,6 +101,40 @@ fn bench_spec(
     assert_identical(&spec.name(), &legacy, &indexed_mt);
     SpecResult {
         name: spec.name(),
+        cells: legacy.num_cells(),
+        legacy_ms,
+        indexed_ms,
+        indexed_mt_ms,
+        speedup_1t: legacy_ms / indexed_ms,
+        speedup_mt: legacy_ms / indexed_mt_ms,
+    }
+}
+
+/// Old-vs-new timing for the flow (quarter-pair) tabulation: the legacy
+/// per-establishment `establishment_size` scan against the CSR index pair,
+/// on the workplace-only flow spec. Panics on any cell disagreement, so
+/// the CI smoke covers the flow engine too.
+fn bench_flows(
+    panel: &DatasetPanel,
+    spec: &MarginalSpec,
+    iters: usize,
+    threads: usize,
+) -> SpecResult {
+    let before = panel.quarter(0);
+    let after = panel.quarter(1);
+    let before_index = TabulationIndex::build(before);
+    let after_index = TabulationIndex::build(after);
+    let (legacy_ms, legacy) = time_best(iters, || compute_flows_legacy(before, after, spec));
+    let (indexed_ms, indexed) =
+        time_best(iters, || before_index.flows_sharded(&after_index, spec, 1));
+    let (indexed_mt_ms, indexed_mt) = time_best(iters, || {
+        before_index.flows_sharded(&after_index, spec, threads)
+    });
+    let name = format!("flows:{}", spec.name());
+    assert_flows_identical(&name, &legacy, &indexed);
+    assert_flows_identical(&name, &legacy, &indexed_mt);
+    SpecResult {
+        name,
         cells: legacy.num_cells(),
         legacy_ms,
         indexed_ms,
@@ -190,6 +243,33 @@ fn main() {
         );
         results.push(r);
     }
+
+    // The flow workload: a two-quarter panel over the same canonical
+    // establishment frame, tabulated with the workplace-only flow spec.
+    eprintln!("generating two-quarter panel for the flow workload ...");
+    let panel = DatasetPanel::generate(
+        &scale.generator_config(CANONICAL_SEED),
+        &PanelConfig {
+            quarters: 2,
+            growth_sigma: 0.08,
+            death_rate: 0.02,
+            seed: CANONICAL_SEED ^ 0x0F10,
+        },
+    );
+    let flow_spec = MarginalSpec::new(
+        vec![
+            WorkplaceAttr::Place,
+            WorkplaceAttr::Naics,
+            WorkplaceAttr::Ownership,
+        ],
+        vec![],
+    );
+    let r = bench_flows(&panel, &flow_spec, iters, threads);
+    eprintln!(
+        "{:<55} legacy {:>9.3} ms | indexed(1t) {:>9.3} ms ({:>5.2}x) | indexed({}t) {:>9.3} ms ({:>5.2}x) | {} cells",
+        r.name, r.legacy_ms, r.indexed_ms, r.speedup_1t, threads, r.indexed_mt_ms, r.speedup_mt, r.cells
+    );
+    results.push(r);
 
     let spec_json: Vec<String> = results
         .iter()

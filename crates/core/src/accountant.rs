@@ -85,6 +85,41 @@ impl ReleaseCost {
         }
     }
 
+    /// The number of sequentially-composed per-cell queries in a flow
+    /// release: beginning employment `B`, job creation `JC`, and job
+    /// destruction `JD` each get an independent noise draw per cell, while
+    /// ending employment `E = B + JC − JD` is derived by post-processing
+    /// and is free (Thm 7.3 composition; post-processing invariance).
+    pub const FLOW_STATISTICS: usize = 3;
+
+    /// Cost of releasing every cell of a *flow* marginal with a per-cell
+    /// `(α, ε, δ)`-mechanism.
+    ///
+    /// Flow specs are workplace-only (the evaluator rejects worker
+    /// attributes), so cells partition establishments and Thm 7.4 gives
+    /// parallel composition across cells under either regime — per
+    /// statistic. The three noised statistics (`B`, `JC`, `JD`) touch the
+    /// same establishments and compose sequentially, so the multiplier is
+    /// [`Self::FLOW_STATISTICS`] regardless of regime.
+    pub fn for_flows(per_cell: &PrivacyParams) -> Self {
+        let multiplier = Self::FLOW_STATISTICS;
+        Self {
+            epsilon: per_cell.epsilon * multiplier as f64,
+            delta: per_cell.delta * multiplier as f64,
+            per_cell_epsilon: per_cell.epsilon,
+            multiplier,
+        }
+    }
+
+    /// Invert [`Self::for_flows`]: per-cell-per-statistic parameters such
+    /// that the whole flow release costs `total`.
+    pub fn per_cell_for_flow_total(total: &PrivacyParams) -> PrivacyParams {
+        let mut p = *total;
+        p.epsilon = total.epsilon / Self::FLOW_STATISTICS as f64;
+        p.delta = total.delta / Self::FLOW_STATISTICS as f64;
+        p
+    }
+
     /// Invert the accounting: per-cell parameters such that the *total*
     /// marginal release costs `total`, under the given regime.
     pub fn per_cell_for_total(
@@ -680,6 +715,19 @@ mod tests {
         // Strong regime gets Thm 7.5 parallel composition.
         let strong = ReleaseCost::for_marginal(&workload3(), &per_cell, NeighborKind::Strong);
         assert_eq!(strong.multiplier, 1);
+    }
+
+    #[test]
+    fn flow_release_costs_three_statistics() {
+        let per_cell = PrivacyParams::approximate(0.1, 0.5, 0.001);
+        let cost = ReleaseCost::for_flows(&per_cell);
+        assert_eq!(cost.multiplier, 3, "B, JC, JD are noised; E is derived");
+        assert!((cost.epsilon - 1.5).abs() < 1e-12);
+        assert!((cost.delta - 0.003).abs() < 1e-12);
+        let total = PrivacyParams::approximate(0.1, 1.5, 0.003);
+        let inverted = ReleaseCost::per_cell_for_flow_total(&total);
+        assert!((inverted.epsilon - 0.5).abs() < 1e-12);
+        assert!((inverted.delta - 0.001).abs() < 1e-12);
     }
 
     #[test]

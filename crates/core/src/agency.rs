@@ -116,11 +116,12 @@ use crate::definitions::PrivacyParams;
 use crate::engine::{ReleaseRequest, TabulationCache};
 use crate::public_cache::ReleaseCache;
 use crate::store::{
-    dataset_digest, read_json, write_json_atomic, DirLease, SeasonReport, SeasonStore, StoreError,
+    dataset_digest, panel_digest, read_json, write_json_atomic, DirLease, SeasonReport,
+    SeasonStore, StoreError,
 };
 use crate::truths::TruthStore;
-use lodes::Dataset;
-use serde::{Deserialize, Serialize};
+use lodes::{Dataset, DatasetPanel};
+use serde::{get_field, DeError, Deserialize, Serialize, Value};
 use std::fs;
 use std::path::{Path, PathBuf};
 
@@ -143,13 +144,36 @@ const LEASE_FILE: &str = "agency.lock";
 
 /// The agency manifest: identifies the directory as an agency, pins the
 /// global cap the meta-ledger must carry, and — once the first
-/// [`AgencyStore::run_season`] has seen the confidential database — pins
-/// the dataset fingerprint every season must share.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// [`AgencyStore::run_season`] (or
+/// [`run_panel_season`](AgencyStore::run_panel_season)) has seen the
+/// confidential data — pins its fingerprint: the [`dataset_digest`] of
+/// the one snapshot for a single-snapshot agency, the [`panel_digest`]
+/// over every quarter for a panel agency.
+#[derive(Debug, Clone, PartialEq, Serialize)]
 struct AgencyManifest {
     format: u32,
     cap: PrivacyParams,
     dataset_digest: Option<u64>,
+    /// Whether the agency governs a quarterly panel (per-quarter seasons
+    /// pin their own quarter digests; the agency pins the panel digest).
+    panel: bool,
+}
+
+impl Deserialize for AgencyManifest {
+    /// Hand-written for compatibility: `panel` postdates the first agency
+    /// stores, so a manifest without the field reads as a single-snapshot
+    /// agency rather than refusing to open.
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(Self {
+            format: u32::from_value(get_field(v, "format")?)?,
+            cap: PrivacyParams::from_value(get_field(v, "cap")?)?,
+            dataset_digest: Option::<u64>::from_value(get_field(v, "dataset_digest")?)?,
+            panel: match get_field(v, "panel") {
+                Ok(value) => bool::from_value(value)?,
+                Err(_) => false,
+            },
+        })
+    }
 }
 
 /// The audit view of one governed season, refreshed on
@@ -191,6 +215,24 @@ impl AgencyStore {
     /// given global `(α, ε, δ)` cap. Refuses a directory that already
     /// holds one.
     pub fn create(root: impl AsRef<Path>, cap: PrivacyParams) -> Result<Self, StoreError> {
+        Self::create_mode(root, cap, false)
+    }
+
+    /// [`create`](Self::create) in **panel mode**: the agency will govern
+    /// per-quarter seasons of one quarterly panel, each season pinned to
+    /// its own quarter's snapshot while the agency pins the
+    /// [`panel_digest`] over all of them — and all quarters draw their
+    /// season budgets from this one multi-year cap. Seasons run through
+    /// [`run_panel_season`](Self::run_panel_season).
+    pub fn create_panel(root: impl AsRef<Path>, cap: PrivacyParams) -> Result<Self, StoreError> {
+        Self::create_mode(root, cap, true)
+    }
+
+    fn create_mode(
+        root: impl AsRef<Path>,
+        cap: PrivacyParams,
+        panel: bool,
+    ) -> Result<Self, StoreError> {
         let root = root.as_ref().to_path_buf();
         let manifest_path = root.join(MANIFEST_FILE);
         if manifest_path.exists() {
@@ -209,6 +251,7 @@ impl AgencyStore {
             format: FORMAT_VERSION,
             cap,
             dataset_digest: None,
+            panel,
         };
         let meta = MetaLedger::new(cap);
         // Manifest last: its presence is the commit point (`open` demands
@@ -323,22 +366,28 @@ impl AgencyStore {
                     ),
                 });
             }
-            if let Some(season_digest) = season.dataset_digest() {
-                match bound_digest {
-                    Some(agency_digest) if agency_digest != season_digest => {
-                        return Err(StoreError::Inconsistent {
-                            detail: format!(
-                                "season `{}` is bound to dataset {season_digest:016x} but the \
-                                 agency is bound to {agency_digest:016x}",
-                                reservation.name
-                            ),
-                        });
+            // Panel agencies pin a panel digest while each per-quarter
+            // season pins its own quarter's snapshot — the digests
+            // legitimately differ, and the panel pin is re-verified
+            // against the live panel on every `run_panel_season` instead.
+            if !manifest.panel {
+                if let Some(season_digest) = season.dataset_digest() {
+                    match bound_digest {
+                        Some(agency_digest) if agency_digest != season_digest => {
+                            return Err(StoreError::Inconsistent {
+                                detail: format!(
+                                    "season `{}` is bound to dataset {season_digest:016x} but the \
+                                     agency is bound to {agency_digest:016x}",
+                                    reservation.name
+                                ),
+                            });
+                        }
+                        Some(_) => {}
+                        // A season bound before the agency was (e.g. run
+                        // standalone): adopt its dataset, provided every
+                        // other season agrees.
+                        None => bound_digest = Some(season_digest),
                     }
-                    Some(_) => {}
-                    // A season bound before the agency was (e.g. run
-                    // standalone): adopt its dataset, provided every
-                    // other season agrees.
-                    None => bound_digest = Some(season_digest),
                 }
             }
             seasons.push(SeasonSummary {
@@ -366,6 +415,25 @@ impl AgencyStore {
     /// [`open`](Self::open) if `root` holds an agency (whose cap must
     /// equal `cap`), else [`create`](Self::create).
     pub fn open_or_create(root: impl AsRef<Path>, cap: PrivacyParams) -> Result<Self, StoreError> {
+        Self::open_or_create_mode(root, cap, false)
+    }
+
+    /// [`open_or_create`](Self::open_or_create) in **panel mode** — the
+    /// resume path of a panel agency (see
+    /// [`create_panel`](Self::create_panel)). Refuses a directory holding
+    /// a single-snapshot agency, and vice versa.
+    pub fn open_or_create_panel(
+        root: impl AsRef<Path>,
+        cap: PrivacyParams,
+    ) -> Result<Self, StoreError> {
+        Self::open_or_create_mode(root, cap, true)
+    }
+
+    fn open_or_create_mode(
+        root: impl AsRef<Path>,
+        cap: PrivacyParams,
+        panel: bool,
+    ) -> Result<Self, StoreError> {
         let root = root.as_ref();
         if root.join(MANIFEST_FILE).exists() {
             let agency = Self::open(root)?;
@@ -378,9 +446,18 @@ impl AgencyStore {
                     ),
                 });
             }
+            if agency.is_panel() != panel {
+                return Err(StoreError::Inconsistent {
+                    detail: format!(
+                        "existing agency is a {} agency but a {} agency was requested",
+                        mode_label(agency.is_panel()),
+                        mode_label(panel)
+                    ),
+                });
+            }
             Ok(agency)
         } else {
-            Self::create(root, cap)
+            Self::create_mode(root, cap, panel)
         }
     }
 
@@ -409,10 +486,19 @@ impl AgencyStore {
         self.meta.remaining_delta()
     }
 
-    /// The dataset fingerprint the agency is pinned to (`None` until the
-    /// first [`run_season`](Self::run_season) binds one).
+    /// The confidential-data fingerprint the agency is pinned to (`None`
+    /// until the first [`run_season`](Self::run_season) or
+    /// [`run_panel_season`](Self::run_panel_season) binds one): a
+    /// [`dataset_digest`] for a single-snapshot agency, a
+    /// [`panel_digest`] over every quarter for a panel agency.
     pub fn dataset_digest(&self) -> Option<u64> {
         self.manifest.dataset_digest
+    }
+
+    /// Whether this agency governs a quarterly panel (see
+    /// [`create_panel`](Self::create_panel)).
+    pub fn is_panel(&self) -> bool {
+        self.manifest.panel
     }
 
     /// Audit summaries of every reserved season, in reservation order.
@@ -430,9 +516,18 @@ impl AgencyStore {
     /// dataset. `None` until a dataset is bound.
     pub fn truth_store(&self) -> Result<Option<TruthStore>, StoreError> {
         match self.manifest.dataset_digest {
-            Some(digest) => Ok(Some(TruthStore::open(self.root.join(TRUTHS_DIR), digest)?)),
+            Some(digest) => Ok(Some(self.truth_store_pinned(digest)?)),
             None => Ok(None),
         }
+    }
+
+    /// A handle over the agency's shared `truths/` directory pinned to
+    /// `digest`. Panel drivers use this to open one handle per quarter —
+    /// the level truth keys fold the pin, so the quarters' truths coexist
+    /// in the single shared directory without aliasing, while flow truths
+    /// (addressed by their dataset-*pair* digest) are pin-agnostic.
+    pub fn truth_store_pinned(&self, digest: u64) -> Result<TruthStore, StoreError> {
+        TruthStore::open(self.root.join(TRUTHS_DIR), digest)
     }
 
     /// The agency's **public** released-artifact cache (see
@@ -615,6 +710,13 @@ impl AgencyStore {
         dataset: &Dataset,
         requests: &[ReleaseRequest],
     ) -> Result<SeasonReport, StoreError> {
+        if self.manifest.panel {
+            return Err(StoreError::Inconsistent {
+                detail: "this agency governs a quarterly panel — run seasons through \
+                         run_panel_season"
+                    .to_string(),
+            });
+        }
         // Validate the season *before* touching the dataset pin: a failed
         // call (typo'd name, corrupt season) must not durably bind the
         // agency to whatever dataset it happened to be handed.
@@ -630,6 +732,111 @@ impl AgencyStore {
         self.upsert_summary(name, &season);
         result
     }
+
+    /// Execute (or resume) season `name` as quarter `quarter` of `panel`
+    /// — the panel-mode counterpart of [`run_season`](Self::run_season).
+    ///
+    /// The agency is pinned to the [`panel_digest`] over every quarter's
+    /// snapshot (bound on the first run, verified on every later one), the
+    /// season to its own quarter's [`dataset_digest`] — so neither a
+    /// changed panel nor a season resumed against the wrong quarter can
+    /// pass. Within the run:
+    ///
+    /// * level and shape requests tabulate the quarter's snapshot, with
+    ///   truths persisted in the shared store under the quarter's digest;
+    /// * [flow](crate::engine::ReleaseRequest::flows) requests tabulate
+    ///   the `(quarter − 1, quarter)` pair (refused for the base quarter),
+    ///   with truths content-addressed by the pair digest;
+    /// * every request's noise seed is derived by [`panel_quarter_seed`]
+    ///   from its own seed and the quarter index — the
+    ///   **consistent-over-time seeding rule**: the noise a request draws
+    ///   at quarter `q` depends only on `(request seed, q)`, never on
+    ///   submission order or which other quarters have run, so
+    ///   level-vs-change comparisons see coherent noise and resumed
+    ///   quarters reproduce bit-identically.
+    pub fn run_panel_season(
+        &mut self,
+        name: &str,
+        panel: &DatasetPanel,
+        quarter: usize,
+        requests: &[ReleaseRequest],
+    ) -> Result<SeasonReport, StoreError> {
+        if !self.manifest.panel {
+            return Err(StoreError::Inconsistent {
+                detail: "this agency governs a single snapshot — run seasons through run_season"
+                    .to_string(),
+            });
+        }
+        if quarter >= panel.quarters() {
+            return Err(StoreError::Inconsistent {
+                detail: format!(
+                    "panel holds {} quarters; quarter {quarter} does not exist",
+                    panel.quarters()
+                ),
+            });
+        }
+        // Season validity before the pin, exactly as in `run_season`.
+        let mut season = self.open_season(name)?;
+        let quarter_digests: Vec<u64> = panel.snapshots().iter().map(dataset_digest).collect();
+        self.bind_dataset(panel_digest(&quarter_digests))?;
+        let digest = quarter_digests[quarter];
+        // The store handle is pinned to *this quarter*: level truths of
+        // different quarters have disjoint content addresses in the one
+        // shared directory, and flow truths are addressed by pair digest.
+        let truths = self.truth_store_pinned(digest)?;
+        let mut cache = TabulationCache::with_store(truths);
+        let seeded: Vec<ReleaseRequest> = requests
+            .iter()
+            .map(|request| {
+                let seed = panel_quarter_seed(request.seed_value(), quarter);
+                request.clone().seed(seed)
+            })
+            .collect();
+        let before =
+            (quarter > 0).then(|| (panel.quarter(quarter - 1), quarter_digests[quarter - 1]));
+        let result = season.run_panel_cached_with_digest(
+            before,
+            panel.quarter(quarter),
+            digest,
+            &seeded,
+            &mut cache,
+        );
+        self.upsert_summary(name, &season);
+        result
+    }
+}
+
+/// `panel`-flag display helper for mode-mismatch errors.
+fn mode_label(panel: bool) -> &'static str {
+    if panel {
+        "quarterly-panel"
+    } else {
+        "single-snapshot"
+    }
+}
+
+/// Derive the noise seed a request uses at `quarter` of a panel: two
+/// SplitMix64 rounds over the request's own seed and the quarter index
+/// (the same derivation style as the engine's per-cell seeds).
+///
+/// This is the consistent-over-time seeding rule in one function — a pure
+/// function of `(base, quarter)`, so a request's noise at a quarter is
+/// independent of submission order, of resumption, and of every other
+/// quarter, while distinct quarters (and distinct base seeds) get
+/// decorrelated streams. A flow request over `(q − 1, q)` is seeded by its
+/// *ending* quarter `q`: the flow and the quarter-`q` level release it
+/// reconciles against draw from the same per-quarter stream family.
+pub fn panel_quarter_seed(base: u64, quarter: usize) -> u64 {
+    let mut state = base ^ (quarter as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let mut step = || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    step();
+    step()
 }
 
 #[cfg(test)]
@@ -866,6 +1073,136 @@ mod tests {
         assert_eq!(report.tabulations_computed, 1);
         let truths = agency.truth_store().unwrap().expect("dataset bound");
         assert_eq!(truths.len(), 2);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    fn panel() -> DatasetPanel {
+        DatasetPanel::generate(
+            &GeneratorConfig::test_small(31),
+            &lodes::PanelConfig {
+                quarters: 3,
+                growth_sigma: 0.1,
+                death_rate: 0.03,
+                seed: 5,
+            },
+        )
+    }
+
+    fn flow_request(seed: u64, epsilon: f64) -> ReleaseRequest {
+        ReleaseRequest::flows(workload1())
+            .mechanism(MechanismKind::LogLaplace)
+            .budget(PrivacyParams::pure(0.1, epsilon))
+            .seed(seed)
+    }
+
+    #[test]
+    fn panel_agency_runs_quarters_under_one_cap() {
+        let dir = tmp_dir("panel");
+        let p = panel();
+        let mut agency = AgencyStore::create_panel(&dir, PrivacyParams::pure(0.1, 13.0)).unwrap();
+        assert!(agency.is_panel());
+        for q in 0..p.quarters() {
+            agency
+                .create_season(&format!("q{q}"), PrivacyParams::pure(0.1, 4.0))
+                .unwrap();
+        }
+        // All three quarterly budgets are reservations of the one cap.
+        assert!((agency.remaining_epsilon() - 1.0).abs() < 1e-12);
+        // Base quarter: a level release; later quarters: level + flows.
+        agency
+            .run_panel_season("q0", &p, 0, &[request(9, 4.0)])
+            .unwrap();
+        for q in 1..p.quarters() {
+            let name = format!("q{q}");
+            let plan = [request(9, 1.0), flow_request(9, 3.0)];
+            let report = agency.run_panel_season(&name, &p, q, &plan).unwrap();
+            assert_eq!(report.executed, 2);
+        }
+        // A flow in the base quarter has no before-snapshot: refused.
+        agency
+            .create_season("extra", PrivacyParams::pure(0.1, 1.0))
+            .unwrap();
+        assert!(matches!(
+            agency.run_panel_season("extra", &p, 0, &[flow_request(1, 0.9)]),
+            Err(StoreError::Refused { .. })
+        ));
+        // Mode mismatches are refused outright.
+        assert!(matches!(
+            agency.run_season("q1", p.quarter(1), &[request(1, 1.0)]),
+            Err(StoreError::Inconsistent { .. })
+        ));
+        // The agency pin is the panel digest, not any quarter's.
+        let quarter_digests: Vec<u64> = p.snapshots().iter().map(dataset_digest).collect();
+        assert_eq!(
+            agency.dataset_digest(),
+            Some(panel_digest(&quarter_digests))
+        );
+        // Reopening verifies every per-quarter season without tripping the
+        // single-snapshot digest cross-check.
+        drop(agency);
+        let agency = AgencyStore::open(&dir).unwrap();
+        assert!(agency.is_panel());
+        assert_eq!(agency.seasons().len(), 4);
+        assert!(matches!(
+            AgencyStore::open_or_create(&dir, PrivacyParams::pure(0.1, 13.0)),
+            Err(StoreError::Locked { .. })
+        ));
+        drop(agency);
+        // Mode is part of the open_or_create contract.
+        assert!(matches!(
+            AgencyStore::open_or_create(&dir, PrivacyParams::pure(0.1, 13.0)),
+            Err(StoreError::Inconsistent { .. })
+        ));
+        let agency =
+            AgencyStore::open_or_create_panel(&dir, PrivacyParams::pure(0.1, 13.0)).unwrap();
+        drop(agency);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn panel_seasons_resume_bit_identically_and_share_flow_truths() {
+        let dir = tmp_dir("panel-resume");
+        let p = panel();
+        let plan = [request(3, 1.0), flow_request(3, 3.0)];
+        let mut agency = AgencyStore::create_panel(&dir, PrivacyParams::pure(0.1, 8.0)).unwrap();
+        agency
+            .create_season("q1", PrivacyParams::pure(0.1, 4.0))
+            .unwrap();
+        let first = agency.run_panel_season("q1", &p, 1, &plan).unwrap();
+        assert_eq!(first.executed, 2);
+        // Re-running the same quarter resumes: the derived seeds (and so
+        // the persisted artifacts) reproduce, and the whole plan is
+        // recognized as already published.
+        let resumed = agency.run_panel_season("q1", &p, 1, &plan).unwrap();
+        assert_eq!(resumed.resumed_from, 2);
+        assert_eq!(resumed.executed, 0);
+        // A sibling season publishing the same flow reuses its persisted
+        // truth from disk (addressed by the pair digest).
+        agency
+            .create_season("q1-update", PrivacyParams::pure(0.1, 4.0))
+            .unwrap();
+        let sibling = agency.run_panel_season("q1-update", &p, 1, &plan).unwrap();
+        assert_eq!(sibling.tabulations_computed, 0);
+        assert_eq!(sibling.tabulation_disk_hits, 2);
+        // The seeding rule is a pure function of (seed, quarter).
+        assert_eq!(panel_quarter_seed(3, 1), panel_quarter_seed(3, 1));
+        assert_ne!(panel_quarter_seed(3, 1), panel_quarter_seed(3, 2));
+        assert_ne!(panel_quarter_seed(3, 1), panel_quarter_seed(4, 1));
+        // A changed panel (e.g. a quarter swapped out) is refused by the
+        // panel-digest pin before anything runs.
+        let other = DatasetPanel::generate(
+            &GeneratorConfig::test_small(32),
+            &lodes::PanelConfig {
+                quarters: 3,
+                growth_sigma: 0.1,
+                death_rate: 0.03,
+                seed: 5,
+            },
+        );
+        assert!(matches!(
+            agency.run_panel_season("q1", &other, 1, &plan),
+            Err(StoreError::Inconsistent { .. })
+        ));
         fs::remove_dir_all(&dir).unwrap();
     }
 }

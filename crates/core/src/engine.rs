@@ -94,7 +94,9 @@ use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::sync::Arc;
-use tabulate::{CellKey, FilterExpr, FilterId, Marginal, MarginalSpec, TabulationIndex};
+use tabulate::{
+    CellKey, FilterExpr, FilterId, FlowMarginal, FlowStats, Marginal, MarginalSpec, TabulationIndex,
+};
 
 /// Worker predicate for filtered (single-query) workloads — the opaque
 /// escape hatch. Prefer [`FilterExpr`] (via
@@ -138,6 +140,11 @@ pub enum RequestKind {
     Marginal,
     /// Release the workforce shape of every workplace cell.
     Shapes,
+    /// Release job-flow statistics (`B`, `JC`, `JD`, derived `E`) over a
+    /// `(before, after)` dataset pair sharing one establishment frame.
+    /// Flow requests execute through the `execute_flows*` entry points,
+    /// which take both snapshots.
+    Flows,
 }
 
 impl RequestKind {
@@ -145,6 +152,7 @@ impl RequestKind {
         match self {
             RequestKind::Marginal => "marginal",
             RequestKind::Shapes => "shapes",
+            RequestKind::Flows => "flows",
         }
     }
 }
@@ -217,6 +225,16 @@ impl ReleaseRequest {
     /// `spec` (which must group by at least one worker attribute).
     pub fn shapes(spec: MarginalSpec) -> Self {
         Self::new(RequestKind::Shapes, spec)
+    }
+
+    /// Request job-flow statistics (`B`, `JC`, `JD`, derived `E`) grouped
+    /// by the workplace attributes of `spec`, over a `(before, after)`
+    /// dataset pair. The spec must not group by worker attributes — flows
+    /// are establishment-level quantities. Execute through
+    /// [`ReleaseEngine::execute_flows`] (or its cached/precomputed
+    /// variants), which take both snapshots.
+    pub fn flows(spec: MarginalSpec) -> Self {
+        Self::new(RequestKind::Flows, spec)
     }
 
     /// Reconstruct the request a recorded [`RequestProvenance`] describes
@@ -322,11 +340,24 @@ impl ReleaseRequest {
         self
     }
 
+    /// The workload kind this request declares — drivers that route
+    /// requests to the right execution path (single-snapshot vs dataset
+    /// pair) dispatch on it.
+    pub fn kind(&self) -> RequestKind {
+        self.kind
+    }
+
+    /// The request's RNG seed (as set by [`seed`](Self::seed); the panel
+    /// runner derives per-quarter seeds from it).
+    pub fn seed_value(&self) -> u64 {
+        self.seed
+    }
+
     /// The neighbor regime the release's guarantee holds under.
     pub fn regime(&self) -> NeighborKind {
         match self.kind {
             RequestKind::Shapes => NeighborKind::Weak,
-            RequestKind::Marginal => {
+            RequestKind::Marginal | RequestKind::Flows => {
                 if self.spec.has_worker_attrs() || self.filter.is_some() {
                     NeighborKind::Weak
                 } else {
@@ -363,15 +394,30 @@ impl ReleaseRequest {
                 crate::shape::ShapeError::NoWorkerAttributes,
             ));
         }
+        if self.kind == RequestKind::Flows && self.spec.has_worker_attrs() {
+            return Err(EngineError::Flow {
+                detail: "flow specs are establishment-level and must not \
+                         group by worker attributes",
+            });
+        }
         let regime = self.regime();
-        let (per_cell, requested) = match budget {
-            BudgetSpec::Total(total) => (
+        // Flow releases noise three statistics per cell (B, JC, JD; E is
+        // derived), so their composition accounting is their own.
+        let (per_cell, requested) = match (self.kind, budget) {
+            (RequestKind::Flows, BudgetSpec::Total(total)) => {
+                (ReleaseCost::per_cell_for_flow_total(&total), total)
+            }
+            (_, BudgetSpec::Total(total)) => (
                 ReleaseCost::per_cell_for_total(&self.spec, &total, regime),
                 total,
             ),
-            BudgetSpec::PerCell(per_cell) => (per_cell, per_cell),
+            (_, BudgetSpec::PerCell(per_cell)) => (per_cell, per_cell),
         };
-        let cost = ReleaseCost::for_marginal(&self.spec, &per_cell, regime);
+        let cost = if self.kind == RequestKind::Flows {
+            ReleaseCost::for_flows(&per_cell)
+        } else {
+            ReleaseCost::for_marginal(&self.spec, &per_cell, regime)
+        };
         // Validate mechanism parameters up front so invalid requests are
         // rejected before any budget is spent.
         if mechanism.build(&per_cell).is_none() {
@@ -511,6 +557,28 @@ impl Deserialize for RequestProvenance {
     }
 }
 
+/// One published flow cell: three noised statistics and the derived
+/// fourth.
+///
+/// `beginning`, `job_creation`, and `job_destruction` each carry an
+/// independent noise draw; `ending` is computed from them as
+/// `B + JC − JD` *after* any integer post-processing, so the accounting
+/// identity `E − B = JC − JD` holds **exactly** on the published values —
+/// consistency is free post-processing, not a fourth query.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlowRelease {
+    /// Noised beginning-of-period employment `B`.
+    pub beginning: f64,
+    /// Noised job creation `JC`.
+    pub job_creation: f64,
+    /// Noised job destruction `JD`.
+    pub job_destruction: f64,
+    /// Derived ending employment `E = B + JC − JD` (post-processed, never
+    /// separately noised; may be negative when destruction noise
+    /// dominates — clamping it would break the identity).
+    pub ending: f64,
+}
+
 /// The released data inside an artifact.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum ArtifactPayload {
@@ -518,6 +586,8 @@ pub enum ArtifactPayload {
     Cells(BTreeMap<CellKey, f64>),
     /// One released shape per workplace cell.
     Shapes(Vec<ShapeRelease>),
+    /// One released flow per active cell of a quarter pair.
+    Flows(BTreeMap<CellKey, FlowRelease>),
 }
 
 /// A compact fingerprint of the underlying truth, for evaluation only.
@@ -551,6 +621,16 @@ impl TruthDigest {
             checksum,
         }
     }
+
+    /// Digest a flow marginal (the checksum is its content digest; the
+    /// total is beginning-of-period employment).
+    pub fn of_flows(truth: &FlowMarginal) -> Self {
+        Self {
+            num_cells: truth.num_cells(),
+            total_count: truth.totals().beginning,
+            checksum: truth.content_digest(),
+        }
+    }
 }
 
 /// A completed, durable release: everything a downstream consumer (or
@@ -577,7 +657,7 @@ impl ReleaseArtifact {
     pub fn cells(&self) -> Option<&BTreeMap<CellKey, f64>> {
         match &self.payload {
             ArtifactPayload::Cells(cells) => Some(cells),
-            ArtifactPayload::Shapes(_) => None,
+            _ => None,
         }
     }
 
@@ -585,7 +665,15 @@ impl ReleaseArtifact {
     pub fn shapes(&self) -> Option<&[ShapeRelease]> {
         match &self.payload {
             ArtifactPayload::Shapes(shapes) => Some(shapes),
-            ArtifactPayload::Cells(_) => None,
+            _ => None,
+        }
+    }
+
+    /// The published flow cells, when this is a flow release.
+    pub fn flows(&self) -> Option<&BTreeMap<CellKey, FlowRelease>> {
+        match &self.payload {
+            ArtifactPayload::Flows(flows) => Some(flows),
+            _ => None,
         }
     }
 
@@ -594,9 +682,7 @@ impl ReleaseArtifact {
     pub fn l1_error_against(&self, truth: &Marginal) -> Result<f64, EngineError> {
         let cells = match &self.payload {
             ArtifactPayload::Cells(cells) => cells,
-            ArtifactPayload::Shapes(_) => {
-                return Err(EngineError::WrongPayload { expected: "cells" })
-            }
+            _ => return Err(EngineError::WrongPayload { expected: "cells" }),
         };
         let mut total = 0.0;
         for (key, stats) in truth.iter() {
@@ -692,6 +778,16 @@ pub struct TabulationCache {
     /// Whether the dataset's digest has been checked against the store's.
     /// One linear pass per cache, on the first tabulation.
     dataset_verified: bool,
+    /// Cached flow tabulations of the cache's one `(before, after)` pair.
+    /// The cache's main `index` doubles as the *after* side (it is the
+    /// index of the cache's one dataset — the current quarter); only the
+    /// *before* snapshot needs a second index.
+    flow_entries: BTreeMap<TabulationKey, (Arc<FlowMarginal>, Option<WorkerFilter>)>,
+    before_index: Option<Arc<TabulationIndex>>,
+    /// [`dataset_pair_digest`](crate::store::dataset_pair_digest) of the
+    /// cache's one pair, computed (two full-dataset scans) or supplied by
+    /// a driver once, then reused for every persistent flow-truth lookup.
+    flow_pair_digest: Option<u64>,
 }
 
 impl TabulationCache {
@@ -726,6 +822,28 @@ impl TabulationCache {
     pub fn with_shared_index(mut self, index: Arc<TabulationIndex>) -> Self {
         self.index = Some(index);
         self
+    }
+
+    /// Seed the cache with an already built columnar index of the *before*
+    /// snapshot for flow tabulations — the pair-wise analogue of
+    /// [`with_shared_index`](Self::with_shared_index) (which supplies the
+    /// *after*/current-quarter side). The same one-dataset contract
+    /// applies: the index must have been built from the `before` dataset
+    /// every flow call on this cache will pass.
+    pub fn with_flow_before_index(mut self, index: Arc<TabulationIndex>) -> Self {
+        self.before_index = Some(index);
+        self
+    }
+
+    /// Supply the pair digest of the cache's `(before, after)` pair so the
+    /// first persistent flow-truth lookup doesn't pay two full-dataset
+    /// scans — drivers (the agency's panel runner, the release service)
+    /// already hold both quarter digests for their own pins. The digest
+    /// must be [`dataset_pair_digest`](crate::store::dataset_pair_digest)
+    /// of the datasets actually passed; handing a digest of different data
+    /// voids the truth store's content addressing.
+    pub(crate) fn set_flow_pair_digest(&mut self, digest: u64) {
+        self.flow_pair_digest = Some(digest);
     }
 
     /// Number of distinct tabulations held in memory.
@@ -822,6 +940,71 @@ impl TabulationCache {
         self.entries.insert(key, (Arc::clone(&truth), pinned));
         Ok((truth, TabulationSource::Computed))
     }
+
+    /// The flow truth for `request` over the `(before, after)` pair:
+    /// in-memory entry, verified persistent flow truth (addressed by the
+    /// pair digest, not the store's single-dataset pin), or fresh
+    /// tabulation over the shared pair of indexes, in that order.
+    fn get_or_tabulate_flows(
+        &mut self,
+        before: &Dataset,
+        after: &Dataset,
+        request: &ReleaseRequest,
+        threads: usize,
+    ) -> Result<(Arc<FlowMarginal>, TabulationSource), EngineError> {
+        let key = tabulation_key(request);
+        if let Some((truth, _)) = self.flow_entries.get(&key) {
+            return Ok((Arc::clone(truth), TabulationSource::Memory));
+        }
+        let filter_expr = match &request.filter {
+            Some(RequestFilter::Expr(expr)) => Some(expr),
+            Some(RequestFilter::Closure(_)) | None => None,
+        };
+        let persistable = !matches!(&request.filter, Some(RequestFilter::Closure(_)));
+        // Flow truths are content-addressed by the pair digest — computed
+        // once per cache — so only store-backed caches pay for it.
+        let pair_digest = if self.store.is_some() && persistable {
+            Some(*self.flow_pair_digest.get_or_insert_with(|| {
+                crate::store::dataset_pair_digest(
+                    crate::store::dataset_digest(before),
+                    crate::store::dataset_digest(after),
+                )
+            }))
+        } else {
+            None
+        };
+        if let (Some(store), Some(pair)) = (self.store.as_ref(), pair_digest) {
+            if let Some(truth) = store.load_flows(pair, &request.spec, filter_expr) {
+                let truth = Arc::new(truth);
+                self.flow_entries.insert(key, (Arc::clone(&truth), None));
+                return Ok((truth, TabulationSource::Disk));
+            }
+        }
+        let before_index = Arc::clone(
+            self.before_index
+                .get_or_insert_with(|| Arc::new(TabulationIndex::build(before))),
+        );
+        let after_index = self.index_for(after);
+        let truth = Arc::new(tabulate_flow_request(
+            &before_index,
+            &after_index,
+            request,
+            threads,
+        ));
+        if let (Some(store), Some(pair)) = (self.store.as_ref(), pair_digest) {
+            store
+                .save_flows(pair, &request.spec, filter_expr, &truth)
+                .map_err(|e| EngineError::TruthStore {
+                    detail: format!("persisting freshly computed flow truth failed: {e}"),
+                })?;
+        }
+        let pinned = match &request.filter {
+            Some(RequestFilter::Closure(closure)) => Some(Arc::clone(closure)),
+            _ => None,
+        };
+        self.flow_entries.insert(key, (Arc::clone(&truth), pinned));
+        Ok((truth, TabulationSource::Computed))
+    }
 }
 
 /// Tabulate one request's truth marginal over the shared index,
@@ -836,6 +1019,26 @@ fn tabulate_request(index: &TabulationIndex, request: &ReleaseRequest, threads: 
             index.marginal_filtered_sharded(&request.spec, |w| filter(w), threads)
         }
         None => index.marginal_sharded(&request.spec, threads),
+    }
+}
+
+/// Tabulate one flow request's truth over the shared pair of indexes,
+/// sharding the establishment loop (bit-identical at any thread count);
+/// a filter restricts the population on *both* sides of the pair.
+fn tabulate_flow_request(
+    before: &TabulationIndex,
+    after: &TabulationIndex,
+    request: &ReleaseRequest,
+    threads: usize,
+) -> FlowMarginal {
+    match &request.filter {
+        Some(RequestFilter::Expr(expr)) => {
+            before.flows_expr_sharded(after, &request.spec, expr, threads)
+        }
+        Some(RequestFilter::Closure(filter)) => {
+            before.flows_filtered_sharded(after, &request.spec, |w| filter(w), threads)
+        }
+        None => before.flows_sharded(after, &request.spec, threads),
     }
 }
 
@@ -919,6 +1122,7 @@ impl ReleaseEngine {
         dataset: &Dataset,
         request: &ReleaseRequest,
     ) -> Result<ReleaseArtifact, EngineError> {
+        reject_flow_kind(request)?;
         let plan = request.plan()?;
         self.charge(request, &plan)?;
         let index = TabulationIndex::build(dataset);
@@ -935,6 +1139,7 @@ impl ReleaseEngine {
         truth: &Marginal,
         request: &ReleaseRequest,
     ) -> Result<ReleaseArtifact, EngineError> {
+        reject_flow_kind(request)?;
         if truth.spec() != &request.spec {
             return Err(EngineError::SpecMismatch {
                 requested: request.spec.name(),
@@ -958,6 +1163,7 @@ impl ReleaseEngine {
         request: &ReleaseRequest,
         cache: &mut TabulationCache,
     ) -> Result<ReleaseArtifact, EngineError> {
+        reject_flow_kind(request)?;
         let plan = request.plan()?;
         // Dry-run the admission first: a budget-rejected request must not
         // touch the cache or the truth store, and — the other way round —
@@ -974,6 +1180,73 @@ impl ReleaseEngine {
             TabulationSource::Computed => self.tab_stats.computed += 1,
         }
         Ok(self.sample(&truth, request, &plan, self.threads))
+    }
+
+    /// Validate a flow `request`, charge the ledger, tabulate job-flow
+    /// statistics over the `(before, after)` dataset pair, and sample.
+    ///
+    /// Builds two throwaway [`TabulationIndex`]es for the single
+    /// tabulation; drivers executing several flow requests over one pair
+    /// share them through
+    /// [`execute_flows_cached`](Self::execute_flows_cached).
+    pub fn execute_flows(
+        &mut self,
+        before: &Dataset,
+        after: &Dataset,
+        request: &ReleaseRequest,
+    ) -> Result<ReleaseArtifact, EngineError> {
+        let plan = flow_plan(request)?;
+        self.charge(request, &plan)?;
+        let before_index = TabulationIndex::build(before);
+        let after_index = TabulationIndex::build(after);
+        let truth = tabulate_flow_request(&before_index, &after_index, request, self.threads);
+        Ok(self.sample_flows(&truth, request, &plan, self.threads))
+    }
+
+    /// Like [`execute_flows`](Self::execute_flows), but over an
+    /// already-tabulated flow truth (evaluation sweeps tabulate the pair
+    /// once and release many times). The truth's spec must match the
+    /// request's.
+    pub fn execute_flows_precomputed(
+        &mut self,
+        truth: &FlowMarginal,
+        request: &ReleaseRequest,
+    ) -> Result<ReleaseArtifact, EngineError> {
+        let plan = flow_plan(request)?;
+        if truth.spec() != &request.spec {
+            return Err(EngineError::SpecMismatch {
+                requested: request.spec.name(),
+                supplied: truth.spec().name(),
+            });
+        }
+        self.charge(request, &plan)?;
+        Ok(self.sample_flows(truth, request, &plan, self.threads))
+    }
+
+    /// Like [`execute_flows`](Self::execute_flows), but tabulating through
+    /// a caller-owned [`TabulationCache`] — the same dry-run-then-charge
+    /// protocol as [`execute_cached`](Self::execute_cached). The cache's
+    /// one-dataset contract extends pair-wise: `after` must be the cache's
+    /// dataset (its shared index and truth store are the current
+    /// quarter's) and every flow call must pass the same `before`.
+    pub fn execute_flows_cached(
+        &mut self,
+        before: &Dataset,
+        after: &Dataset,
+        request: &ReleaseRequest,
+        cache: &mut TabulationCache,
+    ) -> Result<ReleaseArtifact, EngineError> {
+        let plan = flow_plan(request)?;
+        self.ledger.can_charge(&plan.per_cell, &plan.cost)?;
+        let (truth, source) = cache.get_or_tabulate_flows(before, after, request, self.threads)?;
+        self.charge(request, &plan)
+            .expect("dry-run admitted this charge on identical ledger state");
+        match source {
+            TabulationSource::Memory => self.tab_stats.hits += 1,
+            TabulationSource::Disk => self.tab_stats.disk_hits += 1,
+            TabulationSource::Computed => self.tab_stats.computed += 1,
+        }
+        Ok(self.sample_flows(&truth, request, &plan, self.threads))
     }
 
     /// Execute a whole workload batch under this engine's single ledger.
@@ -994,6 +1267,7 @@ impl ReleaseEngine {
         let admitted: Vec<Result<ReleasePlan, EngineError>> = requests
             .iter()
             .map(|request| {
+                reject_flow_kind(request)?;
                 let plan = request.plan()?;
                 self.charge(request, &plan)?;
                 Ok(plan)
@@ -1096,6 +1370,9 @@ impl ReleaseEngine {
                 request.integerize,
                 threads,
             )),
+            // Every level-marginal entry point rejects flow requests up
+            // front; flow artifacts come from `sample_flows`.
+            RequestKind::Flows => unreachable!("flow requests are routed through sample_flows"),
         };
         let mechanism_name = plan
             .mechanism
@@ -1112,6 +1389,62 @@ impl ReleaseEngine {
             truth_digest: truth_digest(truth),
         }
     }
+
+    fn sample_flows(
+        &self,
+        truth: &FlowMarginal,
+        request: &ReleaseRequest,
+        plan: &ReleasePlan,
+        threads: usize,
+    ) -> ReleaseArtifact {
+        let payload = ArtifactPayload::Flows(sample_flow_cells(
+            truth,
+            plan,
+            request.seed,
+            request.integerize,
+            threads,
+        ));
+        let mechanism_name = plan
+            .mechanism
+            .build(&plan.per_cell)
+            .expect("plan() validated mechanism parameters")
+            .name()
+            .to_string();
+        ReleaseArtifact {
+            request: request.provenance(plan),
+            regime: plan.regime,
+            cost: plan.cost,
+            mechanism_name,
+            payload,
+            truth_digest: flow_truth_digest(truth),
+        }
+    }
+}
+
+/// Refuse [`RequestKind::Flows`] on a single-snapshot execution path:
+/// flow statistics tabulate a `(before, after)` dataset pair and must go
+/// through the `execute_flows*` entry points — there is no dataset a
+/// single-snapshot path could silently substitute for the missing one.
+fn reject_flow_kind(request: &ReleaseRequest) -> Result<(), EngineError> {
+    if request.kind == RequestKind::Flows {
+        return Err(EngineError::Flow {
+            detail: "flow requests tabulate a (before, after) dataset pair — \
+                     use execute_flows / execute_flows_cached",
+        });
+    }
+    Ok(())
+}
+
+/// The flow-path mirror of [`reject_flow_kind`]: only
+/// [`RequestKind::Flows`] requests may enter `execute_flows*`, and their
+/// plan is computed here.
+fn flow_plan(request: &ReleaseRequest) -> Result<ReleasePlan, EngineError> {
+    if request.kind != RequestKind::Flows {
+        return Err(EngineError::Flow {
+            detail: "only RequestKind::Flows requests may use the flow execution paths",
+        });
+    }
+    request.plan()
 }
 
 #[cfg(feature = "eval-only")]
@@ -1121,6 +1454,16 @@ fn truth_digest(truth: &Marginal) -> Option<TruthDigest> {
 
 #[cfg(not(feature = "eval-only"))]
 fn truth_digest(_truth: &Marginal) -> Option<TruthDigest> {
+    None
+}
+
+#[cfg(feature = "eval-only")]
+fn flow_truth_digest(truth: &FlowMarginal) -> Option<TruthDigest> {
+    Some(TruthDigest::of_flows(truth))
+}
+
+#[cfg(not(feature = "eval-only"))]
+fn flow_truth_digest(_truth: &FlowMarginal) -> Option<TruthDigest> {
     None
 }
 
@@ -1191,6 +1534,77 @@ fn sample_cells(
             value
         };
         (*key, value)
+    });
+    released.into_iter().collect()
+}
+
+/// Noise one flow cell's three *released* statistics — beginning `B`, job
+/// creation `JC`, job destruction `JD` — sequentially from the cell's one
+/// derived RNG stream (each with its own smooth-sensitivity query:
+/// `x_v` is that statistic's largest single-establishment contribution),
+/// then derive ending employment `E = B + JC − JD` by post-processing, so
+/// the accounting identity holds exactly in every published cell.
+/// Integerization rounds and clamps the three noised statistics before `E`
+/// is derived — never `E` itself, which may legitimately go negative.
+fn sample_flow_cells(
+    truth: &FlowMarginal,
+    plan: &ReleasePlan,
+    seed: u64,
+    integerize: bool,
+    threads: usize,
+) -> BTreeMap<CellKey, FlowRelease> {
+    let cells: Vec<(CellKey, FlowStats)> = truth.iter().map(|(key, stats)| (key, *stats)).collect();
+    let threads = if cells.len() < MIN_PARALLEL_CELLS {
+        1
+    } else {
+        threads
+    };
+    let mechanism = plan
+        .mechanism
+        .build(&plan.per_cell)
+        .expect("plan() validated mechanism parameters");
+    let released = par_map(&cells, threads, |(key, stats)| {
+        let mut rng = StdRng::seed_from_u64(cell_seed(seed, key.0));
+        let finish = |value: f64| {
+            if integerize {
+                value.round().max(0.0)
+            } else {
+                value
+            }
+        };
+        // A zero-count statistic of an active cell still has x_v = 0;
+        // the mechanisms need max(x_v, 1) just like Lemma 8.5's
+        // max(x_v·α, 1) floor.
+        let beginning = finish(mechanism.release(
+            &CellQuery {
+                count: stats.beginning,
+                max_establishment: stats.max_beginning.max(1),
+            },
+            &mut rng,
+        ));
+        let job_creation = finish(mechanism.release(
+            &CellQuery {
+                count: stats.job_creation,
+                max_establishment: stats.max_creation.max(1),
+            },
+            &mut rng,
+        ));
+        let job_destruction = finish(mechanism.release(
+            &CellQuery {
+                count: stats.job_destruction,
+                max_establishment: stats.max_destruction.max(1),
+            },
+            &mut rng,
+        ));
+        (
+            *key,
+            FlowRelease {
+                beginning,
+                job_creation,
+                job_destruction,
+                ending: beginning + job_creation - job_destruction,
+            },
+        )
     });
     released.into_iter().collect()
 }
@@ -1709,5 +2123,195 @@ mod tests {
         let truth = compute_marginal(&d, &workload1());
         assert_eq!(digest, TruthDigest::of(&truth));
         assert_eq!(digest.num_cells, truth.num_cells());
+    }
+
+    fn quarter_pair() -> (Dataset, Dataset) {
+        let panel = lodes::DatasetPanel::generate(
+            &GeneratorConfig::test_small(91),
+            &lodes::PanelConfig {
+                quarters: 2,
+                growth_sigma: 0.1,
+                death_rate: 0.05,
+                seed: 23,
+            },
+        );
+        (panel.quarter(0).clone(), panel.quarter(1).clone())
+    }
+
+    fn flow_request() -> ReleaseRequest {
+        ReleaseRequest::flows(workload1())
+            .mechanism(MechanismKind::SmoothLaplace)
+            .budget(PrivacyParams::approximate(0.1, 6.0, 0.06))
+            .seed(77)
+    }
+
+    #[test]
+    fn flow_release_charges_triple_and_keeps_the_identity() {
+        let (before, after) = quarter_pair();
+        let mut engine = ReleaseEngine::new(PrivacyParams::approximate(0.1, 6.0, 0.06));
+        let artifact = engine
+            .execute_flows(&before, &after, &flow_request())
+            .unwrap();
+        // B, JC, JD are separate sequential charges; E is post-processing.
+        assert_eq!(artifact.cost.multiplier, ReleaseCost::FLOW_STATISTICS);
+        assert!((artifact.cost.per_cell_epsilon - 2.0).abs() < 1e-12);
+        assert!((engine.ledger().remaining_epsilon() - 0.0).abs() < 1e-12);
+        assert_eq!(artifact.regime, NeighborKind::Strong);
+        let truth = tabulate::compute_flows(&before, &after, &workload1());
+        let flows = artifact.flows().expect("flow payload");
+        assert_eq!(flows.len(), truth.num_cells());
+        for release in flows.values() {
+            let derived = release.beginning + release.job_creation - release.job_destruction;
+            assert!((release.ending - derived).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn flow_requests_are_refused_on_single_snapshot_paths() {
+        let (before, after) = quarter_pair();
+        let mut engine = ReleaseEngine::new(PrivacyParams::approximate(0.1, 20.0, 0.2));
+        let request = flow_request();
+        assert!(matches!(
+            engine.execute(&after, &request).unwrap_err(),
+            EngineError::Flow { .. }
+        ));
+        let mut cache = TabulationCache::new();
+        assert!(matches!(
+            engine
+                .execute_cached(&after, &request, &mut cache)
+                .unwrap_err(),
+            EngineError::Flow { .. }
+        ));
+        let outcomes = engine.execute_all(&after, std::slice::from_ref(&request));
+        assert!(matches!(outcomes[0], Err(EngineError::Flow { .. })));
+        // And the mirror: a level request may not enter the flow paths.
+        let level = ReleaseRequest::marginal(workload1())
+            .mechanism(MechanismKind::SmoothGamma)
+            .budget(PrivacyParams::pure(0.1, 2.0));
+        assert!(matches!(
+            engine.execute_flows(&before, &after, &level).unwrap_err(),
+            EngineError::Flow { .. }
+        ));
+        // Nothing above spent budget.
+        assert!(engine.ledger().entries().is_empty());
+    }
+
+    #[test]
+    fn worker_attr_flow_specs_are_rejected_at_planning() {
+        let err = ReleaseRequest::flows(workload3())
+            .mechanism(MechanismKind::SmoothLaplace)
+            .budget(PrivacyParams::approximate(0.1, 6.0, 0.06))
+            .plan()
+            .unwrap_err();
+        assert!(matches!(err, EngineError::Flow { .. }));
+    }
+
+    #[test]
+    fn cached_flow_execution_is_bit_identical_and_counts_hits() {
+        let (before, after) = quarter_pair();
+        let budget = PrivacyParams::approximate(0.1, 12.0, 0.12);
+        let request = flow_request();
+
+        let mut direct_engine = ReleaseEngine::new(budget);
+        let direct = direct_engine
+            .execute_flows(&before, &after, &request)
+            .unwrap();
+
+        let mut engine = ReleaseEngine::new(budget);
+        let mut cache = TabulationCache::new();
+        let first = engine
+            .execute_flows_cached(&before, &after, &request, &mut cache)
+            .unwrap();
+        let second = engine
+            .execute_flows_cached(&before, &after, &request.clone().seed(78), &mut cache)
+            .unwrap();
+        assert_eq!(first, direct);
+        assert_ne!(first.payload, second.payload, "different seeds re-noise");
+        let stats = engine.tabulation_stats();
+        assert_eq!(stats.computed, 1);
+        assert_eq!(stats.hits, 1);
+    }
+
+    #[test]
+    fn precomputed_flow_execution_matches_and_checks_spec() {
+        let (before, after) = quarter_pair();
+        let truth = tabulate::compute_flows(&before, &after, &workload1());
+        let budget = PrivacyParams::approximate(0.1, 6.0, 0.06);
+
+        let mut direct_engine = ReleaseEngine::new(budget);
+        let direct = direct_engine
+            .execute_flows(&before, &after, &flow_request())
+            .unwrap();
+        let mut engine = ReleaseEngine::new(budget);
+        let from_truth = engine
+            .execute_flows_precomputed(&truth, &flow_request())
+            .unwrap();
+        assert_eq!(from_truth, direct);
+
+        let other_spec = MarginalSpec::new(vec![tabulate::WorkplaceAttr::County], vec![]);
+        let err = ReleaseEngine::new(budget)
+            .execute_flows_precomputed(
+                &truth,
+                &ReleaseRequest::flows(other_spec)
+                    .mechanism(MechanismKind::SmoothLaplace)
+                    .budget(budget),
+            )
+            .unwrap_err();
+        assert!(matches!(err, EngineError::SpecMismatch { .. }));
+    }
+
+    #[test]
+    fn filtered_flow_requests_price_weak_and_restrict_both_sides() {
+        let (before, after) = quarter_pair();
+        let expr = FilterExpr::sex(lodes::Sex::Female);
+        let request = ReleaseRequest::flows(workload1())
+            .filter_expr(expr.clone())
+            .mechanism(MechanismKind::SmoothLaplace)
+            .budget(PrivacyParams::approximate(0.1, 6.0, 0.06))
+            .seed(101);
+        assert_eq!(request.regime(), NeighborKind::Weak);
+        let mut engine = ReleaseEngine::new(PrivacyParams::approximate(0.1, 6.0, 0.06));
+        let artifact = engine.execute_flows(&before, &after, &request).unwrap();
+        assert_eq!(artifact.regime, NeighborKind::Weak);
+        // The filtered truth the noise was centred on is the both-sides
+        // restriction computed by the tabulation layer.
+        let b_idx = TabulationIndex::build(&before);
+        let a_idx = TabulationIndex::build(&after);
+        let truth = b_idx.flows_expr_sharded(&a_idx, &workload1(), &expr, 1);
+        assert_eq!(
+            artifact.flows().expect("flow payload").len(),
+            truth.num_cells()
+        );
+    }
+
+    #[test]
+    fn store_backed_flow_cache_serves_disk_hits_across_caches() {
+        let (before, after) = quarter_pair();
+        let dir = std::env::temp_dir().join("eree-engine-unit-flow-disk-hits");
+        let _ = std::fs::remove_dir_all(&dir);
+        let digest = crate::store::dataset_digest(&after);
+        let budget = PrivacyParams::approximate(0.1, 12.0, 0.12);
+        let request = flow_request();
+
+        let open_cache =
+            || TabulationCache::with_store(crate::truths::TruthStore::open(&dir, digest).unwrap());
+        let mut engine = ReleaseEngine::new(budget);
+        let mut cache = open_cache();
+        let first = engine
+            .execute_flows_cached(&before, &after, &request, &mut cache)
+            .unwrap();
+        assert_eq!(engine.tabulation_stats().computed, 1);
+
+        // A sibling cache over the same store reuses the persisted flow
+        // truth: a digest-verified load, zero recomputation.
+        let mut engine2 = ReleaseEngine::new(budget);
+        let mut cache2 = open_cache();
+        let resumed = engine2
+            .execute_flows_cached(&before, &after, &request, &mut cache2)
+            .unwrap();
+        assert_eq!(resumed, first);
+        assert_eq!(engine2.tabulation_stats().computed, 0);
+        assert_eq!(engine2.tabulation_stats().disk_hits, 1);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -65,6 +65,14 @@ pub enum EngineError {
         /// The payload kind the operation needs.
         expected: &'static str,
     },
+    /// A flow request was invalid (e.g. its spec groups by worker
+    /// attributes) or reached a single-snapshot execution path — flow
+    /// statistics tabulate a `(before, after)` dataset pair and must go
+    /// through the `execute_flows*` entry points.
+    Flow {
+        /// What went wrong.
+        detail: &'static str,
+    },
     /// The persistent truth store refused to cooperate: the cache's store
     /// is pinned to a different dataset than the one being tabulated, or
     /// persisting a freshly computed truth failed. The store is never
@@ -107,6 +115,9 @@ impl std::fmt::Display for EngineError {
             }
             EngineError::WrongPayload { expected } => {
                 write!(f, "operation needs a {expected} payload")
+            }
+            EngineError::Flow { detail } => {
+                write!(f, "flow release: {detail}")
             }
             EngineError::TruthStore { detail } => {
                 write!(f, "persistent truth store: {detail}")

@@ -160,13 +160,13 @@ pub use accountant::{
     BudgetAccount, Ledger, LedgerEntry, LedgerError, MetaLedger, ReleaseCost, SeasonReservation,
     LEDGER_REL_TOL,
 };
-pub use agency::{AgencyStore, SeasonSummary};
+pub use agency::{panel_quarter_seed, AgencyStore, SeasonSummary};
 pub use definitions::{
     min_epsilon_smooth_gamma, min_epsilon_smooth_laplace, requirement_matrix, PrivacyMethod,
     PrivacyParams, Requirement, Satisfaction,
 };
 pub use engine::{
-    ArtifactPayload, ReleaseArtifact, ReleaseEngine, ReleaseRequest, RequestKind,
+    ArtifactPayload, FlowRelease, ReleaseArtifact, ReleaseEngine, ReleaseRequest, RequestKind,
     RequestProvenance, TabulationCache, TabulationStats, TruthDigest,
 };
 pub use error::EngineError;
@@ -185,5 +185,8 @@ pub use release::{PrivateRelease, ReleaseConfig, ReleaseError};
 pub use shape::release_shapes;
 pub use shape::{ShapeError, ShapeRelease};
 pub use smooth::{smooth_sensitivity_count, AdmissibilityBudget};
-pub use store::{CompletedRelease, DirLease, SeasonReport, SeasonStore, StoreError};
+pub use store::{
+    dataset_digest, dataset_pair_digest, panel_digest, CompletedRelease, DirLease, SeasonReport,
+    SeasonStore, StoreError,
+};
 pub use truths::TruthStore;

@@ -190,7 +190,9 @@ fn run_single(truth: Marginal, request: ReleaseRequest) -> Result<PrivateRelease
         .name();
     let published = match artifact.payload {
         ArtifactPayload::Cells(cells) => cells,
-        ArtifactPayload::Shapes(_) => unreachable!("marginal request yields a cell payload"),
+        ArtifactPayload::Shapes(_) | ArtifactPayload::Flows(_) => {
+            unreachable!("marginal request yields a cell payload")
+        }
     };
     Ok(PrivateRelease {
         published,

@@ -103,7 +103,9 @@ pub fn release_shapes(
         .map_err(demote)?;
     match artifact.payload {
         ArtifactPayload::Shapes(shapes) => Ok(shapes),
-        ArtifactPayload::Cells(_) => unreachable!("shapes request yields a shapes payload"),
+        ArtifactPayload::Cells(_) | ArtifactPayload::Flows(_) => {
+            unreachable!("shapes request yields a shapes payload")
+        }
     }
 }
 

@@ -738,6 +738,28 @@ impl SeasonStore {
         requests: &[ReleaseRequest],
         cache: &mut TabulationCache,
     ) -> Result<SeasonReport, StoreError> {
+        self.run_panel_cached_with_digest(None, dataset, digest, requests, cache)
+    }
+
+    /// [`run_cached_with_digest`](Self::run_cached_with_digest) for a
+    /// season that publishes one quarter of a panel: `before` supplies the
+    /// previous quarter's snapshot (and its [`dataset_digest`]), which
+    /// [`RequestKind::Flows`](crate::engine::RequestKind) requests
+    /// tabulate against. Level requests see only `dataset` — the season
+    /// stays pinned to its own quarter's digest exactly as before; flow
+    /// truths are content-addressed by the pair digest instead.
+    ///
+    /// A flow request in a plan run without a `before` snapshot (the base
+    /// quarter, or a non-panel season) is refused as
+    /// [`StoreError::Refused`] without recording or charging anything.
+    pub fn run_panel_cached_with_digest(
+        &mut self,
+        before: Option<(&Dataset, u64)>,
+        dataset: &Dataset,
+        digest: u64,
+        requests: &[ReleaseRequest],
+        cache: &mut TabulationCache,
+    ) -> Result<SeasonReport, StoreError> {
         // Re-check a store-backed cache against *this* dataset on every
         // run — and hand the digest over, so the cache never pays for a
         // second full-dataset scan of its own.
@@ -746,6 +768,9 @@ impl SeasonStore {
             .map_err(|e| StoreError::Inconsistent {
                 detail: e.to_string(),
             })?;
+        if let Some((_, before_digest)) = before {
+            cache.set_flow_pair_digest(dataset_pair_digest(before_digest, digest));
+        }
         match self.manifest.dataset_digest {
             Some(bound) if bound != digest => {
                 return Err(StoreError::Inconsistent {
@@ -790,13 +815,24 @@ impl SeasonStore {
         let resumed_from = self.completed.len();
         let mut engine = self.engine();
         for (i, request) in requests.iter().enumerate().skip(resumed_from) {
-            let artifact = engine
-                .execute_cached(dataset, request, cache)
-                .map_err(|e| StoreError::Refused {
-                    index: i,
-                    description: request.description(),
-                    source: e,
-                })?;
+            let outcome = if request.kind() == crate::engine::RequestKind::Flows {
+                match before {
+                    Some((before_dataset, _)) => {
+                        engine.execute_flows_cached(before_dataset, dataset, request, cache)
+                    }
+                    None => Err(crate::error::EngineError::Flow {
+                        detail: "season has no before-quarter snapshot — flow requests \
+                                 need a panel season past its base quarter",
+                    }),
+                }
+            } else {
+                engine.execute_cached(dataset, request, cache)
+            };
+            let artifact = outcome.map_err(|e| StoreError::Refused {
+                index: i,
+                description: request.description(),
+                source: e,
+            })?;
             self.record(engine.ledger(), &artifact)?;
         }
         let stats = engine.tabulation_stats();
@@ -920,6 +956,44 @@ pub fn dataset_digest(dataset: &Dataset) -> u64 {
     }
     for job in dataset.jobs() {
         fold((job.worker.0 as u64) | ((job.workplace.0 as u64) << 32));
+    }
+    hash
+}
+
+/// The content address of an ordered `(before, after)` dataset pair — the
+/// digest that names flow truths and flow release-cache entries, folded
+/// (FNV-1a) from the two snapshots' [`dataset_digest`]s **in order**.
+/// Flows are directional (job creation from `t` to `t+1` is job
+/// destruction in the reverse direction), so swapping the arguments
+/// yields a different address.
+pub fn dataset_pair_digest(before: u64, after: u64) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for word in [before, after] {
+        for byte in word.to_le_bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    hash
+}
+
+/// The content address of a whole quarterly panel: FNV-1a over the
+/// quarter count followed by each quarter's [`dataset_digest`] in order.
+/// A panel-mode agency pins this digest instead of a single dataset's —
+/// its per-quarter seasons each pin their own quarter — so reopening the
+/// agency against a panel with any quarter changed, added, or reordered
+/// is refused.
+pub fn panel_digest(quarter_digests: &[u64]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut fold = |word: u64| {
+        for byte in word.to_le_bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    fold(quarter_digests.len() as u64);
+    for &digest in quarter_digests {
+        fold(digest);
     }
     hash
 }

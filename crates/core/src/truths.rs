@@ -40,7 +40,7 @@
 use crate::store::{read_json, write_json_atomic, StoreError};
 use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
-use tabulate::{FilterExpr, Marginal, MarginalSpec};
+use tabulate::{FilterExpr, FlowMarginal, Marginal, MarginalSpec};
 
 /// Truth-file format version, recorded in every file so a future layout
 /// change invalidates (rather than misreads) old truths.
@@ -57,6 +57,24 @@ struct TruthFile {
     filter: Option<FilterExpr>,
     content_digest: u64,
     marginal: Marginal,
+}
+
+/// The on-disk form of one persisted *flow* truth. Flow truths are
+/// functions of a `(before, after)` snapshot **pair**, so they are
+/// addressed by the pair's digest
+/// ([`dataset_pair_digest`](crate::store::dataset_pair_digest)) rather
+/// than the store handle's single-dataset pin — any handle over a shared
+/// `truths/` directory can serve them, and the pair digest inside the file
+/// is verified on every load.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct FlowTruthFile {
+    format: u32,
+    pair_digest: u64,
+    spec: MarginalSpec,
+    /// The normalized filter expression, `None` for unfiltered truths.
+    filter: Option<FilterExpr>,
+    content_digest: u64,
+    flows: FlowMarginal,
 }
 
 /// A directory of content-addressed truth marginals, pinned to one
@@ -162,6 +180,91 @@ impl TruthStore {
         write_json_atomic(&self.path_for(spec, filter), &file)
     }
 
+    /// The content address of a flow truth: FNV-1a over the canonical
+    /// JSON of `("flows", pair_digest, spec, filter)`. The `"flows"`
+    /// marker keeps flow addresses disjoint from level-marginal addresses
+    /// even in a shared directory; the pair digest replaces the handle's
+    /// single-dataset pin.
+    pub fn flow_key_digest(
+        &self,
+        pair_digest: u64,
+        spec: &MarginalSpec,
+        filter: Option<&FilterExpr>,
+    ) -> u64 {
+        let key = (
+            ("flows", pair_digest),
+            spec.clone(),
+            filter.map(FilterExpr::normalized),
+        );
+        let json = serde_json::to_string(&key).expect("key serialization is infallible");
+        crate::store::fnv1a_bytes(json.as_bytes())
+    }
+
+    fn flow_path_for(
+        &self,
+        pair_digest: u64,
+        spec: &MarginalSpec,
+        filter: Option<&FilterExpr>,
+    ) -> PathBuf {
+        self.dir.join(format!(
+            "{:016x}.json",
+            self.flow_key_digest(pair_digest, spec, filter)
+        ))
+    }
+
+    /// Load the persisted flow truth for `(pair, spec, filter)`, or `None`
+    /// when absent or failing any verification (format, pair digest,
+    /// structural key equality, the flow marginal's own invariants —
+    /// re-checked by its deserializer — and the recorded
+    /// [`content digest`](FlowMarginal::content_digest)). A failed
+    /// verification reads as a miss, so the caller recomputes and repairs.
+    pub fn load_flows(
+        &self,
+        pair_digest: u64,
+        spec: &MarginalSpec,
+        filter: Option<&FilterExpr>,
+    ) -> Option<FlowMarginal> {
+        let path = self.flow_path_for(pair_digest, spec, filter);
+        if !path.exists() {
+            return None;
+        }
+        let file: FlowTruthFile = read_json(&path).ok()?;
+        if file.format != TRUTH_FORMAT_VERSION || file.pair_digest != pair_digest {
+            return None;
+        }
+        if &file.spec != spec || file.flows.spec() != spec {
+            return None;
+        }
+        match (&file.filter, filter) {
+            (None, None) => {}
+            (Some(stored), Some(requested)) if *stored == requested.normalized() => {}
+            _ => return None,
+        }
+        if file.flows.content_digest() != file.content_digest {
+            return None;
+        }
+        Some(file.flows)
+    }
+
+    /// Persist the flow truth for `(pair, spec, filter)` atomically.
+    pub fn save_flows(
+        &self,
+        pair_digest: u64,
+        spec: &MarginalSpec,
+        filter: Option<&FilterExpr>,
+        flows: &FlowMarginal,
+    ) -> Result<(), StoreError> {
+        let file = FlowTruthFile {
+            format: TRUTH_FORMAT_VERSION,
+            pair_digest,
+            spec: spec.clone(),
+            filter: filter.map(FilterExpr::normalized),
+            content_digest: flows.content_digest(),
+            flows: flows.clone(),
+        };
+        write_json_atomic(&self.flow_path_for(pair_digest, spec, filter), &file)
+    }
+
     /// Number of truth files currently in the directory (all datasets).
     pub fn len(&self) -> usize {
         std::fs::read_dir(&self.dir)
@@ -230,6 +333,51 @@ mod tests {
         assert!(store
             .load(&workload1(), Some(&FilterExpr::sex(Sex::Male)))
             .is_none());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn flow_truths_round_trip_and_verify_by_pair_digest() {
+        use crate::store::dataset_pair_digest;
+        use lodes::{DatasetPanel, PanelConfig};
+        use tabulate::compute_flows;
+
+        let dir = tmp_dir("flows");
+        let panel = DatasetPanel::generate(
+            &GeneratorConfig::test_small(14),
+            &PanelConfig {
+                quarters: 2,
+                growth_sigma: 0.1,
+                death_rate: 0.02,
+                seed: 3,
+            },
+        );
+        let (q0, q1) = (panel.quarter(0), panel.quarter(1));
+        let pair = dataset_pair_digest(dataset_digest(q0), dataset_digest(q1));
+        let store = TruthStore::open(&dir, dataset_digest(q1)).unwrap();
+
+        let spec = workload1();
+        let flows = compute_flows(q0, q1, &spec);
+        store.save_flows(pair, &spec, None, &flows).unwrap();
+        assert_eq!(store.load_flows(pair, &spec, None).unwrap(), flows);
+        // The wrong pair digest is a miss, even via the same handle.
+        assert!(store.load_flows(pair ^ 1, &spec, None).is_none());
+        // Flow and level addresses never collide: the level slot for the
+        // same spec is still empty.
+        assert!(store.load(&spec, None).is_none());
+        // Tampering the recorded digest reads as a miss and self-heals.
+        let path = store.flow_path_for(pair, &spec, None);
+        let json = fs::read_to_string(&path).unwrap();
+        let tampered = json.replacen(
+            &format!("\"content_digest\": {}", flows.content_digest()),
+            &format!("\"content_digest\": {}", flows.content_digest() ^ 1),
+            1,
+        );
+        assert_ne!(tampered, json);
+        fs::write(&path, &tampered).unwrap();
+        assert!(store.load_flows(pair, &spec, None).is_none());
+        store.save_flows(pair, &spec, None, &flows).unwrap();
+        assert_eq!(store.load_flows(pair, &spec, None).unwrap(), flows);
         fs::remove_dir_all(&dir).unwrap();
     }
 

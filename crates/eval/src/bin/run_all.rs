@@ -3,7 +3,7 @@
 //! Usage: `cargo run -p eval --release --bin run_all`
 //! (set `EREE_SCALE=small` for a fast smoke regeneration).
 
-use eval::experiments::{figure1, figure2, figure3, figure4, figure5, table1, table2};
+use eval::experiments::{figure1, figure2, figure3, figure4, figure5, flows, table1, table2};
 use eval::report::{pivot_markdown, results_dir, to_csv, write_results, Point};
 use eval::runner::{EvalScale, ExperimentContext, TrialSpec};
 use std::fmt::Write as _;
@@ -123,6 +123,27 @@ fn main() {
     );
     write_results(&dir, "figure5", &md, &to_csv("spearman", &points), &rows).unwrap();
     eprintln!("run_all: figure5 done ({:.1?})", t.elapsed());
+
+    // QWI flows: engine-released B/JC/JD over a two-quarter panel.
+    let t = Instant::now();
+    let rows = flows::run(&ctx, &trials);
+    let points: Vec<Point> = rows
+        .iter()
+        .map(|r| Point {
+            series: r.series.clone(),
+            alpha: r.alpha,
+            epsilon: r.epsilon,
+            stratum: r.statistic.clone(),
+            value: r.rel_l1,
+        })
+        .collect();
+    let md = pivot_markdown(
+        "QWI flows: B/JC/JD relative L1 error (engine flow releases)",
+        "rel L1",
+        &points,
+    );
+    write_results(&dir, "flows", &md, &to_csv("rel_l1", &points), &rows).unwrap();
+    eprintln!("run_all: flows done ({:.1?})", t.elapsed());
 
     // Tables.
     let rows = table1::run();

@@ -9,20 +9,22 @@
 //! | [`figure5`] | Fig. 5 | Ranking 2 Spearman correlation |
 //! | [`table1`]  | Table 1 | Requirement-satisfaction matrix |
 //! | [`table2`]  | Table 2 | Minimum ε given (α, δ) |
+//! | [`flows`]   | QWI flows | B/JC/JD relative L1 over a quarter pair |
 
 pub mod figure1;
 pub mod figure2;
 pub mod figure3;
 pub mod figure4;
 pub mod figure5;
+pub mod flows;
 pub mod table1;
 pub mod table2;
 
-use eree_core::engine::{ArtifactPayload, ReleaseEngine, ReleaseRequest};
+use eree_core::engine::{ArtifactPayload, FlowRelease, ReleaseEngine, ReleaseRequest};
 use eree_core::{Ledger, MechanismKind, PrivacyParams};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
-use tabulate::{CellKey, Marginal};
+use tabulate::{CellKey, FlowMarginal, Marginal};
 
 /// A mechanism series in a figure: the three ER-EE mechanisms, or a
 /// Truncated Laplace baseline at a given θ.
@@ -76,7 +78,41 @@ pub fn release_cells(
         .expect("exact ledger covers the request");
     match artifact.payload {
         ArtifactPayload::Cells(cells) => Some(cells),
-        ArtifactPayload::Shapes(_) => unreachable!("marginal request yields cells"),
+        ArtifactPayload::Shapes(_) | ArtifactPayload::Flows(_) => {
+            unreachable!("marginal request yields cells")
+        }
+    }
+}
+
+/// Release every cell of a precomputed `truth` flow marginal with the
+/// mechanism `kind` at *per-cell* parameters `params` — the flow
+/// counterpart of [`release_cells`], pricing B + JC + JD per cell on a
+/// ledger holding exactly the request's induced cost. Returns `None` when
+/// the mechanism's validity constraint rejects the parameters.
+pub fn release_flow_cells(
+    truth: &FlowMarginal,
+    kind: MechanismKind,
+    params: &PrivacyParams,
+    seed: u64,
+) -> Option<BTreeMap<CellKey, FlowRelease>> {
+    let request = ReleaseRequest::flows(truth.spec().clone())
+        .mechanism(kind)
+        .budget_per_cell(*params)
+        .seed(seed);
+    let plan = request.plan().ok()?;
+    let mut engine = ReleaseEngine::with_ledger(Ledger::new(PrivacyParams {
+        alpha: params.alpha,
+        epsilon: plan.cost.epsilon,
+        delta: plan.cost.delta,
+    }));
+    let artifact = engine
+        .execute_flows_precomputed(truth, &request)
+        .expect("exact ledger covers the request");
+    match artifact.payload {
+        ArtifactPayload::Flows(cells) => Some(cells),
+        ArtifactPayload::Cells(_) | ArtifactPayload::Shapes(_) => {
+            unreachable!("flow request yields flows")
+        }
     }
 }
 

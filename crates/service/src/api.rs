@@ -17,12 +17,31 @@ use tabulate::{FilterExpr, MarginalSpec};
 
 /// `POST /seasons` request body: create a season, reserving its whole
 /// budget from the agency cap before it exists.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize)]
 pub struct SeasonCreate {
     /// Season name (1–64 ASCII alphanumerics, `-`, `_`, `.`).
     pub name: String,
     /// The season's whole `(α, ε[, δ])` budget.
     pub budget: PrivacyParams,
+    /// Quarterly-panel services only: which quarter of the panel this
+    /// season releases (required there, refused on single-snapshot
+    /// services).
+    pub quarter: Option<u64>,
+}
+
+impl Deserialize for SeasonCreate {
+    /// Hand-written so `quarter` stays optional on the wire: the
+    /// single-snapshot body `{name, budget}` keeps deserializing.
+    fn from_value(v: &serde::Value) -> Result<Self, DeError> {
+        Ok(Self {
+            name: Deserialize::from_value(serde::get_field(v, "name")?)?,
+            budget: Deserialize::from_value(serde::get_field(v, "budget")?)?,
+            quarter: match v.get("quarter") {
+                None | Some(serde::Value::Null) => None,
+                Some(value) => Some(u64::from_value(value)?),
+            },
+        })
+    }
 }
 
 /// `POST /seasons` response body.
@@ -45,7 +64,10 @@ pub struct SeasonCreated {
 /// `description` to absent, `seed` to `0`.
 #[derive(Debug, Clone, Serialize)]
 pub struct ReleaseSubmission {
-    /// Marginal or shapes release.
+    /// Marginal, shapes, or flows release. Flow submissions are only
+    /// accepted by quarterly-panel services, on seasons bound to a
+    /// quarter with a predecessor: they tabulate the `(q-1, q)` dataset
+    /// pair.
     pub kind: RequestKind,
     /// The marginal spec to tabulate.
     pub spec: MarginalSpec,
@@ -97,6 +119,7 @@ impl ReleaseSubmission {
         let mut request = match self.kind {
             RequestKind::Marginal => ReleaseRequest::marginal(self.spec.clone()),
             RequestKind::Shapes => ReleaseRequest::shapes(self.spec.clone()),
+            RequestKind::Flows => ReleaseRequest::flows(self.spec.clone()),
         }
         .mechanism(self.mechanism)
         .integerize(self.integerize)

@@ -63,6 +63,8 @@ impl Client {
     }
 
     /// `POST /seasons`: create `name` with `budget` reserved up front.
+    /// Single-snapshot services only; panel services refuse unbound
+    /// seasons (use [`create_panel_season`](Self::create_panel_season)).
     pub fn create_season(
         &self,
         name: &str,
@@ -73,6 +75,25 @@ impl Client {
             &SeasonCreate {
                 name: name.to_string(),
                 budget,
+                quarter: None,
+            },
+        )
+    }
+
+    /// `POST /seasons` against a quarterly-panel service: create `name`
+    /// with `budget`, bound to `quarter` of the served panel.
+    pub fn create_panel_season(
+        &self,
+        name: &str,
+        budget: PrivacyParams,
+        quarter: u64,
+    ) -> Result<SeasonCreated, ClientError> {
+        self.post(
+            "/seasons",
+            &SeasonCreate {
+                name: name.to_string(),
+                budget,
+                quarter: Some(quarter),
             },
         )
     }

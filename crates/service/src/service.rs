@@ -20,24 +20,41 @@
 //! # Concurrency model
 //!
 //! Every season gets exactly one **worker thread** owning its
-//! [`SeasonStore`] — and with it the season's on-disk write lease — for
-//! the lifetime of the service. Submissions to one season serialize
-//! through its worker's queue (season ledgers are strictly ordered
-//! objects; there is no correct concurrent charge), while different
-//! seasons run fully in parallel. All workers share one
-//! [`TabulationIndex`] of the dataset (built once at startup) and the
-//! agency's persistent truth store, so concurrent tenants never duplicate
-//! tabulation work. Every admission decision is durable before it is
-//! acknowledged: a completed release is an artifact + ledger snapshot on
-//! disk, and killing the service loses nothing but the in-memory
-//! release-id registry.
+//! [`SeasonStore`] — and with it the season's on-disk write lease — until
+//! service shutdown or (with [`ServiceConfig::idle_timeout`] set) until
+//! the season has gone idle, at which point the worker retires and
+//! releases the lease; the next submission respawns it. Submissions to
+//! one season serialize through its worker's queue (season ledgers are
+//! strictly ordered objects; there is no correct concurrent charge),
+//! while different seasons run fully in parallel. Workers for the same
+//! quarter share one [`TabulationIndex`] (built lazily per quarter) and
+//! the agency's persistent truth store, so concurrent tenants never
+//! duplicate tabulation work. Every admission decision is durable before
+//! it is acknowledged: a completed release is an artifact + ledger
+//! snapshot on disk, and the release-id registry itself is persisted to
+//! `releases.json`, so `GET /releases/{id}` survives a restart (completed
+//! artifacts rehydrate from the public cache; releases that were still
+//! queued report as failed).
+//!
+//! # Quarterly-panel mode
+//!
+//! [`ReleaseService::start_panel`] serves a whole [`DatasetPanel`]: each
+//! season binds one quarter at creation (`SeasonCreate::quarter`,
+//! persisted to `panel_quarters.json`), submissions have their seed
+//! rewritten by the consistent-over-time rule
+//! ([`panel_quarter_seed`]) before anything — including the cache key —
+//! is computed, and `Flows` submissions tabulate the season's
+//! `(q-1, q)` dataset pair (refused on quarter 0 and on single-snapshot
+//! services). Level releases are keyed by their quarter's dataset
+//! digest, flow releases by the pair digest, so the one public cache
+//! serves every quarter without aliasing.
 //!
 //! # The public/confidential boundary
 //!
 //! The public artifact cache is checked **before** a submission is
-//! resolved to a season: a repeat identical request is answered from
-//! released bits alone — zero ε, zero tabulation, no season, no lease,
-//! no confidential data. Everything else crosses into the confidential
+//! resolved to a worker: a repeat identical request is answered from
+//! released bits alone — zero ε, zero tabulation, no lease, no
+//! confidential data. Everything else crosses into the confidential
 //! side only through a season worker, whose every charge lands in the
 //! season ledger and, transitively, under the agency cap.
 
@@ -45,21 +62,34 @@ use crate::api::{
     AuditView, ReleaseStatusView, ReleaseSubmission, SeasonCreate, SeasonCreated, SubmitReceipt,
 };
 use crate::http::{Handler, HttpServer, Request, Response};
-use eree_core::agency::{AgencyStore, SeasonSummary};
+use eree_core::agency::{panel_quarter_seed, AgencyStore, SeasonSummary};
 use eree_core::definitions::PrivacyParams;
-use eree_core::engine::{ReleaseArtifact, ReleaseRequest, TabulationCache, TabulationStats};
+use eree_core::engine::{
+    ReleaseArtifact, ReleaseRequest, RequestKind, TabulationCache, TabulationStats,
+};
 use eree_core::public_cache::{ReleaseCache, ReleaseKey};
-use eree_core::store::{dataset_digest, SeasonStore, StoreError};
+use eree_core::store::{
+    dataset_digest, dataset_pair_digest, panel_digest, SeasonStore, StoreError,
+};
 use eree_core::truths::TruthStore;
-use lodes::Dataset;
-use serde::Deserialize;
+use lodes::{Dataset, DatasetPanel};
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::net::SocketAddr;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex, OnceLock};
 use std::thread::JoinHandle;
+use std::time::Duration;
 use tabulate::{FilterExpr, TabulationIndex};
+
+/// Format version of the service's own persisted files (`releases.json`,
+/// `panel_quarters.json`).
+const SERVICE_FORMAT_VERSION: u32 = 1;
+/// Persistent release-id registry file under the service root.
+const REGISTRY_FILE: &str = "releases.json";
+/// Persistent season → panel-quarter bindings under the service root.
+const QUARTERS_FILE: &str = "panel_quarters.json";
 
 /// Service startup configuration.
 #[derive(Debug, Clone)]
@@ -71,15 +101,22 @@ pub struct ServiceConfig {
     /// The agency's global `(α, ε[, δ])` cap — must match an existing
     /// agency directory's cap when reopening one.
     pub cap: PrivacyParams,
+    /// Retire a season's worker thread — releasing the season's on-disk
+    /// write lease — after this long without a submission. `None` keeps
+    /// every worker alive until shutdown. A retired season respawns
+    /// transparently on its next submission.
+    pub idle_timeout: Option<Duration>,
 }
 
 impl ServiceConfig {
-    /// Loopback on an ephemeral port, four HTTP threads, cap `cap`.
+    /// Loopback on an ephemeral port, four HTTP threads, cap `cap`, no
+    /// idle-season timeout.
     pub fn new(cap: PrivacyParams) -> Self {
         Self {
             addr: "127.0.0.1:0".to_string(),
             http_threads: 4,
             cap,
+            idle_timeout: None,
         }
     }
 }
@@ -130,7 +167,42 @@ enum ReleaseState {
 
 struct ReleaseRecord {
     season: String,
+    /// The release's full public identity, known at admission (every
+    /// service release is declarative). Used to rehydrate completed
+    /// artifacts from the public cache after a restart.
+    key: Option<ReleaseKey>,
     state: ReleaseState,
+}
+
+/// One record of the persisted registry (`releases.json`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct PersistedRecord {
+    season: String,
+    status: String,
+    cached: bool,
+    error: Option<String>,
+    key: Option<ReleaseKey>,
+}
+
+/// The persisted registry file.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct RegistryFile {
+    format: u32,
+    records: Vec<PersistedRecord>,
+}
+
+/// One season → quarter binding of a panel service.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct QuarterBinding {
+    season: String,
+    quarter: u64,
+}
+
+/// The persisted season → quarter bindings (`panel_quarters.json`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct QuartersFile {
+    format: u32,
+    bindings: Vec<QuarterBinding>,
 }
 
 /// A season's live audit view, maintained by its worker.
@@ -150,21 +222,46 @@ struct SeasonWorker {
     view: Arc<Mutex<SeasonView>>,
 }
 
+/// One quarter of the served data: the snapshot, its digest, a lazily
+/// built shared tabulation index, and a truth-store handle pinned to the
+/// quarter. A single-snapshot service is the one-quarter special case.
+struct Quarter {
+    dataset: Arc<Dataset>,
+    digest: u64,
+    index: OnceLock<Arc<TabulationIndex>>,
+    truths: TruthStore,
+}
+
+impl Quarter {
+    fn index(&self) -> Arc<TabulationIndex> {
+        self.index
+            .get_or_init(|| Arc::new(TabulationIndex::build(&self.dataset)))
+            .clone()
+    }
+}
+
 /// State shared by the HTTP pool and every season worker.
 ///
 /// Lock order (where multiple are held): `agency` → `workers` →
-/// `registry` → a season `view`. Workers only ever take `registry` and
+/// `retired` → `registry` → a season `view`; `quarter_map` is only ever
+/// held alone or directly under `agency`. Workers take `workers` only to
+/// retire themselves (then `retired`), and otherwise only `registry` and
 /// their own `view`, so they can never deadlock against the HTTP side.
 struct Shared {
-    dataset: Arc<Dataset>,
-    digest: u64,
-    index: Arc<TabulationIndex>,
-    truths: TruthStore,
+    quarters: Vec<Quarter>,
+    panel: bool,
+    quarter_map: Mutex<BTreeMap<String, usize>>,
+    quarters_path: PathBuf,
+    registry_path: PathBuf,
     cache: ReleaseCache,
     agency: Mutex<AgencyStore>,
     workers: Mutex<BTreeMap<String, SeasonWorker>>,
+    /// Final audit summaries of seasons whose idle workers retired, so
+    /// the audit view stays exact between retirement and respawn.
+    retired: Mutex<BTreeMap<String, SeasonSummary>>,
     registry: Mutex<Vec<ReleaseRecord>>,
     cache_hits: AtomicU64,
+    idle_timeout: Option<Duration>,
 }
 
 /// The running multi-tenant release service. See the [module docs](self).
@@ -175,30 +272,81 @@ pub struct ReleaseService {
 
 impl ReleaseService {
     /// Open (or create) the agency under `root` with `config.cap`, pin it
-    /// to `dataset`, build the shared tabulation index, and start
-    /// serving. The bound address (with the real port) is
-    /// [`addr`](Self::addr).
+    /// to `dataset`, and start serving. The bound address (with the real
+    /// port) is [`addr`](Self::addr).
     pub fn start(
         root: impl AsRef<Path>,
         dataset: Dataset,
         config: ServiceConfig,
     ) -> Result<Self, ServiceError> {
-        let mut agency = AgencyStore::open_or_create(root.as_ref(), config.cap)?;
+        let root = root.as_ref();
+        let mut agency = AgencyStore::open_or_create(root, config.cap)?;
         let digest = dataset_digest(&dataset);
         agency.bind_dataset(digest)?;
-        let cache = agency.release_cache()?;
-        let truths = agency.truth_store()?.expect("dataset bound just above");
-        let index = Arc::new(TabulationIndex::build(&dataset));
-        let shared = Arc::new(Shared {
+        let quarters = vec![Quarter {
             dataset: Arc::new(dataset),
             digest,
-            index,
-            truths,
+            index: OnceLock::new(),
+            truths: agency.truth_store_pinned(digest)?,
+        }];
+        Self::serve(root, agency, quarters, false, config)
+    }
+
+    /// Open (or create) a **quarterly-panel** agency under `root` and
+    /// serve every quarter of `panel`: seasons bind a quarter at
+    /// creation, level releases draw on their quarter's snapshot, and
+    /// flow releases tabulate the season's `(q-1, q)` pair — all from
+    /// one `MetaLedger` cap. See the [module docs](self).
+    pub fn start_panel(
+        root: impl AsRef<Path>,
+        panel: DatasetPanel,
+        config: ServiceConfig,
+    ) -> Result<Self, ServiceError> {
+        let root = root.as_ref();
+        let mut agency = AgencyStore::open_or_create_panel(root, config.cap)?;
+        let digests: Vec<u64> = panel.snapshots().iter().map(dataset_digest).collect();
+        agency.bind_dataset(panel_digest(&digests))?;
+        let mut quarters = Vec::with_capacity(panel.quarters());
+        for (snapshot, &digest) in panel.snapshots().iter().zip(&digests) {
+            quarters.push(Quarter {
+                dataset: Arc::new(snapshot.clone()),
+                digest,
+                index: OnceLock::new(),
+                truths: agency.truth_store_pinned(digest)?,
+            });
+        }
+        Self::serve(root, agency, quarters, true, config)
+    }
+
+    fn serve(
+        root: &Path,
+        agency: AgencyStore,
+        quarters: Vec<Quarter>,
+        panel: bool,
+        config: ServiceConfig,
+    ) -> Result<Self, ServiceError> {
+        let cache = agency.release_cache()?;
+        let quarters_path = root.join(QUARTERS_FILE);
+        let quarter_map = if panel {
+            load_quarter_map(&quarters_path, quarters.len())?
+        } else {
+            BTreeMap::new()
+        };
+        let registry_path = root.join(REGISTRY_FILE);
+        let registry = load_registry(&registry_path, &cache);
+        let shared = Arc::new(Shared {
+            quarters,
+            panel,
+            quarter_map: Mutex::new(quarter_map),
+            quarters_path,
+            registry_path,
             cache,
             agency: Mutex::new(agency),
             workers: Mutex::new(BTreeMap::new()),
-            registry: Mutex::new(Vec::new()),
+            retired: Mutex::new(BTreeMap::new()),
+            registry: Mutex::new(registry),
             cache_hits: AtomicU64::new(0),
+            idle_timeout: config.idle_timeout,
         });
         let handler: Handler = {
             let shared = Arc::clone(&shared);
@@ -220,6 +368,16 @@ impl ReleaseService {
             .lock()
             .expect("agency lock poisoned")
             .remaining_epsilon()
+    }
+
+    /// How many season workers are currently live (not retired). Exposed
+    /// for tests of the idle-retirement path.
+    pub fn live_workers(&self) -> usize {
+        self.shared
+            .workers
+            .lock()
+            .expect("workers lock poisoned")
+            .len()
     }
 
     /// Stop accepting requests, drain every season's queue, persist
@@ -282,12 +440,44 @@ fn create_season(shared: &Arc<Shared>, body: &str) -> Response {
         Ok(v) => v,
         Err(resp) => return resp,
     };
+    // Panel services bind every season to a quarter at creation; the
+    // binding is part of the season's identity and persists.
+    let quarter = match (shared.panel, create.quarter) {
+        (true, None) => {
+            return Response::error(
+                400,
+                "panel services require `quarter`: which quarter this season releases",
+            )
+        }
+        (true, Some(q)) if (q as usize) >= shared.quarters.len() => {
+            return Response::error(
+                400,
+                &format!(
+                    "quarter {q} out of range: the panel has {} quarters",
+                    shared.quarters.len()
+                ),
+            )
+        }
+        (true, Some(q)) => Some(q as usize),
+        (false, Some(_)) => {
+            return Response::error(
+                400,
+                "this service serves a single snapshot: seasons take no `quarter`",
+            )
+        }
+        (false, None) => None,
+    };
     let mut agency = shared.agency.lock().expect("agency lock poisoned");
     match agency.create_season(&create.name, create.budget) {
         // Drop the returned store immediately: its write lease must be
         // free for the season's worker to claim on first submission.
         Ok(store) => {
             drop(store);
+            if let Some(q) = quarter {
+                let mut map = shared.quarter_map.lock().expect("quarter map poisoned");
+                map.insert(create.name.clone(), q);
+                persist_quarter_map(shared, &map);
+            }
             json_ok(
                 200,
                 &SeasonCreated {
@@ -319,17 +509,55 @@ fn submit_release(shared: &Arc<Shared>, name: &str, body: &str) -> Response {
     if !budget_valid {
         return Response::error(400, "budget parameters must be finite and positive");
     }
-    let request = submission.to_request();
+    let is_flows = submission.kind == RequestKind::Flows;
+    // Resolve the quarter (panel mode), the effective seed, and the
+    // digest that keys the release: the quarter's for levels, the
+    // `(q-1, q)` pair's for flows. The consistent-over-time seed rewrite
+    // happens HERE, before the cache key — so level-vs-change coherence
+    // and cacheability agree for every path into the pipeline.
+    let (quarter, seed, key_digest) = if shared.panel {
+        let bound = {
+            let map = shared.quarter_map.lock().expect("quarter map poisoned");
+            map.get(name).copied()
+        };
+        let Some(q) = bound else {
+            return Response::error(
+                404,
+                &format!("no season named `{name}` bound to a panel quarter"),
+            );
+        };
+        if is_flows && q == 0 {
+            return Response::error(
+                400,
+                "flow releases need a before-quarter: the panel's base quarter has none",
+            );
+        }
+        let digest = if is_flows {
+            dataset_pair_digest(shared.quarters[q - 1].digest, shared.quarters[q].digest)
+        } else {
+            shared.quarters[q].digest
+        };
+        (q, panel_quarter_seed(submission.seed, q), digest)
+    } else {
+        if is_flows {
+            return Response::error(
+                400,
+                "flow releases need a quarterly panel: this service serves a single snapshot",
+            );
+        }
+        (0, submission.seed, shared.quarters[0].digest)
+    };
+    let request = submission.to_request().seed(seed);
     // Validate the rest up front: an unpriceable request 400s here and
     // never reaches a queue (or the ledger).
     if let Err(e) = request.plan() {
         return Response::error(400, &format!("invalid release request: {e}"));
     }
     // The release's full public identity — checked against the cache
-    // BEFORE any season is resolved. A hit is answered from released
+    // BEFORE any worker is resolved. A hit is answered from released
     // bits alone: zero ε, zero tabulation, nothing confidential touched.
     let key = ReleaseKey {
-        dataset_digest: shared.digest,
+        dataset_digest: key_digest,
         kind: submission.kind,
         spec: submission.spec.clone(),
         mechanism: submission.mechanism,
@@ -337,21 +565,21 @@ fn submit_release(shared: &Arc<Shared>, name: &str, body: &str) -> Response {
         budget_is_per_cell: submission.budget_is_per_cell,
         filter: submission.filter.as_ref().map(FilterExpr::normalized),
         integerized: submission.integerize,
-        seed: submission.seed,
+        seed,
     };
     if let Some(artifact) = shared.cache.load(&key) {
         shared.cache_hits.fetch_add(1, Ordering::Relaxed);
-        let id = {
-            let mut registry = shared.registry.lock().expect("registry lock poisoned");
-            registry.push(ReleaseRecord {
+        let id = push_record(
+            shared,
+            ReleaseRecord {
                 season: String::new(),
+                key: Some(key),
                 state: ReleaseState::Complete {
                     artifact: Arc::new(artifact),
                     cached: true,
                 },
-            });
-            (registry.len() - 1) as u64
-        };
+            },
+        );
         return json_ok(
             200,
             &SubmitReceipt {
@@ -369,7 +597,7 @@ fn submit_release(shared: &Arc<Shared>, name: &str, body: &str) -> Response {
     }
     let mut workers = shared.workers.lock().expect("workers lock poisoned");
     if !workers.contains_key(name) {
-        match spawn_worker(shared, &agency, name) {
+        match spawn_worker(shared, &agency, name, quarter) {
             Ok(worker) => {
                 workers.insert(name.to_string(), worker);
             }
@@ -377,14 +605,14 @@ fn submit_release(shared: &Arc<Shared>, name: &str, body: &str) -> Response {
         }
     }
     let worker = workers.get(name).expect("inserted just above");
-    let id = {
-        let mut registry = shared.registry.lock().expect("registry lock poisoned");
-        registry.push(ReleaseRecord {
+    let id = push_record(
+        shared,
+        ReleaseRecord {
             season: name.to_string(),
+            key: Some(key),
             state: ReleaseState::Queued,
-        });
-        (registry.len() - 1) as u64
-    };
+        },
+    );
     if worker.tx.send(Job::Release { id, request }).is_err() {
         set_state(
             shared,
@@ -445,6 +673,7 @@ fn release_status(shared: &Arc<Shared>, id: &str) -> Response {
 fn audit(shared: &Arc<Shared>) -> Response {
     let agency = shared.agency.lock().expect("agency lock poisoned");
     let workers = shared.workers.lock().expect("workers lock poisoned");
+    let retired = shared.retired.lock().expect("retired views poisoned");
     let mut seasons = Vec::new();
     let mut stats = TabulationStats::default();
     for reservation in agency.meta_ledger().reservations() {
@@ -458,21 +687,25 @@ fn audit(shared: &Arc<Shared>) -> Response {
                 stats.hits += view.stats.hits;
                 stats.disk_hits += view.stats.disk_hits;
             }
-            None => seasons.push(
-                agency
-                    .seasons()
-                    .iter()
-                    .find(|s| s.name == reservation.name)
-                    .cloned()
-                    .unwrap_or(SeasonSummary {
-                        name: reservation.name.clone(),
-                        budget: reservation.budget,
-                        spent_epsilon: 0.0,
-                        spent_delta: 0.0,
-                        completed: 0,
-                        materialized: false,
-                    }),
-            ),
+            // A retired worker left its final summary behind.
+            None => match retired.get(&reservation.name) {
+                Some(summary) => seasons.push(summary.clone()),
+                None => seasons.push(
+                    agency
+                        .seasons()
+                        .iter()
+                        .find(|s| s.name == reservation.name)
+                        .cloned()
+                        .unwrap_or(SeasonSummary {
+                            name: reservation.name.clone(),
+                            budget: reservation.budget,
+                            spent_epsilon: 0.0,
+                            spent_delta: 0.0,
+                            completed: 0,
+                            materialized: false,
+                        }),
+                ),
+            },
         }
     }
     let releases = shared
@@ -494,11 +727,150 @@ fn audit(shared: &Arc<Shared>) -> Response {
     json_ok(200, &view)
 }
 
+/// Append a record to the registry and persist it. Returns the new id.
+fn push_record(shared: &Shared, record: ReleaseRecord) -> u64 {
+    let mut registry = shared.registry.lock().expect("registry lock poisoned");
+    registry.push(record);
+    persist_registry(shared, &registry);
+    (registry.len() - 1) as u64
+}
+
 fn set_state(shared: &Shared, id: u64, state: ReleaseState) {
     let mut registry = shared.registry.lock().expect("registry lock poisoned");
     if let Some(record) = registry.get_mut(id as usize) {
         record.state = state;
+        persist_registry(shared, &registry);
     }
+}
+
+/// Rewrite the persistent registry under the registry lock. Best-effort:
+/// a failed write loses only restart visibility, never a release (every
+/// admission is already durable in the season store and public cache).
+fn persist_registry(shared: &Shared, registry: &[ReleaseRecord]) {
+    let file = RegistryFile {
+        format: SERVICE_FORMAT_VERSION,
+        records: registry
+            .iter()
+            .map(|r| PersistedRecord {
+                season: r.season.clone(),
+                status: match &r.state {
+                    ReleaseState::Queued => "queued",
+                    ReleaseState::Complete { .. } => "complete",
+                    ReleaseState::Failed { .. } => "failed",
+                }
+                .to_string(),
+                cached: matches!(&r.state, ReleaseState::Complete { cached: true, .. }),
+                error: match &r.state {
+                    ReleaseState::Failed { error } => Some(error.clone()),
+                    _ => None,
+                },
+                key: r.key.clone(),
+            })
+            .collect(),
+    };
+    let _ = write_json_file(&shared.registry_path, &file);
+}
+
+/// Rehydrate the release-id registry from `releases.json`: completed
+/// releases reload their artifacts from the public cache (every service
+/// release is declarative, so the key always exists); releases that were
+/// still queued at the crash report as failed — their queue was memory.
+fn load_registry(path: &Path, cache: &ReleaseCache) -> Vec<ReleaseRecord> {
+    let Ok(json) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let Ok(file) = serde_json::from_str::<RegistryFile>(&json) else {
+        return Vec::new();
+    };
+    if file.format != SERVICE_FORMAT_VERSION {
+        return Vec::new();
+    }
+    file.records
+        .into_iter()
+        .map(|r| {
+            let state = match r.status.as_str() {
+                "complete" => match r.key.as_ref().and_then(|k| cache.load(k)) {
+                    Some(artifact) => ReleaseState::Complete {
+                        artifact: Arc::new(artifact),
+                        cached: r.cached,
+                    },
+                    None => ReleaseState::Failed {
+                        error: "released artifact is no longer in the public cache".to_string(),
+                    },
+                },
+                "failed" => ReleaseState::Failed {
+                    error: r.error.unwrap_or_else(|| "unrecorded failure".to_string()),
+                },
+                _ => ReleaseState::Failed {
+                    error: "the service restarted before this queued release ran".to_string(),
+                },
+            };
+            ReleaseRecord {
+                season: r.season,
+                key: r.key,
+                state,
+            }
+        })
+        .collect()
+}
+
+/// Persist the season → quarter bindings under the quarter-map lock.
+fn persist_quarter_map(shared: &Shared, map: &BTreeMap<String, usize>) {
+    let file = QuartersFile {
+        format: SERVICE_FORMAT_VERSION,
+        bindings: map
+            .iter()
+            .map(|(season, &quarter)| QuarterBinding {
+                season: season.clone(),
+                quarter: quarter as u64,
+            })
+            .collect(),
+    };
+    let _ = write_json_file(&shared.quarters_path, &file);
+}
+
+/// Load the season → quarter bindings, refusing out-of-range quarters
+/// (the panel shrank, or the file belongs to a different panel).
+fn load_quarter_map(path: &Path, quarters: usize) -> Result<BTreeMap<String, usize>, ServiceError> {
+    let json = match std::fs::read_to_string(path) {
+        Ok(json) => json,
+        Err(_) => return Ok(BTreeMap::new()),
+    };
+    let file: QuartersFile = serde_json::from_str(&json).map_err(|e| {
+        ServiceError::Store(StoreError::Inconsistent {
+            detail: format!(
+                "unreadable panel season bindings at {}: {e}",
+                path.display()
+            ),
+        })
+    })?;
+    if file.format != SERVICE_FORMAT_VERSION {
+        return Err(ServiceError::Store(StoreError::Inconsistent {
+            detail: format!("panel season bindings have format {}", file.format),
+        }));
+    }
+    let mut map = BTreeMap::new();
+    for binding in file.bindings {
+        if binding.quarter as usize >= quarters {
+            return Err(ServiceError::Store(StoreError::Inconsistent {
+                detail: format!(
+                    "season `{}` is bound to quarter {} but the panel has {} quarters",
+                    binding.season, binding.quarter, quarters
+                ),
+            }));
+        }
+        map.insert(binding.season, binding.quarter as usize);
+    }
+    Ok(map)
+}
+
+/// Atomic-enough JSON persistence for the service's own files: write to a
+/// temp sibling, then rename over the target.
+fn write_json_file<T: serde::Serialize>(path: &Path, value: &T) -> std::io::Result<()> {
+    let json = serde_json::to_string(value).expect("service state serialization is infallible");
+    let tmp = path.with_extension("json.tmp");
+    std::fs::write(&tmp, json)?;
+    std::fs::rename(&tmp, path)
 }
 
 /// Open season `name` (claiming its write lease), rebuild its plan from
@@ -508,8 +880,22 @@ fn spawn_worker(
     shared: &Arc<Shared>,
     agency: &AgencyStore,
     name: &str,
+    quarter: usize,
 ) -> Result<SeasonWorker, StoreError> {
     let store = agency.open_season(name)?;
+    // A panel season that has already run is pinned to its quarter's
+    // snapshot; a binding that disagrees (edited bindings file, wrong
+    // panel) must be refused before the worker charges anything.
+    if let Some(pinned) = store.dataset_digest() {
+        if shared.panel && pinned != shared.quarters[quarter].digest {
+            return Err(StoreError::Inconsistent {
+                detail: format!(
+                    "season `{name}` is pinned to a snapshot other than its bound quarter \
+                     {quarter}"
+                ),
+            });
+        }
+    }
     let mut plan = Vec::with_capacity(store.completed());
     for release in store.releases() {
         match ReleaseRequest::from_provenance(&release.request) {
@@ -536,46 +922,82 @@ fn spawn_worker(
         },
         stats: TabulationStats::default(),
     }));
+    // The worker replaces any retired-state summary for this season.
+    shared
+        .retired
+        .lock()
+        .expect("retired views poisoned")
+        .remove(name);
+    let q = &shared.quarters[quarter];
+    let cache = TabulationCache::with_store(q.truths.clone()).with_shared_index(q.index());
     let (tx, rx) = mpsc::channel::<Job>();
-    let join = {
-        let shared = Arc::clone(shared);
-        let view = Arc::clone(&view);
-        std::thread::spawn(move || season_worker(shared, store, plan, rx, view))
+    let ctx = WorkerCtx {
+        shared: Arc::clone(shared),
+        name: name.to_string(),
+        quarter,
+        store,
+        plan,
+        cache,
+        view: Arc::clone(&view),
     };
+    let join = std::thread::spawn(move || season_worker(ctx, rx));
     Ok(SeasonWorker { tx, join, view })
 }
 
-/// The per-season worker loop: owns the [`SeasonStore`] (and its lease)
-/// until shutdown, executing queued releases strictly in order.
-fn season_worker(
+/// Everything one season worker owns: the [`SeasonStore`] (and with it
+/// the season's write lease), the replayed plan, and the tabulation
+/// cache shared with the quarter.
+struct WorkerCtx {
     shared: Arc<Shared>,
-    mut store: SeasonStore,
-    mut plan: Vec<ReleaseRequest>,
-    rx: mpsc::Receiver<Job>,
+    name: String,
+    quarter: usize,
+    store: SeasonStore,
+    plan: Vec<ReleaseRequest>,
+    cache: TabulationCache,
     view: Arc<Mutex<SeasonView>>,
-) {
-    let mut cache = TabulationCache::with_store(shared.truths.clone())
-        .with_shared_index(Arc::clone(&shared.index));
-    while let Ok(job) = rx.recv() {
-        let (id, request) = match job {
-            Job::Shutdown => break,
-            Job::Release { id, request } => (id, request),
-        };
-        plan.push(request);
-        match store.run_cached_with_digest(&shared.dataset, shared.digest, &plan, &mut cache) {
+}
+
+impl WorkerCtx {
+    /// Execute one queued release and record the outcome.
+    fn run_release(&mut self, id: u64, request: ReleaseRequest) {
+        self.plan.push(request);
+        let quarter = &self.shared.quarters[self.quarter];
+        let before = (self.quarter > 0).then(|| {
+            let b = &self.shared.quarters[self.quarter - 1];
+            (b.dataset.as_ref(), b.digest)
+        });
+        let result = self.store.run_panel_cached_with_digest(
+            before,
+            &quarter.dataset,
+            quarter.digest,
+            &self.plan,
+            &mut self.cache,
+        );
+        match result {
             Ok(report) => {
-                match store.load_artifact(store.completed() - 1) {
+                match self.store.load_artifact(self.store.completed() - 1) {
                     Ok(artifact) => {
                         let artifact = Arc::new(artifact);
-                        // Publish to the released-artifact cache. Every
-                        // service release has a declarative identity, so
-                        // the key always exists; a cache-write failure is
-                        // only a lost optimization, never a lost release.
-                        if let Some(key) = ReleaseKey::of(&artifact.request, shared.digest) {
-                            let _ = shared.cache.save(&key, &artifact);
+                        // Publish to the released-artifact cache under
+                        // the digest that keys this release: the pair
+                        // digest for flows, the quarter's otherwise.
+                        // Every service release has a declarative
+                        // identity, so the key always exists; a
+                        // cache-write failure is only a lost
+                        // optimization, never a lost release.
+                        let digest = if artifact.request.kind == RequestKind::Flows {
+                            dataset_pair_digest(
+                                self.shared.quarters[self.quarter - 1].digest,
+                                quarter.digest,
+                            )
+                        } else {
+                            quarter.digest
+                        };
+                        if let Some(key) = ReleaseKey::of(&artifact.request, digest) {
+                            let _ = self.shared.cache.save(&key, &artifact);
                         }
                         set_state(
-                            &shared,
+                            &self.shared,
                             id,
                             ReleaseState::Complete {
                                 artifact,
@@ -584,14 +1006,14 @@ fn season_worker(
                         )
                     }
                     Err(e) => set_state(
-                        &shared,
+                        &self.shared,
                         id,
                         ReleaseState::Failed {
                             error: format!("release persisted but failed to load back: {e}"),
                         },
                     ),
                 }
-                let mut v = view.lock().expect("season view poisoned");
+                let mut v = self.view.lock().expect("season view poisoned");
                 v.stats.computed += report.tabulations_computed;
                 v.stats.hits += report.tabulation_hits;
                 v.stats.disk_hits += report.tabulation_disk_hits;
@@ -599,9 +1021,9 @@ fn season_worker(
             Err(e) => {
                 // The refusal recorded nothing: keep the plan in lockstep
                 // with the store.
-                plan.pop();
+                self.plan.pop();
                 set_state(
-                    &shared,
+                    &self.shared,
                     id,
                     ReleaseState::Failed {
                         error: e.to_string(),
@@ -609,10 +1031,67 @@ fn season_worker(
                 );
             }
         }
-        let mut v = view.lock().expect("season view poisoned");
-        v.summary.spent_epsilon = store.ledger().spent_epsilon();
-        v.summary.spent_delta = store.ledger().spent_delta();
-        v.summary.completed = store.completed();
+        let mut v = self.view.lock().expect("season view poisoned");
+        v.summary.spent_epsilon = self.store.ledger().spent_epsilon();
+        v.summary.spent_delta = self.store.ledger().spent_delta();
+        v.summary.completed = self.store.completed();
     }
-    // `store` drops here: the season's write lease is released.
+}
+
+/// The per-season worker loop: owns the [`SeasonStore`] (and its lease),
+/// executing queued releases strictly in order, until shutdown — or,
+/// with an idle timeout configured, until the season goes quiet, at
+/// which point the worker retires itself and releases the lease.
+fn season_worker(mut ctx: WorkerCtx, rx: mpsc::Receiver<Job>) {
+    let idle = ctx.shared.idle_timeout;
+    loop {
+        let job = match idle {
+            None => match rx.recv() {
+                Ok(job) => job,
+                Err(_) => break,
+            },
+            Some(timeout) => match rx.recv_timeout(timeout) {
+                Ok(job) => job,
+                Err(mpsc::RecvTimeoutError::Disconnected) => break,
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    let shared = Arc::clone(&ctx.shared);
+                    let mut workers = shared.workers.lock().expect("workers lock poisoned");
+                    // A submission can race the timeout: if one landed
+                    // while we were acquiring the lock, keep serving.
+                    match rx.try_recv() {
+                        Ok(job) => {
+                            drop(workers);
+                            job
+                        }
+                        Err(_) => {
+                            // Retire. Leave the final audit summary
+                            // behind, then — still under the workers
+                            // lock, so no submission can race a respawn
+                            // against a held lease — drop the season
+                            // store, releasing the season's write lease.
+                            let summary = ctx
+                                .view
+                                .lock()
+                                .expect("season view poisoned")
+                                .summary
+                                .clone();
+                            shared
+                                .retired
+                                .lock()
+                                .expect("retired views poisoned")
+                                .insert(ctx.name.clone(), summary);
+                            workers.remove(&ctx.name);
+                            drop(ctx);
+                            return;
+                        }
+                    }
+                }
+            },
+        };
+        match job {
+            Job::Shutdown => break,
+            Job::Release { id, request } => ctx.run_release(id, request),
+        }
+    }
+    // `ctx.store` drops here: the season's write lease is released.
 }

@@ -12,20 +12,37 @@
 //! * **job destruction** `JD(v) = Σ_w max(0, n_{t,w} − n_{t+1,w})`;
 //! * **net change** `E − B = JC − JD` (an identity, checked in tests).
 //!
-//! For private release, each flow carries its own `x_v` analogue: the
-//! largest single-establishment contribution to that flow. A strong
+//! For private release, each statistic carries its own `x_v` analogue: the
+//! largest single-establishment contribution to that statistic
+//! ([`FlowStats::max_beginning`], [`FlowStats::max_creation`], …). A strong
 //! α-neighbor step perturbs one establishment's employment by at most an
 //! α-fraction per quarter, so flow queries plug into the same
 //! smooth-sensitivity machinery as level queries (the per-establishment
 //! flow contribution is itself bounded by the size change).
+//!
+//! # Evaluation
+//!
+//! Flow tabulation runs on a **pair** of [`TabulationIndex`]es sharing one
+//! establishment frame, with the same shape as the level-marginal engine
+//! in [`crate::engine`]: the establishment loop is sharded into contiguous
+//! CSR chunks, each shard emits a key-sorted run of per-establishment
+//! `(key, before, after)` contributions, and a deterministic k-way merge
+//! aggregates equal keys into [`FlowStats`]. Every aggregate (sums of
+//! `B`/`E`/`JC`/`JD`, per-statistic maxima) is commutative, so the result
+//! is **bit-identical at any thread count** — the engine-wide determinism
+//! guarantee extends to flows. Filtered flows count only matching workers
+//! on *both* sides of the pair.
 
-use crate::attr::MarginalSpec;
+use crate::attr::{Attr, MarginalSpec};
 use crate::cell::{CellKey, CellSchema};
-use lodes::Dataset;
+use crate::index::TabulationIndex;
+use lodes::{Dataset, Worker};
+use serde::{get_field, DeError, Deserialize, Serialize, Value};
+#[cfg(feature = "reference")]
 use std::collections::BTreeMap;
 
 /// Flow statistics for one cell.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct FlowStats {
     /// Beginning-of-period employment `B`.
     pub beginning: u64,
@@ -35,6 +52,11 @@ pub struct FlowStats {
     pub job_creation: u64,
     /// Job destruction `JD` (gross losses at shrinking establishments).
     pub job_destruction: u64,
+    /// Largest single-establishment contribution to `B` (the `x_v` of the
+    /// beginning-employment query).
+    pub max_beginning: u32,
+    /// Largest single-establishment contribution to `E`.
+    pub max_ending: u32,
     /// Largest single-establishment contribution to `JC` (the `x_v` of the
     /// creation query).
     pub max_creation: u32,
@@ -47,16 +69,64 @@ impl FlowStats {
     pub fn net_change(&self) -> i64 {
         self.ending as i64 - self.beginning as i64
     }
+
+    /// Fold one establishment's `(before, after)` pair into the cell.
+    #[inline]
+    fn absorb(&mut self, b: u32, e: u32) {
+        self.beginning += b as u64;
+        self.ending += e as u64;
+        let creation = e.saturating_sub(b);
+        let destruction = b.saturating_sub(e);
+        self.job_creation += creation as u64;
+        self.job_destruction += destruction as u64;
+        self.max_beginning = self.max_beginning.max(b);
+        self.max_ending = self.max_ending.max(e);
+        self.max_creation = self.max_creation.max(creation);
+        self.max_destruction = self.max_destruction.max(destruction);
+    }
 }
 
 /// A materialized flow tabulation between two quarters.
-#[derive(Debug, Clone)]
+///
+/// Mirrors [`crate::Marginal`]: only active cells (nonzero `B` or `E`) are
+/// stored, in a `Vec` strictly sorted by packed key — the shape the
+/// sorted-run merge produces directly — with binary-search point lookups
+/// and ordered iteration. The spec and schema ride along so persisted
+/// flow truths are self-describing.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FlowMarginal {
+    spec: MarginalSpec,
     schema: CellSchema,
-    cells: BTreeMap<CellKey, FlowStats>,
+    /// Active cells, strictly ascending by key.
+    cells: Vec<(CellKey, FlowStats)>,
 }
 
 impl FlowMarginal {
+    /// Assemble from an already-sorted cell run (the merge output).
+    ///
+    /// # Panics
+    /// Debug-asserts that keys are strictly ascending.
+    pub(crate) fn from_sorted(
+        spec: MarginalSpec,
+        schema: CellSchema,
+        cells: Vec<(CellKey, FlowStats)>,
+    ) -> Self {
+        debug_assert!(
+            cells.windows(2).all(|w| w[0].0 < w[1].0),
+            "flow cell run must be strictly sorted by key"
+        );
+        Self {
+            spec,
+            schema,
+            cells,
+        }
+    }
+
+    /// The query specification (workplace attributes only).
+    pub fn spec(&self) -> &MarginalSpec {
+        &self.spec
+    }
+
     /// The key schema (shared with level marginals of the same spec).
     pub fn schema(&self) -> &CellSchema {
         &self.schema
@@ -67,33 +137,218 @@ impl FlowMarginal {
         self.cells.len()
     }
 
-    /// Stats for one cell.
+    /// Stats for one cell; `None` when the cell is dead in both quarters.
     pub fn cell(&self, key: CellKey) -> Option<&FlowStats> {
-        self.cells.get(&key)
+        self.cells
+            .binary_search_by_key(&key, |&(k, _)| k)
+            .ok()
+            .map(|i| &self.cells[i].1)
     }
 
     /// Iterate over active cells in key order.
     pub fn iter(&self) -> impl Iterator<Item = (CellKey, &FlowStats)> {
-        self.cells.iter().map(|(&k, v)| (k, v))
+        self.cells.iter().map(|(k, v)| (*k, v))
     }
 
     /// Aggregate totals across all cells.
     pub fn totals(&self) -> FlowStats {
         let mut out = FlowStats::default();
-        for stats in self.cells.values() {
+        for (_, stats) in &self.cells {
             out.beginning += stats.beginning;
             out.ending += stats.ending;
             out.job_creation += stats.job_creation;
             out.job_destruction += stats.job_destruction;
+            out.max_beginning = out.max_beginning.max(stats.max_beginning);
+            out.max_ending = out.max_ending.max(stats.max_ending);
             out.max_creation = out.max_creation.max(stats.max_creation);
             out.max_destruction = out.max_destruction.max(stats.max_destruction);
         }
         out
     }
+
+    /// A stable FNV-1a digest over every cell — key, the four flow
+    /// statistics, and their per-statistic maxima — folded in key order,
+    /// prefixed by the cell count. The flow analogue of
+    /// [`crate::Marginal::content_digest`]: equal digests (with equal
+    /// specs) mean bit-identical statistics, and the persistent truth
+    /// store refuses loads that no longer reproduce it.
+    pub fn content_digest(&self) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut fold = |word: u64| {
+            for byte in word.to_le_bytes() {
+                hash ^= byte as u64;
+                hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        };
+        fold(self.cells.len() as u64);
+        for &(key, stats) in &self.cells {
+            fold(key.0);
+            fold(stats.beginning);
+            fold(stats.ending);
+            fold(stats.job_creation);
+            fold(stats.job_destruction);
+            fold((stats.max_beginning as u64) | ((stats.max_ending as u64) << 32));
+            fold((stats.max_creation as u64) | ((stats.max_destruction as u64) << 32));
+        }
+        hash
+    }
 }
 
-/// Tabulate job flows between `before` and `after` grouped by the
-/// workplace attributes of `spec`.
+/// The stable serialized form: spec, schema, and the sorted cell run —
+/// totals are derived, never trusted from a snapshot.
+impl Serialize for FlowMarginal {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("spec".to_string(), self.spec.to_value()),
+            ("schema".to_string(), self.schema.to_value()),
+            ("cells".to_string(), self.cells.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for FlowMarginal {
+    /// Reconstruct from the serialized form, re-validating every invariant
+    /// the flow evaluator guarantees by construction: workplace-only spec,
+    /// strictly ascending in-domain keys, no dead cells, the accounting
+    /// identity `E − B = JC − JD` per cell, and per-statistic maxima that
+    /// are positive exactly when their statistic is and never exceed it.
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let spec = MarginalSpec::from_value(get_field(v, "spec")?)?;
+        let schema = CellSchema::from_value(get_field(v, "schema")?)?;
+        let cells = Vec::<(CellKey, FlowStats)>::from_value(get_field(v, "cells")?)?;
+        if spec.has_worker_attrs() {
+            return Err(DeError::new(
+                "flow marginal spec must not include worker attributes",
+            ));
+        }
+        let spec_attrs: Vec<Attr> = spec.attrs().collect();
+        if schema.attrs() != spec_attrs.as_slice() {
+            return Err(DeError::new(
+                "flow marginal schema attributes disagree with its spec",
+            ));
+        }
+        if !cells.windows(2).all(|w| w[0].0 < w[1].0) {
+            return Err(DeError::new(
+                "flow marginal cells are not strictly sorted by key",
+            ));
+        }
+        let domain = schema.domain_size();
+        for &(key, s) in &cells {
+            if key.0 >= domain {
+                return Err(DeError::new(format!(
+                    "flow cell key {} outside schema domain {domain}",
+                    key.0
+                )));
+            }
+            if s.beginning == 0 && s.ending == 0 {
+                return Err(DeError::new("dead cell in flow marginal snapshot"));
+            }
+            let net = s.ending as i128 - s.beginning as i128;
+            let gross = s.job_creation as i128 - s.job_destruction as i128;
+            if net != gross {
+                return Err(DeError::new(format!(
+                    "flow cell {} violates E - B = JC - JD ({net} vs {gross})",
+                    key.0
+                )));
+            }
+            // Each maximum is one establishment's contribution to its
+            // statistic: bounded by the statistic's total and positive
+            // exactly when the total is.
+            let pairs = [
+                (s.max_beginning, s.beginning, "beginning"),
+                (s.max_ending, s.ending, "ending"),
+                (s.max_creation, s.job_creation, "creation"),
+                (s.max_destruction, s.job_destruction, "destruction"),
+            ];
+            for (max, total, what) in pairs {
+                if max as u64 > total || (max == 0) != (total == 0) {
+                    return Err(DeError::new(format!(
+                        "impossible {what} stats in flow cell {} (total {total}, max {max})",
+                        key.0
+                    )));
+                }
+            }
+            // Creation is a sum of per-establishment gains, each bounded
+            // by that establishment's after-size; destruction likewise by
+            // the before-size.
+            if s.job_creation > s.ending || s.job_destruction > s.beginning {
+                return Err(DeError::new(format!(
+                    "flow cell {} has gross flows exceeding employment",
+                    key.0
+                )));
+            }
+        }
+        Ok(Self {
+            spec,
+            schema,
+            cells,
+        })
+    }
+}
+
+impl TabulationIndex {
+    /// Tabulate job flows from this index (quarter `t`) to `after`
+    /// (quarter `t+1`), single-threaded. See [`compute_flows`] for the
+    /// semantics and panics.
+    pub fn flows(&self, after: &TabulationIndex, spec: &MarginalSpec) -> FlowMarginal {
+        self.flows_sharded(after, spec, 1)
+    }
+
+    /// Tabulate job flows with a sharded establishment loop. The result is
+    /// bit-identical at any thread count.
+    pub fn flows_sharded(
+        &self,
+        after: &TabulationIndex,
+        spec: &MarginalSpec,
+        threads: usize,
+    ) -> FlowMarginal {
+        tabulate_flows(self, after, spec, None, threads)
+    }
+
+    /// Tabulate job flows over only the workers matching `filter` — on
+    /// both sides of the pair — with a sharded establishment loop.
+    pub fn flows_filtered_sharded<F>(
+        &self,
+        after: &TabulationIndex,
+        spec: &MarginalSpec,
+        filter: F,
+        threads: usize,
+    ) -> FlowMarginal
+    where
+        F: Fn(&Worker) -> bool + Sync,
+    {
+        tabulate_flows(self, after, spec, Some(&filter), threads)
+    }
+
+    /// Tabulate job flows over only the records matching the declarative
+    /// filter `expr`, compiled against each quarter's index separately
+    /// (the worker-domain truth tables agree; workplace leaves resolve
+    /// against each quarter's own establishment column).
+    pub fn flows_expr_sharded(
+        &self,
+        after: &TabulationIndex,
+        spec: &MarginalSpec,
+        expr: &crate::filter::FilterExpr,
+        threads: usize,
+    ) -> FlowMarginal {
+        let before_filter = expr.compile(self);
+        let after_filter = expr.compile(after);
+        tabulate_flows_split(
+            self,
+            after,
+            spec,
+            Some((&|w| before_filter.matches(w), &|w| after_filter.matches(w))),
+            threads,
+        )
+    }
+}
+
+/// Evaluate the flow query `(B, E, JC, JD)` between two snapshots grouped
+/// by the workplace attributes of `spec`.
+///
+/// Convenience wrapper: builds two throwaway [`TabulationIndex`]es and
+/// runs the indexed evaluator single-threaded. Callers tabulating a pair
+/// more than once should build (or share) the indexes themselves.
 ///
 /// # Panics
 /// Panics if the spec has worker attributes (flows are establishment-level
@@ -101,6 +356,153 @@ impl FlowMarginal {
 /// frame (same workplace count; the panel generator guarantees identical
 /// frames).
 pub fn compute_flows(before: &Dataset, after: &Dataset, spec: &MarginalSpec) -> FlowMarginal {
+    TabulationIndex::build(before).flows(&TabulationIndex::build(after), spec)
+}
+
+/// One filter applied to both sides of the pair.
+type PairFilter<'a> = (
+    &'a (dyn Fn(&Worker) -> bool + Sync),
+    &'a (dyn Fn(&Worker) -> bool + Sync),
+);
+
+fn tabulate_flows(
+    before: &TabulationIndex,
+    after: &TabulationIndex,
+    spec: &MarginalSpec,
+    filter: Option<&(dyn Fn(&Worker) -> bool + Sync)>,
+    threads: usize,
+) -> FlowMarginal {
+    tabulate_flows_split(before, after, spec, filter.map(|f| (f, f)), threads)
+}
+
+/// The indexed flow evaluator: shard the shared establishment frame,
+/// tabulate sorted runs of per-establishment `(key, before, after)`
+/// contributions, k-way merge into [`FlowStats`].
+fn tabulate_flows_split(
+    before: &TabulationIndex,
+    after: &TabulationIndex,
+    spec: &MarginalSpec,
+    filters: Option<PairFilter<'_>>,
+    threads: usize,
+) -> FlowMarginal {
+    assert!(
+        !spec.has_worker_attrs(),
+        "job flows are establishment-level: spec must not include worker attributes"
+    );
+    assert_eq!(
+        before.num_establishments(),
+        after.num_establishments(),
+        "flow tabulation requires a shared establishment frame"
+    );
+    let schema = before.schema(spec);
+    let n_estabs = before.num_establishments();
+    let wp_cols: Vec<&[u32]> = spec
+        .workplace_attrs
+        .iter()
+        .map(|&a| before.workplace_column(a))
+        .collect();
+    let wp_strides: Vec<u64> = (0..wp_cols.len()).map(|i| schema.stride_of(i)).collect();
+
+    let shard = |lo: usize, hi: usize| -> Vec<(u64, u32, u32)> {
+        let mut run: Vec<(u64, u32, u32)> = Vec::new();
+        for e in lo..hi {
+            let b = side_count(before, e, filters.map(|(f, _)| f));
+            let a = side_count(after, e, filters.map(|(_, f)| f));
+            if b == 0 && a == 0 {
+                continue;
+            }
+            let mut key: u64 = 0;
+            for (col, &stride) in wp_cols.iter().zip(&wp_strides) {
+                key += col[e] as u64 * stride;
+            }
+            run.push((key, b, a));
+        }
+        // Equal keys (same cell, different establishments) may interleave
+        // arbitrarily; the merge's aggregates are all commutative.
+        run.sort_unstable_by_key(|&(key, _, _)| key);
+        run
+    };
+
+    let threads = threads.max(1).min(n_estabs.max(1));
+    let runs: Vec<Vec<(u64, u32, u32)>> = if threads <= 1 {
+        vec![shard(0, n_estabs)]
+    } else {
+        // Shard boundaries balanced by the before-quarter's cumulative
+        // worker count (see `TabulationIndex::shard_bounds`); the merge,
+        // not the chunking, carries the determinism guarantee.
+        let bounds = before.shard_bounds(threads);
+        std::thread::scope(|scope| {
+            let shard = &shard;
+            let handles: Vec<_> = bounds
+                .windows(2)
+                .map(|w| {
+                    let (lo, hi) = (w[0], w[1]);
+                    scope.spawn(move || shard(lo, hi))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("flow tabulation shard panicked"))
+                .collect()
+        })
+    };
+    FlowMarginal::from_sorted(spec.clone(), schema, merge_flow_runs(runs))
+}
+
+/// One quarter's (possibly filtered) employment of establishment `e`.
+#[inline]
+fn side_count(
+    index: &TabulationIndex,
+    e: usize,
+    filter: Option<&(dyn Fn(&Worker) -> bool + Sync)>,
+) -> u32 {
+    let range = index.worker_range(e);
+    match filter {
+        None => range.len() as u32,
+        Some(f) => index.workers()[range].iter().filter(|w| f(w)).count() as u32,
+    }
+}
+
+/// Deterministic k-way merge of per-shard sorted runs: every
+/// `(cell, establishment)` contribution with the same key folds into one
+/// [`FlowStats`] via commutative sums and maxima.
+fn merge_flow_runs(runs: Vec<Vec<(u64, u32, u32)>>) -> Vec<(CellKey, FlowStats)> {
+    let mut pos = vec![0usize; runs.len()];
+    let mut out: Vec<(CellKey, FlowStats)> =
+        Vec::with_capacity(runs.iter().map(Vec::len).max().unwrap_or(0));
+    loop {
+        let mut min_key: Option<u64> = None;
+        for (run, &p) in runs.iter().zip(&pos) {
+            if let Some(&(key, _, _)) = run.get(p) {
+                min_key = Some(min_key.map_or(key, |m: u64| m.min(key)));
+            }
+        }
+        let Some(key) = min_key else { break };
+        let mut stats = FlowStats::default();
+        for (run, p) in runs.iter().zip(&mut pos) {
+            while let Some(&(k, b, e)) = run.get(*p) {
+                if k != key {
+                    break;
+                }
+                stats.absorb(b, e);
+                *p += 1;
+            }
+        }
+        out.push((CellKey(key), stats));
+    }
+    out
+}
+
+/// The pre-index flow evaluator: one pass over the workplace table using
+/// `Dataset::establishment_size` on each side. Retained as the brute-force
+/// *reference* for property tests and the old-vs-new benchmark; only
+/// compiled under the default-off `reference` feature.
+#[cfg(feature = "reference")]
+pub fn compute_flows_legacy(
+    before: &Dataset,
+    after: &Dataset,
+    spec: &MarginalSpec,
+) -> FlowMarginal {
     assert!(
         !spec.has_worker_attrs(),
         "job flows are establishment-level: spec must not include worker attributes"
@@ -114,8 +516,8 @@ pub fn compute_flows(before: &Dataset, after: &Dataset, spec: &MarginalSpec) -> 
     let mut cells: BTreeMap<CellKey, FlowStats> = BTreeMap::new();
     let mut values: Vec<u32> = Vec::with_capacity(schema.attrs().len());
     for wp in before.workplaces() {
-        let b = before.establishment_size(wp.id) as u64;
-        let e = after.establishment_size(wp.id) as u64;
+        let b = before.establishment_size(wp.id);
+        let e = after.establishment_size(wp.id);
         if b == 0 && e == 0 {
             continue;
         }
@@ -124,17 +526,9 @@ pub fn compute_flows(before: &Dataset, after: &Dataset, spec: &MarginalSpec) -> 
             values.push(attr.value(wp));
         }
         let key = schema.encode(&values);
-        let entry = cells.entry(key).or_default();
-        entry.beginning += b;
-        entry.ending += e;
-        let creation = e.saturating_sub(b);
-        let destruction = b.saturating_sub(e);
-        entry.job_creation += creation;
-        entry.job_destruction += destruction;
-        entry.max_creation = entry.max_creation.max(creation as u32);
-        entry.max_destruction = entry.max_destruction.max(destruction as u32);
+        cells.entry(key).or_default().absorb(b, e);
     }
-    FlowMarginal { schema, cells }
+    FlowMarginal::from_sorted(spec.clone(), schema, cells.into_iter().collect())
 }
 
 #[cfg(test)]
@@ -169,6 +563,8 @@ mod tests {
             );
             assert!(stats.max_creation as u64 <= stats.job_creation.max(1));
             assert!(stats.max_destruction as u64 <= stats.job_destruction.max(1));
+            assert!(stats.max_beginning as u64 <= stats.beginning);
+            assert!(stats.max_ending as u64 <= stats.ending);
         }
         let totals = flows.totals();
         assert_eq!(totals.beginning as usize, p.quarter(0).num_jobs());
@@ -187,6 +583,7 @@ mod tests {
             assert_eq!(stats.job_creation, 0);
             assert_eq!(stats.job_destruction, 0);
             assert_eq!(stats.beginning, stats.ending);
+            assert_eq!(stats.max_beginning, stats.max_ending);
         }
     }
 
@@ -209,7 +606,114 @@ mod tests {
             if stats.beginning > 0 {
                 let level = levels.cell(key).expect("beginning > 0 implies level cell");
                 assert_eq!(level.count, stats.beginning, "keys must align");
+                assert_eq!(
+                    level.max_establishment, stats.max_beginning,
+                    "B's x_v is the level marginal's x_v"
+                );
             }
+        }
+    }
+
+    #[test]
+    fn sharded_flows_are_bit_identical_at_any_thread_count() {
+        let p = panel();
+        let spec = MarginalSpec::new(vec![WorkplaceAttr::Place, WorkplaceAttr::Naics], vec![]);
+        let before = TabulationIndex::build(p.quarter(0));
+        let after = TabulationIndex::build(p.quarter(1));
+        let reference = before.flows_sharded(&after, &spec, 1);
+        for threads in [2, 3, 7, 64] {
+            let sharded = before.flows_sharded(&after, &spec, threads);
+            assert_eq!(sharded, reference);
+            assert_eq!(sharded.content_digest(), reference.content_digest());
+        }
+    }
+
+    #[test]
+    fn filtered_flows_count_matching_workers_on_both_sides() {
+        use lodes::Sex;
+        let p = panel();
+        let spec = MarginalSpec::new(vec![WorkplaceAttr::County], vec![]);
+        let before = TabulationIndex::build(p.quarter(0));
+        let after = TabulationIndex::build(p.quarter(1));
+        let all = before.flows_sharded(&after, &spec, 2);
+        let female = before.flows_filtered_sharded(&after, &spec, |w| w.sex == Sex::Female, 2);
+        let male = before.flows_filtered_sharded(&after, &spec, |w| w.sex == Sex::Male, 2);
+        assert_eq!(
+            female.totals().beginning + male.totals().beginning,
+            all.totals().beginning
+        );
+        assert_eq!(
+            female.totals().ending + male.totals().ending,
+            all.totals().ending
+        );
+        // The declarative-filter path agrees with the closure path.
+        let expr = crate::filter::FilterExpr::sex(Sex::Female);
+        let via_expr = before.flows_expr_sharded(&after, &spec, &expr, 3);
+        assert_eq!(via_expr, female);
+    }
+
+    #[test]
+    fn serde_round_trip_is_bit_identical() {
+        let p = panel();
+        let spec = MarginalSpec::new(vec![WorkplaceAttr::Naics, WorkplaceAttr::Ownership], vec![]);
+        let flows = compute_flows(p.quarter(0), p.quarter(1), &spec);
+        let json = serde_json::to_string(&flows).unwrap();
+        let back: FlowMarginal = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, flows);
+        assert_eq!(back.content_digest(), flows.content_digest());
+    }
+
+    #[test]
+    fn deserialization_refuses_invalid_snapshots() {
+        let p = panel();
+        let spec = MarginalSpec::new(vec![WorkplaceAttr::Naics], vec![]);
+        let flows = compute_flows(p.quarter(0), p.quarter(1), &spec);
+        let json = serde_json::to_string(&flows).unwrap();
+        let (key, stats) = flows.iter().next().expect("nonempty flows");
+        // Breaking the accounting identity is refused.
+        let tampered = json.replacen(
+            &format!("\"job_creation\":{}", stats.job_creation),
+            &format!("\"job_creation\":{}", stats.job_creation + 1),
+            1,
+        );
+        assert_ne!(tampered, json);
+        assert!(serde_json::from_str::<FlowMarginal>(&tampered).is_err());
+        // An out-of-domain key is refused.
+        let domain = flows.schema().domain_size();
+        let tampered = json.replacen(&format!("[{}", key.0), &format!("[{domain}"), 1);
+        assert_ne!(tampered, json);
+        assert!(serde_json::from_str::<FlowMarginal>(&tampered).is_err());
+        // An impossible maximum (x_v above its statistic) is refused.
+        let tampered = json.replacen(
+            &format!("\"max_beginning\":{}", stats.max_beginning),
+            &format!("\"max_beginning\":{}", stats.beginning + 1),
+            1,
+        );
+        assert_ne!(tampered, json);
+        assert!(serde_json::from_str::<FlowMarginal>(&tampered).is_err());
+    }
+
+    #[cfg(feature = "reference")]
+    #[test]
+    fn indexed_flows_match_legacy_flows() {
+        let p = panel();
+        let specs = [
+            MarginalSpec::new(vec![], vec![]),
+            MarginalSpec::new(vec![WorkplaceAttr::Naics], vec![]),
+            MarginalSpec::new(
+                vec![
+                    WorkplaceAttr::Place,
+                    WorkplaceAttr::Naics,
+                    WorkplaceAttr::Ownership,
+                ],
+                vec![],
+            ),
+        ];
+        for spec in &specs {
+            let legacy = compute_flows_legacy(p.quarter(0), p.quarter(1), spec);
+            let indexed = compute_flows(p.quarter(0), p.quarter(1), spec);
+            assert_eq!(indexed, legacy);
+            assert_eq!(indexed.content_digest(), legacy.content_digest());
         }
     }
 }

@@ -55,6 +55,8 @@ pub use engine::{compute_marginal, compute_marginal_expr, compute_marginal_filte
 #[cfg(feature = "reference")]
 pub use engine::{compute_marginal_filtered_legacy, compute_marginal_legacy};
 pub use filter::{Cmp, CompiledFilter, FilterExpr, FilterId};
+#[cfg(feature = "reference")]
+pub use flows::compute_flows_legacy;
 pub use flows::{compute_flows, FlowMarginal, FlowStats};
 pub use index::TabulationIndex;
 pub use marginal::{CellStats, Marginal};

@@ -1,6 +1,6 @@
 //! Quarterly time series: dynamically consistent SDL noise leaks exact
-//! growth rates; formally private releases pay for each quarter through
-//! sequential composition instead.
+//! growth rates; a formally private panel agency pays for each quarter
+//! from one multi-year cap instead.
 //!
 //! QWI-style products reuse one distortion factor per establishment across
 //! its whole lifetime so published series are "dynamically consistent" —
@@ -9,11 +9,41 @@
 //! true growth rate, a commercially sensitive quantity, recoverable with
 //! no background knowledge at all.
 //!
+//! The private side runs the same panel through an
+//! [`AgencyStore`](eree_core::agency::AgencyStore) in quarterly-panel
+//! mode: every quarter is a season reserving from one `MetaLedger` cap,
+//! level releases get fresh per-quarter noise (so the ratio attack fails),
+//! and origin-destination *flow* releases (B, JC, JD with E derived by
+//! post-processing) ride the same declarative pipeline.
+//!
 //! Run: `cargo run --release --example time_series`
 
 use eree::prelude::*;
 use lodes::{DatasetPanel, PanelConfig};
 use sdl::{growth_rate_attack, PanelPublisher};
+
+/// The quarter's release plan: a level marginal every quarter, plus the
+/// `(q-1, q)` job-flow statistics once a before-quarter exists. Seeds are
+/// per-request constants — the agency derives the actual per-quarter seed
+/// with the consistent-over-time rule, so re-running a season resumes
+/// bit-identically.
+fn quarter_plan(q: usize) -> Vec<ReleaseRequest> {
+    let mut plan = vec![ReleaseRequest::marginal(workload1())
+        .mechanism(MechanismKind::LogLaplace)
+        .budget(PrivacyParams::pure(0.1, 2.0))
+        .describe(format!("Q{q} beginning-of-quarter employment"))
+        .seed(100)];
+    if q > 0 {
+        plan.push(
+            ReleaseRequest::flows(workload1())
+                .mechanism(MechanismKind::LogLaplace)
+                .budget(PrivacyParams::pure(0.1, 3.0))
+                .describe(format!("Q{}->Q{q} job flows", q - 1))
+                .seed(100),
+        );
+    }
+    plan
+}
 
 fn main() {
     let panel = DatasetPanel::generate(
@@ -60,40 +90,58 @@ fn main() {
         );
     }
 
-    // --- ER-EE private: fresh noise each quarter, one engine ledger ----
-    // The engine enforces the annual budget across the quarterly releases:
-    // each request is checked against the remainder before sampling.
-    let annual = PrivacyParams::approximate(0.1, 8.0, 0.05);
-    let mut engine = ReleaseEngine::new(annual);
-    let per_quarter = PrivacyParams::approximate(0.1, 2.0, 0.0125);
-    let mut private_releases = Vec::new();
-    for (q, snapshot) in panel.snapshots().iter().enumerate() {
-        let artifact = engine
-            .execute(
-                snapshot,
-                &ReleaseRequest::marginal(workload1())
-                    .mechanism(MechanismKind::SmoothLaplace)
-                    .budget(per_quarter)
-                    .describe(format!("Q{q} workload-1 release"))
-                    .seed(100 + q as u64),
-            )
-            .expect("annual budget covers four quarters");
-        let truth = compute_marginal(snapshot, &workload1());
-        private_releases.push((truth, artifact));
+    // --- ER-EE private: a panel agency, one cap over every quarter -----
+    // Each quarter is a season whose whole budget is reserved from the
+    // multi-year MetaLedger cap before the season exists; flow releases
+    // are priced at 3x their per-cell budget (B, JC, JD sequentially; the
+    // ending level E = B + JC - JD is free post-processing).
+    let dir = std::env::temp_dir().join("eree-example-time-series");
+    let _ = std::fs::remove_dir_all(&dir);
+    let cap = PrivacyParams::pure(0.1, 17.0);
+    let mut agency = AgencyStore::create_panel(&dir, cap).expect("fresh agency directory");
+    for q in 0..panel.quarters() {
+        let name = format!("q{q}");
+        let quarterly = PrivacyParams::pure(0.1, if q == 0 { 2.0 } else { 5.0 });
+        agency
+            .create_season(&name, quarterly)
+            .expect("cap covers every quarter");
+        agency
+            .run_panel_season(&name, &panel, q, &quarter_plan(q))
+            .expect("quarterly budget covers the plan");
     }
     println!(
-        "\n[ER-EE] four quarterly releases at (alpha=0.1, eps=2, delta=0.0125) each;\n        \
-         ledger: spent eps={:.1}, remaining eps={:.1} of the annual {:.1}",
-        annual.epsilon - engine.ledger().remaining_epsilon(),
-        engine.ledger().remaining_epsilon(),
-        annual.epsilon
+        "\n[ER-EE] {} quarterly seasons under one multi-year cap: \
+         reserved eps={:.1}, remaining eps={:.1} of {:.1}",
+        panel.quarters(),
+        agency.spent_epsilon(),
+        agency.remaining_epsilon(),
+        cap.epsilon
     );
 
-    // The same ratio attack against the private series.
+    // Killing and re-running a quarter re-spends nothing: the derived
+    // per-quarter seeds make the resume reproduce every artifact
+    // bit-for-bit, so the season store recognizes the whole plan.
+    let resumed = agency
+        .run_panel_season("q3", &panel, 3, &quarter_plan(3))
+        .expect("resume is idempotent");
+    println!(
+        "[ER-EE] re-running Q3: {} releases resumed from disk, {} executed, eps spent 0",
+        resumed.resumed_from, resumed.executed
+    );
+
+    // The same ratio attack against the private level series.
     let mut rel_errors = Vec::new();
-    for q in 0..private_releases.len() - 1 {
-        let (truth_a, rel_a) = &private_releases[q];
-        let (truth_b, rel_b) = &private_releases[q + 1];
+    for q in 0..panel.quarters() - 1 {
+        let truth_a = compute_marginal(panel.quarter(q), &workload1());
+        let truth_b = compute_marginal(panel.quarter(q + 1), &workload1());
+        let rel_a = agency
+            .open_season(&format!("q{q}"))
+            .and_then(|s| s.load_artifact(0))
+            .expect("level artifact persisted");
+        let rel_b = agency
+            .open_season(&format!("q{}", q + 1))
+            .and_then(|s| s.load_artifact(0))
+            .expect("level artifact persisted");
         let (pub_a, pub_b) = (
             rel_a.cells().expect("marginal payload"),
             rel_b.cells().expect("marginal payload"),
@@ -121,4 +169,40 @@ fn main() {
         rel_errors.len(),
         median * 100.0
     );
+
+    // The flow releases: noisy B/JC/JD per cell, E derived — the QWI
+    // identity E - B = JC - JD holds exactly in every published cell.
+    for q in 1..panel.quarters() {
+        let artifact = agency
+            .open_season(&format!("q{q}"))
+            .and_then(|s| s.load_artifact(1))
+            .expect("flow artifact persisted");
+        let flows = artifact.flows().expect("flow payload");
+        let truth = compute_flows(panel.quarter(q - 1), panel.quarter(q), &workload1());
+        let true_totals = truth.totals();
+        let (mut b, mut jc, mut jd) = (0.0, 0.0, 0.0);
+        for release in flows.values() {
+            assert!(
+                ((release.ending - release.beginning)
+                    - (release.job_creation - release.job_destruction))
+                    .abs()
+                    < 1e-9,
+                "released cells keep the QWI identity"
+            );
+            b += release.beginning;
+            jc += release.job_creation;
+            jd += release.job_destruction;
+        }
+        println!(
+            "[ER-EE] Q{}->Q{q} flows over {} cells: released totals \
+             B={b:.0} JC={jc:.0} JD={jd:.0} (true {} / {} / {})",
+            q - 1,
+            flows.len(),
+            true_totals.beginning,
+            true_totals.job_creation,
+            true_totals.job_destruction
+        );
+    }
+
+    std::fs::remove_dir_all(&dir).expect("example cleans up after itself");
 }

@@ -79,10 +79,11 @@ pub mod prelude {
     #[allow(deprecated)]
     pub use eree_core::shape::release_shapes;
     pub use eree_core::{
-        AgencyStore, ArtifactPayload, CountMechanism, EngineError, FilterExpr, FilterId, Ledger,
-        MechanismKind, MetaLedger, PrivacyParams, PrivateRelease, ReleaseArtifact, ReleaseConfig,
-        ReleaseCost, ReleaseEngine, ReleaseRequest, RequestKind, SeasonReport, SeasonStore,
-        SeasonSummary, StoreError, TabulationCache, TabulationStats, TruthStore,
+        panel_quarter_seed, AgencyStore, ArtifactPayload, CountMechanism, EngineError, FilterExpr,
+        FilterId, FlowRelease, Ledger, MechanismKind, MetaLedger, PrivacyParams, PrivateRelease,
+        ReleaseArtifact, ReleaseConfig, ReleaseCost, ReleaseEngine, ReleaseRequest, RequestKind,
+        SeasonReport, SeasonStore, SeasonSummary, StoreError, TabulationCache, TabulationStats,
+        TruthStore,
     };
     pub use eree_service::{Client, ReleaseService, ReleaseSubmission, ServiceConfig};
     pub use lodes::{
@@ -90,9 +91,9 @@ pub mod prelude {
     };
     pub use sdl::{SdlConfig, SdlPublisher};
     pub use tabulate::{
-        compute_marginal, compute_marginal_expr, compute_marginal_filtered, ranking2_expr,
-        ranking2_filter, workload1, workload3, CellKey, Marginal, MarginalSpec, TabulationIndex,
-        WorkerAttr, WorkplaceAttr,
+        compute_flows, compute_marginal, compute_marginal_expr, compute_marginal_filtered,
+        ranking2_expr, ranking2_filter, workload1, workload3, CellKey, FlowMarginal, FlowStats,
+        Marginal, MarginalSpec, TabulationIndex, WorkerAttr, WorkplaceAttr,
     };
 }
 

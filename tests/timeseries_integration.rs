@@ -44,53 +44,53 @@ fn sdl_panel_leaks_exact_growth_rates() {
 #[test]
 fn private_panel_resists_growth_attack_within_budget() {
     let p = panel();
+    let dir = std::env::temp_dir().join("eree-timeseries-it-panel");
+    let _ = std::fs::remove_dir_all(&dir);
     let annual = PrivacyParams::approximate(0.1, 6.0, 0.05);
-    let mut engine = ReleaseEngine::new(annual);
     let per_quarter = PrivacyParams::approximate(0.1, 2.0, 0.015);
 
     // Release each quarter with the real Smooth Laplace mechanism through
-    // the engine (sequential composition across quarters on one ledger).
-    let releases: Vec<SdlRelease> = p
-        .snapshots()
-        .iter()
-        .enumerate()
-        .map(|(q, snapshot)| {
-            let artifact = engine
-                .execute(
-                    snapshot,
-                    &ReleaseRequest::marginal(workload1())
+    // the quarterly-panel agency: one season per quarter, every season's
+    // reservation drawn from the one multi-year cap. Each request uses the
+    // SAME base seed — the consistent-over-time rewrite derives distinct
+    // per-quarter noise streams, which is exactly what the ratio attack
+    // needs to fail.
+    let mut agency = eree_core::AgencyStore::create_panel(&dir, annual).unwrap();
+    let releases: Vec<SdlRelease> = (0..p.quarters())
+        .map(|q| {
+            let name = format!("q{q}");
+            agency.create_season(&name, per_quarter).unwrap();
+            let report = agency
+                .run_panel_season(
+                    &name,
+                    &p,
+                    q,
+                    &[ReleaseRequest::marginal(workload1())
                         .mechanism(MechanismKind::SmoothLaplace)
                         .budget(per_quarter)
                         .describe(format!("Q{q}"))
-                        .seed(500 + q as u64),
+                        .seed(500)],
                 )
-                .expect("annual budget covers three quarters");
+                .expect("annual cap covers three quarters");
+            assert_eq!(report.executed, 1);
+            let artifact = agency.open_season(&name).unwrap().load_artifact(0).unwrap();
             let published = match artifact.payload {
                 ArtifactPayload::Cells(cells) => cells,
                 _ => unreachable!("marginal request yields cells"),
             };
             SdlRelease {
                 published,
-                truth: compute_marginal(snapshot, &workload1()),
+                truth: compute_marginal(p.quarter(q), &workload1()),
             }
         })
         .collect();
 
-    // The budget is fully accounted: 3 x 2.0 = 6.0.
-    assert!(engine.ledger().remaining_epsilon() < 1e-9);
-    // A fourth quarter must be refused without spending.
-    let refused = engine
-        .execute(
-            p.snapshots().last().unwrap(),
-            &ReleaseRequest::marginal(workload1())
-                .mechanism(MechanismKind::SmoothLaplace)
-                .budget(per_quarter)
-                .describe("Q3")
-                .seed(999),
-        )
-        .unwrap_err();
-    assert!(matches!(refused, EngineError::Budget(_)));
-    assert_eq!(engine.ledger().entries().len(), 3);
+    // The cap is fully reserved: 3 x 2.0 = 6.0.
+    assert!(agency.remaining_epsilon() < 1e-9);
+    // A fourth season must be refused without reserving.
+    let refused = agency.create_season("q3", per_quarter).unwrap_err();
+    assert!(matches!(refused, StoreError::AgencyBudget { .. }));
+    assert_eq!(agency.seasons().len(), 3);
 
     // The ratio attack's recovered growth rates are materially wrong.
     let results = growth_rate_attack(&p, &releases, 2.5);
@@ -114,6 +114,8 @@ fn private_panel_resists_growth_attack_within_budget() {
         median > 0.005,
         "median relative recovery error {median} should be macroscopic"
     );
+    drop(agency);
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
