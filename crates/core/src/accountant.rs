@@ -178,6 +178,46 @@ pub enum LedgerError {
         /// The already-reserved season name.
         name: String,
     },
+    /// A closure event naming a season that holds no reservation — there
+    /// is nothing to refund against.
+    UnknownSeason {
+        /// The unreserved season name.
+        name: String,
+    },
+    /// A second closure of the same season. A season closes exactly once;
+    /// a duplicate close-begin would refund the remainder twice.
+    DuplicateClosure {
+        /// The already-closing (or closed) season name.
+        name: String,
+    },
+    /// A close-begin refund larger than the season's reservation. The
+    /// refund is the *unspent remainder*, so it can never legitimately
+    /// exceed what was reserved; a bigger refund would mint budget. The
+    /// reported pair is the offending component (ε or δ).
+    RefundExceedsReservation {
+        /// The season being closed.
+        name: String,
+        /// The refund requested for the offending component.
+        requested: f64,
+        /// That component's reserved amount.
+        reserved: f64,
+    },
+    /// A close-seal without a durably recorded close-begin for the season.
+    /// Sealing is phase two of the two-phase refund; out of order it would
+    /// credit an amount that was never frozen.
+    NoPendingClosure {
+        /// The season name.
+        name: String,
+    },
+    /// A credit larger than the account's spent total. Crediting past zero
+    /// would leave more budget available than the cap. The reported pair
+    /// is the offending component (ε or δ).
+    CreditExceedsSpent {
+        /// The credit requested for the offending component.
+        requested: f64,
+        /// That component's spent total.
+        spent: f64,
+    },
 }
 
 impl std::fmt::Display for LedgerError {
@@ -210,6 +250,28 @@ impl std::fmt::Display for LedgerError {
             LedgerError::DuplicateReservation { name } => {
                 write!(f, "season `{name}` already holds a budget reservation")
             }
+            LedgerError::UnknownSeason { name } => {
+                write!(f, "season `{name}` holds no budget reservation")
+            }
+            LedgerError::DuplicateClosure { name } => {
+                write!(f, "season `{name}` is already closing or closed")
+            }
+            LedgerError::RefundExceedsReservation {
+                name,
+                requested,
+                reserved,
+            } => write!(
+                f,
+                "refund for season `{name}` exceeds its reservation: \
+                 requested {requested}, reserved {reserved}"
+            ),
+            LedgerError::NoPendingClosure { name } => {
+                write!(f, "season `{name}` has no pending close-begin to seal")
+            }
+            LedgerError::CreditExceedsSpent { requested, spent } => write!(
+                f,
+                "credit exceeds the spent total: requested {requested}, spent {spent}"
+            ),
         }
     }
 }
@@ -344,6 +406,46 @@ impl BudgetAccount {
             return Err(LedgerError::DeltaExhausted {
                 requested: delta,
                 remaining: self.remaining_delta(),
+            });
+        }
+        self.spent_epsilon = projected_epsilon;
+        self.spent_delta = projected_delta;
+        Ok(())
+    }
+
+    /// Return previously admitted budget to the account, mutating the
+    /// spent totals only when the projected totals stay non-negative
+    /// (within one relative tolerance of zero).
+    ///
+    /// This is the refund arithmetic behind [`MetaLedger`] season
+    /// closures: a credit is the mirror of [`admit`](Self::admit), with
+    /// the same fail-closed posture — non-finite and negative credits are
+    /// refused outright, and a credit that would push the spent totals
+    /// below zero (i.e. mint budget past the cap) is refused with
+    /// [`LedgerError::CreditExceedsSpent`].
+    pub fn credit(&mut self, epsilon: f64, delta: f64) -> Result<(), LedgerError> {
+        let invalid = |x: f64| !x.is_finite() || x < 0.0;
+        if invalid(epsilon) || invalid(delta) {
+            return Err(LedgerError::InvalidCharge { epsilon, delta });
+        }
+        let mut projected_epsilon = self.spent_epsilon;
+        projected_epsilon.add(-epsilon);
+        let floor = -self.budget.epsilon.abs() * LEDGER_REL_TOL;
+        // A NaN projection (NaN budget) must refuse, not admit.
+        let below = |x: f64, floor: f64| x.is_nan() || x < floor;
+        if below(projected_epsilon.value(), floor) {
+            return Err(LedgerError::CreditExceedsSpent {
+                requested: epsilon,
+                spent: self.spent_epsilon(),
+            });
+        }
+        let mut projected_delta = self.spent_delta;
+        projected_delta.add(-delta);
+        let floor = -self.budget.delta.abs() * LEDGER_REL_TOL;
+        if below(projected_delta.value(), floor) {
+            return Err(LedgerError::CreditExceedsSpent {
+                requested: delta,
+                spent: self.spent_delta(),
             });
         }
         self.spent_epsilon = projected_epsilon;
@@ -536,6 +638,95 @@ pub struct SeasonReservation {
     pub budget: PrivacyParams,
 }
 
+/// One recorded event in a [`MetaLedger`]'s append-only log.
+///
+/// The log is chronological because replay order carries meaning: a
+/// reservation made *after* a sealed closure may legitimately spend the
+/// refunded budget, so replaying "all reservations, then all closures"
+/// would refuse histories the live ledger admitted.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetaEvent {
+    /// A season reserved its whole budget from the cap.
+    Reserve(SeasonReservation),
+    /// Phase one of a season closure: the unspent remainder is durably
+    /// frozen. The refund is *not yet spendable* — a crash here leaves
+    /// the budget conservatively reserved (fail-closed).
+    CloseBegin {
+        /// The closing season.
+        name: String,
+        /// The frozen ε refund (reserved ε minus spent ε, clamped ≥ 0).
+        refund_epsilon: f64,
+        /// The frozen δ refund.
+        refund_delta: f64,
+    },
+    /// Phase two: the frozen refund is credited back to the cap and the
+    /// closure becomes final.
+    CloseSeal {
+        /// The sealed season.
+        name: String,
+    },
+}
+
+impl Serialize for MetaEvent {
+    fn to_value(&self) -> Value {
+        match self {
+            MetaEvent::Reserve(r) => Value::Map(vec![
+                ("event".to_string(), Value::Str("reserve".to_string())),
+                ("name".to_string(), r.name.to_value()),
+                ("budget".to_string(), r.budget.to_value()),
+            ]),
+            MetaEvent::CloseBegin {
+                name,
+                refund_epsilon,
+                refund_delta,
+            } => Value::Map(vec![
+                ("event".to_string(), Value::Str("close_begin".to_string())),
+                ("name".to_string(), name.to_value()),
+                ("refund_epsilon".to_string(), refund_epsilon.to_value()),
+                ("refund_delta".to_string(), refund_delta.to_value()),
+            ]),
+            MetaEvent::CloseSeal { name } => Value::Map(vec![
+                ("event".to_string(), Value::Str("close_seal".to_string())),
+                ("name".to_string(), name.to_value()),
+            ]),
+        }
+    }
+}
+
+impl Deserialize for MetaEvent {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let kind = String::from_value(get_field(v, "event")?)?;
+        let name = String::from_value(get_field(v, "name")?)?;
+        match kind.as_str() {
+            "reserve" => Ok(MetaEvent::Reserve(SeasonReservation {
+                name,
+                budget: PrivacyParams::from_value(get_field(v, "budget")?)?,
+            })),
+            "close_begin" => Ok(MetaEvent::CloseBegin {
+                name,
+                refund_epsilon: f64::from_value(get_field(v, "refund_epsilon")?)?,
+                refund_delta: f64::from_value(get_field(v, "refund_delta")?)?,
+            }),
+            "close_seal" => Ok(MetaEvent::CloseSeal { name }),
+            other => Err(DeError::new(format!("unknown meta-ledger event `{other}`"))),
+        }
+    }
+}
+
+/// A season's closure record, materialized from the event log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeasonClosure {
+    /// The closing (or closed) season.
+    pub name: String,
+    /// The frozen ε refund.
+    pub refund_epsilon: f64,
+    /// The frozen δ refund.
+    pub refund_delta: f64,
+    /// Whether phase two ran: `false` while only the close-begin is on
+    /// record (refund frozen but not yet spendable), `true` once sealed.
+    pub sealed: bool,
+}
+
 /// The agency-level accountant: a global privacy-loss cap from which every
 /// season's whole budget is **reserved up front**.
 ///
@@ -564,7 +755,9 @@ pub struct SeasonReservation {
 #[derive(Debug, Clone)]
 pub struct MetaLedger {
     account: BudgetAccount,
+    events: Vec<MetaEvent>,
     reservations: Vec<SeasonReservation>,
+    closures: Vec<SeasonClosure>,
 }
 
 impl MetaLedger {
@@ -572,7 +765,9 @@ impl MetaLedger {
     pub fn new(cap: PrivacyParams) -> Self {
         Self {
             account: BudgetAccount::new(cap),
+            events: Vec::new(),
             reservations: Vec::new(),
+            closures: Vec::new(),
         }
     }
 
@@ -601,6 +796,26 @@ impl MetaLedger {
         self.account.remaining_delta()
     }
 
+    /// Total ε refunded by sealed season closures so far. Pending (begun
+    /// but unsealed) refunds are *not* counted: until the seal lands, the
+    /// budget stays conservatively reserved.
+    pub fn refunded_epsilon(&self) -> f64 {
+        let mut sum = CompensatedSum::default();
+        for c in self.closures.iter().filter(|c| c.sealed) {
+            sum.add(c.refund_epsilon);
+        }
+        sum.value()
+    }
+
+    /// Total δ refunded by sealed season closures so far.
+    pub fn refunded_delta(&self) -> f64 {
+        let mut sum = CompensatedSum::default();
+        for c in self.closures.iter().filter(|c| c.sealed) {
+            sum.add(c.refund_delta);
+        }
+        sum.value()
+    }
+
     /// All reservations, in the order they were made.
     pub fn reservations(&self) -> &[SeasonReservation] {
         &self.reservations
@@ -609,6 +824,21 @@ impl MetaLedger {
     /// The reservation held by season `name`, if any.
     pub fn reservation(&self, name: &str) -> Option<&SeasonReservation> {
         self.reservations.iter().find(|r| r.name == name)
+    }
+
+    /// The full chronological event log (reservations and closures).
+    pub fn events(&self) -> &[MetaEvent] {
+        &self.events
+    }
+
+    /// All closure records, in close-begin order.
+    pub fn closures(&self) -> &[SeasonClosure] {
+        &self.closures
+    }
+
+    /// The closure record for season `name`, if any (pending or sealed).
+    pub fn closure(&self, name: &str) -> Option<&SeasonClosure> {
+        self.closures.iter().find(|c| c.name == name)
     }
 
     /// Reserve `budget` for a new season named `name`.
@@ -629,14 +859,102 @@ impl MetaLedger {
         }
         self.account.check_alpha(budget.alpha)?;
         self.account.admit(budget.epsilon, budget.delta)?;
-        self.reservations.push(SeasonReservation { name, budget });
+        let reservation = SeasonReservation { name, budget };
+        self.events.push(MetaEvent::Reserve(reservation.clone()));
+        self.reservations.push(reservation);
+        Ok(())
+    }
+
+    /// Phase one of closing season `name`: durably freeze its refund (the
+    /// unspent remainder the caller computed from the season's ledger).
+    ///
+    /// Nothing is credited yet — a crash after this record leaves the
+    /// refund frozen but unspendable, which is the fail-closed direction.
+    /// Refused when the season holds no reservation, already has a closure
+    /// record, the refund is non-finite or negative, or the refund exceeds
+    /// the reservation (which would mint budget).
+    pub fn close_begin(
+        &mut self,
+        name: impl Into<String>,
+        refund_epsilon: f64,
+        refund_delta: f64,
+    ) -> Result<(), LedgerError> {
+        let name = name.into();
+        let Some(reservation) = self.reservation(&name) else {
+            return Err(LedgerError::UnknownSeason { name });
+        };
+        if self.closure(&name).is_some() {
+            return Err(LedgerError::DuplicateClosure { name });
+        }
+        let invalid = |x: f64| !x.is_finite() || x < 0.0;
+        if invalid(refund_epsilon) || invalid(refund_delta) {
+            return Err(LedgerError::InvalidCharge {
+                epsilon: refund_epsilon,
+                delta: refund_delta,
+            });
+        }
+        let budget = reservation.budget;
+        if refund_epsilon > budget.epsilon * (1.0 + LEDGER_REL_TOL) {
+            return Err(LedgerError::RefundExceedsReservation {
+                name,
+                requested: refund_epsilon,
+                reserved: budget.epsilon,
+            });
+        }
+        if refund_delta > budget.delta * (1.0 + LEDGER_REL_TOL) {
+            return Err(LedgerError::RefundExceedsReservation {
+                name,
+                requested: refund_delta,
+                reserved: budget.delta,
+            });
+        }
+        self.events.push(MetaEvent::CloseBegin {
+            name: name.clone(),
+            refund_epsilon,
+            refund_delta,
+        });
+        self.closures.push(SeasonClosure {
+            name,
+            refund_epsilon,
+            refund_delta,
+            sealed: false,
+        });
+        Ok(())
+    }
+
+    /// Phase two of closing season `name`: credit the frozen refund back
+    /// to the cap and seal the closure.
+    ///
+    /// Refused without a pending [`close_begin`](Self::close_begin) — the
+    /// credited amount must be exactly the durably frozen one.
+    pub fn close_seal(&mut self, name: &str) -> Result<(), LedgerError> {
+        let Some(index) = self.closures.iter().position(|c| c.name == name) else {
+            return Err(LedgerError::NoPendingClosure {
+                name: name.to_string(),
+            });
+        };
+        if self.closures[index].sealed {
+            return Err(LedgerError::NoPendingClosure {
+                name: name.to_string(),
+            });
+        }
+        let (refund_epsilon, refund_delta) = {
+            let c = &self.closures[index];
+            (c.refund_epsilon, c.refund_delta)
+        };
+        self.account.credit(refund_epsilon, refund_delta)?;
+        self.events.push(MetaEvent::CloseSeal {
+            name: name.to_string(),
+        });
+        self.closures[index].sealed = true;
         Ok(())
     }
 
     /// Rebuild a meta-ledger by replaying recorded reservations against
     /// `cap` with exactly the arithmetic [`reserve`](Self::reserve) uses —
-    /// the agency resume path. Fails if any reservation is duplicated,
-    /// α-inconsistent, or would overdraw the cap.
+    /// the agency resume path for histories without closures. Fails if any
+    /// reservation is duplicated, α-inconsistent, or would overdraw the
+    /// cap.
     pub fn replay(
         cap: PrivacyParams,
         reservations: &[SeasonReservation],
@@ -647,13 +965,33 @@ impl MetaLedger {
         }
         Ok(meta)
     }
+
+    /// Rebuild a meta-ledger by replaying a full chronological event log
+    /// against `cap`, with exactly the arithmetic the live mutators use.
+    /// Order matters: a reservation recorded after a sealed closure may
+    /// spend the refunded budget, and replay honors that.
+    pub fn replay_events(cap: PrivacyParams, events: &[MetaEvent]) -> Result<Self, LedgerError> {
+        let mut meta = MetaLedger::new(cap);
+        for event in events {
+            match event {
+                MetaEvent::Reserve(r) => meta.reserve(r.name.clone(), r.budget)?,
+                MetaEvent::CloseBegin {
+                    name,
+                    refund_epsilon,
+                    refund_delta,
+                } => meta.close_begin(name.clone(), *refund_epsilon, *refund_delta)?,
+                MetaEvent::CloseSeal { name } => meta.close_seal(name)?,
+            }
+        }
+        Ok(meta)
+    }
 }
 
 impl Serialize for MetaLedger {
     fn to_value(&self) -> Value {
         Value::Map(vec![
             ("cap".to_string(), self.cap().to_value()),
-            ("reservations".to_string(), self.reservations.to_value()),
+            ("events".to_string(), self.events.to_value()),
             (
                 "reserved_epsilon".to_string(),
                 self.reserved_epsilon().to_value(),
@@ -668,20 +1006,27 @@ impl Serialize for MetaLedger {
 
 impl Deserialize for MetaLedger {
     /// Deserialize by replay: reserved totals are recomputed from the
-    /// reservations (never trusted from the snapshot) and cross-checked
+    /// event log (never trusted from the snapshot) and cross-checked
     /// against the recorded totals, exactly like [`Ledger`]'s
-    /// deserializer.
+    /// deserializer. Snapshots from before the event log (a bare
+    /// `reservations` list, no `events` field) still deserialize: the
+    /// reservations replay as a closure-free history.
     fn from_value(v: &Value) -> Result<Self, DeError> {
         let cap = PrivacyParams::from_value(get_field(v, "cap")?)?;
-        let reservations = Vec::<SeasonReservation>::from_value(get_field(v, "reservations")?)?;
-        let meta = MetaLedger::replay(cap, &reservations)
-            .map_err(|e| DeError::new(format!("cap-inconsistent meta-ledger snapshot: {e}")))?;
+        let meta = if v.get("events").is_some() {
+            let events = Vec::<MetaEvent>::from_value(get_field(v, "events")?)?;
+            MetaLedger::replay_events(cap, &events)
+        } else {
+            let reservations = Vec::<SeasonReservation>::from_value(get_field(v, "reservations")?)?;
+            MetaLedger::replay(cap, &reservations)
+        }
+        .map_err(|e| DeError::new(format!("cap-inconsistent meta-ledger snapshot: {e}")))?;
         let recorded_epsilon = f64::from_value(get_field(v, "reserved_epsilon")?)?;
         let recorded_delta = f64::from_value(get_field(v, "reserved_delta")?)?;
         if recorded_epsilon != meta.reserved_epsilon() || recorded_delta != meta.reserved_delta() {
             return Err(DeError::new(format!(
                 "meta-ledger snapshot totals (eps {recorded_epsilon}, delta {recorded_delta}) \
-                 disagree with reservation replay (eps {}, delta {})",
+                 disagree with event replay (eps {}, delta {})",
                 meta.reserved_epsilon(),
                 meta.reserved_delta()
             )));
@@ -999,6 +1344,157 @@ mod tests {
         let replayed = MetaLedger::replay(*live.cap(), live.reservations()).unwrap();
         assert_eq!(replayed.reserved_epsilon(), live.reserved_epsilon());
         assert_eq!(replayed.remaining_epsilon(), live.remaining_epsilon());
+    }
+
+    #[test]
+    fn close_season_two_phase_refund() {
+        let mut meta = MetaLedger::new(PrivacyParams::pure(0.1, 8.0));
+        meta.reserve("s1", PrivacyParams::pure(0.1, 5.0)).unwrap();
+        meta.reserve("s2", PrivacyParams::pure(0.1, 3.0)).unwrap();
+        assert!(meta.remaining_epsilon() < 1e-9);
+
+        // Phase one freezes the refund without making it spendable.
+        meta.close_begin("s1", 4.0, 0.0).unwrap();
+        assert!(
+            meta.remaining_epsilon() < 1e-9,
+            "pending refund fails closed"
+        );
+        assert!(!meta.closure("s1").unwrap().sealed);
+        assert_eq!(meta.refunded_epsilon(), 0.0);
+
+        // Phase two credits exactly the frozen amount.
+        meta.close_seal("s1").unwrap();
+        assert!((meta.remaining_epsilon() - 4.0).abs() < 1e-12);
+        assert!((meta.refunded_epsilon() - 4.0).abs() < 1e-12);
+        assert!(meta.closure("s1").unwrap().sealed);
+
+        // The refunded budget is reservable by a later season.
+        meta.reserve("s3", PrivacyParams::pure(0.1, 4.0)).unwrap();
+        assert!(meta.remaining_epsilon() < 1e-9);
+
+        // A closed name stays reserved: no aliasing re-reservation.
+        assert!(matches!(
+            meta.reserve("s1", PrivacyParams::pure(0.1, 0.5)),
+            Err(LedgerError::DuplicateReservation { .. })
+        ));
+    }
+
+    #[test]
+    fn close_season_refuses_bad_transitions() {
+        let mut meta = MetaLedger::new(PrivacyParams::pure(0.1, 8.0));
+        meta.reserve("s1", PrivacyParams::pure(0.1, 5.0)).unwrap();
+        // Closing an unreserved season.
+        assert!(matches!(
+            meta.close_begin("ghost", 1.0, 0.0),
+            Err(LedgerError::UnknownSeason { .. })
+        ));
+        // Sealing without a begin.
+        assert!(matches!(
+            meta.close_seal("s1"),
+            Err(LedgerError::NoPendingClosure { .. })
+        ));
+        // A refund above the reservation would mint budget.
+        assert!(matches!(
+            meta.close_begin("s1", 5.5, 0.0),
+            Err(LedgerError::RefundExceedsReservation { .. })
+        ));
+        // Non-finite and negative refunds are refused outright.
+        assert!(matches!(
+            meta.close_begin("s1", f64::NAN, 0.0),
+            Err(LedgerError::InvalidCharge { .. })
+        ));
+        assert!(matches!(
+            meta.close_begin("s1", -1.0, 0.0),
+            Err(LedgerError::InvalidCharge { .. })
+        ));
+        meta.close_begin("s1", 2.0, 0.0).unwrap();
+        // Double close-begin.
+        assert!(matches!(
+            meta.close_begin("s1", 2.0, 0.0),
+            Err(LedgerError::DuplicateClosure { .. })
+        ));
+        meta.close_seal("s1").unwrap();
+        // Double seal.
+        assert!(matches!(
+            meta.close_seal("s1"),
+            Err(LedgerError::NoPendingClosure { .. })
+        ));
+    }
+
+    #[test]
+    fn meta_event_replay_honors_chronology() {
+        // A reservation recorded after a sealed closure spends the
+        // refunded budget; replaying reservations before closures would
+        // refuse this history.
+        let mut live = MetaLedger::new(PrivacyParams::pure(0.1, 4.0));
+        live.reserve("a", PrivacyParams::pure(0.1, 4.0)).unwrap();
+        live.close_begin("a", 3.0, 0.0).unwrap();
+        live.close_seal("a").unwrap();
+        live.reserve("b", PrivacyParams::pure(0.1, 3.0)).unwrap();
+
+        let replayed = MetaLedger::replay_events(*live.cap(), live.events()).unwrap();
+        assert_eq!(replayed.reserved_epsilon(), live.reserved_epsilon());
+        assert_eq!(replayed.refunded_epsilon(), live.refunded_epsilon());
+        assert_eq!(replayed.closures(), live.closures());
+        assert_eq!(replayed.events(), live.events());
+    }
+
+    #[test]
+    fn meta_ledger_closure_json_roundtrip_and_compat() {
+        let mut meta = MetaLedger::new(PrivacyParams::pure(0.1, 8.0));
+        meta.reserve("s1", PrivacyParams::pure(0.1, 5.0)).unwrap();
+        meta.close_begin("s1", 4.5, 0.0).unwrap();
+        // Roundtrip with a *pending* closure: the crash window between
+        // begin and seal must survive persistence.
+        let json = serde_json::to_string(&meta).unwrap();
+        let back: MetaLedger = serde_json::from_str(&json).unwrap();
+        assert!(!back.closure("s1").unwrap().sealed);
+        assert_eq!(back.reserved_epsilon(), meta.reserved_epsilon());
+
+        meta.close_seal("s1").unwrap();
+        let json = serde_json::to_string(&meta).unwrap();
+        let back: MetaLedger = serde_json::from_str(&json).unwrap();
+        assert!(back.closure("s1").unwrap().sealed);
+        assert_eq!(back.reserved_epsilon(), meta.reserved_epsilon());
+        assert_eq!(back.refunded_epsilon(), meta.refunded_epsilon());
+
+        // Pre-event-log snapshots (bare `reservations`) still load.
+        let legacy = r#"{
+            "cap": {"alpha": 0.1, "epsilon": 8.0, "delta": 0.0},
+            "reservations": [
+                {"name": "old", "budget": {"alpha": 0.1, "epsilon": 5.0, "delta": 0.0}}
+            ],
+            "reserved_epsilon": 5.0,
+            "reserved_delta": 0.0
+        }"#;
+        let back: MetaLedger = serde_json::from_str(legacy).unwrap();
+        assert_eq!(back.reservations().len(), 1);
+        assert!(back.closures().is_empty());
+        assert!((back.remaining_epsilon() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn budget_account_credit_mirrors_admit() {
+        let mut account = BudgetAccount::new(PrivacyParams::pure(0.1, 4.0));
+        account.admit(3.0, 0.0).unwrap();
+        account.credit(2.0, 0.0).unwrap();
+        assert!((account.spent_epsilon() - 1.0).abs() < 1e-12);
+        assert!((account.remaining_epsilon() - 3.0).abs() < 1e-12);
+        // Crediting past zero would mint budget beyond the cap.
+        assert!(matches!(
+            account.credit(2.0, 0.0),
+            Err(LedgerError::CreditExceedsSpent { .. })
+        ));
+        // Negative and non-finite credits are refused outright.
+        assert!(matches!(
+            account.credit(-1.0, 0.0),
+            Err(LedgerError::InvalidCharge { .. })
+        ));
+        assert!(matches!(
+            account.credit(f64::NAN, 0.0),
+            Err(LedgerError::InvalidCharge { .. })
+        ));
+        assert!((account.spent_epsilon() - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -116,8 +116,8 @@ use crate::definitions::PrivacyParams;
 use crate::engine::{ReleaseRequest, TabulationCache};
 use crate::public_cache::ReleaseCache;
 use crate::store::{
-    dataset_digest, panel_digest, read_json, write_json_atomic, DirLease, SeasonReport,
-    SeasonStore, StoreError,
+    cfs, dataset_digest, panel_digest, read_json, sweep_tmp_files, write_json_atomic, DirLease,
+    SeasonReport, SeasonStore, StoreError,
 };
 use crate::truths::TruthStore;
 use lodes::{Dataset, DatasetPanel};
@@ -179,7 +179,7 @@ impl Deserialize for AgencyManifest {
 /// The audit view of one governed season, refreshed on
 /// [`AgencyStore::open`] and after every [`AgencyStore::run_season`].
 /// Serializable so budget-audit endpoints can publish it as-is.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct SeasonSummary {
     /// The season's name (its directory name under `seasons/`).
     pub name: String,
@@ -195,6 +195,46 @@ pub struct SeasonSummary {
     /// crash window between a durable reservation and the directory's
     /// creation; the budget is held either way.
     pub materialized: bool,
+    /// Whether the season has been closed: its unspent remainder was
+    /// refunded to the cap and no further release is admitted.
+    pub closed: bool,
+}
+
+impl Deserialize for SeasonSummary {
+    /// Hand-written for wire compatibility: `closed` postdates the first
+    /// audit payloads, so a summary without the field reads as open.
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(Self {
+            name: String::from_value(get_field(v, "name")?)?,
+            budget: PrivacyParams::from_value(get_field(v, "budget")?)?,
+            spent_epsilon: f64::from_value(get_field(v, "spent_epsilon")?)?,
+            spent_delta: f64::from_value(get_field(v, "spent_delta")?)?,
+            completed: usize::from_value(get_field(v, "completed")?)?,
+            materialized: bool::from_value(get_field(v, "materialized")?)?,
+            closed: match get_field(v, "closed") {
+                Ok(value) => bool::from_value(value)?,
+                Err(_) => false,
+            },
+        })
+    }
+}
+
+/// What [`AgencyStore::close_season`] accomplished: the refund credited
+/// back to the cap (or the one recorded by an earlier completed close).
+/// Serializable so the service can return it from the close endpoint.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClosureReceipt {
+    /// The closed season.
+    pub name: String,
+    /// ε refunded to the agency cap.
+    pub refund_epsilon: f64,
+    /// δ refunded to the agency cap.
+    pub refund_delta: f64,
+    /// `true` when the season was already closed and this call changed
+    /// nothing (the refund fields echo the original closure).
+    pub already_closed: bool,
+    /// ε unreserved under the cap after the refund.
+    pub remaining_epsilon: f64,
 }
 
 /// A durable multi-season agency: meta-ledger + season stores + shared
@@ -239,7 +279,7 @@ impl AgencyStore {
             return Err(StoreError::AlreadyExists { path: root });
         }
         for sub in [SEASONS_DIR, TRUTHS_DIR, PUBLIC_DIR] {
-            fs::create_dir_all(root.join(sub)).map_err(|source| StoreError::Io {
+            cfs::create_dir_all(&root.join(sub)).map_err(|source| StoreError::Io {
                 path: root.join(sub),
                 source,
             })?;
@@ -298,6 +338,13 @@ impl AgencyStore {
         // [`StoreError::Locked`] before any verification work; a lease
         // left by a dead process is reclaimed.
         let lease = DirLease::acquire(root.join(LEASE_FILE))?;
+        // Clear temp files orphaned by a crash mid-write. Safe only under
+        // the lease (a live writer's in-flight temp must survive); the
+        // season and artifact directories sweep their own on
+        // `SeasonStore::open`.
+        sweep_tmp_files(&root);
+        sweep_tmp_files(&root.join(TRUTHS_DIR));
+        sweep_tmp_files(&root.join(PUBLIC_DIR));
         let mut manifest: AgencyManifest = read_json(&manifest_path)?;
         if manifest.format != FORMAT_VERSION {
             return Err(StoreError::Corrupt {
@@ -308,7 +355,7 @@ impl AgencyStore {
                 ),
             });
         }
-        let meta: MetaLedger = read_json(&root.join(META_LEDGER_FILE))?;
+        let mut meta: MetaLedger = read_json(&root.join(META_LEDGER_FILE))?;
         if meta.cap() != &manifest.cap {
             return Err(StoreError::Inconsistent {
                 detail: format!(
@@ -344,7 +391,10 @@ impl AgencyStore {
         let mut bound_digest = manifest.dataset_digest;
         for reservation in meta.reservations() {
             let season_dir = seasons_dir.join(&reservation.name);
-            if !season_dir.exists() {
+            // Materialization means the season *manifest* exists — a bare
+            // directory left by a crash before the manifest landed is
+            // still the repairable create window.
+            if !SeasonStore::exists_at(&season_dir) {
                 seasons.push(SeasonSummary {
                     name: reservation.name.clone(),
                     budget: reservation.budget,
@@ -352,6 +402,9 @@ impl AgencyStore {
                     spent_delta: 0.0,
                     completed: 0,
                     materialized: false,
+                    closed: meta
+                        .closure(&reservation.name)
+                        .is_some_and(|closure| closure.sealed),
                 });
                 continue;
             }
@@ -397,11 +450,40 @@ impl AgencyStore {
                 spent_delta: season.ledger().spent_delta(),
                 completed: season.completed(),
                 materialized: true,
+                closed: season.is_closed(),
             });
         }
         if bound_digest != manifest.dataset_digest {
             manifest.dataset_digest = bound_digest;
             write_json_atomic(&manifest_path, &manifest)?;
+        }
+        // Roll forward closes interrupted between the frozen refund and
+        // the seal: the refund amount is already durable, so finishing
+        // the close is the only direction that neither loses the refund
+        // nor lets frozen budget be spent.
+        let pending: Vec<String> = meta
+            .closures()
+            .iter()
+            .filter(|closure| !closure.sealed)
+            .map(|closure| closure.name.clone())
+            .collect();
+        for name in pending {
+            let season_dir = seasons_dir.join(&name);
+            if SeasonStore::exists_at(&season_dir) {
+                let mut season = SeasonStore::open(&season_dir)?;
+                season.seal()?;
+            }
+            let mut next = meta.clone();
+            next.close_seal(&name)
+                .map_err(|source| StoreError::AgencyBudget {
+                    season: name.clone(),
+                    source,
+                })?;
+            write_json_atomic(&root.join(META_LEDGER_FILE), &next)?;
+            meta = next;
+            if let Some(summary) = seasons.iter_mut().find(|s| s.name == name) {
+                summary.closed = true;
+            }
         }
         Ok(Self {
             root,
@@ -598,9 +680,16 @@ impl AgencyStore {
         budget: PrivacyParams,
     ) -> Result<SeasonStore, StoreError> {
         Self::validate_name(name)?;
+        // A closed name never comes back — not even the unmaterialized
+        // crash window, whose whole budget was refunded at close.
+        if self.meta.closure(name).is_some() {
+            return Err(StoreError::SeasonClosed {
+                name: name.to_string(),
+            });
+        }
         let season_dir = self.season_dir(name);
         if let Some(reservation) = self.meta.reservation(name) {
-            if season_dir.exists() {
+            if SeasonStore::exists_at(&season_dir) {
                 return Err(StoreError::AlreadyExists { path: season_dir });
             }
             // Crash-window repair: the reservation is durable, the
@@ -645,6 +734,7 @@ impl AgencyStore {
             spent_delta: season.ledger().spent_delta(),
             completed: season.completed(),
             materialized: true,
+            closed: season.is_closed(),
         };
         match self.seasons.iter_mut().find(|s| s.name == name) {
             Some(existing) => *existing = summary,
@@ -692,7 +782,7 @@ impl AgencyStore {
                     reservation.budget, budget
                 ),
             }),
-            Some(_) if self.season_dir(name).exists() => self.open_season(name),
+            Some(_) if SeasonStore::exists_at(self.season_dir(name)) => self.open_season(name),
             Some(_) => self.create_season(name, budget),
             None => self.create_season(name, budget),
         }
@@ -721,6 +811,11 @@ impl AgencyStore {
         // call (typo'd name, corrupt season) must not durably bind the
         // agency to whatever dataset it happened to be handed.
         let mut season = self.open_season(name)?;
+        if season.is_closed() {
+            return Err(StoreError::SeasonClosed {
+                name: name.to_string(),
+            });
+        }
         let digest = dataset_digest(dataset);
         self.bind_dataset(digest)?;
         let truths = TruthStore::open(self.root.join(TRUTHS_DIR), digest)?;
@@ -777,6 +872,11 @@ impl AgencyStore {
         }
         // Season validity before the pin, exactly as in `run_season`.
         let mut season = self.open_season(name)?;
+        if season.is_closed() {
+            return Err(StoreError::SeasonClosed {
+                name: name.to_string(),
+            });
+        }
         let quarter_digests: Vec<u64> = panel.snapshots().iter().map(dataset_digest).collect();
         self.bind_dataset(panel_digest(&quarter_digests))?;
         let digest = quarter_digests[quarter];
@@ -803,6 +903,119 @@ impl AgencyStore {
         );
         self.upsert_summary(name, &season);
         result
+    }
+
+    /// Close season `name`: durably refund its unspent remainder to the
+    /// agency cap and seal the season against further releases.
+    ///
+    /// The close is a three-step protocol, each step durable before the
+    /// next, so every crash window rolls forward:
+    ///
+    /// 1. **Freeze** — [`MetaLedger::close_begin`] records the refund
+    ///    (the season ledger's remaining `(ε, δ)`; the whole reservation
+    ///    for a season that never materialized) and the meta-ledger is
+    ///    persisted. A crash here leaves the refund frozen but not yet
+    ///    spendable — fail closed.
+    /// 2. **Seal** — the season manifest is marked closed
+    ///    ([`SeasonStore::seal`]), so the remainder being refunded can
+    ///    never also be spent by a resumed run.
+    /// 3. **Credit** — [`MetaLedger::close_seal`] credits the frozen
+    ///    amount back to the cap and the meta-ledger is persisted again.
+    ///
+    /// Crashes between the steps are repaired by [`open`](Self::open)
+    /// (which rolls pending closures forward) or by re-issuing this call,
+    /// which resumes from the durable record instead of recomputing the
+    /// refund. Closing an already-closed season is not an error: it
+    /// returns the original closure's receipt with
+    /// [`already_closed`](ClosureReceipt::already_closed) set.
+    pub fn close_season(&mut self, name: &str) -> Result<ClosureReceipt, StoreError> {
+        Self::validate_name(name)?;
+        let reservation = self
+            .meta
+            .reservation(name)
+            .ok_or_else(|| StoreError::Inconsistent {
+                detail: format!("agency holds no season named `{name}`"),
+            })?
+            .clone();
+        if let Some(closure) = self.meta.closure(name) {
+            if closure.sealed {
+                return Ok(ClosureReceipt {
+                    name: name.to_string(),
+                    refund_epsilon: closure.refund_epsilon,
+                    refund_delta: closure.refund_delta,
+                    already_closed: true,
+                    remaining_epsilon: self.meta.remaining_epsilon(),
+                });
+            }
+        }
+        let season_dir = self.season_dir(name);
+        let mut season = if SeasonStore::exists_at(&season_dir) {
+            Some(SeasonStore::open(&season_dir)?)
+        } else {
+            None
+        };
+        // Step 1 — freeze the refund durably. A re-issued close after a
+        // crash honors the frozen amount rather than recomputing it (the
+        // season may have been sealed in between, but its ledger cannot
+        // have moved: the freeze-then-seal order leaves no window where
+        // the remainder changes).
+        let (refund_epsilon, refund_delta) = match self.meta.closure(name) {
+            Some(pending) => (pending.refund_epsilon, pending.refund_delta),
+            None => {
+                let (refund_epsilon, refund_delta) = match &season {
+                    Some(season) => (
+                        season.ledger().remaining_epsilon(),
+                        season.ledger().remaining_delta(),
+                    ),
+                    // Never materialized: the whole reservation comes back.
+                    None => (reservation.budget.epsilon, reservation.budget.delta),
+                };
+                let mut meta = self.meta.clone();
+                meta.close_begin(name, refund_epsilon, refund_delta)
+                    .map_err(|source| StoreError::AgencyBudget {
+                        season: name.to_string(),
+                        source,
+                    })?;
+                write_json_atomic(&self.root.join(META_LEDGER_FILE), &meta)?;
+                self.meta = meta;
+                (refund_epsilon, refund_delta)
+            }
+        };
+        // Step 2 — seal the season: from here no resumed run can spend
+        // the remainder that step 3 is about to credit back.
+        if let Some(season) = season.as_mut() {
+            season.seal()?;
+            self.upsert_summary(name, season);
+        }
+        // Step 3 — credit the frozen refund and seal the closure.
+        let mut meta = self.meta.clone();
+        meta.close_seal(name)
+            .map_err(|source| StoreError::AgencyBudget {
+                season: name.to_string(),
+                source,
+            })?;
+        write_json_atomic(&self.root.join(META_LEDGER_FILE), &meta)?;
+        self.meta = meta;
+        if let Some(summary) = self.seasons.iter_mut().find(|s| s.name == name) {
+            summary.closed = true;
+        }
+        Ok(ClosureReceipt {
+            name: name.to_string(),
+            refund_epsilon,
+            refund_delta,
+            already_closed: false,
+            remaining_epsilon: self.meta.remaining_epsilon(),
+        })
+    }
+
+    /// Total ε refunded to the cap by sealed season closures.
+    pub fn refunded_epsilon(&self) -> f64 {
+        self.meta.refunded_epsilon()
+    }
+
+    /// Total δ refunded to the cap by sealed season closures.
+    pub fn refunded_delta(&self) -> f64 {
+        self.meta.refunded_delta()
     }
 }
 
@@ -1073,6 +1286,100 @@ mod tests {
         assert_eq!(report.tabulations_computed, 1);
         let truths = agency.truth_store().unwrap().expect("dataset bound");
         assert_eq!(truths.len(), 2);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn close_season_refunds_unspent_budget_and_seals() {
+        let dir = tmp_dir("close");
+        let d = dataset();
+        let mut agency = AgencyStore::create(&dir, PrivacyParams::pure(0.1, 8.0)).unwrap();
+        agency
+            .create_season("s", PrivacyParams::pure(0.1, 5.0))
+            .unwrap();
+        agency.run_season("s", &d, &[request(1, 2.0)]).unwrap();
+        // 5 reserved, 2 spent: the close refunds 3 back to the cap.
+        let receipt = agency.close_season("s").unwrap();
+        assert!(!receipt.already_closed);
+        assert!((receipt.refund_epsilon - 3.0).abs() < 1e-9);
+        assert!((agency.remaining_epsilon() - 6.0).abs() < 1e-9);
+        assert!((agency.refunded_epsilon() - 3.0).abs() < 1e-9);
+        // The sealed season refuses further runs, the name never returns,
+        // and the refunded headroom is reservable by a new season.
+        assert!(matches!(
+            agency.run_season("s", &d, &[request(2, 1.0)]),
+            Err(StoreError::SeasonClosed { .. })
+        ));
+        assert!(matches!(
+            agency.create_season("s", PrivacyParams::pure(0.1, 1.0)),
+            Err(StoreError::SeasonClosed { .. })
+        ));
+        agency
+            .create_season("next", PrivacyParams::pure(0.1, 6.0))
+            .unwrap();
+        // Closing again is idempotent and echoes the original refund.
+        let again = agency.close_season("s").unwrap();
+        assert!(again.already_closed);
+        assert!((again.refund_epsilon - 3.0).abs() < 1e-9);
+        // Everything survives a reopen.
+        drop(agency);
+        let agency = AgencyStore::open(&dir).unwrap();
+        assert!(agency
+            .seasons()
+            .iter()
+            .any(|s| s.name == "s" && s.closed && s.materialized));
+        assert!((agency.refunded_epsilon() - 3.0).abs() < 1e-9);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn close_of_unmaterialized_season_refunds_whole_reservation() {
+        let dir = tmp_dir("close-unmaterialized");
+        let mut agency = AgencyStore::create(&dir, PrivacyParams::pure(0.1, 4.0)).unwrap();
+        agency
+            .create_season("s", PrivacyParams::pure(0.1, 3.0))
+            .unwrap();
+        // Simulate the create-season crash window: reservation, no dir.
+        fs::remove_dir_all(dir.join("seasons").join("s")).unwrap();
+        drop(agency);
+        let mut agency = AgencyStore::open(&dir).unwrap();
+        let receipt = agency.close_season("s").unwrap();
+        assert!((receipt.refund_epsilon - 3.0).abs() < 1e-9);
+        assert!((agency.remaining_epsilon() - 4.0).abs() < 1e-9);
+        // The closed name cannot be re-materialized through the
+        // crash-window repair path.
+        assert!(matches!(
+            agency.create_season("s", PrivacyParams::pure(0.1, 3.0)),
+            Err(StoreError::SeasonClosed { .. })
+        ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn interrupted_close_rolls_forward_on_open() {
+        let dir = tmp_dir("close-rollforward");
+        let d = dataset();
+        let mut agency = AgencyStore::create(&dir, PrivacyParams::pure(0.1, 8.0)).unwrap();
+        agency
+            .create_season("s", PrivacyParams::pure(0.1, 5.0))
+            .unwrap();
+        agency.run_season("s", &d, &[request(1, 2.0)]).unwrap();
+        // Simulate a crash between close_begin and close_seal: freeze the
+        // refund durably, then "die" before sealing.
+        let mut meta = agency.meta_ledger().clone();
+        meta.close_begin("s", 3.0, 0.0).unwrap();
+        write_json_atomic(&dir.join("meta_ledger.json"), &meta).unwrap();
+        drop(agency);
+        // While frozen, the refund is not spendable (fail closed)…
+        let frozen: MetaLedger = crate::store::read_json(&dir.join("meta_ledger.json")).unwrap();
+        assert!((frozen.remaining_epsilon() - 3.0).abs() < 1e-9);
+        // …and open rolls the close forward: season sealed, refund
+        // credited, totals visible.
+        let agency = AgencyStore::open(&dir).unwrap();
+        assert!((agency.remaining_epsilon() - 6.0).abs() < 1e-9);
+        assert!((agency.refunded_epsilon() - 3.0).abs() < 1e-9);
+        assert!(agency.seasons().iter().any(|s| s.name == "s" && s.closed));
+        assert!(agency.open_season("s").unwrap().is_closed());
         fs::remove_dir_all(&dir).unwrap();
     }
 

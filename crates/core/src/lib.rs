@@ -141,6 +141,8 @@
 
 pub mod accountant;
 pub mod agency;
+#[cfg(feature = "chaos")]
+pub mod chaos;
 pub mod definitions;
 pub mod engine;
 pub mod error;
@@ -157,10 +159,10 @@ pub mod store;
 pub mod truths;
 
 pub use accountant::{
-    BudgetAccount, Ledger, LedgerEntry, LedgerError, MetaLedger, ReleaseCost, SeasonReservation,
-    LEDGER_REL_TOL,
+    BudgetAccount, Ledger, LedgerEntry, LedgerError, MetaEvent, MetaLedger, ReleaseCost,
+    SeasonClosure, SeasonReservation, LEDGER_REL_TOL,
 };
-pub use agency::{panel_quarter_seed, AgencyStore, SeasonSummary};
+pub use agency::{panel_quarter_seed, AgencyStore, ClosureReceipt, SeasonSummary};
 pub use definitions::{
     min_epsilon_smooth_gamma, min_epsilon_smooth_laplace, requirement_matrix, PrivacyMethod,
     PrivacyParams, Requirement, Satisfaction,

@@ -143,7 +143,7 @@ impl ReleaseCache {
     /// snapshots coexist without aliasing.
     pub fn open(dir: impl AsRef<Path>) -> Result<Self, StoreError> {
         let dir = dir.as_ref().to_path_buf();
-        std::fs::create_dir_all(&dir).map_err(|source| StoreError::Io {
+        crate::store::cfs::create_dir_all(&dir).map_err(|source| StoreError::Io {
             path: dir.clone(),
             source,
         })?;

@@ -90,7 +90,6 @@ use crate::error::EngineError;
 use lodes::Dataset;
 use serde::{Deserialize, Serialize};
 use std::fs;
-use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
 /// Store format version, recorded in the season manifest so a future
@@ -105,6 +104,71 @@ const LEDGER_FILE: &str = "ledger.json";
 const ARTIFACTS_DIR: &str = "artifacts";
 /// Write-lease file name under the season directory.
 const LEASE_FILE: &str = "season.lock";
+
+/// Chaos-aware filesystem wrappers.
+///
+/// Every durable mutation the store layers perform — temp-file create,
+/// write, fsync, rename, directory create, repair/sweep removal — goes
+/// through these, so the default-off `chaos` feature can count every
+/// syscall boundary and inject an error or a kill at any one of them
+/// (see [`crate::chaos`]). Without the feature each wrapper is exactly
+/// its `std::fs` counterpart: the `hit` probe compiles to nothing.
+pub(crate) mod cfs {
+    use std::fs;
+    use std::io;
+    use std::path::Path;
+
+    #[cfg(feature = "chaos")]
+    fn hit(op: &str, path: &Path) -> io::Result<()> {
+        crate::chaos::hit(op, path)
+    }
+
+    #[cfg(not(feature = "chaos"))]
+    #[inline(always)]
+    fn hit(_op: &str, _path: &Path) -> io::Result<()> {
+        Ok(())
+    }
+
+    pub fn rename(from: &Path, to: &Path) -> io::Result<()> {
+        hit("rename", to)?;
+        fs::rename(from, to)
+    }
+
+    pub fn create_dir_all(path: &Path) -> io::Result<()> {
+        hit("create_dir_all", path)?;
+        fs::create_dir_all(path)
+    }
+
+    pub fn remove_file(path: &Path) -> io::Result<()> {
+        hit("remove_file", path)?;
+        fs::remove_file(path)
+    }
+
+    /// `O_EXCL` create — the lease-acquisition primitive.
+    pub fn create_new(path: &Path) -> io::Result<fs::File> {
+        hit("create_new", path)?;
+        fs::OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(path)
+    }
+
+    pub fn file_create(path: &Path) -> io::Result<fs::File> {
+        hit("create", path)?;
+        fs::File::create(path)
+    }
+
+    pub fn write_all(file: &mut fs::File, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        use io::Write as _;
+        hit("write", path)?;
+        file.write_all(bytes)
+    }
+
+    pub fn sync_all(file: &fs::File, path: &Path) -> io::Result<()> {
+        hit("sync", path)?;
+        file.sync_all()
+    }
+}
 
 /// A failure opening, verifying, or writing a [`SeasonStore`].
 #[derive(Debug)]
@@ -171,6 +235,13 @@ pub enum StoreError {
         /// PID recorded in the live lease.
         holder_pid: u32,
     },
+    /// A charge-bearing operation against a season that has been closed:
+    /// its unspent remainder was refunded to the agency cap, so admitting
+    /// another charge would spend budget the agency already reclaimed.
+    SeasonClosed {
+        /// The closed season's name (its directory name).
+        name: String,
+    },
 }
 
 impl std::fmt::Display for StoreError {
@@ -209,6 +280,13 @@ impl std::fmt::Display for StoreError {
                     f,
                     "store is write-locked by live process {holder_pid} (lease {})",
                     path.display()
+                )
+            }
+            StoreError::SeasonClosed { name } => {
+                write!(
+                    f,
+                    "season `{name}` is closed: its unspent budget was refunded \
+                     to the agency cap and it can never charge again"
                 )
             }
         }
@@ -258,22 +336,16 @@ impl DirLease {
     /// recorded holder is provably dead.
     pub fn acquire(path: impl AsRef<Path>) -> Result<Self, StoreError> {
         let path = path.as_ref().to_path_buf();
-        let lease = LeaseFile {
-            pid: std::process::id(),
-        };
+        let lease = LeaseFile { pid: lease_pid() };
         let json = serde_json::to_string_pretty(&lease).expect("lease serialization is infallible");
         // Bounded retry: between observing a dead holder and reclaiming,
         // another acquirer may win the exclusive create; re-examine rather
         // than spin forever.
         for _ in 0..4 {
-            match fs::OpenOptions::new()
-                .write(true)
-                .create_new(true)
-                .open(&path)
-            {
+            match cfs::create_new(&path) {
                 Ok(mut file) => {
-                    file.write_all(json.as_bytes())
-                        .and_then(|()| file.sync_all())
+                    cfs::write_all(&mut file, &path, json.as_bytes())
+                        .and_then(|()| cfs::sync_all(&file, &path))
                         .map_err(|source| StoreError::Io {
                             path: path.clone(),
                             source,
@@ -281,24 +353,20 @@ impl DirLease {
                     return Ok(Self { path });
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
-                    let holder: LeaseFile = match read_json(&path) {
-                        Ok(holder) => holder,
-                        // A torn or vanished lease file (the holder died
-                        // mid-write, or released between our create and
-                        // read): treat as stale and retry.
-                        Err(_) => {
-                            let _ = fs::remove_file(&path);
-                            continue;
+                    match read_json::<LeaseFile>(&path) {
+                        Ok(holder) if pid_is_alive(holder.pid) => {
+                            return Err(StoreError::Locked {
+                                path,
+                                holder_pid: holder.pid,
+                            });
                         }
-                    };
-                    if pid_is_alive(holder.pid) {
-                        return Err(StoreError::Locked {
-                            path,
-                            holder_pid: holder.pid,
-                        });
+                        // Dead holder, or a torn/vanished lease file (the
+                        // holder died mid-write, or released between our
+                        // create and read): stale either way. Reclaim —
+                        // serialized through the reclaim marker — and
+                        // retry the exclusive create.
+                        Ok(_) | Err(_) => Self::reclaim_stale(&path),
                     }
-                    // Dead holder: reclaim and retry the exclusive create.
-                    let _ = fs::remove_file(&path);
                 }
                 Err(source) => return Err(StoreError::Io { path, source }),
             }
@@ -311,6 +379,71 @@ impl DirLease {
         })
     }
 
+    /// Remove a lease file judged stale, without ever racing another
+    /// acquirer into removing a *live* lease.
+    ///
+    /// A remove-in-place reclaim has a classic TOCTOU hole: racer B reads
+    /// the stale lease, racer A reclaims it and writes its own live
+    /// lease, then B's remove deletes A's lease — and the next exclusive
+    /// create admits a second writer. Reclaim therefore serializes
+    /// through an `O_EXCL` *reclaim marker* (`<lease>.reclaim`): only the
+    /// marker holder may remove the lease, and it re-verifies under the
+    /// marker that the lease is still stale — `create_new` never replaces
+    /// an existing file, so a lease that still parses to a dead PID under
+    /// the marker cannot be a racer's fresh live lease. A marker left by
+    /// a holder that died mid-reclaim is itself judged by PID liveness
+    /// and cleared. Failures here are deliberately swallowed: reclaim is
+    /// best-effort, and the caller's bounded acquire loop re-judges the
+    /// world on every iteration.
+    fn reclaim_stale(path: &Path) {
+        let marker = path.with_file_name(format!(
+            "{}.reclaim",
+            path.file_name()
+                .map(|n| n.to_string_lossy())
+                .unwrap_or_default()
+        ));
+        match cfs::create_new(&marker) {
+            Ok(mut file) => {
+                let claim = serde_json::to_string_pretty(&LeaseFile { pid: lease_pid() })
+                    .expect("lease serialization is infallible");
+                let _ = cfs::write_all(&mut file, &marker, claim.as_bytes());
+                // Re-judge under the marker: remove only what is still
+                // provably stale. A torn read could be a live acquirer
+                // between its exclusive create and its first write, so
+                // give it one grace period to finish before treating the
+                // tear as a crashed writer's leavings.
+                let still_stale = match read_json::<LeaseFile>(path) {
+                    Ok(holder) => !pid_is_alive(holder.pid),
+                    Err(_) => {
+                        std::thread::sleep(std::time::Duration::from_millis(20));
+                        match read_json::<LeaseFile>(path) {
+                            Ok(holder) => !pid_is_alive(holder.pid),
+                            Err(_) => true,
+                        }
+                    }
+                };
+                if still_stale {
+                    let _ = cfs::remove_file(path);
+                }
+                let _ = cfs::remove_file(&marker);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                // Another reclaimer holds the marker: clear it if its
+                // holder died mid-reclaim, otherwise give way and let the
+                // acquire loop re-judge.
+                match read_json::<LeaseFile>(&marker) {
+                    Ok(holder) if pid_is_alive(holder.pid) => {
+                        std::thread::sleep(std::time::Duration::from_millis(5));
+                    }
+                    Ok(_) | Err(_) => {
+                        let _ = cfs::remove_file(&marker);
+                    }
+                }
+            }
+            Err(_) => {}
+        }
+    }
+
     /// The lease file path.
     pub fn path(&self) -> &Path {
         &self.path
@@ -319,8 +452,25 @@ impl DirLease {
 
 impl Drop for DirLease {
     fn drop(&mut self) {
+        // A simulated kill means this "process" is dead: it never runs
+        // its own cleanup, exactly like a real SIGKILL. The lease file
+        // stays behind for the next opener's stale-reclaim path.
+        #[cfg(feature = "chaos")]
+        if crate::chaos::crashed() {
+            return;
+        }
         let _ = fs::remove_file(&self.path);
     }
+}
+
+/// The PID recorded into acquired leases: the real process id, unless the
+/// chaos layer is simulating another process identity.
+fn lease_pid() -> u32 {
+    #[cfg(feature = "chaos")]
+    if let Some(pid) = crate::chaos::lease_pid_override() {
+        return pid;
+    }
+    std::process::id()
 }
 
 /// Is the process with this PID still running?
@@ -328,8 +478,13 @@ impl Drop for DirLease {
 /// The current process always reads as alive (so a second handle inside
 /// one process is correctly refused). Elsewhere, `/proc/<pid>` decides on
 /// Linux; platforms without `/proc` presume alive — conservative, since a
-/// false "alive" can only refuse a writer, never admit two.
+/// false "alive" can only refuse a writer, never admit two. The chaos
+/// layer may override the verdict for its simulated process identities.
 fn pid_is_alive(pid: u32) -> bool {
+    #[cfg(feature = "chaos")]
+    if let Some(alive) = crate::chaos::pid_alive_override(pid) {
+        return alive;
+    }
     if pid == std::process::id() {
         return true;
     }
@@ -344,13 +499,38 @@ fn pid_is_alive(pid: u32) -> bool {
 /// budget the ledger must carry, and — once the first [`SeasonStore::run`]
 /// has seen the confidential database — pins the dataset fingerprint so a
 /// season can never silently resume against different data.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 struct SeasonManifest {
     format: u32,
     budget: PrivacyParams,
     /// [`dataset_digest`] of the season's database; `None` until the
     /// first `run` binds it.
     dataset_digest: Option<u64>,
+    /// Whether the season has been closed (sealed by
+    /// [`AgencyStore::close_season`](crate::agency::AgencyStore::close_season)):
+    /// its unspent budget was refunded to the agency cap, so no further
+    /// charge may ever be recorded.
+    closed: bool,
+}
+
+impl serde::Deserialize for SeasonManifest {
+    /// Hand-written so manifests from before the close-season protocol
+    /// (no `closed` field) keep deserializing: a season that predates
+    /// closure is by definition not closed.
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        Ok(Self {
+            format: u32::from_value(serde::get_field(v, "format")?)?,
+            budget: PrivacyParams::from_value(serde::get_field(v, "budget")?)?,
+            dataset_digest: match v.get("dataset_digest") {
+                None | Some(serde::Value::Null) => None,
+                Some(value) => Some(u64::from_value(value)?),
+            },
+            closed: match v.get("closed") {
+                None | Some(serde::Value::Null) => false,
+                Some(value) => bool::from_value(value)?,
+            },
+        })
+    }
 }
 
 /// What one [`SeasonStore::run`] call did.
@@ -408,6 +588,15 @@ pub struct SeasonStore {
 }
 
 impl SeasonStore {
+    /// Whether `dir` holds a season store: its manifest — the commit
+    /// point of [`create`](Self::create) — exists. A directory without
+    /// one (e.g. left by a crash between `create_dir_all` and the
+    /// manifest write) is *not* a season; re-issuing `create` finishes
+    /// it.
+    pub fn exists_at(dir: impl AsRef<Path>) -> bool {
+        dir.as_ref().join(MANIFEST_FILE).exists()
+    }
+
     /// Start a fresh season under `root` (created if absent) with the
     /// given season budget. Refuses a directory that already holds one.
     pub fn create(root: impl AsRef<Path>, budget: PrivacyParams) -> Result<Self, StoreError> {
@@ -416,7 +605,7 @@ impl SeasonStore {
         if manifest_path.exists() {
             return Err(StoreError::AlreadyExists { path: root });
         }
-        fs::create_dir_all(root.join(ARTIFACTS_DIR)).map_err(|source| StoreError::Io {
+        cfs::create_dir_all(&root.join(ARTIFACTS_DIR)).map_err(|source| StoreError::Io {
             path: root.join(ARTIFACTS_DIR),
             source,
         })?;
@@ -427,10 +616,16 @@ impl SeasonStore {
             format: FORMAT_VERSION,
             budget,
             dataset_digest: None,
+            closed: false,
         };
         let ledger = Ledger::new(budget);
-        write_json_atomic(&manifest_path, &manifest)?;
+        // Ledger before manifest: the manifest's presence is the commit
+        // point (`open` demands it, `create` refuses it), so every file
+        // it vouches for must already exist. A crash between the two
+        // leaves a manifest-less directory that a re-issued `create`
+        // simply finishes.
         write_json_atomic(&root.join(LEDGER_FILE), &ledger)?;
+        write_json_atomic(&manifest_path, &manifest)?;
         Ok(Self {
             root,
             manifest,
@@ -466,6 +661,11 @@ impl SeasonStore {
         // crash-window repair write below) happen under the lease too, so
         // a concurrent writer can never shear the files being verified.
         let lease = DirLease::acquire(root.join(LEASE_FILE))?;
+        // With the lease held, sweep temp files orphaned by a crashed
+        // atomic write (their renames never happened, so they were never
+        // part of the store). The artifacts directory is swept by
+        // `scan_artifact_files` below.
+        sweep_tmp_files(&root);
         let manifest: SeasonManifest = read_json(&manifest_path)?;
         if manifest.format != FORMAT_VERSION {
             return Err(StoreError::Corrupt {
@@ -590,10 +790,42 @@ impl SeasonStore {
         &self.root
     }
 
+    /// The season's name: its directory name.
+    fn season_name(&self) -> String {
+        self.root
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| self.root.display().to_string())
+    }
+
     /// The dataset fingerprint this season is pinned to (`None` until the
     /// first [`run`](Self::run) binds one).
     pub fn dataset_digest(&self) -> Option<u64> {
         self.manifest.dataset_digest
+    }
+
+    /// Whether this season has been closed (sealed): its unspent budget
+    /// was refunded to the agency cap and no further charge is admitted.
+    pub fn is_closed(&self) -> bool {
+        self.manifest.closed
+    }
+
+    /// Seal the season: durably mark it closed, after which
+    /// [`record`](Self::record) and every `run` variant refuse with
+    /// [`StoreError::SeasonClosed`]. Idempotent. This is phase two of the
+    /// agency's close-season protocol — callers must have durably frozen
+    /// the refund (the meta-ledger's close-begin) *first*, so a crash
+    /// between that record and this seal rolls forward instead of losing
+    /// the refund.
+    pub fn seal(&mut self) -> Result<(), StoreError> {
+        if self.manifest.closed {
+            return Ok(());
+        }
+        let mut sealed = self.manifest.clone();
+        sealed.closed = true;
+        write_json_atomic(&self.root.join(MANIFEST_FILE), &sealed)?;
+        self.manifest = sealed;
+        Ok(())
     }
 
     /// The restored (or live) ledger snapshot.
@@ -644,6 +876,11 @@ impl SeasonStore {
         ledger: &Ledger,
         artifact: &ReleaseArtifact,
     ) -> Result<(), StoreError> {
+        if self.manifest.closed {
+            return Err(StoreError::SeasonClosed {
+                name: self.season_name(),
+            });
+        }
         if ledger.budget() != self.ledger.budget() {
             return Err(StoreError::Inconsistent {
                 detail: "recording ledger carries a different budget than the season".to_string(),
@@ -760,6 +997,11 @@ impl SeasonStore {
         requests: &[ReleaseRequest],
         cache: &mut TabulationCache,
     ) -> Result<SeasonReport, StoreError> {
+        if self.manifest.closed {
+            return Err(StoreError::SeasonClosed {
+                name: self.season_name(),
+            });
+        }
         // Re-check a store-backed cache against *this* dataset on every
         // run — and hand the digest over, so the cache never pays for a
         // second full-dataset scan of its own.
@@ -1003,7 +1245,13 @@ pub fn panel_digest(quarter_digests: &[u64]) -> u64 {
 /// crash (or power loss) leaves either the old file or the new one — never
 /// a torn write — and the artifact-first ordering [`SeasonStore::record`]
 /// relies on survives to disk in order.
-pub(crate) fn write_json_atomic<T: Serialize>(path: &Path, value: &T) -> Result<(), StoreError> {
+///
+/// This is the workspace's one durable-write primitive: the season and
+/// agency stores, the truth store, the public artifact cache, and the
+/// release service's registries all persist through it, so the chaos
+/// harness (the `chaos` feature) can fault every durable write in the
+/// system by instrumenting exactly this path.
+pub fn write_json_atomic<T: Serialize>(path: &Path, value: &T) -> Result<(), StoreError> {
     let json = serde_json::to_string_pretty(value).map_err(|e| StoreError::Corrupt {
         path: path.to_path_buf(),
         detail: format!("serialization failed: {e}"),
@@ -1027,11 +1275,11 @@ pub(crate) fn write_json_atomic<T: Serialize>(path: &Path, value: &T) -> Result<
         path: tmp.clone(),
         source,
     };
-    let mut file = fs::File::create(&tmp).map_err(io_err)?;
-    file.write_all(json.as_bytes()).map_err(io_err)?;
-    file.sync_all().map_err(io_err)?;
+    let mut file = cfs::file_create(&tmp).map_err(io_err)?;
+    cfs::write_all(&mut file, &tmp, json.as_bytes()).map_err(io_err)?;
+    cfs::sync_all(&file, &tmp).map_err(io_err)?;
     drop(file);
-    fs::rename(&tmp, path).map_err(|source| StoreError::Io {
+    cfs::rename(&tmp, path).map_err(|source| StoreError::Io {
         path: path.to_path_buf(),
         source,
     })?;
@@ -1040,12 +1288,30 @@ pub(crate) fn write_json_atomic<T: Serialize>(path: &Path, value: &T) -> Result<
             path: parent.to_path_buf(),
             source,
         })?;
-        dir.sync_all().map_err(|source| StoreError::Io {
+        cfs::sync_all(&dir, parent).map_err(|source| StoreError::Io {
             path: parent.to_path_buf(),
             source,
         })?;
     }
     Ok(())
+}
+
+/// Sweep `dir` (non-recursively) for `*.tmp` files orphaned by a crash
+/// mid-[`write_json_atomic`] (or a failed lease reclaim): their renames
+/// never happened, so they were never part of any store. Best-effort by
+/// design — a sweep failure must never refuse an open — and callers hold
+/// the directory's write lease, so no live writer's in-flight temp file
+/// can be swept (a writer's temp exists only while the lease holder is
+/// inside `write_json_atomic`).
+pub(crate) fn sweep_tmp_files(dir: &Path) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        if entry.file_name().to_string_lossy().ends_with(".tmp") {
+            let _ = cfs::remove_file(&entry.path());
+        }
+    }
 }
 
 pub(crate) fn read_json<T: Deserialize>(path: &Path) -> Result<T, StoreError> {
@@ -1078,7 +1344,7 @@ fn scan_artifact_files(dir: &Path) -> Result<usize, StoreError> {
         let name = entry.file_name();
         let name = name.to_string_lossy();
         if name.ends_with(".tmp") {
-            let _ = fs::remove_file(entry.path());
+            let _ = cfs::remove_file(&entry.path());
             continue;
         }
         let index = name

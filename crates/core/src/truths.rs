@@ -93,7 +93,7 @@ impl TruthStore {
     /// every address and every verification.
     pub fn open(dir: impl AsRef<Path>, dataset_digest: u64) -> Result<Self, StoreError> {
         let dir = dir.as_ref().to_path_buf();
-        std::fs::create_dir_all(&dir).map_err(|source| StoreError::Io {
+        crate::store::cfs::create_dir_all(&dir).map_err(|source| StoreError::Io {
             path: dir.clone(),
             source,
         })?;

@@ -181,6 +181,10 @@ pub struct AuditView {
     pub reserved_epsilon: f64,
     /// ε still unreserved under the cap.
     pub remaining_epsilon: f64,
+    /// ε refunded to the cap by sealed season closures
+    /// (`POST /seasons/{name}/close`) — already included in
+    /// `remaining_epsilon`.
+    pub refunded_epsilon: f64,
     /// ε actually charged across all seasons so far.
     pub spent_epsilon: f64,
     /// Live per-season budget summaries, in reservation order.

@@ -39,5 +39,5 @@ pub mod service;
 pub use api::{
     AuditView, ReleaseStatusView, ReleaseSubmission, SeasonCreate, SeasonCreated, SubmitReceipt,
 };
-pub use client::{Client, ClientError};
+pub use client::{Client, ClientError, RetryPolicy};
 pub use service::{ReleaseService, ServiceConfig, ServiceError};

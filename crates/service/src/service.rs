@@ -404,6 +404,7 @@ fn route(shared: &Arc<Shared>, request: &Request) -> Response {
     match (request.method.as_str(), segments.as_slice()) {
         ("POST", ["seasons"]) => create_season(shared, &request.body),
         ("POST", ["seasons", name, "releases"]) => submit_release(shared, name, &request.body),
+        ("POST", ["seasons", name, "close"]) => close_season(shared, name),
         ("GET", ["releases", id]) => release_status(shared, id),
         ("GET", ["audit"]) => audit(shared),
         _ => Response::error(404, "no such route"),
@@ -428,6 +429,7 @@ fn store_error(e: &StoreError) -> Response {
         StoreError::AlreadyExists { .. }
         | StoreError::AgencyBudget { .. }
         | StoreError::Refused { .. }
+        | StoreError::SeasonClosed { .. }
         | StoreError::Inconsistent { .. } => 409,
         StoreError::NotAStore { .. } => 404,
         _ => 500,
@@ -595,6 +597,13 @@ fn submit_release(shared: &Arc<Shared>, name: &str, body: &str) -> Response {
     if agency.meta_ledger().reservation(name).is_none() {
         return Response::error(404, &format!("no season named `{name}`"));
     }
+    // A closed (or closing — the refund is already frozen) season can
+    // never charge again; refuse before resolving a worker.
+    if agency.meta_ledger().closure(name).is_some() {
+        return store_error(&StoreError::SeasonClosed {
+            name: name.to_string(),
+        });
+    }
     let mut workers = shared.workers.lock().expect("workers lock poisoned");
     if !workers.contains_key(name) {
         match spawn_worker(shared, &agency, name, quarter) {
@@ -631,6 +640,48 @@ fn submit_release(shared: &Arc<Shared>, name: &str, body: &str) -> Response {
             cached: false,
         },
     )
+}
+
+/// `POST /seasons/{name}/close`: stop the season's worker (it owns the
+/// season's write lease), then run the audited two-phase close — freeze
+/// the refund in the meta-ledger, seal the season manifest, credit the
+/// refund to the agency cap — and return the
+/// [`ClosureReceipt`](eree_core::ClosureReceipt).
+/// Idempotent: closing an already-closed season replays its recorded
+/// receipt with `already_closed: true`.
+fn close_season(shared: &Arc<Shared>, name: &str) -> Response {
+    // Lock order: `agency` before `workers`. Holding `agency` for the
+    // whole close serializes it against submissions, which spawn workers
+    // under the same lock — no new worker can claim the season's lease
+    // between the join below and the close itself.
+    let mut agency = shared.agency.lock().expect("agency lock poisoned");
+    let worker = shared
+        .workers
+        .lock()
+        .expect("workers lock poisoned")
+        .remove(name);
+    if let Some(worker) = worker {
+        // Queued releases drain first — Shutdown lands behind them — and
+        // the join drops the worker's SeasonStore, releasing the lease
+        // the close is about to claim.
+        let _ = worker.tx.send(Job::Shutdown);
+        let _ = worker.join.join();
+    }
+    match agency.close_season(name) {
+        Ok(receipt) => {
+            // Leave the sealed summary as the season's retired view so
+            // the audit reports it closed with its spend final.
+            if let Some(summary) = agency.seasons().iter().find(|s| s.name == name).cloned() {
+                shared
+                    .retired
+                    .lock()
+                    .expect("retired views poisoned")
+                    .insert(name.to_string(), summary);
+            }
+            json_ok(200, &receipt)
+        }
+        Err(e) => store_error(&e),
+    }
 }
 
 fn release_status(shared: &Arc<Shared>, id: &str) -> Response {
@@ -687,9 +738,20 @@ fn audit(shared: &Arc<Shared>) -> Response {
                 stats.hits += view.stats.hits;
                 stats.disk_hits += view.stats.disk_hits;
             }
-            // A retired worker left its final summary behind.
+            // A retired worker left its final summary behind. The
+            // meta-ledger stays authoritative for closure: a worker that
+            // retired while a close raced in may have recorded a
+            // pre-close view.
             None => match retired.get(&reservation.name) {
-                Some(summary) => seasons.push(summary.clone()),
+                Some(summary) => {
+                    let mut summary = summary.clone();
+                    summary.closed = summary.closed
+                        || agency
+                            .meta_ledger()
+                            .closure(&reservation.name)
+                            .is_some_and(|c| c.sealed);
+                    seasons.push(summary);
+                }
                 None => seasons.push(
                     agency
                         .seasons()
@@ -703,6 +765,7 @@ fn audit(shared: &Arc<Shared>) -> Response {
                             spent_delta: 0.0,
                             completed: 0,
                             materialized: false,
+                            closed: false,
                         }),
                 ),
             },
@@ -717,6 +780,7 @@ fn audit(shared: &Arc<Shared>) -> Response {
         cap: *agency.cap(),
         reserved_epsilon: agency.meta_ledger().reserved_epsilon(),
         remaining_epsilon: agency.remaining_epsilon(),
+        refunded_epsilon: agency.refunded_epsilon(),
         spent_epsilon: seasons.iter().map(|s| s.spent_epsilon).sum(),
         seasons,
         releases,
@@ -864,13 +928,12 @@ fn load_quarter_map(path: &Path, quarters: usize) -> Result<BTreeMap<String, usi
     Ok(map)
 }
 
-/// Atomic-enough JSON persistence for the service's own files: write to a
-/// temp sibling, then rename over the target.
-fn write_json_file<T: serde::Serialize>(path: &Path, value: &T) -> std::io::Result<()> {
-    let json = serde_json::to_string(value).expect("service state serialization is infallible");
-    let tmp = path.with_extension("json.tmp");
-    std::fs::write(&tmp, json)?;
-    std::fs::rename(&tmp, path)
+/// Durable JSON persistence for the service's own registries: the core
+/// store's fsynced write-temp-then-rename, whose temp naming the agency's
+/// open-time sweep recognizes — a crashed service leaves no stray temp
+/// files the next open cannot clean up.
+fn write_json_file<T: serde::Serialize>(path: &Path, value: &T) -> Result<(), StoreError> {
+    eree_core::store::write_json_atomic(path, value)
 }
 
 /// Open season `name` (claiming its write lease), rebuild its plan from
@@ -919,6 +982,7 @@ fn spawn_worker(
             spent_delta: store.ledger().spent_delta(),
             completed: store.completed(),
             materialized: true,
+            closed: store.is_closed(),
         },
         stats: TabulationStats::default(),
     }));
