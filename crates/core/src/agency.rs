@@ -113,7 +113,8 @@
 
 use crate::accountant::MetaLedger;
 use crate::definitions::PrivacyParams;
-use crate::engine::{ReleaseRequest, TabulationCache};
+use crate::engine::{ReleaseRequest, RequestKind, TabulationCache};
+use crate::metrics::{MetricsRegistry, MetricsSnapshot};
 use crate::public_cache::ReleaseCache;
 use crate::store::{
     cfs, dataset_digest, panel_digest, read_json, sweep_tmp_files, write_json_atomic, DirLease,
@@ -124,6 +125,7 @@ use lodes::{Dataset, DatasetPanel};
 use serde::{get_field, DeError, Deserialize, Serialize, Value};
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Agency store format version, recorded in the manifest.
 const FORMAT_VERSION: u32 = 1;
@@ -141,6 +143,19 @@ const TRUTHS_DIR: &str = "truths";
 const PUBLIC_DIR: &str = "public";
 /// Agency write-lease file name.
 const LEASE_FILE: &str = "agency.lock";
+/// Durable cumulative-metrics snapshot file name under the agency
+/// directory. Written at season-commit points (create / run / close /
+/// open); best-effort on read — a missing or corrupt snapshot never
+/// refuses the agency, it only loses volatile counter tails.
+const METRICS_FILE: &str = "metrics.json";
+
+/// The request families in [`crate::metrics::FAMILY_LABELS`] order, so
+/// replay tallies land in the same slots the live registry uses.
+const FAMILY_KINDS: [RequestKind; 3] = [
+    RequestKind::Marginal,
+    RequestKind::Shapes,
+    RequestKind::Flows,
+];
 
 /// The agency manifest: identifies the directory as an agency, pins the
 /// global cap the meta-ledger must carry, and — once the first
@@ -245,6 +260,11 @@ pub struct AgencyStore {
     manifest: AgencyManifest,
     meta: MetaLedger,
     seasons: Vec<SeasonSummary>,
+    /// The agency-wide live metrics registry: shared (`Arc`) with every
+    /// season store, engine, truth store, and cache handle this agency
+    /// hands out, and flushed durably to [`METRICS_FILE`] at
+    /// season-commit points.
+    metrics: Arc<MetricsRegistry>,
     /// Write lease on the agency directory: the meta-ledger and manifest
     /// have exactly one writer per agency at a time. Released on drop.
     _lease: DirLease,
@@ -302,13 +322,16 @@ impl AgencyStore {
         // (AlreadyExists) — unrecoverable without manual deletion.
         write_json_atomic(&root.join(META_LEDGER_FILE), &meta)?;
         write_json_atomic(&manifest_path, &manifest)?;
-        Ok(Self {
+        let agency = Self {
             root,
             manifest,
             meta,
             seasons: Vec::new(),
+            metrics: Arc::new(MetricsRegistry::new()),
             _lease: lease,
-        })
+        };
+        agency.flush_metrics()?;
+        Ok(agency)
     }
 
     /// Reload a persisted agency, verifying everything it governs:
@@ -389,6 +412,11 @@ impl AgencyStore {
         // Open and verify every reserved season that exists.
         let mut seasons = Vec::with_capacity(meta.reservations().len());
         let mut bound_digest = manifest.dataset_digest;
+        // Per-family `(accepted, Σε, Σδ)` replay tallies over every
+        // persisted release, accumulated in release order — the same
+        // naive summation order the live registry uses, so a restored
+        // snapshot reconciles bit-exactly with live accumulation.
+        let mut tallies = [(0u64, 0.0f64, 0.0f64); 3];
         for reservation in meta.reservations() {
             let season_dir = seasons_dir.join(&reservation.name);
             // Materialization means the season *manifest* exists — a bare
@@ -443,6 +471,15 @@ impl AgencyStore {
                     }
                 }
             }
+            for release in season.releases() {
+                let slot = FAMILY_KINDS
+                    .iter()
+                    .position(|&kind| kind == release.request.kind)
+                    .expect("every request kind belongs to a metrics family");
+                tallies[slot].0 += 1;
+                tallies[slot].1 += release.cost.epsilon;
+                tallies[slot].2 += release.cost.delta;
+            }
             seasons.push(SeasonSummary {
                 name: reservation.name.clone(),
                 budget: reservation.budget,
@@ -485,13 +522,33 @@ impl AgencyStore {
                 summary.closed = true;
             }
         }
-        Ok(Self {
+        // Restore the durable counter snapshot (best-effort: the metrics
+        // file predates nothing the agency's correctness depends on), then
+        // overwrite every replay-derived value from the stores just
+        // verified — accepted totals and family ε/δ spend come from the
+        // durable releases themselves, so they are exact across any crash,
+        // while volatile counters (denials, cache hits, latency) resume
+        // from the last flush.
+        let metrics = Arc::new(MetricsRegistry::new());
+        if let Ok(snapshot) = read_json::<MetricsSnapshot>(&root.join(METRICS_FILE)) {
+            metrics.restore(&snapshot);
+        }
+        for (slot, &kind) in FAMILY_KINDS.iter().enumerate() {
+            let family = metrics.family(kind);
+            family.accepted_total.set(tallies[slot].0);
+            family.epsilon_spent.set(tallies[slot].1);
+            family.delta_spent.set(tallies[slot].2);
+        }
+        let agency = Self {
             root,
             manifest,
             meta,
             seasons,
+            metrics,
             _lease: lease,
-        })
+        };
+        agency.flush_metrics()?;
+        Ok(agency)
     }
 
     /// [`open`](Self::open) if `root` holds an agency (whose cap must
@@ -609,7 +666,7 @@ impl AgencyStore {
     /// in the single shared directory without aliasing, while flow truths
     /// (addressed by their dataset-*pair* digest) are pin-agnostic.
     pub fn truth_store_pinned(&self, digest: u64) -> Result<TruthStore, StoreError> {
-        TruthStore::open(self.root.join(TRUTHS_DIR), digest)
+        Ok(TruthStore::open(self.root.join(TRUTHS_DIR), digest)?.with_metrics(self.metrics()))
     }
 
     /// The agency's **public** released-artifact cache (see
@@ -619,7 +676,7 @@ impl AgencyStore {
     /// truth store it needs no dataset pin — the dataset digest is part
     /// of every cache key.
     pub fn release_cache(&self) -> Result<ReleaseCache, StoreError> {
-        ReleaseCache::open(self.root.join(PUBLIC_DIR))
+        Ok(ReleaseCache::open(self.root.join(PUBLIC_DIR))?.with_metrics(self.metrics()))
     }
 
     /// Pin the agency to the dataset fingerprinted by `digest`, durably,
@@ -704,8 +761,10 @@ impl AgencyStore {
                     ),
                 });
             }
-            let store = SeasonStore::create(&season_dir, budget)?;
+            let mut store = SeasonStore::create(&season_dir, budget)?;
+            store.set_metrics(self.metrics());
             self.upsert_summary(name, &store);
+            self.flush_metrics()?;
             return Ok(store);
         }
         // Reservation-first write protocol: the meta-ledger admits (and
@@ -720,8 +779,10 @@ impl AgencyStore {
             })?;
         write_json_atomic(&self.root.join(META_LEDGER_FILE), &meta)?;
         self.meta = meta;
-        let store = SeasonStore::create(&season_dir, budget)?;
+        let mut store = SeasonStore::create(&season_dir, budget)?;
+        store.set_metrics(self.metrics());
         self.upsert_summary(name, &store);
+        self.flush_metrics()?;
         Ok(store)
     }
 
@@ -753,7 +814,7 @@ impl AgencyStore {
             .ok_or_else(|| StoreError::Inconsistent {
                 detail: format!("agency holds no season named `{name}`"),
             })?;
-        let season = SeasonStore::open(self.season_dir(name))?;
+        let mut season = SeasonStore::open(self.season_dir(name))?;
         if season.ledger().budget() != &reservation.budget {
             return Err(StoreError::Inconsistent {
                 detail: format!(
@@ -763,6 +824,7 @@ impl AgencyStore {
                 ),
             });
         }
+        season.set_metrics(self.metrics());
         Ok(season)
     }
 
@@ -818,14 +880,19 @@ impl AgencyStore {
         }
         let digest = dataset_digest(dataset);
         self.bind_dataset(digest)?;
-        let truths = TruthStore::open(self.root.join(TRUTHS_DIR), digest)?;
+        let truths = self.truth_store_pinned(digest)?;
         let mut cache = TabulationCache::with_store(truths);
         let result = season.run_cached_with_digest(dataset, digest, requests, &mut cache);
         // Refresh the audit view even when the run aborted mid-plan: the
         // season store reflects exactly what was durably persisted (and
         // charged) before the refusal, and that spend is real.
         self.upsert_summary(name, &season);
-        result
+        // Flush the counters the run accumulated. On the error path the
+        // original refusal outranks a metrics-flush failure.
+        match self.flush_metrics() {
+            Ok(()) => result,
+            Err(flush_error) => result.and(Err(flush_error)),
+        }
     }
 
     /// Execute (or resume) season `name` as quarter `quarter` of `panel`
@@ -902,7 +969,10 @@ impl AgencyStore {
             &mut cache,
         );
         self.upsert_summary(name, &season);
-        result
+        match self.flush_metrics() {
+            Ok(()) => result,
+            Err(flush_error) => result.and(Err(flush_error)),
+        }
     }
 
     /// Close season `name`: durably refund its unspent remainder to the
@@ -999,6 +1069,10 @@ impl AgencyStore {
         if let Some(summary) = self.seasons.iter_mut().find(|s| s.name == name) {
             summary.closed = true;
         }
+        // Close is a season-commit point: the refund just moved the
+        // budget gauges, and the durable counter snapshot should carry
+        // every denial and cache hit recorded up to the seal.
+        self.flush_metrics()?;
         Ok(ClosureReceipt {
             name: name.to_string(),
             refund_epsilon,
@@ -1011,6 +1085,49 @@ impl AgencyStore {
     /// Total ε refunded to the cap by sealed season closures.
     pub fn refunded_epsilon(&self) -> f64 {
         self.meta.refunded_epsilon()
+    }
+
+    /// The agency's live metrics registry. Shared with every season
+    /// store, engine, and cache handle this agency hands out; cheap to
+    /// clone (an [`Arc`]) and safe to read from any thread.
+    pub fn metrics(&self) -> Arc<MetricsRegistry> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// A point-in-time [`MetricsSnapshot`] with the budget gauges
+    /// refreshed from the meta-ledger first, so the snapshot's ε
+    /// accounting always matches [`Self::meta_ledger`] bit-exactly.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.refresh_budget_gauges();
+        self.metrics.snapshot()
+    }
+
+    /// Refresh the registry's budget gauges from the authoritative
+    /// meta-ledger. Gauges are convenience mirrors — the ledger replay is
+    /// the source of truth, so they are overwritten (never accumulated)
+    /// right before every snapshot and flush.
+    fn refresh_budget_gauges(&self) {
+        self.metrics.epsilon_cap.set(self.meta.cap().epsilon);
+        self.metrics
+            .epsilon_reserved
+            .set(self.meta.reserved_epsilon());
+        self.metrics
+            .epsilon_remaining
+            .set(self.meta.remaining_epsilon());
+        self.metrics
+            .epsilon_refunded
+            .set(self.meta.refunded_epsilon());
+    }
+
+    /// Durably persist the cumulative counters to [`METRICS_FILE`]
+    /// through the chaos-counted atomic write path. Called at
+    /// season-commit points (create / open / run / close); the flush
+    /// counter increments first so the written snapshot accounts for its
+    /// own flush.
+    fn flush_metrics(&self) -> Result<(), StoreError> {
+        self.refresh_budget_gauges();
+        self.metrics.flushes.inc();
+        write_json_atomic(&self.root.join(METRICS_FILE), &self.metrics.snapshot())
     }
 
     /// Total δ refunded to the cap by sealed season closures.

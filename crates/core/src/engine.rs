@@ -86,6 +86,7 @@ use crate::accountant::{Ledger, ReleaseCost};
 use crate::definitions::PrivacyParams;
 use crate::error::EngineError;
 use crate::mechanisms::{CellQuery, MechanismKind};
+use crate::metrics::{MetricsRegistry, REASON_REQUEST_INVALID};
 use crate::neighbors::NeighborKind;
 use crate::shape::ShapeRelease;
 use lodes::{Dataset, Worker};
@@ -94,6 +95,7 @@ use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::sync::Arc;
+use std::time::Instant;
 use tabulate::{
     CellKey, FilterExpr, FilterId, FlowMarginal, FlowStats, Marginal, MarginalSpec, TabulationIndex,
 };
@@ -148,7 +150,9 @@ pub enum RequestKind {
 }
 
 impl RequestKind {
-    fn label(&self) -> &'static str {
+    /// The stable lowercase label of this family — the `family` string
+    /// in [`crate::metrics::FamilySnapshot`] and in request descriptions.
+    pub fn label(&self) -> &'static str {
         match self {
             RequestKind::Marginal => "marginal",
             RequestKind::Shapes => "shapes",
@@ -1066,6 +1070,7 @@ pub struct ReleaseEngine {
     ledger: Ledger,
     threads: usize,
     tab_stats: TabulationStats,
+    metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl ReleaseEngine {
@@ -1083,7 +1088,18 @@ impl ReleaseEngine {
             ledger,
             threads,
             tab_stats: TabulationStats::default(),
+            metrics: None,
         }
+    }
+
+    /// Attach a [`MetricsRegistry`]: every execution path then records
+    /// admissions (with charged cost and wall latency), denials by
+    /// [`LedgerError`](crate::accountant::LedgerError) reason, and
+    /// tabulation-cache sources into it. Without a registry the engine
+    /// records nothing and pays nothing.
+    pub fn with_metrics(mut self, registry: Arc<MetricsRegistry>) -> Self {
+        self.metrics = Some(registry);
+        self
     }
 
     /// Cap worker threads (`1` forces fully sequential execution; results
@@ -1122,12 +1138,17 @@ impl ReleaseEngine {
         dataset: &Dataset,
         request: &ReleaseRequest,
     ) -> Result<ReleaseArtifact, EngineError> {
-        reject_flow_kind(request)?;
-        let plan = request.plan()?;
-        self.charge(request, &plan)?;
-        let index = TabulationIndex::build(dataset);
-        let truth = tabulate_request(&index, request, self.threads);
-        Ok(self.sample(&truth, request, &plan, self.threads))
+        let started = Instant::now();
+        let result = (|| {
+            reject_flow_kind(request)?;
+            let plan = request.plan()?;
+            self.charge(request, &plan)?;
+            let index = TabulationIndex::build(dataset);
+            let truth = tabulate_request(&index, request, self.threads);
+            Ok(self.sample(&truth, request, &plan, self.threads))
+        })();
+        self.observe(request.kind(), started, &result);
+        result
     }
 
     /// Like [`execute`](Self::execute), but over an already-tabulated
@@ -1139,16 +1160,21 @@ impl ReleaseEngine {
         truth: &Marginal,
         request: &ReleaseRequest,
     ) -> Result<ReleaseArtifact, EngineError> {
-        reject_flow_kind(request)?;
-        if truth.spec() != &request.spec {
-            return Err(EngineError::SpecMismatch {
-                requested: request.spec.name(),
-                supplied: truth.spec().name(),
-            });
-        }
-        let plan = request.plan()?;
-        self.charge(request, &plan)?;
-        Ok(self.sample(truth, request, &plan, self.threads))
+        let started = Instant::now();
+        let result = (|| {
+            reject_flow_kind(request)?;
+            if truth.spec() != &request.spec {
+                return Err(EngineError::SpecMismatch {
+                    requested: request.spec.name(),
+                    supplied: truth.spec().name(),
+                });
+            }
+            let plan = request.plan()?;
+            self.charge(request, &plan)?;
+            Ok(self.sample(truth, request, &plan, self.threads))
+        })();
+        self.observe(request.kind(), started, &result);
+        result
     }
 
     /// Like [`execute`](Self::execute), but tabulating through a
@@ -1163,23 +1189,25 @@ impl ReleaseEngine {
         request: &ReleaseRequest,
         cache: &mut TabulationCache,
     ) -> Result<ReleaseArtifact, EngineError> {
-        reject_flow_kind(request)?;
-        let plan = request.plan()?;
-        // Dry-run the admission first: a budget-rejected request must not
-        // touch the cache or the truth store, and — the other way round —
-        // a truth-store failure must not strand a ledger charge that never
-        // produced an artifact. The real charge happens once the truth is
-        // in hand, on identical ledger state, so it cannot fail.
-        self.ledger.can_charge(&plan.per_cell, &plan.cost)?;
-        let (truth, source) = cache.get_or_tabulate(dataset, request, self.threads)?;
-        self.charge(request, &plan)
-            .expect("dry-run admitted this charge on identical ledger state");
-        match source {
-            TabulationSource::Memory => self.tab_stats.hits += 1,
-            TabulationSource::Disk => self.tab_stats.disk_hits += 1,
-            TabulationSource::Computed => self.tab_stats.computed += 1,
-        }
-        Ok(self.sample(&truth, request, &plan, self.threads))
+        let started = Instant::now();
+        let result = (|| {
+            reject_flow_kind(request)?;
+            let plan = request.plan()?;
+            // Dry-run the admission first: a budget-rejected request must
+            // not touch the cache or the truth store, and — the other way
+            // round — a truth-store failure must not strand a ledger
+            // charge that never produced an artifact. The real charge
+            // happens once the truth is in hand, on identical ledger
+            // state, so it cannot fail.
+            self.ledger.can_charge(&plan.per_cell, &plan.cost)?;
+            let (truth, source) = cache.get_or_tabulate(dataset, request, self.threads)?;
+            self.charge(request, &plan)
+                .expect("dry-run admitted this charge on identical ledger state");
+            self.note_source(source);
+            Ok(self.sample(&truth, request, &plan, self.threads))
+        })();
+        self.observe(request.kind(), started, &result);
+        result
     }
 
     /// Validate a flow `request`, charge the ledger, tabulate job-flow
@@ -1195,12 +1223,17 @@ impl ReleaseEngine {
         after: &Dataset,
         request: &ReleaseRequest,
     ) -> Result<ReleaseArtifact, EngineError> {
-        let plan = flow_plan(request)?;
-        self.charge(request, &plan)?;
-        let before_index = TabulationIndex::build(before);
-        let after_index = TabulationIndex::build(after);
-        let truth = tabulate_flow_request(&before_index, &after_index, request, self.threads);
-        Ok(self.sample_flows(&truth, request, &plan, self.threads))
+        let started = Instant::now();
+        let result = (|| {
+            let plan = flow_plan(request)?;
+            self.charge(request, &plan)?;
+            let before_index = TabulationIndex::build(before);
+            let after_index = TabulationIndex::build(after);
+            let truth = tabulate_flow_request(&before_index, &after_index, request, self.threads);
+            Ok(self.sample_flows(&truth, request, &plan, self.threads))
+        })();
+        self.observe(request.kind(), started, &result);
+        result
     }
 
     /// Like [`execute_flows`](Self::execute_flows), but over an
@@ -1212,15 +1245,20 @@ impl ReleaseEngine {
         truth: &FlowMarginal,
         request: &ReleaseRequest,
     ) -> Result<ReleaseArtifact, EngineError> {
-        let plan = flow_plan(request)?;
-        if truth.spec() != &request.spec {
-            return Err(EngineError::SpecMismatch {
-                requested: request.spec.name(),
-                supplied: truth.spec().name(),
-            });
-        }
-        self.charge(request, &plan)?;
-        Ok(self.sample_flows(truth, request, &plan, self.threads))
+        let started = Instant::now();
+        let result = (|| {
+            let plan = flow_plan(request)?;
+            if truth.spec() != &request.spec {
+                return Err(EngineError::SpecMismatch {
+                    requested: request.spec.name(),
+                    supplied: truth.spec().name(),
+                });
+            }
+            self.charge(request, &plan)?;
+            Ok(self.sample_flows(truth, request, &plan, self.threads))
+        })();
+        self.observe(request.kind(), started, &result);
+        result
     }
 
     /// Like [`execute_flows`](Self::execute_flows), but tabulating through
@@ -1236,17 +1274,19 @@ impl ReleaseEngine {
         request: &ReleaseRequest,
         cache: &mut TabulationCache,
     ) -> Result<ReleaseArtifact, EngineError> {
-        let plan = flow_plan(request)?;
-        self.ledger.can_charge(&plan.per_cell, &plan.cost)?;
-        let (truth, source) = cache.get_or_tabulate_flows(before, after, request, self.threads)?;
-        self.charge(request, &plan)
-            .expect("dry-run admitted this charge on identical ledger state");
-        match source {
-            TabulationSource::Memory => self.tab_stats.hits += 1,
-            TabulationSource::Disk => self.tab_stats.disk_hits += 1,
-            TabulationSource::Computed => self.tab_stats.computed += 1,
-        }
-        Ok(self.sample_flows(&truth, request, &plan, self.threads))
+        let started = Instant::now();
+        let result = (|| {
+            let plan = flow_plan(request)?;
+            self.ledger.can_charge(&plan.per_cell, &plan.cost)?;
+            let (truth, source) =
+                cache.get_or_tabulate_flows(before, after, request, self.threads)?;
+            self.charge(request, &plan)
+                .expect("dry-run admitted this charge on identical ledger state");
+            self.note_source(source);
+            Ok(self.sample_flows(&truth, request, &plan, self.threads))
+        })();
+        self.observe(request.kind(), started, &result);
+        result
     }
 
     /// Execute a whole workload batch under this engine's single ledger.
@@ -1263,14 +1303,26 @@ impl ReleaseEngine {
         dataset: &Dataset,
         requests: &[ReleaseRequest],
     ) -> Vec<Result<ReleaseArtifact, EngineError>> {
-        // Phase 1 (sequential): validate + charge in order.
+        // Phase 1 (sequential): validate + charge in order. Admissions and
+        // denials are recorded per request; batch latency is not broken
+        // out per release (the histograms cover single-release paths).
         let admitted: Vec<Result<ReleasePlan, EngineError>> = requests
             .iter()
             .map(|request| {
-                reject_flow_kind(request)?;
-                let plan = request.plan()?;
-                self.charge(request, &plan)?;
-                Ok(plan)
+                let outcome = (|| {
+                    reject_flow_kind(request)?;
+                    let plan = request.plan()?;
+                    self.charge(request, &plan)?;
+                    Ok(plan)
+                })();
+                if let Some(registry) = &self.metrics {
+                    let family = registry.family(request.kind());
+                    match &outcome {
+                        Ok(plan) => family.record_accepted(plan.cost.epsilon, plan.cost.delta),
+                        Err(error) => family.record_denied(denial_reason(error)),
+                    }
+                }
+                outcome
             })
             .collect();
         // Phase 2 (parallel): run admitted requests. Leftover threads are
@@ -1315,6 +1367,13 @@ impl ReleaseEngine {
         );
         self.tab_stats.computed += distinct.len() as u64;
         self.tab_stats.hits += (jobs.len() - distinct.len()) as u64;
+        if let Some(registry) = &self.metrics {
+            registry.caches.truth_computed.add(distinct.len() as u64);
+            registry
+                .caches
+                .truth_memory_hits
+                .add((jobs.len() - distinct.len()) as u64);
+        }
         let tasks: Vec<(usize, &ReleaseRequest, ReleasePlan, Arc<Marginal>)> = jobs
             .iter()
             .zip(&job_keys)
@@ -1346,6 +1405,46 @@ impl ReleaseEngine {
         self.ledger
             .charge(request.description(), &plan.per_cell, &plan.cost)?;
         Ok(())
+    }
+
+    /// Record a single-release outcome into the attached registry: an
+    /// admission with its charged cost and wall latency, or a denial
+    /// keyed by reason.
+    fn observe(
+        &self,
+        kind: RequestKind,
+        started: Instant,
+        result: &Result<ReleaseArtifact, EngineError>,
+    ) {
+        let Some(registry) = &self.metrics else {
+            return;
+        };
+        let family = registry.family(kind);
+        match result {
+            Ok(artifact) => {
+                family.record_accepted(artifact.cost.epsilon, artifact.cost.delta);
+                let micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+                family.latency.observe_micros(micros);
+            }
+            Err(error) => family.record_denied(denial_reason(error)),
+        }
+    }
+
+    /// Count one cached-tabulation source, mirrored into both the
+    /// engine's [`TabulationStats`] and the attached registry.
+    fn note_source(&mut self, source: TabulationSource) {
+        match source {
+            TabulationSource::Memory => self.tab_stats.hits += 1,
+            TabulationSource::Disk => self.tab_stats.disk_hits += 1,
+            TabulationSource::Computed => self.tab_stats.computed += 1,
+        }
+        if let Some(registry) = &self.metrics {
+            match source {
+                TabulationSource::Memory => registry.caches.truth_memory_hits.inc(),
+                TabulationSource::Disk => registry.caches.truth_disk_hits.inc(),
+                TabulationSource::Computed => registry.caches.truth_computed.inc(),
+            }
+        }
     }
 
     fn sample(
@@ -1418,6 +1517,18 @@ impl ReleaseEngine {
             payload,
             truth_digest: flow_truth_digest(truth),
         }
+    }
+}
+
+/// The metrics denial-reason slug for an engine refusal: ledger denials
+/// carry their [`LedgerError`](crate::accountant::LedgerError) reason,
+/// everything that never reached the ledger (validation, spec mismatch,
+/// flow-kind misuse) folds into
+/// [`REASON_REQUEST_INVALID`](crate::metrics::REASON_REQUEST_INVALID).
+fn denial_reason(error: &EngineError) -> &'static str {
+    match error {
+        EngineError::Budget(ledger_error) => ledger_error.metric_reason(),
+        _ => REASON_REQUEST_INVALID,
     }
 }
 

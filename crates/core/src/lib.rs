@@ -149,6 +149,7 @@ pub mod error;
 pub mod filter;
 pub mod integerize;
 pub mod mechanisms;
+pub mod metrics;
 pub mod neighbors;
 pub mod public_cache;
 pub mod pufferfish;
@@ -177,6 +178,10 @@ pub use integerize::Integerized;
 pub use mechanisms::{
     CellQuery, CountMechanism, LogLaplaceMechanism, MechanismKind, SmoothGammaMechanism,
     SmoothLaplaceMechanism,
+};
+pub use metrics::{
+    CacheSnapshot, FamilyMetrics, FamilySnapshot, LatencySnapshot, MetricsRegistry,
+    MetricsSnapshot, ReasonCount, SeasonQueue, ServiceSnapshot,
 };
 pub use neighbors::{size_distance, NeighborError, NeighborKind};
 pub use public_cache::{ReleaseCache, ReleaseKey};

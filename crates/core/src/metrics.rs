@@ -1,0 +1,943 @@
+//! Structured metrics: a dependency-light registry of counters, gauges,
+//! and fixed-bucket latency histograms, with serde-serializable snapshot
+//! types and durable cumulative counters.
+//!
+//! The registry answers the operator question ROADMAP item 5 poses: how
+//! much of the scarce resource — the agency's ε cap — has been spent,
+//! refused, refunded, and cached away, *live*, without replaying ledgers
+//! by hand. Three layers feed one [`MetricsRegistry`]:
+//!
+//! * the [`ReleaseEngine`](crate::engine::ReleaseEngine) records
+//!   admissions, denials (by [`LedgerError`] reason), per-family ε/δ
+//!   spend, execution latency, and tabulation-cache sources;
+//! * the [`AgencyStore`](crate::agency::AgencyStore) owns the registry,
+//!   keeps the budget gauges reconciled against its
+//!   [`MetaLedger`](crate::accountant::MetaLedger), and persists a
+//!   durable snapshot (`metrics.json`, written through the same atomic
+//!   `cfs` path as every other durable file — so the chaos sweep counts
+//!   and faults its syscall boundaries automatically);
+//! * the service layer (`eree_service`) adds HTTP status classes, worker
+//!   lifecycle, queue depth, and public-cache hit counters, and exposes
+//!   the whole snapshot over `GET /metrics`.
+//!
+//! # Hot-path cost
+//!
+//! Every mutation is a relaxed atomic increment (or one CAS for the f64
+//! gauges) — no locks, no allocation. Snapshots allocate; take them off
+//! the hot path.
+//!
+//! # Crash-exactness contract
+//!
+//! Two classes of values live in the registry, with different durability:
+//!
+//! * **Replay-derived** — `accepted_total`, per-family ε/δ spend, and the
+//!   budget gauges are recomputed from durable, replay-verified state
+//!   (persisted releases and ledgers) every time an agency opens. They
+//!   are *exact* across any crash: a counter update that never reached
+//!   `metrics.json` is reconstructed from the release records, and a
+//!   flushed counter whose release was rolled back is overwritten. The
+//!   chaos sweep asserts this at every syscall boundary.
+//! * **Volatile-cumulative** — denials, cache hits, self-heals, latency,
+//!   and service counters spend nothing and leave no ledger trace; they
+//!   are persisted cumulatively at season-commit points and restored on
+//!   open, best-effort across a crash (at worst the tail since the last
+//!   flush is lost — never double-counted, because restore *sets* rather
+//!   than adds).
+//!
+//! Latency histograms cover the single-release execution paths (the
+//! season and service path); batch
+//! [`execute_all`](crate::engine::ReleaseEngine::execute_all) records
+//! admissions and denials only.
+
+use crate::accountant::LedgerError;
+use crate::engine::RequestKind;
+use serde::{DeError, Deserialize, Serialize, Value};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Format tag of the serialized [`MetricsSnapshot`].
+pub const SNAPSHOT_FORMAT: u32 = 1;
+
+// ---------------------------------------------------------------------------
+// Primitives
+// ---------------------------------------------------------------------------
+
+/// A monotonic event counter: relaxed atomic increments, lock-free reads.
+///
+/// [`Counter::set`] exists for restore/reconcile only — instrumentation
+/// sites must only ever [`inc`](Counter::inc) or [`add`](Counter::add).
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter at zero.
+    pub const fn new() -> Self {
+        Self(AtomicU64::new(0))
+    }
+
+    /// Count one event.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count `n` events.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current count.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Overwrite the count (snapshot restore and replay reconciliation).
+    pub fn set(&self, value: u64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+}
+
+/// An `f64` gauge stored as bits in an `AtomicU64`: lock-free set/read,
+/// one CAS loop for accumulating adds (cold paths only — once per
+/// admitted release, not per cell).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// A gauge at `0.0`.
+    pub const fn new() -> Self {
+        // 0u64 is the bit pattern of +0.0, so Default and new agree.
+        Self(AtomicU64::new(0))
+    }
+
+    /// Overwrite the gauge.
+    pub fn set(&self, value: f64) {
+        self.0.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+
+    /// Accumulate `delta` into the gauge.
+    pub fn add(&self, delta: f64) {
+        let mut current = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(current) + delta).to_bits();
+            match self
+                .0
+                .compare_exchange_weak(current, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(observed) => current = observed,
+            }
+        }
+    }
+}
+
+/// Upper bounds (µs, inclusive) of the finite latency buckets; a ninth
+/// overflow bucket catches everything slower. Chosen to straddle the
+/// real spread: a cache-served release is tens of µs, a small tabulation
+/// hundreds, a national-scale marginal tens of ms, a cold panel flow
+/// release can reach seconds.
+pub const LATENCY_BUCKETS_US: [u64; 8] = [
+    100, 500, 2_500, 10_000, 50_000, 250_000, 1_000_000, 5_000_000,
+];
+
+/// A fixed-bucket latency histogram (non-cumulative per-bucket counts
+/// plus total count and sum), mutation-cost one relaxed increment each
+/// on two counters.
+#[derive(Debug, Default)]
+pub struct LatencyHistogram {
+    /// One counter per [`LATENCY_BUCKETS_US`] bound, plus overflow.
+    buckets: [Counter; LATENCY_BUCKETS_US.len() + 1],
+    count: Counter,
+    sum_micros: Counter,
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one observation of `micros` µs.
+    pub fn observe_micros(&self, micros: u64) {
+        let slot = LATENCY_BUCKETS_US
+            .iter()
+            .position(|&le| micros <= le)
+            .unwrap_or(LATENCY_BUCKETS_US.len());
+        self.buckets[slot].inc();
+        self.count.inc();
+        self.sum_micros.add(micros);
+    }
+
+    /// Total observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count.get()
+    }
+
+    /// A serializable copy of the current state.
+    pub fn snapshot(&self) -> LatencySnapshot {
+        LatencySnapshot {
+            count: self.count.get(),
+            sum_micros: self.sum_micros.get(),
+            le_micros: LATENCY_BUCKETS_US.to_vec(),
+            counts: self.buckets.iter().map(Counter::get).collect(),
+        }
+    }
+
+    /// Overwrite the histogram from a snapshot (restore on open). Bucket
+    /// counts restore positionally only when the snapshot's bounds match
+    /// the compiled [`LATENCY_BUCKETS_US`]; otherwise only the count and
+    /// sum survive (bounds changed between versions).
+    pub fn restore(&self, snap: &LatencySnapshot) {
+        self.count.set(snap.count);
+        self.sum_micros.set(snap.sum_micros);
+        let bounds_match =
+            snap.le_micros == LATENCY_BUCKETS_US && snap.counts.len() == self.buckets.len();
+        for (slot, bucket) in self.buckets.iter().enumerate() {
+            bucket.set(if bounds_match { snap.counts[slot] } else { 0 });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Denial reasons
+// ---------------------------------------------------------------------------
+
+/// The denial-reason vocabulary: one slug per [`LedgerError`] variant,
+/// plus [`REASON_REQUEST_INVALID`] for refusals that never reached the
+/// ledger (spec validation, flow-kind mismatch, …).
+pub const DENY_REASONS: [&str; 11] = [
+    "epsilon_exhausted",
+    "delta_exhausted",
+    "alpha_mismatch",
+    "invalid_charge",
+    "duplicate_reservation",
+    "unknown_season",
+    "duplicate_closure",
+    "refund_exceeds_reservation",
+    "no_pending_closure",
+    "credit_exceeds_spent",
+    REASON_REQUEST_INVALID,
+];
+
+/// The denial reason recorded for refusals that never reached the ledger.
+pub const REASON_REQUEST_INVALID: &str = "request_invalid";
+
+fn reason_slot(reason: &str) -> usize {
+    DENY_REASONS
+        .iter()
+        .position(|&r| r == reason)
+        .unwrap_or(DENY_REASONS.len() - 1)
+}
+
+impl LedgerError {
+    /// The stable metrics slug for this denial reason (an entry of
+    /// [`DENY_REASONS`]).
+    pub fn metric_reason(&self) -> &'static str {
+        match self {
+            LedgerError::EpsilonExhausted { .. } => "epsilon_exhausted",
+            LedgerError::DeltaExhausted { .. } => "delta_exhausted",
+            LedgerError::AlphaMismatch { .. } => "alpha_mismatch",
+            LedgerError::InvalidCharge { .. } => "invalid_charge",
+            LedgerError::DuplicateReservation { .. } => "duplicate_reservation",
+            LedgerError::UnknownSeason { .. } => "unknown_season",
+            LedgerError::DuplicateClosure { .. } => "duplicate_closure",
+            LedgerError::RefundExceedsReservation { .. } => "refund_exceeds_reservation",
+            LedgerError::NoPendingClosure { .. } => "no_pending_closure",
+            LedgerError::CreditExceedsSpent { .. } => "credit_exceeds_spent",
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Families and the registry
+// ---------------------------------------------------------------------------
+
+/// Family labels, indexed consistently with
+/// [`MetricsRegistry::family`]'s internal layout.
+pub const FAMILY_LABELS: [&str; 3] = ["marginal", "shapes", "flows"];
+
+fn family_index(kind: RequestKind) -> usize {
+    match kind {
+        RequestKind::Marginal => 0,
+        RequestKind::Shapes => 1,
+        RequestKind::Flows => 2,
+    }
+}
+
+/// Live counters for one release family (a [`RequestKind`]).
+#[derive(Debug, Default)]
+pub struct FamilyMetrics {
+    /// Releases admitted (the ledger accepted the charge).
+    pub accepted_total: Counter,
+    /// Releases refused (by the ledger or by request validation).
+    pub denied_total: Counter,
+    /// ε actually charged by this family's admitted releases.
+    pub epsilon_spent: Gauge,
+    /// δ actually charged by this family's admitted releases.
+    pub delta_spent: Gauge,
+    /// Execution latency of single-release paths.
+    pub latency: LatencyHistogram,
+    denied_by_reason: [Counter; DENY_REASONS.len()],
+}
+
+impl FamilyMetrics {
+    /// Record an admitted release charging `(epsilon, delta)`.
+    pub fn record_accepted(&self, epsilon: f64, delta: f64) {
+        self.accepted_total.inc();
+        self.epsilon_spent.add(epsilon);
+        self.delta_spent.add(delta);
+    }
+
+    /// Record a denial under `reason` (see [`DENY_REASONS`]; unknown
+    /// reasons fold into [`REASON_REQUEST_INVALID`]).
+    pub fn record_denied(&self, reason: &str) {
+        self.denied_total.inc();
+        self.denied_by_reason[reason_slot(reason)].inc();
+    }
+
+    /// Denials recorded under `reason`.
+    pub fn denied_for(&self, reason: &str) -> u64 {
+        self.denied_by_reason[reason_slot(reason)].get()
+    }
+
+    fn snapshot(&self, family: &str, epsilon_remaining: f64) -> FamilySnapshot {
+        FamilySnapshot {
+            family: family.to_string(),
+            accepted_total: self.accepted_total.get(),
+            denied_total: self.denied_total.get(),
+            denied_by_reason: DENY_REASONS
+                .iter()
+                .zip(&self.denied_by_reason)
+                .filter(|(_, counter)| counter.get() > 0)
+                .map(|(&reason, counter)| ReasonCount {
+                    reason: reason.to_string(),
+                    denied: counter.get(),
+                })
+                .collect(),
+            epsilon_spent: self.epsilon_spent.get(),
+            delta_spent: self.delta_spent.get(),
+            epsilon_remaining,
+            latency: self.latency.snapshot(),
+        }
+    }
+
+    fn restore(&self, snap: &FamilySnapshot) {
+        self.accepted_total.set(snap.accepted_total);
+        self.denied_total.set(snap.denied_total);
+        self.epsilon_spent.set(snap.epsilon_spent);
+        self.delta_spent.set(snap.delta_spent);
+        self.latency.restore(&snap.latency);
+        for (slot, &reason) in DENY_REASONS.iter().enumerate() {
+            let denied = snap
+                .denied_by_reason
+                .iter()
+                .find(|rc| rc.reason == reason)
+                .map(|rc| rc.denied)
+                .unwrap_or(0);
+            self.denied_by_reason[slot].set(denied);
+        }
+    }
+}
+
+/// Cache-effectiveness counters across the truth store, the in-memory
+/// tabulation cache, and the public released-artifact cache.
+#[derive(Debug, Default)]
+pub struct CacheCounters {
+    /// Tabulations served from the in-memory cache.
+    pub truth_memory_hits: Counter,
+    /// Tabulations served from the persistent truth store.
+    pub truth_disk_hits: Counter,
+    /// Tabulations actually computed (full dataset scans).
+    pub truth_computed: Counter,
+    /// Truth files found corrupt on load and queued for recomputation.
+    pub truth_self_heals: Counter,
+    /// Submissions answered from the public artifact cache (zero ε).
+    pub public_hits: Counter,
+    /// Submissions that missed the public artifact cache.
+    pub public_misses: Counter,
+    /// Public cache entries found corrupt on load and discarded.
+    pub public_self_heals: Counter,
+}
+
+/// Service-layer counters (HTTP frontend, season workers, queues).
+#[derive(Debug, Default)]
+pub struct ServiceCounters {
+    /// Responses with a 2xx status.
+    pub http_2xx: Counter,
+    /// Responses with a 4xx status.
+    pub http_4xx: Counter,
+    /// Responses with a 5xx status.
+    pub http_5xx: Counter,
+    /// Season worker threads spawned.
+    pub worker_spawns: Counter,
+    /// Season worker threads retired idle (lease released).
+    pub worker_retirements: Counter,
+    /// Releases enqueued to a season worker.
+    pub releases_enqueued: Counter,
+    /// Releases a season worker finished executing (either outcome).
+    pub releases_executed: Counter,
+}
+
+/// The process-wide metrics registry for one agency: family counters,
+/// budget gauges, cache and service counters. Shared by `Arc` between
+/// the agency store, its engines, and the service frontend.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    /// Agency ε cap (the meta-ledger's global budget).
+    pub epsilon_cap: Gauge,
+    /// ε reserved by season budgets (net of refunds).
+    pub epsilon_reserved: Gauge,
+    /// ε remaining unreserved under the cap.
+    pub epsilon_remaining: Gauge,
+    /// ε refunded by audited season closures.
+    pub epsilon_refunded: Gauge,
+    /// Cache-effectiveness counters.
+    pub caches: CacheCounters,
+    /// Service-layer counters.
+    pub service: ServiceCounters,
+    /// Durable snapshot flushes (`metrics.json` writes).
+    pub flushes: Counter,
+    families: [FamilyMetrics; FAMILY_LABELS.len()],
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The live counters for `kind`'s family.
+    pub fn family(&self, kind: RequestKind) -> &FamilyMetrics {
+        &self.families[family_index(kind)]
+    }
+
+    /// Total ε actually charged, summed over families in label order.
+    pub fn epsilon_spent(&self) -> f64 {
+        self.families.iter().map(|f| f.epsilon_spent.get()).sum()
+    }
+
+    /// A serializable copy of the whole registry.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let epsilon_remaining = self.epsilon_remaining.get();
+        let enqueued = self.service.releases_enqueued.get();
+        let executed = self.service.releases_executed.get();
+        MetricsSnapshot {
+            format: SNAPSHOT_FORMAT,
+            epsilon_cap: self.epsilon_cap.get(),
+            epsilon_reserved: self.epsilon_reserved.get(),
+            epsilon_spent: self.epsilon_spent(),
+            epsilon_remaining,
+            epsilon_refunded: self.epsilon_refunded.get(),
+            families: FAMILY_LABELS
+                .iter()
+                .zip(&self.families)
+                .map(|(&label, family)| family.snapshot(label, epsilon_remaining))
+                .collect(),
+            caches: CacheSnapshot {
+                truth_memory_hits: self.caches.truth_memory_hits.get(),
+                truth_disk_hits: self.caches.truth_disk_hits.get(),
+                truth_computed: self.caches.truth_computed.get(),
+                truth_self_heals: self.caches.truth_self_heals.get(),
+                public_hits: self.caches.public_hits.get(),
+                public_misses: self.caches.public_misses.get(),
+                public_self_heals: self.caches.public_self_heals.get(),
+            },
+            service: ServiceSnapshot {
+                http_2xx: self.service.http_2xx.get(),
+                http_4xx: self.service.http_4xx.get(),
+                http_5xx: self.service.http_5xx.get(),
+                worker_spawns: self.service.worker_spawns.get(),
+                worker_retirements: self.service.worker_retirements.get(),
+                releases_enqueued: enqueued,
+                releases_executed: executed,
+                queue_depth: enqueued.saturating_sub(executed),
+                season_queues: Vec::new(),
+            },
+            flushes: self.flushes.get(),
+        }
+    }
+
+    /// Overwrite the registry from a durable snapshot (restore on open).
+    /// Families match by label, denial reasons by slug — a snapshot from
+    /// an older vocabulary restores what it knows and zeroes the rest.
+    /// The replay-derived values restored here (accepted totals, ε
+    /// gauges) are expected to be immediately re-reconciled by the
+    /// caller against the durable ledgers.
+    pub fn restore(&self, snap: &MetricsSnapshot) {
+        self.epsilon_cap.set(snap.epsilon_cap);
+        self.epsilon_reserved.set(snap.epsilon_reserved);
+        self.epsilon_remaining.set(snap.epsilon_remaining);
+        self.epsilon_refunded.set(snap.epsilon_refunded);
+        for (&label, family) in FAMILY_LABELS.iter().zip(&self.families) {
+            match snap.families.iter().find(|f| f.family == label) {
+                Some(fs) => family.restore(fs),
+                None => family.restore(&FamilySnapshot::empty(label)),
+            }
+        }
+        self.caches
+            .truth_memory_hits
+            .set(snap.caches.truth_memory_hits);
+        self.caches.truth_disk_hits.set(snap.caches.truth_disk_hits);
+        self.caches.truth_computed.set(snap.caches.truth_computed);
+        self.caches
+            .truth_self_heals
+            .set(snap.caches.truth_self_heals);
+        self.caches.public_hits.set(snap.caches.public_hits);
+        self.caches.public_misses.set(snap.caches.public_misses);
+        self.caches
+            .public_self_heals
+            .set(snap.caches.public_self_heals);
+        self.service.http_2xx.set(snap.service.http_2xx);
+        self.service.http_4xx.set(snap.service.http_4xx);
+        self.service.http_5xx.set(snap.service.http_5xx);
+        self.service.worker_spawns.set(snap.service.worker_spawns);
+        self.service
+            .worker_retirements
+            .set(snap.service.worker_retirements);
+        self.service
+            .releases_enqueued
+            .set(snap.service.releases_enqueued);
+        self.service
+            .releases_executed
+            .set(snap.service.releases_executed);
+        self.flushes.set(snap.flushes);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot types
+// ---------------------------------------------------------------------------
+
+/// The canonical serializable metrics snapshot: the one shape behind
+/// `GET /metrics`, the durable `metrics.json`, and `AuditView.metrics`.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct MetricsSnapshot {
+    /// Snapshot format tag ([`SNAPSHOT_FORMAT`]).
+    pub format: u32,
+    /// Agency ε cap.
+    pub epsilon_cap: f64,
+    /// ε reserved by season budgets (net of refunds).
+    pub epsilon_reserved: f64,
+    /// ε actually charged, summed over families.
+    pub epsilon_spent: f64,
+    /// ε remaining unreserved under the cap.
+    pub epsilon_remaining: f64,
+    /// ε refunded by audited season closures.
+    pub epsilon_refunded: f64,
+    /// Per-family admission/denial/spend/latency counters.
+    pub families: Vec<FamilySnapshot>,
+    /// Cache-effectiveness counters.
+    pub caches: CacheSnapshot,
+    /// Service-layer counters.
+    pub service: ServiceSnapshot,
+    /// Durable snapshot flushes so far.
+    pub flushes: u64,
+}
+
+impl Default for MetricsSnapshot {
+    fn default() -> Self {
+        MetricsRegistry::new().snapshot()
+    }
+}
+
+/// One release family's counters inside a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct FamilySnapshot {
+    /// Family label (an entry of [`FAMILY_LABELS`]).
+    pub family: String,
+    /// Releases admitted.
+    pub accepted_total: u64,
+    /// Releases refused.
+    pub denied_total: u64,
+    /// Nonzero denial counts, by reason slug.
+    pub denied_by_reason: Vec<ReasonCount>,
+    /// ε charged by this family.
+    pub epsilon_spent: f64,
+    /// δ charged by this family.
+    pub delta_spent: f64,
+    /// Agency ε headroom visible to this family (shared, not per-family).
+    pub epsilon_remaining: f64,
+    /// Execution-latency histogram.
+    pub latency: LatencySnapshot,
+}
+
+impl FamilySnapshot {
+    fn empty(family: &str) -> Self {
+        FamilyMetrics::default().snapshot(family, 0.0)
+    }
+}
+
+/// A denial count under one reason slug.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ReasonCount {
+    /// The reason slug (an entry of [`DENY_REASONS`]).
+    pub reason: String,
+    /// Denials recorded under it.
+    pub denied: u64,
+}
+
+/// Serializable cache-effectiveness counters.
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct CacheSnapshot {
+    /// Tabulations served from the in-memory cache.
+    pub truth_memory_hits: u64,
+    /// Tabulations served from the persistent truth store.
+    pub truth_disk_hits: u64,
+    /// Tabulations actually computed.
+    pub truth_computed: u64,
+    /// Corrupt truth files healed by recomputation.
+    pub truth_self_heals: u64,
+    /// Public-cache hits (zero-ε repeat answers).
+    pub public_hits: u64,
+    /// Public-cache misses.
+    pub public_misses: u64,
+    /// Corrupt public-cache entries discarded.
+    pub public_self_heals: u64,
+}
+
+/// Serializable service-layer counters.
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct ServiceSnapshot {
+    /// Responses with a 2xx status.
+    pub http_2xx: u64,
+    /// Responses with a 4xx status.
+    pub http_4xx: u64,
+    /// Responses with a 5xx status.
+    pub http_5xx: u64,
+    /// Season workers spawned.
+    pub worker_spawns: u64,
+    /// Season workers retired idle.
+    pub worker_retirements: u64,
+    /// Releases enqueued to season workers.
+    pub releases_enqueued: u64,
+    /// Releases workers finished executing.
+    pub releases_executed: u64,
+    /// Releases currently queued (enqueued − executed).
+    pub queue_depth: u64,
+    /// Live per-season queue depths (empty outside a running service).
+    pub season_queues: Vec<SeasonQueue>,
+}
+
+/// One live season worker's queue depth.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SeasonQueue {
+    /// The season name.
+    pub season: String,
+    /// Releases queued on its worker.
+    pub depth: u64,
+}
+
+/// A serializable latency histogram: per-bucket counts aligned with
+/// `le_micros` bounds, plus one trailing overflow bucket.
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct LatencySnapshot {
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observations, µs.
+    pub sum_micros: u64,
+    /// Inclusive upper bounds of the finite buckets, µs.
+    pub le_micros: Vec<u64>,
+    /// Per-bucket counts: one per bound, plus a trailing overflow slot.
+    pub counts: Vec<u64>,
+}
+
+// ---------------------------------------------------------------------------
+// Lenient deserialization (back-compat)
+// ---------------------------------------------------------------------------
+//
+// Every snapshot type deserializes leniently: a missing or null field
+// reads as its default. This is what lets (a) pre-metrics audit JSON
+// (`AuditView` without a `metrics` field) keep deserializing, and (b) a
+// `metrics.json` written by an older vocabulary restore what it can.
+
+fn field_or<T: Deserialize>(v: &Value, name: &str, default: T) -> Result<T, DeError> {
+    match v.get(name) {
+        None | Some(Value::Null) => Ok(default),
+        Some(value) => T::from_value(value),
+    }
+}
+
+impl Deserialize for MetricsSnapshot {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(Self {
+            format: field_or(v, "format", SNAPSHOT_FORMAT)?,
+            epsilon_cap: field_or(v, "epsilon_cap", 0.0)?,
+            epsilon_reserved: field_or(v, "epsilon_reserved", 0.0)?,
+            epsilon_spent: field_or(v, "epsilon_spent", 0.0)?,
+            epsilon_remaining: field_or(v, "epsilon_remaining", 0.0)?,
+            epsilon_refunded: field_or(v, "epsilon_refunded", 0.0)?,
+            families: field_or(v, "families", Self::default().families)?,
+            caches: field_or(v, "caches", CacheSnapshot::default())?,
+            service: field_or(v, "service", ServiceSnapshot::default())?,
+            flushes: field_or(v, "flushes", 0)?,
+        })
+    }
+}
+
+impl Deserialize for FamilySnapshot {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(Self {
+            family: field_or(v, "family", String::new())?,
+            accepted_total: field_or(v, "accepted_total", 0)?,
+            denied_total: field_or(v, "denied_total", 0)?,
+            denied_by_reason: field_or(v, "denied_by_reason", Vec::new())?,
+            epsilon_spent: field_or(v, "epsilon_spent", 0.0)?,
+            delta_spent: field_or(v, "delta_spent", 0.0)?,
+            epsilon_remaining: field_or(v, "epsilon_remaining", 0.0)?,
+            latency: field_or(v, "latency", LatencySnapshot::default())?,
+        })
+    }
+}
+
+impl Deserialize for ReasonCount {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(Self {
+            reason: field_or(v, "reason", String::new())?,
+            denied: field_or(v, "denied", 0)?,
+        })
+    }
+}
+
+impl Deserialize for CacheSnapshot {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(Self {
+            truth_memory_hits: field_or(v, "truth_memory_hits", 0)?,
+            truth_disk_hits: field_or(v, "truth_disk_hits", 0)?,
+            truth_computed: field_or(v, "truth_computed", 0)?,
+            truth_self_heals: field_or(v, "truth_self_heals", 0)?,
+            public_hits: field_or(v, "public_hits", 0)?,
+            public_misses: field_or(v, "public_misses", 0)?,
+            public_self_heals: field_or(v, "public_self_heals", 0)?,
+        })
+    }
+}
+
+impl Deserialize for ServiceSnapshot {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(Self {
+            http_2xx: field_or(v, "http_2xx", 0)?,
+            http_4xx: field_or(v, "http_4xx", 0)?,
+            http_5xx: field_or(v, "http_5xx", 0)?,
+            worker_spawns: field_or(v, "worker_spawns", 0)?,
+            worker_retirements: field_or(v, "worker_retirements", 0)?,
+            releases_enqueued: field_or(v, "releases_enqueued", 0)?,
+            releases_executed: field_or(v, "releases_executed", 0)?,
+            queue_depth: field_or(v, "queue_depth", 0)?,
+            season_queues: field_or(v, "season_queues", Vec::new())?,
+        })
+    }
+}
+
+impl Deserialize for SeasonQueue {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(Self {
+            season: field_or(v, "season", String::new())?,
+            depth: field_or(v, "depth", 0)?,
+        })
+    }
+}
+
+impl Deserialize for LatencySnapshot {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(Self {
+            count: field_or(v, "count", 0)?,
+            sum_micros: field_or(v, "sum_micros", 0)?,
+            le_micros: field_or(v, "le_micros", Vec::new())?,
+            counts: field_or(v, "counts", Vec::new())?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metrics_counter_gauge_histogram_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        c.set(2);
+        assert_eq!(c.get(), 2);
+
+        let g = Gauge::new();
+        assert_eq!(g.get(), 0.0);
+        g.add(0.1);
+        g.add(0.2);
+        assert_eq!(g.get(), 0.1 + 0.2, "adds accumulate in call order");
+        g.set(7.5);
+        assert_eq!(g.get(), 7.5);
+
+        let h = LatencyHistogram::new();
+        h.observe_micros(50); // first bucket (≤ 100)
+        h.observe_micros(100); // bound is inclusive
+        h.observe_micros(9_999_999_999); // overflow
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 3);
+        assert_eq!(snap.sum_micros, 50 + 100 + 9_999_999_999);
+        assert_eq!(snap.counts[0], 2);
+        assert_eq!(*snap.counts.last().unwrap(), 1);
+        assert_eq!(snap.counts.iter().sum::<u64>(), snap.count);
+    }
+
+    #[test]
+    fn metrics_every_ledger_error_maps_into_the_reason_vocabulary() {
+        let variants: Vec<LedgerError> = vec![
+            LedgerError::EpsilonExhausted {
+                requested: 1.0,
+                remaining: 0.0,
+            },
+            LedgerError::DeltaExhausted {
+                requested: 1.0,
+                remaining: 0.0,
+            },
+            LedgerError::AlphaMismatch {
+                ledger: 0.1,
+                charge: 0.2,
+            },
+            LedgerError::InvalidCharge {
+                epsilon: -1.0,
+                delta: 0.0,
+            },
+            LedgerError::DuplicateReservation { name: "s".into() },
+            LedgerError::UnknownSeason { name: "s".into() },
+            LedgerError::DuplicateClosure { name: "s".into() },
+            LedgerError::RefundExceedsReservation {
+                name: "s".into(),
+                requested: 2.0,
+                reserved: 1.0,
+            },
+            LedgerError::NoPendingClosure { name: "s".into() },
+            LedgerError::CreditExceedsSpent {
+                requested: 2.0,
+                spent: 1.0,
+            },
+        ];
+        for e in &variants {
+            let reason = e.metric_reason();
+            assert!(DENY_REASONS.contains(&reason), "unlisted reason {reason:?}");
+            // The slug resolves to its own slot, not the fallback.
+            assert_eq!(DENY_REASONS[reason_slot(reason)], reason);
+        }
+        // Unknown reasons fold into the request_invalid slot.
+        assert_eq!(
+            DENY_REASONS[reason_slot("no_such_reason")],
+            REASON_REQUEST_INVALID
+        );
+    }
+
+    fn populated() -> MetricsRegistry {
+        let reg = MetricsRegistry::new();
+        reg.epsilon_cap.set(8.0);
+        reg.epsilon_reserved.set(5.0);
+        reg.epsilon_remaining.set(3.0);
+        reg.epsilon_refunded.set(0.25);
+        let fam = reg.family(RequestKind::Marginal);
+        fam.record_accepted(0.1, 0.0);
+        fam.record_accepted(0.2, 0.0);
+        fam.latency.observe_micros(1234);
+        fam.record_denied("epsilon_exhausted");
+        reg.family(RequestKind::Flows)
+            .record_denied(REASON_REQUEST_INVALID);
+        reg.caches.truth_computed.inc();
+        reg.caches.public_hits.add(3);
+        reg.service.http_2xx.add(9);
+        reg.service.releases_enqueued.add(4);
+        reg.service.releases_executed.add(3);
+        reg.flushes.add(2);
+        reg
+    }
+
+    #[test]
+    fn metrics_snapshot_roundtrips_bit_exactly_through_json() {
+        let snap = populated().snapshot();
+        assert_eq!(snap.epsilon_spent, 0.1 + 0.2);
+        assert_eq!(snap.service.queue_depth, 1);
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap, "snapshot must round-trip bit-exactly");
+    }
+
+    #[test]
+    fn metrics_restore_then_snapshot_is_identity() {
+        let snap = populated().snapshot();
+        let fresh = MetricsRegistry::new();
+        fresh.restore(&snap);
+        assert_eq!(fresh.snapshot(), snap);
+        // Reason-indexed counts survive the name-keyed restore.
+        assert_eq!(
+            fresh
+                .family(RequestKind::Marginal)
+                .denied_for("epsilon_exhausted"),
+            1
+        );
+    }
+
+    #[test]
+    fn metrics_snapshot_deserializes_leniently_for_back_compat() {
+        // Pre-metrics JSON: an empty object is a default snapshot.
+        let empty: MetricsSnapshot = serde_json::from_str("{}").unwrap();
+        assert_eq!(empty, MetricsSnapshot::default());
+        assert_eq!(empty.families.len(), FAMILY_LABELS.len());
+        // Partial JSON: unknown-to-us fields beyond the vocabulary are
+        // ignored, known ones land, missing ones default.
+        let partial: MetricsSnapshot = serde_json::from_str(
+            r#"{"epsilon_cap": 4.0, "families": [{"family": "marginal", "accepted_total": 7}],
+                "future_field": true}"#,
+        )
+        .unwrap();
+        assert_eq!(partial.epsilon_cap, 4.0);
+        assert_eq!(partial.families[0].accepted_total, 7);
+        assert_eq!(partial.families[0].denied_total, 0);
+        // An old-vocabulary snapshot restores what it names.
+        let reg = MetricsRegistry::new();
+        reg.family(RequestKind::Marginal).record_denied("whatever");
+        reg.restore(&partial);
+        assert_eq!(
+            reg.family(RequestKind::Marginal).accepted_total.get(),
+            7,
+            "named family restores"
+        );
+        assert_eq!(
+            reg.family(RequestKind::Marginal).denied_total.get(),
+            0,
+            "restore sets, never adds"
+        );
+    }
+
+    #[test]
+    fn metrics_family_labels_cover_every_request_kind() {
+        for kind in [
+            RequestKind::Marginal,
+            RequestKind::Shapes,
+            RequestKind::Flows,
+        ] {
+            let label = FAMILY_LABELS[family_index(kind)];
+            assert!(!label.is_empty());
+            // The registry's family lookup and the snapshot labels agree.
+            let reg = MetricsRegistry::new();
+            reg.family(kind).accepted_total.set(41);
+            let snap = reg.snapshot();
+            let fam = snap.families.iter().find(|f| f.family == label).unwrap();
+            assert_eq!(fam.accepted_total, 41);
+        }
+    }
+
+    #[test]
+    fn metrics_latency_restore_discards_mismatched_bucket_bounds() {
+        let h = LatencyHistogram::new();
+        h.observe_micros(10);
+        let mut snap = h.snapshot();
+        snap.le_micros[0] += 1; // a different compiled vocabulary
+        let fresh = LatencyHistogram::new();
+        fresh.restore(&snap);
+        let restored = fresh.snapshot();
+        assert_eq!(restored.count, 1, "count and sum always survive");
+        assert_eq!(restored.sum_micros, 10);
+        assert_eq!(restored.counts.iter().sum::<u64>(), 0, "counts do not");
+    }
+}

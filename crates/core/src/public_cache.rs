@@ -57,9 +57,11 @@
 use crate::definitions::PrivacyParams;
 use crate::engine::{ReleaseArtifact, RequestKind, RequestProvenance};
 use crate::mechanisms::MechanismKind;
+use crate::metrics::MetricsRegistry;
 use crate::store::{fnv1a_bytes, read_json, write_json_atomic, StoreError};
 use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use tabulate::{FilterExpr, MarginalSpec};
 
 /// Cache-file format version, recorded in every file so a future layout
@@ -134,6 +136,11 @@ struct CacheFile {
 #[derive(Debug, Clone)]
 pub struct ReleaseCache {
     dir: PathBuf,
+    /// Registry corrupt-entry discards (self-heals) are counted into.
+    /// Hit/miss counters stay with the serving layer — `load` is also
+    /// the verification path of registry rehydration, which must not
+    /// inflate them.
+    metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl ReleaseCache {
@@ -147,7 +154,14 @@ impl ReleaseCache {
             path: dir.clone(),
             source,
         })?;
-        Ok(Self { dir })
+        Ok(Self { dir, metrics: None })
+    }
+
+    /// The same cache counting corrupt-on-load entries (self-heals) into
+    /// `registry`.
+    pub fn with_metrics(mut self, registry: Arc<MetricsRegistry>) -> Self {
+        self.metrics = Some(registry);
+        self
     }
 
     /// The backing directory.
@@ -186,20 +200,29 @@ impl ReleaseCache {
         if !path.exists() {
             return None;
         }
-        let file: CacheFile = read_json(&path).ok()?;
-        if file.format != CACHE_FORMAT_VERSION || &file.key != key {
-            return None;
+        let verified = (|| {
+            let file: CacheFile = read_json(&path).ok()?;
+            if file.format != CACHE_FORMAT_VERSION || &file.key != key {
+                return None;
+            }
+            // The stored key and the stored artifact must describe the
+            // same release: a tampered pairing (right key, wrong
+            // artifact) fails here even with a self-consistent content
+            // digest.
+            if ReleaseKey::of(&file.artifact.request, key.dataset_digest).as_ref() != Some(key) {
+                return None;
+            }
+            if Self::artifact_digest(&file.artifact) != file.content_digest {
+                return None;
+            }
+            Some(file.artifact)
+        })();
+        if verified.is_none() {
+            if let Some(registry) = &self.metrics {
+                registry.caches.public_self_heals.inc();
+            }
         }
-        // The stored key and the stored artifact must describe the same
-        // release: a tampered pairing (right key, wrong artifact) fails
-        // here even with a self-consistent content digest.
-        if ReleaseKey::of(&file.artifact.request, key.dataset_digest).as_ref() != Some(key) {
-            return None;
-        }
-        if Self::artifact_digest(&file.artifact) != file.content_digest {
-            return None;
-        }
-        Some(file.artifact)
+        verified
     }
 
     /// Persist `artifact` under `key` atomically (temp + rename). An

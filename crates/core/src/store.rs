@@ -87,10 +87,12 @@ use crate::accountant::{Ledger, LedgerEntry};
 use crate::definitions::PrivacyParams;
 use crate::engine::{ReleaseArtifact, ReleaseEngine, ReleaseRequest, TabulationCache};
 use crate::error::EngineError;
+use crate::metrics::MetricsRegistry;
 use lodes::Dataset;
 use serde::{Deserialize, Serialize};
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Store format version, recorded in the season manifest so a future
 /// layout change can refuse (or migrate) old directories explicitly.
@@ -585,6 +587,10 @@ pub struct SeasonStore {
     /// Exclusive write lease on the season directory, held for the
     /// store's lifetime and released (the file removed) on drop.
     _lease: DirLease,
+    /// Registry the season's engines record into (set by the owning
+    /// agency; `None` for standalone seasons). Runtime-only, never
+    /// persisted.
+    metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl SeasonStore {
@@ -632,6 +638,7 @@ impl SeasonStore {
             ledger,
             completed: Vec::new(),
             _lease: lease,
+            metrics: None,
         })
     }
 
@@ -758,6 +765,7 @@ impl SeasonStore {
             ledger,
             completed,
             _lease: lease,
+            metrics: None,
         })
     }
 
@@ -859,9 +867,21 @@ impl SeasonStore {
     }
 
     /// A [`ReleaseEngine`] opened on this season's ledger — the resume
-    /// path of [`ReleaseEngine::with_ledger`].
+    /// path of [`ReleaseEngine::with_ledger`] — recording into the
+    /// season's attached [`MetricsRegistry`], if any.
     pub fn engine(&self) -> ReleaseEngine {
-        ReleaseEngine::with_ledger(self.ledger.clone())
+        let engine = ReleaseEngine::with_ledger(self.ledger.clone());
+        match &self.metrics {
+            Some(registry) => engine.with_metrics(Arc::clone(registry)),
+            None => engine,
+        }
+    }
+
+    /// Attach the registry this season's engines record into (admissions,
+    /// denials, spend, latency). The owning agency calls this on every
+    /// season handle it returns; standalone seasons record nothing.
+    pub fn set_metrics(&mut self, registry: Arc<MetricsRegistry>) {
+        self.metrics = Some(registry);
     }
 
     /// Persist one completed release: the artifact file first (atomic),

@@ -37,9 +37,11 @@
 //! persistable; closure-filtered truths have no serializable identity and
 //! stay in the in-memory [`TabulationCache`](crate::engine::TabulationCache).
 
+use crate::metrics::MetricsRegistry;
 use crate::store::{read_json, write_json_atomic, StoreError};
 use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use tabulate::{FilterExpr, FlowMarginal, Marginal, MarginalSpec};
 
 /// Truth-file format version, recorded in every file so a future layout
@@ -83,6 +85,8 @@ struct FlowTruthFile {
 pub struct TruthStore {
     dir: PathBuf,
     dataset_digest: u64,
+    /// Registry self-heals are counted into (`None` outside an agency).
+    metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl TruthStore {
@@ -100,7 +104,23 @@ impl TruthStore {
         Ok(Self {
             dir,
             dataset_digest,
+            metrics: None,
         })
+    }
+
+    /// The same store counting corrupt-on-load truths (self-heals) into
+    /// `registry`.
+    pub fn with_metrics(mut self, registry: Arc<MetricsRegistry>) -> Self {
+        self.metrics = Some(registry);
+        self
+    }
+
+    /// Count one truth file that existed but failed verification — the
+    /// caller recomputes and overwrites it (the self-heal path).
+    fn note_self_heal(&self) {
+        if let Some(registry) = &self.metrics {
+            registry.caches.truth_self_heals.inc();
+        }
     }
 
     /// The digest of the dataset this handle serves truths for.
@@ -141,22 +161,28 @@ impl TruthStore {
         if !path.exists() {
             return None;
         }
-        let file: TruthFile = read_json(&path).ok()?;
-        if file.format != TRUTH_FORMAT_VERSION || file.dataset_digest != self.dataset_digest {
-            return None;
+        let verified = (|| {
+            let file: TruthFile = read_json(&path).ok()?;
+            if file.format != TRUTH_FORMAT_VERSION || file.dataset_digest != self.dataset_digest {
+                return None;
+            }
+            if &file.spec != spec || file.marginal.spec() != spec {
+                return None;
+            }
+            match (&file.filter, filter) {
+                (None, None) => {}
+                (Some(stored), Some(requested)) if *stored == requested.normalized() => {}
+                _ => return None,
+            }
+            if file.marginal.content_digest() != file.content_digest {
+                return None;
+            }
+            Some(file.marginal)
+        })();
+        if verified.is_none() {
+            self.note_self_heal();
         }
-        if &file.spec != spec || file.marginal.spec() != spec {
-            return None;
-        }
-        match (&file.filter, filter) {
-            (None, None) => {}
-            (Some(stored), Some(requested)) if *stored == requested.normalized() => {}
-            _ => return None,
-        }
-        if file.marginal.content_digest() != file.content_digest {
-            return None;
-        }
-        Some(file.marginal)
+        verified
     }
 
     /// Persist the truth for `(spec, filter)` atomically (temp + rename).
@@ -228,22 +254,28 @@ impl TruthStore {
         if !path.exists() {
             return None;
         }
-        let file: FlowTruthFile = read_json(&path).ok()?;
-        if file.format != TRUTH_FORMAT_VERSION || file.pair_digest != pair_digest {
-            return None;
+        let verified = (|| {
+            let file: FlowTruthFile = read_json(&path).ok()?;
+            if file.format != TRUTH_FORMAT_VERSION || file.pair_digest != pair_digest {
+                return None;
+            }
+            if &file.spec != spec || file.flows.spec() != spec {
+                return None;
+            }
+            match (&file.filter, filter) {
+                (None, None) => {}
+                (Some(stored), Some(requested)) if *stored == requested.normalized() => {}
+                _ => return None,
+            }
+            if file.flows.content_digest() != file.content_digest {
+                return None;
+            }
+            Some(file.flows)
+        })();
+        if verified.is_none() {
+            self.note_self_heal();
         }
-        if &file.spec != spec || file.flows.spec() != spec {
-            return None;
-        }
-        match (&file.filter, filter) {
-            (None, None) => {}
-            (Some(stored), Some(requested)) if *stored == requested.normalized() => {}
-            _ => return None,
-        }
-        if file.flows.content_digest() != file.content_digest {
-            return None;
-        }
-        Some(file.flows)
+        verified
     }
 
     /// Persist the flow truth for `(pair, spec, filter)` atomically.

@@ -97,6 +97,12 @@ struct EndState {
     artifacts: BTreeMap<String, Vec<u8>>,
     truth_entries: usize,
     cache_entries: usize,
+    /// Replay-derived metrics: total accepted releases and family-summed
+    /// ε spend from the durable `MetricsSnapshot`. Counted once per
+    /// admitted release however many faults and resumes happened — never
+    /// double-counted, never lost.
+    metrics_accepted: u64,
+    metrics_epsilon_spent: f64,
 }
 
 fn walk_tmp_files(dir: &Path, found: &mut Vec<PathBuf>) {
@@ -143,6 +149,30 @@ fn inspect(root: &Path) -> EndState {
             fs::read(entry.path()).expect("artifact readable"),
         );
     }
+    // The restored metrics snapshot must agree with the ledgers it
+    // mirrors, bit for bit — the gauges are refreshed from the replayed
+    // meta-ledger, the accepted totals from the persisted releases.
+    let snapshot = agency.metrics_snapshot();
+    assert_eq!(
+        snapshot.epsilon_remaining.to_bits(),
+        agency.remaining_epsilon().to_bits(),
+        "metrics remaining-ε gauge disagrees with the meta-ledger replay"
+    );
+    assert_eq!(
+        snapshot.epsilon_refunded.to_bits(),
+        agency.refunded_epsilon().to_bits(),
+        "metrics refunded-ε gauge disagrees with the meta-ledger replay"
+    );
+    let metrics_accepted: u64 = snapshot.families.iter().map(|f| f.accepted_total).sum();
+    assert_eq!(
+        metrics_accepted as usize,
+        artifacts.len(),
+        "metrics accepted totals disagree with the persisted artifacts"
+    );
+    assert!(
+        root.join("metrics.json").exists(),
+        "the durable metrics snapshot is missing after recovery"
+    );
     let state = EndState {
         remaining_epsilon: agency.remaining_epsilon(),
         refunded_epsilon: agency.refunded_epsilon(),
@@ -150,6 +180,8 @@ fn inspect(root: &Path) -> EndState {
         artifacts,
         truth_entries,
         cache_entries,
+        metrics_accepted,
+        metrics_epsilon_spent: snapshot.epsilon_spent,
     };
     drop(agency);
     // Opening swept every orphaned temp file; none may survive anywhere.
@@ -199,6 +231,16 @@ fn assert_matches_baseline(end: &EndState, baseline: &EndState, context: &str) {
         end.cache_entries, baseline.cache_entries,
         "{context}: release cache diverged"
     );
+    assert_eq!(
+        end.metrics_accepted, baseline.metrics_accepted,
+        "{context}: a metrics admission count was lost or double-counted"
+    );
+    assert!(
+        close(end.metrics_epsilon_spent, baseline.metrics_epsilon_spent),
+        "{context}: metrics ε-spend {} != baseline {}",
+        end.metrics_epsilon_spent,
+        baseline.metrics_epsilon_spent
+    );
 }
 
 #[test]
@@ -233,6 +275,7 @@ fn every_boundary_errors_and_kills_recover_to_the_baseline() {
         "public/",          // released-artifact cache entries
         "agency.lock",      // agency write lease
         "season.lock",      // season write lease
+        "metrics.json",     // durable cumulative-metrics snapshot
     ] {
         assert!(
             census.sites.iter().any(|s| s.contains(needle)),

@@ -9,6 +9,7 @@ use crate::api::{
     AuditView, ReleaseStatusView, ReleaseSubmission, SeasonCreate, SeasonCreated, SubmitReceipt,
 };
 use eree_core::definitions::PrivacyParams;
+use eree_core::metrics::MetricsSnapshot;
 use eree_core::ClosureReceipt;
 use serde::{Deserialize, Serialize};
 use std::io::{Read, Write};
@@ -231,6 +232,13 @@ impl Client {
     /// `GET /audit`: the agency-wide budget and cache audit.
     pub fn audit(&self) -> Result<AuditView, ClientError> {
         self.get("/audit")
+    }
+
+    /// `GET /metrics`: the canonical structured counters snapshot —
+    /// per-family admissions/denials, budget gauges, cache hit counters,
+    /// latency histograms, and live per-season queue depths.
+    pub fn metrics(&self) -> Result<MetricsSnapshot, ClientError> {
+        self.get("/metrics")
     }
 
     /// `POST /seasons/{name}/close`: drain and seal the season, refunding

@@ -8,8 +8,9 @@
 //! * [`service`] — the [`ReleaseService`]:
 //!   owns the `AgencyStore` (and its write lease), runs one worker per
 //!   season so tenants serialize within a season and parallelize across
-//!   seasons, and answers repeat requests from the public
-//!   released-artifact cache at zero privacy cost.
+//!   seasons, answers repeat requests from the public released-artifact
+//!   cache at zero privacy cost, and publishes the agency's structured
+//!   counters (`eree_core::metrics`) at `GET /metrics`.
 //! * [`api`] — the JSON wire types, built from the core layer's
 //!   serializable vocabulary (`MarginalSpec`, `FilterExpr`,
 //!   `PrivacyParams`).

@@ -67,6 +67,7 @@ use eree_core::definitions::PrivacyParams;
 use eree_core::engine::{
     ReleaseArtifact, ReleaseRequest, RequestKind, TabulationCache, TabulationStats,
 };
+use eree_core::metrics::{MetricsRegistry, MetricsSnapshot, SeasonQueue};
 use eree_core::public_cache::{ReleaseCache, ReleaseKey};
 use eree_core::store::{
     dataset_digest, dataset_pair_digest, panel_digest, SeasonStore, StoreError,
@@ -220,6 +221,9 @@ struct SeasonWorker {
     tx: mpsc::Sender<Job>,
     join: JoinHandle<()>,
     view: Arc<Mutex<SeasonView>>,
+    /// Jobs enqueued but not yet executed — the season's live queue
+    /// depth, reported per season by `GET /metrics`.
+    pending: Arc<AtomicU64>,
 }
 
 /// One quarter of the served data: the snapshot, its digest, a lazily
@@ -261,6 +265,10 @@ struct Shared {
     retired: Mutex<BTreeMap<String, SeasonSummary>>,
     registry: Mutex<Vec<ReleaseRecord>>,
     cache_hits: AtomicU64,
+    /// The agency's live metrics registry (the same `Arc` every season
+    /// store and engine records into), plus the service-side counters.
+    /// Readable without the agency lock.
+    metrics: Arc<MetricsRegistry>,
     idle_timeout: Option<Duration>,
 }
 
@@ -334,6 +342,7 @@ impl ReleaseService {
         };
         let registry_path = root.join(REGISTRY_FILE);
         let registry = load_registry(&registry_path, &cache);
+        let metrics = agency.metrics();
         let shared = Arc::new(Shared {
             quarters,
             panel,
@@ -346,6 +355,7 @@ impl ReleaseService {
             retired: Mutex::new(BTreeMap::new()),
             registry: Mutex::new(registry),
             cache_hits: AtomicU64::new(0),
+            metrics,
             idle_timeout: config.idle_timeout,
         });
         let handler: Handler = {
@@ -398,8 +408,20 @@ impl ReleaseService {
 }
 
 /// Route one request. Pure with respect to the HTTP layer: all state
-/// lives in `shared`.
+/// lives in `shared`. Every response — every route, including unknown
+/// paths — lands in exactly one HTTP status-class counter.
 fn route(shared: &Arc<Shared>, request: &Request) -> Response {
+    let response = route_inner(shared, request);
+    let service = &shared.metrics.service;
+    match response.status / 100 {
+        2 => service.http_2xx.inc(),
+        4 => service.http_4xx.inc(),
+        _ => service.http_5xx.inc(),
+    }
+    response
+}
+
+fn route_inner(shared: &Arc<Shared>, request: &Request) -> Response {
     let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
     match (request.method.as_str(), segments.as_slice()) {
         ("POST", ["seasons"]) => create_season(shared, &request.body),
@@ -407,6 +429,7 @@ fn route(shared: &Arc<Shared>, request: &Request) -> Response {
         ("POST", ["seasons", name, "close"]) => close_season(shared, name),
         ("GET", ["releases", id]) => release_status(shared, id),
         ("GET", ["audit"]) => audit(shared),
+        ("GET", ["metrics"]) => metrics_view(shared),
         _ => Response::error(404, "no such route"),
     }
 }
@@ -571,6 +594,7 @@ fn submit_release(shared: &Arc<Shared>, name: &str, body: &str) -> Response {
     };
     if let Some(artifact) = shared.cache.load(&key) {
         shared.cache_hits.fetch_add(1, Ordering::Relaxed);
+        shared.metrics.caches.public_hits.inc();
         let id = push_record(
             shared,
             ReleaseRecord {
@@ -593,6 +617,7 @@ fn submit_release(shared: &Arc<Shared>, name: &str, body: &str) -> Response {
     }
     // Cache miss: the request crosses to the confidential side through
     // the season's worker queue.
+    shared.metrics.caches.public_misses.inc();
     let agency = shared.agency.lock().expect("agency lock poisoned");
     if agency.meta_ledger().reservation(name).is_none() {
         return Response::error(404, &format!("no season named `{name}`"));
@@ -622,7 +647,15 @@ fn submit_release(shared: &Arc<Shared>, name: &str, body: &str) -> Response {
             state: ReleaseState::Queued,
         },
     );
+    // Enqueue accounting before the send: the worker may dequeue (and
+    // decrement) the instant the job lands.
+    worker.pending.fetch_add(1, Ordering::Relaxed);
+    shared.metrics.service.releases_enqueued.inc();
     if worker.tx.send(Job::Release { id, request }).is_err() {
+        // The job never reached the queue: resolve it terminally so the
+        // enqueued/executed pair stays balanced.
+        worker.pending.fetch_sub(1, Ordering::Relaxed);
+        shared.metrics.service.releases_executed.inc();
         set_state(
             shared,
             id,
@@ -776,6 +809,7 @@ fn audit(shared: &Arc<Shared>) -> Response {
         .lock()
         .expect("registry lock poisoned")
         .len() as u64;
+    let metrics = snapshot_with_queues(&agency, &workers);
     let view = AuditView {
         cap: *agency.cap(),
         reserved_epsilon: agency.meta_ledger().reserved_epsilon(),
@@ -787,8 +821,36 @@ fn audit(shared: &Arc<Shared>) -> Response {
         cache_hits: shared.cache_hits.load(Ordering::Relaxed),
         cache_entries: shared.cache.len() as u64,
         tabulations: stats,
+        metrics,
     };
     json_ok(200, &view)
+}
+
+/// `GET /metrics`: the agency's canonical [`MetricsSnapshot`] with the
+/// budget gauges refreshed from the meta-ledger and the live per-season
+/// queue depths filled in.
+fn metrics_view(shared: &Arc<Shared>) -> Response {
+    let agency = shared.agency.lock().expect("agency lock poisoned");
+    let workers = shared.workers.lock().expect("workers lock poisoned");
+    json_ok(200, &snapshot_with_queues(&agency, &workers))
+}
+
+/// Take the agency snapshot and graft on the per-season queue depths
+/// only the service knows. Called with both locks held, in the
+/// documented `agency` → `workers` order.
+fn snapshot_with_queues(
+    agency: &AgencyStore,
+    workers: &BTreeMap<String, SeasonWorker>,
+) -> MetricsSnapshot {
+    let mut snapshot = agency.metrics_snapshot();
+    snapshot.service.season_queues = workers
+        .iter()
+        .map(|(name, worker)| SeasonQueue {
+            season: name.clone(),
+            depth: worker.pending.load(Ordering::Relaxed),
+        })
+        .collect();
+    snapshot
 }
 
 /// Append a record to the registry and persist it. Returns the new id.
@@ -995,6 +1057,8 @@ fn spawn_worker(
     let q = &shared.quarters[quarter];
     let cache = TabulationCache::with_store(q.truths.clone()).with_shared_index(q.index());
     let (tx, rx) = mpsc::channel::<Job>();
+    let pending = Arc::new(AtomicU64::new(0));
+    shared.metrics.service.worker_spawns.inc();
     let ctx = WorkerCtx {
         shared: Arc::clone(shared),
         name: name.to_string(),
@@ -1003,9 +1067,15 @@ fn spawn_worker(
         plan,
         cache,
         view: Arc::clone(&view),
+        pending: Arc::clone(&pending),
     };
     let join = std::thread::spawn(move || season_worker(ctx, rx));
-    Ok(SeasonWorker { tx, join, view })
+    Ok(SeasonWorker {
+        tx,
+        join,
+        view,
+        pending,
+    })
 }
 
 /// Everything one season worker owns: the [`SeasonStore`] (and with it
@@ -1019,6 +1089,9 @@ struct WorkerCtx {
     plan: Vec<ReleaseRequest>,
     cache: TabulationCache,
     view: Arc<Mutex<SeasonView>>,
+    /// Shared with the [`SeasonWorker`] handle: enqueued-but-unexecuted
+    /// jobs, decremented after each release resolves.
+    pending: Arc<AtomicU64>,
 }
 
 impl WorkerCtx {
@@ -1146,6 +1219,7 @@ fn season_worker(mut ctx: WorkerCtx, rx: mpsc::Receiver<Job>) {
                                 .insert(ctx.name.clone(), summary);
                             workers.remove(&ctx.name);
                             drop(ctx);
+                            shared.metrics.service.worker_retirements.inc();
                             return;
                         }
                     }
@@ -1154,8 +1228,15 @@ fn season_worker(mut ctx: WorkerCtx, rx: mpsc::Receiver<Job>) {
         };
         match job {
             Job::Shutdown => break,
-            Job::Release { id, request } => ctx.run_release(id, request),
+            Job::Release { id, request } => {
+                ctx.run_release(id, request);
+                ctx.pending.fetch_sub(1, Ordering::Relaxed);
+                ctx.shared.metrics.service.releases_executed.inc();
+            }
         }
     }
+    // Shutdown and close both retire the worker; count them with the
+    // idle path so spawns − retirements is always the live worker count.
+    ctx.shared.metrics.service.worker_retirements.inc();
     // `ctx.store` drops here: the season's write lease is released.
 }

@@ -93,6 +93,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
+    // `GET /metrics` publishes the same accounting as a structured
+    // snapshot: two admitted marginals, one public-cache hit, and a JSON
+    // form that round-trips bit-exactly.
+    let metrics = client.metrics()?;
+    let marginal = metrics
+        .families
+        .iter()
+        .find(|f| f.family == "marginal")
+        .expect("snapshot carries the marginal family");
+    assert_eq!(marginal.accepted_total, 2);
+    assert_eq!(marginal.denied_total, 0);
+    assert!(metrics.caches.public_hits >= 1, "the repeat was a hit");
+    let roundtrip: eree_core::metrics::MetricsSnapshot =
+        serde_json::from_str(&serde_json::to_string(&metrics)?)?;
+    assert_eq!(roundtrip, metrics);
+    println!(
+        "metrics: marginal accepted={} eps_spent={:.2}, public cache hits={}, flushes={}",
+        marginal.accepted_total,
+        marginal.epsilon_spent,
+        metrics.caches.public_hits,
+        metrics.flushes,
+    );
+
     service.shutdown();
     let _ = std::fs::remove_dir_all(&dir);
     println!("\nservice drained, leases released, agency directory intact");

@@ -79,11 +79,11 @@ pub mod prelude {
     #[allow(deprecated)]
     pub use eree_core::shape::release_shapes;
     pub use eree_core::{
-        panel_quarter_seed, AgencyStore, ArtifactPayload, CountMechanism, EngineError, FilterExpr,
-        FilterId, FlowRelease, Ledger, MechanismKind, MetaLedger, PrivacyParams, PrivateRelease,
-        ReleaseArtifact, ReleaseConfig, ReleaseCost, ReleaseEngine, ReleaseRequest, RequestKind,
-        SeasonReport, SeasonStore, SeasonSummary, StoreError, TabulationCache, TabulationStats,
-        TruthStore,
+        panel_quarter_seed, AgencyStore, ArtifactPayload, CountMechanism, EngineError,
+        FamilySnapshot, FilterExpr, FilterId, FlowRelease, Ledger, MechanismKind, MetaLedger,
+        MetricsRegistry, MetricsSnapshot, PrivacyParams, PrivateRelease, ReleaseArtifact,
+        ReleaseConfig, ReleaseCost, ReleaseEngine, ReleaseRequest, RequestKind, SeasonReport,
+        SeasonStore, SeasonSummary, StoreError, TabulationCache, TabulationStats, TruthStore,
     };
     pub use eree_service::{Client, ReleaseService, ReleaseSubmission, ServiceConfig};
     pub use lodes::{
