@@ -11,8 +11,13 @@
 //! run it as a correctness smoke as well as a perf probe.
 //!
 //! Usage: `cargo run --release -p bench --bin bench_tabulate --
-//! [--iters N] [--out PATH] [--check-against BASELINE [--max-regression F]]`.
-//! Scale follows `EREE_SCALE` (`small`/`default`/`paper`).
+//! [--iters N] [--out PATH] [--national JOBS]
+//! [--check-against BASELINE [--max-regression F]]`.
+//! Scale follows `EREE_SCALE` (`small`/`default`/`paper`);
+//! `--national JOBS` additionally streams a ~`JOBS`-job
+//! `GeneratorConfig::national` universe into a region-sharded index and
+//! records the build cost, peak RSS, kernel A/B, and thread-scaling
+//! curve in a `national` section.
 //!
 //! `--check-against` is the CI delta guard: after writing the fresh
 //! results, the Workload 1 single-threaded speedup is compared against the
@@ -26,11 +31,12 @@
 //! caveat are documented in the `bench` crate's rustdoc (`crates/bench`).
 
 use eval::runner::EvalScale;
-use lodes::{Dataset, DatasetPanel, Generator, PanelConfig};
+use lodes::{Dataset, DatasetPanel, Generator, GeneratorConfig, PanelConfig};
 use std::time::Instant;
 use tabulate::{
-    compute_flows_legacy, compute_marginal_legacy, workload1, workload3, FlowMarginal, Marginal,
-    MarginalSpec, TabulationIndex, WorkerAttr, WorkplaceAttr,
+    compute_flows_legacy, compute_marginal_legacy, simd_available, workload1, workload3,
+    FlowMarginal, Kernel, Marginal, MarginalSpec, RegionIndexBuilder, TabulationIndex, WorkerAttr,
+    WorkplaceAttr,
 };
 
 /// Canonical eval data seed (same as `ExperimentContext::new`).
@@ -81,10 +87,12 @@ struct SpecResult {
     name: String,
     cells: usize,
     legacy_ms: f64,
+    scalar_1t_ms: f64,
     indexed_ms: f64,
     indexed_mt_ms: f64,
     speedup_1t: f64,
     speedup_mt: f64,
+    simd_speedup_1t: f64,
 }
 
 fn bench_spec(
@@ -95,18 +103,34 @@ fn bench_spec(
     threads: usize,
 ) -> SpecResult {
     let (legacy_ms, legacy) = time_best(iters, || compute_marginal_legacy(dataset, spec));
+    let (scalar_1t_ms, scalar) = time_best(iters, || {
+        index.marginal_sharded_with_kernel(spec, 1, Kernel::Scalar)
+    });
     let (indexed_ms, indexed) = time_best(iters, || index.marginal(spec));
-    let (indexed_mt_ms, indexed_mt) = time_best(iters, || index.marginal_sharded(spec, threads));
+    // MT rows go through the same shard-count heuristic the release
+    // engine applies: when the dataset is too small (or the host too
+    // narrow) to pay for sharding, the 1-thread measurement IS the
+    // multi-thread result — recorded as such, so MT never loses to 1T
+    // on noise alone.
+    let eff = index.effective_shards(threads);
+    let (indexed_mt_ms, indexed_mt) = if eff <= 1 {
+        (indexed_ms, indexed.clone())
+    } else {
+        time_best(iters, || index.marginal_sharded(spec, eff))
+    };
+    assert_identical(&spec.name(), &legacy, &scalar);
     assert_identical(&spec.name(), &legacy, &indexed);
     assert_identical(&spec.name(), &legacy, &indexed_mt);
     SpecResult {
         name: spec.name(),
         cells: legacy.num_cells(),
         legacy_ms,
+        scalar_1t_ms,
         indexed_ms,
         indexed_mt_ms,
         speedup_1t: legacy_ms / indexed_ms,
         speedup_mt: legacy_ms / indexed_mt_ms,
+        simd_speedup_1t: scalar_1t_ms / indexed_ms,
     }
 }
 
@@ -125,23 +149,197 @@ fn bench_flows(
     let before_index = TabulationIndex::build(before);
     let after_index = TabulationIndex::build(after);
     let (legacy_ms, legacy) = time_best(iters, || compute_flows_legacy(before, after, spec));
+    let (scalar_1t_ms, scalar) = time_best(iters, || {
+        before_index.flows_sharded_with_kernel(&after_index, spec, 1, Kernel::Scalar)
+    });
     let (indexed_ms, indexed) =
         time_best(iters, || before_index.flows_sharded(&after_index, spec, 1));
-    let (indexed_mt_ms, indexed_mt) = time_best(iters, || {
-        before_index.flows_sharded(&after_index, spec, threads)
-    });
+    let eff = before_index.effective_shards(threads);
+    let (indexed_mt_ms, indexed_mt) = if eff <= 1 {
+        (indexed_ms, indexed.clone())
+    } else {
+        time_best(iters, || {
+            before_index.flows_sharded(&after_index, spec, eff)
+        })
+    };
     let name = format!("flows:{}", spec.name());
+    assert_flows_identical(&name, &legacy, &scalar);
     assert_flows_identical(&name, &legacy, &indexed);
     assert_flows_identical(&name, &legacy, &indexed_mt);
     SpecResult {
         name,
         cells: legacy.num_cells(),
         legacy_ms,
+        scalar_1t_ms,
         indexed_ms,
         indexed_mt_ms,
         speedup_1t: legacy_ms / indexed_ms,
         speedup_mt: legacy_ms / indexed_mt_ms,
+        simd_speedup_1t: scalar_1t_ms / indexed_ms,
     }
+}
+
+/// Peak resident set size of this process so far, in MiB (`VmHWM` from
+/// `/proc/self/status`); `0.0` where procfs is unavailable.
+fn peak_rss_mb() -> f64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0.0;
+    };
+    status
+        .lines()
+        .find_map(|line| line.strip_prefix("VmHWM:"))
+        .and_then(|rest| {
+            rest.trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse::<f64>()
+                .ok()
+        })
+        .map(|kb| kb / 1024.0)
+        .unwrap_or(0.0)
+}
+
+/// One spec's national-scale scaling curve.
+struct NationalSpecResult {
+    name: String,
+    cells: usize,
+    scalar_1t_ms: f64,
+    simd_speedup_1t: f64,
+    /// `(threads, best ms)` pairs, ascending in threads.
+    threads_ms: Vec<(usize, f64)>,
+}
+
+/// The national streaming workload: stream-generate `target_jobs` jobs
+/// straight into a region-sharded index (no flat `Dataset` is ever
+/// materialized — peak RSS stays bounded by the index itself), then
+/// record the 1..=N-thread scaling curve per spec. Returns the JSON
+/// fragment for the `national` section.
+fn bench_national(target_jobs: usize, iters: usize, threads: usize) -> String {
+    let cfg = GeneratorConfig::national(CANONICAL_SEED, target_jobs);
+    let generator = Generator::new(cfg);
+    eprintln!("national: streaming ~{target_jobs} jobs into a region-sharded index ...");
+    let build_start = Instant::now();
+    let mut builder = RegionIndexBuilder::new(&generator.geography());
+    generator.for_each_establishment(|wp, workers| builder.push_establishment(wp, workers));
+    let index = builder.finish();
+    let stream_build_ms = build_start.elapsed().as_secs_f64() * 1e3;
+    let rss = peak_rss_mb();
+    eprintln!(
+        "national: {} jobs, {} establishments, {} shards; stream build {:.0} ms; peak RSS {:.0} MiB",
+        index.num_workers(),
+        index.num_establishments(),
+        index.num_shards(),
+        stream_build_ms,
+        rss
+    );
+
+    // Thread counts for the scaling curve: powers of two up to the
+    // host's parallelism (always including 1). A 1-core container
+    // records a single honest point; multi-core runners get the curve.
+    let mut curve_threads = vec![1usize];
+    let mut t = 2;
+    while t <= threads {
+        curve_threads.push(t);
+        t *= 2;
+    }
+
+    let full_spec = MarginalSpec::new(
+        vec![
+            WorkplaceAttr::Place,
+            WorkplaceAttr::Naics,
+            WorkplaceAttr::Ownership,
+        ],
+        vec![
+            WorkerAttr::Sex,
+            WorkerAttr::Age,
+            WorkerAttr::Race,
+            WorkerAttr::Ethnicity,
+            WorkerAttr::Education,
+        ],
+    );
+    let mut results = Vec::new();
+    for spec in [workload1(), full_spec] {
+        let (scalar_1t_ms, scalar) = time_best(iters, || {
+            index.marginal_sharded_with_kernel(&spec, 1, Kernel::Scalar)
+        });
+        let mut threads_ms = Vec::new();
+        let mut auto_1t_ms = f64::INFINITY;
+        for &t in &curve_threads {
+            let (ms, m) = time_best(iters, || index.marginal_sharded(&spec, t));
+            assert_eq!(
+                m,
+                scalar,
+                "national {}: {t}-thread result diverged from scalar",
+                spec.name()
+            );
+            if t == 1 {
+                auto_1t_ms = ms;
+            }
+            threads_ms.push((t, ms));
+        }
+        let r = NationalSpecResult {
+            name: spec.name(),
+            cells: scalar.num_cells(),
+            scalar_1t_ms,
+            simd_speedup_1t: scalar_1t_ms / auto_1t_ms,
+            threads_ms,
+        };
+        eprintln!(
+            "national {:<45} scalar(1t) {:>9.1} ms | simd(1t) {:>9.1} ms ({:.2}x) | curve {:?}",
+            r.name, r.scalar_1t_ms, auto_1t_ms, r.simd_speedup_1t, r.threads_ms
+        );
+        results.push(r);
+    }
+
+    let scaling: Vec<String> = results
+        .iter()
+        .map(|r| {
+            let curve: Vec<String> = r
+                .threads_ms
+                .iter()
+                .map(|(t, ms)| format!("{{\"threads\": {t}, \"ms\": {ms:.3}}}"))
+                .collect();
+            format!(
+                "      {{\n        \"spec\": \"{}\",\n        \"cells\": {},\n        \"scalar_1t_ms\": {:.3},\n        \"simd_speedup_1t\": {:.3},\n        \"threads_ms\": [{}]\n      }}",
+                r.name,
+                r.cells,
+                r.scalar_1t_ms,
+                r.simd_speedup_1t,
+                curve.join(", ")
+            )
+        })
+        .collect();
+    format!(
+        "  \"national\": {{\n    \"jobs\": {},\n    \"establishments\": {},\n    \"shards\": {},\n    \"simd\": {},\n    \"stream_build_ms\": {:.3},\n    \"peak_rss_mb\": {:.1},\n    \"scaling\": [\n{}\n    ]\n  }}",
+        index.num_workers(),
+        index.num_establishments(),
+        index.num_shards(),
+        simd_available(),
+        stream_build_ms,
+        rss,
+        scaling.join(",\n")
+    )
+}
+
+/// Extract `national.scaling[spec == spec_name].simd_speedup_1t` from a
+/// results file, `None` when the file has no `national` section (the
+/// small-scale CI baseline deliberately omits it).
+fn national_simd_speedup(json: &str, spec_name: &str) -> Option<f64> {
+    let value: serde::Value = serde_json::from_str(json).ok()?;
+    let scaling = match value.get("national")?.get("scaling") {
+        Some(serde::Value::Seq(scaling)) => scaling,
+        _ => return None,
+    };
+    for spec in scaling {
+        if spec.get("spec") == Some(&serde::Value::Str(spec_name.to_string())) {
+            return match spec.get("simd_speedup_1t") {
+                Some(serde::Value::F64(x)) => Some(*x),
+                Some(serde::Value::U64(n)) => Some(*n as f64),
+                _ => None,
+            };
+        }
+    }
+    None
 }
 
 /// Extract the `scale` field from a results file.
@@ -179,6 +377,7 @@ fn main() {
     let mut out = format!("{}/../../BENCH_tabulate.json", env!("CARGO_MANIFEST_DIR"));
     let mut check_against: Option<String> = None;
     let mut max_regression = 0.20f64;
+    let mut national_jobs: Option<usize> = None;
     let args: Vec<String> = std::env::args().collect();
     let mut i = 1;
     while i < args.len() {
@@ -197,6 +396,10 @@ fn main() {
             }
             "--max-regression" => {
                 max_regression = args[i + 1].parse().expect("--max-regression takes a float");
+                i += 2;
+            }
+            "--national" => {
+                national_jobs = Some(args[i + 1].parse().expect("--national takes a job count"));
                 i += 2;
             }
             other => panic!("unknown argument {other}"),
@@ -271,24 +474,30 @@ fn main() {
     );
     results.push(r);
 
+    let national_json = national_jobs.map(|jobs| bench_national(jobs, iters.min(3), threads));
+
     let spec_json: Vec<String> = results
         .iter()
         .map(|r| {
             format!(
-                "    {{\n      \"spec\": \"{}\",\n      \"cells\": {},\n      \"legacy_ms\": {:.3},\n      \"indexed_1t_ms\": {:.3},\n      \"indexed_mt_ms\": {:.3},\n      \"speedup_1t\": {:.3},\n      \"speedup_mt\": {:.3}\n    }}",
-                r.name, r.cells, r.legacy_ms, r.indexed_ms, r.indexed_mt_ms, r.speedup_1t, r.speedup_mt
+                "    {{\n      \"spec\": \"{}\",\n      \"cells\": {},\n      \"legacy_ms\": {:.3},\n      \"scalar_1t_ms\": {:.3},\n      \"indexed_1t_ms\": {:.3},\n      \"indexed_mt_ms\": {:.3},\n      \"speedup_1t\": {:.3},\n      \"speedup_mt\": {:.3},\n      \"simd_speedup_1t\": {:.3}\n    }}",
+                r.name, r.cells, r.legacy_ms, r.scalar_1t_ms, r.indexed_ms, r.indexed_mt_ms,
+                r.speedup_1t, r.speedup_mt, r.simd_speedup_1t
             )
         })
         .collect();
+    let national_section = national_json.map(|n| format!(",\n{n}")).unwrap_or_default();
     let json = format!(
-        "{{\n  \"bench\": \"tabulate_old_vs_new\",\n  \"scale\": \"{:?}\",\n  \"jobs\": {},\n  \"establishments\": {},\n  \"threads\": {},\n  \"iters\": {},\n  \"index_build_ms\": {:.3},\n  \"specs\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"tabulate_old_vs_new\",\n  \"scale\": \"{:?}\",\n  \"jobs\": {},\n  \"establishments\": {},\n  \"threads\": {},\n  \"iters\": {},\n  \"simd\": {},\n  \"index_build_ms\": {:.3},\n  \"specs\": [\n{}\n  ]{}\n}}\n",
         scale,
         dataset.num_jobs(),
         dataset.num_workplaces(),
         threads,
         iters,
+        simd_available(),
         build_ms,
-        spec_json.join(",\n")
+        spec_json.join(",\n"),
+        national_section
     );
     std::fs::write(&out, &json).expect("write BENCH_tabulate.json");
     eprintln!("wrote {out}");
@@ -323,5 +532,27 @@ fn main() {
              {fresh:.2}x vs baseline {baseline:.2}x (floor {floor:.2}x; baseline {baseline_path})",
             max_regression * 100.0
         );
+
+        // National guard: when both runs carried the streaming national
+        // workload, its workload1 SIMD speedup (a within-run ratio, so
+        // portable across runner hardware) must not regress either. A
+        // small-scale CI baseline without a `national` section skips
+        // this leg — the CI baseline stays cheap by design.
+        if let (Some(base_n), Some(fresh_n)) = (
+            national_simd_speedup(&baseline_json, &spec_name),
+            national_simd_speedup(&json, &spec_name),
+        ) {
+            let floor = base_n * (1.0 - max_regression);
+            eprintln!(
+                "delta guard: national workload1 simd_speedup_1t fresh {fresh_n:.2}x vs \
+                 baseline {base_n:.2}x (floor {floor:.2}x)"
+            );
+            assert!(
+                fresh_n >= floor,
+                "national workload1 SIMD speedup regressed more than {:.0}%: \
+                 {fresh_n:.2}x vs baseline {base_n:.2}x (baseline {baseline_path})",
+                max_regression * 100.0
+            );
+        }
     }
 }

@@ -44,18 +44,44 @@
 //! | `threads` | hardware threads used for the `_mt` rows |
 //! | `iters` | best-of-N iteration count |
 //! | `index_build_ms` | one-time [`TabulationIndex`](tabulate::TabulationIndex) build cost |
+//! | `simd` | whether the AVX2 kernels were available at run time |
 //! | `specs[].spec` | marginal spec name (`workload1`, `workload3`, full-attribute) |
 //! | `specs[].cells` | nonzero cells tabulated |
 //! | `specs[].legacy_ms` | legacy per-worker engine, single-threaded |
-//! | `specs[].indexed_1t_ms` | CSR engine, single-threaded |
-//! | `specs[].indexed_mt_ms` | CSR engine, sharded across `threads` |
+//! | `specs[].scalar_1t_ms` | CSR engine, single-threaded, `Kernel::Scalar` forced |
+//! | `specs[].indexed_1t_ms` | CSR engine, single-threaded, `Kernel::Auto` (SIMD when available) |
+//! | `specs[].indexed_mt_ms` | CSR engine, sharded across `effective_shards(threads)` (reuses the 1T time when sharding cannot pay, so MT never reads worse than 1T) |
 //! | `specs[].speedup_1t` / `speedup_mt` | `legacy_ms` over the two indexed times |
+//! | `specs[].simd_speedup_1t` | `scalar_1t_ms / indexed_1t_ms` — the kernel A/B on one index |
+//!
+//! Passing `--national JOBS` appends a `national` section: a
+//! `GeneratorConfig::national` universe of roughly `JOBS` jobs is
+//! **streamed** (`Generator::for_each_establishment`) into a
+//! per-state `RegionIndexBuilder` without ever materializing the
+//! dataset, and the section records the honest cost of that path:
+//!
+//! | field | meaning |
+//! |---|---|
+//! | `national.jobs`, `national.establishments`, `national.shards` | realized universe size and state-shard count |
+//! | `national.simd` | AVX2 availability during the run |
+//! | `national.stream_build_ms` | streaming generate-and-index wall time |
+//! | `national.peak_rss_mb` | `VmHWM` after the build — the bounded-RSS claim, measured |
+//! | `national.scaling[].spec` / `.cells` | workload tabulated against the sharded index |
+//! | `national.scaling[].scalar_1t_ms` / `.simd_speedup_1t` | kernel A/B at national scale |
+//! | `national.scaling[].threads_ms[]` | `{threads, ms}` curve, doubling thread counts up to the host |
+//!
+//! When both the fresh run and the `--check-against` baseline carry a
+//! `national` section, the guard also fails on a >`--max-regression`
+//! drop of the national Workload 1 `simd_speedup_1t` (the CI baseline is
+//! Small scale without `--national`, so this extra guard only arms on
+//! full regenerations).
 //!
 //! **Caveat (from ROADMAP):** the dev container is 1-core, so the
-//! checked-in `indexed_mt_ms` ≈ `indexed_1t_ms` and `engine_batch`'s
+//! checked-in `indexed_mt_ms` ≈ `indexed_1t_ms`, the national scaling
+//! curve has a single `threads = 1` point, and `engine_batch`'s
 //! sequential-vs-parallel comparison reads as parity there; multi-core
-//! CI runners show the real sharded speedup. Treat `speedup_1t` as the
-//! portable number.
+//! CI runners show the real sharded speedup. Treat `speedup_1t` and
+//! `simd_speedup_1t` as the portable numbers.
 
 use eval::runner::{EvalScale, ExperimentContext, TrialSpec};
 

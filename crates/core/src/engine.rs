@@ -97,7 +97,8 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Instant;
 use tabulate::{
-    CellKey, FilterExpr, FilterId, FlowMarginal, FlowStats, Marginal, MarginalSpec, TabulationIndex,
+    CellKey, DatasetIndex, FilterExpr, FilterId, FlowMarginal, FlowStats, Marginal, MarginalSpec,
+    RegionShardedIndex, TabulationIndex,
 };
 
 /// Worker predicate for filtered (single-query) workloads — the opaque
@@ -776,7 +777,7 @@ enum TabulationSource {
 /// no serializable identity and stay memory-only.
 #[derive(Default)]
 pub struct TabulationCache {
-    index: Option<Arc<TabulationIndex>>,
+    index: Option<DatasetIndex>,
     entries: BTreeMap<TabulationKey, (Arc<Marginal>, Option<WorkerFilter>)>,
     store: Option<crate::truths::TruthStore>,
     /// Whether the dataset's digest has been checked against the store's.
@@ -787,7 +788,7 @@ pub struct TabulationCache {
     /// index of the cache's one dataset — the current quarter); only the
     /// *before* snapshot needs a second index.
     flow_entries: BTreeMap<TabulationKey, (Arc<FlowMarginal>, Option<WorkerFilter>)>,
-    before_index: Option<Arc<TabulationIndex>>,
+    before_index: Option<DatasetIndex>,
     /// [`dataset_pair_digest`](crate::store::dataset_pair_digest) of the
     /// cache's one pair, computed (two full-dataset scans) or supplied by
     /// a driver once, then reused for every persistent flow-truth lookup.
@@ -816,25 +817,28 @@ impl TabulationCache {
         self.store.as_ref()
     }
 
-    /// Seed the cache with an already built columnar index instead of
-    /// building one lazily on the first miss. A multi-tenant frontend
-    /// builds the index **once** at startup and hands a clone of the
-    /// `Arc` to every per-season cache, so N concurrent seasons share one
-    /// CSR image of the dataset instead of paying N builds — the caller
-    /// owes the same one-dataset contract as for cached truths: the index
-    /// must have been built from the dataset this cache will be used with.
-    pub fn with_shared_index(mut self, index: Arc<TabulationIndex>) -> Self {
+    /// Seed the cache with an already built index instead of building one
+    /// lazily on the first miss. A multi-tenant frontend builds the index
+    /// **once** at startup and hands a clone (the [`DatasetIndex`]
+    /// variants are `Arc`-backed) to every per-season cache, so N
+    /// concurrent seasons share one image of the dataset instead of
+    /// paying N builds — the caller owes the same one-dataset contract as
+    /// for cached truths: the index must have been built from the dataset
+    /// this cache will be used with.
+    pub fn with_shared_index(mut self, index: DatasetIndex) -> Self {
         self.index = Some(index);
         self
     }
 
-    /// Seed the cache with an already built columnar index of the *before*
+    /// Seed the cache with an already built index of the *before*
     /// snapshot for flow tabulations — the pair-wise analogue of
     /// [`with_shared_index`](Self::with_shared_index) (which supplies the
     /// *after*/current-quarter side). The same one-dataset contract
-    /// applies: the index must have been built from the `before` dataset
-    /// every flow call on this cache will pass.
-    pub fn with_flow_before_index(mut self, index: Arc<TabulationIndex>) -> Self {
+    /// applies — and both quarters of a pair must use the same
+    /// representation (flat or region-sharded), which holds automatically
+    /// when both are built through [`DatasetIndex::build_auto`] on
+    /// same-scale panel quarters.
+    pub fn with_flow_before_index(mut self, index: DatasetIndex) -> Self {
         self.before_index = Some(index);
         self
     }
@@ -882,12 +886,14 @@ impl TabulationCache {
         Ok(())
     }
 
-    /// The shared columnar index of `dataset`, building it on first use.
-    fn index_for(&mut self, dataset: &Dataset) -> Arc<TabulationIndex> {
-        Arc::clone(
-            self.index
-                .get_or_insert_with(|| Arc::new(TabulationIndex::build(dataset))),
-        )
+    /// The shared index of `dataset`, building it on first use — flat for
+    /// ordinary datasets, region-sharded above the national-scale
+    /// threshold (see [`DatasetIndex::build_auto`]); results are
+    /// bit-identical either way.
+    fn index_for(&mut self, dataset: &Dataset) -> DatasetIndex {
+        self.index
+            .get_or_insert_with(|| DatasetIndex::build_auto(dataset))
+            .clone()
     }
 
     /// The truth marginal for `request`: in-memory entry, verified
@@ -984,11 +990,20 @@ impl TabulationCache {
                 return Ok((truth, TabulationSource::Disk));
             }
         }
-        let before_index = Arc::clone(
-            self.before_index
-                .get_or_insert_with(|| Arc::new(TabulationIndex::build(before))),
-        );
         let after_index = self.index_for(after);
+        // The before side must match the after side's representation —
+        // sharded flow tabulation pairs shards state by state.
+        let before_index = self
+            .before_index
+            .get_or_insert_with(|| match &after_index {
+                DatasetIndex::Single(_) => {
+                    DatasetIndex::Single(Arc::new(TabulationIndex::build(before)))
+                }
+                DatasetIndex::Sharded(_) => {
+                    DatasetIndex::Sharded(Arc::new(RegionShardedIndex::build(before)))
+                }
+            })
+            .clone();
         let truth = Arc::new(tabulate_flow_request(
             &before_index,
             &after_index,
@@ -1013,8 +1028,12 @@ impl TabulationCache {
 
 /// Tabulate one request's truth marginal over the shared index,
 /// sharding the establishment loop across up to `threads` workers
-/// (bit-identical at any count).
-fn tabulate_request(index: &TabulationIndex, request: &ReleaseRequest, threads: usize) -> Marginal {
+/// (bit-identical at any count). The advisory
+/// [`effective_shards`](DatasetIndex::effective_shards) heuristic caps
+/// fan-out first, so small datasets take the single-shard path instead of
+/// paying per-shard spawn/sort/merge overhead that exceeds the scan.
+fn tabulate_request(index: &DatasetIndex, request: &ReleaseRequest, threads: usize) -> Marginal {
+    let threads = index.effective_shards(threads);
     match &request.filter {
         Some(RequestFilter::Expr(expr)) => {
             index.marginal_expr_sharded(&request.spec, expr, threads)
@@ -1030,11 +1049,12 @@ fn tabulate_request(index: &TabulationIndex, request: &ReleaseRequest, threads: 
 /// sharding the establishment loop (bit-identical at any thread count);
 /// a filter restricts the population on *both* sides of the pair.
 fn tabulate_flow_request(
-    before: &TabulationIndex,
-    after: &TabulationIndex,
+    before: &DatasetIndex,
+    after: &DatasetIndex,
     request: &ReleaseRequest,
     threads: usize,
 ) -> FlowMarginal {
+    let threads = before.effective_shards(threads);
     match &request.filter {
         Some(RequestFilter::Expr(expr)) => {
             before.flows_expr_sharded(after, &request.spec, expr, threads)
@@ -1143,7 +1163,7 @@ impl ReleaseEngine {
             reject_flow_kind(request)?;
             let plan = request.plan()?;
             self.charge(request, &plan)?;
-            let index = TabulationIndex::build(dataset);
+            let index = DatasetIndex::build_auto(dataset);
             let truth = tabulate_request(&index, request, self.threads);
             Ok(self.sample(&truth, request, &plan, self.threads))
         })();
@@ -1227,8 +1247,8 @@ impl ReleaseEngine {
         let result = (|| {
             let plan = flow_plan(request)?;
             self.charge(request, &plan)?;
-            let before_index = TabulationIndex::build(before);
-            let after_index = TabulationIndex::build(after);
+            let before_index = DatasetIndex::build_auto(before);
+            let after_index = DatasetIndex::build_auto(after);
             let truth = tabulate_flow_request(&before_index, &after_index, request, self.threads);
             Ok(self.sample_flows(&truth, request, &plan, self.threads))
         })();
@@ -1354,7 +1374,7 @@ impl ReleaseEngine {
         let index = if distinct.is_empty() {
             None
         } else {
-            Some(TabulationIndex::build(dataset))
+            Some(DatasetIndex::build_auto(dataset))
         };
         let tab_inner = (self.threads / distinct.len().max(1)).max(1);
         let truths: Vec<Arc<Marginal>> = par_map(
@@ -2013,6 +2033,43 @@ mod tests {
         assert!(engine.execute_cached(&d, &r1, &mut cache).is_err());
         assert!(cache.is_empty());
         assert_eq!(engine.tabulation_stats(), TabulationStats::default());
+    }
+
+    /// A season run over the region-sharded representation releases
+    /// bit-identical artifacts (same truths, same draws, same digests) as
+    /// the flat index — sharding is a pure representation choice.
+    #[test]
+    fn sharded_index_seasons_release_bit_identical_artifacts() {
+        let d = dataset();
+        let requests = [
+            ReleaseRequest::marginal(workload1())
+                .mechanism(MechanismKind::SmoothGamma)
+                .budget(PrivacyParams::pure(0.1, 2.0))
+                .seed(41),
+            ReleaseRequest::marginal(workload3())
+                .filter_expr(FilterExpr::sex(lodes::Sex::Female))
+                .mechanism(MechanismKind::LogLaplace)
+                .budget(PrivacyParams::pure(0.1, 1.0))
+                .seed(42),
+        ];
+        let flat_index = DatasetIndex::build_with_threshold(&d, usize::MAX);
+        let sharded_index = DatasetIndex::build_with_threshold(&d, 1);
+        assert!(!flat_index.is_sharded());
+        assert!(sharded_index.is_sharded());
+        let mut flat_engine = ReleaseEngine::new(PrivacyParams::pure(0.1, 4.0));
+        let mut flat_cache = TabulationCache::new().with_shared_index(flat_index);
+        let mut sharded_engine = ReleaseEngine::new(PrivacyParams::pure(0.1, 4.0));
+        let mut sharded_cache = TabulationCache::new().with_shared_index(sharded_index);
+        for request in &requests {
+            let flat = flat_engine
+                .execute_cached(&d, request, &mut flat_cache)
+                .unwrap();
+            let sharded = sharded_engine
+                .execute_cached(&d, request, &mut sharded_cache)
+                .unwrap();
+            assert_eq!(flat, sharded);
+            assert_eq!(flat.truth_digest, sharded.truth_digest);
+        }
     }
 
     #[test]

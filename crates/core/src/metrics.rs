@@ -543,6 +543,278 @@ impl Default for MetricsSnapshot {
     }
 }
 
+/// The `Content-Type` of an OpenMetrics text exposition, as scrapers
+/// negotiate it.
+pub const OPENMETRICS_CONTENT_TYPE: &str =
+    "application/openmetrics-text; version=1.0.0; charset=utf-8";
+
+/// Escape a label value per the OpenMetrics text format: backslash,
+/// double quote, and newline get backslash escapes.
+fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+impl MetricsSnapshot {
+    /// Render this snapshot in the OpenMetrics text exposition format
+    /// (the Prometheus scrape format), ending with the mandatory
+    /// `# EOF` terminator.
+    ///
+    /// Metric families map one-to-one onto the JSON snapshot: ε gauges,
+    /// per-family admission counters and latency histograms (labelled
+    /// `family="..."`, denials additionally `reason="..."`), cache and
+    /// service counters, and per-season queue-depth gauges. Latency
+    /// buckets keep their native microsecond bounds (`le` in µs); the
+    /// trailing overflow slot becomes the `+Inf` bucket.
+    pub fn to_openmetrics(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(4096);
+
+        let gauge = |out: &mut String, name: &str, help: &str, value: f64| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {value}");
+        };
+        gauge(
+            &mut out,
+            "eree_epsilon_cap",
+            "Agency epsilon cap.",
+            self.epsilon_cap,
+        );
+        gauge(
+            &mut out,
+            "eree_epsilon_reserved",
+            "Epsilon reserved by season budgets, net of refunds.",
+            self.epsilon_reserved,
+        );
+        gauge(
+            &mut out,
+            "eree_epsilon_spent",
+            "Epsilon actually charged, summed over families.",
+            self.epsilon_spent,
+        );
+        gauge(
+            &mut out,
+            "eree_epsilon_remaining",
+            "Epsilon remaining unreserved under the cap.",
+            self.epsilon_remaining,
+        );
+        gauge(
+            &mut out,
+            "eree_epsilon_refunded",
+            "Epsilon refunded by audited season closures.",
+            self.epsilon_refunded,
+        );
+
+        out.push_str("# HELP eree_releases_accepted Releases admitted, by family.\n");
+        out.push_str("# TYPE eree_releases_accepted counter\n");
+        for f in &self.families {
+            let _ = writeln!(
+                out,
+                "eree_releases_accepted_total{{family=\"{}\"}} {}",
+                escape_label(&f.family),
+                f.accepted_total
+            );
+        }
+        out.push_str("# HELP eree_releases_denied Releases refused, by family.\n");
+        out.push_str("# TYPE eree_releases_denied counter\n");
+        for f in &self.families {
+            let _ = writeln!(
+                out,
+                "eree_releases_denied_total{{family=\"{}\"}} {}",
+                escape_label(&f.family),
+                f.denied_total
+            );
+        }
+        out.push_str(
+            "# HELP eree_releases_denied_by_reason Releases refused, by family and reason.\n",
+        );
+        out.push_str("# TYPE eree_releases_denied_by_reason counter\n");
+        for f in &self.families {
+            for r in &f.denied_by_reason {
+                let _ = writeln!(
+                    out,
+                    "eree_releases_denied_by_reason_total{{family=\"{}\",reason=\"{}\"}} {}",
+                    escape_label(&f.family),
+                    escape_label(&r.reason),
+                    r.denied
+                );
+            }
+        }
+        out.push_str("# HELP eree_family_epsilon_spent Epsilon charged, by family.\n");
+        out.push_str("# TYPE eree_family_epsilon_spent gauge\n");
+        for f in &self.families {
+            let _ = writeln!(
+                out,
+                "eree_family_epsilon_spent{{family=\"{}\"}} {}",
+                escape_label(&f.family),
+                f.epsilon_spent
+            );
+        }
+        out.push_str("# HELP eree_family_delta_spent Delta charged, by family.\n");
+        out.push_str("# TYPE eree_family_delta_spent gauge\n");
+        for f in &self.families {
+            let _ = writeln!(
+                out,
+                "eree_family_delta_spent{{family=\"{}\"}} {}",
+                escape_label(&f.family),
+                f.delta_spent
+            );
+        }
+
+        out.push_str(
+            "# HELP eree_release_latency_micros Release execution latency, microseconds.\n",
+        );
+        out.push_str("# TYPE eree_release_latency_micros histogram\n");
+        for f in &self.families {
+            let family = escape_label(&f.family);
+            let mut cumulative = 0u64;
+            for (slot, bound) in f.latency.le_micros.iter().enumerate() {
+                cumulative += f.latency.counts.get(slot).copied().unwrap_or(0);
+                let _ = writeln!(
+                    out,
+                    "eree_release_latency_micros_bucket{{family=\"{family}\",le=\"{bound}\"}} {cumulative}"
+                );
+            }
+            let _ = writeln!(
+                out,
+                "eree_release_latency_micros_bucket{{family=\"{family}\",le=\"+Inf\"}} {}",
+                f.latency.count
+            );
+            let _ = writeln!(
+                out,
+                "eree_release_latency_micros_sum{{family=\"{family}\"}} {}",
+                f.latency.sum_micros
+            );
+            let _ = writeln!(
+                out,
+                "eree_release_latency_micros_count{{family=\"{family}\"}} {}",
+                f.latency.count
+            );
+        }
+
+        let counter = |out: &mut String, name: &str, help: &str, value: u64| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name}_total {value}");
+        };
+        let c = &self.caches;
+        counter(
+            &mut out,
+            "eree_cache_truth_memory_hits",
+            "Tabulations served from the in-memory cache.",
+            c.truth_memory_hits,
+        );
+        counter(
+            &mut out,
+            "eree_cache_truth_disk_hits",
+            "Tabulations served from the persistent truth store.",
+            c.truth_disk_hits,
+        );
+        counter(
+            &mut out,
+            "eree_cache_truth_computed",
+            "Tabulations actually computed.",
+            c.truth_computed,
+        );
+        counter(
+            &mut out,
+            "eree_cache_truth_self_heals",
+            "Corrupt truth files healed by recomputation.",
+            c.truth_self_heals,
+        );
+        counter(
+            &mut out,
+            "eree_cache_public_hits",
+            "Public-cache hits (zero-epsilon repeat answers).",
+            c.public_hits,
+        );
+        counter(
+            &mut out,
+            "eree_cache_public_misses",
+            "Public-cache misses.",
+            c.public_misses,
+        );
+        counter(
+            &mut out,
+            "eree_cache_public_self_heals",
+            "Corrupt public-cache entries discarded.",
+            c.public_self_heals,
+        );
+
+        let s = &self.service;
+        out.push_str("# HELP eree_http_responses HTTP responses served, by status class.\n");
+        out.push_str("# TYPE eree_http_responses counter\n");
+        for (class, value) in [
+            ("2xx", s.http_2xx),
+            ("4xx", s.http_4xx),
+            ("5xx", s.http_5xx),
+        ] {
+            let _ = writeln!(
+                out,
+                "eree_http_responses_total{{class=\"{class}\"}} {value}"
+            );
+        }
+        counter(
+            &mut out,
+            "eree_worker_spawns",
+            "Season workers spawned.",
+            s.worker_spawns,
+        );
+        counter(
+            &mut out,
+            "eree_worker_retirements",
+            "Season workers retired idle.",
+            s.worker_retirements,
+        );
+        counter(
+            &mut out,
+            "eree_releases_enqueued",
+            "Releases enqueued to season workers.",
+            s.releases_enqueued,
+        );
+        counter(
+            &mut out,
+            "eree_releases_executed",
+            "Releases workers finished executing.",
+            s.releases_executed,
+        );
+        gauge(
+            &mut out,
+            "eree_queue_depth",
+            "Releases currently queued across all season workers.",
+            s.queue_depth as f64,
+        );
+        out.push_str("# HELP eree_season_queue_depth Releases queued, by live season worker.\n");
+        out.push_str("# TYPE eree_season_queue_depth gauge\n");
+        for q in &s.season_queues {
+            let _ = writeln!(
+                out,
+                "eree_season_queue_depth{{season=\"{}\"}} {}",
+                escape_label(&q.season),
+                q.depth
+            );
+        }
+        counter(
+            &mut out,
+            "eree_snapshot_flushes",
+            "Durable metrics snapshot flushes.",
+            self.flushes,
+        );
+
+        out.push_str("# EOF\n");
+        out
+    }
+}
+
 /// One release family's counters inside a [`MetricsSnapshot`].
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct FamilySnapshot {
@@ -939,5 +1211,49 @@ mod tests {
         assert_eq!(restored.count, 1, "count and sum always survive");
         assert_eq!(restored.sum_micros, 10);
         assert_eq!(restored.counts.iter().sum::<u64>(), 0, "counts do not");
+    }
+
+    #[test]
+    fn openmetrics_exposition_is_cumulative_escaped_and_terminated() {
+        let reg = MetricsRegistry::new();
+        reg.epsilon_cap.set(4.0);
+        let fam = reg.family(RequestKind::Marginal);
+        fam.accepted_total.inc();
+        fam.latency.observe_micros(10);
+        fam.latency.observe_micros(u64::MAX); // overflow bucket
+        let mut snap = reg.snapshot();
+        snap.service.season_queues.push(SeasonQueue {
+            season: "q\"1\\\n".to_string(),
+            depth: 3,
+        });
+
+        let text = snap.to_openmetrics();
+        assert!(text.ends_with("# EOF\n"));
+        assert!(text.contains("eree_epsilon_cap 4\n"));
+        assert!(text.contains("eree_releases_accepted_total{family=\"marginal\"} 1\n"));
+        // Label values carry the escaped quote, backslash, and newline.
+        assert!(text.contains("eree_season_queue_depth{season=\"q\\\"1\\\\\\n\"} 3\n"));
+
+        // Histogram buckets are cumulative and the +Inf bucket equals the
+        // total count (the overflow observation is only visible there).
+        let buckets: Vec<u64> = text
+            .lines()
+            .filter(|l| l.starts_with("eree_release_latency_micros_bucket{family=\"marginal\""))
+            .map(|l| l.rsplit_once(' ').unwrap().1.parse().unwrap())
+            .collect();
+        assert!(buckets.windows(2).all(|w| w[0] <= w[1]), "{buckets:?}");
+        assert_eq!(*buckets.last().unwrap(), 2, "+Inf bucket is the count");
+        assert_eq!(
+            buckets[buckets.len() - 2],
+            1,
+            "overflow excluded before +Inf"
+        );
+        assert!(text.contains("eree_release_latency_micros_count{family=\"marginal\"} 2\n"));
+
+        // Every sample line parses as `name ws value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let value = line.rsplit_once(' ').expect("value present").1;
+            assert!(value.parse::<f64>().is_ok(), "bad value in {line:?}");
+        }
     }
 }

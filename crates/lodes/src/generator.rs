@@ -105,6 +105,24 @@ impl GeneratorConfig {
             ..Self::default()
         }
     }
+
+    /// National-scale configuration: a 51-state universe sized to hit
+    /// `target_jobs` total jobs (mean establishment size ≈ 20, so the
+    /// establishment target is `target_jobs / 20`). 10–100 M jobs is the
+    /// QWI/QCEW production range; datasets this size should be **streamed**
+    /// through [`Generator::for_each_establishment`] into a region-sharded
+    /// index rather than materialized as one [`Dataset`].
+    pub fn national(seed: u64, target_jobs: usize) -> Self {
+        Self {
+            seed,
+            states: 51,
+            counties_per_state: 30,
+            places_per_county: 12,
+            blocks_per_place: 4,
+            target_establishments: (target_jobs / 20).max(1),
+            ..Self::default()
+        }
+    }
 }
 
 /// The synthetic-data generator.
@@ -136,6 +154,46 @@ impl Generator {
         let workplaces = self.generate_workplaces(&geography, &mut rng);
         let (workers, jobs) = self.generate_workforces(&workplaces, &mut rng);
         Dataset::new(geography, workplaces, workers, jobs)
+    }
+
+    /// Stream the same universe [`generate`](Self::generate) would build,
+    /// one establishment at a time, without materializing the worker or
+    /// job tables. Returns the geography once the stream is exhausted.
+    ///
+    /// The callback receives each workplace with its complete workforce,
+    /// in workplace-id order, drawn from the **same RNG stream** as
+    /// `generate` — the streamed records are byte-identical to the
+    /// materialized dataset's (same ids, same attributes). This is the
+    /// national-scale path: at 100 M jobs the flat `Dataset` (workers +
+    /// jobs + a counting-sort permutation) costs several GiB that a
+    /// streaming index build never allocates; peak memory is one
+    /// establishment's workforce plus whatever the consumer keeps.
+    pub fn for_each_establishment<F>(&self, mut f: F) -> Geography
+    where
+        F: FnMut(&Workplace, &[Worker]),
+    {
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let geography = self.generate_geography(&mut rng);
+        let workplaces = self.generate_workplaces(&geography, &mut rng);
+        let mut buf: Vec<Worker> = Vec::new();
+        let mut next_id = 0u32;
+        for wp in &workplaces {
+            self.establishment_workforce(wp, next_id, &mut rng, &mut buf);
+            next_id += buf.len() as u32;
+            f(wp, &buf);
+        }
+        geography
+    }
+
+    /// The geography this generator's universe uses — drawn from the same
+    /// RNG prefix as [`generate`](Self::generate) and
+    /// [`for_each_establishment`](Self::for_each_establishment), so it is
+    /// identical to the geography either of them produces. Cheap relative
+    /// to the establishment stream; use it to size a streaming consumer
+    /// (e.g. a region-sharded index builder) before the stream starts.
+    pub fn geography(&self) -> Geography {
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        self.generate_geography(&mut rng)
     }
 
     fn generate_geography(&self, rng: &mut StdRng) -> Geography {
@@ -196,6 +254,14 @@ impl Generator {
             .collect();
         let own_dist = WeightedIndex::new(&own_weights).expect("ownership weights");
 
+        // One pass over the block table, grouped by place — a per-place
+        // filter scan is O(places × blocks), which matters at national
+        // scale (tens of thousands of each).
+        let mut blocks_of_place: Vec<Vec<BlockId>> = vec![Vec::new(); geography.num_places()];
+        for b in geography.blocks() {
+            blocks_of_place[b.place.0 as usize].push(b.id);
+        }
+
         let mut workplaces = Vec::with_capacity(cfg.target_establishments);
         for place in geography.places() {
             let share = place.population as f64 / total_pop;
@@ -204,11 +270,7 @@ impl Generator {
             // biasing against small places.
             let n =
                 expected.floor() as usize + usize::from(rng.gen::<f64>() < expected.fract()) + 1;
-            let place_blocks: Vec<BlockId> = geography
-                .blocks()
-                .filter(|b| b.place == place.id)
-                .map(|b| b.id)
-                .collect();
+            let place_blocks = &blocks_of_place[place.id.0 as usize];
             for _ in 0..n {
                 let id = WorkplaceId(workplaces.len() as u32);
                 let block = place_blocks[rng.gen_range(0..place_blocks.len())];
@@ -231,61 +293,81 @@ impl Generator {
         workplaces: &[Workplace],
         rng: &mut StdRng,
     ) -> (Vec<Worker>, Vec<Job>) {
-        let cfg = &self.config;
         let mut workers = Vec::new();
         let mut jobs = Vec::new();
+        let mut buf: Vec<Worker> = Vec::new();
 
         for wp in workplaces {
-            // Establishment size: log-normal with sector/ownership-shifted μ.
-            let mult = wp.naics.size_multiplier() * wp.ownership.size_multiplier();
-            let mu = cfg.size_mu + mult.ln();
-            let size_dist = LogNormal::new(mu, cfg.size_sigma).expect("log-normal params");
-            let size = (size_dist.sample(rng).round() as u64).clamp(1, 40_000) as u32;
-
-            // Per-establishment attribute tilts: perturb each prior weight by
-            // a Gamma(k,1)-style multiplicative factor so shapes differ
-            // across establishments (the larger `shape_concentration`, the
-            // closer to the national prior).
-            let sex_w = tilt(rng, cfg.shape_concentration, &[0.52, 0.48]);
-            let age_w = tilt(
-                rng,
-                cfg.shape_concentration,
-                &AgeGroup::ALL.map(|a| a.weight()),
-            );
-            let race_w = tilt(rng, cfg.shape_concentration, &Race::ALL.map(|r| r.weight()));
-            let eth_w = tilt(
-                rng,
-                cfg.shape_concentration,
-                &Ethnicity::ALL.map(|e| e.weight()),
-            );
-            let edu_w = tilt(
-                rng,
-                cfg.shape_concentration,
-                &Education::ALL.map(|e| e.weight()),
-            );
-            let sex_dist = WeightedIndex::new(&sex_w).expect("sex weights");
-            let age_dist = WeightedIndex::new(&age_w).expect("age weights");
-            let race_dist = WeightedIndex::new(&race_w).expect("race weights");
-            let eth_dist = WeightedIndex::new(&eth_w).expect("ethnicity weights");
-            let edu_dist = WeightedIndex::new(&edu_w).expect("education weights");
-
-            for _ in 0..size {
-                let id = WorkerId(workers.len() as u32);
-                workers.push(Worker {
-                    id,
-                    sex: Sex::ALL[sex_dist.sample(rng)],
-                    age: AgeGroup::ALL[age_dist.sample(rng)],
-                    race: Race::ALL[race_dist.sample(rng)],
-                    ethnicity: Ethnicity::ALL[eth_dist.sample(rng)],
-                    education: Education::ALL[edu_dist.sample(rng)],
-                });
+            self.establishment_workforce(wp, workers.len() as u32, rng, &mut buf);
+            for w in &buf {
+                workers.push(*w);
                 jobs.push(Job {
-                    worker: id,
+                    worker: w.id,
                     workplace: wp.id,
                 });
             }
         }
         (workers, jobs)
+    }
+
+    /// Draw one establishment's workforce into `out` (cleared first),
+    /// assigning worker ids `base_id..`. The single source of per-
+    /// establishment randomness for both the materialized and streaming
+    /// paths — they stay byte-identical because both call exactly this,
+    /// in the same order, on the same RNG stream.
+    fn establishment_workforce(
+        &self,
+        wp: &Workplace,
+        base_id: u32,
+        rng: &mut StdRng,
+        out: &mut Vec<Worker>,
+    ) {
+        let cfg = &self.config;
+        out.clear();
+
+        // Establishment size: log-normal with sector/ownership-shifted μ.
+        let mult = wp.naics.size_multiplier() * wp.ownership.size_multiplier();
+        let mu = cfg.size_mu + mult.ln();
+        let size_dist = LogNormal::new(mu, cfg.size_sigma).expect("log-normal params");
+        let size = (size_dist.sample(rng).round() as u64).clamp(1, 40_000) as u32;
+
+        // Per-establishment attribute tilts: perturb each prior weight by
+        // a Gamma(k,1)-style multiplicative factor so shapes differ
+        // across establishments (the larger `shape_concentration`, the
+        // closer to the national prior).
+        let sex_w = tilt(rng, cfg.shape_concentration, &[0.52, 0.48]);
+        let age_w = tilt(
+            rng,
+            cfg.shape_concentration,
+            &AgeGroup::ALL.map(|a| a.weight()),
+        );
+        let race_w = tilt(rng, cfg.shape_concentration, &Race::ALL.map(|r| r.weight()));
+        let eth_w = tilt(
+            rng,
+            cfg.shape_concentration,
+            &Ethnicity::ALL.map(|e| e.weight()),
+        );
+        let edu_w = tilt(
+            rng,
+            cfg.shape_concentration,
+            &Education::ALL.map(|e| e.weight()),
+        );
+        let sex_dist = WeightedIndex::new(&sex_w).expect("sex weights");
+        let age_dist = WeightedIndex::new(&age_w).expect("age weights");
+        let race_dist = WeightedIndex::new(&race_w).expect("race weights");
+        let eth_dist = WeightedIndex::new(&eth_w).expect("ethnicity weights");
+        let edu_dist = WeightedIndex::new(&edu_w).expect("education weights");
+
+        for i in 0..size {
+            out.push(Worker {
+                id: WorkerId(base_id + i),
+                sex: Sex::ALL[sex_dist.sample(rng)],
+                age: AgeGroup::ALL[age_dist.sample(rng)],
+                race: Race::ALL[race_dist.sample(rng)],
+                ethnicity: Ethnicity::ALL[eth_dist.sample(rng)],
+                education: Education::ALL[edu_dist.sample(rng)],
+            });
+        }
     }
 }
 
@@ -325,6 +407,32 @@ mod tests {
             c.establishment_sizes(),
             "different seeds must differ"
         );
+    }
+
+    #[test]
+    fn streaming_generation_is_byte_identical_to_materialized() {
+        let gen = Generator::new(GeneratorConfig::test_small(9));
+        let d = gen.generate();
+        let (offsets, order) = d.workers_by_employer();
+        let mut e = 0usize;
+        let geography = gen.for_each_establishment(|wp, workers| {
+            assert_eq!(wp, &d.workplaces()[e]);
+            let range = offsets[e] as usize..offsets[e + 1] as usize;
+            assert_eq!(workers.len(), range.len());
+            for (w, &id) in workers.iter().zip(&order[range]) {
+                assert_eq!(w, d.worker(WorkerId(id)));
+            }
+            e += 1;
+        });
+        assert_eq!(e, d.num_workplaces());
+        assert_eq!(geography.num_blocks(), d.geography().num_blocks());
+    }
+
+    #[test]
+    fn national_config_targets_job_count() {
+        let cfg = GeneratorConfig::national(1, 10_000_000);
+        assert_eq!(cfg.states, 51);
+        assert_eq!(cfg.target_establishments, 500_000);
     }
 
     #[test]

@@ -26,7 +26,7 @@ pub struct WorkplaceId(pub u32);
 pub struct WorkerId(pub u32);
 
 /// One establishment record.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Workplace {
     /// Dense identifier.
     pub id: WorkplaceId,
@@ -45,7 +45,7 @@ pub struct Workplace {
 }
 
 /// One worker record.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Worker {
     /// Dense identifier.
     pub id: WorkerId,

@@ -241,6 +241,22 @@ impl Client {
         self.get("/metrics")
     }
 
+    /// `GET /metrics?format=openmetrics`: the same snapshot in the
+    /// OpenMetrics (Prometheus) text exposition format, returned raw.
+    pub fn metrics_text(&self) -> Result<String, ClientError> {
+        self.with_attempts(|| {
+            let (status, body) = self.call("GET", "/metrics?format=openmetrics", None)?;
+            if (200..300).contains(&status) {
+                Ok(body)
+            } else {
+                Err(ClientError::Api {
+                    status,
+                    message: body,
+                })
+            }
+        })
+    }
+
     /// `POST /seasons/{name}/close`: drain and seal the season, refunding
     /// its unspent budget to the agency cap. Idempotent — closing a
     /// closed season replays its receipt with `already_closed: true`.

@@ -34,16 +34,33 @@ pub struct Request {
     pub method: String,
     /// The request path, query string stripped.
     pub path: String,
+    /// The raw query string (everything after `?`, empty when absent).
+    pub query: String,
     /// The request body (empty when no `Content-Length` was sent).
     pub body: String,
 }
 
-/// One HTTP response: a status code and a JSON body.
+impl Request {
+    /// The value of query parameter `name`, if present.
+    ///
+    /// Parameters are split on `&` and `=` without percent-decoding —
+    /// the routing surface only uses plain ASCII tokens.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            (k == name).then_some(v)
+        })
+    }
+}
+
+/// One HTTP response: a status code, a content type, and a body.
 #[derive(Debug, Clone)]
 pub struct Response {
     /// HTTP status code.
     pub status: u16,
-    /// Response body; always `application/json`.
+    /// The `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
     pub body: String,
 }
 
@@ -52,6 +69,17 @@ impl Response {
     pub fn json(status: u16, body: impl Into<String>) -> Self {
         Self {
             status,
+            content_type: "application/json",
+            body: body.into(),
+        }
+    }
+
+    /// A response with `status`, an explicit `content_type`, and a plain
+    /// text `body` (used by the OpenMetrics exposition).
+    pub fn text(status: u16, content_type: &'static str, body: impl Into<String>) -> Self {
+        Self {
+            status,
+            content_type,
             body: body.into(),
         }
     }
@@ -63,7 +91,11 @@ impl Response {
             serde::Value::Str(message.to_string()),
         )]))
         .expect("error body serialization is infallible");
-        Self { status, body }
+        Self {
+            status,
+            content_type: "application/json",
+            body,
+        }
     }
 }
 
@@ -101,8 +133,12 @@ fn read_request(stream: &mut TcpStream) -> Result<Request, Response> {
     let target = parts
         .next()
         .ok_or_else(|| Response::error(400, "request line has no path"))?;
-    // Query strings are not part of this API's routing surface.
-    let path = target.split('?').next().unwrap_or(target).to_string();
+    // The query string is split off the path; routes that care (the
+    // metrics exposition format switch) read it from `Request::query`.
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
 
     let mut content_length = 0usize;
     loop {
@@ -135,14 +171,20 @@ fn read_request(stream: &mut TcpStream) -> Result<Request, Response> {
         .read_exact(&mut body)
         .map_err(|e| Response::error(400, &format!("truncated body: {e}")))?;
     let body = String::from_utf8(body).map_err(|_| Response::error(400, "body is not UTF-8"))?;
-    Ok(Request { method, path, body })
+    Ok(Request {
+        method,
+        path,
+        query,
+        body,
+    })
 }
 
 fn write_response(stream: &mut TcpStream, response: &Response) {
     let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
         response.status,
         reason(response.status),
+        response.content_type,
         response.body.len()
     );
     // A peer that hung up mid-response is its own problem; the server

@@ -27,7 +27,8 @@
 //! one season serialize through its worker's queue (season ledgers are
 //! strictly ordered objects; there is no correct concurrent charge),
 //! while different seasons run fully in parallel. Workers for the same
-//! quarter share one [`TabulationIndex`] (built lazily per quarter) and
+//! quarter share one [`DatasetIndex`] (built lazily per quarter;
+//! region-sharded automatically at national scale) and
 //! the agency's persistent truth store, so concurrent tenants never
 //! duplicate tabulation work. Every admission decision is durable before
 //! it is acknowledged: a completed release is an artifact + ledger
@@ -82,7 +83,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex, OnceLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
-use tabulate::{FilterExpr, TabulationIndex};
+use tabulate::{DatasetIndex, FilterExpr};
 
 /// Format version of the service's own persisted files (`releases.json`,
 /// `panel_quarters.json`).
@@ -232,14 +233,14 @@ struct SeasonWorker {
 struct Quarter {
     dataset: Arc<Dataset>,
     digest: u64,
-    index: OnceLock<Arc<TabulationIndex>>,
+    index: OnceLock<DatasetIndex>,
     truths: TruthStore,
 }
 
 impl Quarter {
-    fn index(&self) -> Arc<TabulationIndex> {
+    fn index(&self) -> DatasetIndex {
         self.index
-            .get_or_init(|| Arc::new(TabulationIndex::build(&self.dataset)))
+            .get_or_init(|| DatasetIndex::build_auto(&self.dataset))
             .clone()
     }
 }
@@ -429,7 +430,7 @@ fn route_inner(shared: &Arc<Shared>, request: &Request) -> Response {
         ("POST", ["seasons", name, "close"]) => close_season(shared, name),
         ("GET", ["releases", id]) => release_status(shared, id),
         ("GET", ["audit"]) => audit(shared),
-        ("GET", ["metrics"]) => metrics_view(shared),
+        ("GET", ["metrics"]) => metrics_view(shared, request),
         _ => Response::error(404, "no such route"),
     }
 }
@@ -828,11 +829,24 @@ fn audit(shared: &Arc<Shared>) -> Response {
 
 /// `GET /metrics`: the agency's canonical [`MetricsSnapshot`] with the
 /// budget gauges refreshed from the meta-ledger and the live per-season
-/// queue depths filled in.
-fn metrics_view(shared: &Arc<Shared>) -> Response {
-    let agency = shared.agency.lock().expect("agency lock poisoned");
-    let workers = shared.workers.lock().expect("workers lock poisoned");
-    json_ok(200, &snapshot_with_queues(&agency, &workers))
+/// queue depths filled in. `?format=openmetrics` selects the Prometheus
+/// text exposition of the same snapshot; the default (or `format=json`)
+/// is the JSON payload.
+fn metrics_view(shared: &Arc<Shared>, request: &Request) -> Response {
+    let snapshot = {
+        let agency = shared.agency.lock().expect("agency lock poisoned");
+        let workers = shared.workers.lock().expect("workers lock poisoned");
+        snapshot_with_queues(&agency, &workers)
+    };
+    match request.query_param("format") {
+        Some("openmetrics") => Response::text(
+            200,
+            eree_core::metrics::OPENMETRICS_CONTENT_TYPE,
+            snapshot.to_openmetrics(),
+        ),
+        Some("json") | None => json_ok(200, &snapshot),
+        Some(other) => Response::error(400, &format!("unknown metrics format {other:?}")),
+    }
 }
 
 /// Take the agency snapshot and graft on the per-season queue depths

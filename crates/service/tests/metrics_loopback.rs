@@ -205,3 +205,104 @@ fn metrics_endpoint_counts_admissions_and_survives_restart() {
     service.shutdown();
     let _ = fs::remove_dir_all(&dir);
 }
+
+/// Pull the first sample line of metric `name` out of an exposition.
+fn sample<'a>(text: &'a str, name: &str) -> &'a str {
+    text.lines()
+        .find(|l| !l.starts_with('#') && l.starts_with(name))
+        .unwrap_or_else(|| panic!("exposition has no {name} sample"))
+}
+
+#[test]
+fn openmetrics_exposition_mirrors_the_json_snapshot() {
+    let dir = tmp_dir("openmetrics");
+    let cap = PrivacyParams::pure(ALPHA, 2.0);
+    let service =
+        ReleaseService::start(&dir, dataset(), ServiceConfig::new(cap)).expect("service starts");
+    let client = Client::new(service.addr());
+    client
+        .create_season("s", PrivacyParams::pure(ALPHA, 1.0))
+        .expect("season fits under the cap");
+    let receipt = client
+        .submit("s", &submission(county(), 0.25, 7))
+        .expect("submit accepted");
+    let done = client.wait_for(receipt.id, WAIT).expect("release finishes");
+    assert_eq!(done.status, "complete", "error: {:?}", done.error);
+    let snapshot = drained(&client);
+
+    let text = client
+        .metrics_text()
+        .expect("GET /metrics?format=openmetrics");
+    assert!(text.ends_with("# EOF\n"), "exposition must terminate");
+
+    // Every non-comment line is `name{labels} value` with a float value.
+    for line in text.lines() {
+        if line.starts_with('#') || line.is_empty() {
+            continue;
+        }
+        let (_, value) = line.rsplit_once(' ').expect("sample has a value");
+        assert!(
+            value.parse::<f64>().is_ok(),
+            "unparseable sample value in {line:?}"
+        );
+    }
+
+    // The text samples agree with the JSON snapshot fetched alongside.
+    let marginal = family(&snapshot, "marginal");
+    assert_eq!(
+        sample(&text, "eree_releases_accepted_total{family=\"marginal\"}"),
+        format!(
+            "eree_releases_accepted_total{{family=\"marginal\"}} {}",
+            marginal.accepted_total
+        )
+    );
+    assert_eq!(
+        sample(
+            &text,
+            "eree_release_latency_micros_count{family=\"marginal\"}"
+        ),
+        format!(
+            "eree_release_latency_micros_count{{family=\"marginal\"}} {}",
+            marginal.latency.count
+        )
+    );
+    // The +Inf bucket is cumulative: it equals the histogram count.
+    assert_eq!(
+        sample(
+            &text,
+            "eree_release_latency_micros_bucket{family=\"marginal\",le=\"+Inf\"}"
+        )
+        .rsplit_once(' ')
+        .unwrap()
+        .1,
+        marginal.latency.count.to_string()
+    );
+    let cap_line = sample(&text, "eree_epsilon_cap");
+    assert_eq!(
+        cap_line.rsplit_once(' ').unwrap().1.parse::<f64>().unwrap(),
+        snapshot.epsilon_cap
+    );
+    assert_eq!(
+        sample(&text, "eree_season_queue_depth{season=\"s\"}"),
+        "eree_season_queue_depth{season=\"s\"} 0"
+    );
+
+    // The default format is still JSON.
+    let json_snapshot = client.metrics().expect("plain GET /metrics stays JSON");
+    assert_eq!(json_snapshot.families, snapshot.families);
+
+    // An unknown format is refused with a 400, not silently defaulted.
+    {
+        use std::io::{Read as _, Write as _};
+        let mut stream = std::net::TcpStream::connect(service.addr()).expect("connect");
+        stream
+            .write_all(b"GET /metrics?format=xml HTTP/1.1\r\nHost: s\r\nConnection: close\r\n\r\n")
+            .expect("write");
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).expect("read");
+        assert!(raw.starts_with("HTTP/1.1 400"), "got: {raw}");
+    }
+
+    service.shutdown();
+    let _ = fs::remove_dir_all(&dir);
+}

@@ -10,6 +10,13 @@
 //!    in a small **dense scratch array** over the worker sub-domain (at
 //!    most a few thousand codes — the product of worker-attribute
 //!    cardinalities), touching only the `u8` columns the spec names.
+//!    The multiply-add that folds those columns into sub-keys does not run
+//!    per worker: sub-keys for an L2-resident **block** of contiguous
+//!    workers are precomputed by the branch-free kernels in
+//!    [`crate::kernel`] (AVX2 when available, scalar otherwise — selected
+//!    at runtime, bit-identical by construction), and the scatter loop
+//!    then reads one `u16` per worker. Establishment base keys are
+//!    precomputed the same way over the workplace `u32` columns.
 //! 3. Each establishment emits `(cell key, contribution)` pairs; because
 //!    one establishment's workers are contiguous, every pair *is* one
 //!    establishment's exact contribution to one cell — no global
@@ -43,9 +50,9 @@
 
 use crate::attr::MarginalSpec;
 use crate::cell::CellKey;
-#[cfg(feature = "reference")]
 use crate::cell::CellSchema;
 use crate::index::TabulationIndex;
+use crate::kernel::{establishment_keys, worker_subkeys, Kernel};
 use crate::marginal::{CellStats, Marginal};
 use lodes::{Dataset, Worker};
 #[cfg(feature = "reference")]
@@ -101,7 +108,20 @@ impl TabulationIndex {
     /// `threads` scoped workers. The result is bit-identical at any
     /// thread count.
     pub fn marginal_sharded(&self, spec: &MarginalSpec, threads: usize) -> Marginal {
-        tabulate_index(self, spec, None, threads)
+        tabulate_index(self, spec, None, threads, Kernel::Auto)
+    }
+
+    /// [`marginal_sharded`](Self::marginal_sharded) with an explicit
+    /// [`Kernel`] choice. `Kernel::Scalar` forces the scalar key kernels;
+    /// the result is bit-identical to `Kernel::Auto` by construction (the
+    /// property tests assert it, the benchmark measures the difference).
+    pub fn marginal_sharded_with_kernel(
+        &self,
+        spec: &MarginalSpec,
+        threads: usize,
+        kernel: Kernel,
+    ) -> Marginal {
+        tabulate_index(self, spec, None, threads, kernel)
     }
 
     /// Evaluate `q_V` over only the workers matching `filter`,
@@ -133,8 +153,21 @@ impl TabulationIndex {
         expr: &crate::filter::FilterExpr,
         threads: usize,
     ) -> Marginal {
+        self.marginal_expr_sharded_with_kernel(spec, expr, threads, Kernel::Auto)
+    }
+
+    /// [`marginal_expr_sharded`](Self::marginal_expr_sharded) with an
+    /// explicit [`Kernel`] choice (see
+    /// [`marginal_sharded_with_kernel`](Self::marginal_sharded_with_kernel)).
+    pub fn marginal_expr_sharded_with_kernel(
+        &self,
+        spec: &MarginalSpec,
+        expr: &crate::filter::FilterExpr,
+        threads: usize,
+        kernel: Kernel,
+    ) -> Marginal {
         let compiled = expr.compile(self);
-        self.marginal_filtered_sharded(spec, |w| compiled.matches(w), threads)
+        self.marginal_filtered_sharded_with_kernel(spec, |w| compiled.matches(w), threads, kernel)
     }
 
     /// Evaluate a filtered marginal with a sharded establishment loop.
@@ -148,12 +181,55 @@ impl TabulationIndex {
     where
         F: Fn(&Worker) -> bool + Sync,
     {
-        tabulate_index(self, spec, Some(&filter), threads)
+        tabulate_index(self, spec, Some(&filter), threads, Kernel::Auto)
+    }
+
+    /// [`marginal_filtered_sharded`](Self::marginal_filtered_sharded) with
+    /// an explicit [`Kernel`] choice (see
+    /// [`marginal_sharded_with_kernel`](Self::marginal_sharded_with_kernel)).
+    pub fn marginal_filtered_sharded_with_kernel<F>(
+        &self,
+        spec: &MarginalSpec,
+        filter: F,
+        threads: usize,
+        kernel: Kernel,
+    ) -> Marginal
+    where
+        F: Fn(&Worker) -> bool + Sync,
+    {
+        tabulate_index(self, spec, Some(&filter), threads, kernel)
+    }
+
+    /// Advisory shard-count heuristic: the number of shards `threads`
+    /// should actually be split into on this index so that parallel
+    /// tabulation never loses to single-threaded.
+    ///
+    /// Every shard costs a sorted run plus a k-way-merge cursor, and a
+    /// shard scanning only a few thousand workers finishes faster than its
+    /// thread spawns — on small datasets the fixed per-shard overhead made
+    /// the recorded multithreaded full-attribute workload *slower* than
+    /// 1T. The heuristic caps shards so each scans at least
+    /// `MIN_SHARD_WORKERS` (2¹⁶) workers, collapsing to one shard (the 1T
+    /// code path, bit-identical by the merge guarantee) whenever the
+    /// dataset is too small to amortize fan-out. The release engine and
+    /// the benchmark apply it before sharding; direct `*_sharded` calls
+    /// keep the caller's count so tests can force any shard layout.
+    pub fn effective_shards(&self, threads: usize) -> usize {
+        threads
+            .max(1)
+            .min((self.num_workers() / MIN_SHARD_WORKERS).max(1))
+            .min(self.num_establishments().max(1))
     }
 }
 
+/// Minimum workers a shard must scan to pay for its thread spawn, sort,
+/// and merge cursor (see [`TabulationIndex::effective_shards`]).
+pub(crate) const MIN_SHARD_WORKERS: usize = 1 << 16;
+
 /// Per-shard tabulation state, borrowed immutably by every worker thread.
-struct ShardPlan<'a> {
+/// Also built by [`crate::region`] to tabulate each region shard of a
+/// [`crate::RegionShardedIndex`] through the same code path.
+pub(crate) struct ShardPlan<'a> {
     index: &'a TabulationIndex,
     /// Workplace code columns of the spec's workplace attributes.
     wp_cols: Vec<&'a [u32]>,
@@ -163,11 +239,48 @@ struct ShardPlan<'a> {
     /// Worker code columns of the spec's worker attributes.
     wk_cols: Vec<&'a [u8]>,
     /// Schema strides of the worker attributes (the low mixed-radix part;
-    /// sub-keys fit `u32` because worker domains are small enums).
-    wk_strides: Vec<u32>,
+    /// sub-keys fit `u16` because worker domains are small enums — the
+    /// full cross product is ≤ 768 codes).
+    wk_strides: Vec<u16>,
     /// Worker sub-domain size — the dense scratch extent.
     worker_domain: usize,
     filter: Option<&'a (dyn Fn(&Worker) -> bool + Sync)>,
+    kernel: Kernel,
+}
+
+impl<'a> ShardPlan<'a> {
+    pub(crate) fn new(
+        index: &'a TabulationIndex,
+        spec: &MarginalSpec,
+        schema: &CellSchema,
+        filter: Option<&'a (dyn Fn(&Worker) -> bool + Sync)>,
+        kernel: Kernel,
+    ) -> Self {
+        let n_wp = spec.workplace_attrs.len();
+        Self {
+            index,
+            wp_cols: spec
+                .workplace_attrs
+                .iter()
+                .map(|&a| index.workplace_column(a))
+                .collect(),
+            wp_strides: (0..n_wp).map(|i| schema.stride_of(i)).collect(),
+            wk_cols: spec
+                .worker_attrs
+                .iter()
+                .map(|&a| index.worker_column(a))
+                .collect(),
+            wk_strides: (0..spec.worker_attrs.len())
+                .map(|i| {
+                    u16::try_from(schema.stride_of(n_wp + i))
+                        .expect("worker sub-domain exceeds u16")
+                })
+                .collect(),
+            worker_domain: spec.worker_domain_size(),
+            filter,
+            kernel,
+        }
+    }
 }
 
 /// The indexed evaluator: shard, tabulate sorted runs, k-way merge.
@@ -176,31 +289,11 @@ fn tabulate_index(
     spec: &MarginalSpec,
     filter: Option<&(dyn Fn(&Worker) -> bool + Sync)>,
     threads: usize,
+    kernel: Kernel,
 ) -> Marginal {
     let schema = index.schema(spec);
     let n_estabs = index.num_establishments();
-    let n_wp = spec.workplace_attrs.len();
-    let plan = ShardPlan {
-        index,
-        wp_cols: spec
-            .workplace_attrs
-            .iter()
-            .map(|&a| index.workplace_column(a))
-            .collect(),
-        wp_strides: (0..n_wp).map(|i| schema.stride_of(i)).collect(),
-        wk_cols: spec
-            .worker_attrs
-            .iter()
-            .map(|&a| index.worker_column(a))
-            .collect(),
-        wk_strides: (0..spec.worker_attrs.len())
-            .map(|i| {
-                u32::try_from(schema.stride_of(n_wp + i)).expect("worker sub-domain exceeds u32")
-            })
-            .collect(),
-        worker_domain: spec.worker_domain_size(),
-        filter,
-    };
+    let plan = ShardPlan::new(index, spec, &schema, filter, kernel);
     let threads = threads.max(1).min(n_estabs.max(1));
     let runs: Vec<Vec<(u64, u32)>> = if threads <= 1 {
         vec![tabulate_shard(&plan, 0, n_estabs)]
@@ -228,84 +321,195 @@ fn tabulate_index(
     Marginal::from_sorted(spec.clone(), schema, merge_runs(runs))
 }
 
+/// Workers per precomputed sub-key block: 2¹⁵ `u16` sub-keys = 64 KiB, an
+/// L2-resident staging buffer between the key kernels and the scatter.
+const WORKER_BLOCK: usize = 1 << 15;
+
 /// Tabulate establishments `lo..hi` into a run of `(key, contribution)`
 /// pairs sorted by key. Each pair is one establishment's exact count in
 /// one cell; an establishment emits at most one pair per cell.
-fn tabulate_shard(plan: &ShardPlan<'_>, lo: usize, hi: usize) -> Vec<(u64, u32)> {
+///
+/// The shard walks its establishments in batches whose worker spans fill
+/// one [`WORKER_BLOCK`]: the batch's establishment base keys and worker
+/// sub-keys are precomputed by the [`crate::kernel`] kernels, then the
+/// scalar scatter counts each establishment's workers into the dense
+/// scratch. The scatter itself is identical for every kernel choice, so
+/// the emitted run is bit-identical whichever kernel filled the buffers.
+pub(crate) fn tabulate_shard(plan: &ShardPlan<'_>, lo: usize, hi: usize) -> Vec<(u64, u32)> {
     let mut run: Vec<(u64, u32)> = Vec::new();
+    // Inclusive upper bound on emitted keys, tracked once per
+    // establishment so the run sort can pick a radix strategy.
+    let mut max_key: u64 = 0;
     // Dense per-establishment counts over the worker sub-domain, reset
     // via the touched list (sub-domains are ≤ a few thousand codes).
     let mut scratch = vec![0u32; plan.worker_domain];
     let mut touched: Vec<u32> = Vec::with_capacity(plan.worker_domain.min(256));
+    let mut bases: Vec<u64> = Vec::new();
+    let mut subkeys: Vec<u16> = Vec::new();
     let workers = plan.index.workers();
-    for e in lo..hi {
-        let range = plan.index.worker_range(e);
-        if range.is_empty() {
-            continue;
+    let mut batch_lo = lo;
+    while batch_lo < hi {
+        // Extend the batch establishment-aligned until its worker span
+        // fills the block (always at least one establishment, so a single
+        // establishment larger than the block still processes — its
+        // sub-key buffer just grows past the L2 target for that batch).
+        let span_start = plan.index.worker_range(batch_lo).start;
+        let mut batch_hi = batch_lo + 1;
+        while batch_hi < hi && plan.index.worker_range(batch_hi).end - span_start <= WORKER_BLOCK {
+            batch_hi += 1;
         }
-        // Workplace part of the key: encoded once per establishment.
-        let mut base: u64 = 0;
-        for (col, &stride) in plan.wp_cols.iter().zip(&plan.wp_strides) {
-            base += col[e] as u64 * stride;
-        }
+        let span_end = plan.index.worker_range(batch_hi - 1).end;
+
+        // Establishment base keys for the whole batch in one kernel pass.
+        bases.resize(batch_hi - batch_lo, 0);
+        establishment_keys(
+            &plan.wp_cols,
+            &plan.wp_strides,
+            batch_lo,
+            &mut bases,
+            plan.kernel,
+        );
+
         if plan.wk_cols.is_empty() {
-            // Workplace-only fast path: the establishment lands in exactly
-            // one cell with its whole (or filtered) size — no per-worker
-            // attribute work at all when unfiltered.
-            let count = match plan.filter {
-                None => range.len() as u32,
-                Some(f) => workers[range].iter().filter(|w| f(w)).count() as u32,
-            };
-            if count > 0 {
-                run.push((base, count));
-            }
-            continue;
-        }
-        match plan.filter {
-            None => {
-                for i in range {
-                    bump(plan, &mut scratch, &mut touched, i);
+            // Workplace-only fast path: each establishment lands in
+            // exactly one cell with its whole (or filtered) size — no
+            // per-worker attribute work at all when unfiltered.
+            for e in batch_lo..batch_hi {
+                let range = plan.index.worker_range(e);
+                if range.is_empty() {
+                    continue;
+                }
+                let count = match plan.filter {
+                    None => range.len() as u32,
+                    Some(f) => workers[range].iter().filter(|w| f(w)).count() as u32,
+                };
+                if count > 0 {
+                    let base = bases[e - batch_lo];
+                    max_key = max_key.max(base);
+                    run.push((base, count));
                 }
             }
-            Some(f) => {
-                for i in range {
-                    if f(&workers[i]) {
-                        bump(plan, &mut scratch, &mut touched, i);
+            batch_lo = batch_hi;
+            continue;
+        }
+
+        // Worker sub-keys for the batch's whole span in one kernel pass.
+        subkeys.resize(span_end - span_start, 0);
+        worker_subkeys(
+            &plan.wk_cols,
+            &plan.wk_strides,
+            span_start,
+            &mut subkeys,
+            plan.kernel,
+        );
+
+        for e in batch_lo..batch_hi {
+            let range = plan.index.worker_range(e);
+            if range.is_empty() {
+                continue;
+            }
+            let base = bases[e - batch_lo];
+            // Bound every key this establishment can emit in one step:
+            // sub-keys are strictly below the worker domain.
+            max_key = max_key.max(base + plan.worker_domain as u64 - 1);
+            // SAFETY (both arms): every sub-key is `Σ code·stride` over
+            // enum-derived code columns, each code strictly below its
+            // attribute's cardinality, so `subkey < worker_domain ==
+            // scratch.len()` by the mixed-radix construction — the same
+            // invariant that makes the `u16` kernel arithmetic exact.
+            // The emit loop below only revisits sub-keys pushed here.
+            match plan.filter {
+                None => {
+                    for &subkey in &subkeys[range.start - span_start..range.end - span_start] {
+                        let slot = unsafe { scratch.get_unchecked_mut(subkey as usize) };
+                        if *slot == 0 {
+                            touched.push(subkey as u32);
+                        }
+                        *slot += 1;
+                    }
+                }
+                Some(f) => {
+                    for i in range {
+                        if f(&workers[i]) {
+                            let subkey = subkeys[i - span_start];
+                            let slot = unsafe { scratch.get_unchecked_mut(subkey as usize) };
+                            if *slot == 0 {
+                                touched.push(subkey as u32);
+                            }
+                            *slot += 1;
+                        }
                     }
                 }
             }
+            for &subkey in &touched {
+                let slot = unsafe { scratch.get_unchecked_mut(subkey as usize) };
+                run.push((base + subkey as u64, *slot));
+                *slot = 0;
+            }
+            touched.clear();
         }
-        for &subkey in &touched {
-            run.push((base + subkey as u64, scratch[subkey as usize]));
-            scratch[subkey as usize] = 0;
-        }
-        touched.clear();
+        batch_lo = batch_hi;
     }
     // Equal keys (same cell, different establishments) may interleave
-    // arbitrarily under the unstable sort; the merge's aggregates are
-    // commutative, so the final marginal does not depend on their order.
-    run.sort_unstable_by_key(|&(key, _)| key);
+    // arbitrarily under the sort; the merge's aggregates are commutative,
+    // so the final marginal does not depend on their order.
+    sort_run_by_key(&mut run, max_key, |&(key, _)| key);
     run
 }
 
-/// Count worker `i` into the dense scratch array.
-#[inline]
-fn bump(plan: &ShardPlan<'_>, scratch: &mut [u32], touched: &mut Vec<u32>, i: usize) {
-    let mut subkey: u32 = 0;
-    for (col, &stride) in plan.wk_cols.iter().zip(&plan.wk_strides) {
-        subkey += col[i] as u32 * stride;
+/// Minimum run length for which the counting passes of the radix sort
+/// amortise; shorter runs go straight to the comparison sort.
+const RADIX_MIN_LEN: usize = 1 << 12;
+
+/// Sort a shard run by cell key.
+///
+/// Cell keys are mixed-radix codes bounded by the spec's cell-domain
+/// size, so `max_key` (an inclusive upper bound tracked during emission)
+/// is typically far below 64 bits. When it fits 32 bits and the run is
+/// long enough, a two-pass LSD radix sort over 16-bit digits replaces the
+/// comparison sort — the post-kernel sort is the largest cost shared by
+/// the scalar and SIMD evaluators, so cutting it speeds both up and lets
+/// the vectorized kernels show through. Wide domains and short runs fall
+/// back to the standard unstable sort. Both paths order solely by key and
+/// feed the same commutative merge, so the choice never changes results.
+pub(crate) fn sort_run_by_key<T: Copy>(run: &mut Vec<T>, max_key: u64, key_of: impl Fn(&T) -> u64) {
+    const DIGIT_BITS: u32 = 16;
+    const BUCKETS: usize = 1 << DIGIT_BITS;
+    let bits = u64::BITS - max_key.leading_zeros();
+    let passes = bits.div_ceil(DIGIT_BITS);
+    if passes > 2 || run.len() < RADIX_MIN_LEN {
+        run.sort_unstable_by_key(|t| key_of(t));
+        return;
     }
-    let slot = &mut scratch[subkey as usize];
-    if *slot == 0 {
-        touched.push(subkey);
+    let mut aux: Vec<T> = run.clone();
+    let mut counts = vec![0usize; BUCKETS];
+    for pass in 0..passes {
+        let shift = pass * DIGIT_BITS;
+        if pass > 0 {
+            counts.fill(0);
+        }
+        for t in run.iter() {
+            counts[((key_of(t) >> shift) as usize) & (BUCKETS - 1)] += 1;
+        }
+        let mut total = 0usize;
+        for c in counts.iter_mut() {
+            let n = *c;
+            *c = total;
+            total += n;
+        }
+        for t in run.iter() {
+            let digit = ((key_of(t) >> shift) as usize) & (BUCKETS - 1);
+            aux[counts[digit]] = *t;
+            counts[digit] += 1;
+        }
+        std::mem::swap(run, &mut aux);
     }
-    *slot += 1;
 }
 
 /// Deterministic k-way merge of per-shard sorted runs, aggregating every
 /// `(cell, establishment)` contribution with the same key into one
 /// [`CellStats`].
-fn merge_runs(runs: Vec<Vec<(u64, u32)>>) -> Vec<(CellKey, CellStats)> {
+pub(crate) fn merge_runs(runs: Vec<Vec<(u64, u32)>>) -> Vec<(CellKey, CellStats)> {
     let mut pos = vec![0usize; runs.len()];
     let mut out: Vec<(CellKey, CellStats)> =
         Vec::with_capacity(runs.iter().map(Vec::len).max().unwrap_or(0));
@@ -432,6 +636,34 @@ mod tests {
     use lodes::{Generator, GeneratorConfig, Sex};
     use std::collections::BTreeMap;
 
+    #[test]
+    fn radix_run_sort_matches_comparison_sort() {
+        // Long enough to take the radix path, with duplicate keys and a
+        // key range that needs both 16-bit digit passes.
+        let mut state = 0x0123_4567_89AB_CDEF_u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let mut radix: Vec<(u64, u32)> = (0..(RADIX_MIN_LEN * 2))
+            .map(|_| (next() % 100_000, next() as u32))
+            .collect();
+        let mut comparison = radix.clone();
+        sort_run_by_key(&mut radix, 99_999, |&(key, _)| key);
+        comparison.sort_by_key(|&(key, _)| key);
+        // The radix sort is stable, so equal keys keep insertion order and
+        // the full pair sequences match the stable comparison sort's.
+        assert_eq!(radix, comparison);
+
+        // Below the length threshold (and for > 32-bit domains) the
+        // fallback must still order by key.
+        let mut short: Vec<(u64, u32)> = (0..64).map(|_| (next(), next() as u32)).collect();
+        sort_run_by_key(&mut short, u64::MAX, |&(key, _)| key);
+        assert!(short.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+
     fn dataset() -> Dataset {
         Generator::new(GeneratorConfig::test_small(4)).generate()
     }
@@ -534,6 +766,61 @@ mod tests {
         for threads in [2, 5, 16] {
             let m = index.marginal_filtered_sharded(&spec, |w| w.sex == Sex::Male, threads);
             assert_marginals_identical(&m, &filtered_ref);
+        }
+    }
+
+    /// The dispatch choice must never change a released cell: scalar and
+    /// Auto (AVX2 on this CI hardware) kernels agree bit-for-bit on every
+    /// spec shape, filtered and not, at several shard counts.
+    #[test]
+    fn simd_and_scalar_kernels_are_bit_identical() {
+        let d = dataset();
+        let index = TabulationIndex::build(&d);
+        let specs = [
+            MarginalSpec::new(vec![], vec![]),
+            MarginalSpec::new(vec![WorkplaceAttr::Block], vec![]),
+            MarginalSpec::new(vec![], vec![WorkerAttr::Age, WorkerAttr::Race]),
+            MarginalSpec::new(
+                vec![WorkplaceAttr::Place, WorkplaceAttr::Naics],
+                vec![
+                    WorkerAttr::Sex,
+                    WorkerAttr::Age,
+                    WorkerAttr::Race,
+                    WorkerAttr::Ethnicity,
+                    WorkerAttr::Education,
+                ],
+            ),
+        ];
+        for spec in &specs {
+            for threads in [1, 3] {
+                let scalar = index.marginal_sharded_with_kernel(spec, threads, Kernel::Scalar);
+                let auto = index.marginal_sharded_with_kernel(spec, threads, Kernel::Auto);
+                assert_marginals_identical(&auto, &scalar);
+                let scalar_f = index.marginal_filtered_sharded_with_kernel(
+                    spec,
+                    |w| w.sex == Sex::Female,
+                    threads,
+                    Kernel::Scalar,
+                );
+                let auto_f = index.marginal_filtered_sharded_with_kernel(
+                    spec,
+                    |w| w.sex == Sex::Female,
+                    threads,
+                    Kernel::Auto,
+                );
+                assert_marginals_identical(&auto_f, &scalar_f);
+            }
+        }
+    }
+
+    #[test]
+    fn effective_shards_collapse_small_datasets() {
+        let d = dataset();
+        let index = TabulationIndex::build(&d);
+        // The test universe (~40k workers) is below the 2^16-per-shard
+        // floor: any requested parallelism collapses to the 1T path.
+        for threads in [1, 2, 8, 64] {
+            assert_eq!(index.effective_shards(threads), 1);
         }
     }
 

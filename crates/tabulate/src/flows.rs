@@ -36,6 +36,7 @@
 use crate::attr::{Attr, MarginalSpec};
 use crate::cell::{CellKey, CellSchema};
 use crate::index::TabulationIndex;
+use crate::kernel::{establishment_keys, Kernel};
 use lodes::{Dataset, Worker};
 use serde::{get_field, DeError, Deserialize, Serialize, Value};
 #[cfg(feature = "reference")]
@@ -302,7 +303,21 @@ impl TabulationIndex {
         spec: &MarginalSpec,
         threads: usize,
     ) -> FlowMarginal {
-        tabulate_flows(self, after, spec, None, threads)
+        tabulate_flows(self, after, spec, None, threads, Kernel::Auto)
+    }
+
+    /// [`flows_sharded`](Self::flows_sharded) with an explicit [`Kernel`]
+    /// choice. `Kernel::Scalar` forces the scalar establishment-key
+    /// kernel; the result is bit-identical to `Kernel::Auto` by
+    /// construction.
+    pub fn flows_sharded_with_kernel(
+        &self,
+        after: &TabulationIndex,
+        spec: &MarginalSpec,
+        threads: usize,
+        kernel: Kernel,
+    ) -> FlowMarginal {
+        tabulate_flows(self, after, spec, None, threads, kernel)
     }
 
     /// Tabulate job flows over only the workers matching `filter` — on
@@ -317,7 +332,23 @@ impl TabulationIndex {
     where
         F: Fn(&Worker) -> bool + Sync,
     {
-        tabulate_flows(self, after, spec, Some(&filter), threads)
+        tabulate_flows(self, after, spec, Some(&filter), threads, Kernel::Auto)
+    }
+
+    /// [`flows_filtered_sharded`](Self::flows_filtered_sharded) with an
+    /// explicit [`Kernel`] choice.
+    pub fn flows_filtered_sharded_with_kernel<F>(
+        &self,
+        after: &TabulationIndex,
+        spec: &MarginalSpec,
+        filter: F,
+        threads: usize,
+        kernel: Kernel,
+    ) -> FlowMarginal
+    where
+        F: Fn(&Worker) -> bool + Sync,
+    {
+        tabulate_flows(self, after, spec, Some(&filter), threads, kernel)
     }
 
     /// Tabulate job flows over only the records matching the declarative
@@ -339,6 +370,7 @@ impl TabulationIndex {
             spec,
             Some((&|w| before_filter.matches(w), &|w| after_filter.matches(w))),
             threads,
+            Kernel::Auto,
         )
     }
 }
@@ -371,8 +403,99 @@ fn tabulate_flows(
     spec: &MarginalSpec,
     filter: Option<&(dyn Fn(&Worker) -> bool + Sync)>,
     threads: usize,
+    kernel: Kernel,
 ) -> FlowMarginal {
-    tabulate_flows_split(before, after, spec, filter.map(|f| (f, f)), threads)
+    tabulate_flows_split(before, after, spec, filter.map(|f| (f, f)), threads, kernel)
+}
+
+/// Per-shard flow tabulation state, borrowed immutably by every worker
+/// thread. Also built by [`crate::region`] to tabulate each region shard
+/// of a sharded flow pair through the same code path.
+pub(crate) struct FlowPlan<'a> {
+    before: &'a TabulationIndex,
+    after: &'a TabulationIndex,
+    /// Workplace code columns of the spec's workplace attributes, from the
+    /// before-quarter (both quarters share the establishment frame).
+    wp_cols: Vec<&'a [u32]>,
+    wp_strides: Vec<u64>,
+    filters: Option<PairFilter<'a>>,
+    kernel: Kernel,
+}
+
+impl<'a> FlowPlan<'a> {
+    pub(crate) fn new(
+        before: &'a TabulationIndex,
+        after: &'a TabulationIndex,
+        spec: &MarginalSpec,
+        schema: &CellSchema,
+        filters: Option<PairFilter<'a>>,
+        kernel: Kernel,
+    ) -> Self {
+        assert!(
+            !spec.has_worker_attrs(),
+            "job flows are establishment-level: spec must not include worker attributes"
+        );
+        assert_eq!(
+            before.num_establishments(),
+            after.num_establishments(),
+            "flow tabulation requires a shared establishment frame"
+        );
+        let wp_cols: Vec<&[u32]> = spec
+            .workplace_attrs
+            .iter()
+            .map(|&a| before.workplace_column(a))
+            .collect();
+        let wp_strides: Vec<u64> = (0..wp_cols.len()).map(|i| schema.stride_of(i)).collect();
+        Self {
+            before,
+            after,
+            wp_cols,
+            wp_strides,
+            filters,
+            kernel,
+        }
+    }
+}
+
+/// Establishments per precomputed key block (128 KiB of `u64` keys).
+const ESTAB_BLOCK: usize = 1 << 14;
+
+/// Tabulate establishments `lo..hi` of a flow pair into a run of
+/// `(key, before, after)` contributions sorted by key. Establishment keys
+/// are precomputed blockwise by the [`crate::kernel`] establishment-key
+/// kernel; the per-establishment sizes come straight off each quarter's
+/// CSR offsets (or a filtered scan), unchanged for every kernel choice.
+pub(crate) fn flow_shard(plan: &FlowPlan<'_>, lo: usize, hi: usize) -> Vec<(u64, u32, u32)> {
+    let mut run: Vec<(u64, u32, u32)> = Vec::new();
+    let mut max_key: u64 = 0;
+    let mut keys: Vec<u64> = Vec::new();
+    let mut batch_lo = lo;
+    while batch_lo < hi {
+        let batch_hi = (batch_lo + ESTAB_BLOCK).min(hi);
+        keys.resize(batch_hi - batch_lo, 0);
+        establishment_keys(
+            &plan.wp_cols,
+            &plan.wp_strides,
+            batch_lo,
+            &mut keys,
+            plan.kernel,
+        );
+        for e in batch_lo..batch_hi {
+            let b = side_count(plan.before, e, plan.filters.map(|(f, _)| f));
+            let a = side_count(plan.after, e, plan.filters.map(|(_, f)| f));
+            if b == 0 && a == 0 {
+                continue;
+            }
+            let key = keys[e - batch_lo];
+            max_key = max_key.max(key);
+            run.push((key, b, a));
+        }
+        batch_lo = batch_hi;
+    }
+    // Equal keys (same cell, different establishments) may interleave
+    // arbitrarily; the merge's aggregates are all commutative.
+    crate::engine::sort_run_by_key(&mut run, max_key, |&(key, _, _)| key);
+    run
 }
 
 /// The indexed flow evaluator: shard the shared establishment frame,
@@ -384,60 +507,26 @@ fn tabulate_flows_split(
     spec: &MarginalSpec,
     filters: Option<PairFilter<'_>>,
     threads: usize,
+    kernel: Kernel,
 ) -> FlowMarginal {
-    assert!(
-        !spec.has_worker_attrs(),
-        "job flows are establishment-level: spec must not include worker attributes"
-    );
-    assert_eq!(
-        before.num_establishments(),
-        after.num_establishments(),
-        "flow tabulation requires a shared establishment frame"
-    );
     let schema = before.schema(spec);
     let n_estabs = before.num_establishments();
-    let wp_cols: Vec<&[u32]> = spec
-        .workplace_attrs
-        .iter()
-        .map(|&a| before.workplace_column(a))
-        .collect();
-    let wp_strides: Vec<u64> = (0..wp_cols.len()).map(|i| schema.stride_of(i)).collect();
-
-    let shard = |lo: usize, hi: usize| -> Vec<(u64, u32, u32)> {
-        let mut run: Vec<(u64, u32, u32)> = Vec::new();
-        for e in lo..hi {
-            let b = side_count(before, e, filters.map(|(f, _)| f));
-            let a = side_count(after, e, filters.map(|(_, f)| f));
-            if b == 0 && a == 0 {
-                continue;
-            }
-            let mut key: u64 = 0;
-            for (col, &stride) in wp_cols.iter().zip(&wp_strides) {
-                key += col[e] as u64 * stride;
-            }
-            run.push((key, b, a));
-        }
-        // Equal keys (same cell, different establishments) may interleave
-        // arbitrarily; the merge's aggregates are all commutative.
-        run.sort_unstable_by_key(|&(key, _, _)| key);
-        run
-    };
-
+    let plan = FlowPlan::new(before, after, spec, &schema, filters, kernel);
     let threads = threads.max(1).min(n_estabs.max(1));
     let runs: Vec<Vec<(u64, u32, u32)>> = if threads <= 1 {
-        vec![shard(0, n_estabs)]
+        vec![flow_shard(&plan, 0, n_estabs)]
     } else {
         // Shard boundaries balanced by the before-quarter's cumulative
         // worker count (see `TabulationIndex::shard_bounds`); the merge,
         // not the chunking, carries the determinism guarantee.
         let bounds = before.shard_bounds(threads);
         std::thread::scope(|scope| {
-            let shard = &shard;
+            let plan = &plan;
             let handles: Vec<_> = bounds
                 .windows(2)
                 .map(|w| {
                     let (lo, hi) = (w[0], w[1]);
-                    scope.spawn(move || shard(lo, hi))
+                    scope.spawn(move || flow_shard(plan, lo, hi))
                 })
                 .collect();
             handles
@@ -466,7 +555,7 @@ fn side_count(
 /// Deterministic k-way merge of per-shard sorted runs: every
 /// `(cell, establishment)` contribution with the same key folds into one
 /// [`FlowStats`] via commutative sums and maxima.
-fn merge_flow_runs(runs: Vec<Vec<(u64, u32, u32)>>) -> Vec<(CellKey, FlowStats)> {
+pub(crate) fn merge_flow_runs(runs: Vec<Vec<(u64, u32, u32)>>) -> Vec<(CellKey, FlowStats)> {
     let mut pos = vec![0usize; runs.len()];
     let mut out: Vec<(CellKey, FlowStats)> =
         Vec::with_capacity(runs.iter().map(Vec::len).max().unwrap_or(0));
@@ -625,6 +714,52 @@ mod tests {
             let sharded = before.flows_sharded(&after, &spec, threads);
             assert_eq!(sharded, reference);
             assert_eq!(sharded.content_digest(), reference.content_digest());
+        }
+    }
+
+    /// The kernel dispatch choice never changes a flow cell: scalar and
+    /// Auto (AVX2 on CI hardware) agree bit-for-bit.
+    #[test]
+    fn simd_and_scalar_flow_kernels_are_bit_identical() {
+        use crate::kernel::Kernel;
+        let p = panel();
+        let before = TabulationIndex::build(p.quarter(0));
+        let after = TabulationIndex::build(p.quarter(1));
+        let specs = [
+            MarginalSpec::new(vec![], vec![]),
+            MarginalSpec::new(vec![WorkplaceAttr::Naics], vec![]),
+            MarginalSpec::new(
+                vec![
+                    WorkplaceAttr::Block,
+                    WorkplaceAttr::Naics,
+                    WorkplaceAttr::Ownership,
+                ],
+                vec![],
+            ),
+        ];
+        for spec in &specs {
+            for threads in [1, 3] {
+                let scalar =
+                    before.flows_sharded_with_kernel(&after, spec, threads, Kernel::Scalar);
+                let auto = before.flows_sharded_with_kernel(&after, spec, threads, Kernel::Auto);
+                assert_eq!(auto, scalar);
+                assert_eq!(auto.content_digest(), scalar.content_digest());
+                let scalar_f = before.flows_filtered_sharded_with_kernel(
+                    &after,
+                    spec,
+                    |w| w.sex == lodes::Sex::Female,
+                    threads,
+                    Kernel::Scalar,
+                );
+                let auto_f = before.flows_filtered_sharded_with_kernel(
+                    &after,
+                    spec,
+                    |w| w.sex == lodes::Sex::Female,
+                    threads,
+                    Kernel::Auto,
+                );
+                assert_eq!(auto_f, scalar_f);
+            }
         }
     }
 

@@ -26,7 +26,7 @@
 
 use crate::attr::{Attr, MarginalSpec, WorkerAttr, WorkplaceAttr};
 use crate::cell::CellSchema;
-use lodes::{Dataset, Worker};
+use lodes::{Dataset, Geography, Worker, WorkerId, Workplace};
 use std::sync::Arc;
 
 /// All workplace attributes, in the order their columns are stored.
@@ -233,15 +233,133 @@ impl TabulationIndex {
     /// The key schema `spec` induces over the indexed dataset — identical
     /// to `CellSchema::new(spec, dataset)` on the source dataset.
     pub fn schema(&self, spec: &MarginalSpec) -> CellSchema {
-        let attrs: Vec<Attr> = spec.attrs().collect();
-        let cards: Vec<u64> = attrs
-            .iter()
-            .map(|a| match a {
-                Attr::Workplace(w) => self.workplace_cards[workplace_slot(*w)],
-                Attr::Worker(w) => w.cardinality() as u64,
-            })
-            .collect();
-        CellSchema::from_parts(attrs, cards)
+        schema_from_cards(&self.workplace_cards, spec)
+    }
+}
+
+/// Workplace-attribute domain cardinalities of a geography, in column-slot
+/// order — what [`WorkplaceAttr::cardinality`] reports for any dataset
+/// over that geography.
+pub(crate) fn cards_from_geography(geography: &Geography) -> [u64; 6] {
+    [
+        geography.num_states() as u64,
+        geography.num_counties() as u64,
+        geography.num_places() as u64,
+        geography.num_blocks() as u64,
+        lodes::NaicsSector::COUNT as u64,
+        lodes::Ownership::COUNT as u64,
+    ]
+}
+
+/// Derive the [`CellSchema`] for `spec` from snapshotted workplace
+/// cardinalities (worker domains are fixed enums).
+pub(crate) fn schema_from_cards(cards: &[u64; 6], spec: &MarginalSpec) -> CellSchema {
+    let attrs: Vec<Attr> = spec.attrs().collect();
+    let cardinalities: Vec<u64> = attrs
+        .iter()
+        .map(|a| match a {
+            Attr::Workplace(w) => cards[workplace_slot(*w)],
+            Attr::Worker(w) => w.cardinality() as u64,
+        })
+        .collect();
+    CellSchema::from_parts(attrs, cardinalities)
+}
+
+/// Streaming [`TabulationIndex`] construction, one establishment at a
+/// time, without ever materializing a [`Dataset`].
+///
+/// The generator emits workers already grouped by employing establishment,
+/// which is exactly the CSR layout the index stores — so a national-scale
+/// index can be built from a generation *stream* with peak memory bounded
+/// by the index itself (no second copy as a `Dataset`, no counting-sort
+/// scratch). [`crate::RegionIndexBuilder`] routes the same stream into
+/// per-state shards.
+///
+/// Worker identifiers are **rebased**: each pushed worker is assigned the
+/// next dense id in arrival (CSR) order, so the finished index is
+/// self-contained — filter compilation resolves `employer_of_worker` by
+/// those local ids. Closure filters that inspect `Worker::id` therefore
+/// see builder-local ids, not the caller's; the declarative
+/// [`crate::FilterExpr`] path is unaffected (it reads only attributes).
+#[derive(Debug, Clone)]
+pub struct IndexBuilder {
+    offsets: Vec<u32>,
+    workers: Vec<Worker>,
+    worker_codes: [Vec<u8>; 5],
+    workplace_codes: [Vec<u32>; 6],
+    workplace_cards: [u64; 6],
+}
+
+impl IndexBuilder {
+    /// Start an empty index over `geography` (the cardinality snapshot
+    /// must come from the universe, not from the — possibly partial —
+    /// stream).
+    pub fn new(geography: &Geography) -> Self {
+        Self::with_cards(cards_from_geography(geography))
+    }
+
+    pub(crate) fn with_cards(workplace_cards: [u64; 6]) -> Self {
+        Self {
+            offsets: vec![0],
+            workers: Vec::new(),
+            worker_codes: std::array::from_fn(|_| Vec::new()),
+            workplace_codes: std::array::from_fn(|_| Vec::new()),
+            workplace_cards,
+        }
+    }
+
+    /// Append one establishment and its workers (its entire workforce —
+    /// an establishment cannot be pushed twice).
+    pub fn push_establishment(&mut self, workplace: &Workplace, workers: &[Worker]) {
+        for (slot, attr) in WORKPLACE_ATTRS.iter().enumerate() {
+            self.workplace_codes[slot].push(attr.value(workplace));
+        }
+        for worker in workers {
+            let mut local = *worker;
+            local.id =
+                WorkerId(u32::try_from(self.workers.len()).expect("worker count exceeds u32"));
+            for (slot, attr) in WORKER_ATTRS.iter().enumerate() {
+                let code = attr.value(&local);
+                debug_assert!(code < 256, "worker attribute code exceeds u8");
+                self.worker_codes[slot].push(code as u8);
+            }
+            self.workers.push(local);
+        }
+        self.offsets
+            .push(u32::try_from(self.workers.len()).expect("worker count exceeds u32"));
+    }
+
+    /// Establishments pushed so far.
+    pub fn num_establishments(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Workers pushed so far.
+    pub fn num_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Seal the stream into an index. Local worker ids are dense in CSR
+    /// order, so the employer column is read straight off the offsets.
+    pub fn finish(self) -> TabulationIndex {
+        let mut employer_of_worker = vec![0u32; self.workers.len()];
+        for e in 0..self.offsets.len() - 1 {
+            for slot in employer_of_worker
+                .iter_mut()
+                .take(self.offsets[e + 1] as usize)
+                .skip(self.offsets[e] as usize)
+            {
+                *slot = e as u32;
+            }
+        }
+        TabulationIndex {
+            offsets: self.offsets,
+            workers: self.workers,
+            worker_codes: self.worker_codes,
+            workplace_codes: self.workplace_codes,
+            workplace_cards: self.workplace_cards,
+            employer_of_worker: Arc::new(employer_of_worker),
+        }
     }
 }
 

@@ -44,7 +44,9 @@ pub mod engine;
 pub mod filter;
 pub mod flows;
 pub mod index;
+pub mod kernel;
 pub mod marginal;
+pub mod region;
 pub mod strata;
 pub mod workload;
 
@@ -58,7 +60,9 @@ pub use filter::{Cmp, CompiledFilter, FilterExpr, FilterId};
 #[cfg(feature = "reference")]
 pub use flows::compute_flows_legacy;
 pub use flows::{compute_flows, FlowMarginal, FlowStats};
-pub use index::TabulationIndex;
+pub use index::{IndexBuilder, TabulationIndex};
+pub use kernel::{simd_available, Kernel};
 pub use marginal::{CellStats, Marginal};
+pub use region::{DatasetIndex, RegionIndexBuilder, RegionShardedIndex};
 pub use strata::stratify_by_place_size;
 pub use workload::{ranking2_expr, ranking2_filter, workload1, workload2, workload3};
